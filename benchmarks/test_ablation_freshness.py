@@ -1,0 +1,102 @@
+"""Ablation: freshness via server escrow vs SGX monotonic counters.
+
+Section 5.6 anchors lease-tree freshness in a server-escrowed root key.
+The obvious alternative — SGX monotonic counters — would avoid the
+shutdown-time network message, but each counter increment is a ~150 ms
+flash write with a ~1M-write endurance budget.  This ablation prices
+both designs at realistic commit rates and shows why escrow wins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gcl import Gcl
+from repro.core.lease_tree import LeaseTree
+from repro.crypto.keys import KeyGenerator
+from repro.sgx.monotonic import (
+    INCREMENT_CYCLES,
+    WEAR_OUT_WRITES,
+    CounterFreshnessGuard,
+    MonotonicCounterService,
+)
+from repro.sim.clock import Clock, seconds_to_cycles
+from repro.sim.rng import DeterministicRng
+
+#: One escrow message at shutdown: a network round trip (50 ms RTT).
+ESCROW_SHUTDOWN_CYCLES = seconds_to_cycles(0.050)
+
+
+def escrow_design_cycles(commits: int) -> int:
+    """Seal `commits` leases through the real tree, plus one escrow."""
+    clock = Clock()
+    tree = LeaseTree(keygen=KeyGenerator(DeterministicRng(3)))
+    for lease_id in range(commits):
+        tree.insert(lease_id, Gcl.count_based("lic", 1))
+    start = clock.cycles
+    for lease_id in range(commits):
+        tree.commit_lease(lease_id)  # AES sealing only; no platform I/O
+    # The sealing work is host-side in this simulation; charge a
+    # representative in-enclave cost per seal (AES over ~350 B).
+    clock.advance(commits * 6_000)
+    clock.advance(ESCROW_SHUTDOWN_CYCLES)
+    return clock.cycles - start
+
+
+def counter_design_cycles(commits: int) -> int:
+    """Each commit bumps the hardware counter."""
+    clock = Clock()
+    service = MonotonicCounterService(clock)
+    guard = CounterFreshnessGuard(service, "lease-tree")
+    start = clock.cycles
+    for _ in range(commits):
+        guard.seal(b"node")
+    return clock.cycles - start
+
+
+def regenerate_freshness_ablation():
+    rows = []
+    for commits in (10, 100, 1_000):
+        escrow = escrow_design_cycles(commits)
+        counter = counter_design_cycles(commits)
+        rows.append([
+            commits,
+            f"{escrow / 2.9e6:,.1f} ms",
+            f"{counter / 2.9e6:,.1f} ms",
+            f"{counter / max(escrow, 1):,.0f}x",
+        ])
+    return rows
+
+
+def test_ablation_freshness_designs(benchmark, table_printer):
+    rows = benchmark.pedantic(regenerate_freshness_ablation, rounds=1,
+                              iterations=1)
+    table_printer(
+        "Ablation: freshness anchor — server escrow vs monotonic counter",
+        ["Commits", "Escrow design", "Counter design", "Counter penalty"],
+        rows,
+    )
+    # The counter design is far slower at any commit volume, and the
+    # penalty grows with volume: escrow pays its fixed network message
+    # once, the counter pays 150 ms of flash per commit.
+    penalties = [float(row[3].rstrip("x").replace(",", "")) for row in rows]
+    assert all(p > 10 for p in penalties)
+    assert penalties == sorted(penalties)
+
+
+def test_ablation_counter_wearout_horizon(benchmark, table_printer):
+    """Endurance: at SL-Local commit rates, NVRAM wears out in weeks."""
+
+    def measure():
+        commits_per_day = 50_000  # a busy FaaS host's eviction traffic
+        days_to_wearout = WEAR_OUT_WRITES / commits_per_day
+        increment_ms = INCREMENT_CYCLES / 2.9e6
+        return days_to_wearout, increment_ms
+
+    days, increment_ms = benchmark(measure)
+    table_printer(
+        "Monotonic-counter endurance at 50K commits/day",
+        ["Days to wear-out", "Per-increment latency"],
+        [[f"{days:.0f}", f"{increment_ms:.0f} ms"]],
+    )
+    assert days < 60  # under two months: unusable for SL-Local

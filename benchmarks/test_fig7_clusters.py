@@ -1,0 +1,110 @@
+"""Figure 7: CFG clusters and migrated nodes (OpenSSL).
+
+The paper's figure plots the OpenSSL call graph, showing (a) distinct
+submodule clusters and (b) that Glamdring migrates nodes across many
+clusters while SecureLease migrates whole clusters.  We regenerate the
+figure's underlying statistics: cluster sizes, the intra- vs
+inter-cluster call-volume split (the Section 4.2 observation), and how
+many clusters each scheme's migrated set touches *partially*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.callgraph.clustering import cluster_call_graph
+from repro.callgraph.metrics import modularity
+from repro.partition import GlamdringPartitioner, SecureLeasePartitioner
+from repro.sim.rng import DeterministicRng
+from repro.workloads import get_workload
+
+SCALE = 0.5
+
+
+def partial_clusters(clusters, migrated):
+    """Clusters that a migrated set splits (some in, some out)."""
+    split = 0
+    for members in clusters:
+        inside = members & migrated
+        if inside and inside != members:
+            split += 1
+    return split
+
+
+def regenerate_fig7():
+    workload = get_workload("openssl")
+    run = workload.run_profiled(scale=SCALE)
+    secure_partitioner = SecureLeasePartitioner()
+    secure = secure_partitioner.partition(run.program, run.graph, run.profile)
+    glam = GlamdringPartitioner().partition(run.program, run.graph, run.profile)
+    clustering = secure_partitioner.last_clustering
+    clusters = clustering.non_empty_clusters()
+
+    intra = sum(run.graph.subgraph_weight(c) for c in clusters)
+    total = run.graph.total_call_weight()
+    inter = total - intra
+
+    return {
+        "clusters": clusters,
+        "modularity": modularity(run.graph, clusters),
+        "intra_calls": intra,
+        "inter_calls": inter,
+        "secure_migrated": secure.trusted,
+        "glam_migrated": glam.trusted,
+        "secure_partial": partial_clusters(clusters, secure.trusted),
+        "graph": run.graph,
+    }
+
+
+def test_fig7_cluster_structure(benchmark, table_printer):
+    data = benchmark(regenerate_fig7)
+    rows = [
+        [f"cluster {i}", len(members),
+         ", ".join(sorted(members)[:4]) + ("..." if len(members) > 4 else "")]
+        for i, members in enumerate(data["clusters"])
+    ]
+    table_printer("Figure 7: OpenSSL CFG clusters",
+                  ["Cluster", "Size", "Members"], rows)
+    table_printer(
+        "Figure 7: migration comparison",
+        ["Scheme", "Nodes migrated", "Clusters split"],
+        [
+            ["SecureLease", len(data["secure_migrated"]),
+             data["secure_partial"]],
+            ["Glamdring", len(data["glam_migrated"]), "-"],
+        ],
+    )
+    print(f"\nIntra-cluster calls: {data['intra_calls']:,}  "
+          f"inter-cluster calls: {data['inter_calls']:,}  "
+          f"modularity: {data['modularity']:.3f}")
+
+    # The Section 4.2 observation: intra-cluster volume dominates.
+    assert data["intra_calls"] > 3 * data["inter_calls"]
+    # SecureLease migrates fewer nodes than Glamdring's closure...
+    assert len(data["secure_migrated"]) <= len(data["glam_migrated"])
+    # ...and (near-)whole clusters: at most one cluster is split, and
+    # only at the untrusted driver boundary.
+    assert data["secure_partial"] <= 1
+
+
+def test_fig7_observation_holds_across_workloads(benchmark):
+    """The clustering observation generalises beyond OpenSSL."""
+
+    def measure():
+        ratios = []
+        for name in ("bfs", "btree", "pagerank", "keyvalue"):
+            run = get_workload(name).run_profiled(scale=0.2)
+            clustering = cluster_call_graph(
+                run.graph, k=max(2, len(run.program.modules())),
+                rng=DeterministicRng(3),
+            )
+            clusters = clustering.non_empty_clusters()
+            intra = sum(run.graph.subgraph_weight(c) for c in clusters)
+            total = run.graph.total_call_weight()
+            ratios.append(intra / max(total, 1))
+        return ratios
+
+    ratios = benchmark(measure)
+    print("\nIntra-cluster call fraction per workload:",
+          [f"{r:.1%}" for r in ratios])
+    assert all(r > 0.5 for r in ratios)

@@ -1,0 +1,118 @@
+"""Figure 8: attestation throughput for concurrent enclaves.
+
+The paper's micro-benchmark: N concurrent application enclaves each
+hammer SL-Local with lease-allocation requests for 10 seconds, in two
+modes (all requesting the *same* lease vs *different* leases), and with
+the multi-token optimisation (10 tokens per local attestation) giving
+~10x.
+
+Expected shape:
+
+* total throughput is service-bound: roughly flat as enclaves increase;
+* same-lease mode is slightly slower than different-lease mode (lock
+  contention on the single lease);
+* 10-token batching improves effective grant throughput ~10x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import AttestRequest, Status
+from repro.deployment import SecureLeaseDeployment
+from repro.sim.clock import seconds_to_cycles
+
+RUN_SECONDS = 0.2  # virtual seconds per configuration (scaled from 10 s)
+ENCLAVE_COUNTS = (1, 2, 4, 8)
+
+
+def run_config(n_enclaves: int, same_lease: bool, tokens: int) -> float:
+    """Grants per virtual second for one Figure 8 configuration."""
+    deployment = SecureLeaseDeployment(seed=41, tokens_per_attestation=tokens)
+    if same_lease:
+        licenses = ["lic-shared"] * n_enclaves
+        deployment.issue_license("lic-shared", total_units=10**9)
+    else:
+        licenses = [f"lic-{i}" for i in range(n_enclaves)]
+        for license_id in licenses:
+            deployment.issue_license(license_id, total_units=10**9)
+
+    managers = []
+    for i, license_id in enumerate(licenses):
+        manager = deployment.manager_for(f"bench-app-{i}")
+        manager.load_license(
+            license_id,
+            deployment.remote.license_definition(license_id).license_blob(),
+        )
+        managers.append((manager, license_id))
+
+    # Warm-up: fetch each licence's first sub-GCL outside the window
+    # (the paper measures steady-state throughput, not cold start).
+    for manager, license_id in managers:
+        manager.check(license_id)
+
+    clock = deployment.machine.clock
+    deadline = clock.cycles + seconds_to_cycles(RUN_SECONDS)
+    grants = 0
+    # Round-robin the concurrent requesters over the shared timeline —
+    # SL-Local is a single service, so requests serialise exactly as N
+    # enclaves contending for it would.
+    while clock.cycles < deadline:
+        for manager, license_id in managers:
+            if manager.check(license_id):
+                grants += 1
+    return grants / RUN_SECONDS
+
+
+def regenerate_fig8():
+    rows = []
+    for n_enclaves in ENCLAVE_COUNTS:
+        same_1 = run_config(n_enclaves, same_lease=True, tokens=1)
+        diff_1 = run_config(n_enclaves, same_lease=False, tokens=1)
+        same_10 = run_config(n_enclaves, same_lease=True, tokens=10)
+        rows.append([
+            n_enclaves,
+            f"{same_1:,.0f}",
+            f"{diff_1:,.0f}",
+            f"{same_10:,.0f}",
+            f"{same_10 / same_1:.1f}x",
+        ])
+    return rows
+
+
+def test_fig8_attestation_throughput(benchmark, table_printer):
+    rows = benchmark.pedantic(regenerate_fig8, rounds=1, iterations=1)
+    table_printer(
+        "Figure 8: lease grants per virtual second",
+        ["Enclaves", "Same lease (1 tok)", "Diff lease (1 tok)",
+         "Same lease (10 tok)", "Batching gain"],
+        rows,
+    )
+    # Shape: batching buys roughly an order of magnitude (paper: ~10x).
+    gains = [float(row[4].rstrip("x")) for row in rows]
+    assert all(6.0 < g < 14.0 for g in gains)
+    # Total throughput is service-bound: flat-ish across enclave counts.
+    totals = [float(row[1].replace(",", "")) for row in rows]
+    assert max(totals) < 1.5 * min(totals)
+    # Different leases never do worse than hammering one shared lease.
+    for row in rows:
+        same = float(row[1].replace(",", ""))
+        diff = float(row[2].replace(",", ""))
+        assert diff >= 0.9 * same
+
+
+def test_fig8_local_attestation_dominates(benchmark):
+    """Section 7.3: the local attestation is ~98 % of the grant cost."""
+    from repro.core.sl_local import LEASE_UPDATE_CYCLES, TOKEN_ISSUE_CYCLES
+    from repro.sgx.costs import SgxCostModel
+
+    def measure():
+        costs = SgxCostModel()
+        attestation = costs.local_attestation_cycles
+        update = LEASE_UPDATE_CYCLES + TOKEN_ISSUE_CYCLES
+        return attestation / (attestation + update)
+
+    fraction = benchmark(measure)
+    print(f"\nLocal attestation share of grant cost: {fraction:.1%} "
+          f"(paper: ~98%)")
+    assert fraction > 0.9

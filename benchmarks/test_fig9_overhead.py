@@ -1,0 +1,141 @@
+"""Figure 9: complete performance evaluation.
+
+The paper's headline experiment: each workload runs end to end under
+three systems and the overhead over vanilla is reported —
+
+* **F-LaaS**  — SecureLease's partition but F-LaaS's lease logic: a
+  remote-attested fetch per token batch (no trusted local cache);
+* **Glamdring** — Glamdring's partition with SecureLease-style leases;
+* **SecureLease** — partition + SL-Local local attestation + adaptive
+  renewal.
+
+Paper results: SecureLease outperforms F-LaaS by 66.34 % on average
+(~99 % fewer remote attestations) and Glamdring by 19.55 %; local
+allocation is <1 % of lease-renewal time.
+
+Fixed per-event latencies (RA, local attestation) are scaled by 1e-3 to
+match the reproduction's ~1000x-shorter workloads (see
+``repro.sgx.costs.scaled_latency_costs``); all three systems use the
+same model, so the comparison is unaffected.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.deployment import FlaasLeaseManager, SecureLeaseDeployment
+from repro.net.network import NetworkConditions
+from repro.partition import GlamdringPartitioner
+from repro.sgx import scaled_latency_costs
+from repro.workloads import all_workloads
+
+SCALE = 0.3
+COSTS = scaled_latency_costs(1e-3)
+NETWORK = NetworkConditions(round_trip_seconds=50e-6)
+
+
+def run_system(workload, system: str):
+    deployment = SecureLeaseDeployment(seed=47, costs=COSTS, network=NETWORK)
+    blob = deployment.issue_license(workload.license_id, total_units=10**9)
+    kwargs = {"scale": SCALE, "license_blob": blob}
+    if system == "flaas":
+        kwargs["lease_manager"] = FlaasLeaseManager(
+            workload.name, deployment.machine, deployment.ras,
+            deployment.remote,
+        )
+    elif system == "glamdring":
+        kwargs["partitioner"] = GlamdringPartitioner()
+    run = deployment.run_workload(workload, **kwargs)
+    assert run.result["status"] == "OK", (workload.name, system, run.result)
+    return run
+
+
+def regenerate_fig9():
+    rows = []
+    flaas_improvements = []
+    glam_improvements = []
+    ra_reductions = []
+    for name, workload in all_workloads().items():
+        vanilla_cycles = workload.run_profiled(scale=SCALE).cycles
+        secure = run_system(workload, "securelease")
+        flaas = run_system(workload, "flaas")
+        glam = run_system(workload, "glamdring")
+        flaas_improvements.append((flaas.cycles - secure.cycles) / flaas.cycles)
+        glam_improvements.append((glam.cycles - secure.cycles) / glam.cycles)
+        ra_reductions.append(
+            1 - secure.remote_attestations / max(flaas.remote_attestations, 1)
+        )
+        rows.append([
+            name,
+            f"{flaas.cycles / vanilla_cycles:8.2f}x",
+            f"{glam.cycles / vanilla_cycles:8.2f}x",
+            f"{secure.cycles / vanilla_cycles:8.2f}x",
+            flaas.remote_attestations,
+            secure.remote_attestations,
+        ])
+    return (rows, statistics.mean(flaas_improvements),
+            statistics.mean(glam_improvements), statistics.mean(ra_reductions))
+
+
+def test_fig9_overhead_comparison(benchmark, table_printer):
+    rows, vs_flaas, vs_glam, ra_reduction = benchmark.pedantic(
+        regenerate_fig9, rounds=1, iterations=1
+    )
+    table_printer(
+        "Figure 9: end-to-end slowdown over vanilla",
+        ["Workload", "F-LaaS", "Glamdring", "SecureLease",
+         "F-LaaS RAs", "SLease RAs"],
+        rows,
+    )
+    print(f"\nSecureLease vs F-LaaS:    {vs_flaas:.2%} faster (paper: 66.34%)")
+    print(f"SecureLease vs Glamdring: {vs_glam:.2%} faster (paper: 19.55%)")
+    print(f"Remote attestation reduction: {ra_reduction:.2%} (paper: ~99%)")
+
+    assert vs_flaas > 0.5          # the paper's 66.34 % regime
+    assert vs_glam > 0.05          # the paper's 19.55 % regime
+    assert ra_reduction > 0.9      # the paper's ~99 %
+    # SecureLease wins on every single workload against F-LaaS.
+    for row in rows:
+        assert float(row[3].rstrip("x")) <= float(row[1].rstrip("x"))
+
+
+def test_fig9_local_alloc_vs_renewal_breakdown(benchmark, table_printer):
+    """The figure's annotation: local allocation takes <1 % of the
+    lease-renewal time (a renewal includes the network round trip)."""
+
+    def measure():
+        # Unscaled costs and one token per attestation: every check is
+        # a genuine local-attestation round, and the renewal carries
+        # the real 50 ms network RTT.
+        deployment = SecureLeaseDeployment(seed=53,
+                                           tokens_per_attestation=1)
+        deployment.issue_license("lic-breakdown", total_units=10**9)
+        manager = deployment.manager_for("breakdown-app")
+        manager.load_license(
+            "lic-breakdown",
+            deployment.remote.license_definition("lic-breakdown").license_blob(),
+        )
+        clock = deployment.machine.clock
+
+        start = clock.cycles
+        manager.check("lic-breakdown")  # includes the remote renewal
+        renewal_cycles = clock.cycles - start
+
+        start = clock.cycles
+        for _ in range(9):
+            manager.check("lic-breakdown")  # pure local allocations
+        local_cycles = (clock.cycles - start) / 9
+        return local_cycles, renewal_cycles
+
+    local_cycles, renewal_cycles = benchmark(measure)
+    ratio = local_cycles / renewal_cycles
+    table_printer(
+        "Figure 9 inset: local allocation vs lease renewal",
+        ["Path", "Cycles"],
+        [["Lease renewal (incl. network)", f"{renewal_cycles:,.0f}"],
+         ["Local allocation", f"{local_cycles:,.0f}"]],
+    )
+    print(f"\nLocal allocation / renewal = {ratio:.2%} (paper: <1%)")
+    assert ratio < 0.05

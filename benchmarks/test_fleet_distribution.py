@@ -1,0 +1,91 @@
+"""Fleet-level lease-distribution benchmark (Algorithm 1 at scale).
+
+Beyond the paper's single-machine evaluation: Algorithm 1's whole point
+is fleets (Table 2's C, alpha, n, h inputs), so this bench sweeps fleet
+shapes and reports how the server distributes one license — fairness
+under weights, loss-bounding under crashes, and renewal traffic as a
+function of fleet size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+
+LICENSE = "lic-fleet-bench"
+POOL = 50_000
+
+
+def regenerate_fleet_sweep():
+    rows = []
+    for n_nodes in (2, 4, 8):
+        cluster = Cluster(seed=67)
+        cluster.issue_license(LICENSE, POOL)
+        for index in range(n_nodes):
+            cluster.add_node(NodeSpec(
+                f"n{index}",
+                health=1.0 if index % 2 == 0 else 0.7,
+            ))
+        served = cluster.run_checks(LICENSE, checks_per_node=100)
+        renewals = cluster.remote.renewals_served
+        loss = cluster.expected_loss(LICENSE)
+        rows.append([
+            n_nodes,
+            sum(served.values()),
+            renewals,
+            f"{loss:,.0f}",
+            "yes" if cluster.pool_conserved(LICENSE, POOL) else "NO",
+        ])
+    return rows
+
+
+def test_fleet_size_sweep(benchmark, table_printer):
+    rows = benchmark.pedantic(regenerate_fleet_sweep, rounds=1, iterations=1)
+    table_printer(
+        "Fleet sweep: one 50,000-unit license, 100 checks per node",
+        ["Nodes", "Checks served", "Renewal RPCs", "Expected loss",
+         "Pool conserved"],
+        rows,
+    )
+    tau = 0.10 * POOL
+    for row in rows:
+        assert row[1] == row[0] * 100          # everyone fully served
+        assert float(row[3].replace(",", "")) <= tau + 1.0
+        assert row[4] == "yes"
+
+
+def regenerate_crash_storm():
+    """A fleet where half the nodes crash-loop: the loss bound holds
+    and honest nodes keep full service."""
+    cluster = Cluster(seed=73)
+    cluster.issue_license(LICENSE, POOL)
+    honest = [NodeSpec(f"honest-{i}") for i in range(3)]
+    crashy = [NodeSpec(f"crashy-{i}", health=0.6) for i in range(3)]
+    for spec in honest + crashy:
+        cluster.add_node(spec)
+
+    honest_served = 0
+    for round_index in range(5):
+        served = cluster.run_checks(LICENSE, checks_per_node=40)
+        honest_served += sum(served[s.name] for s in honest)
+        for spec in crashy:
+            cluster.crash_node(spec.name)
+    ledger = cluster.remote.ledger(LICENSE)
+    return honest_served, ledger.lost_units, cluster.pool_conserved(
+        LICENSE, POOL
+    )
+
+
+def test_fleet_crash_storm(benchmark, table_printer):
+    honest_served, lost, conserved = benchmark.pedantic(
+        regenerate_crash_storm, rounds=1, iterations=1
+    )
+    table_printer(
+        "Crash storm: 3 honest + 3 crash-looping nodes, 5 rounds x 40 checks",
+        ["Honest checks served", "Units lost to crashes", "Pool conserved"],
+        [[honest_served, f"{lost:,}", "yes" if conserved else "NO"]],
+    )
+    assert honest_served == 3 * 5 * 40   # honest service untouched
+    assert conserved
+    assert lost < POOL                   # crashers never drain the pool

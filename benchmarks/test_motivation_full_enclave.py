@@ -1,0 +1,64 @@
+"""Motivation: running the complete application inside SGX.
+
+Section 2.3.2: "executing a complete application in SGX can result in a
+slowdown of over 300x (HashJoin in Figure 9)" — the fault storm of a
+random-access working set far beyond the EPC, plus enclave-transition
+costs.  This bench prices the full-enclave endpoint with the *raw*
+(unscaled) fault model, since the claim is about the native regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition import PartitionEvaluator, SecureLeasePartitioner
+from repro.workloads import all_workloads
+
+SCALE = 0.5
+
+
+def regenerate_full_enclave():
+    # fault_scale=1.0: the raw model (no scaled-workload compensation),
+    # matching the native-execution regime the 300x claim refers to.
+    raw = PartitionEvaluator(fault_scale=1.0)
+    calibrated = PartitionEvaluator()
+    rows = []
+    for name in ("hashjoin", "btree", "keyvalue", "bfs", "blockchain"):
+        workload = all_workloads()[name]
+        run = workload.run_profiled(scale=SCALE)
+        full = raw.evaluate_full_enclave(run.program, run.graph, run.profile)
+        secure_partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        secure = calibrated.evaluate(run.program, run.graph, run.profile,
+                                     secure_partition)
+        rows.append([
+            name,
+            f"{full.slowdown:,.0f}x",
+            f"{full.epc_faults:,}",
+            f"{secure.slowdown:.2f}x",
+        ])
+    return rows
+
+
+def test_motivation_full_enclave(benchmark, table_printer):
+    rows = benchmark(regenerate_full_enclave)
+    table_printer(
+        "Motivation (2.3.2): whole application inside SGX (raw model)",
+        ["Workload", "Full-enclave slowdown", "EPC faults",
+         "SecureLease slowdown"],
+        rows,
+    )
+    slowdowns = {row[0]: float(row[1].rstrip("x").replace(",", ""))
+                 for row in rows}
+    # The random-access workloads are catastrophic when fully enclosed.
+    # (The paper's >300x HashJoin used its native 1.22 GB table; our
+    # declared 130 MB footprint lands at ~170x — same order, and the
+    # worst random-access case here crosses 250x.)
+    assert slowdowns["hashjoin"] > 100
+    assert max(slowdowns.values()) > 250
+    # Small-footprint workloads do not blow up even fully enclosed.
+    assert slowdowns["blockchain"] < 50
+    # SecureLease stays in the ~1.x regime on all of them.
+    for row in rows:
+        assert float(row[3].rstrip("x")) < 5.0

@@ -1,0 +1,98 @@
+"""Server-load benchmark: "SL-Local does the heavy lifting".
+
+Section 5.8's design-benefit claims, measured: how many server round
+trips (renewals + attestations) does SL-Remote serve per thousand
+application license checks, under SecureLease's caching versus the
+F-LaaS lease logic?  The paper's point is that pre-distribution makes
+server load a function of *sub-GCL exhaustion*, not of check volume —
+which is what lets one SL-Remote carry a fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deployment import FlaasLeaseManager, SecureLeaseDeployment
+from repro.net.network import NetworkConditions
+from repro.sgx import scaled_latency_costs
+from repro.workloads import get_workload
+
+COSTS = scaled_latency_costs(1e-3)
+NETWORK = NetworkConditions(round_trip_seconds=50e-6)
+SCALE = 0.5
+
+
+def measure_server_traffic(flaas: bool):
+    deployment = SecureLeaseDeployment(seed=59, costs=COSTS, network=NETWORK,
+                                       tokens_per_attestation=10)
+    workload = get_workload("jsonparser")
+    blob = deployment.issue_license(workload.license_id, total_units=10**9)
+    lease_manager = None
+    if flaas:
+        lease_manager = FlaasLeaseManager(
+            workload.name, deployment.machine, deployment.ras,
+            deployment.remote, tokens_per_attestation=10,
+        )
+    run = deployment.run_workload(workload, scale=SCALE, license_blob=blob,
+                                  lease_manager=lease_manager)
+    assert run.result["status"] == "OK"
+    if flaas:
+        server_round_trips = run.remote_attestations
+    else:
+        server_round_trips = (deployment.remote.renewals_served
+                              + run.remote_attestations)
+    return run.lease_checks, server_round_trips
+
+
+def regenerate_server_load():
+    rows = []
+    for flaas, label in ((False, "SecureLease"), (True, "F-LaaS")):
+        checks, server = measure_server_traffic(flaas)
+        per_k = server / max(checks, 1) * 1000
+        rows.append([label, checks, server, f"{per_k:.1f}"])
+    return rows
+
+
+def test_server_load_per_thousand_checks(benchmark, table_printer):
+    rows = benchmark.pedantic(regenerate_server_load, rounds=1, iterations=1)
+    table_printer(
+        "Server round trips per 1,000 license checks (JSONParser)",
+        ["System", "Checks", "Server round trips", "Per 1,000 checks"],
+        rows,
+    )
+    secure_per_k = float(rows[0][3])
+    flaas_per_k = float(rows[1][3])
+    # SecureLease's server traffic is a tiny fraction of F-LaaS's.
+    assert secure_per_k < 0.1 * flaas_per_k
+
+
+def test_server_load_flat_in_check_volume(benchmark, table_printer):
+    """Doubling the check volume must not double SecureLease's server
+    traffic — renewals scale with sub-GCL exhaustion, not checks."""
+
+    def measure():
+        rows = []
+        for scale in (0.25, 0.5, 1.0):
+            deployment = SecureLeaseDeployment(
+                seed=61, costs=COSTS, network=NETWORK,
+                tokens_per_attestation=10,
+            )
+            workload = get_workload("jsonparser")
+            blob = deployment.issue_license(workload.license_id, 10**9)
+            run = deployment.run_workload(workload, scale=scale,
+                                          license_blob=blob)
+            rows.append([f"scale {scale}", run.lease_checks,
+                         deployment.remote.renewals_served])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table_printer(
+        "SecureLease server renewals vs check volume",
+        ["Run", "Checks", "Renewal round trips"],
+        rows,
+    )
+    checks = [row[1] for row in rows]
+    renewals = [row[2] for row in rows]
+    assert checks[-1] >= 3 * checks[0]
+    # Server traffic grows sub-linearly (here: essentially flat).
+    assert renewals[-1] <= 2 * max(renewals[0], 1)

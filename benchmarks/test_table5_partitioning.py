@@ -1,0 +1,124 @@
+"""Table 5: partitioning comparison across all 11 workloads.
+
+Paper columns per workload: functions migrated by SecureLease, static
+coverage (SecureLease as % of Glamdring), dynamic coverage (%), memory
+and EPC evicts for both schemes, and SecureLease's performance
+improvement over Glamdring (paper mean: 32.62 %, with SecureLease at
+41.82 % overhead over vanilla).
+
+Expected shape: SecureLease migrates less code at comparable dynamic
+coverage, stays inside the EPC (0 evicts) where Glamdring overflows,
+and wins on runtime — by a lot where Glamdring faults, marginally where
+both footprints are tiny (Blockchain, JSONParser).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.partition import (
+    GlamdringPartitioner,
+    PartitionEvaluator,
+    SecureLeasePartitioner,
+)
+from repro.workloads import all_workloads
+
+SCALE = 0.5
+
+
+def regenerate_table5():
+    evaluator = PartitionEvaluator()
+    rows = []
+    improvements = []
+    securelease_overheads = []
+    for name, workload in all_workloads().items():
+        run = workload.run_profiled(scale=SCALE)
+        secure_partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        glam_partition = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        secure = evaluator.evaluate(run.program, run.graph, run.profile,
+                                    secure_partition)
+        glam = evaluator.evaluate(run.program, run.graph, run.profile,
+                                  glam_partition)
+        improvement = secure.improvement_over(glam)
+        improvements.append(improvement)
+        securelease_overheads.append(secure.overhead_fraction)
+        rows.append([
+            name,
+            ", ".join(workload.key_function_names),
+            f"{glam.static_coverage_bytes / 1024:.1f}K",
+            f"{secure.static_coverage_bytes / 1024:.1f}K "
+            f"({secure.static_coverage_bytes / max(glam.static_coverage_bytes, 1):.1%})",
+            f"{glam.dynamic_coverage:.1%}",
+            f"{secure.dynamic_coverage:.1%}",
+            f"{glam.trusted_memory_bytes // (1 << 20)}MB ({glam.epc_faults})",
+            f"{secure.trusted_memory_bytes // (1 << 20)}MB ({secure.epc_faults})",
+            f"{improvement:+.1%}",
+        ])
+    mean_improvement = statistics.mean(improvements)
+    mean_overhead = statistics.mean(securelease_overheads)
+    return rows, mean_improvement, mean_overhead
+
+
+def test_table5_partitioning(benchmark, table_printer):
+    rows, mean_improvement, mean_overhead = benchmark(regenerate_table5)
+    table_printer(
+        "Table 5: partitioning — Glamdring (Glam.) vs SecureLease (SLease)",
+        ["Workload", "Key functions", "Glam stat", "SLease stat (rel)",
+         "Glam dyn", "SLease dyn", "Glam mem (evicts)",
+         "SLease mem (evicts)", "Perf impr"],
+        rows,
+    )
+    print(f"\nMean SecureLease improvement over Glamdring: "
+          f"{mean_improvement:.2%}  (paper: 32.62%)")
+    print(f"Mean SecureLease overhead over vanilla: "
+          f"{mean_overhead:.2%}  (paper: 41.82%)")
+    # Shape: a solid mean win, with every workload non-negative.
+    assert mean_improvement > 0.15
+    assert all(float(row[-1].strip("%+")) >= -1.0 for row in rows)
+    # SecureLease's overhead over vanilla lands in the paper's regime.
+    assert 0.05 < mean_overhead < 1.0
+
+
+def test_table5_flaas_partitioning_pathology(benchmark, table_printer):
+    """Section 3's motivating measurement: the F-LaaS out-degree
+    partitioning, run on real SGX, costs up to 2000x.  We reproduce the
+    ordering on the worst workloads."""
+    from repro.partition import FlaasPartitioner
+
+    def measure():
+        evaluator = PartitionEvaluator()
+        rows = []
+        for name in ("hashjoin", "keyvalue", "btree", "bfs"):
+            workload = all_workloads()[name]
+            run = workload.run_profiled(scale=SCALE)
+            flaas_partition = FlaasPartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            secure_partition = SecureLeasePartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            flaas = evaluator.evaluate(run.program, run.graph, run.profile,
+                                       flaas_partition)
+            secure = evaluator.evaluate(run.program, run.graph, run.profile,
+                                        secure_partition)
+            rows.append([name, f"{flaas.slowdown:,.0f}x",
+                         f"{secure.slowdown:.2f}x",
+                         f"{flaas.ecalls + flaas.ocalls:,}",
+                         f"{secure.ecalls + secure.ocalls:,}"])
+        return rows
+
+    rows = benchmark(measure)
+    table_printer(
+        "F-LaaS partitioning pathology (paper: up to 2000x)",
+        ["Workload", "F-LaaS slowdown", "SLease slowdown",
+         "F-LaaS crossings", "SLease crossings"],
+        rows,
+    )
+    worst = max(float(row[1].rstrip("x").replace(",", "")) for row in rows)
+    assert worst > 100  # orders of magnitude, as the paper reports

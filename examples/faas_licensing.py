@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""FaaS licensing: hundreds of license checks per second, served locally.
+
+The paper's Section 2.2 motivation: serverless platforms invoke
+thousands of pay-per-use functions, each of which must be license
+checked.  A remote attestation per check (3.5 s each) is hopeless; this
+example shows SL-Local absorbing a JSONParser burst with local
+attestations, the 10-token batching of Section 7.3, and the occasional
+adaptive renewal that tops up the local sub-GCL.
+
+Run with::
+
+    python examples/faas_licensing.py
+"""
+
+from repro import FlaasLeaseManager, SecureLeaseDeployment
+from repro.sgx import scaled_latency_costs
+from repro.net.network import NetworkConditions
+from repro.workloads import get_workload
+
+SCALE = 0.3
+#: Fixed latencies scaled 1e-3 to match the scaled-down workloads (see
+#: repro.sgx.costs.scaled_latency_costs).
+COSTS = scaled_latency_costs(1e-3)
+NETWORK = NetworkConditions(round_trip_seconds=50e-6)
+
+
+def run_once(tokens_per_attestation: int, flaas: bool = False):
+    deployment = SecureLeaseDeployment(
+        seed=99, tokens_per_attestation=tokens_per_attestation,
+        costs=COSTS, network=NETWORK,
+    )
+    workload = get_workload("jsonparser")
+    blob = deployment.issue_license(workload.license_id, total_units=10**7)
+    lease_manager = None
+    if flaas:
+        lease_manager = FlaasLeaseManager(
+            workload.name, deployment.machine, deployment.ras,
+            deployment.remote, tokens_per_attestation=tokens_per_attestation,
+        )
+    run = deployment.run_workload(workload, scale=SCALE, license_blob=blob,
+                                  lease_manager=lease_manager)
+    assert run.result["status"] == "OK"
+    return run, deployment
+
+
+def main() -> None:
+    print("JSONParser FaaS burst — one license check per parsed document\n")
+
+    run_1, _ = run_once(tokens_per_attestation=1)
+    run_10, _ = run_once(tokens_per_attestation=10)
+    flaas_run, _ = run_once(tokens_per_attestation=10, flaas=True)
+
+    rows = [
+        ("SecureLease (1 token/attestation)", run_1),
+        ("SecureLease (10 tokens/attestation)", run_10),
+        ("F-LaaS (remote attestation per batch)", flaas_run),
+    ]
+    header = (f"{'System':40s} {'checks':>7s} {'local RA':>9s} "
+              f"{'remote RA':>10s} {'virtual ms':>11s}")
+    print(header)
+    print("-" * len(header))
+    for label, run in rows:
+        print(f"{label:40s} {run.lease_checks:7d} "
+              f"{run.local_attestations:9d} {run.remote_attestations:10d} "
+              f"{run.cycles / 2.9e6:11.2f}")
+
+    speedup = (flaas_run.cycles - run_10.cycles) / flaas_run.cycles
+    batching = run_1.local_attestations / max(run_10.local_attestations, 1)
+    print(f"\nToken batching cut local attestations by {batching:.1f}x "
+          f"(paper: ~10x)")
+    print(f"SecureLease is {speedup:.1%} faster than the F-LaaS lease "
+          f"logic (paper average: 66.34%)")
+    print(f"Remote attestations: {run_10.remote_attestations} vs "
+          f"{flaas_run.remote_attestations} (paper: ~99% reduction)")
+
+
+if __name__ == "__main__":
+    main()

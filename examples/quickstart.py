@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: protect an application with SecureLease in ~30 lines.
+
+The flow mirrors the paper's Figure 3:
+
+1. the vendor provisions a license on SL-Remote;
+2. a client machine boots SL-Local (one remote attestation, ever);
+3. the application is partitioned — its authentication module and key
+   functions move into an enclave;
+4. every execution of a key function is authorized by a locally-cached
+   lease, no network required.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SecureLeaseDeployment
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    # A complete client machine: simulated SGX + SL-Local wired to
+    # SL-Remote over a simulated network.
+    deployment = SecureLeaseDeployment(seed=2024, tokens_per_attestation=10)
+
+    # The vendor issues a 100,000-execution license for the BFS add-on.
+    workload = get_workload("bfs")
+    license_blob = deployment.issue_license(workload.license_id,
+                                            total_units=100_000)
+    print(f"License file for {workload.license_id!r}: "
+          f"{license_blob[:24]!r}...")
+
+    # Partition and run the application end to end.  The SecureLease
+    # partitioner migrates the AM plus the traversal cluster; the key
+    # function update() will demand a live lease inside the enclave.
+    run = deployment.run_workload(workload, scale=0.3,
+                                  license_blob=license_blob)
+    print(f"\nResult: {run.result}")
+    print(f"Lease checks served: {run.lease_checks}")
+    print(f"Local attestations:  {run.local_attestations}")
+    print(f"Remote attestations: {run.remote_attestations} "
+          f"(the single init RA happened before this run)")
+    print(f"Virtual runtime:     {run.cycles / 2.9e9 * 1e3:.2f} ms "
+          f"at the paper's 2.9 GHz")
+
+    # A pirated copy (no valid license file) aborts before the
+    # protected region...
+    pirated = deployment.run_workload(workload, scale=0.3,
+                                      license_blob=b"KEYGEN-2024")
+    print(f"\nPirated copy: {pirated.result}")
+
+    # ...and even a CFB attacker who bends past the check is refused by
+    # the enclave — see examples/cfb_attack_demo.py.
+
+
+if __name__ == "__main__":
+    main()

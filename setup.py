@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Configuration lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` can fall back to the legacy editable-install path
+when PEP 660 editable wheels cannot be built offline.
+"""
+
+from setuptools import setup
+
+setup()

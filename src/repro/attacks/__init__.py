@@ -1,0 +1,45 @@
+"""Attack implementations: CFB attacks and replay attacks.
+
+These are the adversaries SecureLease is designed to defeat:
+
+* :mod:`repro.attacks.cfb` — control-flow bending on the virtual CPU
+  (Section 2.1.1): CFG-diff analysis to locate the authentication
+  branch, then branch flipping / function skipping with state fix-up.
+* :mod:`repro.attacks.replay` — the crash-replay attack on SL-Local
+  (Section 5.7): crash before a lease decrement persists, replay the
+  stale tree.
+
+The test suite drives both against unprotected and SecureLease-hardened
+configurations and asserts the paper's security claims.
+"""
+
+from repro.attacks.cfb import (
+    AttackOutcome,
+    BranchFlipAttack,
+    CfbAnalysis,
+    FunctionSkipAttack,
+    analyze_cfg_diff,
+    run_cfb_attack,
+)
+from repro.attacks.replay import ReplayAttacker, ReplayOutcome
+from repro.attacks.unsupervised import (
+    AuthGuess,
+    StateFixupAttack,
+    collect_traces,
+    guess_auth_function,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "AuthGuess",
+    "BranchFlipAttack",
+    "CfbAnalysis",
+    "FunctionSkipAttack",
+    "ReplayAttacker",
+    "ReplayOutcome",
+    "StateFixupAttack",
+    "analyze_cfg_diff",
+    "collect_traces",
+    "guess_auth_function",
+    "run_cfb_attack",
+]

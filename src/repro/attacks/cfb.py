@@ -1,0 +1,209 @@
+"""Control-flow bending attacks (Sections 2.1.1 and 6.1).
+
+The attacker runs the victim on a virtual CPU she fully controls.  The
+pipeline mirrors the paper's description:
+
+1. **Analysis** (:class:`CfbAnalysis`) — run the binary twice, once
+   with a valid license and once without, and diff the branch traces.
+   Branches whose outcome differs between the runs are authentication
+   candidates (the supervised approach of F-LaaS); the functions whose
+   *call sets* differ locate the authentication function.
+2. **Bending** — re-run without a license while either flipping the
+   identified branch (:class:`BranchFlipAttack`) or skipping the
+   authentication function and forging its return value
+   (:class:`FunctionSkipAttack`).
+
+Both attacks succeed against an unpartitioned binary and fail against a
+SecureLease partition: the flipped branch still executes, but the key
+functions inside the enclave demand a lease the attacker cannot
+produce, so execution dies with :class:`~repro.vcpu.machine.ExecutionDenied`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.clock import Clock
+from repro.vcpu.machine import ExecutionDenied, Placement, VirtualCpu
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile, Tracer
+
+
+@dataclass
+class CfbAnalysis:
+    """Result of the supervised CFG-diff analysis."""
+
+    #: (function, branch label) pairs whose outcome differed.
+    divergent_branches: List[Tuple[str, str]]
+    #: Functions called in the licensed run but not the unlicensed one.
+    gated_functions: Set[str]
+    #: Best guess at the authentication function.
+    auth_function: Optional[str]
+
+    @property
+    def found_target(self) -> bool:
+        return bool(self.divergent_branches) or self.auth_function is not None
+
+
+def analyze_cfg_diff(program: Program, valid_blob: bytes,
+                     invalid_blob: bytes) -> CfbAnalysis:
+    """Run licensed vs unlicensed and diff the traces (supervised F-LaaS).
+
+    Works on the *unpartitioned* binary — exactly what an attacker who
+    just downloaded the software can do on her own virtual CPU.
+    """
+    licensed = _trace(program, valid_blob)
+    unlicensed = _trace(program, invalid_blob)
+
+    divergent: List[Tuple[str, str]] = []
+    seen = set()
+    for (fn, label, outcome), count in licensed.branch_counts.items():
+        other = unlicensed.branch_counts.get((fn, label, not outcome), 0)
+        if other > 0 and (fn, label) not in seen:
+            seen.add((fn, label))
+            divergent.append((fn, label))
+
+    licensed_calls = set(licensed.call_counts)
+    unlicensed_calls = set(unlicensed.call_counts)
+    gated = licensed_calls - unlicensed_calls
+
+    # The auth function is the last function whose *return value* the
+    # divergent branch consumes; heuristically, the callee invoked just
+    # before the divergent branch in the same caller.  We approximate
+    # with the callee both runs share whose own callees differ, falling
+    # back to the divergent branch's enclosing function's last callee.
+    auth_function = None
+    for fn, _label in divergent:
+        callees = [
+            callee for (caller, callee) in licensed.edge_counts if caller == fn
+        ]
+        gated_callees = [c for c in callees if c not in gated]
+        if gated_callees:
+            auth_function = gated_callees[-1]
+            break
+    return CfbAnalysis(
+        divergent_branches=divergent,
+        gated_functions=gated,
+        auth_function=auth_function,
+    )
+
+
+def _trace(program: Program, blob: bytes) -> CallProfile:
+    cpu = VirtualCpu(program, Clock())
+    tracer = Tracer(program)
+    cpu.add_observer(tracer)
+    cpu.run(blob)
+    return tracer.profile()
+
+
+@dataclass
+class AttackOutcome:
+    """What the attacker got out of a bent execution."""
+
+    attack: str
+    completed: bool
+    denied_by_enclave: bool
+    result: object
+    flipped_branches: int = 0
+    skipped_calls: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """The attack counts as a success only if the protected logic
+        actually ran to completion (status OK) without a license."""
+        if not self.completed or self.denied_by_enclave:
+            return False
+        return isinstance(self.result, dict) and self.result.get("status") == "OK"
+
+
+class BranchFlipAttack:
+    """Force identified branches to the licensed outcome.
+
+    Mirrors forcing ``jne`` not to take its branch in the MySQL example
+    (Figure 2): the condition still evaluates false, but the attacker's
+    virtual CPU reports the licensed direction.
+    """
+
+    name = "branch-flip"
+
+    def __init__(self, targets: List[Tuple[str, str]],
+                 forced_outcome: bool = True) -> None:
+        self.targets = set(targets)
+        self.forced_outcome = forced_outcome
+        self.flips = 0
+
+    def install(self, cpu: VirtualCpu) -> None:
+        def hook(function: str, label: str, outcome: bool) -> bool:
+            if (function, label) in self.targets and outcome != self.forced_outcome:
+                self.flips += 1
+                return self.forced_outcome
+            return outcome
+
+        cpu.add_branch_hook(hook)
+
+
+class FunctionSkipAttack:
+    """Skip a function entirely, forging its return value.
+
+    The "skip the function altogether ... and change the state of the
+    program to reflect that the license check has passed" variant.
+    """
+
+    name = "function-skip"
+
+    def __init__(self, target: str, forged_return: object = True) -> None:
+        self.target = target
+        self.forged_return = forged_return
+        self.skips = 0
+
+    def install(self, cpu: VirtualCpu) -> None:
+        def hook(caller: Optional[str], callee: str):
+            if callee == self.target:
+                self.skips += 1
+                return True, self.forged_return
+            return False, None
+
+        cpu.add_call_hook(hook)
+
+
+def run_cfb_attack(
+    program: Program,
+    attack,
+    invalid_blob: bytes,
+    placement: Optional[Dict[str, Placement]] = None,
+    enclave=None,
+    lease_checker: Optional[Callable[[str], bool]] = None,
+) -> AttackOutcome:
+    """Execute the program under attack, without a valid license.
+
+    ``placement``/``enclave``/``lease_checker`` configure the deployment
+    being attacked: omit them for a plain unprotected binary, or pass a
+    SecureLease partition to watch the attack die inside the enclave.
+    """
+    cpu = VirtualCpu(
+        program,
+        Clock(),
+        placement=placement,
+        enclave=enclave,
+        lease_checker=lease_checker,
+    )
+    attack.install(cpu)
+    tracer = Tracer(program)
+    cpu.add_observer(tracer)
+    denied = False
+    completed = False
+    result = None
+    try:
+        result = cpu.run(invalid_blob)
+        completed = True
+    except ExecutionDenied:
+        denied = True
+    return AttackOutcome(
+        attack=attack.name,
+        completed=completed,
+        denied_by_enclave=denied,
+        result=result,
+        flipped_branches=getattr(attack, "flips", 0),
+        skipped_calls=getattr(attack, "skips", 0),
+    )

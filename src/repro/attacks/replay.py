@@ -1,0 +1,141 @@
+"""Replay attacks on SL-Local (Sections 5.7 and 6.2).
+
+Two attack variants against the lease store:
+
+* **Crash-replay** — obtain a token, crash SL-Local before the
+  decrement persists, and re-initialise hoping the server restores the
+  undecremented lease.  SecureLease's pessimistic rule defeats this:
+  the crashed instance's outstanding units are written off, so the
+  replay nets the attacker *fewer* executions, not more.
+
+* **Stale-image replay** — capture the sealed shutdown image, let the
+  legitimate instance run the counter down, then restore the old image.
+  Validation fails because the escrowed old-backup key no longer
+  matches the stale root's sealing key.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.protocol import AttestRequest, Status
+from repro.core.sl_local import SlLocal
+from repro.core.sl_manager import SlManager
+from repro.crypto.sealing import SealedBlob, TamperedSealError
+
+
+@dataclass
+class ReplayOutcome:
+    """Book-keeping for one replay attempt."""
+
+    executions_obtained: int
+    executions_entitled: int
+    replay_rejected: bool
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """Did the attacker run more than the license allows?"""
+        return self.executions_obtained > self.executions_entitled
+
+
+class ReplayAttacker:
+    """Drives crash-replay loops against an SL-Local deployment."""
+
+    def __init__(self, sl_local: SlLocal, manager: SlManager,
+                 license_id: str) -> None:
+        self.sl_local = sl_local
+        self.manager = manager
+        self.license_id = license_id
+
+    def crash_replay_loop(self, rounds: int,
+                          executions_per_round: int = 1) -> ReplayOutcome:
+        """Run, crash, re-init, repeat — counting total executions.
+
+        Each round: perform ``executions_per_round`` license checks,
+        then kill SL-Local without a graceful shutdown and bring it
+        back up.  Under the pessimistic policy, every crash forfeits
+        the *entire* outstanding sub-GCL, so the total across rounds is
+        bounded by the license's total pool — replay gains nothing.
+        """
+        total = 0
+        entitled = self._entitlement()
+        for _ in range(rounds):
+            for _ in range(executions_per_round):
+                if self.manager.check(self.license_id):
+                    total += 1
+            # Crash: no commit, no escrow.
+            self.sl_local.crash()
+            self.sl_local.reincarnate()
+            try:
+                self.sl_local.init()
+            except Exception:
+                break
+            # The manager must re-attest against the new instance; its
+            # cached tokens died with the enclave.
+            self.manager.sl_local = self.sl_local
+            self.manager._tokens.clear()
+        return ReplayOutcome(
+            executions_obtained=total,
+            executions_entitled=entitled,
+            replay_rejected=False,
+        )
+
+    def stale_image_replay(self) -> ReplayOutcome:
+        """Capture a sealed image, spend the lease, replay the image.
+
+        Returns ``replay_rejected=True`` when the restore path refuses
+        the stale image (the expected SecureLease behaviour).
+        """
+        entitled = self._entitlement()
+        # Step 1: run once and shut down gracefully, capturing the image.
+        self.manager.check(self.license_id)
+        self.sl_local.shutdown()
+        stale_image: Optional[SealedBlob] = copy.deepcopy(
+            self.sl_local.persisted_image
+        )
+
+        # Step 2: legitimate restart; spend more executions; shut down.
+        self.sl_local.reincarnate()
+        self.sl_local.init()
+        self.manager.sl_local = self.sl_local
+        self.manager._tokens.clear()
+        self.manager.check(self.license_id)
+        self.sl_local.shutdown()
+
+        # Step 3: replay — swap in the stale image and restart.  The
+        # OBK escrowed at step 2's shutdown seals the *new* root; the
+        # stale image was sealed under the step-1 key.
+        self.sl_local.persisted_image = stale_image
+        self.sl_local.reincarnate()
+        self.sl_local.init()
+        self.manager.sl_local = self.sl_local
+        self.manager._tokens.clear()
+
+        # If the replay had worked, the restored tree would hold the
+        # *pre-spend* counter.  Because validation fails, SL-Local comes
+        # up empty and must renew from the server, which still has the
+        # authoritative (decremented) ledger.
+        rejected = len(self.sl_local.tree) == 0
+        return ReplayOutcome(
+            executions_obtained=0,
+            executions_entitled=entitled,
+            replay_rejected=rejected,
+        )
+
+    def _entitlement(self) -> int:
+        """Total executions the license legitimately allows.
+
+        Derived from the server-side ledger of the license: pool plus
+        anything already outstanding for this client.
+        """
+        # The attacker knows her own license terms; in the simulation we
+        # read them from the remote's ledger via the endpoint handler
+        # table (test-only introspection, not a protocol capability).
+        for handler in self.sl_local.remote._handlers.values():
+            owner = getattr(handler, "__self__", None)
+            if owner is not None and hasattr(owner, "ledger"):
+                ledger = owner.ledger(self.license_id)
+                return ledger.total_gcl
+        return 0

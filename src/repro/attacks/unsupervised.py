@@ -1,0 +1,204 @@
+"""Unsupervised authentication-function discovery.
+
+The supervised CFG-diff analysis (:mod:`repro.attacks.cfb`) needs one
+licensed execution to diff against — which a pirate may not have.  The
+paper's alternative (Section 2.1.1, citing F-LaaS): *guess* the
+authentication function from multiple execution traces alone.
+
+The heuristics encode what makes license checks structurally
+recognisable, with no licensed run required:
+
+* invoked exactly once per execution, early (shallow call depth);
+* a small dynamic footprint (validation is cheap compared to work);
+* the execution terminates shortly after it returns (on unlicensed
+  inputs, everything after the check is the abort path);
+* its subtree is input-independent (hash/compare logic does the same
+  amount of work for any wrong license).
+
+Each candidate gets a score; the attacker then aims a function-skip (or
+state-fixup) attack at the top guesses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.clock import Clock
+from repro.vcpu.machine import TraceObserver, VirtualCpu
+from repro.vcpu.program import Program
+
+
+@dataclass
+class OrderedTrace:
+    """A single execution's ordered event stream."""
+
+    #: (index, caller, callee) in call order.
+    calls: List[Tuple[int, Optional[str], str]]
+    #: function -> dynamic instructions.
+    instructions: Dict[str, int]
+    #: call depth at which each function was first entered.
+    first_depth: Dict[str, int]
+    total_events: int
+
+
+class _OrderedTracer(TraceObserver):
+    """Observer recording event order and call depth."""
+
+    def __init__(self) -> None:
+        self.calls: List[Tuple[int, Optional[str], str]] = []
+        self.instructions: Dict[str, int] = defaultdict(int)
+        self.first_depth: Dict[str, int] = {}
+        self._depth = 0
+        self._index = 0
+
+    def on_call(self, caller: Optional[str], callee: str) -> None:
+        self._index += 1
+        self.calls.append((self._index, caller, callee))
+        if callee not in self.first_depth:
+            self.first_depth[callee] = self._depth
+        self._depth += 1
+
+    def on_compute(self, function: Optional[str], instructions: int) -> None:
+        if function is not None:
+            self.instructions[function] += instructions
+
+    def on_branch(self, function, label, outcome) -> None:
+        self._index += 1
+
+    def trace(self) -> OrderedTrace:
+        # Depth bookkeeping above never decrements (we have no return
+        # event), so first_depth is an upper bound — fine for scoring.
+        return OrderedTrace(
+            calls=list(self.calls),
+            instructions=dict(self.instructions),
+            first_depth=dict(self.first_depth),
+            total_events=self._index,
+        )
+
+
+def collect_traces(program_factory, blobs: Sequence[bytes]) -> List[OrderedTrace]:
+    """Run the program once per (invalid) blob, recording ordered traces.
+
+    ``program_factory`` builds a fresh program per run (bodies may hold
+    state); the attacker can of course restart her own binary.
+    """
+    traces = []
+    for blob in blobs:
+        program = program_factory()
+        cpu = VirtualCpu(program, Clock())
+        tracer = _OrderedTracer()
+        cpu.add_observer(tracer)
+        cpu.run(blob)
+        traces.append(tracer.trace())
+    return traces
+
+
+@dataclass
+class AuthGuess:
+    """One candidate authentication function with its evidence."""
+
+    function: str
+    score: float
+    called_once: bool
+    tail_position: float  # 1.0 == last call of the trace
+    footprint_share: float
+    depth: int
+
+
+def guess_auth_function(program: Program,
+                        traces: Sequence[OrderedTrace]) -> List[AuthGuess]:
+    """Rank candidate authentication functions from unlicensed traces.
+
+    Returns guesses best-first.  The entry function is excluded (it is
+    trivially called once and last).
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+
+    candidates: Dict[str, AuthGuess] = {}
+    for name in program.functions:
+        if name == program.entry:
+            continue
+        called_once = all(
+            sum(1 for _, _, callee in t.calls if callee == name) == 1
+            for t in traces
+        )
+        if not called_once:
+            continue
+        # Position of the call in the event stream (late == near abort).
+        positions = []
+        footprints = []
+        depths = []
+        stable = True
+        reference_work = None
+        for t in traces:
+            index = next(i for i, _, callee in t.calls if callee == name)
+            positions.append(index / max(t.total_events, 1))
+            total = max(sum(t.instructions.values()), 1)
+            work = t.instructions.get(name, 0)
+            footprints.append(work / total)
+            depths.append(t.first_depth.get(name, 99))
+            if reference_work is None:
+                reference_work = work
+            elif work != reference_work:
+                stable = False
+
+        tail_position = sum(positions) / len(positions)
+        footprint = sum(footprints) / len(footprints)
+        depth = min(depths)
+
+        score = 0.0
+        score += 2.0 * tail_position          # near the abort
+        score += 1.0 if footprint < 0.05 else 0.0
+        score += 1.0 if depth <= 2 else 0.0   # invoked near the driver
+        score += 0.5 if stable else 0.0       # input-independent work
+        candidates[name] = AuthGuess(
+            function=name,
+            score=score,
+            called_once=True,
+            tail_position=tail_position,
+            footprint_share=footprint,
+            depth=depth,
+        )
+
+    return sorted(candidates.values(), key=lambda g: -g.score)
+
+
+class StateFixupAttack:
+    """Skip the auth subtree *and* fix the consuming state.
+
+    The paper's strongest software attack: "skip a few related
+    functions and possibly change the state of the program to reflect
+    the fact that the license check has successfully passed."  We skip
+    every function in ``targets`` (forging truthy returns) and flip any
+    branch whose label suggests it consumes the outcome — on a virtual
+    CPU the attacker can do both at once.
+    """
+
+    name = "state-fixup"
+
+    def __init__(self, targets: Sequence[str],
+                 forged_return: object = True) -> None:
+        self.targets = set(targets)
+        self.forged_return = forged_return
+        self.skips = 0
+        self.flips = 0
+
+    def install(self, cpu: VirtualCpu) -> None:
+        def call_hook(caller: Optional[str], callee: str):
+            if callee in self.targets:
+                self.skips += 1
+                return True, self.forged_return
+            return False, None
+
+        def branch_hook(function: str, label: str, outcome: bool) -> bool:
+            # Fix up any unlicensed-looking decision to the happy path.
+            if not outcome:
+                self.flips += 1
+                return True
+            return outcome
+
+        cpu.add_call_hook(call_hook)
+        cpu.add_branch_hook(branch_hook)

@@ -1,0 +1,37 @@
+"""Call-graph analysis used by the partitioners.
+
+The paper observes that modern applications are highly modular: their
+submodules show up as dense clusters in the call graph, with far more
+intra-cluster than inter-cluster calls (Section 4.2).  The SecureLease
+partitioner runs K-means over the CFG to recover those clusters and then
+migrates *whole* clusters into the enclave.
+
+* :mod:`repro.callgraph.cfg` — weighted directed call graph built from a
+  program and a dynamic profile.
+* :mod:`repro.callgraph.clustering` — spectral embedding plus a
+  from-scratch K-means (Kanungo et al. style Lloyd iterations).
+* :mod:`repro.callgraph.metrics` — modularity, static/dynamic coverage.
+"""
+
+from repro.callgraph.cfg import CallGraph
+from repro.callgraph.clustering import Clustering, kmeans, spectral_embedding
+from repro.callgraph.synthesis import SynthesisSpec, synthesize_program
+from repro.callgraph.metrics import (
+    cut_calls,
+    dynamic_coverage,
+    modularity,
+    static_coverage_bytes,
+)
+
+__all__ = [
+    "CallGraph",
+    "Clustering",
+    "cut_calls",
+    "dynamic_coverage",
+    "kmeans",
+    "modularity",
+    "spectral_embedding",
+    "static_coverage_bytes",
+    "SynthesisSpec",
+    "synthesize_program",
+]

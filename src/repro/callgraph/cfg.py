@@ -1,0 +1,163 @@
+"""Weighted directed call graph.
+
+Nodes are functions; a directed edge ``u -> v`` with weight ``w`` means
+``u`` called ``v`` ``w`` times in the profiled executions.  Each node
+carries the static attributes the partitioners need (code size, memory
+footprint, module, annotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """Static per-function attributes mirrored onto graph nodes."""
+
+    name: str
+    code_bytes: int
+    mem_bytes: int
+    module: str
+    is_key: bool
+    is_auth: bool
+    sensitive: bool
+
+
+class CallGraph:
+    """A call graph combining static structure with dynamic weights."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile(cls, program: Program, profile: CallProfile) -> "CallGraph":
+        """Build the CFG the paper's pipeline consumes.
+
+        Every program function appears as a node (statically reachable
+        code matters for static coverage even if a given input never
+        exercised it); dynamic edges come from the profile.
+        """
+        graph = cls()
+        for spec in program.functions.values():
+            graph.add_node(
+                NodeInfo(
+                    name=spec.name,
+                    code_bytes=spec.code_bytes,
+                    mem_bytes=spec.touched_bytes,
+                    module=spec.module,
+                    is_key=spec.is_key,
+                    is_auth=spec.is_auth,
+                    sensitive=spec.sensitive,
+                )
+            )
+        for (caller, callee), count in profile.edge_counts.items():
+            if caller is None:
+                continue
+            graph.add_edge(caller, callee, count)
+        return graph
+
+    def add_node(self, info: NodeInfo) -> None:
+        self._graph.add_node(info.name, info=info)
+
+    def add_edge(self, caller: str, callee: str, calls: int) -> None:
+        if caller not in self._graph or callee not in self._graph:
+            raise KeyError(f"edge {caller!r}->{callee!r} references unknown node")
+        if self._graph.has_edge(caller, callee):
+            self._graph[caller][callee]["calls"] += calls
+        else:
+            self._graph.add_edge(caller, callee, calls=calls)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._graph.nodes)
+
+    def info(self, name: str) -> NodeInfo:
+        return self._graph.nodes[name]["info"]
+
+    def edges(self) -> Iterable[Tuple[str, str, int]]:
+        for u, v, data in self._graph.edges(data=True):
+            yield u, v, data["calls"]
+
+    def calls_between(self, caller: str, callee: str) -> int:
+        if self._graph.has_edge(caller, callee):
+            return self._graph[caller][callee]["calls"]
+        return 0
+
+    def out_degree(self, name: str) -> int:
+        """Distinct callees (the F-LaaS migration metric)."""
+        return self._graph.out_degree(name)
+
+    def weighted_out_calls(self, name: str) -> int:
+        return sum(d["calls"] for _, _, d in self._graph.out_edges(name, data=True))
+
+    def weighted_in_calls(self, name: str) -> int:
+        return sum(d["calls"] for _, _, d in self._graph.in_edges(name, data=True))
+
+    def neighbors_undirected(self, name: str) -> Set[str]:
+        return set(self._graph.successors(name)) | set(self._graph.predecessors(name))
+
+    def total_call_weight(self) -> int:
+        return sum(d["calls"] for _, _, d in self._graph.edges(data=True))
+
+    def undirected_weight(self, u: str, v: str) -> int:
+        """Symmetric call volume between two functions."""
+        return self.calls_between(u, v) + self.calls_between(v, u)
+
+    def subgraph_weight(self, members: Set[str]) -> int:
+        """Total call volume strictly inside ``members``."""
+        return sum(
+            calls for u, v, calls in self.edges() if u in members and v in members
+        )
+
+    def cut_weight(self, members: Set[str]) -> int:
+        """Call volume crossing the boundary of ``members`` (both ways)."""
+        return sum(
+            calls
+            for u, v, calls in self.edges()
+            if (u in members) != (v in members)
+        )
+
+    def code_bytes(self, members: Optional[Set[str]] = None) -> int:
+        names = members if members is not None else set(self._graph.nodes)
+        return sum(self.info(n).code_bytes for n in names if n in self._graph)
+
+    def mem_bytes(self, members: Optional[Set[str]] = None) -> int:
+        names = members if members is not None else set(self._graph.nodes)
+        return sum(self.info(n).mem_bytes for n in names if n in self._graph)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy for external analyses/plotting."""
+        return self._graph.copy()
+
+    def undirected_adjacency(self) -> Tuple[List[str], "list[list[float]]"]:
+        """(node order, symmetric adjacency matrix of call weights)."""
+        order = self.nodes
+        index = {name: i for i, name in enumerate(order)}
+        n = len(order)
+        matrix = [[0.0] * n for _ in range(n)]
+        for u, v, calls in self.edges():
+            i, j = index[u], index[v]
+            if i == j:
+                continue
+            matrix[i][j] += calls
+            matrix[j][i] += calls
+        return order, matrix
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph

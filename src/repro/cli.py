@@ -1,0 +1,221 @@
+"""Command-line interface for the SecureLease reproduction.
+
+Gives the repository a binary-like entry point::
+
+    python -m repro.cli run bfs                 # run one workload end to end
+    python -m repro.cli partition hashjoin      # show a partitioning decision
+    python -m repro.cli attack keyvalue         # CFB attack + defence story
+    python -m repro.cli fleet --nodes 4         # multi-node lease distribution
+    python -m repro.cli workloads               # list the Table 4 workloads
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.attacks.cfb import BranchFlipAttack, analyze_cfg_diff, run_cfb_attack
+from repro.cluster import Cluster, NodeSpec
+from repro.deployment import SecureLeaseDeployment
+from repro.partition import (
+    GlamdringPartitioner,
+    PartitionEvaluator,
+    SecureLeasePartitioner,
+)
+from repro.sgx import SgxMachine
+from repro.workloads import WORKLOAD_CLASSES, get_workload
+
+
+def _print_kv(pairs) -> None:
+    width = max(len(key) for key, _ in pairs)
+    for key, value in pairs:
+        print(f"  {key.ljust(width)}  {value}")
+
+
+def cmd_workloads(_args) -> int:
+    print("Table 4 workloads:")
+    for cls in WORKLOAD_CLASSES:
+        billing = "per-call" if cls.per_call_billing else "per-run"
+        print(f"  {cls.name:12s} license={cls.license_id:24s} "
+              f"keys={', '.join(cls.key_function_names):30s} [{billing}]")
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = get_workload(args.workload, seed=args.seed)
+    deployment = SecureLeaseDeployment(seed=args.seed,
+                                       tokens_per_attestation=args.tokens)
+    blob = deployment.issue_license(workload.license_id,
+                                    total_units=args.units)
+    run = deployment.run_workload(workload, scale=args.scale,
+                                  license_blob=blob)
+    print(f"Workload {workload.name!r} under SecureLease:")
+    _print_kv([
+        ("result", run.result),
+        ("lease checks", run.lease_checks),
+        ("local attestations", run.local_attestations),
+        ("remote attestations", run.remote_attestations),
+        ("virtual time", f"{run.cycles / 2.9e9 * 1e3:.3f} ms @ 2.9 GHz"),
+    ])
+    return 0 if run.result.get("status") == "OK" else 1
+
+
+def cmd_partition(args) -> int:
+    workload = get_workload(args.workload, seed=args.seed)
+    run = workload.run_profiled(scale=args.scale)
+    evaluator = PartitionEvaluator()
+    print(f"Partitioning {workload.name!r} "
+          f"({len(run.program.functions)} functions, "
+          f"{run.profile.total_instructions:,} dynamic instructions):\n")
+    for partitioner in (SecureLeasePartitioner(), GlamdringPartitioner()):
+        partition = partitioner.partition(run.program, run.graph, run.profile)
+        report = evaluator.evaluate(run.program, run.graph, run.profile,
+                                    partition)
+        print(f"[{partitioner.name}]")
+        _print_kv([
+            ("migrated", ", ".join(sorted(partition.trusted))),
+            ("static coverage", f"{report.static_coverage_bytes / 1024:.1f} KB "
+             f"({report.static_coverage_fraction:.1%} of the binary)"),
+            ("dynamic coverage", f"{report.dynamic_coverage:.1%}"),
+            ("enclave memory", f"{report.trusted_memory_bytes / (1 << 20):.1f} MB"),
+            ("EPC faults", report.epc_faults),
+            ("boundary calls", report.ecalls + report.ocalls),
+            ("slowdown vs vanilla", f"{report.slowdown:.2f}x"),
+        ])
+        print()
+    return 0
+
+
+def cmd_attack(args) -> int:
+    workload = get_workload(args.workload, seed=args.seed)
+    program = workload.build_program(scale=args.scale)
+    analysis = analyze_cfg_diff(program, workload.valid_license_blob(),
+                                b"pirated")
+    print(f"CFG-diff analysis of {workload.name!r}: "
+          f"auth branch candidates = {analysis.divergent_branches}")
+
+    unprotected = workload.build_program(scale=args.scale)
+    outcome = run_cfb_attack(
+        unprotected, BranchFlipAttack(analysis.divergent_branches), b"pirated"
+    )
+    print(f"\nUnprotected binary: attack succeeded = {outcome.succeeded}")
+
+    profiled = workload.run_profiled(scale=args.scale)
+    partition = SecureLeasePartitioner().partition(
+        profiled.program, profiled.graph, profiled.profile
+    )
+    machine = SgxMachine("victim")
+    hardened = workload.build_program(scale=args.scale)
+    defended = run_cfb_attack(
+        hardened, BranchFlipAttack(analysis.divergent_branches), b"pirated",
+        placement=partition.placement(hardened),
+        enclave=machine.create_enclave("hardened"),
+        lease_checker=lambda lic: False,
+    )
+    print(f"SecureLease binary: attack succeeded = {defended.succeeded} "
+          f"(denied by enclave = {defended.denied_by_enclave})")
+    return 0 if not defended.succeeded else 1
+
+
+def cmd_fleet(args) -> int:
+    cluster = Cluster(seed=args.seed)
+    cluster.issue_license("lic-fleet", args.units)
+    healths = [1.0, 0.95, 0.8, 0.6]
+    for index in range(args.nodes):
+        cluster.add_node(NodeSpec(
+            f"node-{index}",
+            health=healths[index % len(healths)],
+            network_reliability=1.0 if index % 2 == 0 else 0.6,
+        ))
+    served = cluster.run_checks("lic-fleet", checks_per_node=args.checks)
+    print(f"Fleet of {args.nodes} nodes sharing a "
+          f"{args.units:,}-unit license:\n")
+    outstanding = cluster.outstanding("lic-fleet")
+    for name in served:
+        node = cluster.nodes[name]
+        print(f"  {name:8s} served={served[name]:5d} "
+              f"outstanding={outstanding[name]:6d} "
+              f"(health={node.spec.health}, "
+              f"net={node.spec.network_reliability})")
+    ledger = cluster.remote.ledger("lic-fleet")
+    print(f"\n  pool available: {ledger.available:,}  "
+          f"lost: {ledger.lost_units:,}  "
+          f"expected loss: {cluster.expected_loss('lic-fleet'):.0f}")
+    print(f"  pool conserved: "
+          f"{cluster.pool_conserved('lic-fleet', args.units)}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(sorted(EXPERIMENTS))}")
+        return 2
+    table = runner()
+    print(table.to_markdown() if args.markdown else table.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="SecureLease reproduction command-line interface",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list the Table 4 workloads")
+
+    run_parser = subparsers.add_parser("run", help="run a workload end to end")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--scale", type=float, default=0.3)
+    run_parser.add_argument("--units", type=int, default=1_000_000)
+    run_parser.add_argument("--tokens", type=int, default=10)
+
+    partition_parser = subparsers.add_parser(
+        "partition", help="show partitioning decisions for a workload")
+    partition_parser.add_argument("workload")
+    partition_parser.add_argument("--scale", type=float, default=0.3)
+
+    attack_parser = subparsers.add_parser(
+        "attack", help="run the CFB attack/defence story on a workload")
+    attack_parser.add_argument("workload")
+    attack_parser.add_argument("--scale", type=float, default=0.2)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate a paper table/figure")
+    report_parser.add_argument("experiment")
+    report_parser.add_argument("--markdown", action="store_true")
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="multi-node lease distribution demo")
+    fleet_parser.add_argument("--nodes", type=int, default=4)
+    fleet_parser.add_argument("--units", type=int, default=20_000)
+    fleet_parser.add_argument("--checks", type=int, default=100)
+
+    return parser
+
+
+COMMANDS = {
+    "workloads": cmd_workloads,
+    "report": cmd_report,
+    "run": cmd_run,
+    "partition": cmd_partition,
+    "attack": cmd_attack,
+    "fleet": cmd_fleet,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

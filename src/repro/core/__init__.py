@@ -1,0 +1,98 @@
+"""SecureLease core: leases, the lease tree, and the three SL components.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.gcl` — generalized count-based leases modelling all
+  four license types (Section 4.3).
+* :mod:`repro.core.lease_tree` — the 4-level, 256-fanout lease tree
+  with seal-and-evict paging and crash-safe shutdown (Section 5.2.2).
+* :mod:`repro.core.lease_store` — the Table 1 storage alternatives.
+* :mod:`repro.core.renewal` — adaptive GCL renewal (Algorithm 1).
+* :mod:`repro.core.sl_remote` / :mod:`repro.core.sl_local` /
+  :mod:`repro.core.sl_manager` — the three-tier lease-management system
+  (Figure 3).
+* :mod:`repro.core.tokens` — signed tokens of execution, with the
+  10-tokens-per-attestation batching optimisation of Section 7.3.
+"""
+
+from repro.core.gcl import Gcl, LeaseExpired, LeaseKind
+from repro.core.lease_tree import (
+    ENTRIES_PER_NODE,
+    LEASE_SIZE_BYTES,
+    LEVELS,
+    LeaseNotFound,
+    LeaseRecord,
+    LeaseTree,
+    LeaseTreeError,
+    NODE_SIZE_BYTES,
+    split_lease_id,
+)
+from repro.core.lease_store import (
+    ArrayLeaseStore,
+    LeaseStore,
+    MurmurLeaseStore,
+    Sha256LeaseStore,
+    TreeLeaseStore,
+)
+from repro.core.renewal import (
+    LicenseLedger,
+    NodeCondition,
+    RenewalDecision,
+    RenewalPolicy,
+    renew_lease,
+)
+from repro.core.protocol import (
+    AttestRequest,
+    AttestResponse,
+    InitRequest,
+    InitResponse,
+    RenewRequest,
+    RenewResponse,
+    ShutdownNotice,
+    Status,
+)
+from repro.core.sl_local import SlLocal, SlLocalError
+from repro.core.sl_manager import SlManager
+from repro.core.sl_remote import LicenseDefinition, LicenseUnknown, SlRemote
+from repro.core.tokens import ExecutionToken, TokenError
+
+__all__ = [
+    "ArrayLeaseStore",
+    "AttestRequest",
+    "AttestResponse",
+    "ENTRIES_PER_NODE",
+    "ExecutionToken",
+    "Gcl",
+    "InitRequest",
+    "InitResponse",
+    "LEASE_SIZE_BYTES",
+    "LEVELS",
+    "LeaseExpired",
+    "LeaseKind",
+    "LeaseNotFound",
+    "LeaseRecord",
+    "LeaseStore",
+    "LeaseTree",
+    "LeaseTreeError",
+    "LicenseDefinition",
+    "LicenseLedger",
+    "LicenseUnknown",
+    "MurmurLeaseStore",
+    "NODE_SIZE_BYTES",
+    "NodeCondition",
+    "RenewRequest",
+    "RenewResponse",
+    "RenewalDecision",
+    "RenewalPolicy",
+    "Sha256LeaseStore",
+    "ShutdownNotice",
+    "SlLocal",
+    "SlLocalError",
+    "SlManager",
+    "SlRemote",
+    "Status",
+    "TokenError",
+    "TreeLeaseStore",
+    "renew_lease",
+    "split_lease_id",
+]

@@ -1,0 +1,241 @@
+"""Generalized count-based leases (GCLs).
+
+Section 4.3's key abstraction: *every* license type reduces to a counter
+that is decremented when some condition is fulfilled, and the lease
+expires when the counter reaches zero.
+
+* A **count-based** lease decrements once per execution.
+* A **time-based** lease discretises calendar time (e.g. 1-day ticks)
+  and decrements per elapsed tick — including ticks that passed while
+  the system was off, using the stored last-measurement timestamp.
+* An **execution-time** lease decrements per unit of accumulated
+  execution time.
+* A **perpetual** lease has a vacuous decrement (a binary
+  activated/revoked flag).
+
+Revocation is uniform: set the counter to zero.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class LeaseKind(enum.Enum):
+    """The four license types of Section 4.3, all mapped onto a GCL."""
+
+    COUNT = "count"
+    TIME = "time"
+    EXECUTION_TIME = "execution_time"
+    PERPETUAL = "perpetual"
+
+
+class LeaseExpired(Exception):
+    """Raised when consuming from an exhausted or revoked lease."""
+
+
+#: Serialized GCL payload layout (fits in the paper's 300 B lease data):
+#: kind(1) counter(8) tick_ms(8) last_seen_ms(8) partial_ms(8)
+#: license-id bytes (variable).
+_GCL_HEADER = struct.Struct(">BQQQQ")
+
+
+@dataclass
+class Gcl:
+    """One generalized count-based lease.
+
+    Attributes
+    ----------
+    license_id:
+        The license this lease draws from (one per add-on module).
+    kind:
+        Which decrement rule applies.
+    counter:
+        Remaining units.  For perpetual leases this is 1 (activated) or
+        0 (revoked).
+    tick_seconds:
+        For TIME/EXECUTION_TIME leases: how much time one counter unit
+        represents (e.g. 86 400 s for a 1-day-tick evaluation license).
+    last_seen_seconds:
+        For TIME leases: virtual timestamp of the last reconciliation,
+        so off-time is charged on the next power-up (Section 4.3).
+    """
+
+    license_id: str
+    kind: LeaseKind
+    counter: int
+    tick_seconds: float = 0.0
+    last_seen_seconds: float = 0.0
+    #: Execution-time remainder not yet worth a whole tick.
+    _partial_seconds: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.counter < 0:
+            raise ValueError("GCL counter cannot be negative")
+        if self.kind in (LeaseKind.TIME, LeaseKind.EXECUTION_TIME):
+            if self.tick_seconds <= 0:
+                raise ValueError(f"{self.kind.value} lease needs tick_seconds > 0")
+        if self.kind is LeaseKind.PERPETUAL:
+            self.counter = 1 if self.counter else 0
+
+    # ------------------------------------------------------------------
+    # Factories for the four paper lease types
+    # ------------------------------------------------------------------
+    @classmethod
+    def count_based(cls, license_id: str, executions: int) -> "Gcl":
+        """A lease permitting a fixed number of executions."""
+        return cls(license_id=license_id, kind=LeaseKind.COUNT, counter=executions)
+
+    @classmethod
+    def time_based(cls, license_id: str, days: int, now_seconds: float,
+                   tick_seconds: float = 86_400.0) -> "Gcl":
+        """A calendar lease valid for ``days`` 1-day ticks from ``now``."""
+        return cls(
+            license_id=license_id,
+            kind=LeaseKind.TIME,
+            counter=days,
+            tick_seconds=tick_seconds,
+            last_seen_seconds=now_seconds,
+        )
+
+    @classmethod
+    def execution_time_based(cls, license_id: str, ticks: int,
+                             tick_seconds: float = 3_600.0) -> "Gcl":
+        """A lease capping accumulated execution time (hour ticks)."""
+        return cls(
+            license_id=license_id,
+            kind=LeaseKind.EXECUTION_TIME,
+            counter=ticks,
+            tick_seconds=tick_seconds,
+        )
+
+    @classmethod
+    def perpetual(cls, license_id: str) -> "Gcl":
+        """An activated perpetual lease."""
+        return cls(license_id=license_id, kind=LeaseKind.PERPETUAL, counter=1)
+
+    # ------------------------------------------------------------------
+    # The counter-modification rules
+    # ------------------------------------------------------------------
+    @property
+    def valid(self) -> bool:
+        return self.counter > 0
+
+    def consume_execution(self) -> None:
+        """Charge one execution (COUNT decrements; others just gate)."""
+        self._require_valid()
+        if self.kind is LeaseKind.COUNT:
+            self.counter -= 1
+
+    def reconcile_clock(self, now_seconds: float) -> int:
+        """Charge elapsed calendar time on a TIME lease.
+
+        Called at power-up and periodically; handles arbitrary off-time
+        (Section 4.3's "if the system stays off for some time").  Returns
+        how many ticks were charged.
+        """
+        if self.kind is not LeaseKind.TIME:
+            return 0
+        if now_seconds < self.last_seen_seconds:
+            raise ValueError("time went backwards during reconciliation")
+        elapsed = now_seconds - self.last_seen_seconds
+        ticks = int(elapsed // self.tick_seconds)
+        if ticks > 0:
+            charged = min(ticks, self.counter)
+            self.counter -= charged
+            self.last_seen_seconds += ticks * self.tick_seconds
+            return charged
+        return 0
+
+    def charge_execution_time(self, seconds: float) -> int:
+        """Charge accumulated run time on an EXECUTION_TIME lease."""
+        if self.kind is not LeaseKind.EXECUTION_TIME:
+            return 0
+        if seconds < 0:
+            raise ValueError("cannot charge negative execution time")
+        self._partial_seconds += seconds
+        ticks = int(self._partial_seconds // self.tick_seconds)
+        if ticks > 0:
+            self._partial_seconds -= ticks * self.tick_seconds
+            charged = min(ticks, self.counter)
+            self.counter -= charged
+            return charged
+        return 0
+
+    def revoke(self) -> None:
+        """Revocation == zeroing the counter (Section 4.3)."""
+        self.counter = 0
+
+    def split(self, amount: int) -> "Gcl":
+        """Carve ``amount`` units off into a sub-GCL (server-side).
+
+        Used by SL-Remote when issuing a sub-lease ``g_i`` to a client;
+        the units move, so double-spending is structurally impossible.
+        """
+        if self.kind is LeaseKind.PERPETUAL:
+            raise ValueError("perpetual leases are not divisible")
+        if amount <= 0:
+            raise ValueError("sub-GCL must carry at least one unit")
+        if amount > self.counter:
+            raise LeaseExpired(
+                f"license {self.license_id!r} has {self.counter} units; "
+                f"cannot split off {amount}"
+            )
+        self.counter -= amount
+        return Gcl(
+            license_id=self.license_id,
+            kind=self.kind,
+            counter=amount,
+            tick_seconds=self.tick_seconds,
+            last_seen_seconds=self.last_seen_seconds,
+        )
+
+    def absorb(self, other: "Gcl") -> None:
+        """Return unused units from a sub-GCL back into this lease."""
+        if other.license_id != self.license_id:
+            raise ValueError("cannot absorb a lease for a different license")
+        if other.kind is not self.kind:
+            raise ValueError("cannot absorb a lease of a different kind")
+        if self.kind is LeaseKind.PERPETUAL:
+            return
+        self.counter += other.counter
+        other.counter = 0
+
+    def _require_valid(self) -> None:
+        if not self.valid:
+            raise LeaseExpired(f"lease for {self.license_id!r} is exhausted")
+
+    # ------------------------------------------------------------------
+    # Serialization (what gets sealed into lease-tree leaves)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        kind_code = list(LeaseKind).index(self.kind)
+        header = _GCL_HEADER.pack(
+            kind_code,
+            self.counter,
+            int(self.tick_seconds * 1000),
+            int(self.last_seen_seconds * 1000),
+            int(self._partial_seconds * 1000),
+        )
+        return header + self.license_id.encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Gcl":
+        kind_code, counter, tick_ms, last_ms, partial_ms = (
+            _GCL_HEADER.unpack_from(payload)
+        )
+        license_id = payload[_GCL_HEADER.size :].decode("utf-8")
+        kinds = list(LeaseKind)
+        if kind_code >= len(kinds):
+            raise ValueError(f"unknown lease kind code {kind_code}")
+        gcl = cls.__new__(cls)
+        gcl.license_id = license_id
+        gcl.kind = kinds[kind_code]
+        gcl.counter = counter
+        gcl.tick_seconds = tick_ms / 1000
+        gcl.last_seen_seconds = last_ms / 1000
+        gcl._partial_seconds = partial_ms / 1000
+        return gcl

@@ -1,0 +1,226 @@
+"""Lease store variants compared in Table 1.
+
+Section 5.2 weighs three organisations for SL-Local's lease data:
+array-based, hash-table-based, and tree-based.  Table 1 measures the
+``find()`` latency of a MurmurHash table (what C++'s ``unordered_map``
+uses), a SHA-256 table, and the 4-level tree; the tree wins because it
+avoids hash computation, and it additionally supports offloading
+metadata subtrees (up to 94 % memory savings).
+
+All variants implement :class:`LeaseStore` and charge virtual cycles to
+a shared clock so the Table 1 benchmark can replay the comparison.  The
+per-operation costs reflect each scheme's real work: pointer chases for
+the tree, hash computation plus a bucket probe for the tables.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.core.gcl import Gcl
+from repro.core.lease_tree import (
+    LEASE_SIZE_BYTES,
+    LeaseNotFound,
+    LeaseRecord,
+    LeaseTree,
+)
+from repro.crypto.hashes import murmur3_32, sha256_word
+from repro.crypto.keys import KeyGenerator
+from repro.sim.clock import Clock
+
+#: Cycle cost of chasing one tree-node pointer inside the EPC
+#: (an L2-resident dependent load).
+TREE_HOP_CYCLES = 23
+#: Cycle cost of computing MurmurHash3 over an 8-byte key.
+MURMUR_HASH_CYCLES = 210
+#: Cycle cost of one SHA-256 compression (dwarfs the lookup itself).
+SHA256_HASH_CYCLES = 940
+#: Cycle cost of probing a hash bucket (load + compare).
+BUCKET_PROBE_CYCLES = 22
+#: Cycle cost of an array index + validity check.
+ARRAY_INDEX_CYCLES = 14
+
+
+class LeaseStore(abc.ABC):
+    """Interface every SL-Local storage backend implements."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def insert(self, lease_id: int, gcl: Gcl) -> None:
+        """Store a new lease under a 32-bit ID."""
+
+    @abc.abstractmethod
+    def find(self, lease_id: int) -> LeaseRecord:
+        """Locate a lease; raises :class:`LeaseNotFound` if absent."""
+
+    @abc.abstractmethod
+    def remove(self, lease_id: int) -> Gcl:
+        """Delete a lease, returning its GCL."""
+
+    @abc.abstractmethod
+    def resident_bytes(self) -> int:
+        """EPC bytes consumed by the store."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        ...
+
+    def supports_offload(self) -> bool:
+        """Whether cold metadata can leave the EPC (tree-only)."""
+        return False
+
+
+class TreeLeaseStore(LeaseStore):
+    """The paper's choice: the 4-level lease tree."""
+
+    name = "tree"
+
+    def __init__(self, clock: Clock, keygen: KeyGenerator) -> None:
+        self._clock = clock
+        self._tree = LeaseTree(
+            keygen=keygen,
+            find_cost_hook=lambda hops: clock.advance(hops * TREE_HOP_CYCLES),
+        )
+
+    def insert(self, lease_id: int, gcl: Gcl) -> None:
+        self._tree.insert(lease_id, gcl)
+
+    def find(self, lease_id: int) -> LeaseRecord:
+        return self._tree.find(lease_id)
+
+    def remove(self, lease_id: int) -> Gcl:
+        return self._tree.remove(lease_id)
+
+    def resident_bytes(self) -> int:
+        return self._tree.resident_bytes()
+
+    def supports_offload(self) -> bool:
+        return True
+
+    @property
+    def tree(self) -> LeaseTree:
+        """Access to tree-only operations (commit/restore)."""
+        return self._tree
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+
+class _HashLeaseStore(LeaseStore):
+    """Common machinery for the two hash-table variants.
+
+    Open hashing with chained buckets; the dominating cost is the hash
+    computation itself, charged per ``find``/``insert``/``remove``.
+    """
+
+    hash_cycles: int = 0
+
+    def __init__(self, clock: Clock, nbuckets: int = 4096) -> None:
+        self._clock = clock
+        self._nbuckets = nbuckets
+        self._buckets: List[List[int]] = [[] for _ in range(nbuckets)]
+        self._records: Dict[int, LeaseRecord] = {}
+
+    def _hash(self, lease_id: int) -> int:
+        raise NotImplementedError
+
+    def _charge_find(self, probes: int) -> None:
+        self._clock.advance(self.hash_cycles + probes * BUCKET_PROBE_CYCLES)
+
+    def insert(self, lease_id: int, gcl: Gcl) -> None:
+        if lease_id in self._records:
+            raise ValueError(f"lease {lease_id} already present")
+        bucket = self._hash(lease_id) % self._nbuckets
+        self._buckets[bucket].append(lease_id)
+        self._records[lease_id] = LeaseRecord(gcl=gcl)
+        self._clock.advance(self.hash_cycles + BUCKET_PROBE_CYCLES)
+
+    def find(self, lease_id: int) -> LeaseRecord:
+        bucket = self._hash(lease_id) % self._nbuckets
+        chain = self._buckets[bucket]
+        for probes, candidate in enumerate(chain, start=1):
+            if candidate == lease_id:
+                self._charge_find(probes)
+                return self._records[lease_id]
+        self._charge_find(max(1, len(chain)))
+        raise LeaseNotFound(lease_id)
+
+    def remove(self, lease_id: int) -> Gcl:
+        record = self.find(lease_id)
+        bucket = self._hash(lease_id) % self._nbuckets
+        self._buckets[bucket].remove(lease_id)
+        del self._records[lease_id]
+        return record.gcl
+
+    def resident_bytes(self) -> int:
+        # The full bucket array plus every record stays in the EPC;
+        # hash tables cannot offload metadata without rebuilding.
+        return self._nbuckets * 8 + len(self._records) * (LEASE_SIZE_BYTES + 16)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class MurmurLeaseStore(_HashLeaseStore):
+    """Hash table keyed by MurmurHash3 (C++ ``unordered_map`` style)."""
+
+    name = "murmur"
+    hash_cycles = MURMUR_HASH_CYCLES
+
+    def _hash(self, lease_id: int) -> int:
+        return murmur3_32(lease_id.to_bytes(8, "big"))
+
+
+class Sha256LeaseStore(_HashLeaseStore):
+    """Hash table keyed by SHA-256 — cryptographic but slow."""
+
+    name = "sha256"
+    hash_cycles = SHA256_HASH_CYCLES
+
+    def _hash(self, lease_id: int) -> int:
+        return sha256_word(lease_id.to_bytes(8, "big")) & 0x7FFF_FFFF
+
+
+class ArrayLeaseStore(LeaseStore):
+    """Flat array indexed by lease ID.
+
+    Fastest lookups but the array must be sized for the whole ID space
+    in use and cannot shed cold entries — the memory-footprint loser.
+    """
+
+    name = "array"
+
+    def __init__(self, clock: Clock, capacity: int = 65_536) -> None:
+        self._clock = clock
+        self._capacity = capacity
+        self._slots: List[Optional[LeaseRecord]] = [None] * capacity
+        self._count = 0
+
+    def insert(self, lease_id: int, gcl: Gcl) -> None:
+        if lease_id >= self._capacity:
+            raise ValueError(f"lease ID {lease_id} exceeds array capacity")
+        if self._slots[lease_id] is not None:
+            raise ValueError(f"lease {lease_id} already present")
+        self._slots[lease_id] = LeaseRecord(gcl=gcl)
+        self._count += 1
+        self._clock.advance(ARRAY_INDEX_CYCLES)
+
+    def find(self, lease_id: int) -> LeaseRecord:
+        self._clock.advance(ARRAY_INDEX_CYCLES)
+        if lease_id >= self._capacity or self._slots[lease_id] is None:
+            raise LeaseNotFound(lease_id)
+        return self._slots[lease_id]
+
+    def remove(self, lease_id: int) -> Gcl:
+        record = self.find(lease_id)
+        self._slots[lease_id] = None
+        self._count -= 1
+        return record.gcl
+
+    def resident_bytes(self) -> int:
+        return self._capacity * 8 + self._count * LEASE_SIZE_BYTES
+
+    def __len__(self) -> int:
+        return self._count

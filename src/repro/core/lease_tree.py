@@ -1,0 +1,457 @@
+"""The 4-level lease tree (Section 5.2.2).
+
+SL-Local organises its leases like a page table: a 4-level radix tree
+whose nodes are 4 KB pages holding 256 entries of 16 B each (a 64-bit
+key and a 64-bit pointer).  A 32-bit lease ID indexes 8 bits per level.
+Leaves hold the 312 B lease structure: a 32-bit lock, a 64-bit hash, and
+300 B of lease data (the serialized GCL).
+
+Memory efficiency comes from three properties the tests pin down:
+
+* internal nodes are allocated lazily;
+* cold leases and entire subtrees can be *committed* — sealed under a
+  fresh random key (Algorithm 2) and offloaded to untrusted memory,
+  with only the 64-bit key left behind in the parent entry;
+* the root never leaves the enclave while running, and at shutdown the
+  root itself is sealed under a key that is escrowed with SL-Remote
+  (Section 5.6), which is what defeats replay of stale trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.gcl import Gcl
+from repro.crypto.hashes import sha256_word
+from repro.crypto.keys import KeyGenerator
+from repro.crypto.sealing import SealedBlob, TamperedSealError, protect, validate
+from repro.sgx.spinlock import SpinLock
+
+#: Geometry from the paper: 4 KB nodes, 256 16-byte entries, 4 levels.
+NODE_SIZE_BYTES = 4096
+ENTRIES_PER_NODE = 256
+LEVELS = 4
+BITS_PER_LEVEL = 8
+#: Lease structure size: 32-bit lock + 64-bit hash + 300 B data.
+LEASE_SIZE_BYTES = 312
+
+MAX_LEASE_ID = (1 << (BITS_PER_LEVEL * LEVELS)) - 1
+
+
+class LeaseTreeError(Exception):
+    """Raised on structural misuse of the tree."""
+
+
+class LeaseNotFound(KeyError):
+    """Raised when looking up an ID with no lease behind it."""
+
+
+def split_lease_id(lease_id: int) -> Tuple[int, int, int, int]:
+    """Split a 32-bit lease ID into four 8-bit per-level indices (MSB first)."""
+    if not 0 <= lease_id <= MAX_LEASE_ID:
+        raise LeaseTreeError(f"lease ID {lease_id} does not fit in 32 bits")
+    return (
+        (lease_id >> 24) & 0xFF,
+        (lease_id >> 16) & 0xFF,
+        (lease_id >> 8) & 0xFF,
+        lease_id & 0xFF,
+    )
+
+
+@dataclass
+class LeaseRecord:
+    """The 312 B leaf structure: lock, hash, and the GCL payload."""
+
+    gcl: Gcl
+    lock: SpinLock = field(default_factory=SpinLock)
+
+    @property
+    def integrity_hash(self) -> int:
+        """64-bit hash over the lease data (stored alongside it)."""
+        return sha256_word(self.gcl.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        return self.gcl.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "LeaseRecord":
+        return cls(gcl=Gcl.from_bytes(payload))
+
+
+@dataclass
+class _Entry:
+    """One 16 B node entry: a 64-bit seal key and a pointer.
+
+    Exactly one of ``child``/``record``/``sealed`` is populated (or none
+    for an empty entry).  ``key64`` is meaningful only while ``sealed``
+    is set — it seals that blob.
+    """
+
+    child: Optional["_Node"] = None
+    record: Optional[LeaseRecord] = None
+    sealed: Optional[SealedBlob] = None
+    key64: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.child is None and self.record is None and self.sealed is None
+
+
+class _Node:
+    """A 4 KB tree node of 256 entries."""
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.entries: Dict[int, _Entry] = {}
+
+    def entry(self, index: int) -> _Entry:
+        if not 0 <= index < ENTRIES_PER_NODE:
+            raise LeaseTreeError(f"entry index {index} out of range")
+        if index not in self.entries:
+            self.entries[index] = _Entry()
+        return self.entries[index]
+
+    def occupied(self) -> Iterator[Tuple[int, _Entry]]:
+        for index in sorted(self.entries):
+            entry = self.entries[index]
+            if not entry.empty:
+                yield index, entry
+
+
+class LeaseTree:
+    """Radix tree over 32-bit lease IDs with seal-and-evict paging.
+
+    ``find_cost_hook`` (if given) is invoked with the number of node
+    hops a ``find`` performed — the SL-Local service uses it to charge
+    cycles; the data structure itself stays simulation-agnostic.
+    """
+
+    def __init__(self, keygen: KeyGenerator,
+                 find_cost_hook: Optional[Callable[[int], None]] = None) -> None:
+        self._root = _Node(level=0)
+        self._keygen = keygen
+        self._find_cost_hook = find_cost_hook
+        self._count = 0
+        self._sealed_count = 0
+
+    # ------------------------------------------------------------------
+    # Basic operations
+    # ------------------------------------------------------------------
+    def insert(self, lease_id: int, gcl: Gcl) -> LeaseRecord:
+        """Insert a lease, allocating interior nodes lazily."""
+        indices = split_lease_id(lease_id)
+        node = self._root
+        for level, index in enumerate(indices[:-1]):
+            entry = node.entry(index)
+            if entry.sealed is not None:
+                self._unseal_entry(entry, level + 1)
+            if entry.child is None:
+                if entry.record is not None:
+                    raise LeaseTreeError("corrupt tree: record at interior level")
+                entry.child = _Node(level=level + 1)
+            node = entry.child
+        leaf_entry = node.entry(indices[-1])
+        if leaf_entry.sealed is not None or leaf_entry.record is not None:
+            raise LeaseTreeError(f"lease {lease_id} already present")
+        record = LeaseRecord(gcl=gcl)
+        leaf_entry.record = record
+        self._count += 1
+        return record
+
+    def find(self, lease_id: int) -> LeaseRecord:
+        """Walk the tree; transparently unseals committed leases on access.
+
+        Raises :class:`LeaseNotFound` for absent IDs.
+        """
+        indices = split_lease_id(lease_id)
+        node = self._root
+        hops = 0
+        for level, index in enumerate(indices[:-1]):
+            hops += 1
+            entry = node.entries.get(index)
+            if entry is None or entry.empty:
+                self._report_hops(hops)
+                raise LeaseNotFound(lease_id)
+            if entry.sealed is not None:
+                self._unseal_entry(entry, level + 1)
+            node = entry.child
+            if node is None:
+                self._report_hops(hops)
+                raise LeaseNotFound(lease_id)
+        hops += 1
+        entry = node.entries.get(indices[-1])
+        if entry is None or entry.empty:
+            self._report_hops(hops)
+            raise LeaseNotFound(lease_id)
+        if entry.sealed is not None:
+            self._unseal_leaf(entry)
+        self._report_hops(hops)
+        if entry.record is None:
+            raise LeaseNotFound(lease_id)
+        return entry.record
+
+    def contains(self, lease_id: int) -> bool:
+        try:
+            self.find(lease_id)
+            return True
+        except LeaseNotFound:
+            return False
+
+    def remove(self, lease_id: int) -> Gcl:
+        """Delete a lease, pruning interior nodes that become empty."""
+        record = self.find(lease_id)
+        indices = split_lease_id(lease_id)
+        path = [self._root]
+        for index in indices[:-1]:
+            path.append(path[-1].entries[index].child)
+        path[-1].entries[indices[-1]] = _Entry()
+        self._count -= 1
+        # Walk back up, detaching nodes with no occupied entries so the
+        # resident footprint shrinks with the population (Table 6's
+        # memory story must hold under deletion, too).
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            if any(True for _ in node.occupied()):
+                break
+            parent = path[depth - 1]
+            parent.entries[indices[depth - 1]] = _Entry()
+        return record.gcl
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Commit (seal-and-evict) — Section 5.5
+    # ------------------------------------------------------------------
+    def commit_lease(self, lease_id: int) -> None:
+        """Seal one lease out to untrusted memory.
+
+        The fresh 64-bit key is written into the parent entry; the
+        record itself leaves the EPC.  Every commit uses a new key, so a
+        replay of an older ciphertext fails validation.
+        """
+        indices = split_lease_id(lease_id)
+        node = self._root
+        for level, index in enumerate(indices[:-1]):
+            entry = node.entries.get(index)
+            if entry is None or entry.empty:
+                raise LeaseNotFound(lease_id)
+            if entry.sealed is not None:
+                self._unseal_entry(entry, level + 1)
+            node = entry.child
+        entry = node.entries.get(indices[-1])
+        if entry is None or entry.record is None:
+            raise LeaseNotFound(lease_id)
+        if entry.record.lock.locked:
+            raise LeaseTreeError(f"lease {lease_id} is locked; cannot commit")
+        blob, key64 = protect(entry.record.to_bytes(), self._keygen)
+        entry.sealed = blob
+        entry.key64 = key64
+        entry.record = None
+        self._sealed_count += 1
+
+    def commit_all(self) -> bytes:
+        """Shutdown procedure (Section 5.6): seal everything bottom-up.
+
+        Returns the serialized sealed root; the root's sealing key is
+        *not* stored locally — the caller ships it to SL-Remote and it
+        comes back as the old-backup key (OBK) at next init.
+
+        After this call the tree is empty (all state lives in the
+        returned untrusted image plus the escrowed key).
+        """
+        image, root_key = self._seal_node(self._root)
+        self._root = _Node(level=0)
+        self._count = 0
+        self._sealed_count = 0
+        # Pack key alongside nothing: caller gets (blob, key) separately.
+        self._pending_root_key = root_key
+        self._pending_root_blob = image
+        return root_key
+
+    @property
+    def shutdown_image(self) -> Optional[SealedBlob]:
+        """The sealed root produced by the last :meth:`commit_all`."""
+        return getattr(self, "_pending_root_blob", None)
+
+    def _seal_node(self, node: _Node) -> Tuple[SealedBlob, int]:
+        """Recursively seal a subtree; returns (blob, key) for this node."""
+        parts: List[bytes] = []
+        for index, entry in node.occupied():
+            if entry.record is not None:
+                blob, key64 = protect(entry.record.to_bytes(), self._keygen)
+                entry.sealed, entry.key64, entry.record = blob, key64, None
+            elif entry.child is not None:
+                blob, key64 = self._seal_node(entry.child)
+                entry.sealed, entry.key64, entry.child = blob, key64, None
+            parts.append(self._encode_sealed_entry(index, entry, node.level))
+        payload = b"".join(parts) or b"\x00"
+        body = bytes([node.level]) + payload
+        blob, key64 = protect(body, self._keygen)
+        return blob, key64
+
+    @staticmethod
+    def _encode_sealed_entry(index: int, entry: _Entry, level: int) -> bytes:
+        # entry wire format: index(1) kind(1) key(8) nonce_len(2) nonce
+        #                    ct_len(4) ciphertext
+        kind = 1 if level == LEVELS - 1 else 0  # 1 = leaf record, 0 = child node
+        blob = entry.sealed
+        return (
+            bytes([index, kind])
+            + entry.key64.to_bytes(8, "big")
+            + len(blob.nonce).to_bytes(2, "big")
+            + blob.nonce
+            + len(blob.ciphertext).to_bytes(4, "big")
+            + blob.ciphertext
+        )
+
+    # ------------------------------------------------------------------
+    # Restore — Section 5.6 init path
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(cls, image: SealedBlob, old_backup_key: int,
+                keygen: KeyGenerator,
+                find_cost_hook: Optional[Callable[[int], None]] = None) -> "LeaseTree":
+        """Rebuild a tree from a sealed shutdown image and the OBK.
+
+        Raises :class:`TamperedSealError` if the image is stale or
+        modified — a replayed old tree fails here because its root was
+        sealed under a different key than the escrowed one.
+        """
+        tree = cls(keygen=keygen, find_cost_hook=find_cost_hook)
+        tree._root = tree._decode_node(image, old_backup_key)
+        tree._count = tree._count_leaves(tree._root)
+        return tree
+
+    def _decode_node(self, blob: SealedBlob, key64: int) -> _Node:
+        body = validate(blob, key64)
+        level = body[0]
+        node = _Node(level=level)
+        offset = 1
+        payload = body
+        if payload[1:] == b"\x00" and len(payload) == 2:
+            return node
+        while offset < len(payload):
+            if len(payload) - offset == 1 and payload[offset] == 0:
+                break
+            index = payload[offset]
+            kind = payload[offset + 1]
+            key = int.from_bytes(payload[offset + 2 : offset + 10], "big")
+            nonce_len = int.from_bytes(payload[offset + 10 : offset + 12], "big")
+            nonce = payload[offset + 12 : offset + 12 + nonce_len]
+            pos = offset + 12 + nonce_len
+            ct_len = int.from_bytes(payload[pos : pos + 4], "big")
+            ciphertext = payload[pos + 4 : pos + 4 + ct_len]
+            offset = pos + 4 + ct_len
+            entry = node.entry(index)
+            entry.sealed = SealedBlob(ciphertext=ciphertext, nonce=nonce)
+            entry.key64 = key
+            # Leaves stay sealed (lazy unseal on find); this keeps
+            # restore O(resident) instead of O(total leases).
+            _ = kind
+        return node
+
+    def _count_leaves(self, node: _Node) -> int:
+        total = 0
+        for _, entry in node.occupied():
+            if entry.record is not None:
+                total += 1
+            elif entry.child is not None:
+                total += self._count_leaves(entry.child)
+            elif entry.sealed is not None:
+                total += self._count_sealed(entry, node.level)
+        return total
+
+    def _count_sealed(self, entry: _Entry, parent_level: int) -> int:
+        """Count leases under a sealed entry without keeping it unsealed."""
+        if parent_level == LEVELS - 1:
+            return 1
+        child = self._decode_node(entry.sealed, entry.key64)
+        return self._count_leaves(child)
+
+    # ------------------------------------------------------------------
+    # Unsealing helpers
+    # ------------------------------------------------------------------
+    def _unseal_entry(self, entry: _Entry, child_level: int) -> None:
+        """Bring a sealed child node back into trusted memory."""
+        node = self._decode_node(entry.sealed, entry.key64)
+        if node.level != child_level:
+            raise TamperedSealError(
+                f"sealed node claims level {node.level}, expected {child_level}"
+            )
+        entry.child = node
+        entry.sealed = None
+        entry.key64 = 0
+
+    def _unseal_leaf(self, entry: _Entry) -> None:
+        payload = validate(entry.sealed, entry.key64)
+        entry.record = LeaseRecord.from_bytes(payload)
+        entry.sealed = None
+        entry.key64 = 0
+        self._sealed_count = max(0, self._sealed_count - 1)
+
+    def _report_hops(self, hops: int) -> None:
+        if self._find_cost_hook is not None:
+            self._find_cost_hook(hops)
+
+    # ------------------------------------------------------------------
+    # Memory accounting (Table 6)
+    # ------------------------------------------------------------------
+    def resident_bytes(self) -> int:
+        """EPC bytes used by resident nodes and lease records.
+
+        Sealed (committed) leases and subtrees cost nothing here — they
+        live in untrusted memory.  This is the quantity Table 6 reports.
+        """
+        return self._resident_bytes(self._root)
+
+    def _resident_bytes(self, node: _Node) -> int:
+        total = NODE_SIZE_BYTES
+        for _, entry in node.occupied():
+            if entry.record is not None:
+                total += LEASE_SIZE_BYTES
+            elif entry.child is not None:
+                total += self._resident_bytes(entry.child)
+        return total
+
+    def resident_lease_count(self) -> int:
+        """Number of unsealed lease records currently in trusted memory."""
+        return self._count_resident(self._root)
+
+    def _count_resident(self, node: _Node) -> int:
+        total = 0
+        for _, entry in node.occupied():
+            if entry.record is not None:
+                total += 1
+            elif entry.child is not None:
+                total += self._count_resident(entry.child)
+        return total
+
+    def iter_resident_ids(self) -> Iterator[int]:
+        """Yield the IDs of all currently resident (unsealed) leases."""
+        yield from self._iter_ids(self._root, prefix=0, depth=0, unseal=False)
+
+    def iter_all_ids(self) -> Iterator[int]:
+        """Yield the IDs of every lease, resident or sealed.
+
+        Sealed *interior* nodes are unsealed to walk them (their leaf
+        records stay sealed); used by SL-Local after a restore to
+        rebuild its license bindings.
+        """
+        yield from self._iter_ids(self._root, prefix=0, depth=0, unseal=True)
+
+    def _iter_ids(self, node: _Node, prefix: int, depth: int,
+                  unseal: bool) -> Iterator[int]:
+        for index, entry in node.occupied():
+            value = (prefix << BITS_PER_LEVEL) | index
+            if depth == LEVELS - 1:
+                if entry.record is not None or (unseal and entry.sealed is not None):
+                    yield value
+                continue
+            if entry.sealed is not None and unseal:
+                self._unseal_entry(entry, depth + 1)
+            if entry.child is not None:
+                yield from self._iter_ids(entry.child, value, depth + 1, unseal)

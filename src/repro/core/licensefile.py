@@ -1,0 +1,28 @@
+"""The license-file format.
+
+A license file (the ``license_blob``) is what the user presents to the
+authentication module: ``<license-id> ":" <64-bit vendor MAC>``.  The
+MAC is keyed by the vendor secret, shared between the vendor's license
+server (SL-Remote) and the AM code compiled into the application — both
+sides validate the same bytes, exactly as a signed license file works
+in commercial license managers.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import sha256_word
+
+#: Default vendor signing secret shared by SL-Remote and the in-app AM.
+VENDOR_SECRET = b"securelease-vendor-secret"
+
+
+def mint_license_blob(license_id: str, secret: bytes = VENDOR_SECRET) -> bytes:
+    """Create the license file a paying user receives."""
+    mac = sha256_word(license_id.encode("utf-8") + secret)
+    return license_id.encode("utf-8") + b":" + mac.to_bytes(8, "big")
+
+
+def blob_matches(license_id: str, blob: bytes,
+                 secret: bytes = VENDOR_SECRET) -> bool:
+    """Validate a license file against the vendor secret."""
+    return blob == mint_license_blob(license_id, secret)

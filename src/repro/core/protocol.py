@@ -1,0 +1,92 @@
+"""Wire messages between SL-Manager, SL-Local, and SL-Remote.
+
+Keeping the protocol explicit (rather than direct method calls) lets
+the network layer inject latency and drops, and makes the security
+tests precise about what an attacker on the untrusted path can see.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.sealing import SealedBlob
+from repro.sgx.attestation import AttestationReport
+
+
+class Status(enum.Enum):
+    """Outcome codes shared by all responses."""
+
+    OK = "ok"
+    INVALID_LICENSE = "invalid_license"
+    EXHAUSTED = "exhausted"
+    ATTESTATION_FAILED = "attestation_failed"
+    UNKNOWN_CLIENT = "unknown_client"
+    REVOKED = "revoked"
+
+
+# ----------------------------------------------------------------------
+# SL-Local -> SL-Remote
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InitRequest:
+    """SL-Local's init() call (Section 5.2.4)."""
+
+    slid: Optional[int]  # None on first initialisation
+    report: AttestationReport
+    platform_secret: int  # quoted platform identity
+
+
+@dataclass(frozen=True)
+class InitResponse:
+    status: Status
+    slid: Optional[int] = None
+    old_backup_key: Optional[int] = None  # OBK, None on first init
+
+
+@dataclass(frozen=True)
+class RenewRequest:
+    """Ask SL-Remote for (more) sub-GCL units for a license."""
+
+    slid: int
+    license_id: str
+    license_blob: bytes  # the user-supplied license file contents
+    network_reliability: float
+    health: float
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class RenewResponse:
+    status: Status
+    granted_units: int = 0
+    lease_kind: str = "count"
+    tick_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShutdownNotice:
+    """Graceful shutdown: escrow the root sealing key (Section 5.6)."""
+
+    slid: int
+    root_key: int
+
+
+# ----------------------------------------------------------------------
+# SL-Manager -> SL-Local
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttestRequest:
+    """A license-check request from an application's SL-Manager."""
+
+    report: AttestationReport
+    license_id: str
+    license_blob: bytes
+    tokens_requested: int = 1
+
+
+@dataclass(frozen=True)
+class AttestResponse:
+    status: Status
+    token: Optional[object] = None  # ExecutionToken on success

@@ -1,0 +1,214 @@
+"""Adaptive GCL renewal — the paper's Algorithm 1 and Equations 1-2.
+
+SL-Remote pre-distributes sub-GCLs to SL-Locals so that lease checks can
+be served locally, but a crashed SL-Local forfeits everything it holds
+(the pessimistic rule of Section 5.7).  The renewal policy therefore
+balances two pressures:
+
+* give a node enough units (``g_i``) that it rarely needs the network;
+* keep the *expected loss* of a license — the units at risk across all
+  nodes weighted by their crash probabilities (Equation 1) — under the
+  per-license bound ``τ``.
+
+Inputs per requesting node ``i``: weight ``α_i`` (Σα=1), network
+reliability ``n ∈ (0,1]``, node health ``h ∈ [0,1]`` (1 − crash
+probability), the default scale-down divisor ``D``, the health threshold
+``T_H`` above which flaky-network nodes receive extra units, and the
+global per-license scale factor ``β``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class RenewalPolicy:
+    """Tunable parameters of Algorithm 1 (defaults from Section 7.4)."""
+
+    #: Lease scaling factor D: a node receives G_i / D by default.
+    scale_divisor: float = 4.0  # D such that g_i = 25% of G_i
+    #: Health threshold above which poor network earns extra units.
+    health_threshold: float = 0.9
+    #: Default β (the paper uses 0.01 as the starting estimate).
+    default_beta: float = 0.01
+    #: Expected-loss bound as a fraction of the license's total GCL.
+    tau_fraction: float = 0.10
+    #: Iteration guard for the scale-down loop.
+    max_scaledown_iters: int = 64
+
+    def __post_init__(self) -> None:
+        if self.scale_divisor < 1.0:
+            raise ValueError("scale divisor D must be >= 1")
+        if not 0.0 < self.health_threshold <= 1.0:
+            raise ValueError("health threshold must be in (0, 1]")
+        if not 0.0 <= self.tau_fraction <= 1.0:
+            raise ValueError("tau fraction must be in [0, 1]")
+
+
+@dataclass
+class NodeCondition:
+    """Observed state of one requesting node (Table 2's n, h, α)."""
+
+    node_id: str
+    weight: float = 1.0  # α_i
+    network_reliability: float = 1.0  # n_i: 0 dead, 1 stable
+    health: float = 1.0  # h_i: 1 - crash probability
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("node weight must be non-negative")
+        if not 0.0 < self.network_reliability <= 1.0:
+            raise ValueError("network reliability must be in (0, 1]")
+        if not 0.0 <= self.health <= 1.0:
+            raise ValueError("health must be in [0, 1]")
+
+    @property
+    def crash_probability(self) -> float:
+        return 1.0 - self.health
+
+
+@dataclass
+class LicenseLedger:
+    """Server-side accounting for one license.
+
+    Tracks the total pool (``TG``), the sub-GCLs currently outstanding
+    on each node, the per-license β carried between renewals, and the
+    last-reported condition of every node that holds units — Equation 1
+    needs each holder's crash probability even when that node is not
+    part of the current request.
+    """
+
+    license_id: str
+    total_gcl: int
+    beta: float
+    outstanding: Dict[str, int] = field(default_factory=dict)
+    lost_units: int = 0
+    node_conditions: Dict[str, "NodeCondition"] = field(default_factory=dict)
+
+    @property
+    def available(self) -> int:
+        return self.total_gcl - sum(self.outstanding.values()) - self.lost_units
+
+    def expected_loss(
+        self, conditions: Optional[Dict[str, "NodeCondition"]] = None
+    ) -> float:
+        """Equation 1: Σ g_i · (1 − h_i) over nodes holding sub-GCLs.
+
+        ``conditions`` overrides/extends the ledger's remembered node
+        conditions for this evaluation.
+        """
+        merged = dict(self.node_conditions)
+        if conditions:
+            merged.update(conditions)
+        total = 0.0
+        for node_id, units in self.outstanding.items():
+            condition = merged.get(node_id)
+            crash_probability = (
+                condition.crash_probability if condition is not None else 0.0
+            )
+            total += units * crash_probability
+        return total
+
+
+@dataclass(frozen=True)
+class RenewalDecision:
+    """Outcome of one RenewLease evaluation."""
+
+    license_id: str
+    node_id: str
+    granted_units: int
+    max_share: int  # G_i
+    expected_loss_after: float
+    beta_after: float
+
+
+def renew_lease(
+    ledger: LicenseLedger,
+    requester: NodeCondition,
+    concurrent: List[NodeCondition],
+    policy: Optional[RenewalPolicy] = None,
+) -> RenewalDecision:
+    """Algorithm 1: decide how many units to grant ``requester``.
+
+    ``concurrent`` is every node currently requesting or holding the
+    license, *including* the requester (C = len(concurrent)).  The grant
+    is clamped to the ledger's available pool, so Σ G_i ≤ TG holds by
+    construction.
+    """
+    policy = policy if policy is not None else RenewalPolicy()
+    if not any(c.node_id == requester.node_id for c in concurrent):
+        raise ValueError("requester must be among the concurrent nodes")
+    weight_sum = sum(c.weight for c in concurrent)
+    if weight_sum <= 0:
+        raise ValueError("concurrent nodes have zero total weight")
+
+    conditions = {c.node_id: c for c in concurrent}
+    total_gcl = ledger.total_gcl
+    concurrency = len(concurrent)
+    alpha = requester.weight / weight_sum
+
+    # Line 3: the node's fair share of the license.
+    max_share = (alpha * total_gcl) / 1.0  # α_i * TG (per-node cap)
+    g = max_share / concurrency if concurrency > 1 else max_share
+    # Line 4: default policy scale-down (sub-GCL).
+    g = g / policy.scale_divisor
+    # Line 5: crash penalty.
+    g = g * requester.health
+    # Lines 6-8: network benefit for healthy nodes on flaky links.
+    if requester.health > policy.health_threshold:
+        g = min(max_share, g * (1.0 / requester.network_reliability))
+
+    # Lines 9-17: bound the license's expected loss by τ.
+    tau = policy.tau_fraction * total_gcl
+    beta = ledger.beta if ledger.beta > 0 else policy.default_beta
+
+    def loss_with_grant(units: float) -> float:
+        baseline = ledger.expected_loss(conditions)
+        return baseline + units * requester.crash_probability
+
+    if loss_with_grant(g) > tau:
+        for _ in range(policy.max_scaledown_iters):
+            current_loss = loss_with_grant(g)
+            if current_loss <= tau or g < 1.0:
+                break
+            # Line 12: shrink β by the loss overshoot ratio, then apply.
+            overshoot = (current_loss - tau) / current_loss
+            beta = beta * overshoot if beta * overshoot > 0 else policy.default_beta
+            shrink = max(min(1.0 - overshoot, 0.95), 0.05)
+            g = g * shrink
+    else:
+        # Line 16: headroom under τ scales the grant up.
+        baseline = ledger.expected_loss(conditions)
+        beta = (tau - baseline) / tau if tau > 0 else 0.0
+        g = g * (1.0 + beta)
+        g = min(g, max_share)
+
+    granted = int(math.floor(max(g, 0.0)))
+    granted = min(granted, int(math.floor(max_share)), max(ledger.available, 0))
+    if granted > 0 and loss_with_grant(granted) > tau and requester.crash_probability > 0:
+        # Final clamp: never hand out units that push the loss over τ.
+        headroom = tau - ledger.expected_loss(conditions)
+        granted = min(granted, int(headroom / requester.crash_probability))
+        granted = max(granted, 0)
+
+    if granted > 0:
+        ledger.outstanding[requester.node_id] = (
+            ledger.outstanding.get(requester.node_id, 0) + granted
+        )
+    ledger.beta = beta
+    # Remember every participant's latest condition for future
+    # expected-loss evaluations (Equation 1 spans all holders).
+    for condition in concurrent:
+        ledger.node_conditions[condition.node_id] = condition
+
+    return RenewalDecision(
+        license_id=ledger.license_id,
+        node_id=requester.node_id,
+        granted_units=granted,
+        max_share=int(math.floor(max_share)),
+        expected_loss_after=ledger.expected_loss(conditions),
+        beta_after=beta,
+    )

@@ -1,0 +1,108 @@
+"""SL-Manager: the in-application authentication module.
+
+SL-Manager is the piece the developer adds to the application's secure
+region (Section 5.1): it local-attests with SL-Local, presents the
+user's license file, and holds the returned tokens of execution.  The
+``check()`` method is what migrated key functions call (through the
+vCPU's ``lease_checker`` wiring) before agreeing to run.
+
+Token batching (Section 7.3): one attestation can fetch N grants; the
+manager spends them one per execution and only goes back to SL-Local
+when the batch runs dry, amortising the ~150k-cycle local attestation
+~N-fold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.protocol import AttestRequest, AttestResponse, Status
+from repro.core.sl_local import SlLocal
+from repro.core.tokens import ExecutionToken
+from repro.sgx import SgxMachine
+from repro.sgx.enclave import Enclave
+
+
+class SlManager:
+    """Per-application authentication manager (lives in the enclave)."""
+
+    def __init__(
+        self,
+        app_name: str,
+        machine: SgxMachine,
+        sl_local: SlLocal,
+        tokens_per_attestation: int = 1,
+        enclave: Optional[Enclave] = None,
+    ) -> None:
+        self.app_name = app_name
+        self.machine = machine
+        self.sl_local = sl_local
+        self.tokens_per_attestation = tokens_per_attestation
+        #: The application enclave this manager is embedded in (shared
+        #: with the migrated key functions); created on demand.
+        self.enclave = enclave if enclave is not None else machine.create_enclave(
+            f"sl-manager:{app_name}"
+        )
+        self._licenses: Dict[str, bytes] = {}
+        self._tokens: Dict[str, ExecutionToken] = {}
+        self._nonce = 0
+        self.attestations_made = 0
+        self.denials = 0
+
+    # ------------------------------------------------------------------
+    # User-facing
+    # ------------------------------------------------------------------
+    def load_license(self, license_id: str, license_blob: bytes) -> None:
+        """The user supplies a license file for an add-on."""
+        self._licenses[license_id] = license_blob
+
+    # ------------------------------------------------------------------
+    # Called by key functions (through the vCPU lease_checker)
+    # ------------------------------------------------------------------
+    def check(self, license_id: str) -> bool:
+        """Authorize one execution under ``license_id``.
+
+        Spends a cached token grant if one remains; otherwise performs a
+        local attestation round with SL-Local for a fresh batch.
+        Returns False when no valid lease can be obtained — the caller
+        (a migrated key function) must then refuse to run.
+        """
+        token = self._tokens.get(license_id)
+        if token is not None and not token.exhausted:
+            token.consume()
+            return True
+
+        blob = self._licenses.get(license_id)
+        if blob is None:
+            self.denials += 1
+            return False
+
+        response = self._request_tokens(license_id, blob)
+        if response.status is not Status.OK or response.token is None:
+            self.denials += 1
+            return False
+        token = response.token
+        token.consume()
+        self._tokens[license_id] = token
+        return True
+
+    def _request_tokens(self, license_id: str, blob: bytes) -> AttestResponse:
+        self._nonce += 1
+        report = self.machine.local_authority.generate_report(
+            self.enclave.measurement,
+            self.sl_local.enclave.measurement,
+            nonce=self._nonce,
+        )
+        self.attestations_made += 1
+        return self.sl_local.handle_attest(
+            AttestRequest(
+                report=report,
+                license_id=license_id,
+                license_blob=blob,
+                tokens_requested=self.tokens_per_attestation,
+            )
+        )
+
+    def remaining_grants(self, license_id: str) -> int:
+        token = self._tokens.get(license_id)
+        return 0 if token is None else token.grants

@@ -1,0 +1,284 @@
+"""SL-Remote: the trusted license server.
+
+Responsibilities (Sections 5.1-5.3, 5.6-5.7):
+
+* issue licenses and hold the authoritative GCL pool per license;
+* validate SL-Local instances via remote attestation, assign SLIDs;
+* run the adaptive renewal policy (Algorithm 1) when handing out
+  sub-GCLs;
+* escrow root sealing keys at graceful shutdown and return them as the
+  old-backup key (OBK) at next init;
+* enforce the pessimistic crash rule: an SL-Local that re-inits without
+  having shut down gracefully forfeits every unit it held.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.gcl import Gcl, LeaseKind
+from repro.core.protocol import (
+    InitRequest,
+    InitResponse,
+    RenewRequest,
+    RenewResponse,
+    ShutdownNotice,
+    Status,
+)
+from repro.core.renewal import (
+    LicenseLedger,
+    NodeCondition,
+    RenewalDecision,
+    RenewalPolicy,
+    renew_lease,
+)
+from repro.core.licensefile import VENDOR_SECRET, mint_license_blob
+from repro.sgx.attestation import AttestationError, RemoteAttestationService
+from repro.sim.clock import Clock
+from repro.sgx.driver import SgxStats
+
+
+class LicenseUnknown(Exception):
+    """Raised when operating on a license SL-Remote never issued."""
+
+
+@dataclass
+class LicenseDefinition:
+    """A license as provisioned by the software developer."""
+
+    license_id: str
+    kind: LeaseKind
+    total_units: int
+    tick_seconds: float = 0.0
+    secret: bytes = b""
+    revoked: bool = False
+
+    def license_blob(self) -> bytes:
+        """The license file handed to legitimate users.
+
+        Minted under the vendor secret; both SL-Remote and the in-app
+        authentication module validate the same bytes.
+        """
+        return mint_license_blob(self.license_id, self.secret)
+
+
+@dataclass
+class _ClientState:
+    """Server-side record of one SL-Local instance."""
+
+    slid: int
+    escrowed_root_key: Optional[int] = None
+    graceful_shutdown: bool = False
+    #: outstanding units per license (mirror of the ledgers, per client)
+    holdings: Dict[str, int] = field(default_factory=dict)
+
+
+class SlRemote:
+    """The trusted remote server."""
+
+    def __init__(
+        self,
+        ras: RemoteAttestationService,
+        policy: Optional[RenewalPolicy] = None,
+        server_secret: bytes = VENDOR_SECRET,
+    ) -> None:
+        self._ras = ras
+        self.policy = policy if policy is not None else RenewalPolicy()
+        self._server_secret = server_secret
+        self._licenses: Dict[str, LicenseDefinition] = {}
+        self._ledgers: Dict[str, LicenseLedger] = {}
+        self._clients: Dict[int, _ClientState] = {}
+        self._slid_counter = itertools.count(1)
+        #: Total renewal round trips served (network-cost accounting).
+        self.renewals_served = 0
+        self.inits_served = 0
+
+    # ------------------------------------------------------------------
+    # Developer-facing provisioning
+    # ------------------------------------------------------------------
+    def issue_license(self, license_id: str, total_units: int,
+                      kind: LeaseKind = LeaseKind.COUNT,
+                      tick_seconds: float = 0.0) -> LicenseDefinition:
+        """Create a license with a total GCL pool of ``total_units``."""
+        if license_id in self._licenses:
+            raise ValueError(f"license {license_id!r} already issued")
+        definition = LicenseDefinition(
+            license_id=license_id,
+            kind=kind,
+            total_units=total_units,
+            tick_seconds=tick_seconds,
+            secret=self._server_secret,
+        )
+        self._licenses[license_id] = definition
+        self._ledgers[license_id] = LicenseLedger(
+            license_id=license_id,
+            total_gcl=total_units,
+            beta=self.policy.default_beta,
+        )
+        return definition
+
+    def revoke_license(self, license_id: str) -> None:
+        """Revoke: future renewals fail; outstanding sub-GCLs drain out."""
+        definition = self._licenses.get(license_id)
+        if definition is None:
+            raise LicenseUnknown(license_id)
+        definition.revoked = True
+
+    def ledger(self, license_id: str) -> LicenseLedger:
+        ledger = self._ledgers.get(license_id)
+        if ledger is None:
+            raise LicenseUnknown(license_id)
+        return ledger
+
+    def license_definition(self, license_id: str) -> LicenseDefinition:
+        definition = self._licenses.get(license_id)
+        if definition is None:
+            raise LicenseUnknown(license_id)
+        return definition
+
+    # ------------------------------------------------------------------
+    # SL-Local lifecycle
+    # ------------------------------------------------------------------
+    def handle_init(self, request: InitRequest, clock: Clock,
+                    stats: SgxStats) -> InitResponse:
+        """Section 5.2.4: remote-attest the SL-Local, return SLID + OBK.
+
+        A re-init of a client that *did not* shut down gracefully is the
+        crash path: its holdings are written off as lost (Section 5.7)
+        and no OBK is returned, so a replayed tree image cannot restore.
+        """
+        self.inits_served += 1
+        try:
+            self._ras.verify_remote(
+                clock, stats, request.report, request.platform_secret
+            )
+        except AttestationError:
+            return InitResponse(status=Status.ATTESTATION_FAILED)
+
+        if request.slid is None:
+            slid = next(self._slid_counter)
+            self._clients[slid] = _ClientState(slid=slid)
+            return InitResponse(status=Status.OK, slid=slid, old_backup_key=None)
+
+        client = self._clients.get(request.slid)
+        if client is None:
+            return InitResponse(status=Status.UNKNOWN_CLIENT)
+
+        if client.graceful_shutdown and client.escrowed_root_key is not None:
+            obk = client.escrowed_root_key
+            client.graceful_shutdown = False
+            client.escrowed_root_key = None
+            return InitResponse(status=Status.OK, slid=client.slid,
+                                old_backup_key=obk)
+
+        # Crash path: pessimistically count every outstanding unit lost.
+        self._write_off(client)
+        return InitResponse(status=Status.OK, slid=client.slid,
+                            old_backup_key=None)
+
+    def handle_shutdown(self, notice: ShutdownNotice) -> None:
+        """Escrow the root key of a gracefully exiting SL-Local."""
+        client = self._clients.get(notice.slid)
+        if client is None:
+            raise LicenseUnknown(f"unknown SLID {notice.slid}")
+        client.escrowed_root_key = notice.root_key
+        client.graceful_shutdown = True
+
+    def report_crash(self, slid: int) -> None:
+        """Out-of-band crash signal (e.g. heartbeat loss): write off."""
+        client = self._clients.get(slid)
+        if client is not None:
+            self._write_off(client)
+
+    def return_units(self, slid: int, license_id: str, units: int) -> None:
+        """A graceful SL-Local returns unused sub-GCL units to the pool."""
+        client = self._clients.get(slid)
+        if client is None:
+            raise LicenseUnknown(f"unknown SLID {slid}")
+        ledger = self.ledger(license_id)
+        held = client.holdings.get(license_id, 0)
+        returned = min(units, held)
+        client.holdings[license_id] = held - returned
+        ledger.outstanding[self._node_key(slid)] = max(
+            0, ledger.outstanding.get(self._node_key(slid), 0) - returned
+        )
+
+    def _write_off(self, client: _ClientState) -> None:
+        for license_id, units in client.holdings.items():
+            ledger = self._ledgers.get(license_id)
+            if ledger is None:
+                continue
+            key = self._node_key(client.slid)
+            outstanding = ledger.outstanding.get(key, 0)
+            lost = min(units, outstanding)
+            ledger.outstanding[key] = outstanding - lost
+            ledger.lost_units += lost
+        client.holdings.clear()
+        client.escrowed_root_key = None
+        client.graceful_shutdown = False
+
+    # ------------------------------------------------------------------
+    # Renewal
+    # ------------------------------------------------------------------
+    def handle_renew(self, request: RenewRequest) -> RenewResponse:
+        """Validate the license blob and run Algorithm 1."""
+        self.renewals_served += 1
+        client = self._clients.get(request.slid)
+        if client is None:
+            return RenewResponse(status=Status.UNKNOWN_CLIENT)
+        definition = self._licenses.get(request.license_id)
+        if definition is None or not self._blob_valid(definition, request.license_blob):
+            return RenewResponse(status=Status.INVALID_LICENSE)
+        if definition.revoked:
+            return RenewResponse(status=Status.REVOKED)
+        if definition.kind is LeaseKind.PERPETUAL:
+            # Perpetual leases are a binary activation: no unit
+            # accounting, no Algorithm 1 (Section 4.3).
+            return RenewResponse(
+                status=Status.OK,
+                granted_units=1,
+                lease_kind=definition.kind.value,
+                tick_seconds=definition.tick_seconds,
+            )
+        ledger = self._ledgers[request.license_id]
+        if ledger.available <= 0:
+            return RenewResponse(status=Status.EXHAUSTED)
+
+        requester = NodeCondition(
+            node_id=self._node_key(request.slid),
+            weight=request.weight,
+            network_reliability=request.network_reliability,
+            health=request.health,
+        )
+        concurrent = self._concurrent_conditions(request.license_id, requester)
+        decision = renew_lease(ledger, requester, concurrent, self.policy)
+        if decision.granted_units <= 0:
+            return RenewResponse(status=Status.EXHAUSTED)
+        client.holdings[request.license_id] = (
+            client.holdings.get(request.license_id, 0) + decision.granted_units
+        )
+        return RenewResponse(
+            status=Status.OK,
+            granted_units=decision.granted_units,
+            lease_kind=definition.kind.value,
+            tick_seconds=definition.tick_seconds,
+        )
+
+    def _concurrent_conditions(self, license_id: str,
+                               requester: NodeCondition) -> List[NodeCondition]:
+        """All nodes currently holding or requesting this license."""
+        ledger = self._ledgers[license_id]
+        conditions = {requester.node_id: requester}
+        for node_id, units in ledger.outstanding.items():
+            if units > 0 and node_id not in conditions:
+                conditions[node_id] = NodeCondition(node_id=node_id)
+        return list(conditions.values())
+
+    def _blob_valid(self, definition: LicenseDefinition, blob: bytes) -> bool:
+        return blob == definition.license_blob()
+
+    @staticmethod
+    def _node_key(slid: int) -> str:
+        return f"slid:{slid}"

@@ -1,0 +1,100 @@
+"""Untrusted persistent storage for SL-Local.
+
+Section 5.6: at graceful shutdown, the sealed lease-tree image lives in
+*untrusted* storage (disk), while the sealing key is escrowed with
+SL-Remote.  This module gives the sealed image a real on-disk format so
+an SL-Local instance survives process restarts, with the SLID stored in
+plaintext alongside it (it is an identifier, not a secret).
+
+File layout (binary, little-endian lengths)::
+
+    magic   4 bytes  b"SLS1"
+    slid    8 bytes  (0xFFFFFFFFFFFFFFFF when unassigned)
+    nonce_len 2 bytes, nonce
+    ct_len  4 bytes, ciphertext
+
+Everything integrity-relevant is inside the sealed blob itself; the
+file adds no security, only persistence — tampering with it is detected
+by :func:`repro.crypto.sealing.validate` at restore time, exactly like
+any other untrusted-memory tampering.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.crypto.sealing import SealedBlob
+
+_MAGIC = b"SLS1"
+_UNASSIGNED_SLID = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class StorageError(Exception):
+    """Raised on malformed state files."""
+
+
+def save_state(path: "Path | str", slid: Optional[int],
+               image: Optional[SealedBlob]) -> None:
+    """Write the SLID and (optionally) the sealed shutdown image."""
+    path = Path(path)
+    slid_value = _UNASSIGNED_SLID if slid is None else slid
+    nonce = image.nonce if image is not None else b""
+    ciphertext = image.ciphertext if image is not None else b""
+    payload = (
+        _MAGIC
+        + struct.pack("<Q", slid_value)
+        + struct.pack("<H", len(nonce)) + nonce
+        + struct.pack("<I", len(ciphertext)) + ciphertext
+    )
+    path.write_bytes(payload)
+
+
+def load_state(path: "Path | str") -> Tuple[Optional[int], Optional[SealedBlob]]:
+    """Read back (slid, image); either may be None.
+
+    Raises :class:`StorageError` on files that are not SL-Local state
+    (truncation of the *framing*; corruption of the sealed payload is
+    the restore path's job to detect).
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < 4 + 8 + 2 or data[:4] != _MAGIC:
+        raise StorageError(f"{path} is not an SL-Local state file")
+    offset = 4
+    (slid_value,) = struct.unpack_from("<Q", data, offset)
+    offset += 8
+    (nonce_len,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    nonce = data[offset : offset + nonce_len]
+    offset += nonce_len
+    if len(data) < offset + 4:
+        raise StorageError(f"{path} is truncated")
+    (ct_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    ciphertext = data[offset : offset + ct_len]
+    if len(ciphertext) != ct_len:
+        raise StorageError(f"{path} is truncated")
+
+    slid = None if slid_value == _UNASSIGNED_SLID else slid_value
+    image = None
+    if nonce or ciphertext:
+        image = SealedBlob(ciphertext=ciphertext, nonce=nonce)
+    return slid, image
+
+
+def persist_sl_local(sl_local, path: "Path | str") -> None:
+    """Snapshot an SL-Local's persistent identity + shutdown image."""
+    save_state(path, sl_local.slid, sl_local.persisted_image)
+
+
+def restore_sl_local(sl_local, path: "Path | str") -> None:
+    """Load identity + image into a (not yet initialised) SL-Local.
+
+    Call before :meth:`SlLocal.init`; init() then restores the tree
+    through the server-escrowed key as usual.
+    """
+    slid, image = load_state(path)
+    sl_local.slid = slid
+    sl_local.persisted_image = image

@@ -1,0 +1,34 @@
+"""Cryptographic substrate for SecureLease.
+
+The paper seals evicted lease nodes with authenticated encryption
+(Algorithms 2-3) keyed by per-commit 64-bit random keys, compares
+MurmurHash- and SHA-256-based lease stores (Table 1), and relies on SGX's
+hardware key derivation.  This package supplies all of that in pure
+Python: a from-scratch AES-128 (CTR mode), MurmurHash3 (32- and 128-bit
+x86 variants), SHA-256 via :mod:`hashlib`, and the sealing helpers.
+"""
+
+from repro.crypto.hashes import murmur3_32, murmur3_128, sha256_digest, sha256_word
+from repro.crypto.aes import Aes128, aes128_ctr_decrypt, aes128_ctr_encrypt
+from repro.crypto.hmac import constant_time_equal, hmac_sha256, hmac_sha256_word
+from repro.crypto.keys import KeyGenerator, expand_key64
+from repro.crypto.sealing import SealedBlob, TamperedSealError, protect, validate
+
+__all__ = [
+    "Aes128",
+    "KeyGenerator",
+    "SealedBlob",
+    "TamperedSealError",
+    "aes128_ctr_decrypt",
+    "aes128_ctr_encrypt",
+    "constant_time_equal",
+    "hmac_sha256",
+    "hmac_sha256_word",
+    "expand_key64",
+    "murmur3_32",
+    "murmur3_128",
+    "protect",
+    "sha256_digest",
+    "sha256_word",
+    "validate",
+]

@@ -1,0 +1,230 @@
+"""Pure-Python AES-128 with CTR mode.
+
+SGX seals data with AES-GCM in hardware; the paper's ``Protect``/
+``Validate`` routines (Algorithms 2-3) need only an authenticated
+encrypt/decrypt pair.  We implement AES-128 from the FIPS-197
+specification (table-driven) and run it in counter mode; authentication
+is provided on top by :mod:`repro.crypto.sealing` (encrypt-then-check of
+an embedded SHA-256).
+
+The implementation is self-contained and verified against FIPS-197 /
+NIST SP 800-38A test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+_SBOX: List[int] = []
+
+
+def _build_sbox() -> None:
+    """Construct the AES S-box from GF(2^8) inverses plus the affine map."""
+    if _SBOX:
+        return
+    # Multiplicative inverses in GF(2^8) via exp/log tables (generator 3).
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # affine transformation
+        s = inv
+        result = 0x63
+        for _ in range(4):
+            s = ((s << 1) | (s >> 7)) & 0xFF
+            result ^= s
+        result ^= inv
+        _SBOX.append(result)
+
+
+_build_sbox()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+# Precomputed multiply-by-2 and multiply-by-3 tables for MixColumns.
+_MUL2 = [_xtime(i) for i in range(256)]
+_MUL3 = [_xtime(i) ^ i for i in range(256)]
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """General GF(2^8) multiplication (for InvMixColumns)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Inverse S-box and the 9/11/13/14 tables for the inverse cipher.
+_INV_SBOX = [0] * 256
+for _value, _mapped in enumerate(_SBOX):
+    _INV_SBOX[_mapped] = _value
+_MUL9 = [_gf_mul(i, 9) for i in range(256)]
+_MUL11 = [_gf_mul(i, 11) for i in range(256)]
+_MUL13 = [_gf_mul(i, 13) for i in range(256)]
+_MUL14 = [_gf_mul(i, 14) for i in range(256)]
+
+
+class Aes128:
+    """AES-128 block cipher (encryption direction only; CTR needs no inverse)."""
+
+    BLOCK_SIZE = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """FIPS-197 key schedule producing 11 round keys of 16 bytes each."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (Aes128.ROUNDS + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        round_keys = []
+        for r in range(Aes128.ROUNDS + 1):
+            rk: List[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        # state is column-major flattened: byte (row r, col c) at 4*c + r,
+        # which matches the natural byte order of the input block.
+        state = list(block)
+        self._add_round_key(state, 0)
+        for rnd in range(1, self.ROUNDS):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, rnd)
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self.ROUNDS)
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block (FIPS-197 inverse cipher).
+
+        CTR mode never calls this; it exists so the cipher is complete
+        (and so the ECB known-answer vectors can be checked both ways).
+        """
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self.ROUNDS)
+        for rnd in range(self.ROUNDS - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, rnd)
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, 0)
+        return bytes(state)
+
+    def _add_round_key(self, state: List[int], rnd: int) -> None:
+        rk = self._round_keys[rnd]
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # state is column-major: byte (row r, col c) at index 4*c + r.
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            state[4 * c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            state[4 * c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            state[4 * c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            state[4 * c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            state[4 * c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            state[4 * c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+
+def _ctr_keystream(cipher: Aes128, nonce: bytes, nblocks: int) -> bytes:
+    """Generate ``nblocks`` blocks of CTR keystream for an 8-byte nonce."""
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    out = bytearray()
+    for counter in range(nblocks):
+        block = nonce + struct.pack(">Q", counter)
+        out.extend(cipher.encrypt_block(block))
+    return bytes(out)
+
+
+def aes128_ctr_encrypt(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Encrypt ``plaintext`` with AES-128-CTR; the nonce is 8 bytes."""
+    cipher = Aes128(key)
+    nblocks = (len(plaintext) + 15) // 16
+    stream = _ctr_keystream(cipher, nonce, nblocks)
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def aes128_ctr_decrypt(ciphertext: bytes, key: bytes, nonce: bytes) -> bytes:
+    """CTR decryption is identical to encryption."""
+    return aes128_ctr_encrypt(ciphertext, key, nonce)

@@ -1,0 +1,149 @@
+"""Hash functions used by the lease stores.
+
+Table 1 of the paper compares three ``find()`` implementations for
+SL-Local: a 4-level tree, a MurmurHash-based hash table (what C++'s
+``std::unordered_map`` uses), and a SHA-256-based hash table.  We
+implement MurmurHash3 from scratch (x86 32-bit and 128-bit variants) and
+wrap :mod:`hashlib` for SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def _rotl64(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK64
+
+
+def _fmix32(h: int) -> int:
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def _fmix64(k: int) -> int:
+    k ^= k >> 33
+    k = (k * 0xFF51AFD7ED558CCD) & _MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CEB9FE1A85EC53) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x86 32-bit of ``data``.
+
+    Matches the reference implementation (Austin Appleby); verified
+    against published test vectors in the test suite.
+    """
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    h1 = seed & _MASK32
+    length = len(data)
+    nblocks = length // 4
+
+    for i in range(nblocks):
+        (k1,) = struct.unpack_from("<I", data, i * 4)
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+        h1 ^= k1
+        h1 = _rotl32(h1, 13)
+        h1 = (h1 * 5 + 0xE6546B64) & _MASK32
+
+    k1 = 0
+    tail = data[nblocks * 4 :]
+    if len(tail) >= 3:
+        k1 ^= tail[2] << 16
+    if len(tail) >= 2:
+        k1 ^= tail[1] << 8
+    if len(tail) >= 1:
+        k1 ^= tail[0]
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+        h1 ^= k1
+
+    h1 ^= length
+    return _fmix32(h1)
+
+
+def murmur3_128(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x64 128-bit of ``data``, returned as a 128-bit int."""
+    c1 = 0x87C37B91114253D5
+    c2 = 0x4CF5AD432745937F
+    h1 = seed & _MASK64
+    h2 = seed & _MASK64
+    length = len(data)
+    nblocks = length // 16
+
+    for i in range(nblocks):
+        k1, k2 = struct.unpack_from("<QQ", data, i * 16)
+        k1 = (k1 * c1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * c2) & _MASK64
+        h1 ^= k1
+        h1 = _rotl64(h1, 27)
+        h1 = (h1 + h2) & _MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & _MASK64
+        k2 = (k2 * c2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * c1) & _MASK64
+        h2 ^= k2
+        h2 = _rotl64(h2, 31)
+        h2 = (h2 + h1) & _MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & _MASK64
+
+    tail = data[nblocks * 16 :]
+    k1 = 0
+    k2 = 0
+    if len(tail) > 8:
+        for i in range(len(tail) - 1, 7, -1):
+            k2 = (k2 << 8) | tail[i]
+        k2 = (k2 * c2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * c1) & _MASK64
+        h2 ^= k2
+    if tail:
+        for i in range(min(len(tail), 8) - 1, -1, -1):
+            k1 = (k1 << 8) | tail[i]
+        k1 = (k1 * c1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * c2) & _MASK64
+        h1 ^= k1
+
+    h1 ^= length
+    h2 ^= length
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    return (h2 << 64) | h1
+
+
+def sha256_digest(data: bytes) -> bytes:
+    """Full 32-byte SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_word(data: bytes) -> int:
+    """First 64 bits of the SHA-256 digest, as an int.
+
+    The lease metadata stores a 64-bit hash per lease (Section 5.2.2);
+    this is the truncation used throughout the reproduction.
+    """
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")

@@ -1,0 +1,47 @@
+"""Key generation helpers.
+
+The paper seals every committed lease node under a *fresh* random 64-bit
+key (Section 5.5) stored in the parent node's metadata entry; freshness
+of the key is what defeats replay of stale ciphertexts.  SGX hardware
+would supply the entropy; here a :class:`DeterministicRng` does, so that
+experiments replay exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.rng import DeterministicRng
+
+
+def expand_key64(key64: int) -> bytes:
+    """Expand a 64-bit key into the 16-byte AES-128 key actually used.
+
+    The paper stores 64-bit keys in lease-tree entries; AES needs 128
+    bits, so we derive the cipher key by hashing, mirroring how SGX
+    derives sealing keys from key material plus enclave identity.
+    """
+    if not 0 <= key64 < (1 << 64):
+        raise ValueError(f"key must fit in 64 bits: {key64}")
+    return hashlib.sha256(key64.to_bytes(8, "big") + b"securelease-kdf").digest()[:16]
+
+
+class KeyGenerator:
+    """Generates fresh 64-bit sealing keys and 8-byte nonces."""
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self._rng = rng
+        self._nonce_counter = 0
+
+    def fresh_key64(self) -> int:
+        """A new 64-bit key; never reused within one generator stream."""
+        return self._rng.key64()
+
+    def fresh_nonce(self) -> bytes:
+        """A unique 8-byte CTR nonce.
+
+        Uniqueness is guaranteed by a counter rather than randomness:
+        nonce reuse under CTR would leak plaintext XORs.
+        """
+        self._nonce_counter += 1
+        return self._nonce_counter.to_bytes(8, "big")

@@ -1,0 +1,44 @@
+"""Programmatic experiment runners.
+
+Each function regenerates one of the paper's evaluation artifacts and
+returns a :class:`repro.reporting.Table` a caller can render as text or
+markdown — the same data the pytest-benchmark harness prints, exposed
+as a library API (and through ``python -m repro.cli report <name>``).
+
+| Runner | Paper artifact |
+|---|---|
+| :func:`run_table1` | Table 1 — lease lookup latency |
+| :func:`run_table5` | Table 5 — partitioning comparison |
+| :func:`run_table6` | Table 6 — SL-Local memory |
+| :func:`run_fig8`   | Figure 8 — attestation contention |
+| :func:`run_fig9`   | Figure 9 — end-to-end overheads |
+| :func:`run_handicap` | Section 6 — attacker handicap (extension) |
+"""
+
+from repro.experiments.sweeps import (
+    sweep,
+    sweep_partition_budget,
+    sweep_renewal_divisor,
+)
+from repro.experiments.runners import (
+    EXPERIMENTS,
+    run_fig8,
+    run_fig9,
+    run_handicap,
+    run_table1,
+    run_table5,
+    run_table6,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_fig8",
+    "run_fig9",
+    "run_handicap",
+    "run_table1",
+    "run_table5",
+    "run_table6",
+    "sweep",
+    "sweep_partition_budget",
+    "sweep_renewal_divisor",
+]

@@ -1,0 +1,245 @@
+"""Implementations of the experiment runners.
+
+Every runner is deterministic given its seed and returns a
+:class:`~repro.reporting.Table`; heavier parameters (scale, op counts)
+default to values that complete in seconds on a laptop.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Optional
+
+from repro.core.concurrency import run_contention
+from repro.core.gcl import Gcl
+from repro.core.lease_store import (
+    MurmurLeaseStore,
+    Sha256LeaseStore,
+    TreeLeaseStore,
+)
+from repro.core.lease_tree import LeaseTree
+from repro.crypto.keys import KeyGenerator
+from repro.deployment import FlaasLeaseManager, SecureLeaseDeployment
+from repro.net.network import NetworkConditions
+from repro.partition import (
+    GlamdringPartitioner,
+    PartitionEvaluator,
+    SecureLeasePartitioner,
+)
+from repro.partition.security import analyze_handicap
+from repro.reporting import Table
+from repro.sgx import scaled_latency_costs
+from repro.sim.clock import Clock, cycles_to_micros
+from repro.sim.rng import DeterministicRng
+from repro.workloads import all_workloads
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def run_table1(op_counts=(10, 100, 1_000, 5_000), seed: int = 1) -> Table:
+    """Lease-store ``find()`` latency: tree vs MurmurHash vs SHA-256."""
+    batch_entry_cycles = 17_800
+
+    def measure(cls, n_ops):
+        clock = Clock()
+        if cls is TreeLeaseStore:
+            store = TreeLeaseStore(clock, KeyGenerator(DeterministicRng(seed)))
+        else:
+            store = cls(clock)
+        for lease_id in range(n_ops):
+            store.insert(lease_id, Gcl.count_based("lic", 5))
+        start = clock.cycles
+        clock.advance(batch_entry_cycles)
+        for i in range(n_ops):
+            store.find(i)
+        return cycles_to_micros(clock.cycles - start)
+
+    table = Table(
+        "Table 1: lease lookup latency (virtual us)",
+        ["Technique", *[f"{n:,} ops" for n in op_counts]],
+    )
+    for cls, label in ((MurmurLeaseStore, "Murmur Hash"),
+                       (Sha256LeaseStore, "SHA-256"),
+                       (TreeLeaseStore, "Tree")):
+        table.add_row(label, *[f"{measure(cls, n):.0f}" for n in op_counts])
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table 5
+# ----------------------------------------------------------------------
+def run_table5(scale: float = 0.3, seed: int = 1234) -> Table:
+    """Partitioning comparison: SecureLease vs Glamdring, all workloads."""
+    evaluator = PartitionEvaluator()
+    table = Table(
+        "Table 5: partitioning — Glamdring vs SecureLease",
+        ["Workload", "SLease static (rel)", "SLease dyn",
+         "Glam mem (evicts)", "SLease mem (evicts)", "Perf impr"],
+    )
+    improvements = []
+    for name, workload in all_workloads(seed=seed).items():
+        run = workload.run_profiled(scale=scale)
+        secure = evaluator.evaluate(
+            run.program, run.graph, run.profile,
+            SecureLeasePartitioner().partition(run.program, run.graph,
+                                               run.profile),
+        )
+        glam = evaluator.evaluate(
+            run.program, run.graph, run.profile,
+            GlamdringPartitioner().partition(run.program, run.graph,
+                                             run.profile),
+        )
+        improvement = secure.improvement_over(glam)
+        improvements.append(improvement)
+        table.add_row(
+            name,
+            f"{secure.static_coverage_bytes / max(glam.static_coverage_bytes, 1):.0%}",
+            f"{secure.dynamic_coverage:.0%}",
+            f"{glam.trusted_memory_bytes >> 20}MB ({glam.epc_faults})",
+            f"{secure.trusted_memory_bytes >> 20}MB ({secure.epc_faults})",
+            f"{improvement:+.1%}",
+        )
+    table.add_row("MEAN", "", "", "", "",
+                  f"{statistics.mean(improvements):+.1%}")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table 6
+# ----------------------------------------------------------------------
+def run_table6(lease_counts=(1_000, 5_000, 10_000, 25_000),
+               resident_cap: int = 5_000, seed: int = 2) -> Table:
+    """SL-Local resident memory with and without eviction."""
+
+    def fill(n_leases, evict):
+        tree = LeaseTree(keygen=KeyGenerator(DeterministicRng(seed)))
+        for lease_id in range(n_leases):
+            tree.insert(lease_id, Gcl.count_based("lic", 3))
+            if evict and lease_id >= resident_cap:
+                tree.commit_lease(lease_id - resident_cap)
+        return tree.resident_bytes()
+
+    def human(nbytes):
+        return (f"{nbytes / 1024:.0f}KB" if nbytes < (1 << 20)
+                else f"{nbytes / (1 << 20):.1f}MB")
+
+    table = Table(
+        "Table 6: SL-Local memory with/without eviction",
+        ["Policy", *[f"{n // 1000}K leases" for n in lease_counts]],
+    )
+    table.add_row("No-Evict", *[human(fill(n, False)) for n in lease_counts])
+    table.add_row("SecureLease", *[human(fill(n, True)) for n in lease_counts])
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 8
+# ----------------------------------------------------------------------
+def run_fig8(enclave_counts=(1, 2, 4, 8),
+             duration_seconds: float = 0.02) -> Table:
+    """Attestation throughput under contention, with token batching."""
+    table = Table(
+        "Figure 8: lease grants per virtual second",
+        ["Enclaves", "Same lease (1 tok)", "Diff lease (1 tok)",
+         "Same lease (10 tok)", "Batching gain", "Contended spins"],
+    )
+    for n in enclave_counts:
+        same_1 = run_contention(n, same_lease=True,
+                                duration_seconds=duration_seconds)
+        diff_1 = run_contention(n, same_lease=False,
+                                duration_seconds=duration_seconds)
+        same_10 = run_contention(n, same_lease=True,
+                                 duration_seconds=duration_seconds,
+                                 tokens_per_attestation=10)
+        gain = same_10.total_grants / max(same_1.total_grants, 1)
+        table.add_row(
+            n,
+            f"{same_1.grants_per_second:,.0f}",
+            f"{diff_1.grants_per_second:,.0f}",
+            f"{same_10.grants_per_second:,.0f}",
+            f"{gain:.1f}x",
+            same_1.contended_spins,
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 9
+# ----------------------------------------------------------------------
+def run_fig9(scale: float = 0.2, seed: int = 47,
+             workload_names=None) -> Table:
+    """End-to-end slowdowns: F-LaaS vs Glamdring vs SecureLease."""
+    costs = scaled_latency_costs(1e-3)
+    network = NetworkConditions(round_trip_seconds=50e-6)
+    workloads = all_workloads()
+    names = workload_names if workload_names is not None else list(workloads)
+
+    def run_system(workload, system):
+        deployment = SecureLeaseDeployment(seed=seed, costs=costs,
+                                           network=network)
+        blob = deployment.issue_license(workload.license_id, 10**9)
+        kwargs = {"scale": scale, "license_blob": blob}
+        if system == "flaas":
+            kwargs["lease_manager"] = FlaasLeaseManager(
+                workload.name, deployment.machine, deployment.ras,
+                deployment.remote,
+            )
+        elif system == "glamdring":
+            kwargs["partitioner"] = GlamdringPartitioner()
+        return deployment.run_workload(workload, **kwargs)
+
+    table = Table(
+        "Figure 9: end-to-end slowdown over vanilla",
+        ["Workload", "F-LaaS", "Glamdring", "SecureLease", "F-LaaS RAs"],
+    )
+    for name in names:
+        workload = workloads[name]
+        vanilla = workload.run_profiled(scale=scale).cycles
+        secure = run_system(workload, "securelease")
+        flaas = run_system(workload, "flaas")
+        glam = run_system(workload, "glamdring")
+        table.add_row(
+            name,
+            f"{flaas.cycles / vanilla:.1f}x",
+            f"{glam.cycles / vanilla:.1f}x",
+            f"{secure.cycles / vanilla:.1f}x",
+            flaas.remote_attestations,
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Attacker handicap (extension)
+# ----------------------------------------------------------------------
+def run_handicap(scale: float = 0.1, seed: int = 1234) -> Table:
+    """Quantified Section 6: what a CFB attacker keeps per workload."""
+    table = Table(
+        "Attacker handicap after a successful CFB bend",
+        ["Workload", "Key functions kept", "Instr share kept",
+         "Attack useful?"],
+    )
+    for name, workload in all_workloads(seed=seed).items():
+        run = workload.run_profiled(scale=scale)
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        report = analyze_handicap(run.program, run.profile, partition)
+        table.add_row(
+            name,
+            f"{report.key_coverage:.0%}",
+            f"{report.attacker_coverage:.0%}",
+            "yes" if report.attack_is_useful else "no",
+        )
+    return table
+
+
+#: Registry for the CLI's ``report`` command.
+EXPERIMENTS: Dict[str, object] = {
+    "table1": run_table1,
+    "table5": run_table5,
+    "table6": run_table6,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "handicap": run_handicap,
+}

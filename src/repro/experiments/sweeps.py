@@ -1,0 +1,118 @@
+"""Parameter-sweep utilities.
+
+The ablation benches each hand-roll one sweep; this module generalises
+the pattern so downstream users can sweep any knob of the renewal
+policy, the partitioner budget, or the cost model and get a
+:class:`~repro.reporting.Table` back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.renewal import LicenseLedger, NodeCondition, RenewalPolicy, renew_lease
+from repro.partition import PartitionEvaluator, SecureLeasePartitioner
+from repro.partition.securelease import SecureLeaseBudget
+from repro.reporting import Table
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration."""
+
+    label: str
+    metrics: Dict[str, object]
+
+
+def sweep(configurations: Iterable, evaluate: Callable,
+          title: str) -> Table:
+    """Evaluate each configuration and tabulate the metric dicts.
+
+    ``evaluate(config) -> (label, metrics dict)``; every dict must share
+    the same keys, which become the table columns.
+    """
+    points: List[SweepPoint] = []
+    for config in configurations:
+        label, metrics = evaluate(config)
+        points.append(SweepPoint(label=label, metrics=metrics))
+    if not points:
+        raise ValueError("sweep needs at least one configuration")
+    keys = list(points[0].metrics)
+    for point in points:
+        if list(point.metrics) != keys:
+            raise ValueError("sweep metrics must share identical keys")
+    table = Table(title, ["config", *keys])
+    for point in points:
+        table.add_row(point.label, *[point.metrics[k] for k in keys])
+    return table
+
+
+# ----------------------------------------------------------------------
+# Ready-made sweeps
+# ----------------------------------------------------------------------
+def sweep_partition_budget(workload_name: str = "svm",
+                           budgets_mb: Sequence[int] = (1, 32, 92, 256),
+                           scale: float = 0.2) -> Table:
+    """m_t sweep on one workload (the Table 5 budget knob)."""
+    run = get_workload(workload_name).run_profiled(scale=scale)
+    evaluator = PartitionEvaluator()
+
+    def evaluate(budget_mb):
+        partitioner = SecureLeasePartitioner(
+            budget=SecureLeaseBudget(memory_bytes=budget_mb << 20)
+        )
+        partition = partitioner.partition(run.program, run.graph, run.profile)
+        report = evaluator.evaluate(run.program, run.graph, run.profile,
+                                    partition)
+        return f"m_t={budget_mb}MB", {
+            "migrated": report.functions_migrated,
+            "enclave MB": report.trusted_memory_bytes >> 20,
+            "faults": report.epc_faults,
+            "slowdown": f"{report.slowdown:.2f}x",
+        }
+
+    return sweep(budgets_mb, evaluate,
+                 f"Partition budget sweep ({workload_name})")
+
+
+def sweep_renewal_divisor(divisors: Sequence[float] = (1, 2, 4, 8, 16),
+                          pool: int = 10_000,
+                          checks: int = 8_000,
+                          crash_every: int = 500) -> Table:
+    """D sweep: round trips vs crash resilience (the §7.4 trade-off)."""
+
+    def evaluate(divisor):
+        policy = RenewalPolicy(scale_divisor=float(divisor))
+
+        def client(crash: bool):
+            ledger = LicenseLedger(license_id="lic", total_gcl=pool,
+                                   beta=policy.default_beta)
+            node = NodeCondition("n")
+            renewals = served = balance = 0
+            for check in range(1, checks + 1):
+                if balance == 0:
+                    decision = renew_lease(ledger, node, [node], policy)
+                    renewals += 1
+                    balance = decision.granted_units
+                    if balance == 0:
+                        break
+                balance -= 1
+                served += 1
+                if crash and check % crash_every == 0:
+                    ledger.outstanding["n"] = max(
+                        0, ledger.outstanding.get("n", 0) - balance
+                    )
+                    ledger.lost_units += balance
+                    balance = 0
+            return renewals, served
+
+        round_trips, _ = client(crash=False)
+        _, crash_served = client(crash=True)
+        return f"D={divisor:g}", {
+            "round trips": round_trips,
+            "served under crashes": crash_served,
+        }
+
+    return sweep(divisors, evaluate, "Renewal divisor sweep")

@@ -1,0 +1,19 @@
+"""Simulated network between SL-Local machines and SL-Remote.
+
+Algorithm 1's inputs include network reliability; the Figure 9
+breakdown separates local allocation cost from lease-renewal cost
+(dominated by the network round trip plus remote attestation).  This
+package supplies a latency/reliability-parameterised channel and an RPC
+endpoint that dispatches protocol messages to SL-Remote handlers.
+"""
+
+from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
+from repro.net.rpc import RemoteEndpoint, RpcError
+
+__all__ = [
+    "NetworkConditions",
+    "NetworkError",
+    "RemoteEndpoint",
+    "RpcError",
+    "SimulatedLink",
+]

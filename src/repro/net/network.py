@@ -1,0 +1,72 @@
+"""Latency/reliability-parameterised network links.
+
+A :class:`SimulatedLink` charges a round-trip latency to the caller's
+clock and drops messages with probability ``1 - reliability``; retries
+are the caller's concern (the RPC layer retries with backoff, charging
+time for each attempt, which is how an unreliable network translates
+into longer renewal latencies — the quantity Algorithm 1 compensates
+for by granting flaky-network nodes more units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import Clock, seconds_to_cycles
+from repro.sim.rng import DeterministicRng
+
+
+class NetworkError(Exception):
+    """Raised when a message could not be delivered after retries."""
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Observable link quality (the ``n`` of Table 2)."""
+
+    round_trip_seconds: float = 0.050
+    reliability: float = 1.0  # delivery probability per attempt
+
+    def __post_init__(self) -> None:
+        if self.round_trip_seconds < 0:
+            raise ValueError("round trip time cannot be negative")
+        if not 0.0 < self.reliability <= 1.0:
+            raise ValueError("reliability must be in (0, 1]")
+
+
+class SimulatedLink:
+    """A bidirectional link with fixed RTT and Bernoulli losses."""
+
+    def __init__(self, conditions: NetworkConditions,
+                 rng: DeterministicRng) -> None:
+        self.conditions = conditions
+        self._rng = rng
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def round_trip(self, clock: Clock, max_attempts: int = 5) -> int:
+        """Perform one request/response exchange.
+
+        Charges one RTT per attempt (a dropped message is only detected
+        at timeout, which we approximate as a full RTT).  Returns the
+        number of attempts used; raises :class:`NetworkError` when all
+        attempts drop.
+        """
+        for attempt in range(1, max_attempts + 1):
+            self.messages_sent += 1
+            clock.advance(seconds_to_cycles(self.conditions.round_trip_seconds))
+            if self._rng.bernoulli(self.conditions.reliability):
+                return attempt
+            self.messages_dropped += 1
+        raise NetworkError(
+            f"message lost {max_attempts} times on a link with reliability "
+            f"{self.conditions.reliability}"
+        )
+
+    @property
+    def observed_reliability(self) -> float:
+        """Empirical delivery rate so far (what SL-Local reports upstream)."""
+        if self.messages_sent == 0:
+            return self.conditions.reliability
+        delivered = self.messages_sent - self.messages_dropped
+        return delivered / self.messages_sent

@@ -1,0 +1,83 @@
+"""Common partitioning types.
+
+A :class:`Partition` is the output every scheme produces: the set of
+migrated (trusted) functions plus derived placement and budget
+estimates.  :class:`Partitioner` is the strategy interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.callgraph.cfg import CallGraph
+from repro.vcpu.machine import Placement
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile
+
+
+@dataclass
+class Partition:
+    """Result of partitioning one application."""
+
+    scheme: str
+    program_name: str
+    trusted: Set[str] = field(default_factory=set)
+    #: The partitioner's own estimate of the enclave heap it needs
+    #: (stated upfront at enclave build time, Section 4.2.1).
+    estimated_memory_bytes: int = 0
+
+    def placement(self, program: Program) -> Dict[str, Placement]:
+        """Per-function placement map for the vCPU."""
+        mapping: Dict[str, Placement] = {}
+        for name in program.functions:
+            mapping[name] = (
+                Placement.TRUSTED if name in self.trusted else Placement.UNTRUSTED
+            )
+        return mapping
+
+    def static_coverage_bytes(self, graph: CallGraph) -> int:
+        return graph.code_bytes(self.trusted)
+
+    def dynamic_coverage(self, profile: CallProfile) -> float:
+        return profile.dynamic_coverage_of(self.trusted)
+
+    def boundary_calls(self, profile: CallProfile) -> "tuple[int, int]":
+        return profile.cross_partition_calls(self.trusted)
+
+
+class Partitioner(abc.ABC):
+    """Strategy interface for all partitioning schemes."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def partition(self, program: Program, graph: CallGraph,
+                  profile: CallProfile) -> Partition:
+        """Decide which functions migrate to SGX."""
+
+
+def trusted_working_set(program: Program, graph: CallGraph,
+                        trusted: Set[str]) -> int:
+    """Enclave-resident bytes for a trusted set: code + enclosed regions.
+
+    A data region moves into the enclave only when *every* accessor is
+    trusted (shared data stays untrusted, Section 4.2.1); it then
+    contributes its full declared size.  Both the partitioners (budget
+    checks against ``m_t``) and the evaluator (EPC pressure) price
+    memory this way, so the budget a partitioner respects is exactly
+    the working set it is charged for.
+    """
+    if not trusted:
+        return 0
+    code = graph.code_bytes(trusted)
+    region_accessors: Dict[str, Set[str]] = {}
+    for spec in program.functions.values():
+        for region_name, _ in spec.regions:
+            region_accessors.setdefault(region_name, set()).add(spec.name)
+    data = 0
+    for region_name, accessors in region_accessors.items():
+        if accessors and accessors <= trusted:
+            data += program.data_regions[region_name].size_bytes
+    return code + data

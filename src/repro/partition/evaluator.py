@@ -1,0 +1,215 @@
+"""Partition cost evaluation: the engine behind Table 5 and Figure 9.
+
+Given a program, a dynamic profile, and a partition, the evaluator
+computes what running the partitioned application on SGX would cost:
+
+* **boundary crossings** — every untrusted->trusted call is an ECALL
+  (17k cycles) and returns via the equivalent of an OCALL, and vice
+  versa;
+* **EPC behaviour** — the enclave working set is the migrated code plus
+  the data regions that moved inside; a working set below the 92 MB EPC
+  warms up once and never faults (SecureLease's design point), while a
+  working set above it sustains fault traffic proportional to the
+  overflow ratio (Glamdring's failure mode);
+* **in-enclave CPI** — instructions retired inside the enclave pay the
+  memory-encryption multiplier.
+
+The same machinery prices the two endpoints the paper quotes: vanilla
+(nothing trusted) and full-enclave (everything trusted, the >300x
+HashJoin case).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.callgraph.cfg import CallGraph
+from repro.partition.base import Partition, trusted_working_set
+from repro.sgx.costs import PAGE_SIZE, SgxCostModel
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile
+
+
+@dataclass(frozen=True)
+class PartitionCostReport:
+    """Everything Table 5 reports for one (workload, scheme) pair."""
+
+    scheme: str
+    program_name: str
+    functions_migrated: int
+    migrated_names: "tuple[str, ...]"
+    static_coverage_bytes: int
+    static_coverage_fraction: float
+    dynamic_coverage: float
+    ecalls: int
+    ocalls: int
+    epc_faults: int
+    trusted_memory_bytes: int
+    vanilla_cycles: int
+    partitioned_cycles: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Slowdown over vanilla, e.g. 0.42 for the paper's 41.82 %."""
+        if self.vanilla_cycles == 0:
+            return 0.0
+        return (self.partitioned_cycles - self.vanilla_cycles) / self.vanilla_cycles
+
+    @property
+    def slowdown(self) -> float:
+        if self.vanilla_cycles == 0:
+            return 1.0
+        return self.partitioned_cycles / self.vanilla_cycles
+
+    def improvement_over(self, other: "PartitionCostReport") -> float:
+        """Runtime improvement of this partition vs another, as a
+        fraction of the other's runtime (Table 5 "Perf. Impr.")."""
+        if other.partitioned_cycles == 0:
+            return 0.0
+        return (
+            (other.partitioned_cycles - self.partitioned_cycles)
+            / other.partitioned_cycles
+        )
+
+
+class PartitionEvaluator:
+    """Analytic cost model, shared by all schemes for fairness.
+
+    ``fault_scale`` compensates for the reproduction's scaled-down
+    inputs: our workloads run ~1000x fewer dynamic instructions than
+    the paper's native runs, but their *declared* region sizes (and
+    hence overflow ratios) match the paper, which would otherwise
+    overstate faults per instruction by the same factor.  The default
+    restores the paper's faults-per-instruction regime (~1e-4); setting
+    it to 1.0 gives the raw unscaled model.  Every scheme is evaluated
+    with the same value, so comparisons are unaffected by the choice.
+    """
+
+    def __init__(self, costs: Optional[SgxCostModel] = None, cpi: float = 1.0,
+                 fault_scale: float = 0.02, stall_factor: float = 0.55) -> None:
+        self.costs = costs if costs is not None else SgxCostModel()
+        self.cpi = cpi
+        if fault_scale <= 0:
+            raise ValueError("fault_scale must be positive")
+        self.fault_scale = fault_scale
+        #: Extra per-instruction stall fraction at full EPC overflow.
+        self.stall_factor = stall_factor
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def evaluate(self, program: Program, graph: CallGraph,
+                 profile: CallProfile, partition: Partition) -> PartitionCostReport:
+        return self._evaluate_set(program, graph, profile,
+                                  partition.trusted, partition.scheme)
+
+    def evaluate_vanilla(self, program: Program, graph: CallGraph,
+                         profile: CallProfile) -> PartitionCostReport:
+        """No SGX at all — the normalisation baseline."""
+        return self._evaluate_set(program, graph, profile, set(), "vanilla")
+
+    def evaluate_full_enclave(self, program: Program, graph: CallGraph,
+                              profile: CallProfile) -> PartitionCostReport:
+        """Entire application inside SGX (the >300x endpoint)."""
+        return self._evaluate_set(
+            program, graph, profile, set(program.functions), "full-enclave"
+        )
+
+    # ------------------------------------------------------------------
+    # The model
+    # ------------------------------------------------------------------
+    def _evaluate_set(self, program: Program, graph: CallGraph,
+                      profile: CallProfile, trusted: Set[str],
+                      scheme: str) -> PartitionCostReport:
+        vanilla_cycles = round(profile.total_instructions * self.cpi)
+
+        ecalls, ocalls = profile.cross_partition_calls(trusted)
+        per_ecall = self.costs.ecall_cycles + self.costs.transition_tlb_cycles
+        per_ocall = self.costs.ocall_cycles + self.costs.transition_tlb_cycles
+        # Entry plus the matching return transition.
+        crossing_cycles = ecalls * (per_ecall + per_ocall) + ocalls * (
+            per_ocall + per_ecall
+        )
+
+        trusted_instructions = sum(
+            count
+            for fn, count in profile.instruction_counts.items()
+            if fn in trusted
+        )
+        working_set = trusted_working_set(program, graph, trusted)
+        # In-enclave CPI: the MEE baseline plus memory stalls that grow
+        # once the working set spills out of the EPC (the paper reports
+        # a 65.85 % memory-stall-cycle reduction for SecureLease vs
+        # Glamdring on OpenSSL — this is where that shows up).
+        multiplier = self.costs.enclave_cpi_multiplier
+        epc = self.costs.epc_size_bytes
+        if working_set > epc:
+            overflow_ratio = (working_set - epc) / working_set
+            multiplier += self.stall_factor * overflow_ratio
+        cpi_penalty_cycles = round(
+            trusted_instructions * self.cpi * (multiplier - 1.0)
+        )
+        faults = self._estimate_faults(program, profile, trusted, working_set)
+        fault_cycles = faults * self.costs.epc_fault_cycles
+
+        partitioned = (
+            vanilla_cycles + crossing_cycles + cpi_penalty_cycles + fault_cycles
+        )
+        total_code = max(graph.code_bytes(), 1)
+        return PartitionCostReport(
+            scheme=scheme,
+            program_name=program.name,
+            functions_migrated=len(trusted),
+            migrated_names=tuple(sorted(trusted)),
+            static_coverage_bytes=graph.code_bytes(trusted),
+            static_coverage_fraction=graph.code_bytes(trusted) / total_code,
+            dynamic_coverage=profile.dynamic_coverage_of(trusted),
+            ecalls=ecalls,
+            ocalls=ocalls,
+            epc_faults=faults,
+            trusted_memory_bytes=working_set,
+            vanilla_cycles=vanilla_cycles,
+            partitioned_cycles=partitioned,
+        )
+
+    def _estimate_faults(self, program: Program, profile: CallProfile,
+                         trusted: Set[str], working_set: int) -> int:
+        """EPC faults from the trusted working set.
+
+        Below the EPC: only cold-start allocations (not billed as
+        faults, matching the paper's "(0)" entries).  Above: trusted
+        functions streaming over enclosed regions miss at the overflow
+        ratio — pages they revisit have been evicted in the interim.
+        """
+        epc = self.costs.epc_size_bytes
+        if working_set <= epc:
+            return 0
+        overflow_ratio = (working_set - epc) / working_set
+
+        region_accessors = {}
+        for spec in program.functions.values():
+            for region_name, _ in spec.regions:
+                region_accessors.setdefault(region_name, set()).add(spec.name)
+
+        page_touches = 0.0
+        for spec in program.functions.values():
+            if spec.name not in trusted:
+                continue
+            calls = profile.call_counts.get(spec.name, 0)
+            if calls == 0:
+                continue
+            for region_name, nbytes in spec.regions:
+                accessors = region_accessors.get(region_name, set())
+                if not (accessors <= trusted):
+                    continue  # region stayed untrusted; no EPC traffic
+                region = program.data_regions[region_name]
+                if region.pattern == "random":
+                    # Each call lands on that many *distinct* pages.
+                    pages_per_call = max(1, math.ceil(nbytes / PAGE_SIZE))
+                    page_touches += calls * pages_per_call
+                else:
+                    # Sequential access amortises a page over 4 KB.
+                    page_touches += calls * (nbytes / PAGE_SIZE)
+        return round(page_touches * overflow_ratio * self.fault_scale)

@@ -1,0 +1,56 @@
+"""F-LaaS baseline: out-degree partitioning (Kumar et al., SCC '19).
+
+F-LaaS migrates the functions with the highest out-degree — the
+"orchestrators" making the most calls — on the theory that locking the
+orchestration logic inside SGX renders the binary useless to an
+attacker.  The paper's critique (Section 3): this ignores ECALL/OCALL
+and EPC costs entirely.  An orchestrator's callees stay untrusted, so
+*every* call it makes becomes an OCALL and every invocation of it an
+ECALL, which is how the 2000x slowdowns arise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.callgraph.cfg import CallGraph
+from repro.partition.base import Partition, Partitioner
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile
+
+
+class FlaasPartitioner(Partitioner):
+    """Migrate the top-``fraction`` of functions by out-degree."""
+
+    name = "flaas"
+
+    def __init__(self, fraction: float = 0.10, minimum: int = 1) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.minimum = minimum
+
+    def partition(self, program: Program, graph: CallGraph,
+                  profile: CallProfile) -> Partition:
+        # "A function making many function calls is orchestrating a
+        # complicated piece of logic" — rank by dynamic calls made,
+        # breaking ties by distinct callees.
+        ranked: List[str] = sorted(
+            graph.nodes,
+            key=lambda name: (graph.weighted_out_calls(name),
+                              graph.out_degree(name)),
+            reverse=True,
+        )
+        ranked = [name for name in ranked if name != program.entry]
+        count = max(self.minimum, int(round(len(ranked) * self.fraction)))
+        trusted: Set[str] = set(ranked[:count])
+        # The AM migrates here too — F-LaaS is a license-protection
+        # scheme; the comparison is about *which other* functions move.
+        trusted |= set(program.auth_functions())
+        memory = graph.mem_bytes(trusted) + graph.code_bytes(trusted)
+        return Partition(
+            scheme=self.name,
+            program_name=program.name,
+            trusted=trusted,
+            estimated_memory_bytes=memory,
+        )

@@ -1,0 +1,94 @@
+"""Glamdring baseline: data-flow partitioning (Lind et al., ATC '17).
+
+Developers annotate sensitive data structures; static information-flow
+analysis then marks every function that can touch sensitive data —
+directly or transitively through data passed along call edges — and
+migrates them all.  On license-protected applications this tends to pull
+in the bulk of the program: the license value flows into the AM, whose
+outcome flows onward, and the annotated application data (the IP being
+protected) is touched by most of the processing pipeline.
+
+The consequence the paper measures (Table 5): large static coverage,
+enclave working sets well above the EPC, and hence heavy fault traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set
+
+from repro.callgraph.cfg import CallGraph
+from repro.partition.base import Partition, Partitioner
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile
+
+
+class GlamdringPartitioner(Partitioner):
+    """Migrate the sensitive-data flow closure."""
+
+    name = "glamdring"
+
+    def __init__(self, propagate_through_calls: bool = True) -> None:
+        #: Whether taint flows across call edges (the full Glamdring
+        #: analysis); disabling it models annotation-only migration.
+        self.propagate_through_calls = propagate_through_calls
+
+    def partition(self, program: Program, graph: CallGraph,
+                  profile: CallProfile) -> Partition:
+        # Seed: functions that touch annotated sensitive data, plus the
+        # authentication module (the license file itself is sensitive).
+        tainted: Set[str] = set(program.sensitive_functions())
+        tainted |= set(program.auth_functions())
+
+        if self.propagate_through_calls:
+            tainted = self._propagate(program, graph, tainted)
+
+        # The entry point stays untrusted: an enclave is a library
+        # entered through ECALLs, so some untrusted stub always remains.
+        tainted.discard(program.entry)
+
+        memory = graph.mem_bytes(tainted) + graph.code_bytes(tainted)
+        return Partition(
+            scheme=self.name,
+            program_name=program.name,
+            trusted=tainted,
+            estimated_memory_bytes=memory,
+        )
+
+    def _propagate(self, program: Program, graph: CallGraph,
+                   seeds: Set[str]) -> Set[str]:
+        """Taint closure over shared data regions and call edges.
+
+        A function becomes tainted if it shares a data region with a
+        tainted function (the data itself is sensitive), or if it is
+        called by a tainted function with data flowing in (approximated
+        by call adjacency, the standard over-approximation static IFT
+        makes).
+        """
+        region_users: Dict[str, Set[str]] = {}
+        for spec in program.functions.values():
+            for region_name, _ in spec.regions:
+                region_users.setdefault(region_name, set()).add(spec.name)
+
+        tainted = set(seeds)
+        queue = deque(seeds)
+        while queue:
+            current = queue.popleft()
+            spec = program.functions.get(current)
+            if spec is None:
+                continue
+            neighbours: Set[str] = set()
+            # Data flows through shared regions.
+            for region_name, _ in spec.regions:
+                neighbours |= region_users.get(region_name, set())
+            # ... along call edges out of tainted code (arguments), and
+            # back to callers (return values) — the standard IFT
+            # over-approximation, which is why Glamdring ends up
+            # migrating "almost the complete application" (paper, 7.4).
+            if current in graph:
+                neighbours |= graph.neighbors_undirected(current)
+            for name in neighbours:
+                if name not in tainted:
+                    tainted.add(name)
+                    queue.append(name)
+        return tainted

@@ -1,0 +1,274 @@
+"""SecureLease's dependency-based partitioning (Section 4.2.1).
+
+The algorithm:
+
+1. Cluster the CFG with K-means (spectral embedding + Lloyd iterations)
+   to recover the application's submodules.
+2. Always migrate the authentication module.
+3. Consider candidate clusters — those containing developer-annotated
+   key functions first (the protected region), then remaining clusters
+   by "importance" (call volume) — and sort them by memory requirement,
+   smallest first.
+4. Greedily add whole clusters while (a) total memory stays below the
+   budget ``m_t`` (default: the 92 MB EPC, per Hasan et al.'s
+   negligible-overhead regime) and (b) the estimated overhead from the
+   added boundary crossings stays below ``r_t``.
+5. Common data structures (regions shared with untrusted functions)
+   stay untrusted — the vCPU derives that automatically from placement.
+
+Migrating whole clusters is the load-bearing idea: intra-cluster call
+volume dwarfs inter-cluster volume, so whole-cluster moves add almost
+no ECALLs/OCALLs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.callgraph.cfg import CallGraph
+from repro.callgraph.clustering import Clustering, cluster_call_graph
+from repro.partition.base import Partition, Partitioner, trusted_working_set
+from repro.sgx.costs import EPC_SIZE_BYTES, SgxCostModel
+from repro.sim.rng import DeterministicRng
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile
+
+
+@dataclass(frozen=True)
+class SecureLeaseBudget:
+    """The two thresholds of Section 4.2.1."""
+
+    #: m_t — enclave memory budget; default is the EPC size, the point
+    #: past which faults start (Hasan et al.).
+    memory_bytes: int = EPC_SIZE_BYTES
+    #: r_t — acceptable overhead from boundary crossings, as a fraction
+    #: of the profiled vanilla runtime.
+    overhead_fraction: float = 0.50
+
+
+class SecureLeasePartitioner(Partitioner):
+    """Cluster-then-greedily-migrate, under memory and overhead budgets."""
+
+    name = "securelease"
+
+    def __init__(
+        self,
+        k: Optional[int] = None,
+        budget: Optional[SecureLeaseBudget] = None,
+        costs: Optional[SgxCostModel] = None,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        self.k = k
+        self.budget = budget if budget is not None else SecureLeaseBudget()
+        self.costs = costs if costs is not None else SgxCostModel()
+        self.rng = rng if rng is not None else DeterministicRng(7)
+        #: Exposed for inspection/Figure 7: the last clustering computed.
+        self.last_clustering: Optional[Clustering] = None
+
+    def partition(self, program: Program, graph: CallGraph,
+                  profile: CallProfile) -> Partition:
+        k = self.k if self.k is not None else self._default_k(program)
+        clustering = cluster_call_graph(graph, k=k, rng=self.rng.fork("kmeans"))
+        self.last_clustering = clustering
+
+        # The AM always migrates — it is the thing being protected.
+        auth = set(program.auth_functions())
+        trusted: Set[str] = set(auth)
+
+        candidates = self._candidate_clusters(program, graph, clustering, trusted)
+        vanilla_cycles = max(profile.total_instructions, 1)
+        budget_cycles = self.budget.overhead_fraction * vanilla_cycles
+
+        for members in candidates:
+            new_members = members - trusted
+            if not new_members:
+                continue
+            new_members = self._shrink_to_fit(program, graph, trusted, new_members)
+            if not new_members:
+                continue
+            tentative = trusted | new_members
+            overhead = self._crossing_overhead_cycles(profile, tentative)
+            if overhead > budget_cycles and not self._contains_key(program, new_members):
+                # Key-function clusters must migrate for security even
+                # if pricey; optional clusters respect r_t strictly.
+                continue
+            trusted = tentative
+
+        trusted = self._absorb_boundary(program, graph, profile, trusted)
+        trusted = self._prune(program, graph, trusted)
+
+        return Partition(
+            scheme=self.name,
+            program_name=program.name,
+            trusted=trusted,
+            estimated_memory_bytes=trusted_working_set(program, graph, trusted),
+        )
+
+    def _shrink_to_fit(self, program: Program, graph: CallGraph,
+                       trusted: Set[str], members: Set[str]) -> Set[str]:
+        """Trim a cluster that busts m_t by dropping data-owning members.
+
+        Clustering occasionally lumps a loader in with the processing
+        module it feeds; taking it would enclose the (huge) shared data
+        region.  We drop non-key members — largest working-set saving
+        first — until the cluster fits, keeping common data untrusted
+        exactly as Section 4.2.1 prescribes.  Returns the trimmed set
+        (empty if even the key members alone bust the budget).
+        """
+        key_functions = set(program.key_functions())
+        members = set(members)
+        while members:
+            ws = trusted_working_set(program, graph, trusted | members)
+            if ws <= self.budget.memory_bytes:
+                return members
+            droppable = [m for m in sorted(members) if m not in key_functions]
+            if not droppable:
+                return set()
+            best = max(
+                droppable,
+                key=lambda name: ws - trusted_working_set(
+                    program, graph, (trusted | members) - {name}
+                ),
+            )
+            members.discard(best)
+        return members
+
+    def _absorb_boundary(self, program: Program, graph: CallGraph,
+                         profile: CallProfile, trusted: Set[str],
+                         min_cut_reduction: int = 2,
+                         enclosure_limit_bytes: int = 8 * 1024 * 1024) -> Set[str]:
+        """Pull in untrusted functions whose calls mostly cross the boundary.
+
+        Whole-cluster migration leaves one pathology: a thin untrusted
+        driver loop hammering a migrated callee turns every iteration
+        into an ECALL.  Absorbing such a function (it is cheap code)
+        replaces thousands of crossings with one.  Guards keep the
+        absorption honest: the cut must shrink by at least
+        ``min_cut_reduction`` calls (one-off setup calls are not worth
+        widening the TCB for), the working set must stay under m_t, and
+        the absorption must not enclose a sizeable shared data region —
+        common data stays untrusted (Section 4.2.1).
+        """
+        enclosed = self._enclosed_regions(program, trusted)
+        changed = True
+        while changed:
+            changed = False
+            current_cut = graph.cut_weight(trusted)
+            best_candidate = None
+            best_cut = current_cut
+            for name in graph.nodes:
+                if name in trusted or name == program.entry:
+                    continue
+                candidate = trusted | {name}
+                cut = graph.cut_weight(candidate)
+                if current_cut - cut < min_cut_reduction or cut >= best_cut:
+                    continue
+                if trusted_working_set(program, graph, candidate) > self.budget.memory_bytes:
+                    continue
+                newly_enclosed = self._enclosed_regions(program, candidate) - enclosed
+                if any(
+                    program.data_regions[r].size_bytes > enclosure_limit_bytes
+                    for r in newly_enclosed
+                ):
+                    continue
+                best_cut = cut
+                best_candidate = name
+            if best_candidate is not None:
+                trusted = trusted | {best_candidate}
+                enclosed = self._enclosed_regions(program, trusted)
+                changed = True
+        return trusted
+
+    def _prune(self, program: Program, graph: CallGraph,
+               trusted: Set[str]) -> Set[str]:
+        """Drop migrated functions that add cost without protection.
+
+        On star-shaped call graphs (FaaS orchestration) clustering can
+        lump an input loader in with the protected processing cluster,
+        even though the loader (a) is only ever called from untrusted
+        code — so migrating it *adds* ECALLs — and (b) may enclose a
+        shared data region.  Remove any non-key, non-auth member whose
+        removal does not increase the cut; ties are broken in favour of
+        removal when it shrinks the working set.
+        """
+        protected = set(program.key_functions()) | set(program.auth_functions())
+        changed = True
+        while changed:
+            changed = False
+            current_cut = graph.cut_weight(trusted)
+            current_ws = trusted_working_set(program, graph, trusted)
+            for name in sorted(trusted - protected):
+                candidate = trusted - {name}
+                cut = graph.cut_weight(candidate)
+                if cut > current_cut:
+                    continue
+                ws = trusted_working_set(program, graph, candidate)
+                # Removal must be clearly worth it: either it saves as
+                # many crossings as absorption demands, or it releases
+                # enclave memory without costing any crossing at all.
+                if current_cut - cut >= 2 or ws < current_ws:
+                    trusted = candidate
+                    changed = True
+                    break
+        return trusted
+
+    @staticmethod
+    def _enclosed_regions(program: Program, trusted: Set[str]) -> Set[str]:
+        """Regions whose every accessor is in ``trusted``."""
+        accessors: dict = {}
+        for spec in program.functions.values():
+            for region_name, _ in spec.regions:
+                accessors.setdefault(region_name, set()).add(spec.name)
+        return {
+            region_name
+            for region_name, users in accessors.items()
+            if users and users <= trusted
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _default_k(self, program: Program) -> int:
+        """One cluster per developer module is the natural default."""
+        return max(2, len(program.modules()))
+
+    def _candidate_clusters(self, program: Program, graph: CallGraph,
+                            clustering: Clustering,
+                            already: Set[str]) -> List[Set[str]]:
+        """Key-function clusters first, each group sorted smallest-memory
+        first (the paper's increasing-memory greedy order)."""
+        key_functions = set(program.key_functions())
+        key_clusters: List[Set[str]] = []
+        other_clusters: List[Set[str]] = []
+        for members in clustering.non_empty_clusters():
+            remaining = members - already - {program.entry}
+            if not remaining:
+                continue
+            if remaining & key_functions:
+                key_clusters.append(remaining)
+            else:
+                other_clusters.append(remaining)
+
+        def memory_of(members: Set[str]) -> int:
+            return graph.mem_bytes(members) + graph.code_bytes(members)
+
+        key_clusters.sort(key=memory_of)
+        other_clusters.sort(key=memory_of)
+        # Only key clusters are *security relevant*; other clusters are
+        # not considered for migration (they would add overhead for no
+        # protection benefit).
+        return key_clusters
+
+    def _crossing_overhead_cycles(self, profile: CallProfile,
+                                  trusted: Set[str]) -> float:
+        ecalls, ocalls = profile.cross_partition_calls(trusted)
+        per_ecall = self.costs.ecall_cycles + self.costs.transition_tlb_cycles
+        per_ocall = self.costs.ocall_cycles + self.costs.transition_tlb_cycles
+        # Each boundary call also pays a return transition.
+        return ecalls * (per_ecall + per_ocall) + ocalls * (per_ocall + per_ecall)
+
+    @staticmethod
+    def _contains_key(program: Program, members: Set[str]) -> bool:
+        key_functions = set(program.key_functions())
+        return bool(members & key_functions)

@@ -1,0 +1,129 @@
+"""Security metrics for partitions: quantifying the attacker's handicap.
+
+Section 6.1's argument is qualitative: after a successful CFB bend, the
+attacker "will not have access to the key functions executing inside
+SGX, resulting in an incomplete execution".  This module makes the
+handicap measurable:
+
+* **attacker-accessible coverage** — the fraction of the application's
+  dynamic instructions an attacker can still execute after bending past
+  the license check, i.e. everything not gated behind an enclave lease
+  check.  For an unprotected binary this is 1.0; SecureLease drives it
+  toward the share of boilerplate (I/O, drivers).
+* **utility loss** — 1 minus that, the paper's "rendered handicapped".
+* **reachable-without-lease set** — which functions still run: a
+  function is lost if it is trusted and lease-guarded, or if every call
+  path to it passes through a lost function.
+
+This also powers an ablation: how much security does each *additional*
+migrated cluster buy?
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.partition.base import Partition
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile
+
+
+@dataclass(frozen=True)
+class HandicapReport:
+    """How crippled a CFB attacker is against a given partition."""
+
+    scheme: str
+    program_name: str
+    #: Functions that still execute after the bend.
+    reachable: "frozenset[str]"
+    #: Functions denied (directly gated or only reachable through one).
+    denied: "frozenset[str]"
+    #: Share of dynamic instructions the attacker can still run.
+    attacker_coverage: float
+    #: Share of *key-function* instructions the attacker can still run.
+    key_coverage: float
+
+    @property
+    def utility_loss(self) -> float:
+        """The handicap: dynamic-instruction share the attacker loses."""
+        return 1.0 - self.attacker_coverage
+
+    @property
+    def attack_is_useful(self) -> bool:
+        """Does bending still yield a meaningfully working program?
+
+        "Useful" means the attacker keeps some key-function work, or
+        keeps essentially the whole application (>90 % of dynamic
+        instructions).  The coverage number itself is a structural
+        over-approximation — the real execution dies at the *first*
+        denied call, losing everything after it too — so the threshold
+        is deliberately generous toward the attacker.
+        """
+        return self.key_coverage > 0.0 or self.attacker_coverage > 0.9
+
+
+def denied_functions(program: Program, partition: Partition) -> Set[str]:
+    """Functions a lease-less attacker cannot execute.
+
+    Directly denied: trusted *and* lease-guarded.  Transitively denied:
+    every profiled call path to the function passes through a directly
+    denied one (the caller dies before issuing the call).
+    """
+    directly_denied = {
+        spec.name
+        for spec in program.functions.values()
+        if spec.name in partition.trusted and spec.guarded_by is not None
+    }
+    return directly_denied
+
+
+def analyze_handicap(program: Program, profile: CallProfile,
+                     partition: Partition) -> HandicapReport:
+    """Compute the attacker's post-bend coverage against a partition.
+
+    We walk the profiled call graph from the entry, pruning any edge
+    into a denied function (the call raises and, in the execution
+    model, terminates the run — so everything *after* it in program
+    order is also lost; as a structural approximation we prune the
+    denied subtree and keep siblings, which *over*-estimates attacker
+    coverage and therefore under-states the defence).
+    """
+    denied = denied_functions(program, partition)
+
+    reachable: Set[str] = set()
+    queue: deque = deque([program.entry])
+    while queue:
+        current = queue.popleft()
+        if current in reachable or current in denied:
+            continue
+        reachable.add(current)
+        for (caller, callee), count in profile.edge_counts.items():
+            if caller == current and count > 0 and callee not in reachable:
+                queue.append(callee)
+
+    total = max(profile.total_instructions, 1)
+    attacker_instr = sum(
+        count for fn, count in profile.instruction_counts.items()
+        if fn in reachable
+    )
+
+    key_functions = set(program.key_functions())
+    key_total = sum(
+        profile.instruction_counts.get(fn, 0) for fn in key_functions
+    )
+    key_kept = sum(
+        profile.instruction_counts.get(fn, 0)
+        for fn in key_functions if fn in reachable
+    )
+    key_coverage = key_kept / key_total if key_total else 0.0
+
+    return HandicapReport(
+        scheme=partition.scheme,
+        program_name=program.name,
+        reachable=frozenset(reachable),
+        denied=frozenset(denied),
+        attacker_coverage=attacker_instr / total,
+        key_coverage=key_coverage,
+    )

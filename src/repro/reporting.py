@@ -1,0 +1,74 @@
+"""Experiment reporting: tables for terminals and markdown.
+
+The benchmark harness, the CLI, and downstream users all need to render
+experiment rows.  One implementation lives here: fixed-width text for
+terminals (what ``pytest -s`` shows) and GitHub-flavoured markdown for
+reports like EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+
+@dataclass
+class Table:
+    """An experiment table: a title, headers, and homogeneous rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    # ------------------------------------------------------------------
+    # Renderers
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Fixed-width rendering for terminals."""
+        cells = [[str(h) for h in self.headers]] + [
+            [str(c) for c in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells)
+            for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.title} =="]
+        header_line = "  ".join(
+            h.ljust(w) for h, w in zip(cells[0], widths)
+        )
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column by header name (for assertions)."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+
+def render_report(tables: Iterable[Table], markdown: bool = False) -> str:
+    """Concatenate several tables into one report document."""
+    renderer = Table.to_markdown if markdown else Table.to_text
+    return "\n\n".join(renderer(table) for table in tables)

@@ -1,0 +1,99 @@
+"""Simulated Intel SGX platform.
+
+The reproduction cannot run on SGX hardware, so this package models the
+pieces of the platform that the paper's evaluation depends on:
+
+* :mod:`repro.sgx.costs` — the cycle-cost constants (17k/ECALL, 12k/EPC
+  fault, 3.5 s remote attestation, 92 MB EPC).
+* :mod:`repro.sgx.epc` — a shared enclave page cache with CLOCK eviction.
+* :mod:`repro.sgx.enclave` — enclave lifecycle plus the ECALL/OCALL gate.
+* :mod:`repro.sgx.attestation` — local and remote attestation flows.
+* :mod:`repro.sgx.pcl` — the protected code loader (encrypted enclaves).
+* :mod:`repro.sgx.spinlock` — ``sgx_spin_lock`` equivalent.
+* :mod:`repro.sgx.driver` — instrumented-driver statistics counters.
+
+:class:`SgxMachine` bundles one machine's worth of platform state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sgx.attestation import (
+    AttestationError,
+    AttestationReport,
+    LocalAttestationAuthority,
+    RemoteAttestationService,
+    measure,
+)
+from repro.sgx.costs import (
+    DEFAULT_COSTS,
+    EPC_SIZE_BYTES,
+    PAGE_SIZE,
+    SCALABLE_SGX_COSTS,
+    SgxCostModel,
+    scaled_latency_costs,
+)
+from repro.sgx.driver import SgxStats
+from repro.sgx.enclave import Enclave, EnclaveError
+from repro.sgx.epc import EpcPager
+from repro.sgx.pcl import PclError, PclKeyServer, SealedCodeSection, load_protected_code
+from repro.sgx.spinlock import SpinLock
+from repro.sim.clock import Clock
+
+
+class SgxMachine:
+    """One SGX-capable machine: clock, stats, pager, attestation authority."""
+
+    def __init__(self, name: str = "machine",
+                 clock: Optional[Clock] = None,
+                 costs: Optional[SgxCostModel] = None,
+                 platform_secret: Optional[int] = None) -> None:
+        self.name = name
+        self.clock = clock if clock is not None else Clock()
+        self.costs = costs if costs is not None else SgxCostModel()
+        self.stats = SgxStats()
+        self.pager = EpcPager(self.clock, self.stats, self.costs)
+        secret = platform_secret if platform_secret is not None else (
+            measure(f"platform:{name}")
+        )
+        self.platform_secret = secret
+        self.local_authority = LocalAttestationAuthority(
+            self.clock, self.stats, self.costs, platform_secret=secret
+        )
+
+    def create_enclave(self, name: str, heap_bytes: int = 1 << 20) -> Enclave:
+        """Build and launch an enclave on this machine."""
+        return Enclave(
+            name=name,
+            clock=self.clock,
+            stats=self.stats,
+            pager=self.pager,
+            heap_bytes=heap_bytes,
+            costs=self.costs,
+        )
+
+
+__all__ = [
+    "AttestationError",
+    "AttestationReport",
+    "DEFAULT_COSTS",
+    "EPC_SIZE_BYTES",
+    "Enclave",
+    "EnclaveError",
+    "EpcPager",
+    "LocalAttestationAuthority",
+    "PAGE_SIZE",
+    "PclError",
+    "PclKeyServer",
+    "RemoteAttestationService",
+    "SCALABLE_SGX_COSTS",
+    "SealedCodeSection",
+    "SgxCostModel",
+    "SgxMachine",
+    "SgxStats",
+    "SpinLock",
+    "load_protected_code",
+    "measure",
+    "scaled_latency_costs",
+]

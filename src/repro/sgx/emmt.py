@@ -1,0 +1,103 @@
+"""Enclave memory measurement (the paper's EMMT step).
+
+Section 4.2.1: SGX requires an enclave's memory to be declared upfront,
+so the partitioner estimates each candidate's footprint from the proc
+interface and "further fine-tunes the total amount of memory required
+by using the EMMT tool".  This module is that estimator: given a
+program and a trusted set, it produces the enclave configuration — heap
+size, stack size, and a breakdown by contributor — with a configurable
+safety margin, and can verify a declared configuration against the
+observed working set after a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.partition.base import trusted_working_set
+from repro.sgx.costs import PAGE_SIZE
+from repro.vcpu.program import Program
+from repro.callgraph.cfg import CallGraph
+
+#: Default stack reservation per enclave thread (SGX SDK default-ish).
+DEFAULT_STACK_BYTES = 256 * 1024
+#: Fixed SDK/runtime overhead inside every enclave (tRTS, SSA frames).
+RUNTIME_OVERHEAD_BYTES = 2 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EnclaveSizing:
+    """A build-time enclave memory declaration."""
+
+    code_bytes: int
+    data_bytes: int
+    stack_bytes: int
+    runtime_bytes: int
+    margin_fraction: float
+
+    @property
+    def heap_bytes(self) -> int:
+        return self.data_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        raw = (self.code_bytes + self.data_bytes + self.stack_bytes
+               + self.runtime_bytes)
+        return math.ceil(raw * (1.0 + self.margin_fraction))
+
+    @property
+    def total_pages(self) -> int:
+        return math.ceil(self.total_bytes / PAGE_SIZE)
+
+
+def measure_enclave(program: Program, graph: CallGraph, trusted: Set[str],
+                    threads: int = 1,
+                    margin_fraction: float = 0.10) -> EnclaveSizing:
+    """Estimate the enclave declaration for a trusted set.
+
+    ``margin_fraction`` is the fine-tuning headroom (allocator slack,
+    alignment); 10 % matches common practice with the real EMMT.
+    """
+    if threads < 1:
+        raise ValueError("an enclave needs at least one thread")
+    code = graph.code_bytes(trusted)
+    total_ws = trusted_working_set(program, graph, trusted)
+    data = max(0, total_ws - code)
+    return EnclaveSizing(
+        code_bytes=code,
+        data_bytes=data,
+        stack_bytes=threads * DEFAULT_STACK_BYTES,
+        runtime_bytes=RUNTIME_OVERHEAD_BYTES,
+        margin_fraction=margin_fraction,
+    )
+
+
+def breakdown(program: Program, graph: CallGraph,
+              trusted: Set[str]) -> Dict[str, int]:
+    """Per-contributor bytes: each migrated function's code plus each
+    enclosed region's data — what the EMMT report itemises."""
+    items: Dict[str, int] = {}
+    for name in sorted(trusted):
+        if name in graph:
+            items[f"code:{name}"] = graph.info(name).code_bytes
+    accessors: Dict[str, Set[str]] = {}
+    for spec in program.functions.values():
+        for region_name, _ in spec.regions:
+            accessors.setdefault(region_name, set()).add(spec.name)
+    for region_name, users in sorted(accessors.items()):
+        if users and users <= trusted:
+            items[f"data:{region_name}"] = (
+                program.data_regions[region_name].size_bytes
+            )
+    return items
+
+
+def verify_declaration(sizing: EnclaveSizing, observed_bytes: int) -> bool:
+    """Post-run check: did the declared size actually cover the run?
+
+    SGX enclaves crash on heap exhaustion, so an under-declaration is a
+    build bug the estimator must never produce for profiled inputs.
+    """
+    return observed_bytes <= sizing.total_bytes

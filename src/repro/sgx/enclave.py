@@ -1,0 +1,191 @@
+"""Enclave lifecycle and the ECALL/OCALL gate.
+
+An :class:`Enclave` is a secure compartment with a measurement, a set of
+hosted functions, and a footprint of EPC pages.  Crossing the boundary
+in either direction is expensive: ECALLs cost 17,000 cycles and OCALLs
+8,600 (plus TLB shootdowns), which is exactly the cost structure that
+drives the partitioning algorithm.
+
+The enclave does not execute real machine code — hosted functions are
+Python callables — but every crossing and every page touch is charged,
+so cost-visible behaviour matches the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, Set
+
+from repro.sgx.attestation import measure
+from repro.sgx.costs import PAGE_SIZE, SgxCostModel
+from repro.sgx.driver import SgxStats
+from repro.sgx.epc import EpcPager
+from repro.sim.clock import Clock
+
+_enclave_ids = itertools.count(1)
+
+
+class EnclaveError(Exception):
+    """Raised on invalid enclave operations (e.g. ECALL to missing fn)."""
+
+
+class Enclave:
+    """A simulated SGX enclave.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identity; the measurement derives from it.
+    clock, stats, pager:
+        Shared per-machine simulation state.
+    heap_bytes:
+        Enclave heap declared at build time (SGX requires memory to be
+        stated upfront; Section 4.2.1 notes the partitioner feeds its
+        estimate into enclave "compilation").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        stats: SgxStats,
+        pager: EpcPager,
+        heap_bytes: int = 1 << 20,
+        costs: Optional[SgxCostModel] = None,
+    ) -> None:
+        self.name = name
+        self.enclave_id = next(_enclave_ids)
+        self.measurement = measure(name)
+        self.clock = clock
+        self.stats = stats
+        self.pager = pager
+        self.costs = costs if costs is not None else SgxCostModel()
+        self.heap_bytes = heap_bytes
+        self._ecalls: Dict[str, Callable] = {}
+        self._destroyed = False
+        self._next_page = 0
+        self._inside = False
+        #: Pages backing in-enclave allocations, by allocation tag.
+        self._allocations: Dict[str, range] = {}
+
+    # ------------------------------------------------------------------
+    # Code hosting
+    # ------------------------------------------------------------------
+    def register_ecall(self, name: str, fn: Callable) -> None:
+        """Expose ``fn`` through the enclave's ECALL table."""
+        if name in self._ecalls:
+            raise EnclaveError(f"ECALL {name!r} already registered")
+        self._ecalls[name] = fn
+
+    @property
+    def ecall_names(self) -> Set[str]:
+        return set(self._ecalls)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def allocate(self, tag: str, nbytes: int) -> None:
+        """Reserve EPC pages for an in-enclave data structure."""
+        self._check_alive()
+        if tag in self._allocations:
+            raise EnclaveError(f"allocation {tag!r} already exists")
+        npages = max(1, (nbytes + PAGE_SIZE - 1) // PAGE_SIZE)
+        pages = range(self._next_page, self._next_page + npages)
+        self._next_page += npages
+        self._allocations[tag] = pages
+        self.pager.touch_range(self.enclave_id, pages.start, npages)
+
+    def free(self, tag: str) -> None:
+        """Drop an allocation (its pages become dead weight until teardown)."""
+        self._check_alive()
+        self._allocations.pop(tag, None)
+
+    def touch_allocation(self, tag: str, nbytes: Optional[int] = None) -> int:
+        """Access an allocation's pages (all of it, or a prefix).
+
+        Returns the number of EPC faults incurred.
+        """
+        self._check_alive()
+        pages = self._allocations.get(tag)
+        if pages is None:
+            raise EnclaveError(f"no allocation {tag!r}")
+        npages = len(pages)
+        if nbytes is not None:
+            npages = min(npages, max(1, (nbytes + PAGE_SIZE - 1) // PAGE_SIZE))
+        return self.pager.touch_range(self.enclave_id, pages.start, npages)
+
+    def allocation_bytes(self, tag: str) -> int:
+        pages = self._allocations.get(tag)
+        return 0 if pages is None else len(pages) * PAGE_SIZE
+
+    @property
+    def declared_footprint_bytes(self) -> int:
+        """Total bytes of live allocations (the EMMT-style estimate)."""
+        return sum(len(p) for p in self._allocations.values()) * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Boundary crossings
+    # ------------------------------------------------------------------
+    def ecall(self, name: str, *args, **kwargs):
+        """Enter the enclave and run a hosted function.
+
+        Charges the ECALL transition (17k cycles + TLB) and dispatches.
+        Nested ECALLs from inside the same enclave are a programming
+        error in SGX and are rejected here too.
+        """
+        self._check_alive()
+        if self._inside:
+            raise EnclaveError("nested ECALL into an enclave already entered")
+        fn = self._ecalls.get(name)
+        if fn is None:
+            raise EnclaveError(f"no ECALL named {name!r} in enclave {self.name!r}")
+        self.clock.advance(self.costs.ecall_cycles + self.costs.transition_tlb_cycles)
+        self.stats.ecalls += 1
+        self.stats.charge("ecall", self.costs.ecall_cycles + self.costs.transition_tlb_cycles)
+        self._inside = True
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._inside = False
+
+    def ocall(self, fn: Callable, *args, **kwargs):
+        """Leave the enclave to run untrusted code, then return.
+
+        Must be issued from inside an ECALL (SGX has no free-standing
+        OCALLs).
+        """
+        self._check_alive()
+        if not self._inside:
+            raise EnclaveError("OCALL issued while not executing inside the enclave")
+        self.clock.advance(self.costs.ocall_cycles + self.costs.transition_tlb_cycles)
+        self.stats.ocalls += 1
+        self.stats.charge("ocall", self.costs.ocall_cycles + self.costs.transition_tlb_cycles)
+        self._inside = False
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._inside = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Tear the enclave down, releasing its EPC pages."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        self.pager.release_enclave(self.enclave_id)
+
+    @property
+    def alive(self) -> bool:
+        return not self._destroyed
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise EnclaveError(f"enclave {self.name!r} has been destroyed")
+
+    def __repr__(self) -> str:
+        return (
+            f"Enclave(name={self.name!r}, id={self.enclave_id}, "
+            f"measurement={self.measurement:#x}, alive={self.alive})"
+        )

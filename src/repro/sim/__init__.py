@@ -1,0 +1,21 @@
+"""Deterministic simulation substrate: virtual clock, RNG, event scheduler.
+
+Everything in the reproduction that "takes time" charges cycles to a
+:class:`Clock` instead of consuming wall-clock time, which makes every
+experiment deterministic and fast.  The :class:`EventScheduler` provides
+just enough discrete-event machinery to model concurrent clients hitting
+SL-Local (Figure 8) and multi-node lease distribution (Algorithm 1).
+"""
+
+from repro.sim.clock import CPU_FREQ_HZ, Clock
+from repro.sim.rng import DeterministicRng
+from repro.sim.events import Event, EventScheduler, Process
+
+__all__ = [
+    "CPU_FREQ_HZ",
+    "Clock",
+    "DeterministicRng",
+    "Event",
+    "EventScheduler",
+    "Process",
+]

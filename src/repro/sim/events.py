@@ -1,0 +1,149 @@
+"""A small discrete-event scheduler.
+
+The attestation-throughput experiment (Figure 8) and the multi-node lease
+distribution experiments need concurrent actors sharing one virtual
+timeline.  A full coroutine framework would be overkill; instead we run
+generator-based processes over a priority queue of timestamped events.
+
+A :class:`Process` is a generator that yields the number of cycles it
+wants to sleep; the scheduler resumes it when virtual time reaches that
+point.  Processes can also wait on each other through :class:`Event`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.sim.clock import Clock
+
+#: What a process generator may yield: a cycle count to sleep, or an Event.
+ProcessYield = object
+
+
+class Event:
+    """A one-shot synchronisation point processes can wait on."""
+
+    __slots__ = ("name", "_fired", "_waiters", "value")
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self._fired = False
+        self._waiters: List["_Task"] = []
+        self.value: object = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def fire(self, scheduler: "EventScheduler", value: object = None) -> None:
+        """Fire the event, waking every waiter at the current time."""
+        if self._fired:
+            return
+        self._fired = True
+        self.value = value
+        for task in self._waiters:
+            scheduler._schedule(scheduler.clock.cycles, task)
+        self._waiters.clear()
+
+    def _add_waiter(self, task: "_Task") -> None:
+        self._waiters.append(task)
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, fired={self._fired})"
+
+
+@dataclass
+class _Task:
+    """Internal bookkeeping for one running process."""
+
+    name: str
+    generator: Generator
+    done: bool = False
+    result: object = None
+    on_done: Optional[Callable[["_Task"], None]] = None
+
+
+class Process:
+    """Handle returned by :meth:`EventScheduler.spawn`."""
+
+    __slots__ = ("_task", "completed")
+
+    def __init__(self, task: _Task, completed: Event) -> None:
+        self._task = task
+        self.completed = completed
+
+    @property
+    def name(self) -> str:
+        return self._task.name
+
+    @property
+    def done(self) -> bool:
+        return self._task.done
+
+    @property
+    def result(self) -> object:
+        return self._task.result
+
+
+class EventScheduler:
+    """Run generator processes over a shared virtual clock."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._queue: List[Tuple[int, int, _Task]] = []
+        self._counter = itertools.count()
+
+    def spawn(self, generator: Generator, name: str = "proc") -> Process:
+        """Register a process to start at the current virtual time."""
+        completed = Event(f"{name}.completed")
+
+        def finish(task: _Task) -> None:
+            completed.fire(self, task.result)
+
+        task = _Task(name=name, generator=generator, on_done=finish)
+        self._schedule(self.clock.cycles, task)
+        return Process(task, completed)
+
+    def _schedule(self, at_cycles: int, task: _Task) -> None:
+        heapq.heappush(self._queue, (at_cycles, next(self._counter), task))
+
+    def run(self, until_cycles: Optional[int] = None) -> None:
+        """Run until the queue drains or virtual time passes ``until_cycles``."""
+        while self._queue:
+            at, _, task = self._queue[0]
+            if until_cycles is not None and at > until_cycles:
+                break
+            heapq.heappop(self._queue)
+            if task.done:
+                continue
+            self.clock.advance_to(max(at, self.clock.cycles))
+            self._step(task)
+        if until_cycles is not None and until_cycles > self.clock.cycles:
+            self.clock.advance_to(until_cycles)
+
+    def _step(self, task: _Task) -> None:
+        try:
+            yielded = task.generator.send(None)
+        except StopIteration as stop:
+            task.done = True
+            task.result = stop.value
+            if task.on_done is not None:
+                task.on_done(task)
+            return
+        if isinstance(yielded, Event):
+            if yielded.fired:
+                self._schedule(self.clock.cycles, task)
+            else:
+                yielded._add_waiter(task)
+        elif isinstance(yielded, (int, float)):
+            delay = int(yielded)
+            if delay < 0:
+                raise ValueError(f"process {task.name} slept negative time")
+            self._schedule(self.clock.cycles + delay, task)
+        else:
+            raise TypeError(
+                f"process {task.name} yielded {yielded!r}; expected cycles or Event"
+            )

@@ -1,0 +1,334 @@
+"""The virtual CPU interpreter.
+
+Executes a :class:`~repro.vcpu.program.Program` while charging cycle
+costs to a clock and routing enclave-boundary crossings through a
+simulated SGX enclave.  Three concerns meet here:
+
+1. **Cost accounting** — ``compute()`` charges instruction cycles (with
+   the in-enclave CPI multiplier) and pages trusted data regions through
+   the EPC, so working sets larger than 92 MB fault, exactly like the
+   paper's Glamdring runs.
+
+2. **Partitioned execution** — a placement maps each function to
+   TRUSTED or UNTRUSTED.  Calls that cross the boundary cost an ECALL
+   or an OCALL; calls on the same side are free.  Trusted *key*
+   functions demand a valid execution token from the lease checker
+   before running (this is the dependency SecureLease injects).
+
+3. **Attack surface** — branch and call hooks fire only for untrusted
+   code.  A CFB attacker (running the program "on a virtual CPU") can
+   flip untrusted branches or skip untrusted calls at will, but the
+   hooks never see trusted execution: SGX guarantees its integrity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sgx.costs import PAGE_SIZE
+from repro.sgx.enclave import Enclave
+from repro.sim.clock import Clock
+from repro.vcpu.program import FunctionSpec, Program
+
+
+class VcpuError(Exception):
+    """Raised on malformed programs or invalid vCPU operations."""
+
+
+class ExecutionDenied(Exception):
+    """A trusted key function refused to run without a valid lease."""
+
+
+class Placement(enum.Enum):
+    """Which side of the enclave boundary a function lives on."""
+
+    UNTRUSTED = "untrusted"
+    TRUSTED = "trusted"
+
+
+#: Hook signatures.  Branch hook: (function, label, condition) -> condition.
+BranchHook = Callable[[str, str, bool], bool]
+#: Call hook: (caller, callee) -> (intercept, forged_return).
+CallHook = Callable[[Optional[str], str], Tuple[bool, object]]
+
+
+@dataclass
+class _RegionCursor:
+    """Rotating window over a data region for paging simulation.
+
+    Touching ``nbytes`` of an S-byte region advances a cursor, so a
+    function streaming over a structure larger than the EPC keeps
+    touching *new* pages — which is what produces sustained fault
+    traffic instead of a one-time warm-up.
+    """
+
+    start_page: int
+    total_pages: int
+    cursor: int = 0
+
+    def next_pages(self, npages: int) -> List[int]:
+        pages = []
+        npages = min(npages, self.total_pages)
+        for _ in range(npages):
+            pages.append(self.start_page + self.cursor)
+            self.cursor = (self.cursor + 1) % self.total_pages
+        return pages
+
+
+class VirtualCpu:
+    """Interpreter for function-level programs, with attack hooks.
+
+    Parameters
+    ----------
+    program:
+        The application to run.
+    clock:
+        Cycle clock charged for all execution.
+    placement:
+        Function name -> :class:`Placement`.  Omitted functions default
+        to UNTRUSTED (the unpartitioned case).
+    enclave:
+        Required when any function is TRUSTED; supplies the machine's
+        pager/stats through which trusted execution is charged.
+    lease_checker:
+        Callable ``(license_id) -> bool`` consulted by trusted key
+        functions.  Wired to SL-Manager in the full system.
+    cpi:
+        Baseline cycles per instruction outside the enclave.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        clock: Clock,
+        placement: Optional[Dict[str, Placement]] = None,
+        enclave: Optional[Enclave] = None,
+        lease_checker: Optional[Callable[[str], bool]] = None,
+        cpi: float = 1.0,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.clock = clock
+        self.placement = dict(placement or {})
+        self.enclave = enclave
+        self.lease_checker = lease_checker
+        self.cpi = cpi
+
+        if any(p is Placement.TRUSTED for p in self.placement.values()):
+            if enclave is None:
+                raise VcpuError("trusted functions require an enclave")
+
+        self._call_stack: List[str] = []
+        self._branch_hooks: List[BranchHook] = []
+        self._call_hooks: List[CallHook] = []
+        self._observers: List["TraceObserver"] = []
+        self._region_cursors: Dict[str, _RegionCursor] = {}
+        self._next_trusted_page = 0
+
+        # Pre-allocate EPC page windows for trusted data regions: a
+        # region is trusted when every function touching it is trusted
+        # (the paper keeps common data structures untrusted).
+        self._trusted_regions = self._compute_trusted_regions()
+        if enclave is not None:
+            for region_name in sorted(self._trusted_regions):
+                region = program.data_regions[region_name]
+                npages = max(1, (region.size_bytes + PAGE_SIZE - 1) // PAGE_SIZE)
+                self._region_cursors[region_name] = _RegionCursor(
+                    start_page=self._next_trusted_page, total_pages=npages
+                )
+                self._next_trusted_page += npages
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+    def placement_of(self, fn_name: str) -> Placement:
+        return self.placement.get(fn_name, Placement.UNTRUSTED)
+
+    def _compute_trusted_regions(self) -> set:
+        """Regions whose every accessor is trusted."""
+        accessors: Dict[str, List[str]] = {}
+        for spec in self.program.functions.values():
+            for region_name, _ in spec.regions:
+                accessors.setdefault(region_name, []).append(spec.name)
+        trusted = set()
+        for region_name, fns in accessors.items():
+            if fns and all(
+                self.placement_of(fn) is Placement.TRUSTED for fn in fns
+            ):
+                trusted.add(region_name)
+        return trusted
+
+    @property
+    def trusted_regions(self) -> set:
+        return set(self._trusted_regions)
+
+    # ------------------------------------------------------------------
+    # Instrumentation (the Pin API)
+    # ------------------------------------------------------------------
+    def add_branch_hook(self, hook: BranchHook) -> None:
+        """Attach a hook that may rewrite untrusted branch outcomes."""
+        self._branch_hooks.append(hook)
+
+    def add_call_hook(self, hook: CallHook) -> None:
+        """Attach a hook that may intercept untrusted calls."""
+        self._call_hooks.append(hook)
+
+    def add_observer(self, observer: "TraceObserver") -> None:
+        """Attach a passive observer (tracer); sees all events, edits none."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Execution API exposed to function bodies
+    # ------------------------------------------------------------------
+    def run(self, *args, **kwargs):
+        """Execute the program from its entry function."""
+        return self.call(self.program.entry, *args, **kwargs)
+
+    def call(self, fn_name: str, *args, **kwargs):
+        """Invoke a function, honouring placement and attack hooks."""
+        spec = self.program.functions.get(fn_name)
+        if spec is None:
+            raise VcpuError(f"call to undefined function {fn_name!r}")
+
+        caller = self._call_stack[-1] if self._call_stack else None
+        caller_side = (
+            self.placement_of(caller) if caller is not None else Placement.UNTRUSTED
+        )
+        callee_side = self.placement_of(fn_name)
+
+        for observer in self._observers:
+            observer.on_call(caller, fn_name)
+
+        # Attack hooks can only intercept calls whose *call site* is in
+        # untrusted code; trusted call sites are integrity-protected.
+        if caller_side is Placement.UNTRUSTED:
+            for hook in self._call_hooks:
+                intercepted, forged = hook(caller, fn_name)
+                if intercepted:
+                    for observer in self._observers:
+                        observer.on_call_skipped(caller, fn_name)
+                    return forged
+
+        crossing = None
+        if caller_side is Placement.UNTRUSTED and callee_side is Placement.TRUSTED:
+            crossing = "ecall"
+        elif caller_side is Placement.TRUSTED and callee_side is Placement.UNTRUSTED:
+            crossing = "ocall"
+
+        if crossing is not None:
+            self._charge_crossing(crossing)
+
+        if callee_side is Placement.TRUSTED and spec.guarded_by is not None:
+            self._check_lease(spec)
+
+        self._call_stack.append(fn_name)
+        try:
+            return spec.body(self, *args, **kwargs)
+        finally:
+            self._call_stack.pop()
+            if crossing is not None:
+                # The return transition costs a second boundary crossing.
+                self._charge_crossing("ocall" if crossing == "ecall" else "ecall",
+                                      is_return=True)
+
+    def compute(self, instructions: int,
+                region: Optional[Tuple[str, int]] = None) -> None:
+        """Execute straight-line work: ``instructions`` at the current CPI.
+
+        ``region`` optionally names a data region and the bytes touched;
+        if the region is enclave-resident the touch goes through the EPC
+        pager (and may fault).
+        """
+        if instructions < 0:
+            raise VcpuError("negative instruction count")
+        current = self._call_stack[-1] if self._call_stack else None
+        side = self.placement_of(current) if current else Placement.UNTRUSTED
+        multiplier = self.cpi
+        if side is Placement.TRUSTED and self.enclave is not None:
+            multiplier *= self.enclave.costs.enclave_cpi_multiplier
+        self.clock.advance(round(instructions * multiplier))
+
+        for observer in self._observers:
+            observer.on_compute(current, instructions)
+
+        if region is not None:
+            region_name, nbytes = region
+            if region_name not in self.program.data_regions:
+                raise VcpuError(f"compute touches undefined region {region_name!r}")
+            if region_name in self._region_cursors and self.enclave is not None:
+                cursor = self._region_cursors[region_name]
+                npages = max(1, (nbytes + PAGE_SIZE - 1) // PAGE_SIZE)
+                for page in cursor.next_pages(npages):
+                    self.enclave.pager.touch(self.enclave.enclave_id, page)
+
+    def branch(self, label: str, condition: bool) -> bool:
+        """Evaluate a conditional branch.
+
+        Untrusted branches pass through the attack hooks (a CFB attacker
+        flips them here); trusted branches are integrity-protected.
+        """
+        current = self._call_stack[-1] if self._call_stack else None
+        side = self.placement_of(current) if current else Placement.UNTRUSTED
+        outcome = bool(condition)
+        if side is Placement.UNTRUSTED:
+            for hook in self._branch_hooks:
+                outcome = bool(hook(current or "<entry>", label, outcome))
+        for observer in self._observers:
+            observer.on_branch(current, label, outcome)
+        return outcome
+
+    @property
+    def current_function(self) -> Optional[str]:
+        return self._call_stack[-1] if self._call_stack else None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _charge_crossing(self, kind: str, is_return: bool = False) -> None:
+        enclave = self.enclave
+        if enclave is None:
+            return
+        if kind == "ecall":
+            cycles = enclave.costs.ecall_cycles + enclave.costs.transition_tlb_cycles
+            enclave.stats.ecalls += 1
+            enclave.stats.charge("ecall", cycles)
+        else:
+            cycles = enclave.costs.ocall_cycles + enclave.costs.transition_tlb_cycles
+            enclave.stats.ocalls += 1
+            enclave.stats.charge("ocall", cycles)
+        self.clock.advance(cycles)
+        for observer in self._observers:
+            observer.on_crossing(kind, is_return)
+
+    def _check_lease(self, spec: FunctionSpec) -> None:
+        if self.lease_checker is None:
+            raise ExecutionDenied(
+                f"key function {spec.name!r} requires a lease for "
+                f"{spec.guarded_by!r} but no lease checker is wired"
+            )
+        if not self.lease_checker(spec.guarded_by):
+            raise ExecutionDenied(
+                f"no valid lease for {spec.guarded_by!r}; "
+                f"refusing to execute {spec.name!r}"
+            )
+
+
+class TraceObserver:
+    """Base class for passive instrumentation; override what you need."""
+
+    def on_call(self, caller: Optional[str], callee: str) -> None:
+        """A call is about to execute."""
+
+    def on_call_skipped(self, caller: Optional[str], callee: str) -> None:
+        """An attack hook intercepted the call."""
+
+    def on_compute(self, function: Optional[str], instructions: int) -> None:
+        """Straight-line work executed inside ``function``."""
+
+    def on_branch(self, function: Optional[str], label: str, outcome: bool) -> None:
+        """A branch resolved to ``outcome``."""
+
+    def on_crossing(self, kind: str, is_return: bool) -> None:
+        """An enclave boundary crossing was charged."""

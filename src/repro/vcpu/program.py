@@ -1,0 +1,175 @@
+"""Function-level program model.
+
+A :class:`Program` is what the partitioners, the vCPU, and the attacks
+all operate on.  Each :class:`FunctionSpec` carries the static metadata
+the paper's pipeline needs:
+
+* ``code_bytes`` — static code size (Table 5's "static coverage" sums
+  these for the migrated set).
+* ``module`` — the submodule the developer placed the function in; real
+  applications are highly modular and the CFG clusters recover these.
+* ``regions`` — data regions the function touches, with how many bytes a
+  typical invocation accesses (drives EPC paging when trusted).
+* ``is_key`` — developer annotation marking key functions (Section
+  4.2.1); ``guarded_by`` names the license that must be valid for a key
+  function to run once migrated into the enclave.
+* ``sensitive`` — whether Glamdring-style data-flow analysis considers
+  the function a handler of sensitive data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DataRegion:
+    """A named data structure with a total size and an access pattern.
+
+    ``pattern`` drives the EPC fault model: ``"random"`` structures
+    (hash tables, index trees) touch a whole page per access, while
+    ``"stream"`` structures (file buffers, edge lists) amortise a page
+    over many sequential accesses.
+    """
+
+    name: str
+    size_bytes: int
+    pattern: str = "stream"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"region {self.name!r} must have positive size")
+        if self.pattern not in ("stream", "random"):
+            raise ValueError(
+                f"region {self.name!r}: pattern must be 'stream' or 'random'"
+            )
+
+
+@dataclass
+class FunctionSpec:
+    """Static description of one program function."""
+
+    name: str
+    body: Callable
+    code_bytes: int
+    module: str
+    #: (region name, bytes accessed per typical invocation)
+    regions: Tuple[Tuple[str, int], ...] = ()
+    is_key: bool = False
+    is_auth: bool = False
+    guarded_by: Optional[str] = None
+    sensitive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.code_bytes <= 0:
+            raise ValueError(f"function {self.name!r} must have positive code size")
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of data a typical invocation accesses."""
+        return sum(nbytes for _, nbytes in self.regions)
+
+
+class Program:
+    """A complete application: functions, data regions, entry point."""
+
+    def __init__(self, name: str, entry: str = "main") -> None:
+        self.name = name
+        self.entry = entry
+        self.functions: Dict[str, FunctionSpec] = {}
+        self.data_regions: Dict[str, DataRegion] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_region(self, name: str, size_bytes: int,
+                   pattern: str = "stream") -> DataRegion:
+        if name in self.data_regions:
+            raise ValueError(f"region {name!r} already defined")
+        region = DataRegion(name, size_bytes, pattern)
+        self.data_regions[name] = region
+        return region
+
+    def add_function(self, spec: FunctionSpec) -> FunctionSpec:
+        if spec.name in self.functions:
+            raise ValueError(f"function {spec.name!r} already defined")
+        for region_name, _ in spec.regions:
+            if region_name not in self.data_regions:
+                raise ValueError(
+                    f"function {spec.name!r} references undefined region "
+                    f"{region_name!r}"
+                )
+        self.functions[spec.name] = spec
+        return spec
+
+    def function(
+        self,
+        name: str,
+        code_bytes: int,
+        module: str,
+        regions: Iterable[Tuple[str, int]] = (),
+        is_key: bool = False,
+        is_auth: bool = False,
+        guarded_by: Optional[str] = None,
+        sensitive: bool = False,
+    ) -> Callable[[Callable], Callable]:
+        """Decorator for registering a function body.
+
+        Example::
+
+            @program.function("probe", code_bytes=2_000, module="join")
+            def probe(cpu, key):
+                cpu.compute(150, region=("hash_table", 64))
+                ...
+        """
+
+        def register(body: Callable) -> Callable:
+            self.add_function(
+                FunctionSpec(
+                    name=name,
+                    body=body,
+                    code_bytes=code_bytes,
+                    module=module,
+                    regions=tuple(regions),
+                    is_key=is_key,
+                    is_auth=is_auth,
+                    guarded_by=guarded_by,
+                    sensitive=sensitive,
+                )
+            )
+            return body
+
+        return register
+
+    # ------------------------------------------------------------------
+    # Queries used by the partitioners
+    # ------------------------------------------------------------------
+    @property
+    def total_code_bytes(self) -> int:
+        return sum(f.code_bytes for f in self.functions.values())
+
+    def auth_functions(self) -> List[str]:
+        return [f.name for f in self.functions.values() if f.is_auth]
+
+    def key_functions(self) -> List[str]:
+        return [f.name for f in self.functions.values() if f.is_key]
+
+    def sensitive_functions(self) -> List[str]:
+        return [f.name for f in self.functions.values() if f.sensitive]
+
+    def modules(self) -> List[str]:
+        return sorted({f.module for f in self.functions.values()})
+
+    def validate(self) -> None:
+        """Check the program is runnable: entry exists, regions defined."""
+        if self.entry not in self.functions:
+            raise ValueError(
+                f"program {self.name!r} has no entry function {self.entry!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Program(name={self.name!r}, functions={len(self.functions)}, "
+            f"regions={len(self.data_regions)})"
+        )

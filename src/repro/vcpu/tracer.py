@@ -1,0 +1,157 @@
+"""Trace recording and call profiles.
+
+The partitioners (and the attacker's CFG analysis) need a *profile* of
+an execution: which functions called which, how often, and how many
+dynamic instructions each function retired.  :class:`Tracer` is a
+:class:`~repro.vcpu.machine.TraceObserver` that accumulates exactly
+that; :class:`CallProfile` is the immutable result.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.vcpu.machine import TraceObserver
+from repro.vcpu.program import Program
+
+
+@dataclass
+class CallProfile:
+    """Aggregated dynamic behaviour of one (or more) executions.
+
+    Attributes
+    ----------
+    edge_counts:
+        ``(caller, callee) -> number of calls``; caller ``None`` marks
+        the program entry.
+    call_counts:
+        Per-function invocation counts.
+    instruction_counts:
+        Per-function dynamic instructions retired.
+    branch_counts:
+        ``(function, label, outcome) -> count`` — the attacker's
+        supervised CFG-diff analysis compares these between runs.
+    """
+
+    program_name: str
+    edge_counts: Dict[Tuple[Optional[str], str], int] = field(default_factory=dict)
+    call_counts: Dict[str, int] = field(default_factory=dict)
+    instruction_counts: Dict[str, int] = field(default_factory=dict)
+    branch_counts: Dict[Tuple[str, str, bool], int] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instruction_counts.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.call_counts.values())
+
+    def called_functions(self) -> List[str]:
+        return sorted(self.call_counts)
+
+    def out_degree(self, fn: str) -> int:
+        """Number of *distinct* callees of ``fn`` (F-LaaS's metric)."""
+        return len({callee for (caller, callee) in self.edge_counts if caller == fn})
+
+    def outgoing_calls(self, fn: str) -> int:
+        """Total dynamic calls made by ``fn``."""
+        return sum(
+            count for (caller, _), count in self.edge_counts.items() if caller == fn
+        )
+
+    def dynamic_coverage_of(self, functions: "set[str]") -> float:
+        """Fraction of dynamic instructions retired inside ``functions``.
+
+        This is Table 5's "dynamic coverage" metric for a migrated set.
+        """
+        total = self.total_instructions
+        if total == 0:
+            return 0.0
+        inside = sum(
+            count
+            for fn, count in self.instruction_counts.items()
+            if fn in functions
+        )
+        return inside / total
+
+    def cross_partition_calls(self, trusted: "set[str]") -> Tuple[int, int]:
+        """(ecalls, ocalls) a partition would incur on this profile.
+
+        An ECALL is an untrusted->trusted edge; every such call also
+        returns (charged separately by the vCPU), but for partitioning
+        cost estimates the entry counts are what matter.
+        """
+        ecalls = 0
+        ocalls = 0
+        for (caller, callee), count in self.edge_counts.items():
+            caller_trusted = caller in trusted if caller is not None else False
+            callee_trusted = callee in trusted
+            if not caller_trusted and callee_trusted:
+                ecalls += count
+            elif caller_trusted and not callee_trusted:
+                ocalls += count
+        return ecalls, ocalls
+
+    def merged_with(self, other: "CallProfile") -> "CallProfile":
+        """Combine two profiles (e.g. traces from multiple inputs)."""
+        merged = CallProfile(program_name=self.program_name)
+        for source in (self, other):
+            for key, count in source.edge_counts.items():
+                merged.edge_counts[key] = merged.edge_counts.get(key, 0) + count
+            for fn, count in source.call_counts.items():
+                merged.call_counts[fn] = merged.call_counts.get(fn, 0) + count
+            for fn, count in source.instruction_counts.items():
+                merged.instruction_counts[fn] = (
+                    merged.instruction_counts.get(fn, 0) + count
+                )
+            for key, count in source.branch_counts.items():
+                merged.branch_counts[key] = merged.branch_counts.get(key, 0) + count
+        return merged
+
+
+class Tracer(TraceObserver):
+    """Passive observer that accumulates a :class:`CallProfile`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._edges: Counter = Counter()
+        self._calls: Counter = Counter()
+        self._instructions: Counter = Counter()
+        self._branches: Counter = Counter()
+        self._skipped: Counter = Counter()
+
+    def on_call(self, caller: Optional[str], callee: str) -> None:
+        self._edges[(caller, callee)] += 1
+        self._calls[callee] += 1
+
+    def on_call_skipped(self, caller: Optional[str], callee: str) -> None:
+        # The call was intercepted by an attack hook; undo the optimistic
+        # recording so the profile reflects what actually executed.
+        self._edges[(caller, callee)] -= 1
+        self._calls[callee] -= 1
+        self._skipped[(caller, callee)] += 1
+
+    def on_compute(self, function: Optional[str], instructions: int) -> None:
+        if function is not None:
+            self._instructions[function] += instructions
+
+    def on_branch(self, function: Optional[str], label: str, outcome: bool) -> None:
+        self._branches[(function or "<entry>", label, outcome)] += 1
+
+    def profile(self) -> CallProfile:
+        """Snapshot the accumulated counts as an immutable profile."""
+        return CallProfile(
+            program_name=self.program.name,
+            edge_counts={k: v for k, v in self._edges.items() if v > 0},
+            call_counts={k: v for k, v in self._calls.items() if v > 0},
+            instruction_counts=dict(self._instructions),
+            branch_counts=dict(self._branches),
+        )
+
+    @property
+    def skipped_calls(self) -> Dict[Tuple[Optional[str], str], int]:
+        """Calls an attacker suppressed (useful in attack analyses)."""
+        return dict(self._skipped)

@@ -1,0 +1,148 @@
+"""Workload framework.
+
+Each of the paper's 11 workloads (Table 4) is a real, scaled-down
+implementation: the algorithms genuinely run (BFS really traverses a
+graph, the blockchain really hashes blocks), while every function
+reports representative instruction counts and data-region touches to
+the vCPU so that cost accounting matches the paper's scale *shape*.
+
+Every workload shares the same authentication scaffold: an ``auth``
+module (the AM) whose ``do_auth`` function validates the license file,
+and a ``main`` driver whose post-authentication branch guards the
+protected region — the branch a CFB attack flips.  The protected
+region's key functions carry ``guarded_by`` annotations, so once they
+are migrated into the enclave they demand a live lease through the
+vCPU's lease checker.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.callgraph.cfg import CallGraph
+from repro.core.licensefile import mint_license_blob
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+from repro.vcpu.machine import VirtualCpu
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile, Tracer
+
+def expected_license_blob(license_id: str) -> bytes:
+    """The license file the workload's AM accepts.
+
+    Shared with SL-Remote through :mod:`repro.core.licensefile`, so a
+    blob minted by the server passes the in-app check too.
+    """
+    return mint_license_blob(license_id)
+
+
+def add_auth_module(program: Program, license_id: str,
+                    code_bytes: int = 2_400) -> None:
+    """Attach the standard authentication module (the AM).
+
+    Three functions in an ``auth`` module: ``parse_license`` splits the
+    blob, ``verify_mac`` checks the vendor MAC, and ``do_auth`` — the
+    authentication function proper — orchestrates them.  All are marked
+    ``sensitive`` (they handle the license), which is what Glamdring's
+    data-flow analysis seeds from.
+    """
+    program.add_region("license_buf", 4096)
+    expected = expected_license_blob(license_id)
+
+    @program.function("parse_license", code_bytes=code_bytes // 3, module="auth",
+                      regions=(("license_buf", 512),), is_auth=True, sensitive=True)
+    def parse_license(cpu, blob: bytes):
+        cpu.compute(60, region=("license_buf", 256))
+        parts = blob.split(b":", 1)
+        if len(parts) != 2:
+            return None
+        return parts[0], parts[1]
+
+    @program.function("verify_mac", code_bytes=code_bytes // 3, module="auth",
+                      regions=(("license_buf", 512),), is_auth=True, sensitive=True)
+    def verify_mac(cpu, fields) -> bool:
+        cpu.compute(450, region=("license_buf", 256))
+        if fields is None:
+            return False
+        identity, mac = fields
+        return identity + b":" + mac == expected
+
+    @program.function("do_auth", code_bytes=code_bytes // 3, module="auth",
+                      regions=(("license_buf", 512),), is_auth=True,
+                      sensitive=True)
+    def do_auth(cpu, blob: bytes) -> bool:
+        fields = cpu.call("parse_license", blob)
+        result = cpu.call("verify_mac", fields)
+        cpu.compute(40)
+        return result
+
+
+@dataclass
+class WorkloadRun:
+    """Everything a single profiled execution yields."""
+
+    program: Program
+    profile: CallProfile
+    graph: CallGraph
+    result: object
+    cycles: int
+
+
+class Workload(abc.ABC):
+    """One Table 4 workload.
+
+    Subclasses implement :meth:`build_program`, registering real
+    function bodies.  ``scale`` shrinks input sizes for fast tests
+    (1.0 = the reproduction's default evaluation size, itself a
+    scaled-down stand-in for the paper's native inputs).
+    """
+
+    #: Workload identifier matching Table 4.
+    name: str = "abstract"
+    #: The add-on license protecting this workload's key functions.
+    license_id: str = "license"
+    #: Functions Table 5 lists as migrated by SecureLease.
+    key_function_names: Tuple[str, ...] = ()
+    #: FaaS workloads bill per key-function invocation (10 K-500 K
+    #: license checks per run in the paper); classic applications
+    #: acquire their lease once per execution.
+    per_call_billing: bool = False
+
+    def __init__(self, seed: int = 1234) -> None:
+        self.seed = seed
+        self.rng = DeterministicRng(seed).fork(self.name)
+
+    @abc.abstractmethod
+    def build_program(self, scale: float = 1.0) -> Program:
+        """Construct the program (functions, regions, annotations)."""
+
+    def valid_license_blob(self) -> bytes:
+        return expected_license_blob(self.license_id)
+
+    def run_profiled(self, scale: float = 1.0,
+                     license_blob: Optional[bytes] = None,
+                     clock: Optional[Clock] = None) -> WorkloadRun:
+        """Execute unpartitioned with a tracer attached; returns profile.
+
+        This is the profiling run both the partitioners and the
+        attacker's CFG analysis start from.
+        """
+        program = self.build_program(scale)
+        clock = clock if clock is not None else Clock()
+        cpu = VirtualCpu(program, clock)
+        tracer = Tracer(program)
+        cpu.add_observer(tracer)
+        blob = license_blob if license_blob is not None else self.valid_license_blob()
+        start = clock.cycles
+        result = cpu.run(blob)
+        profile = tracer.profile()
+        graph = CallGraph.from_profile(program, profile)
+        return WorkloadRun(
+            program=program,
+            profile=profile,
+            graph=graph,
+            result=result,
+            cycles=clock.cycles - start,
+        )

@@ -1,0 +1,113 @@
+"""Blockchain workload (Table 4): an append-only hashed ledger.
+
+Paper input: a 1 000-block chain (libcatena-style toy ledger).  The
+reproduction really chains SHA-256 hashes: each block stores its data,
+the hash of its content, and the previous block's hash, with full-chain
+verification at the end.
+
+Migrated key functions (Table 5): ``insert()``, ``hash()``.  The chain
+is tiny (4 MB for both schemes), so the SecureLease gain is the paper's
+smallest (3.30 %) — a shape our benches must also reproduce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+from repro.vcpu.program import Program
+from repro.workloads.base import Workload, add_auth_module
+
+CHAIN_REGION_BYTES = 4 * 1024 * 1024
+
+
+@dataclass
+class Block:
+    """A real ledger block."""
+
+    index: int
+    data: bytes
+    prev_hash: bytes
+    content_hash: bytes
+
+
+class BlockchainWorkload(Workload):
+    """Build and verify a hash-linked ledger."""
+
+    name = "blockchain"
+    license_id = "lic-ledger-append"
+    key_function_names = ("insert", "hash")
+
+    def build_program(self, scale: float = 1.0) -> Program:
+        n_blocks = max(32, int(1_000 * scale))
+        rng = self.rng.fork(f"blocks:{scale}")
+        payloads = [rng.random_bytes(48) for _ in range(n_blocks)]
+
+        program = Program("blockchain", entry="main")
+        program.add_region("chain", CHAIN_REGION_BYTES)
+        program.add_region("payload_buf", 1 * 1024 * 1024)
+        add_auth_module(program, self.license_id)
+
+        chain: List[Block] = []
+
+        @program.function("ingest_payloads", code_bytes=3_600, module="io",
+                          regions=(("payload_buf", 4096),), sensitive=True)
+        def ingest_payloads(cpu) -> int:
+            cpu.compute(2 * n_blocks, region=("payload_buf", 48 * n_blocks))
+            return n_blocks
+
+        @program.function("hash", code_bytes=5_100, module="ledger",
+                          regions=(("chain", 128),),
+                          is_key=True, guarded_by=self.license_id)
+        def hash_block(cpu, data: bytes, prev_hash: bytes) -> bytes:
+            cpu.compute(240, region=("chain", 96))
+            return hashlib.sha256(prev_hash + data).digest()
+
+        @program.function("insert", code_bytes=6_100, module="ledger",
+                          regions=(("chain", 256), ("payload_buf", 64)),
+                          is_key=True, guarded_by=self.license_id)
+        def insert(cpu, data: bytes) -> Block:
+            prev_hash = chain[-1].content_hash if chain else b"\x00" * 32
+            content_hash = cpu.call("hash", data, prev_hash)
+            cpu.compute(30, region=("chain", 128))
+            block = Block(
+                index=len(chain),
+                data=data,
+                prev_hash=prev_hash,
+                content_hash=content_hash,
+            )
+            chain.append(block)
+            return block
+
+        @program.function("verify_chain", code_bytes=4_400, module="ledger",
+                          regions=(("chain", 512),))
+        def verify_chain(cpu) -> bool:
+            previous = b"\x00" * 32
+            for block in chain:
+                cpu.compute(12, region=("chain", 128))
+                expected = cpu.call("hash", block.data, previous)
+                if block.prev_hash != previous or block.content_hash != expected:
+                    return False
+                previous = block.content_hash
+            return True
+
+        @program.function("append_all", code_bytes=2_400, module="ledger",
+                          regions=(("chain", 512), ("payload_buf", 256)))
+        def append_all(cpu) -> int:
+            """Append every ingested payload (the ledger's batch loop)."""
+            for payload in payloads:
+                cpu.call("insert", payload)
+            return len(chain)
+
+        @program.function("main", code_bytes=1_700, module="driver")
+        def main(cpu, license_blob: bytes):
+            cpu.call("ingest_payloads")
+            authorized = cpu.call("do_auth", license_blob)
+            if not cpu.branch("auth_ok", authorized):
+                return {"status": "ABORT", "reason": "invalid license"}
+            blocks = cpu.call("append_all")
+            intact = cpu.call("verify_chain")
+            return {"status": "OK", "blocks": blocks, "intact": intact}
+
+        return program

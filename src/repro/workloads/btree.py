@@ -1,0 +1,165 @@
+"""B-Tree workload (Table 4): build a B-Tree and serve lookups.
+
+Paper input: 3 M elements (the mitosis B-Tree benchmark).  The
+reproduction builds a genuine B-Tree (order-16 nodes, real splits) over
+tens of thousands of keys and serves a lookup stream.
+
+Migrated key functions (Table 5): ``find()``, ``leaf()``, ``create()``.
+Glamdring's closure encloses the 280 MB tree region (1 430 K evicts in
+the paper); SecureLease leaves it untrusted (4 MB / 0).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vcpu.program import Program
+from repro.workloads.base import Workload, add_auth_module
+
+TREE_REGION_BYTES = 280 * 1024 * 1024
+ORDER = 16
+
+
+class _BTreeNode:
+    """A real in-memory B-Tree node."""
+
+    __slots__ = ("keys", "children", "leaf")
+
+    def __init__(self, leaf: bool = True) -> None:
+        self.keys: List[int] = []
+        self.children: List["_BTreeNode"] = []
+        self.leaf = leaf
+
+
+class BTreeWorkload(Workload):
+    """Order-16 B-Tree construction plus a lookup stream."""
+
+    name = "btree"
+    license_id = "lic-btree-index"
+    key_function_names = ("find", "leaf", "create")
+
+    def build_program(self, scale: float = 1.0) -> Program:
+        n_keys = max(256, int(20_000 * scale))
+        n_lookups = max(128, int(8_000 * scale))
+        rng = self.rng.fork(f"keys:{scale}")
+        keys = [rng.randint(0, 1 << 30) for _ in range(n_keys)]
+        lookups = [keys[rng.randint(0, n_keys - 1)] if rng.bernoulli(0.8)
+                   else rng.randint(0, 1 << 30) for _ in range(n_lookups)]
+
+        program = Program("btree", entry="main")
+        program.add_region("tree", TREE_REGION_BYTES, pattern="random")
+        program.add_region("input_buf", 8 * 1024 * 1024)
+        add_auth_module(program, self.license_id)
+
+        root_holder = {"root": None}
+
+        # -- io module -----------------------------------------------------
+        @program.function("read_elements", code_bytes=4_800, module="io",
+                          regions=(("input_buf", 4096), ("tree", 1024)),
+                          sensitive=True)
+        def read_elements(cpu) -> List[int]:
+            cpu.compute(2 * n_keys, region=("input_buf", 8 * n_keys))
+            return keys
+
+        # -- index module: the protected region -----------------------------
+        @program.function("create", code_bytes=5_600, module="index",
+                          regions=(("tree", 4096),),
+                          is_key=True, guarded_by=self.license_id)
+        def create(cpu, elements: List[int]) -> _BTreeNode:
+            """Build the tree by repeated insertion (real splits)."""
+            root = _BTreeNode(leaf=True)
+            for value in elements:
+                cpu.compute(28, region=("tree", 64))
+                root = _insert(root, value)
+            root_holder["root"] = root
+            return root
+
+        @program.function("leaf", code_bytes=4_200, module="index",
+                          regions=(("tree", 256),),
+                          is_key=True, guarded_by=self.license_id)
+        def leaf(cpu, node: _BTreeNode, key: int) -> bool:
+            """Scan a leaf node for the key."""
+            cpu.compute(6 + 2 * len(node.keys), region=("tree", 16 * ORDER))
+            return key in node.keys
+
+        @program.function("find", code_bytes=7_800, module="index",
+                          regions=(("tree", 512),),
+                          is_key=True, guarded_by=self.license_id)
+        def find(cpu, key: int) -> bool:
+            """Descend from the root to the owning leaf."""
+            node = root_holder["root"]
+            while node is not None and not node.leaf:
+                cpu.compute(10 + len(node.keys), region=("tree", 16 * ORDER))
+                index = _child_index(node, key)
+                node = node.children[index]
+            if node is None:
+                return False
+            return cpu.call("leaf", node, key)
+
+        @program.function("serve_lookups", code_bytes=2_300, module="index",
+                          regions=(("tree", 128),))
+        def serve_lookups(cpu) -> int:
+            hits = 0
+            for key in lookups:
+                if cpu.call("find", key):
+                    hits += 1
+            return hits
+
+        @program.function("main", code_bytes=1_800, module="driver")
+        def main(cpu, license_blob: bytes):
+            elements = cpu.call("read_elements")
+            authorized = cpu.call("do_auth", license_blob)
+            if not cpu.branch("auth_ok", authorized):
+                return {"status": "ABORT", "reason": "invalid license"}
+            cpu.call("create", elements)
+            hits = cpu.call("serve_lookups")
+            return {"status": "OK", "hits": hits, "lookups": n_lookups}
+
+        return program
+
+
+def _child_index(node: _BTreeNode, key: int) -> int:
+    index = 0
+    while index < len(node.keys) and key >= node.keys[index]:
+        index += 1
+    return index
+
+
+def _insert(root: _BTreeNode, key: int) -> _BTreeNode:
+    """Textbook B-Tree insertion with pre-emptive root splitting."""
+    if len(root.keys) == 2 * ORDER - 1:
+        new_root = _BTreeNode(leaf=False)
+        new_root.children.append(root)
+        _split_child(new_root, 0)
+        root = new_root
+    _insert_nonfull(root, key)
+    return root
+
+
+def _split_child(parent: _BTreeNode, index: int) -> None:
+    child = parent.children[index]
+    sibling = _BTreeNode(leaf=child.leaf)
+    mid = ORDER - 1
+    sibling.keys = child.keys[mid + 1 :]
+    median = child.keys[mid]
+    child.keys = child.keys[:mid]
+    if not child.leaf:
+        sibling.children = child.children[mid + 1 :]
+        child.children = child.children[: mid + 1]
+    parent.keys.insert(index, median)
+    parent.children.insert(index + 1, sibling)
+
+
+def _insert_nonfull(node: _BTreeNode, key: int) -> None:
+    if node.leaf:
+        position = 0
+        while position < len(node.keys) and node.keys[position] < key:
+            position += 1
+        node.keys.insert(position, key)
+        return
+    index = _child_index(node, key)
+    if len(node.children[index].keys) == 2 * ORDER - 1:
+        _split_child(node, index)
+        if key >= node.keys[index]:
+            index += 1
+    _insert_nonfull(node.children[index], key)

@@ -1,0 +1,207 @@
+"""JSONParser FaaS workload (Table 4): parse a stream of JSON strings.
+
+Paper input: 10 K strings of ~1 KB each.  The reproduction implements a
+real recursive-descent JSON parser (objects, arrays, strings, numbers,
+booleans, null — no :mod:`json` import) and runs it over generated
+documents, which keeps the hot loop honest.
+
+Migrated key function (Table 5): ``parse()``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.vcpu.program import Program
+from repro.workloads.base import Workload, add_auth_module
+
+INPUT_REGION_BYTES = 34 * 1024 * 1024
+
+
+class JsonParseError(ValueError):
+    """Raised on malformed input."""
+
+
+def _parse_value(text: str, pos: int):
+    """Recursive-descent parser; returns (value, next_pos)."""
+    pos = _skip_ws(text, pos)
+    if pos >= len(text):
+        raise JsonParseError("unexpected end of input")
+    ch = text[pos]
+    if ch == "{":
+        return _parse_object(text, pos)
+    if ch == "[":
+        return _parse_array(text, pos)
+    if ch == '"':
+        return _parse_string(text, pos)
+    if ch == "t" and text.startswith("true", pos):
+        return True, pos + 4
+    if ch == "f" and text.startswith("false", pos):
+        return False, pos + 5
+    if ch == "n" and text.startswith("null", pos):
+        return None, pos + 4
+    return _parse_number(text, pos)
+
+
+def _skip_ws(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos] in " \t\n\r":
+        pos += 1
+    return pos
+
+
+def _parse_object(text: str, pos: int):
+    obj = {}
+    pos += 1  # consume '{'
+    pos = _skip_ws(text, pos)
+    if pos < len(text) and text[pos] == "}":
+        return obj, pos + 1
+    while True:
+        pos = _skip_ws(text, pos)
+        key, pos = _parse_string(text, pos)
+        pos = _skip_ws(text, pos)
+        if pos >= len(text) or text[pos] != ":":
+            raise JsonParseError(f"expected ':' at {pos}")
+        value, pos = _parse_value(text, pos + 1)
+        obj[key] = value
+        pos = _skip_ws(text, pos)
+        if pos >= len(text):
+            raise JsonParseError("unterminated object")
+        if text[pos] == ",":
+            pos += 1
+            continue
+        if text[pos] == "}":
+            return obj, pos + 1
+        raise JsonParseError(f"expected ',' or '}}' at {pos}")
+
+
+def _parse_array(text: str, pos: int):
+    arr = []
+    pos += 1  # consume '['
+    pos = _skip_ws(text, pos)
+    if pos < len(text) and text[pos] == "]":
+        return arr, pos + 1
+    while True:
+        value, pos = _parse_value(text, pos)
+        arr.append(value)
+        pos = _skip_ws(text, pos)
+        if pos >= len(text):
+            raise JsonParseError("unterminated array")
+        if text[pos] == ",":
+            pos += 1
+            continue
+        if text[pos] == "]":
+            return arr, pos + 1
+        raise JsonParseError(f"expected ',' or ']' at {pos}")
+
+
+def _parse_string(text: str, pos: int):
+    if pos >= len(text) or text[pos] != '"':
+        raise JsonParseError(f"expected string at {pos}")
+    pos += 1
+    out = []
+    while pos < len(text):
+        ch = text[pos]
+        if ch == '"':
+            return "".join(out), pos + 1
+        if ch == "\\":
+            pos += 1
+            if pos >= len(text):
+                raise JsonParseError("dangling escape")
+            escape = text[pos]
+            out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+        else:
+            out.append(ch)
+        pos += 1
+    raise JsonParseError("unterminated string")
+
+
+def _parse_number(text: str, pos: int):
+    start = pos
+    while pos < len(text) and (text[pos].isdigit() or text[pos] in "+-.eE"):
+        pos += 1
+    token = text[start:pos]
+    if not token:
+        raise JsonParseError(f"invalid literal at {start}")
+    try:
+        return (float(token) if any(c in token for c in ".eE") else int(token)), pos
+    except ValueError as exc:
+        raise JsonParseError(f"bad number {token!r}") from exc
+
+
+class JsonParserWorkload(Workload):
+    """Parse a stream of synthetic JSON records."""
+
+    name = "jsonparser"
+    license_id = "lic-json-parse"
+    key_function_names = ("parse",)
+    per_call_billing = True
+
+    def build_program(self, scale: float = 1.0) -> Program:
+        n_docs = max(32, int(2_000 * scale))
+        rng = self.rng.fork(f"docs:{scale}")
+        documents: List[str] = []
+        for i in range(n_docs):
+            documents.append(
+                '{"id": %d, "user": "u%d", "tags": ["a", "b"], '
+                '"score": %d.5, "active": %s, "nested": {"depth": %d}}'
+                % (i, rng.randint(0, 999), rng.randint(0, 99),
+                   "true" if rng.bernoulli(0.5) else "false",
+                   rng.randint(1, 9))
+            )
+
+        program = Program("jsonparser", entry="main")
+        program.add_region("input_stream", INPUT_REGION_BYTES)
+        program.add_region("parsed_buf", 4 * 1024 * 1024)
+        add_auth_module(program, self.license_id)
+
+        @program.function("load_stream", code_bytes=2_900, module="io",
+                          regions=(("input_stream", 4096),), sensitive=True)
+        def load_stream(cpu) -> int:
+            total = sum(len(d) for d in documents)
+            cpu.compute(total // 8, region=("input_stream", total))
+            return n_docs
+
+        @program.function("parse", code_bytes=44_000, module="parser",
+                          regions=(("input_stream", 1024), ("parsed_buf", 512)),
+                          is_key=True, guarded_by=self.license_id)
+        def parse(cpu, document: str):
+            """Full recursive-descent parse of one document."""
+            cpu.compute(3 * len(document), region=("parsed_buf", len(document)))
+            value, pos = _parse_value(document, 0)
+            if _skip_ws(document, pos) != len(document):
+                raise JsonParseError("trailing garbage")
+            return value
+
+        @program.function("extract_fields", code_bytes=3_700, module="parser",
+                          regions=(("parsed_buf", 256),))
+        def extract_fields(cpu, record) -> Tuple[int, bool]:
+            cpu.compute(30, region=("parsed_buf", 64))
+            return record["id"], record["active"]
+
+        @program.function("parse_stream", code_bytes=3_100, module="parser",
+                          regions=(("input_stream", 1024), ("parsed_buf", 512)))
+        def parse_stream(cpu) -> int:
+            """Parse every document in the (untrusted) input buffer.
+
+            The enclave reads the buffer directly — SGX code can read
+            untrusted memory without an OCALL, so the per-document loop
+            lives with the parser, not the driver.
+            """
+            active = 0
+            for index in range(n_docs):
+                record = cpu.call("parse", documents[index])
+                _, is_active = cpu.call("extract_fields", record)
+                if is_active:
+                    active += 1
+            return active
+
+        @program.function("main", code_bytes=1_900, module="driver")
+        def main(cpu, license_blob: bytes):
+            cpu.call("load_stream")
+            authorized = cpu.call("do_auth", license_blob)
+            if not cpu.branch("auth_ok", authorized):
+                return {"status": "ABORT", "reason": "invalid license"}
+            active = cpu.call("parse_stream")
+            return {"status": "OK", "documents": n_docs, "active": active}
+
+        return program

@@ -1,0 +1,102 @@
+"""Key-Value FaaS workload (Table 4): a Cloudburst-style KV store.
+
+Paper input: 70 MB, 500 K elements, read/write mix.  The reproduction
+runs a real dict-backed store with versioned values through a mixed
+get/set stream; the paper's headline is that ``set()`` migrates and the
+162 MB store region stays untrusted under SecureLease (4 MB / 0 evicts
+vs Glamdring's 162 MB / 59 K).
+
+Migrated key function (Table 5): ``set()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.vcpu.program import Program
+from repro.workloads.base import Workload, add_auth_module
+
+STORE_REGION_BYTES = 162 * 1024 * 1024
+
+
+class KeyValueWorkload(Workload):
+    """Versioned KV store under a read-heavy mixed workload."""
+
+    name = "keyvalue"
+    license_id = "lic-kv-write"
+    key_function_names = ("set",)
+    per_call_billing = True
+
+    def build_program(self, scale: float = 1.0) -> Program:
+        n_ops = max(256, int(20_000 * scale))
+        key_space = max(64, int(2_000 * scale))
+        write_ratio = 0.3
+        rng = self.rng.fork(f"ops:{scale}")
+        operations: Tuple = tuple(
+            ("set", rng.randint(0, key_space - 1), rng.getrandbits(32))
+            if rng.bernoulli(write_ratio)
+            else ("get", rng.randint(0, key_space - 1), None)
+            for _ in range(n_ops)
+        )
+
+        program = Program("keyvalue", entry="main")
+        program.add_region("store", STORE_REGION_BYTES, pattern="random")
+        program.add_region("oplog", 8 * 1024 * 1024)
+        add_auth_module(program, self.license_id)
+
+        store: Dict[int, Tuple[int, int]] = {}  # key -> (value, version)
+
+        @program.function("load_oplog", code_bytes=3_100, module="io",
+                          regions=(("oplog", 4096), ("store", 512)),
+                          sensitive=True)
+        def load_oplog(cpu) -> int:
+            cpu.compute(2 * n_ops, region=("oplog", 16 * n_ops))
+            return n_ops
+
+        @program.function("get", code_bytes=4_900, module="store",
+                          regions=(("store", 128),))
+        def get(cpu, key: int) -> Optional[int]:
+            cpu.compute(14, region=("store", 32))
+            entry = store.get(key)
+            return None if entry is None else entry[0]
+
+        @program.function("set", code_bytes=8_700, module="store",
+                          regions=(("store", 256),),
+                          is_key=True, guarded_by=self.license_id)
+        def set_value(cpu, key: int, value: int) -> int:
+            """Write a value, bumping its version (the billable op)."""
+            cpu.compute(22, region=("store", 48))
+            _, version = store.get(key, (0, 0))
+            store[key] = (value, version + 1)
+            return version + 1
+
+        @program.function("serve", code_bytes=2_800, module="store",
+                          regions=(("oplog", 1024),))
+        def serve(cpu) -> Tuple[int, int]:
+            hits = 0
+            writes = 0
+            for op, key, value in operations:
+                if op == "get":
+                    if cpu.call("get", key) is not None:
+                        hits += 1
+                else:
+                    cpu.call("set", key, value)
+                    writes += 1
+            return hits, writes
+
+        @program.function("main", code_bytes=1_800, module="driver")
+        def main(cpu, license_blob: bytes):
+            cpu.call("load_oplog")
+            authorized = cpu.call("do_auth", license_blob)
+            if not cpu.branch("auth_ok", authorized):
+                return {"status": "ABORT", "reason": "invalid license"}
+            hits, writes = cpu.call("serve")
+            return {
+                "status": "OK",
+                "ops": n_ops,
+                "hits": hits,
+                "writes": writes,
+                "keys": len(store),
+            }
+
+        return program

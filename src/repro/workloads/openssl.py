@@ -1,0 +1,117 @@
+"""OpenSSL-like workload (Table 4): bulk encryption/decryption.
+
+Paper input: a 151 MB file through OpenSSL.  The reproduction drives
+our from-scratch AES-128-CTR over real buffers, chunk by chunk, with a
+digest pass — the structure of `openssl enc`.
+
+Migrated key function (Table 5): ``decrypt()``.  OpenSSL is the case
+where Glamdring and SecureLease migrate nearly the same (large) code
+mass (99.58 % relative static coverage) but SecureLease keeps the
+310 MB file buffer untrusted and therefore faultless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.crypto.aes import aes128_ctr_decrypt, aes128_ctr_encrypt
+from repro.vcpu.program import Program
+from repro.workloads.base import Workload, add_auth_module
+
+FILE_REGION_BYTES = 310 * 1024 * 1024
+KEYMAT_REGION_BYTES = 64 * 1024
+
+
+class OpensslWorkload(Workload):
+    """Encrypt-then-decrypt a file in chunks, verifying a digest."""
+
+    name = "openssl"
+    license_id = "lic-openssl-cipher"
+    key_function_names = ("decrypt",)
+
+    def build_program(self, scale: float = 1.0) -> Program:
+        n_chunks = max(8, int(96 * scale))
+        chunk_bytes = 1024
+        # Each real 1 KB chunk stands for a 64 KB span of the paper's
+        # 151 MB file: the cipher genuinely runs on the 1 KB, while the
+        # charged instruction counts and region touches reflect 64 KB.
+        chunk_repr_bytes = 64 * 1024
+        rng = self.rng.fork(f"file:{scale}")
+        plaintext_chunks = [rng.random_bytes(chunk_bytes) for _ in range(n_chunks)]
+        key = rng.random_bytes(16)
+
+        program = Program("openssl", entry="main")
+        program.add_region("file_buf", FILE_REGION_BYTES)
+        program.add_region("keymat", KEYMAT_REGION_BYTES)
+        add_auth_module(program, self.license_id)
+
+        state = {"ciphertext": [], "decrypted": []}
+
+        @program.function("read_file", code_bytes=6_200, module="bio",
+                          regions=(("file_buf", 65_536),), sensitive=True)
+        def read_file(cpu) -> int:
+            cpu.compute(n_chunks * chunk_repr_bytes // 64,
+                        region=("file_buf", n_chunks * chunk_repr_bytes))
+            return n_chunks
+
+        @program.function("key_schedule", code_bytes=9_800, module="cipher",
+                          regions=(("keymat", 512),))
+        def key_schedule(cpu) -> bytes:
+            cpu.compute(900, region=("keymat", 256))
+            return key
+
+        @program.function("encrypt", code_bytes=88_000, module="cipher",
+                          regions=(("file_buf", 65_536), ("keymat", 64)))
+        def encrypt(cpu, cipher_key: bytes, index: int) -> bytes:
+            cpu.compute(55 * (chunk_repr_bytes // 16),
+                        region=("file_buf", chunk_repr_bytes))
+            nonce = index.to_bytes(8, "big")
+            return aes128_ctr_encrypt(plaintext_chunks[index], cipher_key, nonce)
+
+        @program.function("decrypt", code_bytes=92_000, module="cipher",
+                          regions=(("file_buf", 65_536), ("keymat", 64)),
+                          is_key=True, guarded_by=self.license_id)
+        def decrypt(cpu, cipher_key: bytes, index: int, ciphertext: bytes) -> bytes:
+            cpu.compute(55 * (chunk_repr_bytes // 16),
+                        region=("file_buf", chunk_repr_bytes))
+            nonce = index.to_bytes(8, "big")
+            return aes128_ctr_decrypt(ciphertext, cipher_key, nonce)
+
+        @program.function("digest", code_bytes=31_000, module="digest",
+                          regions=(("file_buf", 4096),))
+        def digest(cpu, chunks: List[bytes]) -> bytes:
+            cpu.compute(18 * len(chunks), region=("file_buf", 256))
+            h = hashlib.sha256()
+            for chunk in chunks:
+                h.update(chunk)
+            return h.digest()
+
+        @program.function("pipeline", code_bytes=3_400, module="cipher",
+                          regions=(("file_buf", 1024),))
+        def pipeline(cpu) -> bool:
+            cipher_key = cpu.call("key_schedule")
+            state["ciphertext"] = [
+                cpu.call("encrypt", cipher_key, i) for i in range(n_chunks)
+            ]
+            state["decrypted"] = [
+                cpu.call("decrypt", cipher_key, i, state["ciphertext"][i])
+                for i in range(n_chunks)
+            ]
+            return state["decrypted"] == plaintext_chunks
+
+        @program.function("main", code_bytes=2_000, module="driver")
+        def main(cpu, license_blob: bytes):
+            cpu.call("read_file")
+            authorized = cpu.call("do_auth", license_blob)
+            if not cpu.branch("auth_ok", authorized):
+                return {"status": "ABORT", "reason": "invalid license"}
+            roundtrip_ok = cpu.call("pipeline")
+            checksum = cpu.call("digest", state["decrypted"])
+            return {
+                "status": "OK",
+                "roundtrip_ok": roundtrip_ok,
+                "digest": checksum.hex()[:16],
+            }
+
+        return program

@@ -1,0 +1,114 @@
+"""PageRank workload (Table 4): rank pages by popularity.
+
+Paper input: 10 K nodes / 50 M edges (Ligra).  The reproduction runs
+genuine power iterations over a deterministic random graph.  This is
+the paper's largest Glamdring footprint (1 360 MB / 2 234 K evicts vs
+SecureLease's 4 MB / 0).
+
+Migrated key functions (Table 5): ``map()``, ``reduce()``,
+``set_rank()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.vcpu.program import Program
+from repro.workloads.base import Workload, add_auth_module
+
+GRAPH_REGION_BYTES = 1_360 * 1024 * 1024
+RANKS_REGION_BYTES = 2 * 1024 * 1024
+DAMPING = 0.85
+
+
+class PageRankWorkload(Workload):
+    """Power-iteration PageRank over a random directed graph."""
+
+    name = "pagerank"
+    license_id = "lic-pagerank-engine"
+    key_function_names = ("map", "reduce", "set_rank")
+
+    def build_program(self, scale: float = 1.0) -> Program:
+        nodes = max(64, int(800 * scale))
+        out_degree = 12
+        iterations = max(2, int(10 * scale))
+        rng = self.rng.fork(f"graph:{scale}")
+        out_edges: List[List[int]] = [
+            [rng.randint(0, nodes - 1) for _ in range(out_degree)]
+            for _ in range(nodes)
+        ]
+
+        program = Program("pagerank", entry="main")
+        program.add_region("graph", GRAPH_REGION_BYTES, pattern="random")
+        program.add_region("ranks", RANKS_REGION_BYTES)
+        add_auth_module(program, self.license_id)
+
+        state: Dict[str, List[float]] = {
+            "ranks": [1.0 / nodes] * nodes,
+            "incoming": [0.0] * nodes,
+        }
+
+        @program.function("load_edges", code_bytes=4_700, module="io",
+                          regions=(("graph", 8192),), sensitive=True)
+        def load_edges(cpu) -> int:
+            cpu.compute(3 * nodes * out_degree,
+                        region=("graph", 8 * nodes * out_degree))
+            return nodes
+
+        @program.function("map", code_bytes=4_100, module="rank",
+                          regions=(("graph", 512), ("ranks", 64)),
+                          is_key=True, guarded_by=self.license_id)
+        def map_node(cpu, node: int) -> None:
+            """Scatter this node's rank mass along its out-edges."""
+            edges = out_edges[node]
+            share = state["ranks"][node] / len(edges)
+            cpu.compute(8 + 5 * len(edges),
+                        region=("graph", 8 * len(edges)))
+            for target in edges:
+                state["incoming"][target] += share
+
+        @program.function("reduce", code_bytes=3_900, module="rank",
+                          regions=(("ranks", 64),),
+                          is_key=True, guarded_by=self.license_id)
+        def reduce_node(cpu, node: int) -> float:
+            """Combine incoming mass into the damped rank."""
+            cpu.compute(12, region=("ranks", 16))
+            return (1.0 - DAMPING) / nodes + DAMPING * state["incoming"][node]
+
+        @program.function("set_rank", code_bytes=2_200, module="rank",
+                          regions=(("ranks", 32),),
+                          is_key=True, guarded_by=self.license_id)
+        def set_rank(cpu, node: int, value: float) -> None:
+            cpu.compute(6, region=("ranks", 8))
+            state["ranks"][node] = value
+
+        @program.function("iterate", code_bytes=3_000, module="rank",
+                          regions=(("ranks", 128),))
+        def iterate(cpu) -> None:
+            state["incoming"] = [0.0] * nodes
+            for node in range(nodes):
+                cpu.call("map", node)
+            for node in range(nodes):
+                value = cpu.call("reduce", node)
+                cpu.call("set_rank", node, value)
+
+        @program.function("top_pages", code_bytes=2_400, module="report",
+                          regions=(("ranks", 256),))
+        def top_pages(cpu, count: int) -> List[int]:
+            cpu.compute(4 * nodes, region=("ranks", 8 * nodes))
+            order = sorted(range(nodes), key=lambda n: -state["ranks"][n])
+            return order[:count]
+
+        @program.function("main", code_bytes=1_900, module="driver")
+        def main(cpu, license_blob: bytes):
+            cpu.call("load_edges")
+            authorized = cpu.call("do_auth", license_blob)
+            if not cpu.branch("auth_ok", authorized):
+                return {"status": "ABORT", "reason": "invalid license"}
+            for _ in range(iterations):
+                cpu.call("iterate")
+            top = cpu.call("top_pages", 5)
+            total = sum(state["ranks"])
+            return {"status": "OK", "top": top, "mass": round(total, 6)}
+
+        return program

@@ -1,0 +1,166 @@
+"""Plugin-host application: one binary, several separately-licensed add-ons.
+
+The paper's Section 2.2 motivation (Matlab toolboxes, VS Code
+extensions) and the Section 7.5 isolation argument: a host application
+ships third-party add-ons, each protected by its *own* license with its
+own GCL; the partitioner must isolate the add-ons from each other and
+from the host.
+
+This is an extension workload beyond Table 4: a document-processing
+host with three add-ons —
+
+* ``spellcheck``  — dictionary lookups (pay-per-document);
+* ``translate``   — word-level translation (pay-per-document);
+* ``summarize``   — extractive summarisation (pay-per-document).
+
+Each add-on's key function carries its own ``guarded_by`` license, so
+an end-to-end run draws from three GCLs at once, and a user holding
+only some licenses gets exactly those features.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.vcpu.program import Program
+from repro.workloads.base import Workload, add_auth_module
+
+SPELL_LICENSE = "lic-plugin-spellcheck"
+TRANSLATE_LICENSE = "lic-plugin-translate"
+SUMMARIZE_LICENSE = "lic-plugin-summarize"
+
+PLUGIN_LICENSES = (SPELL_LICENSE, TRANSLATE_LICENSE, SUMMARIZE_LICENSE)
+
+_DICTIONARY = {
+    "lease", "enclave", "license", "secure", "token", "branch", "page",
+    "cache", "verify", "remote", "local", "commit", "attest", "module",
+}
+_TRANSLATIONS = {
+    "lease": "bail", "enclave": "enclave", "license": "licence",
+    "secure": "sur", "token": "jeton", "remote": "distant",
+    "local": "local", "page": "page", "verify": "verifier",
+}
+
+
+class PluginHostWorkload(Workload):
+    """A document pipeline whose three stages are licensed add-ons.
+
+    ``build_program(scale, enabled=...)`` accepts the subset of plugins
+    the pipeline should invoke; partitioning and licensing still cover
+    all three (the binary ships complete).
+    """
+
+    name = "pluginhost"
+    license_id = SPELL_LICENSE  # the host's primary add-on
+    key_function_names = ("spell_check", "translate_word", "summarize")
+    per_call_billing = True
+
+    def build_program(self, scale: float = 1.0,
+                      enabled: Optional[Tuple[str, ...]] = None) -> Program:
+        enabled = enabled if enabled is not None else (
+            "spellcheck", "translate", "summarize"
+        )
+        n_documents = max(8, int(120 * scale))
+        words_per_doc = max(10, int(60 * scale))
+        rng = self.rng.fork(f"docs:{scale}")
+        vocabulary = sorted(_DICTIONARY) + ["speling", "erorr", "glitch"]
+        documents: List[List[str]] = [
+            [rng.choice(vocabulary) for _ in range(words_per_doc)]
+            for _ in range(n_documents)
+        ]
+
+        program = Program("pluginhost", entry="main")
+        program.add_region("document_buf", 24 * 1024 * 1024)
+        program.add_region("dictionary", 6 * 1024 * 1024, pattern="random")
+        program.add_region("model_translate", 48 * 1024 * 1024)
+        program.add_region("summary_buf", 2 * 1024 * 1024)
+        add_auth_module(program, SPELL_LICENSE)
+
+        state: Dict[str, object] = {"misspelled": 0, "translated": 0}
+
+        # -- host core -------------------------------------------------
+        @program.function("load_documents", code_bytes=4_200, module="io",
+                          regions=(("document_buf", 8192),), sensitive=True)
+        def load_documents(cpu) -> int:
+            total_words = n_documents * words_per_doc
+            cpu.compute(2 * total_words,
+                        region=("document_buf", 8 * total_words))
+            return n_documents
+
+        # -- spellcheck add-on ------------------------------------------
+        @program.function("spell_check", code_bytes=18_000,
+                          module="plugin_spell",
+                          regions=(("dictionary", 512), ("document_buf", 256)),
+                          is_key=True, guarded_by=SPELL_LICENSE)
+        def spell_check(cpu, words: List[str]) -> List[str]:
+            """Return the words not found in the dictionary."""
+            cpu.compute(6 * len(words), region=("dictionary", 24 * len(words)))
+            return [w for w in words if w not in _DICTIONARY]
+
+        @program.function("spell_pass", code_bytes=3_100,
+                          module="plugin_spell",
+                          regions=(("document_buf", 512),))
+        def spell_pass(cpu) -> int:
+            misspelled = 0
+            for words in documents:
+                misspelled += len(cpu.call("spell_check", words))
+            state["misspelled"] = misspelled
+            return misspelled
+
+        # -- translate add-on -------------------------------------------
+        @program.function("translate_word", code_bytes=22_000,
+                          module="plugin_translate",
+                          regions=(("model_translate", 1024),),
+                          is_key=True, guarded_by=TRANSLATE_LICENSE)
+        def translate_word(cpu, word: str) -> str:
+            cpu.compute(14, region=("model_translate", 64))
+            return _TRANSLATIONS.get(word, word)
+
+        @program.function("translate_pass", code_bytes=3_400,
+                          module="plugin_translate",
+                          regions=(("document_buf", 512),))
+        def translate_pass(cpu) -> int:
+            changed = 0
+            for words in documents:
+                for word in words[: min(10, len(words))]:
+                    if cpu.call("translate_word", word) != word:
+                        changed += 1
+            state["translated"] = changed
+            return changed
+
+        # -- summarize add-on -------------------------------------------
+        @program.function("summarize", code_bytes=26_000,
+                          module="plugin_summarize",
+                          regions=(("summary_buf", 512), ("document_buf", 512)),
+                          is_key=True, guarded_by=SUMMARIZE_LICENSE)
+        def summarize(cpu, words: List[str]) -> List[str]:
+            """Extract the top-3 most frequent content words."""
+            cpu.compute(8 * len(words), region=("summary_buf", 4 * len(words)))
+            counts = Counter(words)
+            return [word for word, _ in counts.most_common(3)]
+
+        @program.function("summary_pass", code_bytes=2_900,
+                          module="plugin_summarize",
+                          regions=(("summary_buf", 256),))
+        def summary_pass(cpu) -> List[List[str]]:
+            return [cpu.call("summarize", words) for words in documents]
+
+        @program.function("main", code_bytes=2_400, module="driver")
+        def main(cpu, license_blob: bytes):
+            cpu.call("load_documents")
+            authorized = cpu.call("do_auth", license_blob)
+            if not cpu.branch("auth_ok", authorized):
+                return {"status": "ABORT", "reason": "invalid license"}
+            report: Dict[str, object] = {"status": "OK",
+                                         "documents": n_documents}
+            if "spellcheck" in enabled:
+                report["misspelled"] = cpu.call("spell_pass")
+            if "translate" in enabled:
+                report["translated"] = cpu.call("translate_pass")
+            if "summarize" in enabled:
+                summaries = cpu.call("summary_pass")
+                report["summaries"] = len(summaries)
+            return report
+
+        return program

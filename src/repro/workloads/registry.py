@@ -1,0 +1,50 @@
+"""Registry of all Table 4 workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.hashjoin import HashJoinWorkload
+from repro.workloads.openssl import OpensslWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.blockchain import BlockchainWorkload
+from repro.workloads.svm import SvmWorkload
+from repro.workloads.mapreduce import MapReduceWorkload
+from repro.workloads.keyvalue import KeyValueWorkload
+from repro.workloads.jsonparser import JsonParserWorkload
+from repro.workloads.matmul import MatMulWorkload
+
+#: Table 4 order.
+WORKLOAD_CLASSES: List[Type[Workload]] = [
+    BfsWorkload,
+    BTreeWorkload,
+    HashJoinWorkload,
+    OpensslWorkload,
+    PageRankWorkload,
+    BlockchainWorkload,
+    SvmWorkload,
+    MapReduceWorkload,
+    KeyValueWorkload,
+    JsonParserWorkload,
+    MatMulWorkload,
+]
+
+#: The four FaaS workloads (frequent license checks).
+FAAS_WORKLOADS = ("mapreduce", "keyvalue", "jsonparser", "matmul")
+
+
+def all_workloads(seed: int = 1234) -> Dict[str, Workload]:
+    """Instantiate every workload with a common seed."""
+    return {cls.name: cls(seed=seed) for cls in WORKLOAD_CLASSES}
+
+
+def get_workload(name: str, seed: int = 1234) -> Workload:
+    """Instantiate one workload by its Table 4 name."""
+    for cls in WORKLOAD_CLASSES:
+        if cls.name == name:
+            return cls(seed=seed)
+    known = ", ".join(cls.name for cls in WORKLOAD_CLASSES)
+    raise KeyError(f"unknown workload {name!r}; known: {known}")

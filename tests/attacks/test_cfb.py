@@ -1,0 +1,179 @@
+"""Tests for control-flow bending attacks and the SecureLease defence.
+
+These reproduce the paper's security story end to end:
+
+1. the attacker's CFG-diff analysis finds the auth branch (Section 2.1.1);
+2. branch-flip and function-skip attacks break the *unprotected* binary;
+3. moving only the AM to SGX still loses (the branch is outside);
+4. the SecureLease partition defeats both attacks: the bent execution
+   reaches the enclave, where the key functions demand a lease.
+"""
+
+import pytest
+
+from repro.attacks.cfb import (
+    BranchFlipAttack,
+    FunctionSkipAttack,
+    analyze_cfg_diff,
+    run_cfb_attack,
+)
+from repro.partition import SecureLeasePartitioner
+from repro.sgx import SgxMachine
+from repro.vcpu.machine import Placement
+from repro.workloads import WORKLOAD_CLASSES, get_workload
+
+SCALE = 0.1
+PIRATED = b"no-license-at-all"
+
+
+def analysis_for(workload):
+    program = workload.build_program(scale=SCALE)
+    return program, analyze_cfg_diff(
+        program, workload.valid_license_blob(), PIRATED
+    )
+
+
+class TestCfgDiffAnalysis:
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_finds_the_auth_branch(self, cls):
+        workload = cls()
+        _, analysis = analysis_for(workload)
+        assert analysis.found_target
+        branches = {label for _, label in analysis.divergent_branches}
+        assert "auth_ok" in branches
+
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_gated_functions_include_protected_region(self, cls):
+        workload = cls()
+        _, analysis = analysis_for(workload)
+        assert set(cls.key_function_names) <= analysis.gated_functions
+
+
+class TestAttacksOnUnprotectedBinary:
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_branch_flip_breaks_unprotected_binary(self, cls):
+        workload = cls()
+        program, analysis = analysis_for(workload)
+        attack = BranchFlipAttack(analysis.divergent_branches)
+        outcome = run_cfb_attack(program, attack, PIRATED)
+        assert outcome.succeeded, "CFB must break the software-only AM"
+        assert outcome.flipped_branches >= 1
+
+    def test_function_skip_breaks_unprotected_binary(self):
+        workload = get_workload("bfs")
+        program, _ = analysis_for(workload)
+        attack = FunctionSkipAttack("do_auth", forged_return=True)
+        outcome = run_cfb_attack(program, attack, PIRATED)
+        assert outcome.succeeded
+        assert outcome.skipped_calls == 1
+
+
+class TestAmOnlyMigrationStillLoses:
+    def test_am_in_sgx_is_not_enough(self):
+        """Section 2.1.1: with only the AM in SGX, the attacker flips
+        the branch that *consumes* its output, outside the enclave."""
+        workload = get_workload("bfs")
+        program, analysis = analysis_for(workload)
+        machine = SgxMachine("victim")
+        enclave = machine.create_enclave("am-only")
+        placement = {
+            name: Placement.TRUSTED for name in program.auth_functions()
+        }
+        attack = BranchFlipAttack(analysis.divergent_branches)
+        outcome = run_cfb_attack(
+            program, attack, PIRATED,
+            placement=placement, enclave=enclave,
+            lease_checker=lambda lic: False,
+        )
+        assert outcome.succeeded, (
+            "AM-only migration must still fall to CFB (the paper's motivation)"
+        )
+
+
+class TestSecureLeaseDefence:
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_branch_flip_defeated(self, cls):
+        workload = cls()
+        run = workload.run_profiled(scale=SCALE)
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        program = workload.build_program(scale=SCALE)
+        analysis = analyze_cfg_diff(
+            program, workload.valid_license_blob(), PIRATED
+        )
+        machine = SgxMachine("victim")
+        enclave = machine.create_enclave("hardened")
+        attack = BranchFlipAttack(analysis.divergent_branches)
+        outcome = run_cfb_attack(
+            program, attack, PIRATED,
+            placement=partition.placement(program),
+            enclave=enclave,
+            lease_checker=lambda lic: False,  # attacker has no lease
+        )
+        assert not outcome.succeeded
+        assert outcome.denied_by_enclave
+
+    def test_function_skip_defeated(self):
+        workload = get_workload("hashjoin")
+        run = workload.run_profiled(scale=SCALE)
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        program = workload.build_program(scale=SCALE)
+        machine = SgxMachine("victim")
+        enclave = machine.create_enclave("hardened")
+        attack = FunctionSkipAttack("do_auth", forged_return=True)
+        outcome = run_cfb_attack(
+            program, attack, PIRATED,
+            placement=partition.placement(program),
+            enclave=enclave,
+            lease_checker=lambda lic: False,
+        )
+        assert not outcome.succeeded
+
+    def test_legitimate_user_unaffected_by_hardening(self):
+        """With a valid lease, the partitioned app runs normally."""
+        workload = get_workload("bfs")
+        run = workload.run_profiled(scale=SCALE)
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        program = workload.build_program(scale=SCALE)
+        machine = SgxMachine("honest")
+        enclave = machine.create_enclave("hardened")
+        from repro.sim.clock import Clock
+        from repro.vcpu.machine import VirtualCpu
+
+        cpu = VirtualCpu(
+            program, machine.clock,
+            placement=partition.placement(program),
+            enclave=enclave,
+            lease_checker=lambda lic: True,
+        )
+        result = cpu.run(workload.valid_license_blob())
+        assert result["status"] == "OK"
+
+    def test_attacker_cannot_even_reach_key_functions(self):
+        """The bent run dies before any key function completes."""
+        workload = get_workload("blockchain")
+        run = workload.run_profiled(scale=SCALE)
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        program = workload.build_program(scale=SCALE)
+        analysis = analyze_cfg_diff(
+            program, workload.valid_license_blob(), PIRATED
+        )
+        machine = SgxMachine("victim")
+        enclave = machine.create_enclave("hardened")
+        attack = BranchFlipAttack(analysis.divergent_branches)
+        checks = []
+        outcome = run_cfb_attack(
+            program, attack, PIRATED,
+            placement=partition.placement(program),
+            enclave=enclave,
+            lease_checker=lambda lic: checks.append(lic) or False,
+        )
+        assert outcome.denied_by_enclave
+        assert checks  # the enclave did ask, and was refused

@@ -1,0 +1,97 @@
+"""Tests for the unsupervised auth-discovery pipeline and state fix-up."""
+
+import pytest
+
+from repro.attacks.cfb import run_cfb_attack
+from repro.attacks.unsupervised import (
+    StateFixupAttack,
+    collect_traces,
+    guess_auth_function,
+)
+from repro.partition import SecureLeasePartitioner
+from repro.sgx import SgxMachine
+from repro.workloads import WORKLOAD_CLASSES, get_workload
+
+SCALE = 0.1
+SAMPLE_BLOBS = [b"guess-1", b"guess-2:0000000", b"AAAA:BBBB", b""]
+
+
+def guesses_for(workload):
+    program = workload.build_program(scale=SCALE)
+    traces = collect_traces(
+        lambda: workload.build_program(scale=SCALE), SAMPLE_BLOBS
+    )
+    return program, guess_auth_function(program, traces)
+
+
+class TestUnsupervisedDiscovery:
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_auth_machinery_in_top_guesses(self, cls):
+        """With no licensed run, the AM still lands in the top guesses
+        (the unsupervised analysis of Section 2.1.1 / F-LaaS)."""
+        workload = cls()
+        program, guesses = guesses_for(workload)
+        top = {g.function for g in guesses[:3]}
+        auth = set(program.auth_functions())
+        assert top & auth, (cls.name, [g.function for g in guesses[:5]])
+
+    def test_guess_evidence_is_plausible(self):
+        workload = get_workload("bfs")
+        _, guesses = guesses_for(workload)
+        best = guesses[0]
+        assert best.called_once
+        assert best.tail_position > 0.5  # near the abort
+        assert best.footprint_share < 0.5
+
+    def test_no_traces_rejected(self):
+        workload = get_workload("bfs")
+        program = workload.build_program(scale=SCALE)
+        with pytest.raises(ValueError):
+            guess_auth_function(program, [])
+
+    def test_entry_never_guessed(self):
+        workload = get_workload("bfs")
+        program, guesses = guesses_for(workload)
+        assert all(g.function != program.entry for g in guesses)
+
+
+class TestStateFixupAttack:
+    def test_breaks_unprotected_binary(self):
+        """Skip the guessed auth subtree + fix the branch: full bypass
+        with zero knowledge of a valid license."""
+        workload = get_workload("btree")
+        program, guesses = guesses_for(workload)
+        targets = [g.function for g in guesses[:3]]
+        attacked = workload.build_program(scale=SCALE)
+        attack = StateFixupAttack(targets)
+        outcome = run_cfb_attack(attacked, attack, b"no-license")
+        assert outcome.succeeded
+        assert attack.skips >= 1
+
+    def test_defeated_by_securelease_partition(self):
+        workload = get_workload("btree")
+        run = workload.run_profiled(scale=SCALE)
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        program, guesses = guesses_for(workload)
+        targets = [g.function for g in guesses[:3]]
+        attacked = workload.build_program(scale=SCALE)
+        machine = SgxMachine("victim")
+        attack = StateFixupAttack(targets)
+        outcome = run_cfb_attack(
+            attacked, attack, b"no-license",
+            placement=partition.placement(attacked),
+            enclave=machine.create_enclave("hardened"),
+            lease_checker=lambda lic: False,
+        )
+        assert not outcome.succeeded
+        assert outcome.denied_by_enclave
+
+    def test_fixup_counts_tracked(self):
+        workload = get_workload("jsonparser")
+        attacked = workload.build_program(scale=SCALE)
+        attack = StateFixupAttack(["do_auth"])
+        outcome = run_cfb_attack(attacked, attack, b"no-license")
+        assert outcome.succeeded
+        assert attack.skips == 1

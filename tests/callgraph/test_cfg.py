@@ -1,0 +1,134 @@
+"""Tests for the call graph structure."""
+
+import pytest
+
+from repro.callgraph.cfg import CallGraph, NodeInfo
+from repro.sim.clock import Clock
+from repro.vcpu.machine import VirtualCpu
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import Tracer
+
+
+def make_graph():
+    graph = CallGraph()
+    for name, code, mem in (("a", 100, 10), ("b", 200, 20), ("c", 400, 40)):
+        graph.add_node(NodeInfo(name=name, code_bytes=code, mem_bytes=mem,
+                                module="m", is_key=False, is_auth=False,
+                                sensitive=False))
+    graph.add_edge("a", "b", 10)
+    graph.add_edge("b", "c", 5)
+    graph.add_edge("c", "a", 1)
+    return graph
+
+
+class TestStructure:
+    def test_nodes_sorted(self):
+        assert make_graph().nodes == ["a", "b", "c"]
+
+    def test_edge_weights(self):
+        graph = make_graph()
+        assert graph.calls_between("a", "b") == 10
+        assert graph.calls_between("b", "a") == 0
+
+    def test_add_edge_accumulates(self):
+        graph = make_graph()
+        graph.add_edge("a", "b", 3)
+        assert graph.calls_between("a", "b") == 13
+
+    def test_edge_to_unknown_node_rejected(self):
+        graph = make_graph()
+        with pytest.raises(KeyError):
+            graph.add_edge("a", "ghost", 1)
+
+    def test_degrees(self):
+        graph = make_graph()
+        assert graph.out_degree("a") == 1
+        assert graph.weighted_out_calls("a") == 10
+        assert graph.weighted_in_calls("a") == 1
+
+    def test_neighbors_undirected(self):
+        graph = make_graph()
+        assert graph.neighbors_undirected("a") == {"b", "c"}
+
+    def test_undirected_weight(self):
+        graph = make_graph()
+        graph.add_edge("b", "a", 4)
+        assert graph.undirected_weight("a", "b") == 14
+
+    def test_total_call_weight(self):
+        assert make_graph().total_call_weight() == 16
+
+    def test_contains_and_len(self):
+        graph = make_graph()
+        assert "a" in graph
+        assert "ghost" not in graph
+        assert len(graph) == 3
+
+
+class TestSetQueries:
+    def test_subgraph_weight(self):
+        graph = make_graph()
+        assert graph.subgraph_weight({"a", "b"}) == 10
+        assert graph.subgraph_weight({"a", "b", "c"}) == 16
+
+    def test_cut_weight(self):
+        graph = make_graph()
+        # Edges crossing {a}: a->b (10) and c->a (1).
+        assert graph.cut_weight({"a"}) == 11
+
+    def test_code_and_mem_bytes(self):
+        graph = make_graph()
+        assert graph.code_bytes({"a", "c"}) == 500
+        assert graph.mem_bytes({"a", "c"}) == 50
+        assert graph.code_bytes() == 700
+
+    def test_adjacency_is_symmetric(self):
+        graph = make_graph()
+        order, matrix = graph.undirected_adjacency()
+        n = len(order)
+        for i in range(n):
+            for j in range(n):
+                assert matrix[i][j] == matrix[j][i]
+            assert matrix[i][i] == 0.0
+
+
+class TestFromProfile:
+    def test_build_from_profiled_run(self):
+        program = Program("p", entry="main")
+
+        @program.function("worker", code_bytes=100, module="work",
+                          is_key=True)
+        def worker(cpu):
+            cpu.compute(10)
+
+        @program.function("main", code_bytes=50, module="driver")
+        def main(cpu):
+            for _ in range(4):
+                cpu.call("worker")
+
+        cpu = VirtualCpu(program, Clock())
+        tracer = Tracer(program)
+        cpu.add_observer(tracer)
+        cpu.run()
+        graph = CallGraph.from_profile(program, tracer.profile())
+        assert graph.calls_between("main", "worker") == 4
+        assert graph.info("worker").is_key
+        assert graph.info("worker").code_bytes == 100
+
+    def test_uncalled_functions_still_appear(self):
+        program = Program("p", entry="main")
+
+        @program.function("dead", code_bytes=100, module="work")
+        def dead(cpu):
+            cpu.compute(1)
+
+        @program.function("main", code_bytes=50, module="driver")
+        def main(cpu):
+            cpu.compute(1)
+
+        cpu = VirtualCpu(program, Clock())
+        tracer = Tracer(program)
+        cpu.add_observer(tracer)
+        cpu.run()
+        graph = CallGraph.from_profile(program, tracer.profile())
+        assert "dead" in graph  # static coverage needs it

@@ -1,0 +1,155 @@
+"""Tests for spectral K-means clustering of call graphs."""
+
+import numpy as np
+import pytest
+
+from repro.callgraph.cfg import CallGraph, NodeInfo
+from repro.callgraph.clustering import (
+    cluster_call_graph,
+    kmeans,
+    spectral_embedding,
+)
+from repro.callgraph.metrics import modularity
+from repro.sim.rng import DeterministicRng
+
+
+def modular_graph(intra_weight=50, inter_weight=1):
+    """Two dense 4-node modules joined by one weak edge."""
+    graph = CallGraph()
+    names = [f"m1_{i}" for i in range(4)] + [f"m2_{i}" for i in range(4)]
+    for name in names:
+        module = "m1" if name.startswith("m1") else "m2"
+        graph.add_node(NodeInfo(name=name, code_bytes=100, mem_bytes=10,
+                                module=module, is_key=False, is_auth=False,
+                                sensitive=False))
+    for module in ("m1", "m2"):
+        members = [n for n in names if n.startswith(module)]
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v, intra_weight)
+    graph.add_edge("m1_0", "m2_0", inter_weight)
+    return graph
+
+
+class TestKmeans:
+    def test_separated_blobs_recovered(self):
+        rng = DeterministicRng(0)
+        points = np.vstack([
+            np.random.RandomState(1).normal(0, 0.1, (20, 2)),
+            np.random.RandomState(2).normal(5, 0.1, (20, 2)),
+        ])
+        labels = kmeans(points, 2, rng)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_k_greater_than_points_clamped(self):
+        rng = DeterministicRng(0)
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        labels = kmeans(points, 10, rng)
+        assert len(labels) == 2
+
+    def test_empty_input(self):
+        assert len(kmeans(np.zeros((0, 2)), 3, DeterministicRng(0))) == 0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0, DeterministicRng(0))
+
+    def test_deterministic_given_seed(self):
+        points = np.random.RandomState(3).normal(0, 1, (30, 3))
+        a = kmeans(points, 3, DeterministicRng(5))
+        b = kmeans(points, 3, DeterministicRng(5))
+        assert (a == b).all()
+
+    def test_identical_points_single_effective_cluster(self):
+        points = np.ones((10, 2))
+        labels = kmeans(points, 3, DeterministicRng(0))
+        assert len(labels) == 10  # no crash on degenerate input
+
+
+class TestSpectralEmbedding:
+    def test_shape(self):
+        graph = modular_graph()
+        order, embedding = spectral_embedding(graph, dims=3)
+        assert embedding.shape == (8, 3)
+        assert len(order) == 8
+
+    def test_rows_unit_norm(self):
+        graph = modular_graph()
+        _, embedding = spectral_embedding(graph, dims=3)
+        norms = np.linalg.norm(embedding, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_empty_graph(self):
+        order, embedding = spectral_embedding(CallGraph(), dims=2)
+        assert order == []
+        assert embedding.shape == (0, 2)
+
+    def test_dims_padded_when_graph_small(self):
+        graph = CallGraph()
+        graph.add_node(NodeInfo("only", 10, 1, "m", False, False, False))
+        _, embedding = spectral_embedding(graph, dims=5)
+        assert embedding.shape == (1, 5)
+
+
+class TestClusterCallGraph:
+    def test_recovers_modules(self):
+        """The paper's observation: submodules show up as clusters."""
+        graph = modular_graph()
+        clustering = cluster_call_graph(graph, k=2, rng=DeterministicRng(1))
+        cluster_of = clustering.assignment
+        m1_labels = {cluster_of[f"m1_{i}"] for i in range(4)}
+        m2_labels = {cluster_of[f"m2_{i}"] for i in range(4)}
+        assert len(m1_labels) == 1
+        assert len(m2_labels) == 1
+        assert m1_labels != m2_labels
+
+    def test_intra_cluster_volume_dominates(self):
+        """Quantifies the Section 4.2 observation via modularity."""
+        graph = modular_graph()
+        clustering = cluster_call_graph(graph, k=2, rng=DeterministicRng(1))
+        assert modularity(graph, clustering.non_empty_clusters()) > 0.3
+
+    def test_refinement_heals_split_loops(self):
+        """A hot caller/callee pair must land in the same cluster."""
+        graph = CallGraph()
+        for name in ("driver", "hot_a", "hot_b", "cold"):
+            graph.add_node(NodeInfo(name, 100, 10, "m", False, False, False))
+        graph.add_edge("hot_a", "hot_b", 1000)
+        graph.add_edge("driver", "hot_a", 2)
+        graph.add_edge("driver", "cold", 1)
+        clustering = cluster_call_graph(graph, k=2, rng=DeterministicRng(1))
+        assert clustering.cluster_of("hot_a") == clustering.cluster_of("hot_b")
+
+    def test_members_partition_nodes(self):
+        graph = modular_graph()
+        clustering = cluster_call_graph(graph, k=3, rng=DeterministicRng(2))
+        all_members = [n for c in clustering.clusters() for n in c]
+        assert sorted(all_members) == sorted(graph.nodes)
+
+    def test_deterministic(self):
+        graph = modular_graph()
+        a = cluster_call_graph(graph, k=2, rng=DeterministicRng(9)).assignment
+        b = cluster_call_graph(graph, k=2, rng=DeterministicRng(9)).assignment
+        assert a == b
+
+
+class TestModularity:
+    def test_perfect_split_positive(self):
+        graph = modular_graph(inter_weight=1)
+        communities = [{f"m1_{i}" for i in range(4)}, {f"m2_{i}" for i in range(4)}]
+        assert modularity(graph, communities) > 0.4
+
+    def test_random_split_lower(self):
+        graph = modular_graph(inter_weight=1)
+        good = [{f"m1_{i}" for i in range(4)}, {f"m2_{i}" for i in range(4)}]
+        bad = [{"m1_0", "m1_1", "m2_0", "m2_1"}, {"m1_2", "m1_3", "m2_2", "m2_3"}]
+        assert modularity(graph, good) > modularity(graph, bad)
+
+    def test_empty_graph_zero(self):
+        assert modularity(CallGraph(), []) == 0.0
+
+    def test_single_community_zero(self):
+        graph = modular_graph()
+        assert modularity(graph, [set(graph.nodes)]) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the SecureLease reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyGenerator
+from repro.deployment import SecureLeaseDeployment
+from repro.sgx import SgxMachine
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234)
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def keygen(rng) -> KeyGenerator:
+    return KeyGenerator(rng.fork("keys"))
+
+
+@pytest.fixture
+def machine() -> SgxMachine:
+    return SgxMachine("test-machine")
+
+
+@pytest.fixture
+def deployment() -> SecureLeaseDeployment:
+    return SecureLeaseDeployment(seed=7)

@@ -1,0 +1,67 @@
+"""Tests for the contention-aware concurrent attestation driver."""
+
+import pytest
+
+from repro.core.concurrency import ContentionResult, run_contention
+
+
+class TestBasics:
+    def test_single_requester_no_contention(self):
+        result = run_contention(requesters=1, same_lease=True)
+        assert result.total_grants > 0
+        assert result.contended_spins == 0
+
+    def test_zero_requesters_rejected(self):
+        with pytest.raises(ValueError):
+            run_contention(requesters=0, same_lease=True)
+
+    def test_every_requester_served(self):
+        result = run_contention(requesters=4, same_lease=False)
+        assert len(result.grants) == 4
+        assert all(count > 0 for count in result.grants.values())
+
+    def test_deterministic(self):
+        a = run_contention(requesters=3, same_lease=True)
+        b = run_contention(requesters=3, same_lease=True)
+        assert a.grants == b.grants
+        assert a.contended_spins == b.contended_spins
+
+
+class TestContentionEffects:
+    def test_same_lease_contends_distinct_leases_do_not(self):
+        same = run_contention(requesters=4, same_lease=True)
+        different = run_contention(requesters=4, same_lease=False)
+        assert same.contended_spins > 0
+        assert different.contended_spins == 0
+
+    def test_same_lease_throughput_not_higher(self):
+        """Contention can only cost throughput, never add it."""
+        same = run_contention(requesters=4, same_lease=True)
+        different = run_contention(requesters=4, same_lease=False)
+        assert same.total_grants <= different.total_grants
+
+    def test_contention_grows_with_requesters(self):
+        two = run_contention(requesters=2, same_lease=True)
+        eight = run_contention(requesters=8, same_lease=True)
+        assert eight.contended_spins > two.contended_spins
+
+    def test_fairness_under_contention(self):
+        """The spin loop is not grossly unfair in this model: every
+        requester gets within 3x of the best-served one."""
+        result = run_contention(requesters=4, same_lease=True)
+        counts = list(result.grants.values())
+        assert max(counts) <= 3 * max(min(counts), 1)
+
+
+class TestBatching:
+    def test_token_batching_multiplies_grants(self):
+        single = run_contention(requesters=2, same_lease=True,
+                                tokens_per_attestation=1)
+        batched = run_contention(requesters=2, same_lease=True,
+                                 tokens_per_attestation=10)
+        ratio = batched.total_grants / max(single.total_grants, 1)
+        assert 8.0 < ratio < 12.0
+
+    def test_grants_per_second_positive(self):
+        result = run_contention(requesters=2, same_lease=False)
+        assert result.grants_per_second > 0

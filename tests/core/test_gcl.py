@@ -1,0 +1,202 @@
+"""Tests for generalized count-based leases (Section 4.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gcl import Gcl, LeaseExpired, LeaseKind
+
+
+class TestCountBased:
+    def test_decrements_per_execution(self):
+        gcl = Gcl.count_based("lic", 3)
+        gcl.consume_execution()
+        gcl.consume_execution()
+        assert gcl.counter == 1
+        assert gcl.valid
+
+    def test_expires_at_zero(self):
+        gcl = Gcl.count_based("lic", 1)
+        gcl.consume_execution()
+        assert not gcl.valid
+        with pytest.raises(LeaseExpired):
+            gcl.consume_execution()
+
+    def test_zero_count_starts_expired(self):
+        assert not Gcl.count_based("lic", 0).valid
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ValueError):
+            Gcl(license_id="lic", kind=LeaseKind.COUNT, counter=-1)
+
+
+class TestTimeBased:
+    def test_ticks_charge_days(self):
+        gcl = Gcl.time_based("lic", days=30, now_seconds=0.0)
+        charged = gcl.reconcile_clock(now_seconds=3 * 86_400)
+        assert charged == 3
+        assert gcl.counter == 27
+
+    def test_off_time_charged_on_power_up(self):
+        """Section 4.3: the counter catches up after the system was off."""
+        gcl = Gcl.time_based("lic", days=30, now_seconds=0.0)
+        gcl.reconcile_clock(86_400)  # day 1
+        # System off for 10 days:
+        gcl.reconcile_clock(11 * 86_400)
+        assert gcl.counter == 30 - 11
+
+    def test_partial_day_not_charged(self):
+        gcl = Gcl.time_based("lic", days=30, now_seconds=0.0)
+        assert gcl.reconcile_clock(86_399) == 0
+        assert gcl.counter == 30
+
+    def test_partial_days_accumulate(self):
+        gcl = Gcl.time_based("lic", days=30, now_seconds=0.0)
+        gcl.reconcile_clock(86_399)
+        gcl.reconcile_clock(86_401)
+        assert gcl.counter == 29
+
+    def test_expires_after_window(self):
+        gcl = Gcl.time_based("lic", days=2, now_seconds=0.0)
+        gcl.reconcile_clock(100 * 86_400)
+        assert gcl.counter == 0
+        assert not gcl.valid
+
+    def test_clock_going_backwards_rejected(self):
+        gcl = Gcl.time_based("lic", days=30, now_seconds=1000.0)
+        with pytest.raises(ValueError):
+            gcl.reconcile_clock(500.0)
+
+    def test_execution_does_not_decrement_time_lease(self):
+        gcl = Gcl.time_based("lic", days=30, now_seconds=0.0)
+        gcl.consume_execution()
+        assert gcl.counter == 30
+
+    def test_requires_positive_tick(self):
+        with pytest.raises(ValueError):
+            Gcl(license_id="lic", kind=LeaseKind.TIME, counter=5, tick_seconds=0)
+
+
+class TestExecutionTimeBased:
+    def test_accumulated_runtime_charges_ticks(self):
+        gcl = Gcl.execution_time_based("lic", ticks=10, tick_seconds=3600)
+        assert gcl.charge_execution_time(7200) == 2
+        assert gcl.counter == 8
+
+    def test_partial_tick_carries_over(self):
+        gcl = Gcl.execution_time_based("lic", ticks=10, tick_seconds=3600)
+        gcl.charge_execution_time(1800)
+        assert gcl.counter == 10
+        gcl.charge_execution_time(1800)
+        assert gcl.counter == 9
+
+    def test_negative_time_rejected(self):
+        gcl = Gcl.execution_time_based("lic", ticks=10)
+        with pytest.raises(ValueError):
+            gcl.charge_execution_time(-1)
+
+
+class TestPerpetual:
+    def test_always_valid_until_revoked(self):
+        gcl = Gcl.perpetual("lic")
+        for _ in range(100):
+            gcl.consume_execution()
+        assert gcl.valid
+
+    def test_revocation_is_zeroing(self):
+        gcl = Gcl.perpetual("lic")
+        gcl.revoke()
+        assert not gcl.valid
+        with pytest.raises(LeaseExpired):
+            gcl.consume_execution()
+
+    def test_counter_binarised(self):
+        gcl = Gcl(license_id="lic", kind=LeaseKind.PERPETUAL, counter=7)
+        assert gcl.counter == 1
+
+
+class TestSplitAbsorb:
+    def test_split_moves_units(self):
+        parent = Gcl.count_based("lic", 100)
+        child = parent.split(30)
+        assert parent.counter == 70
+        assert child.counter == 30
+        assert child.license_id == "lic"
+
+    def test_split_more_than_available_rejected(self):
+        parent = Gcl.count_based("lic", 10)
+        with pytest.raises(LeaseExpired):
+            parent.split(11)
+        assert parent.counter == 10  # unchanged
+
+    def test_split_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Gcl.count_based("lic", 10).split(0)
+
+    def test_split_perpetual_rejected(self):
+        with pytest.raises(ValueError):
+            Gcl.perpetual("lic").split(1)
+
+    def test_absorb_returns_units(self):
+        parent = Gcl.count_based("lic", 100)
+        child = parent.split(30)
+        child.consume_execution()
+        parent.absorb(child)
+        assert parent.counter == 99
+        assert child.counter == 0
+
+    def test_absorb_wrong_license_rejected(self):
+        parent = Gcl.count_based("lic-a", 10)
+        stranger = Gcl.count_based("lic-b", 10)
+        with pytest.raises(ValueError):
+            parent.absorb(stranger)
+
+    def test_absorb_wrong_kind_rejected(self):
+        parent = Gcl.count_based("lic", 10)
+        other = Gcl.execution_time_based("lic", ticks=5)
+        with pytest.raises(ValueError):
+            parent.absorb(other)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("gcl", [
+        Gcl.count_based("lic-count", 42),
+        Gcl.time_based("lic-time", days=30, now_seconds=1234.5),
+        Gcl.execution_time_based("lic-exec", ticks=8, tick_seconds=60),
+        Gcl.perpetual("lic-forever"),
+    ])
+    def test_roundtrip(self, gcl):
+        restored = Gcl.from_bytes(gcl.to_bytes())
+        assert restored.license_id == gcl.license_id
+        assert restored.kind == gcl.kind
+        assert restored.counter == gcl.counter
+        assert restored.tick_seconds == pytest.approx(gcl.tick_seconds)
+
+    def test_fits_paper_lease_size(self):
+        """The lease data field is 300 B (Section 5.2.2)."""
+        gcl = Gcl.count_based("lic-" + "x" * 60, 2**50)
+        assert len(gcl.to_bytes()) <= 300
+
+    def test_unicode_license_id(self):
+        gcl = Gcl.count_based("licença-ü", 5)
+        assert Gcl.from_bytes(gcl.to_bytes()).license_id == "licença-ü"
+
+
+@given(st.integers(min_value=0, max_value=2**40),
+       st.text(min_size=1, max_size=40))
+def test_serialization_roundtrip_property(counter, license_id):
+    gcl = Gcl.count_based(license_id, counter)
+    restored = Gcl.from_bytes(gcl.to_bytes())
+    assert restored.counter == counter
+    assert restored.license_id == license_id
+
+
+@given(st.integers(min_value=1, max_value=10_000),
+       st.lists(st.integers(min_value=1, max_value=100), max_size=20))
+def test_split_conserves_units(total, splits):
+    """Splitting never creates or destroys units."""
+    parent = Gcl.count_based("lic", total)
+    children = []
+    for amount in splits:
+        if amount <= parent.counter:
+            children.append(parent.split(amount))
+    assert parent.counter + sum(c.counter for c in children) == total

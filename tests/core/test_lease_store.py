@@ -1,0 +1,152 @@
+"""Tests for the Table 1 lease-store variants."""
+
+import pytest
+
+from repro.core.gcl import Gcl
+from repro.core.lease_store import (
+    ArrayLeaseStore,
+    MurmurLeaseStore,
+    Sha256LeaseStore,
+    TreeLeaseStore,
+)
+from repro.core.lease_tree import LeaseNotFound
+from repro.crypto.keys import KeyGenerator
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+
+
+def make_store(cls):
+    clock = Clock()
+    if cls is TreeLeaseStore:
+        return TreeLeaseStore(clock, KeyGenerator(DeterministicRng(1))), clock
+    return cls(clock), clock
+
+
+ALL_STORES = [TreeLeaseStore, MurmurLeaseStore, Sha256LeaseStore, ArrayLeaseStore]
+
+
+@pytest.mark.parametrize("cls", ALL_STORES)
+class TestCommonBehaviour:
+    def test_insert_find(self, cls):
+        store, _ = make_store(cls)
+        store.insert(42, Gcl.count_based("lic", 5))
+        assert store.find(42).gcl.license_id == "lic"
+
+    def test_find_missing_raises(self, cls):
+        store, _ = make_store(cls)
+        with pytest.raises(LeaseNotFound):
+            store.find(42)
+
+    def test_duplicate_insert_rejected(self, cls):
+        store, _ = make_store(cls)
+        store.insert(42, Gcl.count_based("lic", 5))
+        with pytest.raises(Exception):
+            store.insert(42, Gcl.count_based("lic", 5))
+
+    def test_remove(self, cls):
+        store, _ = make_store(cls)
+        store.insert(42, Gcl.count_based("lic", 5))
+        gcl = store.remove(42)
+        assert gcl.license_id == "lic"
+        with pytest.raises(LeaseNotFound):
+            store.find(42)
+
+    def test_len(self, cls):
+        store, _ = make_store(cls)
+        for lease_id in range(10):
+            store.insert(lease_id, Gcl.count_based("lic", 1))
+        assert len(store) == 10
+
+    def test_many_leases(self, cls):
+        store, _ = make_store(cls)
+        for lease_id in range(1000):
+            store.insert(lease_id, Gcl.count_based(f"l{lease_id}", 1))
+        for lease_id in (0, 500, 999):
+            assert store.find(lease_id).gcl.license_id == f"l{lease_id}"
+
+    def test_find_charges_cycles(self, cls):
+        store, clock = make_store(cls)
+        store.insert(1, Gcl.count_based("lic", 1))
+        before = clock.cycles
+        store.find(1)
+        assert clock.cycles > before
+
+    def test_resident_bytes_positive(self, cls):
+        store, _ = make_store(cls)
+        store.insert(1, Gcl.count_based("lic", 1))
+        assert store.resident_bytes() > 0
+
+
+class TestTable1Ordering:
+    """The paper's Table 1: tree < Murmur < SHA-256 lookup latency,
+    with the gap widening as the operation count grows."""
+
+    @staticmethod
+    def measure(cls, n_leases, n_ops):
+        store, clock = make_store(cls)
+        for lease_id in range(n_leases):
+            store.insert(lease_id, Gcl.count_based("lic", 1))
+        start = clock.cycles
+        for i in range(n_ops):
+            store.find(i % n_leases)
+        return clock.cycles - start
+
+    @pytest.mark.parametrize("n_ops", [10, 100, 1000, 5000])
+    def test_tree_beats_hashes(self, n_ops):
+        n_leases = min(n_ops, 5000)
+        tree = self.measure(TreeLeaseStore, n_leases, n_ops)
+        murmur = self.measure(MurmurLeaseStore, n_leases, n_ops)
+        sha = self.measure(Sha256LeaseStore, n_leases, n_ops)
+        assert tree < murmur < sha
+
+    def test_gap_grows_with_ops(self):
+        small_gap = (self.measure(Sha256LeaseStore, 10, 10)
+                     - self.measure(TreeLeaseStore, 10, 10))
+        large_gap = (self.measure(Sha256LeaseStore, 5000, 5000)
+                     - self.measure(TreeLeaseStore, 5000, 5000))
+        assert large_gap > small_gap
+
+    def test_sha_vs_murmur_ratio_shape(self):
+        """SHA-256 lookup is several times slower than Murmur at scale."""
+        murmur = self.measure(MurmurLeaseStore, 5000, 5000)
+        sha = self.measure(Sha256LeaseStore, 5000, 5000)
+        assert sha / murmur > 2.0
+
+
+class TestMemoryFootprint:
+    def test_only_tree_supports_offload(self):
+        for cls in ALL_STORES:
+            store, _ = make_store(cls)
+            assert store.supports_offload() == (cls is TreeLeaseStore)
+
+    def test_tree_memory_shrinks_after_commit(self):
+        store, _ = make_store(TreeLeaseStore)
+        for lease_id in range(500):
+            store.insert(lease_id, Gcl.count_based("lic", 1))
+        before = store.resident_bytes()
+        for lease_id in range(400):
+            store.tree.commit_lease(lease_id)
+        assert store.resident_bytes() < before
+
+    def test_array_memory_is_capacity_bound(self):
+        clock = Clock()
+        store = ArrayLeaseStore(clock, capacity=1 << 16)
+        empty = store.resident_bytes()
+        assert empty >= (1 << 16) * 8  # slots are always allocated
+
+    def test_array_rejects_out_of_capacity_ids(self):
+        clock = Clock()
+        store = ArrayLeaseStore(clock, capacity=10)
+        with pytest.raises(ValueError):
+            store.insert(10, Gcl.count_based("lic", 1))
+
+    def test_tree_beats_hash_memory_after_offload(self):
+        """Paper: up to 94% less memory since subtrees can be offloaded."""
+        tree_store, _ = make_store(TreeLeaseStore)
+        hash_store, _ = make_store(MurmurLeaseStore)
+        for lease_id in range(2000):
+            tree_store.insert(lease_id, Gcl.count_based("lic", 1))
+            hash_store.insert(lease_id, Gcl.count_based("lic", 1))
+        for lease_id in range(2000):
+            tree_store.tree.commit_lease(lease_id)
+        assert tree_store.resident_bytes() < 0.2 * hash_store.resident_bytes()

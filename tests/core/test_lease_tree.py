@@ -1,0 +1,307 @@
+"""Tests for the 4-level lease tree (Section 5.2.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gcl import Gcl
+from repro.core.lease_tree import (
+    ENTRIES_PER_NODE,
+    LEASE_SIZE_BYTES,
+    MAX_LEASE_ID,
+    NODE_SIZE_BYTES,
+    LeaseNotFound,
+    LeaseTree,
+    LeaseTreeError,
+    split_lease_id,
+)
+from repro.crypto.keys import KeyGenerator
+from repro.crypto.sealing import TamperedSealError
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def keygen():
+    return KeyGenerator(DeterministicRng(17))
+
+
+@pytest.fixture
+def tree(keygen):
+    return LeaseTree(keygen=keygen)
+
+
+def gcl_for(lease_id):
+    return Gcl.count_based(f"lic-{lease_id}", 10)
+
+
+class TestLeaseIdSplitting:
+    def test_example_from_paper(self):
+        """ID 345 = 0x00000159: indices (0, 0, 1, 0x59)."""
+        assert split_lease_id(345) == (0, 0, 1, 0x59)
+
+    def test_zero(self):
+        assert split_lease_id(0) == (0, 0, 0, 0)
+
+    def test_max(self):
+        assert split_lease_id(MAX_LEASE_ID) == (255, 255, 255, 255)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(LeaseTreeError):
+            split_lease_id(-1)
+        with pytest.raises(LeaseTreeError):
+            split_lease_id(MAX_LEASE_ID + 1)
+
+    def test_each_index_uses_8_bits(self):
+        indices = split_lease_id(0x12345678)
+        assert indices == (0x12, 0x34, 0x56, 0x78)
+        assert all(0 <= i < ENTRIES_PER_NODE for i in indices)
+
+
+class TestInsertFind:
+    def test_insert_then_find(self, tree):
+        tree.insert(345, gcl_for(345))
+        record = tree.find(345)
+        assert record.gcl.license_id == "lic-345"
+
+    def test_find_missing_raises(self, tree):
+        with pytest.raises(LeaseNotFound):
+            tree.find(999)
+
+    def test_find_missing_in_populated_subtree(self, tree):
+        tree.insert(345, gcl_for(345))
+        with pytest.raises(LeaseNotFound):
+            tree.find(346)
+
+    def test_duplicate_insert_rejected(self, tree):
+        tree.insert(1, gcl_for(1))
+        with pytest.raises(LeaseTreeError):
+            tree.insert(1, gcl_for(1))
+
+    def test_ids_in_same_leaf_node(self, tree):
+        """Spatial locality: sequential IDs share the 4th-level node."""
+        for lease_id in range(200):
+            tree.insert(lease_id, gcl_for(lease_id))
+        # 200 < 256 leases: root + 3 interior + records.
+        expected = 4 * NODE_SIZE_BYTES + 200 * LEASE_SIZE_BYTES
+        assert tree.resident_bytes() == expected
+
+    def test_widely_spread_ids(self, tree):
+        ids = [0, 255, 256, 65_536, 16_777_216, MAX_LEASE_ID]
+        for lease_id in ids:
+            tree.insert(lease_id, gcl_for(lease_id))
+        for lease_id in ids:
+            assert tree.find(lease_id).gcl.license_id == f"lic-{lease_id}"
+        assert len(tree) == len(ids)
+
+    def test_contains(self, tree):
+        tree.insert(7, gcl_for(7))
+        assert tree.contains(7)
+        assert not tree.contains(8)
+
+    def test_remove(self, tree):
+        tree.insert(7, gcl_for(7))
+        gcl = tree.remove(7)
+        assert gcl.license_id == "lic-7"
+        assert not tree.contains(7)
+        assert len(tree) == 0
+
+    def test_reinsert_after_remove(self, tree):
+        tree.insert(7, gcl_for(7))
+        tree.remove(7)
+        tree.insert(7, Gcl.count_based("fresh", 1))
+        assert tree.find(7).gcl.license_id == "fresh"
+
+    def test_find_cost_hook_reports_hops(self, keygen):
+        hops = []
+        tree = LeaseTree(keygen=keygen, find_cost_hook=hops.append)
+        tree.insert(0, gcl_for(0))
+        tree.find(0)
+        assert hops == [4]  # 4 levels walked
+
+
+class TestCommitEvict:
+    def test_commit_removes_from_resident(self, tree):
+        tree.insert(5, gcl_for(5))
+        before = tree.resident_bytes()
+        tree.commit_lease(5)
+        assert tree.resident_bytes() == before - LEASE_SIZE_BYTES
+
+    def test_committed_lease_transparently_restored_on_find(self, tree):
+        tree.insert(5, gcl_for(5))
+        tree.find(5).gcl.consume_execution()
+        tree.commit_lease(5)
+        record = tree.find(5)
+        assert record.gcl.counter == 9  # state survived the roundtrip
+
+    def test_commit_missing_raises(self, tree):
+        with pytest.raises(LeaseNotFound):
+            tree.commit_lease(404)
+
+    def test_commit_locked_lease_rejected(self, tree):
+        from repro.sim.clock import Clock
+
+        tree.insert(5, gcl_for(5))
+        tree.find(5).lock.acquire(Clock(), "holder")
+        with pytest.raises(LeaseTreeError):
+            tree.commit_lease(5)
+
+    def test_len_unchanged_by_commit(self, tree):
+        tree.insert(5, gcl_for(5))
+        tree.commit_lease(5)
+        assert len(tree) == 1
+
+    def test_flat_memory_under_eviction(self, tree):
+        """Table 6's shape: resident memory stays flat with eviction."""
+        resident_cap = 256
+        for lease_id in range(1024):
+            tree.insert(lease_id, gcl_for(lease_id))
+            if lease_id >= resident_cap:
+                tree.commit_lease(lease_id - resident_cap)
+        committed_all = tree.resident_bytes()
+        for lease_id in range(1024, 2048):
+            tree.insert(lease_id, gcl_for(lease_id))
+            tree.commit_lease(lease_id - resident_cap)
+        # Doubling the lease count leaves resident bytes nearly flat
+        # (only interior nodes grow).
+        assert tree.resident_bytes() <= committed_all + 8 * NODE_SIZE_BYTES
+
+
+class TestShutdownRestore:
+    def test_roundtrip_preserves_all_leases(self, keygen):
+        tree = LeaseTree(keygen=keygen)
+        ids = [0, 1, 255, 300, 70_000, 5_000_000]
+        for lease_id in ids:
+            tree.insert(lease_id, gcl_for(lease_id))
+        root_key = tree.commit_all()
+        image = tree.shutdown_image
+        restored = LeaseTree.restore(image, root_key, keygen)
+        assert len(restored) == len(ids)
+        for lease_id in ids:
+            assert restored.find(lease_id).gcl.license_id == f"lic-{lease_id}"
+
+    def test_roundtrip_preserves_counters(self, keygen):
+        tree = LeaseTree(keygen=keygen)
+        tree.insert(9, gcl_for(9))
+        tree.find(9).gcl.consume_execution()
+        root_key = tree.commit_all()
+        restored = LeaseTree.restore(tree.shutdown_image, root_key, keygen)
+        assert restored.find(9).gcl.counter == 9
+
+    def test_restore_with_wrong_key_fails(self, keygen):
+        tree = LeaseTree(keygen=keygen)
+        tree.insert(9, gcl_for(9))
+        root_key = tree.commit_all()
+        with pytest.raises(TamperedSealError):
+            LeaseTree.restore(tree.shutdown_image, root_key ^ 1, keygen)
+
+    def test_stale_image_replay_fails(self, keygen):
+        """Section 6.2: an old tree image fails under the new OBK."""
+        tree = LeaseTree(keygen=keygen)
+        tree.insert(9, gcl_for(9))
+        old_key = tree.commit_all()
+        stale_image = tree.shutdown_image
+
+        fresh = LeaseTree.restore(stale_image, old_key, keygen)
+        fresh.find(9).gcl.consume_execution()
+        new_key = fresh.commit_all()
+
+        # Replaying the stale image with the *current* escrowed key:
+        with pytest.raises(TamperedSealError):
+            LeaseTree.restore(stale_image, new_key, keygen)
+
+    def test_commit_all_empties_tree(self, keygen):
+        tree = LeaseTree(keygen=keygen)
+        tree.insert(9, gcl_for(9))
+        tree.commit_all()
+        assert len(tree) == 0
+        assert tree.resident_bytes() == NODE_SIZE_BYTES  # fresh empty root
+
+    def test_empty_tree_roundtrip(self, keygen):
+        tree = LeaseTree(keygen=keygen)
+        root_key = tree.commit_all()
+        restored = LeaseTree.restore(tree.shutdown_image, root_key, keygen)
+        assert len(restored) == 0
+
+    def test_iter_all_ids_after_restore(self, keygen):
+        tree = LeaseTree(keygen=keygen)
+        ids = {1, 300, 70_000}
+        for lease_id in ids:
+            tree.insert(lease_id, gcl_for(lease_id))
+        root_key = tree.commit_all()
+        restored = LeaseTree.restore(tree.shutdown_image, root_key, keygen)
+        assert set(restored.iter_all_ids()) == ids
+
+
+class TestIteration:
+    def test_iter_resident_ids(self, tree):
+        ids = {3, 600, 99_999}
+        for lease_id in ids:
+            tree.insert(lease_id, gcl_for(lease_id))
+        assert set(tree.iter_resident_ids()) == ids
+
+    def test_committed_leases_not_resident(self, tree):
+        tree.insert(3, gcl_for(3))
+        tree.insert(4, gcl_for(4))
+        tree.commit_lease(3)
+        assert set(tree.iter_resident_ids()) == {4}
+        assert set(tree.iter_all_ids()) == {3, 4}
+        assert tree.resident_lease_count() == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=MAX_LEASE_ID),
+               min_size=1, max_size=40))
+def test_shutdown_restore_identity_property(ids):
+    """commit_all + restore is the identity on tree contents."""
+    keygen = KeyGenerator(DeterministicRng(23))
+    tree = LeaseTree(keygen=keygen)
+    for lease_id in ids:
+        tree.insert(lease_id, Gcl.count_based(f"l{lease_id}", lease_id % 97 + 1))
+    root_key = tree.commit_all()
+    restored = LeaseTree.restore(tree.shutdown_image, root_key, keygen)
+    assert set(restored.iter_all_ids()) == ids
+    for lease_id in ids:
+        record = restored.find(lease_id)
+        assert record.gcl.counter == lease_id % 97 + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=MAX_LEASE_ID),
+                min_size=1, max_size=60, unique=True))
+def test_insert_find_remove_property(ids):
+    keygen = KeyGenerator(DeterministicRng(29))
+    tree = LeaseTree(keygen=keygen)
+    for lease_id in ids:
+        tree.insert(lease_id, Gcl.count_based("x", 1))
+    assert len(tree) == len(ids)
+    for lease_id in ids:
+        tree.remove(lease_id)
+    assert len(tree) == 0
+
+
+class TestInteriorNodePruning:
+    def test_remove_reclaims_interior_nodes(self, tree):
+        """Deleting the only lease in a deep subtree frees its nodes."""
+        empty_bytes = tree.resident_bytes()
+        tree.insert(5_000_000, gcl_for(5_000_000))  # deep, isolated path
+        populated = tree.resident_bytes()
+        assert populated > empty_bytes
+        tree.remove(5_000_000)
+        assert tree.resident_bytes() == empty_bytes
+
+    def test_partial_prune_keeps_shared_ancestors(self, tree):
+        """Two leases sharing upper levels: removing one keeps the
+        shared spine for the other."""
+        tree.insert(0, gcl_for(0))
+        tree.insert(1, gcl_for(1))  # same leaf node as 0
+        tree.remove(0)
+        assert tree.find(1).gcl.license_id == "lic-1"
+
+    def test_mass_insert_delete_returns_to_baseline(self, tree):
+        baseline = tree.resident_bytes()
+        ids = [i * 65_536 for i in range(64)]  # spread across subtrees
+        for lease_id in ids:
+            tree.insert(lease_id, gcl_for(lease_id))
+        for lease_id in ids:
+            tree.remove(lease_id)
+        assert tree.resident_bytes() == baseline
+        assert len(tree) == 0

@@ -1,0 +1,110 @@
+"""Stateful (model-based) fuzzing of the lease tree.
+
+Hypothesis drives random interleavings of insert / find / remove /
+commit / full shutdown-restore against a plain-dict reference model;
+any divergence — a lost lease, a resurrected counter, a phantom ID —
+fails the run and shrinks to a minimal reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.gcl import Gcl
+from repro.core.lease_tree import (
+    LeaseNotFound,
+    LeaseTree,
+    LeaseTreeError,
+    MAX_LEASE_ID,
+)
+from repro.crypto.keys import KeyGenerator
+from repro.sim.rng import DeterministicRng
+
+lease_ids = st.integers(min_value=0, max_value=MAX_LEASE_ID)
+counters = st.integers(min_value=1, max_value=1_000)
+
+
+class LeaseTreeMachine(RuleBasedStateMachine):
+    """The tree must behave exactly like a dict of counters."""
+
+    def __init__(self):
+        super().__init__()
+        self.keygen = KeyGenerator(DeterministicRng(0xF0))
+        self.tree = LeaseTree(keygen=self.keygen)
+        self.model: dict = {}
+        self.committed: set = set()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(lease_id=lease_ids, counter=counters)
+    def insert(self, lease_id, counter):
+        if lease_id in self.model:
+            with pytest.raises(LeaseTreeError):
+                self.tree.insert(lease_id, Gcl.count_based("l", counter))
+        else:
+            self.tree.insert(lease_id, Gcl.count_based("l", counter))
+            self.model[lease_id] = counter
+
+    @rule(lease_id=lease_ids)
+    def find(self, lease_id):
+        if lease_id in self.model:
+            record = self.tree.find(lease_id)
+            assert record.gcl.counter == self.model[lease_id]
+            self.committed.discard(lease_id)  # find unseals
+        else:
+            with pytest.raises(LeaseNotFound):
+                self.tree.find(lease_id)
+
+    @rule(lease_id=lease_ids)
+    def consume(self, lease_id):
+        if lease_id in self.model and self.model[lease_id] > 0:
+            record = self.tree.find(lease_id)
+            record.gcl.consume_execution()
+            self.model[lease_id] -= 1
+            self.committed.discard(lease_id)
+
+    @rule(lease_id=lease_ids)
+    def remove(self, lease_id):
+        if lease_id in self.model:
+            gcl = self.tree.remove(lease_id)
+            assert gcl.counter == self.model.pop(lease_id)
+            self.committed.discard(lease_id)
+
+    @rule(lease_id=lease_ids)
+    def commit(self, lease_id):
+        if lease_id in self.model and lease_id not in self.committed:
+            self.tree.commit_lease(lease_id)
+            self.committed.add(lease_id)
+
+    @rule()
+    def shutdown_and_restore(self):
+        root_key = self.tree.commit_all()
+        image = self.tree.shutdown_image
+        self.tree = LeaseTree.restore(image, root_key, self.keygen)
+        self.committed = set(self.model)  # everything sealed now
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def length_matches_model(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def resident_never_exceeds_population(self):
+        assert self.tree.resident_lease_count() <= len(self.model)
+
+
+LeaseTreeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestLeaseTreeStateful = LeaseTreeMachine.TestCase

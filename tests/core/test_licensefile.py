@@ -1,0 +1,58 @@
+"""Tests for the shared license-file format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.licensefile import VENDOR_SECRET, blob_matches, mint_license_blob
+
+
+class TestLicenseFormat:
+    def test_blob_contains_license_id(self):
+        blob = mint_license_blob("lic-example")
+        assert blob.startswith(b"lic-example:")
+
+    def test_mint_is_deterministic(self):
+        assert mint_license_blob("lic-a") == mint_license_blob("lic-a")
+
+    def test_distinct_licenses_distinct_blobs(self):
+        assert mint_license_blob("lic-a") != mint_license_blob("lic-b")
+
+    def test_matches_own_blob(self):
+        assert blob_matches("lic-a", mint_license_blob("lic-a"))
+
+    def test_rejects_other_license_blob(self):
+        assert not blob_matches("lic-a", mint_license_blob("lic-b"))
+
+    def test_rejects_tampered_mac(self):
+        blob = bytearray(mint_license_blob("lic-a"))
+        blob[-1] ^= 0xFF
+        assert not blob_matches("lic-a", bytes(blob))
+
+    def test_different_vendor_secret_incompatible(self):
+        blob = mint_license_blob("lic-a", secret=b"other-vendor")
+        assert not blob_matches("lic-a", blob)  # default secret
+        assert blob_matches("lic-a", blob, secret=b"other-vendor")
+
+    def test_server_and_workload_agree(self):
+        """The property the whole system rests on: SL-Remote's minted
+        blob passes the in-app AM check."""
+        from repro.core.sl_remote import LicenseDefinition
+        from repro.core.gcl import LeaseKind
+        from repro.workloads.base import expected_license_blob
+
+        definition = LicenseDefinition(
+            license_id="lic-x", kind=LeaseKind.COUNT, total_units=1,
+            secret=VENDOR_SECRET,
+        )
+        assert definition.license_blob() == expected_license_blob("lic-x")
+
+
+@given(st.text(min_size=1, max_size=64))
+def test_mint_match_roundtrip_property(license_id):
+    assert blob_matches(license_id, mint_license_blob(license_id))
+
+
+@given(st.text(min_size=1, max_size=32), st.text(min_size=1, max_size=32))
+def test_cross_license_rejection_property(a, b):
+    if a != b:
+        assert not blob_matches(a, mint_license_blob(b))

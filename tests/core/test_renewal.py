@@ -1,0 +1,216 @@
+"""Tests for adaptive GCL renewal (Algorithm 1, Equations 1-2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.renewal import (
+    LicenseLedger,
+    NodeCondition,
+    RenewalPolicy,
+    renew_lease,
+)
+
+
+def ledger(total=1000, beta=0.01):
+    return LicenseLedger(license_id="lic", total_gcl=total, beta=beta)
+
+
+def node(node_id="n1", weight=1.0, network=1.0, health=1.0):
+    return NodeCondition(node_id=node_id, weight=weight,
+                         network_reliability=network, health=health)
+
+
+class TestBasicGrant:
+    def test_single_healthy_node_gets_default_share(self):
+        """g_i = TG / D, then scaled up by the loss headroom (Line 16)."""
+        led = ledger(1000)
+        requester = node()
+        decision = renew_lease(led, requester, [requester])
+        # D = 4 -> base 250; zero expected loss -> beta = 1 -> doubled.
+        assert decision.granted_units == 500
+
+    def test_grant_recorded_as_outstanding(self):
+        led = ledger(1000)
+        requester = node()
+        decision = renew_lease(led, requester, [requester])
+        assert led.outstanding["n1"] == decision.granted_units
+        assert led.available == 1000 - decision.granted_units
+
+    def test_grant_never_exceeds_pool(self):
+        led = ledger(100)
+        requester = node()
+        total = 0
+        for _ in range(20):
+            decision = renew_lease(led, requester, [requester])
+            total += decision.granted_units
+            if decision.granted_units == 0:
+                break
+        assert total <= 100
+
+    def test_grant_never_exceeds_node_share(self):
+        led = ledger(1000)
+        requester = node()
+        decision = renew_lease(led, requester, [requester])
+        assert decision.granted_units <= decision.max_share
+
+    def test_requester_must_be_concurrent(self):
+        led = ledger(1000)
+        with pytest.raises(ValueError):
+            renew_lease(led, node("n1"), [node("n2")])
+
+
+class TestConcurrency:
+    def test_share_divided_among_nodes(self):
+        led = ledger(1000)
+        nodes = [node(f"n{i}") for i in range(4)]
+        decision = renew_lease(led, nodes[0], nodes)
+        solo_led = ledger(1000)
+        solo = renew_lease(solo_led, node(), [node()])
+        assert decision.granted_units < solo.granted_units
+
+    def test_weights_bias_shares(self):
+        led_heavy = ledger(1000)
+        heavy = node("heavy", weight=3.0)
+        light = node("light", weight=1.0)
+        d_heavy = renew_lease(led_heavy, heavy, [heavy, light])
+        led_light = ledger(1000)
+        d_light = renew_lease(led_light, light, [heavy, light])
+        assert d_heavy.granted_units > d_light.granted_units
+
+    def test_sum_of_concurrent_grants_bounded_by_pool(self):
+        led = ledger(1000)
+        nodes = [node(f"n{i}") for i in range(5)]
+        total = sum(
+            renew_lease(led, n, nodes).granted_units for n in nodes
+        )
+        assert total <= 1000
+
+
+class TestHealthAndNetwork:
+    def test_unhealthy_node_penalised(self):
+        healthy_led = ledger(1000)
+        shaky_led = ledger(1000)
+        healthy = node("h", health=1.0)
+        shaky = node("s", health=0.5)
+        d_healthy = renew_lease(healthy_led, healthy, [healthy])
+        d_shaky = renew_lease(shaky_led, shaky, [shaky])
+        assert d_shaky.granted_units < d_healthy.granted_units
+
+    def test_flaky_network_earns_extra_units_when_healthy(self):
+        """Line 7: healthy nodes on bad links get more local supply."""
+        stable_led = ledger(10_000)
+        flaky_led = ledger(10_000)
+        stable = node("st", network=1.0, health=0.95)
+        flaky = node("fl", network=0.5, health=0.95)
+        d_stable = renew_lease(stable_led, stable, [stable])
+        d_flaky = renew_lease(flaky_led, flaky, [flaky])
+        assert d_flaky.granted_units > d_stable.granted_units
+
+    def test_no_network_benefit_below_health_threshold(self):
+        policy = RenewalPolicy(health_threshold=0.9)
+        good_net_led = ledger(10_000)
+        bad_net_led = ledger(10_000)
+        sick_good_net = node("a", network=1.0, health=0.5)
+        sick_bad_net = node("b", network=0.2, health=0.5)
+        d_good = renew_lease(good_net_led, sick_good_net, [sick_good_net], policy)
+        d_bad = renew_lease(bad_net_led, sick_bad_net, [sick_bad_net], policy)
+        assert d_bad.granted_units <= d_good.granted_units
+
+    def test_network_benefit_capped_at_full_share(self):
+        led = ledger(1000)
+        requester = node("n", network=0.01, health=1.0)  # 100x boost uncapped
+        decision = renew_lease(led, requester, [requester])
+        assert decision.granted_units <= decision.max_share
+
+
+class TestExpectedLossBound:
+    def test_expected_loss_stays_under_tau(self):
+        """The invariant of Lines 9-17: ExpLoss(L) <= tau after renewal."""
+        policy = RenewalPolicy(tau_fraction=0.10)
+        led = ledger(1000)
+        tau = 0.10 * 1000
+        for i in range(6):
+            shaky = node(f"n{i}", health=0.6)
+            renew_lease(led, shaky, [shaky], policy)
+            conditions = {f"n{i}": node(f"n{i}", health=0.6) for i in range(6)}
+            assert led.expected_loss(conditions) <= tau + 1.0
+
+    def test_healthy_nodes_unconstrained_by_tau(self):
+        led = ledger(1000)
+        requester = node(health=1.0)  # crash probability zero
+        decision = renew_lease(led, requester, [requester])
+        assert decision.granted_units > 0
+        assert decision.expected_loss_after == 0.0
+
+    def test_equation_1(self):
+        led = ledger(1000)
+        led.outstanding = {"a": 100, "b": 50}
+        conditions = {
+            "a": node("a", health=0.9),
+            "b": node("b", health=0.7),
+        }
+        # ExpLoss = 100*0.1 + 50*0.3 = 25.
+        assert led.expected_loss(conditions) == pytest.approx(25.0)
+
+    def test_beta_carried_between_renewals(self):
+        led = ledger(1000)
+        requester = node(health=0.6)
+        renew_lease(led, requester, [requester])
+        assert led.beta != 0.01 or led.beta > 0  # updated in place
+
+
+class TestLedgerAccounting:
+    def test_lost_units_shrink_availability(self):
+        led = ledger(100)
+        led.lost_units = 30
+        assert led.available == 70
+
+    def test_outstanding_shrinks_availability(self):
+        led = ledger(100)
+        led.outstanding["n"] = 40
+        assert led.available == 60
+
+
+class TestPolicyValidation:
+    def test_bad_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            RenewalPolicy(scale_divisor=0.5)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RenewalPolicy(health_threshold=0.0)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ValueError):
+            RenewalPolicy(tau_fraction=1.5)
+
+    def test_bad_node_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCondition("n", network_reliability=0.0)
+        with pytest.raises(ValueError):
+            NodeCondition("n", health=1.5)
+        with pytest.raises(ValueError):
+            NodeCondition("n", weight=-1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    total=st.integers(min_value=10, max_value=100_000),
+    health=st.floats(min_value=0.0, max_value=1.0),
+    network=st.floats(min_value=0.01, max_value=1.0),
+    concurrency=st.integers(min_value=1, max_value=8),
+)
+def test_renewal_invariants_property(total, health, network, concurrency):
+    """For any conditions: 0 <= grant <= share <= pool, loss <= tau."""
+    policy = RenewalPolicy()
+    led = LicenseLedger(license_id="lic", total_gcl=total, beta=0.01)
+    nodes = [NodeCondition(f"n{i}") for i in range(concurrency - 1)]
+    requester = NodeCondition("req", network_reliability=network, health=health)
+    nodes.append(requester)
+    decision = renew_lease(led, requester, nodes, policy)
+    assert 0 <= decision.granted_units
+    assert decision.granted_units <= max(decision.max_share, 0)
+    assert decision.granted_units <= total
+    tau = policy.tau_fraction * total
+    conditions = {n.node_id: n for n in nodes}
+    assert led.expected_loss(conditions) <= tau + 1.0

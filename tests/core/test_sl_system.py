@@ -1,0 +1,211 @@
+"""Tests for the SL-Remote / SL-Local / SL-Manager triad."""
+
+import pytest
+
+from repro.core.gcl import LeaseKind
+from repro.core.protocol import AttestRequest, RenewRequest, Status
+from repro.core.sl_local import SlLocal, SlLocalError
+from repro.core.sl_manager import SlManager
+from repro.core.sl_remote import LicenseUnknown, SlRemote
+from repro.crypto.keys import KeyGenerator
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.net.rpc import connect_remote
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.sim.rng import DeterministicRng
+
+
+def build_system(seed=3, tokens_per_attestation=10, total_units=1000):
+    rng = DeterministicRng(seed)
+    ras = RemoteAttestationService()
+    remote = SlRemote(ras)
+    definition = remote.issue_license("lic-app", total_units)
+    machine = SgxMachine("client")
+    ras.register_platform(machine.platform_secret)
+    link = SimulatedLink(NetworkConditions(), rng.fork("net"))
+    endpoint = connect_remote(remote, link)
+    local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
+                    tokens_per_attestation=tokens_per_attestation)
+    local.init()
+    manager = SlManager("app", machine, local,
+                        tokens_per_attestation=tokens_per_attestation)
+    manager.load_license("lic-app", definition.license_blob())
+    return remote, machine, local, manager, definition
+
+
+class TestSlRemote:
+    def test_duplicate_license_rejected(self):
+        remote, *_ = build_system()
+        with pytest.raises(ValueError):
+            remote.issue_license("lic-app", 10)
+
+    def test_unknown_license_operations_rejected(self):
+        remote, *_ = build_system()
+        with pytest.raises(LicenseUnknown):
+            remote.ledger("ghost")
+        with pytest.raises(LicenseUnknown):
+            remote.revoke_license("ghost")
+
+    def test_renew_with_bogus_blob_rejected(self):
+        remote, *_ = build_system()
+        response = remote.handle_renew(RenewRequest(
+            slid=1, license_id="lic-app", license_blob=b"forged",
+            network_reliability=1.0, health=1.0,
+        ))
+        assert response.status is Status.INVALID_LICENSE
+
+    def test_renew_for_unknown_client_rejected(self):
+        remote, *_ = build_system()
+        response = remote.handle_renew(RenewRequest(
+            slid=999, license_id="lic-app", license_blob=b"x",
+            network_reliability=1.0, health=1.0,
+        ))
+        assert response.status is Status.UNKNOWN_CLIENT
+
+    def test_revoked_license_denied(self):
+        remote, machine, local, manager, definition = build_system()
+        # Cache a sub-GCL locally, then revoke server-side.
+        assert manager.check("lic-app")
+        remote.revoke_license("lic-app")
+        # Cached grants drain out; once the local GCL is exhausted the
+        # renewal attempt is refused.
+        local.tree.find(0).gcl.revoke()
+        manager._tokens.clear()
+        assert not manager.check("lic-app")
+
+    def test_exhausted_pool_denied(self):
+        remote, machine, local, manager, definition = build_system(total_units=5)
+        served = 0
+        for _ in range(50):
+            if manager.check("lic-app"):
+                served += 1
+        assert served <= 5
+
+
+class TestSlLocalLifecycle:
+    def test_serving_before_init_rejected(self):
+        rng = DeterministicRng(5)
+        ras = RemoteAttestationService()
+        remote = SlRemote(ras)
+        machine = SgxMachine("client")
+        ras.register_platform(machine.platform_secret)
+        endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
+                                                        rng.fork("net")))
+        local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("k")))
+        with pytest.raises(SlLocalError):
+            local.resident_bytes()
+
+    def test_init_assigns_slid(self):
+        _, _, local, _, _ = build_system()
+        assert local.slid == 1
+
+    def test_slid_stable_across_graceful_restart(self):
+        remote, machine, local, manager, _ = build_system()
+        manager.check("lic-app")
+        local.shutdown()
+        local.reincarnate()
+        local.init()
+        assert local.slid == 1
+
+    def test_graceful_restart_preserves_leases(self):
+        remote, machine, local, manager, definition = build_system()
+        for _ in range(15):
+            manager.check("lic-app")
+        counter_before = local.tree.find(0).gcl.counter
+        local.shutdown()
+        local.reincarnate()
+        local.init()
+        assert local.tree.find(0).gcl.counter == counter_before
+
+    def test_crash_loses_leases(self):
+        remote, machine, local, manager, _ = build_system()
+        manager.check("lic-app")
+        held = remote.ledger("lic-app").outstanding["slid:1"]
+        assert held > 0
+        local.crash()
+        local.reincarnate()
+        local.init()
+        ledger = remote.ledger("lic-app")
+        assert ledger.outstanding.get("slid:1", 0) == 0
+        assert ledger.lost_units == held
+
+    def test_total_attestations_bounded_after_batching(self):
+        """100 checks with 10-token batches -> 10 local attestations."""
+        remote, machine, local, manager, _ = build_system()
+        for _ in range(100):
+            assert manager.check("lic-app")
+        assert manager.attestations_made == 10
+        assert machine.stats.local_attestations == 10
+
+    def test_init_is_the_only_remote_attestation(self):
+        remote, machine, local, manager, _ = build_system()
+        for _ in range(100):
+            manager.check("lic-app")
+        assert machine.stats.remote_attestations == 1  # the init() RA
+
+
+class TestSlManager:
+    def test_valid_license_grants(self):
+        _, _, _, manager, _ = build_system()
+        assert manager.check("lic-app")
+
+    def test_unknown_license_denied(self):
+        _, _, _, manager, _ = build_system()
+        assert not manager.check("lic-other")
+        assert manager.denials == 1
+
+    def test_invalid_blob_denied(self):
+        _, _, _, manager, _ = build_system()
+        manager.load_license("lic-app", b"not-a-real-license")
+        manager._tokens.clear()
+        assert not manager.check("lic-app")
+
+    def test_remaining_grants_tracking(self):
+        _, _, _, manager, _ = build_system(tokens_per_attestation=10)
+        manager.check("lic-app")
+        assert manager.remaining_grants("lic-app") == 9
+        for _ in range(9):
+            manager.check("lic-app")
+        assert manager.remaining_grants("lic-app") == 0
+
+    def test_forged_token_not_accepted_by_sl_local(self):
+        from repro.core.tokens import ExecutionToken
+
+        _, _, local, manager, _ = build_system()
+        forged = ExecutionToken(license_id="lic-app", lease_id=0, nonce=99,
+                                grants=1_000_000, initial_grants=1_000_000,
+                                mac=0x1234)
+        assert not local.verify_token(forged)
+
+    def test_genuine_token_verifies(self):
+        _, _, local, manager, _ = build_system()
+        manager.check("lic-app")
+        token = manager._tokens["lic-app"]
+        assert local.verify_token(token)
+
+
+class TestConcurrentLeases:
+    def test_multiple_licenses_independent(self):
+        remote, machine, local, manager, _ = build_system()
+        other = remote.issue_license("lic-other", 50)
+        manager.load_license("lic-other", other.license_blob())
+        assert manager.check("lic-app")
+        assert manager.check("lic-other")
+        assert len(local.tree) == 2
+
+    def test_commit_cold_leases_shrinks_memory(self):
+        remote, machine, local, manager, _ = build_system()
+        for i in range(20):
+            definition = remote.issue_license(f"lic-{i}", 50)
+            manager.load_license(f"lic-{i}", definition.license_blob())
+            manager.check(f"lic-{i}")
+        before = local.resident_bytes()
+        committed = local.commit_cold_leases(keep_resident=2)
+        assert committed > 0
+        assert local.resident_bytes() < before
+
+    def test_committed_lease_usable_again(self):
+        remote, machine, local, manager, _ = build_system()
+        manager.check("lic-app")
+        local.commit_cold_leases(keep_resident=0)
+        manager._tokens.clear()
+        assert manager.check("lic-app")  # transparently unsealed

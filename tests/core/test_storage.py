@@ -1,0 +1,127 @@
+"""Tests for the on-disk SL-Local state format."""
+
+import pytest
+
+from repro.core.storage import (
+    StorageError,
+    load_state,
+    persist_sl_local,
+    restore_sl_local,
+    save_state,
+)
+from repro.crypto.sealing import SealedBlob
+
+
+class TestStateFile:
+    def test_roundtrip_full_state(self, tmp_path):
+        path = tmp_path / "sl-local.state"
+        image = SealedBlob(ciphertext=b"sealed-tree-bytes", nonce=b"12345678")
+        save_state(path, slid=42, image=image)
+        slid, restored = load_state(path)
+        assert slid == 42
+        assert restored.ciphertext == image.ciphertext
+        assert restored.nonce == image.nonce
+
+    def test_roundtrip_unassigned_slid(self, tmp_path):
+        path = tmp_path / "s"
+        save_state(path, slid=None, image=None)
+        slid, image = load_state(path)
+        assert slid is None
+        assert image is None
+
+    def test_not_a_state_file(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_bytes(b"not a state file at all")
+        with pytest.raises(StorageError):
+            load_state(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "s"
+        image = SealedBlob(ciphertext=b"x" * 100, nonce=b"12345678")
+        save_state(path, slid=1, image=image)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError):
+            load_state(path)
+
+    def test_empty_image_distinct_from_none(self, tmp_path):
+        path = tmp_path / "s"
+        save_state(path, slid=7, image=None)
+        slid, image = load_state(path)
+        assert slid == 7 and image is None
+
+
+class TestSlLocalPersistence:
+    def build(self, seed=131):
+        from repro.core.sl_local import SlLocal
+        from repro.core.sl_manager import SlManager
+        from repro.core.sl_remote import SlRemote
+        from repro.crypto.keys import KeyGenerator
+        from repro.net.network import NetworkConditions, SimulatedLink
+        from repro.net.rpc import connect_remote
+        from repro.sgx import RemoteAttestationService, SgxMachine
+        from repro.sim.rng import DeterministicRng
+
+        rng = DeterministicRng(seed)
+        ras = RemoteAttestationService()
+        remote = SlRemote(ras)
+        definition = remote.issue_license("lic-disk", 500)
+        machine = SgxMachine("disk-client")
+        ras.register_platform(machine.platform_secret)
+        endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
+                                                        rng.fork("net")))
+        local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
+                        tokens_per_attestation=5)
+        manager = SlManager("disk-app", machine, local,
+                            tokens_per_attestation=5)
+        manager.load_license("lic-disk", definition.license_blob())
+        return remote, machine, local, manager
+
+    def test_full_restart_through_disk(self, tmp_path):
+        """Shutdown -> persist to disk -> new process -> restore -> the
+        lease counter survives."""
+        path = tmp_path / "sl-local.state"
+        remote, machine, local, manager = self.build()
+        local.init()
+        for _ in range(7):
+            manager.check("lic-disk")
+        counter = local.tree.find(0).gcl.counter
+        local.shutdown()
+        persist_sl_local(local, path)
+
+        # "New process": a fresh SlLocal object on the same machine.
+        from repro.core.sl_local import SlLocal
+        from repro.crypto.keys import KeyGenerator
+        from repro.sim.rng import DeterministicRng
+
+        reborn = SlLocal(machine, local.remote,
+                         KeyGenerator(DeterministicRng(999)),
+                         tokens_per_attestation=5)
+        restore_sl_local(reborn, path)
+        assert reborn.slid == local.slid
+        reborn.init()
+        assert reborn.tree.find(0).gcl.counter == counter
+
+    def test_tampered_disk_state_detected_at_restore(self, tmp_path):
+        path = tmp_path / "sl-local.state"
+        remote, machine, local, manager = self.build()
+        local.init()
+        manager.check("lic-disk")
+        local.shutdown()
+        persist_sl_local(local, path)
+
+        # Flip one ciphertext byte on disk.
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        from repro.core.sl_local import SlLocal
+        from repro.crypto.keys import KeyGenerator
+        from repro.sim.rng import DeterministicRng
+
+        reborn = SlLocal(machine, local.remote,
+                         KeyGenerator(DeterministicRng(999)),
+                         tokens_per_attestation=5)
+        restore_sl_local(reborn, path)
+        reborn.init()  # must not crash; comes up empty instead
+        assert len(reborn.tree) == 0

@@ -1,0 +1,96 @@
+"""Tests for execution tokens."""
+
+import pytest
+
+from repro.core.tokens import ExecutionToken, TokenError
+
+SECRET = 0xDEADBEEF
+
+
+class TestIssueVerify:
+    def test_issue_and_verify(self):
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=10,
+                                     signing_secret=SECRET)
+        token.verify(SECRET)  # no exception
+
+    def test_forged_mac_rejected(self):
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=10,
+                                     signing_secret=SECRET)
+        forged = ExecutionToken(
+            license_id=token.license_id,
+            lease_id=token.lease_id,
+            nonce=token.nonce,
+            grants=token.grants + 5,  # inflate the grant count
+            initial_grants=token.initial_grants + 5,
+            mac=token.mac,
+        )
+        with pytest.raises(TokenError):
+            forged.verify(SECRET)
+
+    def test_wrong_secret_rejected(self):
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=10,
+                                     signing_secret=SECRET)
+        with pytest.raises(TokenError):
+            token.verify(SECRET + 1)
+
+    def test_token_bound_to_license(self):
+        token = ExecutionToken.issue("lic-a", 1, nonce=1, grants=1,
+                                     signing_secret=SECRET)
+        relabelled = ExecutionToken(
+            license_id="lic-b",
+            lease_id=token.lease_id,
+            nonce=token.nonce,
+            grants=token.grants,
+            initial_grants=token.initial_grants,
+            mac=token.mac,
+        )
+        with pytest.raises(TokenError):
+            relabelled.verify(SECRET)
+
+    def test_zero_grants_rejected(self):
+        with pytest.raises(TokenError):
+            ExecutionToken.issue("lic", 1, nonce=1, grants=0,
+                                 signing_secret=SECRET)
+
+
+class TestConsumption:
+    def test_grants_spend_down(self):
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=3,
+                                     signing_secret=SECRET)
+        token.consume()
+        token.consume()
+        assert token.grants == 1
+        assert not token.exhausted
+
+    def test_exhaustion(self):
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=1,
+                                     signing_secret=SECRET)
+        token.consume()
+        assert token.exhausted
+        with pytest.raises(TokenError):
+            token.consume()
+
+    def test_batching_amortisation_shape(self):
+        """One 10-grant token serves 10 executions (Section 7.3)."""
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=10,
+                                     signing_secret=SECRET)
+        served = 0
+        while not token.exhausted:
+            token.consume()
+            served += 1
+        assert served == 10
+
+
+    def test_consumed_token_still_verifies(self):
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=5,
+                                     signing_secret=SECRET)
+        token.consume()
+        token.consume()
+        token.verify(SECRET)  # spending grants does not break the MAC
+
+    def test_grants_above_initial_rejected(self):
+        token = ExecutionToken.issue("lic", 1, nonce=1, grants=5,
+                                     signing_secret=SECRET)
+        token.grants = 6  # attacker refills the counter
+        with pytest.raises(TokenError):
+            token.verify(SECRET)

@@ -1,0 +1,134 @@
+"""Tests for the from-scratch AES-128 (FIPS-197 / SP 800-38A vectors)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import Aes128, aes128_ctr_decrypt, aes128_ctr_encrypt
+
+
+class TestAesBlockVectors:
+    def test_fips197_appendix_b(self):
+        """The worked example from FIPS-197 Appendix B."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1(self):
+        """FIPS-197 Appendix C.1 known-answer test."""
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_sp800_38a_ecb_vectors(self):
+        """First two blocks of the NIST SP 800-38A AES-128 ECB test."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        cipher = Aes128(key)
+        cases = [
+            ("6bc1bee22e409f96e93d7e117393172a",
+             "3ad77bb40d7a3660a89ecaf32466ef97"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51",
+             "f5d3d58503b9699de785895a96fdbaaf"),
+        ]
+        for plaintext_hex, expected_hex in cases:
+            assert cipher.encrypt_block(bytes.fromhex(plaintext_hex)) == (
+                bytes.fromhex(expected_hex)
+            )
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            Aes128(b"short")
+        with pytest.raises(ValueError):
+            Aes128(b"x" * 32)  # AES-256 keys not supported here
+
+    def test_wrong_block_length_rejected(self):
+        cipher = Aes128(b"k" * 16)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"tiny")
+
+
+class TestCtrMode:
+    KEY = b"0123456789abcdef"
+    NONCE = b"\x00" * 8
+
+    def test_roundtrip(self):
+        plaintext = b"the lease tree stays in trusted memory"
+        ciphertext = aes128_ctr_encrypt(plaintext, self.KEY, self.NONCE)
+        assert aes128_ctr_decrypt(ciphertext, self.KEY, self.NONCE) == plaintext
+
+    def test_ciphertext_differs_from_plaintext(self):
+        plaintext = b"A" * 64
+        assert aes128_ctr_encrypt(plaintext, self.KEY, self.NONCE) != plaintext
+
+    def test_empty_plaintext(self):
+        assert aes128_ctr_encrypt(b"", self.KEY, self.NONCE) == b""
+
+    def test_non_block_aligned_lengths(self):
+        for length in (1, 15, 16, 17, 31, 33, 100):
+            plaintext = bytes(range(length % 256)) * (length // 256 + 1)
+            plaintext = plaintext[:length]
+            ciphertext = aes128_ctr_encrypt(plaintext, self.KEY, self.NONCE)
+            assert len(ciphertext) == length
+            assert aes128_ctr_decrypt(ciphertext, self.KEY, self.NONCE) == plaintext
+
+    def test_different_nonce_different_ciphertext(self):
+        plaintext = b"B" * 32
+        a = aes128_ctr_encrypt(plaintext, self.KEY, b"\x00" * 8)
+        b = aes128_ctr_encrypt(plaintext, self.KEY, b"\x01" + b"\x00" * 7)
+        assert a != b
+
+    def test_different_key_different_ciphertext(self):
+        plaintext = b"C" * 32
+        a = aes128_ctr_encrypt(plaintext, b"k" * 16, self.NONCE)
+        b = aes128_ctr_encrypt(plaintext, b"K" * 16, self.NONCE)
+        assert a != b
+
+    def test_wrong_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            aes128_ctr_encrypt(b"data", self.KEY, b"\x00" * 4)
+
+    def test_wrong_key_fails_decryption(self):
+        plaintext = b"guarded content"
+        ciphertext = aes128_ctr_encrypt(plaintext, self.KEY, self.NONCE)
+        assert aes128_ctr_decrypt(ciphertext, b"wrongkey12345678", self.NONCE) != plaintext
+
+
+@given(st.binary(max_size=512), st.binary(min_size=16, max_size=16),
+       st.binary(min_size=8, max_size=8))
+def test_ctr_roundtrip_property(plaintext, key, nonce):
+    ciphertext = aes128_ctr_encrypt(plaintext, key, nonce)
+    assert aes128_ctr_decrypt(ciphertext, key, nonce) == plaintext
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+def test_block_encryption_is_permutation(key, block):
+    """Distinct blocks encrypt to distinct ciphertexts under one key."""
+    cipher = Aes128(key)
+    other = bytes([block[0] ^ 0xFF]) + block[1:]
+    assert cipher.encrypt_block(block) != cipher.encrypt_block(other)
+
+
+class TestInverseCipher:
+    def test_fips197_appendix_c1_decrypt(self):
+        """The C.1 known-answer test, inverted."""
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert Aes128(key).decrypt_block(ciphertext) == expected
+
+    def test_decrypt_inverts_encrypt(self):
+        cipher = Aes128(b"0123456789abcdef")
+        block = bytes(range(16))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_wrong_block_length_rejected(self):
+        with pytest.raises(ValueError):
+            Aes128(b"k" * 16).decrypt_block(b"short")
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+def test_decrypt_encrypt_roundtrip_property(key, block):
+    cipher = Aes128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    assert cipher.encrypt_block(cipher.decrypt_block(block)) == block

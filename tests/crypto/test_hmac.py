@@ -1,0 +1,70 @@
+"""Tests for the from-scratch HMAC-SHA256 (RFC 4231 vectors)."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hmac import constant_time_equal, hmac_sha256, hmac_sha256_word
+
+
+class TestRfc4231Vectors:
+    def test_case_1(self):
+        key = b"\x0b" * 20
+        data = b"Hi There"
+        expected = (
+            "b0344c61d8db38535ca8afceaf0bf12b"
+            "881dc200c9833da726e9376c2e32cff7"
+        )
+        assert hmac_sha256(key, data).hex() == expected
+
+    def test_case_2(self):
+        key = b"Jefe"
+        data = b"what do ya want for nothing?"
+        expected = (
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843"
+        )
+        assert hmac_sha256(key, data).hex() == expected
+
+    def test_case_3(self):
+        key = b"\xaa" * 20
+        data = b"\xdd" * 50
+        expected = (
+            "773ea91e36800e46854db8ebd09181a7"
+            "2959098b3ef8c122d9635514ced565fe"
+        )
+        assert hmac_sha256(key, data).hex() == expected
+
+    def test_case_6_long_key(self):
+        """Keys longer than the block size are hashed first."""
+        key = b"\xaa" * 131
+        data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        expected = (
+            "60e431591ee0b67f0d8a26aacbf5b77f"
+            "8e0bc6213728c5140546040f0ee37f54"
+        )
+        assert hmac_sha256(key, data).hex() == expected
+
+
+class TestAgainstStdlib:
+    @given(st.binary(max_size=200), st.binary(max_size=500))
+    def test_matches_hashlib_hmac(self, key, message):
+        ours = hmac_sha256(key, message)
+        theirs = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+        assert ours == theirs
+
+
+class TestWordAndCompare:
+    def test_word_is_prefix(self):
+        mac = hmac_sha256(b"k", b"m")
+        assert hmac_sha256_word(b"k", b"m") == int.from_bytes(mac[:8], "big")
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"same", b"same")
+        assert not constant_time_equal(b"same", b"diff")
+        assert not constant_time_equal(b"short", b"longer")
+
+    def test_key_separation(self):
+        assert hmac_sha256(b"k1", b"m") != hmac_sha256(b"k2", b"m")

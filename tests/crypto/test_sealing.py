@@ -1,0 +1,134 @@
+"""Tests for Protect/Validate (paper Algorithms 2-3) and key handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.keys import KeyGenerator, expand_key64
+from repro.crypto.sealing import SealedBlob, TamperedSealError, protect, validate
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def keygen():
+    return KeyGenerator(DeterministicRng(7))
+
+
+class TestProtectValidate:
+    def test_roundtrip(self, keygen):
+        blob, key = protect(b"lease payload", keygen)
+        assert validate(blob, key) == b"lease payload"
+
+    def test_empty_payload(self, keygen):
+        blob, key = protect(b"", keygen)
+        assert validate(blob, key) == b""
+
+    def test_fresh_key_every_commit(self, keygen):
+        _, key_a = protect(b"same data", keygen)
+        _, key_b = protect(b"same data", keygen)
+        assert key_a != key_b
+
+    def test_fresh_nonce_every_commit(self, keygen):
+        blob_a, _ = protect(b"same data", keygen)
+        blob_b, _ = protect(b"same data", keygen)
+        assert blob_a.nonce != blob_b.nonce
+
+    def test_ciphertext_hides_plaintext(self, keygen):
+        payload = b"X" * 64
+        blob, _ = protect(payload, keygen)
+        assert payload not in blob.ciphertext
+
+    def test_wrong_key_detected(self, keygen):
+        blob, key = protect(b"lease payload", keygen)
+        with pytest.raises(TamperedSealError):
+            validate(blob, key ^ 0x1)
+
+    def test_tampered_ciphertext_detected(self, keygen):
+        blob, key = protect(b"lease payload", keygen)
+        tampered = SealedBlob(
+            ciphertext=bytes([blob.ciphertext[0] ^ 0xFF]) + blob.ciphertext[1:],
+            nonce=blob.nonce,
+        )
+        with pytest.raises(TamperedSealError):
+            validate(tampered, key)
+
+    def test_tampered_nonce_detected(self, keygen):
+        blob, key = protect(b"lease payload", keygen)
+        tampered = SealedBlob(ciphertext=blob.ciphertext, nonce=b"\x00" * 8)
+        if tampered.nonce == blob.nonce:
+            pytest.skip("nonce collision")
+        with pytest.raises(TamperedSealError):
+            validate(tampered, key)
+
+    def test_replay_under_new_key_detected(self, keygen):
+        """The anti-replay core: an old blob fails under the new key."""
+        old_blob, _old_key = protect(b"counter=10", keygen)
+        _new_blob, new_key = protect(b"counter=9", keygen)
+        with pytest.raises(TamperedSealError):
+            validate(old_blob, new_key)
+
+    def test_truncated_blob_detected(self, keygen):
+        blob, key = protect(b"lease payload", keygen)
+        truncated = SealedBlob(ciphertext=blob.ciphertext[:8], nonce=blob.nonce)
+        with pytest.raises(TamperedSealError):
+            validate(truncated, key)
+
+    def test_size_accounting(self, keygen):
+        blob, _ = protect(b"p" * 100, keygen)
+        # data + 32-byte hash, plus the 8-byte nonce.
+        assert blob.size_bytes == 100 + 32 + 8
+
+
+class TestKeyExpansion:
+    def test_expand_is_deterministic(self):
+        assert expand_key64(42) == expand_key64(42)
+
+    def test_expand_produces_16_bytes(self):
+        assert len(expand_key64(0)) == 16
+        assert len(expand_key64((1 << 64) - 1)) == 16
+
+    def test_distinct_keys_expand_differently(self):
+        assert expand_key64(1) != expand_key64(2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            expand_key64(-1)
+        with pytest.raises(ValueError):
+            expand_key64(1 << 64)
+
+
+class TestKeyGenerator:
+    def test_nonces_never_repeat(self, keygen):
+        nonces = {keygen.fresh_nonce() for _ in range(1000)}
+        assert len(nonces) == 1000
+
+    def test_keys_are_64_bit(self, keygen):
+        for _ in range(100):
+            assert 0 <= keygen.fresh_key64() < (1 << 64)
+
+    def test_generators_with_same_seed_agree(self):
+        a = KeyGenerator(DeterministicRng(5))
+        b = KeyGenerator(DeterministicRng(5))
+        assert [a.fresh_key64() for _ in range(5)] == [
+            b.fresh_key64() for _ in range(5)
+        ]
+
+
+@given(st.binary(max_size=1024))
+def test_protect_validate_roundtrip_property(data):
+    keygen = KeyGenerator(DeterministicRng(11))
+    blob, key = protect(data, keygen)
+    assert validate(blob, key) == data
+
+
+@given(st.binary(min_size=1, max_size=256), st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=10_000))
+def test_any_single_byte_corruption_detected(data, xor, position_seed):
+    if xor == 0:
+        xor = 0xFF
+    keygen = KeyGenerator(DeterministicRng(13))
+    blob, key = protect(data, keygen)
+    position = position_seed % len(blob.ciphertext)
+    corrupted = bytearray(blob.ciphertext)
+    corrupted[position] ^= xor
+    with pytest.raises(TamperedSealError):
+        validate(SealedBlob(bytes(corrupted), blob.nonce), key)

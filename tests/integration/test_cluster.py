@@ -1,0 +1,156 @@
+"""Fleet-level integration tests for multi-node lease distribution."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core.renewal import RenewalPolicy
+
+LICENSE = "lic-fleet"
+POOL = 20_000
+
+
+def build_fleet(specs, seed=61, policy=None):
+    cluster = Cluster(seed=seed, policy=policy)
+    cluster.issue_license(LICENSE, POOL)
+    for spec in specs:
+        cluster.add_node(spec)
+    return cluster
+
+
+class TestFleetDistribution:
+    def test_all_healthy_nodes_served(self):
+        cluster = build_fleet([NodeSpec(f"n{i}") for i in range(4)])
+        served = cluster.run_checks(LICENSE, checks_per_node=100)
+        assert all(count == 100 for count in served.values())
+
+    def test_pool_conservation_invariant(self):
+        cluster = build_fleet([NodeSpec(f"n{i}") for i in range(4)])
+        cluster.run_checks(LICENSE, checks_per_node=50)
+        # served units live inside nodes' outstanding sub-GCLs, so:
+        assert cluster.pool_conserved(LICENSE, POOL)
+
+    def test_pool_conservation_after_crashes(self):
+        cluster = build_fleet([NodeSpec(f"n{i}") for i in range(3)])
+        cluster.run_checks(LICENSE, checks_per_node=30)
+        cluster.crash_node("n1")
+        cluster.run_checks(LICENSE, checks_per_node=30)
+        cluster.crash_node("n2")
+        assert cluster.pool_conserved(LICENSE, POOL)
+
+    def test_weights_bias_distribution(self):
+        cluster = build_fleet([
+            NodeSpec("heavy", weight=4.0),
+            NodeSpec("light", weight=1.0),
+        ])
+        cluster.run_checks(LICENSE, checks_per_node=20)
+        outstanding = cluster.outstanding(LICENSE)
+        assert outstanding["heavy"] > outstanding["light"]
+
+    def test_unhealthy_node_holds_less(self):
+        cluster = build_fleet([
+            NodeSpec("solid", health=1.0),
+            NodeSpec("shaky", health=0.6),
+        ])
+        cluster.run_checks(LICENSE, checks_per_node=20)
+        outstanding = cluster.outstanding(LICENSE)
+        assert outstanding["shaky"] < outstanding["solid"]
+
+    def test_expected_loss_bounded(self):
+        policy = RenewalPolicy(tau_fraction=0.10)
+        cluster = build_fleet(
+            [NodeSpec(f"shaky-{i}", health=0.6) for i in range(5)],
+            policy=policy,
+        )
+        cluster.run_checks(LICENSE, checks_per_node=40)
+        assert cluster.expected_loss(LICENSE) <= 0.10 * POOL + 1.0
+
+    def test_flaky_network_node_gets_buffer(self):
+        """Line 7 of Algorithm 1 at fleet level: a healthy node on a
+        flaky link carries more local supply.  Compared on isolated
+        single-node fleets so first-requester concurrency effects do
+        not mask the network term."""
+        wired_cluster = build_fleet(
+            [NodeSpec("wired", network_reliability=1.0, health=0.95)]
+        )
+        wifi_cluster = build_fleet(
+            [NodeSpec("wifi", network_reliability=0.5, health=0.95)]
+        )
+        wired_cluster.run_checks(LICENSE, checks_per_node=10)
+        wifi_cluster.run_checks(LICENSE, checks_per_node=10)
+        assert (wifi_cluster.outstanding(LICENSE)["wifi"]
+                > wired_cluster.outstanding(LICENSE)["wired"])
+
+    def test_first_requester_concurrency_effect(self):
+        """With two live requesters, each node's fair share halves —
+        the C term of Algorithm 1 observed end to end."""
+        solo = build_fleet([NodeSpec("only")])
+        solo.run_checks(LICENSE, checks_per_node=10)
+        pair = build_fleet([NodeSpec("a"), NodeSpec("b")])
+        pair.run_checks(LICENSE, checks_per_node=10)
+        assert (pair.outstanding(LICENSE)["b"]
+                < solo.outstanding(LICENSE)["only"])
+
+
+class TestFleetResilience:
+    def test_crash_writes_off_only_that_node(self):
+        cluster = build_fleet([NodeSpec("a"), NodeSpec("b")])
+        cluster.run_checks(LICENSE, checks_per_node=25)
+        before = cluster.outstanding(LICENSE)
+        cluster.crash_node("a")
+        after = cluster.outstanding(LICENSE)
+        assert after["a"] == 0
+        assert after["b"] == before["b"]
+        ledger = cluster.remote.ledger(LICENSE)
+        assert ledger.lost_units == before["a"]
+
+    def test_crashed_node_recovers_service(self):
+        cluster = build_fleet([NodeSpec("a"), NodeSpec("b")])
+        cluster.run_checks(LICENSE, checks_per_node=10)
+        cluster.crash_node("a")
+        served = cluster.run_checks(LICENSE, checks_per_node=10)
+        assert served["a"] == 10
+
+    def test_graceful_shutdown_preserves_units(self):
+        cluster = build_fleet([NodeSpec("a")])
+        cluster.run_checks(LICENSE, checks_per_node=10)
+        before = cluster.outstanding(LICENSE)["a"]
+        cluster.shutdown_node("a")
+        assert cluster.outstanding(LICENSE)["a"] == before
+        assert cluster.remote.ledger(LICENSE).lost_units == 0
+        served = cluster.run_checks(LICENSE, checks_per_node=5)
+        assert served["a"] == 5
+
+    def test_repeated_crash_loop_cannot_drain_others(self):
+        """One crash-looping node cannot starve its peers."""
+        cluster = build_fleet([
+            NodeSpec("abuser", health=0.6),
+            NodeSpec("honest"),
+        ])
+        for _ in range(8):
+            cluster.run_checks(LICENSE, checks_per_node=5)
+            cluster.crash_node("abuser")
+        served = cluster.run_checks(LICENSE, checks_per_node=20)
+        assert served["honest"] == 20
+
+    def test_duplicate_node_name_rejected(self):
+        cluster = build_fleet([NodeSpec("a")])
+        with pytest.raises(ValueError):
+            cluster.add_node(NodeSpec("a"))
+
+
+class TestFleetScale:
+    def test_ten_nodes_share_one_license(self):
+        cluster = build_fleet([NodeSpec(f"n{i}") for i in range(10)])
+        served = cluster.run_checks(LICENSE, checks_per_node=20)
+        assert sum(served.values()) == 200
+        assert cluster.pool_conserved(LICENSE, POOL)
+
+    def test_multiple_licenses_per_fleet(self):
+        cluster = build_fleet([NodeSpec(f"n{i}") for i in range(3)])
+        cluster.issue_license("lic-second", 5_000)
+        first = cluster.run_checks(LICENSE, checks_per_node=10)
+        second = cluster.run_checks("lic-second", checks_per_node=10,
+                                    app_name="second-app")
+        assert sum(first.values()) == 30
+        assert sum(second.values()) == 30
+        assert cluster.pool_conserved("lic-second", 5_000)

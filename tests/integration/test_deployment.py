@@ -1,0 +1,142 @@
+"""End-to-end integration tests: deployment, lease flow, baselines."""
+
+import pytest
+
+from repro.deployment import FlaasLeaseManager, SecureLeaseDeployment
+from repro.net.network import NetworkConditions
+from repro.partition import GlamdringPartitioner
+from repro.sgx import scaled_latency_costs
+from repro.workloads import get_workload
+
+SCALE = 0.1
+
+
+class TestSecureLeaseEndToEnd:
+    def test_full_flow_produces_correct_result(self):
+        deployment = SecureLeaseDeployment(seed=11)
+        workload = get_workload("jsonparser")
+        blob = deployment.issue_license(workload.license_id, total_units=10_000)
+        run = deployment.run_workload(workload, scale=SCALE, license_blob=blob)
+        assert run.result["status"] == "OK"
+        assert run.lease_checks > 0
+
+    def test_faas_workload_batches_attestations(self):
+        deployment = SecureLeaseDeployment(seed=11, tokens_per_attestation=10)
+        workload = get_workload("jsonparser")
+        blob = deployment.issue_license(workload.license_id, total_units=10_000)
+        run = deployment.run_workload(workload, scale=SCALE, license_blob=blob)
+        # 10-token batching: attestations ~= checks / 10.
+        assert run.local_attestations <= run.lease_checks / 5
+
+    def test_classic_workload_checks_once(self):
+        deployment = SecureLeaseDeployment(seed=11)
+        workload = get_workload("bfs")  # per-run billing
+        blob = deployment.issue_license(workload.license_id, total_units=100)
+        run = deployment.run_workload(workload, scale=SCALE, license_blob=blob)
+        assert run.result["status"] == "OK"
+        assert run.lease_checks == 1
+
+    def test_no_remote_attestation_during_runs(self):
+        """The headline: after init, runs are served locally (~99 % fewer RAs)."""
+        deployment = SecureLeaseDeployment(seed=11)
+        workload = get_workload("keyvalue")
+        blob = deployment.issue_license(workload.license_id, total_units=10**6)
+        run = deployment.run_workload(workload, scale=SCALE, license_blob=blob)
+        assert run.remote_attestations == 0
+        assert run.lease_checks > 100
+
+    def test_invalid_license_aborts(self):
+        deployment = SecureLeaseDeployment(seed=11)
+        workload = get_workload("bfs")
+        deployment.issue_license(workload.license_id, total_units=100)
+        run = deployment.run_workload(workload, scale=SCALE,
+                                      license_blob=b"cracked")
+        assert run.result["status"] == "ABORT"
+        assert run.lease_checks == 0  # never reached the protected region
+
+    def test_multiple_addons_one_sl_local(self):
+        """One SL-Local serves many applications (Section 5.2.1)."""
+        deployment = SecureLeaseDeployment(seed=13)
+        for name in ("bfs", "blockchain", "svm"):
+            workload = get_workload(name)
+            blob = deployment.issue_license(workload.license_id, total_units=100)
+            run = deployment.run_workload(workload, scale=SCALE, license_blob=blob)
+            assert run.result["status"] == "OK", name
+        assert len(deployment.sl_local.tree) == 3
+
+
+class TestBaselineComparisons:
+    def test_securelease_beats_flaas_lease_logic(self):
+        """Figure 9's F-LaaS comparison: same partition, remote
+        attestation per token batch vs SL-Local caching."""
+        costs = scaled_latency_costs(1e-3)
+        workload = get_workload("jsonparser")
+
+        secure = SecureLeaseDeployment(seed=17, costs=costs)
+        blob = secure.issue_license(workload.license_id, total_units=10**6)
+        secure_run = secure.run_workload(workload, scale=SCALE, license_blob=blob)
+
+        flaas_dep = SecureLeaseDeployment(seed=17, costs=costs)
+        blob2 = flaas_dep.issue_license(workload.license_id, total_units=10**6)
+        flaas_manager = FlaasLeaseManager(
+            workload.name, flaas_dep.machine, flaas_dep.ras, flaas_dep.remote
+        )
+        flaas_run = flaas_dep.run_workload(
+            workload, scale=SCALE, license_blob=blob2,
+            lease_manager=flaas_manager,
+        )
+
+        assert secure_run.cycles < flaas_run.cycles
+        assert secure_run.remote_attestations < flaas_run.remote_attestations
+        reduction = 1 - (
+            secure_run.remote_attestations
+            / max(flaas_run.remote_attestations, 1)
+        )
+        assert reduction > 0.9  # paper: ~99 %
+
+    def test_securelease_beats_glamdring_partition(self):
+        """Figure 9's Glamdring comparison: same lease logic, different
+        partition; SecureLease wins via fewer EPC faults."""
+        workload = get_workload("keyvalue")
+
+        secure = SecureLeaseDeployment(seed=19)
+        blob = secure.issue_license(workload.license_id, total_units=10**6)
+        secure_run = secure.run_workload(workload, scale=SCALE, license_blob=blob)
+
+        glam = SecureLeaseDeployment(seed=19)
+        blob2 = glam.issue_license(workload.license_id, total_units=10**6)
+        glam_run = glam.run_workload(
+            workload, scale=SCALE, license_blob=blob2,
+            partitioner=GlamdringPartitioner(),
+        )
+
+        assert secure_run.result["status"] == "OK"
+        assert glam_run.result["status"] == "OK"
+        assert secure_run.cycles < glam_run.cycles
+
+
+class TestNetworkSensitivity:
+    def test_flaky_network_still_serves_locally(self):
+        """Once the sub-GCL is cached, network quality is irrelevant."""
+        deployment = SecureLeaseDeployment(
+            seed=23, network=NetworkConditions(reliability=0.8),
+        )
+        workload = get_workload("jsonparser")
+        blob = deployment.issue_license(workload.license_id, total_units=10**6)
+        run = deployment.run_workload(workload, scale=SCALE, license_blob=blob)
+        assert run.result["status"] == "OK"
+
+    def test_lease_pool_enforced_end_to_end(self):
+        """A small pool caps total executions across renewals."""
+        deployment = SecureLeaseDeployment(seed=29, tokens_per_attestation=1)
+        workload = get_workload("blockchain")
+        deployment.issue_license(workload.license_id, total_units=3)
+        granted = 0
+        for _ in range(6):
+            run = deployment.run_workload(
+                workload, scale=SCALE,
+                license_blob=workload.valid_license_blob(),
+            )
+            if run.result["status"] == "OK":
+                granted += 1
+        assert granted <= 3

@@ -1,0 +1,100 @@
+"""Tests for the programmatic experiment runners."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_fig8,
+    run_fig9,
+    run_handicap,
+    run_table1,
+    run_table5,
+    run_table6,
+)
+from repro.reporting import Table
+
+
+class TestRegistry:
+    def test_all_runners_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table5", "table6", "fig8", "fig9", "handicap",
+        }
+
+    def test_runners_return_tables(self):
+        # The cheap ones; the heavier runners have dedicated tests.
+        for name in ("table1", "fig8"):
+            table = EXPERIMENTS[name]()
+            assert isinstance(table, Table)
+            assert table.rows
+
+
+class TestTable1Runner:
+    def test_ordering_holds(self):
+        table = run_table1(op_counts=(100, 2_000))
+        by_technique = {row[0]: [float(c) for c in row[1:]]
+                        for row in table.rows}
+        for i in range(2):
+            assert (by_technique["Tree"][i]
+                    < by_technique["Murmur Hash"][i]
+                    < by_technique["SHA-256"][i])
+
+    def test_deterministic(self):
+        a = run_table1(op_counts=(100,))
+        b = run_table1(op_counts=(100,))
+        assert a.rows == b.rows
+
+
+class TestTable5Runner:
+    def test_mean_improvement_positive(self):
+        table = run_table5(scale=0.1)
+        mean_row = table.rows[-1]
+        assert mean_row[0] == "MEAN"
+        assert float(mean_row[-1].strip("%+")) > 10.0
+
+    def test_all_workloads_present(self):
+        table = run_table5(scale=0.1)
+        names = table.column("Workload")
+        assert len(names) == 12  # 11 workloads + MEAN
+
+
+class TestTable6Runner:
+    def test_eviction_flattens(self):
+        table = run_table6(lease_counts=(1_000, 5_000, 10_000),
+                           resident_cap=2_000)
+        no_evict = table.rows[0]
+        evicting = table.rows[1]
+        assert no_evict[0] == "No-Evict"
+        # The last no-evict cell is bigger than the last evicting cell.
+        def parse(cell):
+            return (float(cell.rstrip("KB")) if cell.endswith("KB")
+                    else float(cell.rstrip("MB")) * 1024)
+        assert parse(no_evict[-1]) > parse(evicting[-1])
+
+
+class TestFig8Runner:
+    def test_batching_column(self):
+        table = run_fig8(enclave_counts=(1, 4), duration_seconds=0.01)
+        gains = [float(g.rstrip("x")) for g in table.column("Batching gain")]
+        assert all(7.0 < g < 13.0 for g in gains)
+
+    def test_contention_grows(self):
+        table = run_fig8(enclave_counts=(1, 8), duration_seconds=0.01)
+        spins = table.column("Contended spins")
+        assert spins[1] > spins[0]
+
+
+class TestFig9Runner:
+    def test_securelease_wins(self):
+        table = run_fig9(scale=0.1, workload_names=["jsonparser", "btree"])
+        for row in table.rows:
+            flaas = float(row[1].rstrip("x"))
+            secure = float(row[3].rstrip("x"))
+            assert secure < flaas
+
+
+class TestHandicapRunner:
+    def test_no_workload_leaves_attack_useful(self):
+        table = run_handicap(scale=0.1)
+        assert all(cell == "no" for cell in table.column("Attack useful?"))
+        assert all(cell == "0%" for cell in
+                   table.column("Key functions kept"))

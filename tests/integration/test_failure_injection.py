@@ -1,0 +1,172 @@
+"""Failure-injection tests: the system under adverse conditions.
+
+SecureLease's design is largely *about* failure handling (crashes lose
+leases by design; the network can flap; the server can be unreachable).
+These tests inject faults at every seam and assert that the system
+degrades exactly as specified — denying service rather than leaking
+executions, and never corrupting the ledger.
+"""
+
+import pytest
+
+from repro.core.protocol import AttestRequest, Status
+from repro.core.sl_local import SlLocal, SlLocalError
+from repro.core.sl_manager import SlManager
+from repro.core.sl_remote import SlRemote
+from repro.crypto.keys import KeyGenerator
+from repro.crypto.sealing import SealedBlob
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.net.rpc import connect_remote
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.sim.rng import DeterministicRng
+
+
+def build(seed=101, reliability=1.0, total_units=1_000, register=True):
+    rng = DeterministicRng(seed)
+    ras = RemoteAttestationService()
+    remote = SlRemote(ras)
+    definition = remote.issue_license("lic-fi", total_units)
+    machine = SgxMachine("fi-client")
+    if register:
+        ras.register_platform(machine.platform_secret)
+    link = SimulatedLink(NetworkConditions(reliability=reliability),
+                         rng.fork("net"))
+    endpoint = connect_remote(remote, link)
+    local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
+                    tokens_per_attestation=5)
+    manager = SlManager("fi-app", machine, local, tokens_per_attestation=5)
+    manager.load_license("lic-fi", definition.license_blob())
+    return remote, machine, local, manager
+
+
+class TestNetworkFailures:
+    def test_flapping_network_never_leaks_executions(self):
+        """Drops during renewal must never over-grant: total executions
+        stay within the license whatever the link does."""
+        remote, machine, local, manager = build(reliability=0.55,
+                                                total_units=50)
+        local.init()
+        served = 0
+        for _ in range(200):
+            try:
+                if manager.check("lic-fi"):
+                    served += 1
+            except Exception:
+                pass  # a renewal died on the wire; that's fine
+        ledger = remote.ledger("lic-fi")
+        assert served <= 50
+        assert sum(ledger.outstanding.values()) + ledger.lost_units <= 50
+
+    def test_cached_leases_survive_network_death(self):
+        """Once a sub-GCL is local, the network can disappear entirely."""
+        remote, machine, local, manager = build()
+        local.init()
+        assert manager.check("lic-fi")  # fetches a sub-GCL
+        # Sever the network: replace the link with a near-dead one.
+        local.remote.link.conditions = NetworkConditions(reliability=0.05)
+        balance = local.tree.find(0).gcl.counter
+        served = 0
+        for _ in range(balance):
+            try:
+                if manager.check("lic-fi"):
+                    served += 1
+            except Exception:
+                break
+        assert served >= balance - 5  # nearly all served offline
+
+
+class TestAttestationFailures:
+    def test_unregistered_platform_cannot_init(self):
+        """The server refuses the init; SL-Local surfaces the failure."""
+        _, machine, local, _ = build(register=False)
+        with pytest.raises(SlLocalError, match="attestation_failed"):
+            local.init()
+
+    def test_cross_machine_attest_request_rejected(self):
+        """A report generated on another machine fails local attestation."""
+        remote, machine, local, manager = build()
+        local.init()
+        foreign = SgxMachine("foreign-box")
+        report = foreign.local_authority.generate_report(1, 2, nonce=1)
+        response = local.handle_attest(AttestRequest(
+            report=report, license_id="lic-fi",
+            license_blob=manager._licenses["lic-fi"],
+        ))
+        assert response.status is Status.ATTESTATION_FAILED
+
+
+class TestStateCorruption:
+    def test_corrupted_persisted_image_starts_clean(self):
+        """Bit rot (or tampering) in the untrusted image must not crash
+        SL-Local; it comes up empty and re-fetches from the server."""
+        remote, machine, local, manager = build()
+        local.init()
+        manager.check("lic-fi")
+        local.shutdown()
+        image = local.persisted_image
+        local.persisted_image = SealedBlob(
+            ciphertext=bytes(reversed(image.ciphertext)),
+            nonce=image.nonce,
+        )
+        local.reincarnate()
+        local.init()  # must not raise
+        assert len(local.tree) == 0
+        manager.sl_local = local
+        manager._tokens.clear()
+        assert manager.check("lic-fi")  # renewed from the server
+
+    def test_missing_persisted_image_starts_clean(self):
+        remote, machine, local, manager = build()
+        local.init()
+        manager.check("lic-fi")
+        local.shutdown()
+        local.persisted_image = None  # the file was deleted
+        local.reincarnate()
+        local.init()
+        assert len(local.tree) == 0
+
+    def test_crash_during_attest_window(self):
+        """Crash between token issuance and consumption: the tokens die
+        with the enclave; the ledger already counted the batch."""
+        remote, machine, local, manager = build()
+        local.init()
+        manager.check("lic-fi")  # batch of 5 fetched, 1 consumed
+        local.crash()
+        local.reincarnate()
+        local.init()
+        manager.sl_local = local
+        manager._tokens.clear()
+        ledger = remote.ledger("lic-fi")
+        # The crashed instance's whole sub-GCL is written off.
+        assert ledger.lost_units > 0
+        assert manager.check("lic-fi")  # a fresh grant still works
+
+
+class TestServiceLifecycleMisuse:
+    def test_double_shutdown_rejected(self):
+        remote, machine, local, manager = build()
+        local.init()
+        local.shutdown()
+        with pytest.raises(SlLocalError):
+            local.shutdown()
+
+    def test_attest_after_shutdown_rejected(self):
+        remote, machine, local, manager = build()
+        local.init()
+        local.shutdown()
+        with pytest.raises(SlLocalError):
+            local.handle_attest(AttestRequest(
+                report=machine.local_authority.generate_report(1, 2, 3),
+                license_id="lic-fi", license_blob=b"x",
+            ))
+
+    def test_reinit_after_crash_without_reincarnate_rejected(self):
+        remote, machine, local, manager = build()
+        local.init()
+        local.crash()
+        # The enclave is destroyed; serving without reincarnation fails.
+        with pytest.raises(Exception):
+            local.handle_attest(AttestRequest(
+                report=machine.local_authority.generate_report(1, 2, 3),
+                license_id="lic-fi", license_blob=b"x",
+            ))

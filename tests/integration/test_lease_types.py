@@ -1,0 +1,112 @@
+"""End-to-end tests for all four GCL lease types (Section 4.3)."""
+
+import pytest
+
+from repro.core.gcl import LeaseKind
+from repro.deployment import SecureLeaseDeployment
+from repro.sim.clock import seconds_to_cycles
+
+DAY = 86_400.0
+
+
+def deployment_with(kind, units, tick_seconds=0.0, tokens=1):
+    deployment = SecureLeaseDeployment(seed=83, tokens_per_attestation=tokens)
+    blob = deployment.issue_license("lic-typed", units, kind=kind,
+                                    tick_seconds=tick_seconds)
+    manager = deployment.manager_for("typed-app")
+    manager.load_license("lic-typed", blob)
+    return deployment, manager
+
+
+class TestCountBasedEndToEnd:
+    def test_pool_limits_total_executions(self):
+        deployment, manager = deployment_with(LeaseKind.COUNT, units=7)
+        served = sum(manager.check("lic-typed") for _ in range(20))
+        assert served == 7
+
+
+class TestPerpetualEndToEnd:
+    def test_unlimited_executions(self):
+        deployment, manager = deployment_with(LeaseKind.PERPETUAL, units=1)
+        assert all(manager.check("lic-typed") for _ in range(200))
+
+    def test_revocation_stops_future_renewals(self):
+        deployment, manager = deployment_with(LeaseKind.PERPETUAL, units=1)
+        assert manager.check("lic-typed")
+        deployment.remote.revoke_license("lic-typed")
+        # The local perpetual activation persists until SL-Local state
+        # is discarded (e.g. a crash); then the renewal fails.
+        deployment.sl_local.crash()
+        deployment.sl_local.reincarnate()
+        deployment.sl_local.init()
+        manager.sl_local = deployment.sl_local
+        manager._tokens.clear()
+        assert not manager.check("lic-typed")
+
+
+class TestTimeBasedEndToEnd:
+    def test_lease_valid_within_window(self):
+        deployment, manager = deployment_with(
+            LeaseKind.TIME, units=30, tick_seconds=DAY
+        )
+        assert manager.check("lic-typed")
+        # Two virtual days pass; the lease still holds.
+        deployment.machine.clock.advance(seconds_to_cycles(2 * DAY))
+        manager._tokens.clear()
+        assert manager.check("lic-typed")
+
+    def test_lease_expires_after_window(self):
+        deployment, manager = deployment_with(
+            LeaseKind.TIME, units=30, tick_seconds=DAY
+        )
+        assert manager.check("lic-typed")  # window starts
+        granted_days = deployment.sl_local.tree.find(0).gcl.counter
+        # Sleep past the granted window (off-time included).
+        deployment.machine.clock.advance(
+            seconds_to_cycles((granted_days + 1) * DAY)
+        )
+        manager._tokens.clear()
+        # The local lease is exhausted; a renewal tops it up from the
+        # remaining pool — unless we also drain the server pool first.
+        deployment.remote.ledger("lic-typed").lost_units = (
+            deployment.remote.ledger("lic-typed").available
+        )
+        assert not manager.check("lic-typed")
+
+    def test_off_time_charged_on_next_check(self):
+        deployment, manager = deployment_with(
+            LeaseKind.TIME, units=30, tick_seconds=DAY
+        )
+        manager.check("lic-typed")
+        before = deployment.sl_local.tree.find(0).gcl.counter
+        deployment.machine.clock.advance(seconds_to_cycles(5 * DAY))
+        manager._tokens.clear()
+        manager.check("lic-typed")
+        after = deployment.sl_local.tree.find(0).gcl.counter
+        assert after == before - 5
+
+
+class TestExecutionTimeEndToEnd:
+    def test_execution_time_charged_explicitly(self):
+        deployment, manager = deployment_with(
+            LeaseKind.EXECUTION_TIME, units=10, tick_seconds=3_600.0
+        )
+        assert manager.check("lic-typed")
+        gcl = deployment.sl_local.tree.find(0).gcl
+        granted = gcl.counter
+        # The application reports 2.5 hours of accumulated run time.
+        gcl.charge_execution_time(2.5 * 3_600)
+        assert gcl.counter == granted - 2
+
+    def test_exhausted_execution_time_denies(self):
+        deployment, manager = deployment_with(
+            LeaseKind.EXECUTION_TIME, units=2, tick_seconds=3_600.0
+        )
+        assert manager.check("lic-typed")
+        gcl = deployment.sl_local.tree.find(0).gcl
+        gcl.charge_execution_time(10 * 3_600)  # burn everything granted
+        deployment.remote.ledger("lic-typed").lost_units = (
+            deployment.remote.ledger("lic-typed").available
+        )
+        manager._tokens.clear()
+        assert not manager.check("lic-typed")

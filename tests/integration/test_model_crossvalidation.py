@@ -1,0 +1,101 @@
+"""Cross-validation: the analytic cost model vs the full simulation.
+
+The repository prices partitions two ways:
+
+* the **analytic evaluator** (`partition/evaluator.py`) predicts costs
+  from a profile — fast, used by Table 5;
+* the **full simulation** (`vcpu/machine.py` + the SGX platform)
+  actually routes every call through the enclave gates and every region
+  touch through the pager.
+
+If the two disagree on *counts* (ECALLs, boundary structure), one of
+them is wrong.  These tests run both on the same partitions and check
+agreement, which pins the benchmark numbers to the executable model.
+"""
+
+import pytest
+
+from repro.partition import PartitionEvaluator, SecureLeasePartitioner
+from repro.sgx import SgxMachine
+from repro.vcpu.machine import VirtualCpu
+from repro.vcpu.tracer import Tracer
+from repro.workloads import all_workloads
+
+SCALE = 0.1
+
+
+def simulate(workload, partition):
+    """Full simulation of a partitioned run; returns machine stats."""
+    program = workload.build_program(scale=SCALE)
+    machine = SgxMachine(f"xval-{workload.name}")
+    enclave = machine.create_enclave("app")
+    cpu = VirtualCpu(
+        program, machine.clock,
+        placement=partition.placement(program),
+        enclave=enclave,
+        lease_checker=lambda lic: True,
+    )
+    tracer = Tracer(program)
+    cpu.add_observer(tracer)
+    result = cpu.run(workload.valid_license_blob())
+    assert result["status"] == "OK"
+    return machine.stats, tracer.profile()
+
+
+@pytest.mark.parametrize("name", sorted(all_workloads()),
+                         ids=lambda n: n)
+def test_ecall_counts_agree(name):
+    """Analytic ECALL prediction == simulated ECALL count.
+
+    (The simulator also charges a return transition per crossing, which
+    the analytic model folds into cycle costs, so we compare *entries*:
+    analytic ecalls+ocalls vs simulated ecalls.)
+    """
+    workload = all_workloads()[name]
+    run = workload.run_profiled(scale=SCALE)
+    partition = SecureLeasePartitioner().partition(
+        run.program, run.graph, run.profile
+    )
+    predicted_ecalls, predicted_ocalls = partition.boundary_calls(run.profile)
+    stats, profile = simulate(workload, partition)
+    # Simulated ecalls = entries into the enclave; the vCPU charges the
+    # return of an OCALL as an ecall too, so compare totals.
+    simulated_entries = stats.ecalls
+    assert simulated_entries == predicted_ecalls + predicted_ocalls, (
+        f"{name}: predicted {predicted_ecalls}+{predicted_ocalls}, "
+        f"simulated {simulated_entries}"
+    )
+
+
+@pytest.mark.parametrize("name", ["bfs", "keyvalue", "jsonparser"])
+def test_instruction_totals_agree(name):
+    """The partitioned run retires the same dynamic instructions as the
+    profiling run — partitioning must not change program semantics."""
+    workload = all_workloads()[name]
+    run = workload.run_profiled(scale=SCALE)
+    partition = SecureLeasePartitioner().partition(
+        run.program, run.graph, run.profile
+    )
+    _, partitioned_profile = simulate(workload, partition)
+    assert (partitioned_profile.total_instructions
+            == run.profile.total_instructions)
+    assert partitioned_profile.call_counts == run.profile.call_counts
+
+
+@pytest.mark.parametrize("name", ["svm", "matmul"])
+def test_enclave_residency_tracks_prediction(name):
+    """Workloads whose partitions enclose real regions (SVM's 85 MB
+    model, MatMult's 81 MB workspace) actually populate EPC pages in
+    the full simulation; fault-free, as the analytic model predicts."""
+    workload = all_workloads()[name]
+    run = workload.run_profiled(scale=SCALE)
+    partition = SecureLeasePartitioner().partition(
+        run.program, run.graph, run.profile
+    )
+    report = PartitionEvaluator().evaluate(
+        run.program, run.graph, run.profile, partition
+    )
+    assert report.epc_faults == 0
+    stats, _ = simulate(workload, partition)
+    assert stats.epc_faults == 0
+    assert stats.epc_allocations > 0  # pages really moved into the EPC

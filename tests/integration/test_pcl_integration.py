@@ -1,0 +1,93 @@
+"""Tests for the protected-code-loader integration in SL-Local.
+
+Section 2.3.1: the binary ships with SL-Local's logic encrypted; only a
+remote-attested enclave with the expected measurement receives the
+decryption key.  The tests cover the full happy path, the stolen-binary
+scenario, and re-fetching after a restart.
+"""
+
+import pytest
+
+from repro.core.sl_local import SlLocal, SlLocalError
+from repro.core.sl_manager import SlManager
+from repro.core.sl_remote import SlRemote
+from repro.crypto.keys import KeyGenerator
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.net.rpc import connect_remote
+from repro.sgx import RemoteAttestationService, SgxMachine, measure
+from repro.sgx.attestation import AttestationError
+from repro.sgx.pcl import PclError, PclKeyServer
+from repro.sim.rng import DeterministicRng
+
+SERVICE_CODE = b"<< SL-Local lease service logic v1 >>"
+
+
+def build_pcl_system(register_platform=True):
+    rng = DeterministicRng(91)
+    ras = RemoteAttestationService()
+    remote = SlRemote(ras)
+    definition = remote.issue_license("lic-pcl", 1_000)
+    machine = SgxMachine("pcl-client")
+    if register_platform:
+        ras.register_platform(machine.platform_secret)
+    key_server = PclKeyServer(ras, KeyGenerator(rng.fork("pclkeys")))
+    section = key_server.seal_section(
+        "sl-local-core", SERVICE_CODE, measure("sl-local")
+    )
+    endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
+                                                    rng.fork("net")))
+    local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
+                    tokens_per_attestation=10,
+                    pcl=(key_server, section))
+    return remote, machine, local, definition, key_server, section
+
+
+class TestPclHappyPath:
+    def test_init_decrypts_service_code(self):
+        _, _, local, _, _, _ = build_pcl_system()
+        local.init()
+        assert local.loaded_code == SERVICE_CODE
+
+    def test_service_operates_after_pcl_load(self):
+        remote, machine, local, definition, _, _ = build_pcl_system()
+        local.init()
+        manager = SlManager("app", machine, local, tokens_per_attestation=10)
+        manager.load_license("lic-pcl", definition.license_blob())
+        assert manager.check("lic-pcl")
+
+    def test_shipped_binary_hides_code(self):
+        _, _, _, _, _, section = build_pcl_system()
+        assert SERVICE_CODE not in section.blob.ciphertext
+
+    def test_code_refetched_after_restart(self):
+        remote, machine, local, _, key_server, _ = build_pcl_system()
+        local.init()
+        releases_before = key_server.key_releases
+        local.crash()
+        local.reincarnate()
+        assert local.loaded_code is None
+        local.init()
+        assert local.loaded_code == SERVICE_CODE
+        assert key_server.key_releases == releases_before + 1
+
+
+class TestPclAttackSurface:
+    def test_unregistered_platform_gets_no_key(self):
+        """A stolen binary on a non-genuine platform cannot decrypt."""
+        _, _, local, _, _, _ = build_pcl_system(register_platform=False)
+        with pytest.raises(AttestationError):
+            local.init()
+        assert local.loaded_code is None
+
+    def test_wrong_enclave_measurement_gets_no_key(self):
+        """An attacker's own enclave (different measurement) is refused."""
+        remote, machine, local, _, key_server, section = build_pcl_system()
+        impostor = machine.create_enclave("attacker-shell")
+        report = machine.local_authority.generate_report(
+            impostor.measurement, impostor.measurement, nonce=1
+        )
+        with pytest.raises(PclError):
+            key_server.release_key(
+                impostor, report, machine.platform_secret,
+                section.section_name,
+            )

@@ -1,0 +1,56 @@
+"""Tests for the reporting module."""
+
+import pytest
+
+from repro.reporting import Table, render_report
+
+
+class TestTable:
+    def make(self):
+        table = Table("Latency", ["store", "10 ops", "5000 ops"])
+        table.add_row("tree", "26 us", "184 us")
+        table.add_row("murmur", "40 us", "440 us")
+        return table
+
+    def test_text_rendering(self):
+        text = self.make().to_text()
+        assert "== Latency ==" in text
+        assert "tree" in text and "184 us" in text
+        # Columns align: every data line has the same header positions.
+        lines = text.splitlines()
+        assert lines[1].startswith("store")
+
+    def test_markdown_rendering(self):
+        md = self.make().to_markdown()
+        assert md.startswith("### Latency")
+        assert "| store | 10 ops | 5000 ops |" in md
+        assert "|---|---|---|" in md
+        assert "| tree | 26 us | 184 us |" in md
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_column_extraction(self):
+        table = self.make()
+        assert table.column("store") == ["tree", "murmur"]
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_empty_table_renders(self):
+        table = Table("empty", ["x"])
+        assert "== empty ==" in table.to_text()
+        assert "### empty" in table.to_markdown()
+
+
+class TestReport:
+    def test_multiple_tables(self):
+        a = Table("A", ["x"])
+        a.add_row(1)
+        b = Table("B", ["y"])
+        b.add_row(2)
+        text = render_report([a, b])
+        assert "== A ==" in text and "== B ==" in text
+        md = render_report([a, b], markdown=True)
+        assert "### A" in md and "### B" in md

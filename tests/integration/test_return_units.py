@@ -1,0 +1,88 @@
+"""Tests for the unit-return path at graceful decommission."""
+
+import pytest
+
+from repro.core.sl_local import SlLocal
+from repro.core.sl_manager import SlManager
+from repro.core.sl_remote import SlRemote
+from repro.crypto.keys import KeyGenerator
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.net.rpc import connect_remote
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.sim.rng import DeterministicRng
+
+
+def build(seed=151, total_units=1_000):
+    rng = DeterministicRng(seed)
+    ras = RemoteAttestationService()
+    remote = SlRemote(ras)
+    definition = remote.issue_license("lic-return", total_units)
+    machine = SgxMachine("decom-client")
+    ras.register_platform(machine.platform_secret)
+    endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
+                                                    rng.fork("net")))
+    local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
+                    tokens_per_attestation=10)
+    local.init()
+    manager = SlManager("decom-app", machine, local,
+                        tokens_per_attestation=10)
+    manager.load_license("lic-return", definition.license_blob())
+    return remote, machine, local, manager
+
+
+class TestReturnUnits:
+    def test_decommission_returns_balance_to_pool(self):
+        remote, machine, local, manager = build()
+        for _ in range(30):
+            manager.check("lic-return")
+        ledger = remote.ledger("lic-return")
+        held = ledger.outstanding["slid:1"]
+        spent = 30
+        available_before = ledger.available
+
+        local.shutdown(return_unused=True)
+        # Only the *unspent* balance comes back.
+        assert ledger.available == available_before + (held - spent)
+        assert ledger.outstanding["slid:1"] == spent
+
+    def test_plain_shutdown_returns_nothing(self):
+        remote, machine, local, manager = build()
+        manager.check("lic-return")
+        ledger = remote.ledger("lic-return")
+        available_before = ledger.available
+        local.shutdown(return_unused=False)
+        assert ledger.available == available_before
+
+    def test_returned_units_usable_by_another_node(self):
+        remote, machine, local, manager = build(total_units=40)
+        manager.check("lic-return")  # grabs most of the small pool
+        local.shutdown(return_unused=True)
+
+        rng = DeterministicRng(999)
+        machine2 = SgxMachine("second-client")
+        remote._ras.register_platform(machine2.platform_secret)
+        endpoint2 = connect_remote(remote, SimulatedLink(
+            NetworkConditions(), rng.fork("net2")))
+        local2 = SlLocal(machine2, endpoint2,
+                         KeyGenerator(rng.fork("keys2")),
+                         tokens_per_attestation=10)
+        local2.init()
+        manager2 = SlManager("second-app", machine2, local2,
+                             tokens_per_attestation=10)
+        manager2.load_license(
+            "lic-return",
+            remote.license_definition("lic-return").license_blob(),
+        )
+        served = sum(manager2.check("lic-return") for _ in range(20))
+        assert served == 20
+
+    def test_restart_after_returning_starts_empty_but_functional(self):
+        remote, machine, local, manager = build()
+        manager.check("lic-return")
+        local.shutdown(return_unused=True)
+        local.reincarnate()
+        local.init()
+        manager.sl_local = local
+        manager._tokens.clear()
+        # The restored lease's counter is zero; the next check renews.
+        assert manager.check("lic-return")

@@ -1,0 +1,49 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    sweep,
+    sweep_partition_budget,
+    sweep_renewal_divisor,
+)
+from repro.reporting import Table
+
+
+class TestGenericSweep:
+    def test_basic_sweep(self):
+        table = sweep(
+            [1, 2, 3],
+            lambda x: (f"x={x}", {"square": x * x}),
+            "squares",
+        )
+        assert isinstance(table, Table)
+        assert table.column("square") == [1, 4, 9]
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            sweep([], lambda x: ("", {}), "empty")
+
+    def test_mismatched_metric_keys_rejected(self):
+        def evaluate(x):
+            return str(x), ({"a": 1} if x == 0 else {"b": 2})
+
+        with pytest.raises(ValueError):
+            sweep([0, 1], evaluate, "bad")
+
+
+class TestReadyMadeSweeps:
+    def test_partition_budget_sweep_shape(self):
+        table = sweep_partition_budget(budgets_mb=(1, 92), scale=0.1)
+        migrated = table.column("migrated")
+        # A bigger budget never migrates less.
+        assert migrated[-1] >= migrated[0]
+        faults = table.column("faults")
+        assert faults[1] == 0  # at the EPC default
+
+    def test_renewal_divisor_sweep_shape(self):
+        table = sweep_renewal_divisor(divisors=(1, 16))
+        trips = table.column("round trips")
+        resilience = table.column("served under crashes")
+        assert trips[1] > trips[0]
+        assert resilience[1] > resilience[0]

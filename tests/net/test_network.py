@@ -1,0 +1,133 @@
+"""Tests for the simulated network and RPC layer."""
+
+import pytest
+
+from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
+from repro.net.rpc import RemoteEndpoint, RpcError
+from repro.sim.clock import Clock, seconds_to_cycles
+from repro.sim.rng import DeterministicRng
+
+
+class TestNetworkConditions:
+    def test_defaults(self):
+        conditions = NetworkConditions()
+        assert conditions.reliability == 1.0
+        assert conditions.round_trip_seconds > 0
+
+    def test_invalid_reliability_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(reliability=0.0)
+        with pytest.raises(ValueError):
+            NetworkConditions(reliability=1.5)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(round_trip_seconds=-1.0)
+
+
+class TestSimulatedLink:
+    def test_reliable_link_one_attempt(self):
+        link = SimulatedLink(NetworkConditions(reliability=1.0),
+                             DeterministicRng(1))
+        clock = Clock()
+        assert link.round_trip(clock) == 1
+        assert clock.cycles == seconds_to_cycles(0.050)
+
+    def test_unreliable_link_retries(self):
+        link = SimulatedLink(NetworkConditions(reliability=0.5),
+                             DeterministicRng(1))
+        clock = Clock()
+        attempts = []
+        for _ in range(50):
+            try:
+                attempts.append(link.round_trip(clock))
+            except NetworkError:
+                attempts.append(5)  # exhausted the retry budget
+        assert max(attempts) > 1  # some retries happened
+        assert link.messages_dropped > 0
+
+    def test_dead_enough_link_raises(self):
+        link = SimulatedLink(NetworkConditions(reliability=0.01),
+                             DeterministicRng(3))
+        clock = Clock()
+        with pytest.raises(NetworkError):
+            for _ in range(200):
+                link.round_trip(clock, max_attempts=2)
+
+    def test_each_attempt_charges_rtt(self):
+        link = SimulatedLink(NetworkConditions(reliability=0.5,
+                                               round_trip_seconds=0.01),
+                             DeterministicRng(1))
+        clock = Clock()
+        for _ in range(20):
+            link.round_trip(clock)
+        assert clock.cycles == link.messages_sent * seconds_to_cycles(0.01)
+
+    def test_observed_reliability_converges(self):
+        link = SimulatedLink(NetworkConditions(reliability=0.8),
+                             DeterministicRng(7))
+        clock = Clock()
+        for _ in range(500):
+            try:
+                link.round_trip(clock)
+            except NetworkError:
+                pass  # a full retry burst still counts as samples
+        assert 0.7 < link.observed_reliability < 0.9
+
+
+class TestRpc:
+    def test_dispatches_to_handler(self):
+        link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        endpoint = RemoteEndpoint(link)
+        endpoint.register("echo", lambda request: ("echoed", request))
+        assert endpoint.call("echo", 42, clock=Clock()) == ("echoed", 42)
+
+    def test_unknown_method_rejected(self):
+        endpoint = RemoteEndpoint(
+            SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        )
+        with pytest.raises(RpcError):
+            endpoint.call("ghost", None, clock=Clock())
+
+    def test_duplicate_registration_rejected(self):
+        endpoint = RemoteEndpoint(
+            SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        )
+        endpoint.register("m", lambda r: r)
+        with pytest.raises(ValueError):
+            endpoint.register("m", lambda r: r)
+
+    def test_call_charges_network_time(self):
+        endpoint = RemoteEndpoint(
+            SimulatedLink(NetworkConditions(round_trip_seconds=0.1),
+                          DeterministicRng(1))
+        )
+        endpoint.register("noop", lambda r: None)
+        clock = Clock()
+        endpoint.call("noop", None, clock=clock)
+        assert clock.cycles == seconds_to_cycles(0.1)
+
+    def test_clock_kwarg_forwarded_when_handler_wants_it(self):
+        endpoint = RemoteEndpoint(
+            SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        )
+        seen = {}
+
+        def handler(request, clock):
+            seen["clock"] = clock
+
+        endpoint.register("wants_clock", handler)
+        clock = Clock()
+        endpoint.call("wants_clock", None, clock=clock)
+        assert seen["clock"] is clock
+
+    def test_network_failure_surfaces_as_rpc_error(self):
+        endpoint = RemoteEndpoint(
+            SimulatedLink(NetworkConditions(reliability=0.01),
+                          DeterministicRng(3))
+        )
+        endpoint.register("noop", lambda r: None)
+        clock = Clock()
+        with pytest.raises(RpcError):
+            for _ in range(500):
+                endpoint.call("noop", None, clock=clock)

@@ -1,0 +1,116 @@
+"""Baseline-specific behaviour tests (Glamdring and F-LaaS details)."""
+
+import pytest
+
+from repro.partition import (
+    FlaasPartitioner,
+    GlamdringPartitioner,
+    PartitionEvaluator,
+    SecureLeasePartitioner,
+)
+from repro.workloads import all_workloads, get_workload
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {name: wl.run_profiled(scale=SCALE)
+            for name, wl in all_workloads().items()}
+
+
+class TestGlamdringDetails:
+    def test_taint_reaches_region_sharers(self, runs):
+        """A function sharing a data region with a sensitive one is
+        pulled into the closure (the data-based propagation rule)."""
+        run = runs["bfs"]
+        partition = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        # load_graph (sensitive) shares "graph" with update.
+        assert "update" in partition.trusted
+
+    def test_seeds_only_mode_is_am_only(self, runs):
+        """Without propagation, Glamdring degenerates to the AM-only
+        migration the paper shows is attackable (Section 3)."""
+        run = runs["bfs"]
+        partition = GlamdringPartitioner(
+            propagate_through_calls=False
+        ).partition(run.program, run.graph, run.profile)
+        sensitive = set(run.program.sensitive_functions())
+        auth = set(run.program.auth_functions())
+        assert partition.trusted == sensitive | auth
+
+    def test_closure_is_monotone_in_seeds(self, runs):
+        run = runs["keyvalue"]
+        full = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        seeds = GlamdringPartitioner(propagate_through_calls=False).partition(
+            run.program, run.graph, run.profile
+        )
+        assert seeds.trusted <= full.trusted
+
+    def test_memory_estimate_recorded(self, runs):
+        run = runs["pagerank"]
+        partition = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        assert partition.estimated_memory_bytes > 0
+
+
+class TestFlaasDetails:
+    def test_fraction_controls_set_size(self, runs):
+        run = runs["keyvalue"]
+        small = FlaasPartitioner(fraction=0.1).partition(
+            run.program, run.graph, run.profile
+        )
+        large = FlaasPartitioner(fraction=0.5).partition(
+            run.program, run.graph, run.profile
+        )
+        assert len(small.trusted) < len(large.trusted)
+
+    def test_minimum_enforced(self, runs):
+        run = runs["bfs"]
+        partition = FlaasPartitioner(fraction=0.01, minimum=3).partition(
+            run.program, run.graph, run.profile
+        )
+        # 3 ranked functions + the AM.
+        assert len(partition.trusted) >= 3
+
+    def test_auth_always_included(self, runs):
+        for name, run in runs.items():
+            partition = FlaasPartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            assert set(run.program.auth_functions()) <= partition.trusted, name
+
+    def test_orchestrator_migration_shreds_clusters(self, runs):
+        """The paper's critique, structurally: F-LaaS's trusted set cuts
+        more dynamic call volume than it contains."""
+        run = runs["keyvalue"]
+        partition = FlaasPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        cut = run.graph.cut_weight(partition.trusted)
+        inside = run.graph.subgraph_weight(partition.trusted)
+        assert cut > inside
+
+
+class TestSchemeComparisonsStable:
+    def test_rankings_stable_across_seeds(self):
+        """SecureLease < Glamdring ordering holds for several seeds."""
+        evaluator = PartitionEvaluator()
+        for seed in (1, 99, 555):
+            run = get_workload("keyvalue", seed=seed).run_profiled(scale=SCALE)
+            secure = evaluator.evaluate(
+                run.program, run.graph, run.profile,
+                SecureLeasePartitioner().partition(run.program, run.graph,
+                                                   run.profile),
+            )
+            glam = evaluator.evaluate(
+                run.program, run.graph, run.profile,
+                GlamdringPartitioner().partition(run.program, run.graph,
+                                                 run.profile),
+            )
+            assert secure.partitioned_cycles <= glam.partitioned_cycles, seed

@@ -1,0 +1,161 @@
+"""Tests for the partition cost evaluator (Table 5 / Figure 9 engine)."""
+
+import pytest
+
+from repro.partition import (
+    GlamdringPartitioner,
+    PartitionEvaluator,
+    SecureLeasePartitioner,
+)
+from repro.sgx.costs import SgxCostModel
+from repro.workloads import all_workloads, get_workload
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        name: wl.run_profiled(scale=SCALE)
+        for name, wl in all_workloads().items()
+    }
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return PartitionEvaluator()
+
+
+class TestVanillaBaseline:
+    def test_vanilla_has_no_sgx_costs(self, runs, evaluator):
+        run = runs["bfs"]
+        report = evaluator.evaluate_vanilla(run.program, run.graph, run.profile)
+        assert report.ecalls == 0 or report.ecalls == 1  # entry only
+        assert report.epc_faults == 0
+        assert report.trusted_memory_bytes == 0
+        assert report.overhead_fraction == pytest.approx(0.0, abs=0.05)
+
+    def test_vanilla_cycles_match_instructions(self, runs, evaluator):
+        run = runs["bfs"]
+        report = evaluator.evaluate_vanilla(run.program, run.graph, run.profile)
+        assert report.vanilla_cycles == run.profile.total_instructions
+
+
+class TestOrderings:
+    """The relationships Table 5 and Figure 9 assert."""
+
+    def test_securelease_beats_glamdring_on_average(self, runs, evaluator):
+        improvements = []
+        for name, run in runs.items():
+            secure = SecureLeasePartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            glam = GlamdringPartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            s = evaluator.evaluate(run.program, run.graph, run.profile, secure)
+            g = evaluator.evaluate(run.program, run.graph, run.profile, glam)
+            improvements.append(s.improvement_over(g))
+        mean = sum(improvements) / len(improvements)
+        assert mean > 0.15  # paper: 32.62 %
+
+    def test_securelease_static_coverage_smaller(self, runs, evaluator):
+        for name, run in runs.items():
+            secure = SecureLeasePartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            glam = GlamdringPartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            s = evaluator.evaluate(run.program, run.graph, run.profile, secure)
+            g = evaluator.evaluate(run.program, run.graph, run.profile, glam)
+            assert s.static_coverage_bytes <= g.static_coverage_bytes, name
+
+    def test_securelease_dynamic_coverage_stays_high(self, runs, evaluator):
+        coverages = []
+        for name, run in runs.items():
+            secure = SecureLeasePartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            s = evaluator.evaluate(run.program, run.graph, run.profile, secure)
+            coverages.append(s.dynamic_coverage)
+        assert sum(coverages) / len(coverages) > 0.6  # paper: 92.93 %
+
+    def test_securelease_never_faults(self, runs, evaluator):
+        """SecureLease's m_t budget keeps it inside the EPC: 0 evicts."""
+        for name, run in runs.items():
+            secure = SecureLeasePartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            s = evaluator.evaluate(run.program, run.graph, run.profile, secure)
+            assert s.epc_faults == 0, name
+
+    def test_glamdring_faults_on_big_footprints(self, runs, evaluator):
+        faulting = 0
+        for name, run in runs.items():
+            glam = GlamdringPartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            g = evaluator.evaluate(run.program, run.graph, run.profile, glam)
+            if g.epc_faults > 0:
+                faulting += 1
+        assert faulting >= 5  # most of the 11 workloads overflow under Glamdring
+
+    def test_full_enclave_worst(self, runs, evaluator):
+        """Whole-app-in-SGX costs at least as much as SecureLease."""
+        run = runs["hashjoin"]
+        secure = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        s = evaluator.evaluate(run.program, run.graph, run.profile, secure)
+        full = evaluator.evaluate_full_enclave(run.program, run.graph, run.profile)
+        assert full.partitioned_cycles > s.partitioned_cycles
+
+
+class TestCostModelKnobs:
+    def test_fault_scale_validated(self):
+        with pytest.raises(ValueError):
+            PartitionEvaluator(fault_scale=0.0)
+
+    def test_scalable_sgx_removes_faults(self, runs):
+        """Section 7.5: with a 512 GB EPC, Glamdring stops faulting."""
+        from repro.sgx.costs import SCALABLE_SGX_COSTS
+
+        run = runs["pagerank"]
+        glam = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        small = PartitionEvaluator().evaluate(
+            run.program, run.graph, run.profile, glam
+        )
+        big = PartitionEvaluator(costs=SCALABLE_SGX_COSTS).evaluate(
+            run.program, run.graph, run.profile, glam
+        )
+        assert small.epc_faults > 0
+        assert big.epc_faults == 0
+        assert big.partitioned_cycles < small.partitioned_cycles
+
+    def test_partitioning_still_matters_on_scalable_sgx(self, runs):
+        """Section 7.5's argument: even with a huge EPC, a partitioned
+        binary keeps the secure memory footprint (and hence the
+        firmware's integrity/freshness burden) orders of magnitude
+        smaller than whole-app enclaves."""
+        from repro.sgx.costs import SCALABLE_SGX_COSTS
+
+        run = runs["pagerank"]
+        evaluator = PartitionEvaluator(costs=SCALABLE_SGX_COSTS)
+        secure = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        s = evaluator.evaluate(run.program, run.graph, run.profile, secure)
+        full = evaluator.evaluate_full_enclave(run.program, run.graph, run.profile)
+        assert s.trusted_memory_bytes < 0.01 * full.trusted_memory_bytes
+
+    def test_report_improvement_identity(self, runs, evaluator):
+        run = runs["bfs"]
+        secure = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        s = evaluator.evaluate(run.program, run.graph, run.profile, secure)
+        assert s.improvement_over(s) == 0.0
+        assert s.slowdown >= 1.0

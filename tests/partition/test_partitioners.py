@@ -1,0 +1,172 @@
+"""Tests for the three partitioning schemes."""
+
+import pytest
+
+from repro.partition import (
+    FlaasPartitioner,
+    GlamdringPartitioner,
+    PartitionEvaluator,
+    SecureLeasePartitioner,
+)
+from repro.partition.base import trusted_working_set
+from repro.partition.securelease import SecureLeaseBudget
+from repro.sgx.costs import EPC_SIZE_BYTES
+from repro.workloads import WORKLOAD_CLASSES, all_workloads, get_workload
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        name: wl.run_profiled(scale=SCALE)
+        for name, wl in all_workloads().items()
+    }
+
+
+class TestSecureLeasePartitioner:
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_key_functions_always_migrated(self, cls, runs):
+        run = runs[cls.name]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        assert set(cls.key_function_names) <= partition.trusted
+
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_auth_module_always_migrated(self, cls, runs):
+        run = runs[cls.name]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        assert set(run.program.auth_functions()) <= partition.trusted
+
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_memory_budget_respected(self, cls, runs):
+        run = runs[cls.name]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        ws = trusted_working_set(run.program, run.graph, partition.trusted)
+        assert ws <= EPC_SIZE_BYTES
+        assert partition.estimated_memory_bytes == ws
+
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_entry_never_migrated(self, cls, runs):
+        run = runs[cls.name]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        assert run.program.entry not in partition.trusted
+
+    def test_tight_budget_shrinks_partition(self, runs):
+        run = runs["svm"]
+        spacious = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        # A budget too small for the 85 MB model region.
+        tight = SecureLeasePartitioner(
+            budget=SecureLeaseBudget(memory_bytes=1 << 20)
+        ).partition(run.program, run.graph, run.profile)
+        assert trusted_working_set(run.program, run.graph, tight.trusted) <= 1 << 20
+        assert len(tight.trusted) <= len(spacious.trusted)
+
+    def test_deterministic(self, runs):
+        run = runs["bfs"]
+        a = SecureLeasePartitioner().partition(run.program, run.graph, run.profile)
+        b = SecureLeasePartitioner().partition(run.program, run.graph, run.profile)
+        assert a.trusted == b.trusted
+
+    def test_low_boundary_traffic(self, runs):
+        """The whole-cluster insight: few crossings despite hot loops."""
+        for name in ("bfs", "btree", "keyvalue"):
+            run = runs[name]
+            partition = SecureLeasePartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            ecalls, ocalls = partition.boundary_calls(run.profile)
+            assert ecalls + ocalls < 50, name
+
+
+class TestGlamdringPartitioner:
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_sensitive_closure_covers_auth(self, cls, runs):
+        run = runs[cls.name]
+        partition = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        assert set(run.program.auth_functions()) <= partition.trusted
+
+    def test_migrates_most_of_the_application(self, runs):
+        """Paper 7.4: Glamdring migrates almost the complete application."""
+        run = runs["bfs"]
+        partition = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        assert len(partition.trusted) >= 0.8 * (len(run.program.functions) - 1)
+
+    def test_no_propagation_mode(self, runs):
+        run = runs["bfs"]
+        closure = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        seeds_only = GlamdringPartitioner(propagate_through_calls=False).partition(
+            run.program, run.graph, run.profile
+        )
+        assert seeds_only.trusted <= closure.trusted
+        assert len(seeds_only.trusted) < len(closure.trusted)
+
+    def test_entry_stays_untrusted(self, runs):
+        run = runs["bfs"]
+        partition = GlamdringPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        assert run.program.entry not in partition.trusted
+
+
+class TestFlaasPartitioner:
+    def test_orchestrators_migrated(self, runs):
+        """The highest-dynamic-call functions move to SGX."""
+        run = runs["keyvalue"]
+        partition = FlaasPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        ranked = sorted(
+            run.graph.nodes,
+            key=lambda n: run.graph.weighted_out_calls(n), reverse=True,
+        )
+        top = next(n for n in ranked if n != run.program.entry)
+        assert top in partition.trusted
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            FlaasPartitioner(fraction=0.0)
+        with pytest.raises(ValueError):
+            FlaasPartitioner(fraction=1.5)
+
+    def test_pathological_boundary_traffic(self, runs):
+        """Why the paper measures 2000x: orchestrator calls all cross."""
+        run = runs["keyvalue"]
+        partition = FlaasPartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        ecalls, ocalls = partition.boundary_calls(run.profile)
+        secure = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        s_ecalls, s_ocalls = secure.boundary_calls(run.profile)
+        assert ecalls + ocalls > 20 * (s_ecalls + s_ocalls)
+
+
+class TestPlacementMapping:
+    def test_every_function_placed(self, runs):
+        from repro.vcpu.machine import Placement
+
+        run = runs["bfs"]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        placement = partition.placement(run.program)
+        assert set(placement) == set(run.program.functions)
+        for name in partition.trusted:
+            assert placement[name] is Placement.TRUSTED

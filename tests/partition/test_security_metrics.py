@@ -1,0 +1,91 @@
+"""Tests for the attacker-handicap metrics."""
+
+import pytest
+
+from repro.partition import SecureLeasePartitioner
+from repro.partition.base import Partition
+from repro.partition.security import analyze_handicap, denied_functions
+from repro.workloads import WORKLOAD_CLASSES, all_workloads
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {name: wl.run_profiled(scale=SCALE)
+            for name, wl in all_workloads().items()}
+
+
+class TestDeniedFunctions:
+    def test_unprotected_binary_denies_nothing(self, runs):
+        run = runs["bfs"]
+        empty = Partition(scheme="none", program_name="bfs", trusted=set())
+        assert denied_functions(run.program, empty) == set()
+
+    def test_guarded_trusted_functions_denied(self, runs):
+        run = runs["bfs"]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        denied = denied_functions(run.program, partition)
+        assert "update" in denied
+
+    def test_unguarded_trusted_functions_not_denied(self, runs):
+        """The AM itself is not lease-gated; only key functions are."""
+        run = runs["bfs"]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        denied = denied_functions(run.program, partition)
+        assert "do_auth" not in denied
+
+
+class TestHandicap:
+    def test_unprotected_attacker_keeps_everything(self, runs):
+        run = runs["bfs"]
+        empty = Partition(scheme="none", program_name="bfs", trusted=set())
+        report = analyze_handicap(run.program, run.profile, empty)
+        assert report.attacker_coverage == pytest.approx(1.0)
+        assert report.utility_loss == pytest.approx(0.0)
+        assert report.attack_is_useful
+
+    @pytest.mark.parametrize("cls", WORKLOAD_CLASSES, ids=lambda c: c.name)
+    def test_securelease_handicaps_every_workload(self, cls, runs):
+        """The paper's Section 6.1 claim, quantified: post-bend, the
+        attacker keeps no key-function instructions."""
+        run = runs[cls.name]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        report = analyze_handicap(run.program, run.profile, partition)
+        assert report.key_coverage == 0.0
+        assert not report.attack_is_useful
+
+    def test_utility_loss_substantial(self, runs):
+        """On the compute-heavy workloads, the attacker loses most of
+        the application's dynamic instructions, not just a stub."""
+        losses = []
+        for name in ("bfs", "btree", "pagerank", "jsonparser"):
+            run = runs[name]
+            partition = SecureLeasePartitioner().partition(
+                run.program, run.graph, run.profile
+            )
+            report = analyze_handicap(run.program, run.profile, partition)
+            losses.append(report.utility_loss)
+        assert min(losses) > 0.5
+
+    def test_reachable_and_denied_disjoint(self, runs):
+        run = runs["keyvalue"]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        report = analyze_handicap(run.program, run.profile, partition)
+        assert not (report.reachable & report.denied)
+
+    def test_entry_always_reachable(self, runs):
+        run = runs["keyvalue"]
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        report = analyze_handicap(run.program, run.profile, partition)
+        assert run.program.entry in report.reachable

@@ -1,0 +1,146 @@
+"""Property-based partitioner tests over synthesized programs.
+
+The 11 hand-written workloads pin down the paper's exact scenarios;
+these tests fuzz the partitioning pipeline across hundreds of random
+modular program shapes and assert the invariants that make SecureLease
+SecureLease:
+
+1. every key function migrates (security);
+2. the authentication module migrates (security);
+3. the trusted working set respects m_t (performance);
+4. the entry point stays untrusted (SGX structural constraint);
+5. boundary call volume is a small fraction of total call volume
+   (the whole-cluster insight);
+6. the bent execution of any synthesized program is denied without a
+   lease and completes with one (the end-to-end guarantee).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.cfb import BranchFlipAttack, analyze_cfg_diff, run_cfb_attack
+from repro.callgraph.cfg import CallGraph
+from repro.callgraph.synthesis import SynthesisSpec, synthesize_program
+from repro.partition import SecureLeasePartitioner
+from repro.partition.base import trusted_working_set
+from repro.sgx import SgxMachine
+from repro.sgx.costs import EPC_SIZE_BYTES
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+from repro.vcpu.machine import VirtualCpu
+from repro.vcpu.tracer import Tracer
+from repro.workloads.base import expected_license_blob
+
+
+def profiled(program):
+    cpu = VirtualCpu(program, Clock())
+    tracer = Tracer(program)
+    cpu.add_observer(tracer)
+    result = cpu.run()
+    profile = tracer.profile()
+    return result, profile, CallGraph.from_profile(program, profile)
+
+
+program_specs = st.builds(
+    SynthesisSpec,
+    n_modules=st.integers(min_value=2, max_value=7),
+    functions_per_module=st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=4, max_value=8),
+    ),
+    shared_region_probability=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=program_specs, seed=st.integers(min_value=0, max_value=10_000))
+def test_partitioning_invariants_on_random_programs(spec, seed):
+    program = synthesize_program(spec, DeterministicRng(seed))
+    result, profile, graph = profiled(program)
+    assert result["status"] == "OK"
+
+    partition = SecureLeasePartitioner().partition(program, graph, profile)
+
+    # 1 & 2: security-critical functions always migrate.
+    assert set(program.key_functions()) <= partition.trusted
+    assert set(program.auth_functions()) <= partition.trusted
+    # 3: the memory budget holds.
+    assert trusted_working_set(program, graph, partition.trusted) <= EPC_SIZE_BYTES
+    # 4: main stays outside.
+    assert program.entry not in partition.trusted
+    # 5: boundary traffic is a sliver of total call volume.
+    cut = graph.cut_weight(partition.trusted)
+    total = max(graph.total_call_weight(), 1)
+    assert cut / total < 0.30
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_cfb_defence_on_random_programs(seed):
+    """The end-to-end security property survives program-shape fuzzing."""
+    spec = SynthesisSpec(n_modules=4)
+    program = synthesize_program(spec, DeterministicRng(seed))
+    _, profile, graph = profiled(program)
+    partition = SecureLeasePartitioner().partition(program, graph, profile)
+
+    fresh = synthesize_program(spec, DeterministicRng(seed))
+    analysis = analyze_cfg_diff(
+        fresh, expected_license_blob(spec.license_id), b"pirated"
+    )
+    assert analysis.found_target
+
+    attacked = synthesize_program(spec, DeterministicRng(seed))
+    machine = SgxMachine(f"victim-{seed}")
+    outcome = run_cfb_attack(
+        attacked,
+        BranchFlipAttack(analysis.divergent_branches),
+        b"pirated",
+        placement=partition.placement(attacked),
+        enclave=machine.create_enclave("hardened"),
+        lease_checker=lambda lic: False,
+    )
+    assert not outcome.succeeded
+
+    # And a licensed user is unaffected.
+    licensed = synthesize_program(spec, DeterministicRng(seed))
+    machine2 = SgxMachine(f"honest-{seed}")
+    cpu = VirtualCpu(
+        licensed, machine2.clock,
+        placement=partition.placement(licensed),
+        enclave=machine2.create_enclave("hardened"),
+        lease_checker=lambda lic: True,
+    )
+    assert cpu.run()["status"] == "OK"
+
+
+class TestSynthesisDeterminism:
+    def test_same_seed_same_program(self):
+        spec = SynthesisSpec()
+        a = synthesize_program(spec, DeterministicRng(3))
+        b = synthesize_program(spec, DeterministicRng(3))
+        assert set(a.functions) == set(b.functions)
+        ra, pa, _ = profiled(a)
+        rb, pb, _ = profiled(b)
+        assert ra == rb
+        assert pa.total_instructions == pb.total_instructions
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisSpec(n_modules=1)
+
+    def test_modularity_of_generated_programs(self):
+        """Generated programs show the paper's modular structure."""
+        from repro.callgraph.clustering import cluster_call_graph
+        from repro.callgraph.metrics import modularity
+
+        program = synthesize_program(SynthesisSpec(n_modules=5),
+                                     DeterministicRng(9))
+        _, profile, graph = profiled(program)
+        clustering = cluster_call_graph(
+            graph, k=6, rng=DeterministicRng(1)
+        )
+        intra = sum(graph.subgraph_weight(c)
+                    for c in clustering.non_empty_clusters())
+        assert intra / max(graph.total_call_weight(), 1) > 0.7

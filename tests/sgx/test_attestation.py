@@ -1,0 +1,130 @@
+"""Tests for local and remote attestation."""
+
+import pytest
+
+from repro.sgx import SgxMachine
+from repro.sgx.attestation import (
+    AttestationError,
+    AttestationReport,
+    RemoteAttestationService,
+    measure,
+)
+from repro.sgx.costs import SgxCostModel
+
+
+@pytest.fixture
+def machine():
+    return SgxMachine("attestation-tests")
+
+
+class TestMeasurement:
+    def test_measure_is_deterministic(self):
+        assert measure("sl-local") == measure("sl-local")
+
+    def test_distinct_identities_distinct_measurements(self):
+        assert measure("sl-local") != measure("sl-manager")
+
+
+class TestLocalAttestation:
+    def test_genuine_report_verifies(self, machine):
+        source = measure("sl-manager")
+        target = measure("sl-local")
+        report = machine.local_authority.generate_report(source, target, nonce=1)
+        machine.local_authority.verify_local(report)  # no exception
+
+    def test_verification_charges_cost(self, machine):
+        report = machine.local_authority.generate_report(1, 2, nonce=1)
+        before = machine.clock.cycles
+        machine.local_authority.verify_local(report)
+        assert machine.clock.cycles - before == (
+            machine.costs.local_attestation_cycles
+        )
+        assert machine.stats.local_attestations == 1
+
+    def test_forged_mac_rejected(self, machine):
+        report = machine.local_authority.generate_report(1, 2, nonce=1)
+        forged = AttestationReport(
+            source_measurement=report.source_measurement,
+            target_measurement=report.target_measurement,
+            nonce=report.nonce,
+            mac=report.mac ^ 1,
+        )
+        with pytest.raises(AttestationError):
+            machine.local_authority.verify_local(forged)
+
+    def test_report_from_other_machine_rejected(self):
+        machine_a = SgxMachine("machine-a")
+        machine_b = SgxMachine("machine-b")
+        report = machine_a.local_authority.generate_report(1, 2, nonce=1)
+        with pytest.raises(AttestationError):
+            machine_b.local_authority.verify_local(report)
+
+    def test_unexpected_source_rejected(self, machine):
+        report = machine.local_authority.generate_report(
+            measure("impostor"), measure("sl-local"), nonce=1
+        )
+        with pytest.raises(AttestationError):
+            machine.local_authority.verify_local(
+                report, expected_source=measure("sl-manager")
+            )
+
+    def test_expected_source_accepted(self, machine):
+        source = measure("sl-manager")
+        report = machine.local_authority.generate_report(
+            source, measure("sl-local"), nonce=1
+        )
+        machine.local_authority.verify_local(report, expected_source=source)
+
+
+class TestRemoteAttestation:
+    def test_registered_platform_verifies(self, machine):
+        ras = RemoteAttestationService()
+        ras.register_platform(machine.platform_secret)
+        report = machine.local_authority.generate_report(1, 2, nonce=1)
+        ras.verify_remote(machine.clock, machine.stats, report,
+                          machine.platform_secret)
+        assert machine.stats.remote_attestations == 1
+
+    def test_unregistered_platform_rejected(self, machine):
+        ras = RemoteAttestationService()
+        report = machine.local_authority.generate_report(1, 2, nonce=1)
+        with pytest.raises(AttestationError):
+            ras.verify_remote(machine.clock, machine.stats, report,
+                              machine.platform_secret)
+
+    def test_remote_attestation_takes_seconds(self, machine):
+        """The paper's 3-4 s RA cost — the thing SecureLease avoids."""
+        ras = RemoteAttestationService()
+        ras.register_platform(machine.platform_secret)
+        report = machine.local_authority.generate_report(1, 2, nonce=1)
+        before = machine.clock.seconds
+        ras.verify_remote(machine.clock, machine.stats, report,
+                          machine.platform_secret)
+        assert 3.0 <= machine.clock.seconds - before <= 4.0
+
+    def test_remote_is_orders_of_magnitude_costlier_than_local(self, machine):
+        costs = SgxCostModel()
+        assert costs.remote_attestation_cycles > 1_000 * costs.local_attestation_cycles
+
+    def test_forged_quote_rejected_even_on_genuine_platform(self, machine):
+        ras = RemoteAttestationService()
+        ras.register_platform(machine.platform_secret)
+        report = machine.local_authority.generate_report(1, 2, nonce=1)
+        forged = AttestationReport(
+            source_measurement=report.source_measurement,
+            target_measurement=report.target_measurement,
+            nonce=report.nonce + 1,  # nonce changed, MAC now stale
+            mac=report.mac,
+        )
+        with pytest.raises(AttestationError):
+            ras.verify_remote(machine.clock, machine.stats, forged,
+                              machine.platform_secret)
+
+    def test_verification_counter(self, machine):
+        ras = RemoteAttestationService()
+        ras.register_platform(machine.platform_secret)
+        report = machine.local_authority.generate_report(1, 2, nonce=1)
+        for _ in range(3):
+            ras.verify_remote(machine.clock, machine.stats, report,
+                              machine.platform_secret)
+        assert ras.verifications == 3

@@ -1,0 +1,87 @@
+"""Tests for the SGX cost-model constants and variants."""
+
+import pytest
+
+from repro.sgx.costs import (
+    DEFAULT_COSTS,
+    EPC_SIZE_BYTES,
+    PAGE_SIZE,
+    PRM_SIZE_BYTES,
+    SCALABLE_SGX_COSTS,
+    SgxCostModel,
+    scaled_latency_costs,
+)
+from repro.sim.clock import CPU_FREQ_HZ
+
+
+class TestPaperConstants:
+    def test_ecall_cost_matches_weisse(self):
+        """Section 2.3.2 cites 17,000 cycles per ECALL."""
+        assert DEFAULT_COSTS.ecall_cycles == 17_000
+
+    def test_epc_fault_cost(self):
+        """Section 2.3.2: up to 12,000 cycles per EPC fault."""
+        assert DEFAULT_COSTS.epc_fault_cycles == 12_000
+
+    def test_remote_attestation_in_paper_range(self):
+        """Section 2.3: 3-4 seconds per RA."""
+        seconds = DEFAULT_COSTS.remote_attestation_cycles / CPU_FREQ_HZ
+        assert 3.0 <= seconds <= 4.0
+
+    def test_epc_size(self):
+        """~92 MB usable out of a 128 MB PRM."""
+        assert EPC_SIZE_BYTES == 92 * 1024 * 1024
+        assert PRM_SIZE_BYTES == 128 * 1024 * 1024
+        assert EPC_SIZE_BYTES < PRM_SIZE_BYTES
+
+    def test_page_geometry(self):
+        assert PAGE_SIZE == 4096
+        assert DEFAULT_COSTS.epc_pages == EPC_SIZE_BYTES // PAGE_SIZE
+
+    def test_enclave_cpi_multiplier_reasonable(self):
+        assert 1.0 < DEFAULT_COSTS.enclave_cpi_multiplier < 1.5
+
+
+class TestScalableVariant:
+    def test_huge_epc(self):
+        assert SCALABLE_SGX_COSTS.epc_size_bytes == 512 << 30
+
+    def test_transition_costs_unchanged(self):
+        """Section 7.5: scalable SGX does not make ECALLs cheaper."""
+        assert SCALABLE_SGX_COSTS.ecall_cycles == DEFAULT_COSTS.ecall_cycles
+        assert SCALABLE_SGX_COSTS.ocall_cycles == DEFAULT_COSTS.ocall_cycles
+
+
+class TestScaledLatencies:
+    def test_scales_fixed_latencies_only(self):
+        scaled = scaled_latency_costs(1e-3)
+        assert scaled.remote_attestation_cycles == pytest.approx(
+            DEFAULT_COSTS.remote_attestation_cycles * 1e-3, rel=0.01
+        )
+        assert scaled.local_attestation_cycles == pytest.approx(
+            DEFAULT_COSTS.local_attestation_cycles * 1e-3, rel=0.01
+        )
+        # Per-operation costs are untouched.
+        assert scaled.ecall_cycles == DEFAULT_COSTS.ecall_cycles
+        assert scaled.epc_fault_cycles == DEFAULT_COSTS.epc_fault_cycles
+        assert scaled.epc_size_bytes == DEFAULT_COSTS.epc_size_bytes
+
+    def test_identity_at_factor_one(self):
+        scaled = scaled_latency_costs(1.0)
+        assert (scaled.remote_attestation_cycles
+                == DEFAULT_COSTS.remote_attestation_cycles)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_latency_costs(0.0)
+        with pytest.raises(ValueError):
+            scaled_latency_costs(2.0)
+
+    def test_latencies_never_hit_zero(self):
+        scaled = scaled_latency_costs(1e-12)
+        assert scaled.remote_attestation_cycles >= 1
+        assert scaled.local_attestation_cycles >= 1
+
+    def test_model_is_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.ecall_cycles = 1

@@ -1,0 +1,98 @@
+"""Tests for the enclave memory measurement tool."""
+
+import pytest
+
+from repro.partition import SecureLeasePartitioner
+from repro.partition.base import trusted_working_set
+from repro.sgx.emmt import (
+    DEFAULT_STACK_BYTES,
+    RUNTIME_OVERHEAD_BYTES,
+    breakdown,
+    measure_enclave,
+    verify_declaration,
+)
+from repro.workloads import get_workload
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def svm_partitioned():
+    run = get_workload("svm").run_profiled(scale=SCALE)
+    partition = SecureLeasePartitioner().partition(
+        run.program, run.graph, run.profile
+    )
+    return run, partition
+
+
+class TestMeasurement:
+    def test_covers_the_working_set(self, svm_partitioned):
+        run, partition = svm_partitioned
+        sizing = measure_enclave(run.program, run.graph, partition.trusted)
+        ws = trusted_working_set(run.program, run.graph, partition.trusted)
+        assert sizing.total_bytes >= ws
+
+    def test_margin_applied(self, svm_partitioned):
+        run, partition = svm_partitioned
+        tight = measure_enclave(run.program, run.graph, partition.trusted,
+                                margin_fraction=0.0)
+        padded = measure_enclave(run.program, run.graph, partition.trusted,
+                                 margin_fraction=0.25)
+        assert padded.total_bytes > tight.total_bytes
+
+    def test_threads_add_stack(self, svm_partitioned):
+        run, partition = svm_partitioned
+        one = measure_enclave(run.program, run.graph, partition.trusted,
+                              threads=1)
+        four = measure_enclave(run.program, run.graph, partition.trusted,
+                               threads=4)
+        assert four.stack_bytes - one.stack_bytes == 3 * DEFAULT_STACK_BYTES
+
+    def test_zero_threads_rejected(self, svm_partitioned):
+        run, partition = svm_partitioned
+        with pytest.raises(ValueError):
+            measure_enclave(run.program, run.graph, partition.trusted,
+                            threads=0)
+
+    def test_empty_set_still_carries_runtime(self, svm_partitioned):
+        run, _ = svm_partitioned
+        sizing = measure_enclave(run.program, run.graph, set())
+        assert sizing.total_bytes >= RUNTIME_OVERHEAD_BYTES
+
+    def test_pages_roundup(self, svm_partitioned):
+        run, partition = svm_partitioned
+        sizing = measure_enclave(run.program, run.graph, partition.trusted)
+        assert sizing.total_pages * 4096 >= sizing.total_bytes
+
+
+class TestBreakdown:
+    def test_itemises_code_and_enclosed_data(self, svm_partitioned):
+        run, partition = svm_partitioned
+        items = breakdown(run.program, run.graph, partition.trusted)
+        assert any(key.startswith("code:predict") for key in items)
+        assert "data:model" in items  # the SVM's 85 MB private region
+
+    def test_shared_regions_excluded(self, svm_partitioned):
+        run, partition = svm_partitioned
+        items = breakdown(run.program, run.graph, partition.trusted)
+        assert "data:training_data" not in items  # shared with io
+
+    def test_breakdown_sums_to_ws(self, svm_partitioned):
+        run, partition = svm_partitioned
+        items = breakdown(run.program, run.graph, partition.trusted)
+        ws = trusted_working_set(run.program, run.graph, partition.trusted)
+        assert sum(items.values()) == ws
+
+
+class TestVerification:
+    def test_declared_size_covers_observed(self, svm_partitioned):
+        run, partition = svm_partitioned
+        sizing = measure_enclave(run.program, run.graph, partition.trusted)
+        ws = trusted_working_set(run.program, run.graph, partition.trusted)
+        assert verify_declaration(sizing, observed_bytes=ws)
+
+    def test_overrun_detected(self, svm_partitioned):
+        run, partition = svm_partitioned
+        sizing = measure_enclave(run.program, run.graph, partition.trusted)
+        assert not verify_declaration(sizing,
+                                      observed_bytes=sizing.total_bytes * 2)

@@ -1,0 +1,162 @@
+"""Tests for enclave lifecycle and the ECALL/OCALL gate."""
+
+import pytest
+
+from repro.sgx import SgxMachine
+from repro.sgx.enclave import EnclaveError
+
+
+@pytest.fixture
+def machine():
+    return SgxMachine("enclave-tests")
+
+
+class TestEcalls:
+    def test_ecall_dispatches(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("add", lambda a, b: a + b)
+        assert enclave.ecall("add", 2, 3) == 5
+
+    def test_ecall_charges_cycles(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("noop", lambda: None)
+        before = machine.clock.cycles
+        enclave.ecall("noop")
+        charged = machine.clock.cycles - before
+        assert charged == enclave.costs.ecall_cycles + enclave.costs.transition_tlb_cycles
+
+    def test_ecall_counts_in_stats(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("noop", lambda: None)
+        for _ in range(5):
+            enclave.ecall("noop")
+        assert machine.stats.ecalls == 5
+
+    def test_unknown_ecall_rejected(self, machine):
+        enclave = machine.create_enclave("app")
+        with pytest.raises(EnclaveError):
+            enclave.ecall("missing")
+
+    def test_duplicate_registration_rejected(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("f", lambda: 1)
+        with pytest.raises(EnclaveError):
+            enclave.register_ecall("f", lambda: 2)
+
+    def test_nested_ecall_rejected(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("outer", lambda: enclave.ecall("outer"))
+        with pytest.raises(EnclaveError):
+            enclave.ecall("outer")
+
+    def test_ecall_names_listed(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("a", lambda: None)
+        enclave.register_ecall("b", lambda: None)
+        assert enclave.ecall_names == {"a", "b"}
+
+
+class TestOcalls:
+    def test_ocall_runs_untrusted_function(self, machine):
+        enclave = machine.create_enclave("app")
+        log = []
+
+        def inside():
+            return enclave.ocall(lambda: log.append("outside") or "ok")
+
+        enclave.register_ecall("inside", inside)
+        assert enclave.ecall("inside") == "ok"
+        assert log == ["outside"]
+
+    def test_ocall_outside_ecall_rejected(self, machine):
+        enclave = machine.create_enclave("app")
+        with pytest.raises(EnclaveError):
+            enclave.ocall(lambda: None)
+
+    def test_ocall_counts_and_charges(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("inside", lambda: enclave.ocall(lambda: None))
+        enclave.ecall("inside")
+        assert machine.stats.ocalls == 1
+        assert machine.stats.cycles_by_event["ocall"] > 0
+
+    def test_reentry_after_ocall(self, machine):
+        """After an OCALL returns, the enclave context is restored."""
+        enclave = machine.create_enclave("app")
+
+        def inside():
+            enclave.ocall(lambda: None)
+            # A second OCALL must still be legal: we are back inside.
+            enclave.ocall(lambda: None)
+            return "done"
+
+        enclave.register_ecall("inside", inside)
+        assert enclave.ecall("inside") == "done"
+        assert machine.stats.ocalls == 2
+
+
+class TestMemory:
+    def test_allocation_reserves_pages(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.allocate("table", 10_000)
+        assert enclave.declared_footprint_bytes >= 10_000
+        assert enclave.allocation_bytes("table") >= 10_000
+
+    def test_duplicate_allocation_rejected(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.allocate("table", 100)
+        with pytest.raises(EnclaveError):
+            enclave.allocate("table", 100)
+
+    def test_touch_allocation_counts_faults(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.allocate("table", 8192)
+        faults = enclave.touch_allocation("table")
+        assert faults == 0  # resident right after allocation
+
+    def test_touch_unknown_allocation_rejected(self, machine):
+        enclave = machine.create_enclave("app")
+        with pytest.raises(EnclaveError):
+            enclave.touch_allocation("missing")
+
+    def test_free_releases_declared_footprint(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.allocate("table", 8192)
+        before = enclave.declared_footprint_bytes
+        enclave.free("table")
+        assert enclave.declared_footprint_bytes < before
+
+
+class TestLifecycle:
+    def test_measurement_depends_on_name(self, machine):
+        a = machine.create_enclave("app-a")
+        b = machine.create_enclave("app-b")
+        assert a.measurement != b.measurement
+
+    def test_same_name_same_measurement(self, machine):
+        a = machine.create_enclave("app")
+        b = machine.create_enclave("app")
+        assert a.measurement == b.measurement
+        assert a.enclave_id != b.enclave_id
+
+    def test_destroy_releases_epc(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.allocate("data", 4 * 4096)
+        assert machine.pager.enclave_resident_pages(enclave.enclave_id) > 0
+        enclave.destroy()
+        assert machine.pager.enclave_resident_pages(enclave.enclave_id) == 0
+
+    def test_destroyed_enclave_rejects_operations(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.register_ecall("f", lambda: None)
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.ecall("f")
+        with pytest.raises(EnclaveError):
+            enclave.allocate("x", 100)
+
+    def test_double_destroy_is_idempotent(self, machine):
+        enclave = machine.create_enclave("app")
+        enclave.destroy()
+        enclave.destroy()
+        assert not enclave.alive

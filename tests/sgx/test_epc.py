@@ -1,0 +1,132 @@
+"""Tests for the EPC pager."""
+
+import pytest
+
+from repro.sgx.costs import PAGE_SIZE, SgxCostModel
+from repro.sgx.driver import SgxStats
+from repro.sgx.epc import EpcPager
+from repro.sim.clock import Clock
+
+
+def make_pager(capacity_pages=8):
+    clock = Clock()
+    stats = SgxStats()
+    costs = SgxCostModel(epc_size_bytes=capacity_pages * PAGE_SIZE)
+    return EpcPager(clock, stats, costs), clock, stats
+
+
+class TestBasicPaging:
+    def test_first_touch_allocates(self):
+        pager, _, stats = make_pager()
+        faulted = pager.touch(1, 0)
+        assert faulted
+        assert stats.epc_allocations == 1
+        assert stats.epc_faults == 0  # cold allocation, not a reload fault
+
+    def test_second_touch_hits(self):
+        pager, _, stats = make_pager()
+        pager.touch(1, 0)
+        faulted = pager.touch(1, 0)
+        assert not faulted
+        assert stats.epc_faults == 0
+
+    def test_allocation_charges_init_cycles(self):
+        pager, clock, _ = make_pager()
+        pager.touch(1, 0)
+        assert clock.cycles == pager.costs.epc_page_init_cycles
+
+    def test_pages_of_different_enclaves_are_distinct(self):
+        pager, _, stats = make_pager()
+        pager.touch(1, 0)
+        pager.touch(2, 0)
+        assert stats.epc_allocations == 2
+
+    def test_resident_accounting(self):
+        pager, _, _ = make_pager()
+        for page in range(5):
+            pager.touch(1, page)
+        assert pager.resident_pages == 5
+        assert pager.resident_bytes == 5 * PAGE_SIZE
+
+
+class TestEviction:
+    def test_overflow_evicts(self):
+        pager, _, stats = make_pager(capacity_pages=4)
+        for page in range(5):
+            pager.touch(1, page)
+        assert stats.epc_evictions == 1
+        assert pager.resident_pages == 4
+
+    def test_reload_counts_as_fault(self):
+        pager, _, stats = make_pager(capacity_pages=2)
+        pager.touch(1, 0)
+        pager.touch(1, 1)
+        pager.touch(1, 2)  # evicts one of 0/1
+        pager.touch(1, 3)  # evicts the other
+        pager.touch(1, 0)  # reload
+        pager.touch(1, 1)  # reload
+        assert stats.epc_faults >= 1
+        assert stats.epc_loadbacks == stats.epc_faults
+
+    def test_fault_charges_fault_cycles(self):
+        pager, clock, stats = make_pager(capacity_pages=1)
+        pager.touch(1, 0)
+        pager.touch(1, 1)  # evict 0
+        before = clock.cycles
+        pager.touch(1, 0)  # fault 0 back (evicting 1)
+        assert clock.cycles - before == pager.costs.epc_fault_cycles
+
+    def test_working_set_below_capacity_never_faults(self):
+        pager, _, stats = make_pager(capacity_pages=10)
+        for _ in range(20):
+            for page in range(10):
+                pager.touch(1, page)
+        assert stats.epc_faults == 0
+
+    def test_streaming_over_capacity_faults_continuously(self):
+        pager, _, stats = make_pager(capacity_pages=4)
+        for _ in range(3):
+            for page in range(8):
+                pager.touch(1, page)
+        # After warm-up, each pass over 8 pages with 4 resident must fault.
+        assert stats.epc_faults >= 8
+
+    def test_second_chance_protects_hot_page(self):
+        pager, _, stats = make_pager(capacity_pages=3)
+        # Page 0 is touched between every miss; CLOCK should keep it.
+        pager.touch(1, 0)
+        for page in range(1, 7):
+            pager.touch(1, 0)
+            pager.touch(1, page)
+        resident = {key for key in pager._resident}
+        assert (1, 0) in resident
+
+    def test_touch_range_returns_fault_count(self):
+        pager, _, _ = make_pager(capacity_pages=16)
+        faults = pager.touch_range(1, 0, 10)
+        assert faults == 10  # all cold
+        faults = pager.touch_range(1, 0, 10)
+        assert faults == 0  # all resident
+
+
+class TestTeardown:
+    def test_release_enclave_frees_pages(self):
+        pager, _, _ = make_pager()
+        pager.touch_range(1, 0, 4)
+        pager.touch_range(2, 0, 2)
+        released = pager.release_enclave(1)
+        assert released == 4
+        assert pager.resident_pages == 2
+        assert pager.enclave_resident_pages(1) == 0
+        assert pager.enclave_resident_pages(2) == 2
+
+    def test_release_unknown_enclave_is_noop(self):
+        pager, _, _ = make_pager()
+        assert pager.release_enclave(99) == 0
+
+    def test_released_pages_usable_by_others(self):
+        pager, _, stats = make_pager(capacity_pages=4)
+        pager.touch_range(1, 0, 4)
+        pager.release_enclave(1)
+        pager.touch_range(2, 0, 4)
+        assert stats.epc_evictions == 0  # no pressure after release

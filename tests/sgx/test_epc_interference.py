@@ -1,0 +1,98 @@
+"""Cross-enclave EPC interference tests.
+
+Section 5.2.1's requirement 2: the EPC is shared across every enclave
+on the machine, so SL-Local must stay small — a bloated lease store
+would cause *other* enclaves to fault.  These tests make the
+interference concrete on the shared pager and show the eviction policy
+removing it.
+"""
+
+import pytest
+
+from repro.sgx import SgxMachine
+from repro.sgx.costs import PAGE_SIZE, SgxCostModel
+
+
+def small_epc_machine(pages=64):
+    return SgxMachine(
+        "shared", costs=SgxCostModel(epc_size_bytes=pages * PAGE_SIZE)
+    )
+
+
+class TestInterference:
+    def test_greedy_neighbour_causes_victim_faults(self):
+        """An enclave streaming past the EPC evicts its neighbour."""
+        machine = small_epc_machine(pages=64)
+        victim = machine.create_enclave("victim")
+        greedy = machine.create_enclave("greedy")
+
+        victim.allocate("hot-data", 16 * PAGE_SIZE)
+        victim.touch_allocation("hot-data")
+        baseline_faults = machine.stats.epc_faults
+
+        # The neighbour streams 4x the EPC.
+        greedy.allocate("stream", 256 * PAGE_SIZE)
+        greedy.touch_allocation("stream")
+
+        faults = victim.touch_allocation("hot-data")
+        assert faults > 0
+        assert machine.stats.epc_faults > baseline_faults
+
+    def test_small_neighbour_is_harmless(self):
+        """A lease store that fits leaves the victim's pages resident."""
+        machine = small_epc_machine(pages=64)
+        victim = machine.create_enclave("victim")
+        lean = machine.create_enclave("lean-sl-local")
+
+        victim.allocate("hot-data", 16 * PAGE_SIZE)
+        victim.touch_allocation("hot-data")
+        lean.allocate("lease-tree", 8 * PAGE_SIZE)
+        lean.touch_allocation("lease-tree")
+
+        faults = victim.touch_allocation("hot-data")
+        assert faults == 0
+
+    def test_teardown_releases_pressure(self):
+        machine = small_epc_machine(pages=32)
+        first = machine.create_enclave("first")
+        first.allocate("data", 30 * PAGE_SIZE)
+        first.touch_allocation("data")
+        first.destroy()
+
+        second = machine.create_enclave("second")
+        second.allocate("data", 30 * PAGE_SIZE)
+        faults = second.touch_allocation("data")
+        assert faults == 0  # the space was genuinely freed
+
+    def test_sl_local_eviction_protects_neighbours(self):
+        """End to end: a lease tree holding thousands of leases evicts
+        its cold entries, so a co-resident enclave keeps its working
+        set (the Table 6 policy serving Section 5.2.1's requirement)."""
+        from repro.core.gcl import Gcl
+        from repro.core.lease_tree import LeaseTree
+        from repro.crypto.keys import KeyGenerator
+        from repro.sim.rng import DeterministicRng
+
+        machine = small_epc_machine(pages=128)
+        app = machine.create_enclave("app")
+        app.allocate("model", 64 * PAGE_SIZE)
+        app.touch_allocation("model")
+
+        sl_enclave = machine.create_enclave("sl-local")
+        tree = LeaseTree(keygen=KeyGenerator(DeterministicRng(1)))
+        resident_cap = 64
+        for lease_id in range(2_048):
+            tree.insert(lease_id, Gcl.count_based("lic", 1))
+            if lease_id >= resident_cap:
+                tree.commit_lease(lease_id - resident_cap)
+        # Mirror the tree's resident bytes into the enclave's pages.
+        sl_enclave.allocate("lease-tree", tree.resident_bytes())
+        sl_enclave.touch_allocation("lease-tree")
+
+        faults = app.touch_allocation("model")
+        assert faults == 0
+        # Without eviction the tree alone would out-size this EPC.
+        no_evict = LeaseTree(keygen=KeyGenerator(DeterministicRng(2)))
+        for lease_id in range(2_048):
+            no_evict.insert(lease_id, Gcl.count_based("lic", 1))
+        assert no_evict.resident_bytes() > 128 * PAGE_SIZE

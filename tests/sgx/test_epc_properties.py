@@ -1,0 +1,89 @@
+"""Property-based tests for the EPC pager invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sgx.costs import PAGE_SIZE, SgxCostModel
+from repro.sgx.driver import SgxStats
+from repro.sgx.epc import EpcPager
+from repro.sim.clock import Clock
+
+touches = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=3),   # enclave id
+              st.integers(min_value=0, max_value=63)), # page number
+    min_size=1, max_size=300,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=touches, capacity=st.integers(min_value=1, max_value=32))
+def test_resident_never_exceeds_capacity(stream, capacity):
+    pager = EpcPager(Clock(), SgxStats(),
+                     SgxCostModel(epc_size_bytes=capacity * PAGE_SIZE))
+    for enclave_id, page in stream:
+        pager.touch(enclave_id, page)
+        assert pager.resident_pages <= capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=touches)
+def test_loadbacks_equal_faults(stream):
+    """Every reload fault corresponds to exactly one load-back."""
+    pager = EpcPager(Clock(), SgxStats(),
+                     SgxCostModel(epc_size_bytes=8 * PAGE_SIZE))
+    for enclave_id, page in stream:
+        pager.touch(enclave_id, page)
+    assert pager.stats.epc_loadbacks == pager.stats.epc_faults
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=touches)
+def test_allocations_bounded_by_distinct_pages(stream):
+    pager = EpcPager(Clock(), SgxStats(),
+                     SgxCostModel(epc_size_bytes=8 * PAGE_SIZE))
+    for enclave_id, page in stream:
+        pager.touch(enclave_id, page)
+    distinct = len({key for key in stream})
+    assert pager.stats.epc_allocations == distinct
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=touches)
+def test_second_touch_never_allocates(stream):
+    """Touching the same stream twice adds faults, never allocations."""
+    pager = EpcPager(Clock(), SgxStats(),
+                     SgxCostModel(epc_size_bytes=8 * PAGE_SIZE))
+    for enclave_id, page in stream:
+        pager.touch(enclave_id, page)
+    allocations = pager.stats.epc_allocations
+    for enclave_id, page in stream:
+        pager.touch(enclave_id, page)
+    assert pager.stats.epc_allocations == allocations
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=touches)
+def test_release_removes_all_pages_of_enclave(stream):
+    pager = EpcPager(Clock(), SgxStats(),
+                     SgxCostModel(epc_size_bytes=16 * PAGE_SIZE))
+    for enclave_id, page in stream:
+        pager.touch(enclave_id, page)
+    pager.release_enclave(1)
+    assert pager.enclave_resident_pages(1) == 0
+    # Other enclaves keep their (remaining) pages.
+    assert pager.resident_pages == sum(
+        pager.enclave_resident_pages(e) for e in (2, 3)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=touches)
+def test_clock_monotone_through_paging(stream):
+    clock = Clock()
+    pager = EpcPager(clock, SgxStats(),
+                     SgxCostModel(epc_size_bytes=4 * PAGE_SIZE))
+    last = clock.cycles
+    for enclave_id, page in stream:
+        pager.touch(enclave_id, page)
+        assert clock.cycles >= last
+        last = clock.cycles

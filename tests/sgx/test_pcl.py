@@ -1,0 +1,103 @@
+"""Tests for the protected code loader."""
+
+import pytest
+
+from repro.crypto.keys import KeyGenerator
+from repro.sgx import SgxMachine
+from repro.sgx.attestation import RemoteAttestationService
+from repro.sgx.pcl import PclError, PclKeyServer, load_protected_code
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def setup():
+    machine = SgxMachine("pcl-tests")
+    ras = RemoteAttestationService()
+    ras.register_platform(machine.platform_secret)
+    server = PclKeyServer(ras, KeyGenerator(DeterministicRng(3)))
+    return machine, ras, server
+
+
+CODE = b"def secret_algorithm(): return 42"
+
+
+class TestPclFlow:
+    def test_full_load_flow(self, setup):
+        machine, _, server = setup
+        enclave = machine.create_enclave("protected-app")
+        section = server.seal_section("algo", CODE, enclave.measurement)
+        report = machine.local_authority.generate_report(
+            enclave.measurement, enclave.measurement, nonce=1
+        )
+        key = server.release_key(enclave, report, machine.platform_secret, "algo")
+        assert load_protected_code(enclave, section, key) == CODE
+
+    def test_sealed_section_hides_code(self, setup):
+        machine, _, server = setup
+        enclave = machine.create_enclave("protected-app")
+        section = server.seal_section("algo", CODE, enclave.measurement)
+        assert CODE not in section.blob.ciphertext
+
+    def test_wrong_measurement_denied(self, setup):
+        machine, _, server = setup
+        genuine = machine.create_enclave("protected-app")
+        impostor = machine.create_enclave("impostor")
+        server.seal_section("algo", CODE, genuine.measurement)
+        report = machine.local_authority.generate_report(
+            impostor.measurement, impostor.measurement, nonce=1
+        )
+        with pytest.raises(PclError):
+            server.release_key(impostor, report, machine.platform_secret, "algo")
+
+    def test_unknown_section_denied(self, setup):
+        machine, _, server = setup
+        enclave = machine.create_enclave("protected-app")
+        report = machine.local_authority.generate_report(
+            enclave.measurement, enclave.measurement, nonce=1
+        )
+        with pytest.raises(PclError):
+            server.release_key(enclave, report, machine.platform_secret, "missing")
+
+    def test_unregistered_platform_denied(self, setup):
+        machine, ras, server = setup
+        rogue = SgxMachine("rogue-machine")  # never registered with IAS
+        enclave = rogue.create_enclave("protected-app")
+        server.seal_section("algo", CODE, enclave.measurement)
+        report = rogue.local_authority.generate_report(
+            enclave.measurement, enclave.measurement, nonce=1
+        )
+        from repro.sgx.attestation import AttestationError
+        with pytest.raises(AttestationError):
+            server.release_key(enclave, report, rogue.platform_secret, "algo")
+
+    def test_corrupted_section_detected(self, setup):
+        machine, _, server = setup
+        enclave = machine.create_enclave("protected-app")
+        section = server.seal_section("algo", CODE, enclave.measurement)
+        report = machine.local_authority.generate_report(
+            enclave.measurement, enclave.measurement, nonce=1
+        )
+        key = server.release_key(enclave, report, machine.platform_secret, "algo")
+        from repro.crypto.sealing import SealedBlob
+        from repro.sgx.pcl import SealedCodeSection
+        corrupted = SealedCodeSection(
+            section_name="algo",
+            blob=SealedBlob(
+                ciphertext=b"\x00" + section.blob.ciphertext[1:],
+                nonce=section.blob.nonce,
+            ),
+        )
+        with pytest.raises(PclError):
+            load_protected_code(enclave, corrupted, key)
+
+    def test_key_release_charges_remote_attestation(self, setup):
+        machine, _, server = setup
+        enclave = machine.create_enclave("protected-app")
+        server.seal_section("algo", CODE, enclave.measurement)
+        report = machine.local_authority.generate_report(
+            enclave.measurement, enclave.measurement, nonce=1
+        )
+        before = machine.clock.seconds
+        server.release_key(enclave, report, machine.platform_secret, "algo")
+        assert machine.clock.seconds - before >= 3.0  # full RA round
+        assert server.key_releases == 1

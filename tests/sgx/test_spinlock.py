@@ -1,0 +1,95 @@
+"""Tests for the sgx_spin_lock model."""
+
+import pytest
+
+from repro.sgx.spinlock import SPIN_FAST_CYCLES, SPIN_RETRY_CYCLES, SpinLock
+from repro.sim.clock import Clock
+
+
+class TestSpinLock:
+    def test_acquire_release(self):
+        lock = SpinLock()
+        clock = Clock()
+        lock.acquire(clock, "a")
+        assert lock.locked
+        assert lock.owner == "a"
+        lock.release(clock, "a")
+        assert not lock.locked
+
+    def test_uncontended_acquire_is_fast(self):
+        lock = SpinLock()
+        clock = Clock()
+        lock.acquire(clock, "a")
+        assert clock.cycles == SPIN_FAST_CYCLES
+
+    def test_contended_try_charges_retry(self):
+        lock = SpinLock()
+        clock = Clock()
+        lock.acquire(clock, "a")
+        before = clock.cycles
+        assert not lock.try_acquire(clock, "b")
+        assert clock.cycles - before == SPIN_RETRY_CYCLES
+        assert lock.contended_acquisitions == 1
+
+    def test_release_by_non_owner_rejected(self):
+        lock = SpinLock()
+        clock = Clock()
+        lock.acquire(clock, "a")
+        with pytest.raises(RuntimeError):
+            lock.release(clock, "b")
+
+    def test_release_unheld_rejected(self):
+        lock = SpinLock()
+        with pytest.raises(RuntimeError):
+            lock.release(Clock(), "a")
+
+    def test_reacquire_after_release(self):
+        lock = SpinLock()
+        clock = Clock()
+        lock.acquire(clock, "a")
+        lock.release(clock, "a")
+        lock.acquire(clock, "b")
+        assert lock.owner == "b"
+        assert lock.acquisitions == 2
+
+    def test_starvation_bound(self):
+        lock = SpinLock()
+        clock = Clock()
+        lock.acquire(clock, "a")
+        with pytest.raises(RuntimeError):
+            lock.acquire(clock, "b", max_spins=100)
+
+
+class TestSgxStats:
+    def test_merged_with(self):
+        from repro.sgx.driver import SgxStats
+
+        a = SgxStats(ecalls=2, epc_faults=5)
+        a.charge("ecall", 100)
+        b = SgxStats(ecalls=3, ocalls=1)
+        b.charge("ecall", 50)
+        b.charge("ocall", 25)
+        merged = a.merged_with(b)
+        assert merged.ecalls == 5
+        assert merged.ocalls == 1
+        assert merged.epc_faults == 5
+        assert merged.cycles_by_event == {"ecall": 150, "ocall": 25}
+        # originals untouched
+        assert a.ecalls == 2 and b.ecalls == 3
+
+    def test_total_overhead_cycles(self):
+        from repro.sgx.driver import SgxStats
+
+        stats = SgxStats()
+        stats.charge("ecall", 10)
+        stats.charge("epc_fault", 20)
+        assert stats.total_overhead_cycles() == 30
+
+    def test_reset(self):
+        from repro.sgx.driver import SgxStats
+
+        stats = SgxStats(ecalls=9)
+        stats.charge("ecall", 10)
+        stats.reset()
+        assert stats.ecalls == 0
+        assert stats.total_overhead_cycles() == 0

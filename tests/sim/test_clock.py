@@ -1,0 +1,91 @@
+"""Tests for the virtual cycle clock."""
+
+import pytest
+
+from repro.sim.clock import (
+    CPU_FREQ_HZ,
+    Clock,
+    cycles_to_micros,
+    micros_to_cycles,
+    seconds_to_cycles,
+)
+
+
+class TestClockBasics:
+    def test_starts_at_zero(self):
+        assert Clock().cycles == 0
+
+    def test_starts_at_given_offset(self):
+        assert Clock(500).cycles == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(-1)
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.cycles == 350
+
+    def test_advance_returns_new_time(self):
+        clock = Clock(10)
+        assert clock.advance(5) == 15
+
+    def test_negative_advance_rejected(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_zero_advance_is_noop(self):
+        clock = Clock(42)
+        clock.advance(0)
+        assert clock.cycles == 42
+
+
+class TestClockConversions:
+    def test_seconds_at_paper_frequency(self):
+        clock = Clock(CPU_FREQ_HZ)
+        assert clock.seconds == pytest.approx(1.0)
+
+    def test_micros(self):
+        clock = Clock(2_900)  # 1 us at 2.9 GHz
+        assert clock.micros == pytest.approx(1.0)
+
+    def test_advance_seconds(self):
+        clock = Clock()
+        clock.advance_seconds(2.0)
+        assert clock.cycles == 2 * CPU_FREQ_HZ
+
+    def test_advance_seconds_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance_seconds(-0.1)
+
+    def test_cycles_to_micros_roundtrip(self):
+        assert micros_to_cycles(cycles_to_micros(123_456)) == 123_456
+
+    def test_seconds_to_cycles(self):
+        assert seconds_to_cycles(3.5) == round(3.5 * CPU_FREQ_HZ)
+
+    def test_negative_conversions_rejected(self):
+        with pytest.raises(ValueError):
+            micros_to_cycles(-1.0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(-1.0)
+
+
+class TestAdvanceTo:
+    def test_moves_forward(self):
+        clock = Clock(10)
+        clock.advance_to(100)
+        assert clock.cycles == 100
+
+    def test_same_time_is_noop(self):
+        clock = Clock(10)
+        clock.advance_to(10)
+        assert clock.cycles == 10
+
+    def test_backwards_rejected(self):
+        clock = Clock(10)
+        with pytest.raises(ValueError):
+            clock.advance_to(9)

@@ -1,0 +1,197 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventScheduler
+
+
+class TestBasicScheduling:
+    def test_single_process_runs_to_completion(self):
+        sched = EventScheduler()
+
+        def proc():
+            yield 100
+            return "done"
+
+        handle = sched.spawn(proc(), "p")
+        sched.run()
+        assert handle.done
+        assert handle.result == "done"
+        assert sched.clock.cycles == 100
+
+    def test_processes_interleave_by_time(self):
+        sched = EventScheduler()
+        order = []
+
+        def proc(name, delay):
+            yield delay
+            order.append((name, sched.clock.cycles))
+
+        sched.spawn(proc("slow", 200), "slow")
+        sched.spawn(proc("fast", 50), "fast")
+        sched.run()
+        assert order == [("fast", 50), ("slow", 200)]
+
+    def test_multiple_sleeps_accumulate(self):
+        sched = EventScheduler()
+
+        def proc():
+            yield 10
+            yield 20
+            yield 30
+            return sched.clock.cycles
+
+        handle = sched.spawn(proc(), "p")
+        sched.run()
+        assert handle.result == 60
+
+    def test_zero_sleep_resumes_immediately(self):
+        sched = EventScheduler()
+
+        def proc():
+            yield 0
+            return sched.clock.cycles
+
+        handle = sched.spawn(proc(), "p")
+        sched.run()
+        assert handle.result == 0
+
+    def test_negative_sleep_rejected(self):
+        sched = EventScheduler()
+
+        def proc():
+            yield -5
+
+        sched.spawn(proc(), "p")
+        with pytest.raises(ValueError):
+            sched.run()
+
+    def test_bad_yield_type_rejected(self):
+        sched = EventScheduler()
+
+        def proc():
+            yield "nonsense"
+
+        sched.spawn(proc(), "p")
+        with pytest.raises(TypeError):
+            sched.run()
+
+
+class TestEvents:
+    def test_waiter_resumes_on_fire(self):
+        sched = EventScheduler()
+        gate = Event("gate")
+        log = []
+
+        def waiter():
+            yield gate
+            log.append(("woke", sched.clock.cycles))
+
+        def firer():
+            yield 500
+            gate.fire(sched, "value")
+
+        sched.spawn(waiter(), "w")
+        sched.spawn(firer(), "f")
+        sched.run()
+        assert log == [("woke", 500)]
+        assert gate.value == "value"
+
+    def test_waiting_on_fired_event_is_instant(self):
+        sched = EventScheduler()
+        gate = Event("gate")
+        gate.fire(sched)
+
+        def waiter():
+            yield gate
+            return sched.clock.cycles
+
+        handle = sched.spawn(waiter(), "w")
+        sched.run()
+        assert handle.result == 0
+
+    def test_multiple_waiters_all_wake(self):
+        sched = EventScheduler()
+        gate = Event("gate")
+        woke = []
+
+        def waiter(name):
+            yield gate
+            woke.append(name)
+
+        def firer():
+            yield 10
+            gate.fire(sched)
+
+        for name in ("a", "b", "c"):
+            sched.spawn(waiter(name), name)
+        sched.spawn(firer(), "f")
+        sched.run()
+        assert sorted(woke) == ["a", "b", "c"]
+
+    def test_double_fire_is_idempotent(self):
+        sched = EventScheduler()
+        gate = Event("gate")
+        gate.fire(sched, 1)
+        gate.fire(sched, 2)
+        assert gate.value == 1
+
+    def test_completion_event(self):
+        sched = EventScheduler()
+
+        def worker():
+            yield 50
+            return 42
+
+        def waiter(handle):
+            yield handle.completed
+            return handle.result
+
+        worker_handle = sched.spawn(worker(), "worker")
+        waiter_handle = sched.spawn(waiter(worker_handle), "waiter")
+        sched.run()
+        assert waiter_handle.result == 42
+
+
+class TestRunUntil:
+    def test_run_until_stops_early(self):
+        sched = EventScheduler()
+        log = []
+
+        def proc():
+            yield 100
+            log.append("first")
+            yield 100
+            log.append("second")
+
+        sched.spawn(proc(), "p")
+        sched.run(until_cycles=150)
+        assert log == ["first"]
+        assert sched.clock.cycles == 150
+
+    def test_run_until_then_resume(self):
+        sched = EventScheduler()
+        log = []
+
+        def proc():
+            yield 100
+            log.append("first")
+            yield 100
+            log.append("second")
+
+        sched.spawn(proc(), "p")
+        sched.run(until_cycles=150)
+        sched.run()
+        assert log == ["first", "second"]
+
+    def test_shared_clock(self):
+        clock = Clock(1_000)
+        sched = EventScheduler(clock)
+
+        def proc():
+            yield 50
+
+        sched.spawn(proc(), "p")
+        sched.run()
+        assert clock.cycles == 1_050

@@ -1,0 +1,92 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(8)
+        assert [a.random() for _ in range(20)] != [b.random() for _ in range(20)]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork("child")
+        b = DeterministicRng(7).fork("child")
+        assert a.key64() == b.key64()
+
+    def test_fork_labels_are_independent(self):
+        parent = DeterministicRng(7)
+        a = parent.fork("a")
+        b = parent.fork("b")
+        assert a.key64() != b.key64()
+
+    def test_fork_does_not_perturb_parent(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        a.fork("whatever")
+        assert a.random() == b.random()
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(1)
+        draws = [rng.randint(3, 9) for _ in range(200)]
+        assert all(3 <= d <= 9 for d in draws)
+        assert {3, 9} <= set(draws)  # endpoints reachable
+
+    def test_random_bytes_length(self):
+        rng = DeterministicRng(1)
+        assert len(rng.random_bytes(16)) == 16
+        assert rng.random_bytes(0) == b""
+
+    def test_key64_fits_in_64_bits(self):
+        rng = DeterministicRng(1)
+        for _ in range(100):
+            assert 0 <= rng.key64() < (1 << 64)
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(1)
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+
+    def test_bernoulli_out_of_range(self):
+        rng = DeterministicRng(1)
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+        with pytest.raises(ValueError):
+            rng.bernoulli(-0.1)
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(1)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        sampled = rng.sample(items, 2)
+        assert len(sampled) == 2
+        assert len(set(sampled)) == 2
+
+    def test_shuffle_permutes_in_place(self):
+        rng = DeterministicRng(1)
+        items = list(range(50))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(50))
+
+
+class TestBernoulliStatistics:
+    def test_bernoulli_rate_approximates_p(self):
+        rng = DeterministicRng(99)
+        hits = sum(rng.bernoulli(0.3) for _ in range(20_000))
+        assert 0.28 < hits / 20_000 < 0.32
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=64))
+def test_random_bytes_always_correct_length(seed, n):
+    rng = DeterministicRng(seed)
+    assert len(rng.random_bytes(n)) == n

@@ -1,0 +1,281 @@
+"""Tests for the virtual CPU: execution, placement, hooks, paging."""
+
+import pytest
+
+from repro.sgx import SgxMachine
+from repro.sim.clock import Clock
+from repro.vcpu.machine import ExecutionDenied, Placement, VcpuError, VirtualCpu
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import Tracer
+
+
+def simple_program():
+    """main -> helper (x3) -> leaf; one branch in main."""
+    program = Program("simple", entry="main")
+    program.add_region("data", 1 << 20)
+
+    @program.function("leaf", code_bytes=100, module="work",
+                      regions=(("data", 64),))
+    def leaf(cpu, x):
+        cpu.compute(10, region=("data", 32))
+        return x * 2
+
+    @program.function("helper", code_bytes=200, module="work")
+    def helper(cpu, x):
+        cpu.compute(5)
+        return cpu.call("leaf", x) + 1
+
+    @program.function("main", code_bytes=300, module="driver")
+    def main(cpu, flag):
+        total = 0
+        for i in range(3):
+            total += cpu.call("helper", i)
+        if cpu.branch("check", flag):
+            return total
+        return -1
+
+    return program
+
+
+class TestExecution:
+    def test_runs_and_returns(self):
+        cpu = VirtualCpu(simple_program(), Clock())
+        assert cpu.run(True) == (0 * 2 + 1) + (1 * 2 + 1) + (2 * 2 + 1)
+
+    def test_branch_false_path(self):
+        cpu = VirtualCpu(simple_program(), Clock())
+        assert cpu.run(False) == -1
+
+    def test_compute_charges_cycles(self):
+        clock = Clock()
+        cpu = VirtualCpu(simple_program(), clock)
+        cpu.run(True)
+        # 3 helpers x (5 + 10 leaf) = 45 instructions at CPI 1.0.
+        assert clock.cycles == 45
+
+    def test_cpi_scales_cost(self):
+        clock = Clock()
+        cpu = VirtualCpu(simple_program(), clock, cpi=2.0)
+        cpu.run(True)
+        assert clock.cycles == 90
+
+    def test_undefined_call_rejected(self):
+        program = Program("broken", entry="main")
+
+        @program.function("main", code_bytes=10, module="m")
+        def main(cpu):
+            return cpu.call("ghost")
+
+        with pytest.raises(VcpuError):
+            VirtualCpu(program, Clock()).run()
+
+    def test_missing_entry_rejected(self):
+        program = Program("no-entry", entry="main")
+        with pytest.raises(ValueError):
+            VirtualCpu(program, Clock())
+
+    def test_negative_compute_rejected(self):
+        program = Program("neg", entry="main")
+
+        @program.function("main", code_bytes=10, module="m")
+        def main(cpu):
+            cpu.compute(-5)
+
+        with pytest.raises(VcpuError):
+            VirtualCpu(program, Clock()).run()
+
+    def test_compute_on_undefined_region_rejected(self):
+        program = Program("region", entry="main")
+
+        @program.function("main", code_bytes=10, module="m")
+        def main(cpu):
+            cpu.compute(5, region=("ghost", 100))
+
+        with pytest.raises(VcpuError):
+            VirtualCpu(program, Clock()).run()
+
+    def test_current_function_tracking(self):
+        program = Program("track", entry="main")
+        seen = []
+
+        @program.function("inner", code_bytes=10, module="m")
+        def inner(cpu):
+            seen.append(cpu.current_function)
+
+        @program.function("main", code_bytes=10, module="m")
+        def main(cpu):
+            seen.append(cpu.current_function)
+            cpu.call("inner")
+            seen.append(cpu.current_function)
+
+        VirtualCpu(program, Clock()).run()
+        assert seen == ["main", "inner", "main"]
+
+
+class TestPlacement:
+    def make_partitioned(self, machine):
+        program = simple_program()
+        enclave = machine.create_enclave("app")
+        placement = {
+            "leaf": Placement.TRUSTED,
+            "helper": Placement.TRUSTED,
+        }
+        cpu = VirtualCpu(program, machine.clock, placement=placement,
+                         enclave=enclave)
+        return program, cpu, enclave
+
+    def test_boundary_calls_charged(self, ):
+        machine = SgxMachine("m")
+        _, cpu, _ = self.make_partitioned(machine)
+        cpu.run(True)
+        # main (untrusted) -> helper (trusted): 3 ECALLs + 3 returns.
+        assert machine.stats.ecalls == 3
+        assert machine.stats.ocalls == 3  # the return transitions
+
+    def test_same_side_calls_free(self):
+        machine = SgxMachine("m")
+        _, cpu, _ = self.make_partitioned(machine)
+        cpu.run(True)
+        # helper -> leaf is trusted->trusted; only 3 ecall/ocall pairs.
+        assert machine.stats.ecalls + machine.stats.ocalls == 6
+
+    def test_trusted_requires_enclave(self):
+        program = simple_program()
+        with pytest.raises(VcpuError):
+            VirtualCpu(program, Clock(),
+                       placement={"leaf": Placement.TRUSTED})
+
+    def test_trusted_region_detection(self):
+        machine = SgxMachine("m")
+        program, cpu, _ = self.make_partitioned(machine)
+        # "data" is accessed only by leaf (trusted) -> enclosed.
+        assert cpu.trusted_regions == {"data"}
+
+    def test_shared_region_stays_untrusted(self):
+        machine = SgxMachine("m")
+        program = simple_program()
+
+        # Add an untrusted accessor of "data".
+        @program.function("reader", code_bytes=50, module="io",
+                          regions=(("data", 32),))
+        def reader(cpu):
+            cpu.compute(1, region=("data", 32))
+
+        enclave = machine.create_enclave("app")
+        cpu = VirtualCpu(program, machine.clock,
+                         placement={"leaf": Placement.TRUSTED},
+                         enclave=enclave)
+        assert cpu.trusted_regions == set()
+
+    def test_trusted_cpi_multiplier_applied(self):
+        machine = SgxMachine("m")
+        program, cpu, enclave = self.make_partitioned(machine)
+        tracer = Tracer(program)
+        cpu.add_observer(tracer)
+        cpu.run(True)
+        profile = tracer.profile()
+        assert profile.total_instructions == 45  # instructions unaffected
+
+
+class TestLeaseGating:
+    def guarded_program(self):
+        program = Program("guarded", entry="main")
+
+        @program.function("secret", code_bytes=100, module="core",
+                          is_key=True, guarded_by="lic-1")
+        def secret(cpu):
+            cpu.compute(10)
+            return "secret-result"
+
+        @program.function("main", code_bytes=100, module="driver")
+        def main(cpu):
+            return cpu.call("secret")
+
+        return program
+
+    def test_trusted_key_function_demands_lease(self):
+        machine = SgxMachine("m")
+        program = self.guarded_program()
+        cpu = VirtualCpu(program, machine.clock,
+                         placement={"secret": Placement.TRUSTED},
+                         enclave=machine.create_enclave("app"),
+                         lease_checker=lambda lic: False)
+        with pytest.raises(ExecutionDenied):
+            cpu.run()
+
+    def test_trusted_key_function_runs_with_lease(self):
+        machine = SgxMachine("m")
+        program = self.guarded_program()
+        checked = []
+        cpu = VirtualCpu(program, machine.clock,
+                         placement={"secret": Placement.TRUSTED},
+                         enclave=machine.create_enclave("app"),
+                         lease_checker=lambda lic: checked.append(lic) or True)
+        assert cpu.run() == "secret-result"
+        assert checked == ["lic-1"]
+
+    def test_no_checker_wired_denies(self):
+        machine = SgxMachine("m")
+        program = self.guarded_program()
+        cpu = VirtualCpu(program, machine.clock,
+                         placement={"secret": Placement.TRUSTED},
+                         enclave=machine.create_enclave("app"))
+        with pytest.raises(ExecutionDenied):
+            cpu.run()
+
+    def test_untrusted_key_function_not_gated(self):
+        """Unpartitioned: the guard is only a software check (bendable)."""
+        program = self.guarded_program()
+        cpu = VirtualCpu(program, Clock())
+        assert cpu.run() == "secret-result"
+
+
+class TestHooks:
+    def test_branch_hook_flips_untrusted_branch(self):
+        program = simple_program()
+        cpu = VirtualCpu(program, Clock())
+        cpu.add_branch_hook(lambda fn, label, outcome: True)
+        assert cpu.run(False) != -1  # flipped to the True path
+
+    def test_branch_hook_ignored_for_trusted_code(self):
+        machine = SgxMachine("m")
+        program = Program("trusted-branch", entry="main")
+
+        @program.function("decide", code_bytes=50, module="core")
+        def decide(cpu, flag):
+            return cpu.branch("inner", flag)
+
+        @program.function("main", code_bytes=50, module="driver")
+        def main(cpu, flag):
+            return cpu.call("decide", flag)
+
+        cpu = VirtualCpu(program, machine.clock,
+                         placement={"decide": Placement.TRUSTED},
+                         enclave=machine.create_enclave("app"))
+        cpu.add_branch_hook(lambda fn, label, outcome: True)
+        assert cpu.run(False) is False  # hook couldn't touch it
+
+    def test_call_hook_intercepts_untrusted_call(self):
+        program = simple_program()
+        cpu = VirtualCpu(program, Clock())
+        cpu.add_call_hook(
+            lambda caller, callee: (True, 99) if callee == "helper" else (False, None)
+        )
+        assert cpu.run(True) == 297  # three forged 99s
+
+    def test_call_hook_cannot_intercept_trusted_call_site(self):
+        machine = SgxMachine("m")
+        program = simple_program()
+        cpu = VirtualCpu(
+            program, machine.clock,
+            placement={"helper": Placement.TRUSTED, "leaf": Placement.TRUSTED},
+            enclave=machine.create_enclave("app"),
+        )
+        # helper (trusted) -> leaf: hook must NOT fire for that call site.
+        intercepted = []
+        def hook(caller, callee):
+            intercepted.append((caller, callee))
+            return (False, None)
+        cpu.add_call_hook(hook)
+        cpu.run(True)
+        assert all(caller != "helper" for caller, _ in intercepted)

@@ -1,0 +1,79 @@
+"""Validation tests for the program model's construction-time checks."""
+
+import pytest
+
+from repro.vcpu.program import DataRegion, FunctionSpec, Program
+
+
+def noop(cpu):
+    return None
+
+
+class TestDataRegion:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            DataRegion("empty", 0)
+        with pytest.raises(ValueError):
+            DataRegion("negative", -1)
+
+    def test_pattern_validated(self):
+        with pytest.raises(ValueError):
+            DataRegion("bad", 100, pattern="zigzag")
+        assert DataRegion("ok", 100, pattern="random").pattern == "random"
+
+    def test_default_pattern_is_stream(self):
+        assert DataRegion("ok", 100).pattern == "stream"
+
+
+class TestFunctionSpec:
+    def test_positive_code_size_required(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", body=noop, code_bytes=0, module="m")
+
+    def test_touched_bytes_sums_regions(self):
+        spec = FunctionSpec(
+            name="f", body=noop, code_bytes=10, module="m",
+            regions=(("a", 100), ("b", 200)),
+        )
+        assert spec.touched_bytes == 300
+
+
+class TestProgramConstruction:
+    def test_duplicate_region_rejected(self):
+        program = Program("p")
+        program.add_region("r", 100)
+        with pytest.raises(ValueError):
+            program.add_region("r", 200)
+
+    def test_duplicate_function_rejected(self):
+        program = Program("p")
+        program.function("f", code_bytes=10, module="m")(noop)
+        with pytest.raises(ValueError):
+            program.function("f", code_bytes=10, module="m")(noop)
+
+    def test_undefined_region_reference_rejected(self):
+        program = Program("p")
+        with pytest.raises(ValueError):
+            program.function("f", code_bytes=10, module="m",
+                             regions=(("ghost", 64),))(noop)
+
+    def test_validate_requires_entry(self):
+        program = Program("p", entry="main")
+        program.function("other", code_bytes=10, module="m")(noop)
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_queries(self):
+        program = Program("p", entry="main")
+        program.add_region("r", 100)
+        program.function("main", code_bytes=10, module="driver")(noop)
+        program.function("auth", code_bytes=10, module="auth",
+                         is_auth=True, sensitive=True)(noop)
+        program.function("key", code_bytes=10, module="core",
+                         is_key=True, guarded_by="lic",
+                         regions=(("r", 50),))(noop)
+        assert program.auth_functions() == ["auth"]
+        assert program.key_functions() == ["key"]
+        assert program.sensitive_functions() == ["auth"]
+        assert program.modules() == ["auth", "core", "driver"]
+        assert program.total_code_bytes == 30

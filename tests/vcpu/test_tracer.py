@@ -1,0 +1,130 @@
+"""Tests for trace recording and call profiles."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.vcpu.machine import VirtualCpu
+from repro.vcpu.program import Program
+from repro.vcpu.tracer import CallProfile, Tracer
+
+
+def traced_run(program, *args):
+    cpu = VirtualCpu(program, Clock())
+    tracer = Tracer(program)
+    cpu.add_observer(tracer)
+    result = cpu.run(*args)
+    return result, tracer.profile()
+
+
+def fan_program():
+    program = Program("fan", entry="main")
+
+    @program.function("a", code_bytes=10, module="m")
+    def a(cpu):
+        cpu.compute(100)
+
+    @program.function("b", code_bytes=10, module="m")
+    def b(cpu):
+        cpu.compute(50)
+        cpu.call("a")
+
+    @program.function("main", code_bytes=10, module="driver")
+    def main(cpu):
+        cpu.compute(7)
+        for _ in range(3):
+            cpu.call("a")
+        for _ in range(2):
+            cpu.call("b")
+        cpu.branch("done", True)
+
+    return program
+
+
+class TestProfileCounts:
+    def test_edge_counts(self):
+        _, profile = traced_run(fan_program())
+        assert profile.edge_counts[("main", "a")] == 3
+        assert profile.edge_counts[("main", "b")] == 2
+        assert profile.edge_counts[("b", "a")] == 2
+        assert profile.edge_counts[(None, "main")] == 1
+
+    def test_call_counts(self):
+        _, profile = traced_run(fan_program())
+        assert profile.call_counts["a"] == 5
+        assert profile.call_counts["b"] == 2
+        assert profile.call_counts["main"] == 1
+
+    def test_instruction_counts(self):
+        _, profile = traced_run(fan_program())
+        assert profile.instruction_counts["a"] == 500
+        assert profile.instruction_counts["b"] == 100
+        assert profile.instruction_counts["main"] == 7
+        assert profile.total_instructions == 607
+
+    def test_branch_counts(self):
+        _, profile = traced_run(fan_program())
+        assert profile.branch_counts[("main", "done", True)] == 1
+
+    def test_out_degree_and_outgoing(self):
+        _, profile = traced_run(fan_program())
+        assert profile.out_degree("main") == 2
+        assert profile.outgoing_calls("main") == 5
+        assert profile.out_degree("b") == 1
+        assert profile.outgoing_calls("b") == 2
+
+
+class TestCoverageMetrics:
+    def test_dynamic_coverage(self):
+        _, profile = traced_run(fan_program())
+        assert profile.dynamic_coverage_of({"a"}) == pytest.approx(500 / 607)
+        assert profile.dynamic_coverage_of({"a", "b", "main"}) == pytest.approx(1.0)
+        assert profile.dynamic_coverage_of(set()) == 0.0
+
+    def test_cross_partition_calls(self):
+        _, profile = traced_run(fan_program())
+        ecalls, ocalls = profile.cross_partition_calls({"a"})
+        # main->a (3) and b->a (2) enter; nothing leaves a.
+        assert ecalls == 5
+        assert ocalls == 0
+        ecalls, ocalls = profile.cross_partition_calls({"b"})
+        # main->b enters (2); b->a leaves (2).
+        assert ecalls == 2
+        assert ocalls == 2
+
+    def test_entry_edge_is_not_an_ecall_when_untrusted(self):
+        _, profile = traced_run(fan_program())
+        ecalls, _ = profile.cross_partition_calls({"main"})
+        assert ecalls == 1  # the None->main entry counts as entering
+
+
+class TestMergedProfiles:
+    def test_merge_adds_counts(self):
+        _, p1 = traced_run(fan_program())
+        _, p2 = traced_run(fan_program())
+        merged = p1.merged_with(p2)
+        assert merged.call_counts["a"] == 10
+        assert merged.total_instructions == 2 * 607
+
+    def test_merge_keeps_originals(self):
+        _, p1 = traced_run(fan_program())
+        _, p2 = traced_run(fan_program())
+        p1.merged_with(p2)
+        assert p1.call_counts["a"] == 5
+
+
+class TestSkippedCalls:
+    def test_skipped_calls_removed_from_profile(self):
+        program = fan_program()
+        cpu = VirtualCpu(program, Clock())
+        tracer = Tracer(program)
+        cpu.add_observer(tracer)
+        cpu.add_call_hook(
+            lambda caller, callee: (True, None) if callee == "b" else (False, None)
+        )
+        cpu.run()
+        profile = tracer.profile()
+        assert "b" not in profile.call_counts
+        assert ("main", "b") not in profile.edge_counts
+        assert tracer.skipped_calls[("main", "b")] == 2
+        # a is only reached via main now (b never ran).
+        assert profile.call_counts["a"] == 3

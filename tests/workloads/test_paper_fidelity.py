@@ -1,0 +1,98 @@
+"""Paper-fidelity tests: the workloads encode Table 4/5's parameters.
+
+The reproduction's workloads carry the paper's memory footprints in
+their declared data regions and the paper's migrated-function names in
+their annotations.  These tests pin that correspondence so future edits
+cannot silently drift from the paper.
+"""
+
+import pytest
+
+from repro.workloads import all_workloads, get_workload
+
+MB = 1024 * 1024
+
+#: Table 5's Glamdring memory column (the dominant region per workload).
+PAPER_PRIMARY_REGIONS = {
+    "bfs": ("graph", 200 * MB),
+    "btree": ("tree", 280 * MB),
+    "hashjoin": ("hash_table", 130 * MB),
+    "openssl": ("file_buf", 310 * MB),
+    "pagerank": ("graph", 1_360 * MB),
+    "blockchain": ("chain", 4 * MB),
+    "svm": ("model", 85 * MB),
+    "keyvalue": ("store", 162 * MB),
+    "jsonparser": ("input_stream", 34 * MB),
+    "matmul": ("workspace", 81 * MB),
+}
+
+#: Table 5's "Functions Migrated" column.
+PAPER_MIGRATED = {
+    "bfs": {"update"},
+    "btree": {"find", "leaf", "create"},
+    "hashjoin": {"probe"},
+    "openssl": {"decrypt"},
+    "pagerank": {"map", "reduce", "set_rank"},
+    "blockchain": {"insert", "hash"},
+    "svm": {"predict"},
+    "mapreduce": {"tokenize", "word_count"},
+    "keyvalue": {"set"},
+    "jsonparser": {"parse"},
+    "matmul": {"multiply"},
+}
+
+#: Table 4's FaaS rows (high-frequency license checks).
+PAPER_FAAS = {"mapreduce", "keyvalue", "jsonparser", "matmul"}
+
+
+class TestRegionFidelity:
+    @pytest.mark.parametrize("name", sorted(PAPER_PRIMARY_REGIONS))
+    def test_primary_region_matches_paper(self, name):
+        region_name, size = PAPER_PRIMARY_REGIONS[name]
+        program = get_workload(name).build_program(scale=0.05)
+        assert region_name in program.data_regions, name
+        assert program.data_regions[region_name].size_bytes == size
+
+    def test_region_sizes_independent_of_scale(self):
+        """Declared footprints are paper-scale whatever the input scale."""
+        small = get_workload("bfs").build_program(scale=0.05)
+        large = get_workload("bfs").build_program(scale=0.5)
+        assert (small.data_regions["graph"].size_bytes
+                == large.data_regions["graph"].size_bytes)
+
+
+class TestMigrationFidelity:
+    @pytest.mark.parametrize("name", sorted(PAPER_MIGRATED))
+    def test_key_function_names_match_table5(self, name):
+        workload = get_workload(name)
+        assert set(workload.key_function_names) == PAPER_MIGRATED[name]
+
+    @pytest.mark.parametrize("name", sorted(PAPER_MIGRATED))
+    def test_annotations_agree_with_class_attribute(self, name):
+        workload = get_workload(name)
+        program = workload.build_program(scale=0.05)
+        assert set(program.key_functions()) == set(workload.key_function_names)
+
+
+class TestBillingFidelity:
+    def test_faas_set_matches_table4(self):
+        for name, workload in all_workloads().items():
+            assert workload.per_call_billing == (name in PAPER_FAAS), name
+
+    def test_faas_workloads_make_many_checks(self):
+        """Table 4: 10 K-500 K checks per run (scaled down here, but the
+        FaaS/non-FaaS gap must be orders of magnitude)."""
+        faas_checks = []
+        classic_checks = []
+        for name, workload in all_workloads().items():
+            run = workload.run_profiled(scale=0.1)
+            key_calls = sum(
+                run.profile.call_counts.get(fn, 0)
+                for fn in workload.key_function_names
+            )
+            if workload.per_call_billing:
+                faas_checks.append(key_calls)
+            else:
+                classic_checks.append(1)  # per-run billing: one check
+        assert min(faas_checks) > 5
+        assert max(faas_checks) > 100

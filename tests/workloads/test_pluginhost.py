@@ -1,0 +1,136 @@
+"""Tests for the plugin-host extension workload: per-add-on licensing."""
+
+import pytest
+
+from repro.deployment import SecureLeaseDeployment
+from repro.partition import SecureLeasePartitioner
+from repro.workloads.pluginhost import (
+    PLUGIN_LICENSES,
+    SPELL_LICENSE,
+    SUMMARIZE_LICENSE,
+    TRANSLATE_LICENSE,
+    PluginHostWorkload,
+)
+
+SCALE = 0.2
+
+
+@pytest.fixture
+def run():
+    return PluginHostWorkload().run_profiled(scale=SCALE)
+
+
+class TestStructure:
+    def test_three_distinct_licenses(self, run):
+        guards = {
+            spec.guarded_by
+            for spec in run.program.functions.values()
+            if spec.guarded_by
+        }
+        assert guards == set(PLUGIN_LICENSES)
+
+    def test_all_plugins_execute(self, run):
+        assert run.result["status"] == "OK"
+        assert run.result["misspelled"] > 0
+        assert run.result["translated"] > 0
+        assert run.result["summaries"] == run.result["documents"]
+
+    def test_partitioner_migrates_every_plugin(self, run):
+        partition = SecureLeasePartitioner().partition(
+            run.program, run.graph, run.profile
+        )
+        for key_fn in ("spell_check", "translate_word", "summarize"):
+            assert key_fn in partition.trusted
+
+    def test_disabled_plugins_not_invoked(self):
+        workload = PluginHostWorkload()
+        program = workload.build_program(scale=SCALE, enabled=("spellcheck",))
+        from repro.sim.clock import Clock
+        from repro.vcpu.machine import VirtualCpu
+        from repro.vcpu.tracer import Tracer
+
+        cpu = VirtualCpu(program, Clock())
+        tracer = Tracer(program)
+        cpu.add_observer(tracer)
+        result = cpu.run(workload.valid_license_blob())
+        assert "misspelled" in result and "translated" not in result
+        assert "translate_word" not in tracer.profile().call_counts
+
+
+class TestPerPluginLicensing:
+    def make_deployment(self, licenses):
+        deployment = SecureLeaseDeployment(seed=71, tokens_per_attestation=10)
+        blobs = {}
+        for license_id in PLUGIN_LICENSES:
+            blobs[license_id] = deployment.issue_license(license_id, 10**6)
+        manager = deployment.manager_for("pluginhost")
+        for license_id in licenses:
+            manager.load_license(license_id, blobs[license_id])
+        return deployment, manager
+
+    def run_partitioned(self, deployment, enabled):
+        workload = PluginHostWorkload()
+        profiled = workload.run_profiled(scale=SCALE)
+        partition = SecureLeasePartitioner().partition(
+            profiled.program, profiled.graph, profiled.profile
+        )
+        program = workload.build_program(scale=SCALE, enabled=enabled)
+        manager = deployment.manager_for("pluginhost")
+        from repro.vcpu.machine import ExecutionDenied, VirtualCpu
+
+        enclave = deployment.machine.create_enclave("pluginhost")
+        cpu = VirtualCpu(
+            program, deployment.machine.clock,
+            placement=partition.placement(program),
+            enclave=enclave,
+            lease_checker=manager.check,
+        )
+        try:
+            return cpu.run(workload.valid_license_blob())
+        except ExecutionDenied as denial:
+            return {"status": "DENIED", "reason": str(denial)}
+        finally:
+            enclave.destroy()
+
+    def test_full_license_set_runs_everything(self):
+        deployment, _ = self.make_deployment(PLUGIN_LICENSES)
+        result = self.run_partitioned(
+            deployment, ("spellcheck", "translate", "summarize")
+        )
+        assert result["status"] == "OK"
+        assert {"misspelled", "translated", "summaries"} <= set(result)
+
+    def test_partial_license_set_gates_features(self):
+        """Holding only the spellcheck license: spellcheck works, the
+        translate add-on is refused by its own GCL."""
+        deployment, _ = self.make_deployment([SPELL_LICENSE])
+        ok = self.run_partitioned(deployment, ("spellcheck",))
+        assert ok["status"] == "OK"
+        denied = self.run_partitioned(deployment, ("spellcheck", "translate"))
+        assert denied["status"] == "DENIED"
+        assert TRANSLATE_LICENSE in denied["reason"]
+
+    def test_addon_isolation_separate_gcls(self):
+        """Each add-on draws from its own ledger — usage of one never
+        depletes another (the Section 7.5 isolation argument)."""
+        deployment, manager = self.make_deployment(PLUGIN_LICENSES)
+        self.run_partitioned(deployment, ("spellcheck", "translate",
+                                          "summarize"))
+        remote = deployment.remote
+        spell = remote.ledger(SPELL_LICENSE)
+        translate = remote.ledger(TRANSLATE_LICENSE)
+        summarize = remote.ledger(SUMMARIZE_LICENSE)
+        # Three independent ledgers, all debited, none cross-charged.
+        assert spell.available < 10**6
+        assert translate.available < 10**6
+        assert summarize.available < 10**6
+        assert spell is not translate is not summarize
+
+    def test_per_addon_check_counts(self):
+        """Pay-per-use: the spellcheck GCL is charged once per document
+        batch token, translate per word call, etc."""
+        deployment, manager = self.make_deployment(PLUGIN_LICENSES)
+        self.run_partitioned(deployment, ("spellcheck",))
+        remote = deployment.remote
+        assert remote.ledger(SPELL_LICENSE).available < 10**6
+        assert remote.ledger(TRANSLATE_LICENSE).outstanding == {}
