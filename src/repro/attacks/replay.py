@@ -131,9 +131,12 @@ class ReplayAttacker:
         anything already outstanding for this client.
         """
         # The attacker knows her own license terms; in the simulation we
-        # read them from the remote's ledger via the endpoint handler
+        # read them from the remote's ledger via the endpoint's handler
         # table (test-only introspection, not a protocol capability).
-        for handler in self.sl_local.remote._handlers.values():
+        table = getattr(self.sl_local.remote.transport, "handlers", None)
+        if table is None:
+            return 0
+        for handler in table._handlers.values():
             owner = getattr(handler, "__self__", None)
             if owner is not None and hasattr(owner, "ledger"):
                 ledger = owner.ledger(self.license_id)

@@ -7,8 +7,11 @@ Gives the repository a binary-like entry point::
     python -m repro.cli attack keyvalue         # CFB attack + defence story
     python -m repro.cli fleet --nodes 4         # multi-node lease distribution
     python -m repro.cli workloads               # list the Table 4 workloads
+    python -m repro.cli serve-remote --port 4870 --license lic-demo:100000
+                                                # run SL-Remote as a TCP server
 
-Every command is deterministic given ``--seed``.
+Every simulation command is deterministic given ``--seed``
+(``serve-remote`` talks to the real network and is not).
 """
 
 from __future__ import annotations
@@ -47,7 +50,8 @@ def cmd_workloads(_args) -> int:
 def cmd_run(args) -> int:
     workload = get_workload(args.workload, seed=args.seed)
     deployment = SecureLeaseDeployment(seed=args.seed,
-                                       tokens_per_attestation=args.tokens)
+                                       tokens_per_attestation=args.tokens,
+                                       transport=args.transport)
     blob = deployment.issue_license(workload.license_id,
                                     total_units=args.units)
     run = deployment.run_workload(workload, scale=args.scale,
@@ -121,7 +125,7 @@ def cmd_attack(args) -> int:
 
 
 def cmd_fleet(args) -> int:
-    cluster = Cluster(seed=args.seed)
+    cluster = Cluster(seed=args.seed, transport=args.transport)
     cluster.issue_license("lic-fleet", args.units)
     healths = [1.0, 0.95, 0.8, 0.6]
     for index in range(args.nodes):
@@ -146,6 +150,57 @@ def cmd_fleet(args) -> int:
           f"expected loss: {cluster.expected_loss('lic-fleet'):.0f}")
     print(f"  pool conserved: "
           f"{cluster.pool_conserved('lic-fleet', args.units)}")
+    return 0
+
+
+def _parse_license_spec(spec: str):
+    """Parse ``id:units[:kind[:tick_seconds]]`` for serve-remote."""
+    from repro.core.gcl import LeaseKind
+
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise ValueError(
+            f"license spec {spec!r} must look like id:units[:kind[:tick]]"
+        )
+    license_id, units = parts[0], int(parts[1])
+    kind = LeaseKind(parts[2]) if len(parts) > 2 else LeaseKind.COUNT
+    tick_seconds = float(parts[3]) if len(parts) > 3 else 0.0
+    return license_id, units, kind, tick_seconds
+
+
+def cmd_serve_remote(args) -> int:
+    """Run SL-Remote as a real TCP server (the vendor-side process)."""
+    from repro.core.sl_remote import SlRemote
+    from repro.net.server import LeaseServer
+    from repro.sgx import RemoteAttestationService
+
+    ras = RemoteAttestationService(
+        accept_any_platform=args.accept_any_platform
+    )
+    for secret in args.platform_secret:
+        ras.register_platform(int(secret, 0))
+    remote = SlRemote(ras)
+    for spec in args.license:
+        license_id, units, kind, tick_seconds = _parse_license_spec(spec)
+        remote.issue_license(license_id, units, kind=kind,
+                             tick_seconds=tick_seconds)
+        print(f"issued license {license_id!r}: {units:,} units "
+              f"({kind.value})", flush=True)
+
+    server = LeaseServer(remote, host=args.host, port=args.port)
+    host, port = server.start()
+    # Exact marker line: scripts and the integration test parse it to
+    # discover an ephemeral port (--port 0).
+    print(f"SL-Remote listening on {host}:{port}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+    print(f"served {server.requests_served} requests over "
+          f"{server.connections_accepted} connections "
+          f"({server.errors_returned} errors)", flush=True)
     return 0
 
 
@@ -177,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", type=float, default=0.3)
     run_parser.add_argument("--units", type=int, default=1_000_000)
     run_parser.add_argument("--tokens", type=int, default=10)
+    run_parser.add_argument("--transport", choices=("in-process", "serialized"),
+                            default="in-process",
+                            help="loopback transport between SL-Local and "
+                                 "SL-Remote")
 
     partition_parser = subparsers.add_parser(
         "partition", help="show partitioning decisions for a workload")
@@ -198,6 +257,29 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--nodes", type=int, default=4)
     fleet_parser.add_argument("--units", type=int, default=20_000)
     fleet_parser.add_argument("--checks", type=int, default=100)
+    fleet_parser.add_argument("--transport",
+                              choices=("in-process", "serialized"),
+                              default="in-process",
+                              help="loopback transport between each node "
+                                   "and SL-Remote")
+
+    serve_parser = subparsers.add_parser(
+        "serve-remote",
+        help="serve SL-Remote over TCP for out-of-process SL-Local clients")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=4870,
+                              help="TCP port (0 picks an ephemeral port, "
+                                   "printed on startup)")
+    serve_parser.add_argument("--license", action="append", default=[],
+                              metavar="ID:UNITS[:KIND[:TICK]]",
+                              help="issue a license at startup; repeatable")
+    serve_parser.add_argument("--platform-secret", action="append", default=[],
+                              metavar="INT",
+                              help="enroll a client platform secret "
+                                   "(repeatable; accepts 0x.. hex)")
+    serve_parser.add_argument("--accept-any-platform", action="store_true",
+                              help="enroll platforms on first contact "
+                                   "(demo/testing only)")
 
     return parser
 
@@ -209,6 +291,7 @@ COMMANDS = {
     "partition": cmd_partition,
     "attack": cmd_attack,
     "fleet": cmd_fleet,
+    "serve-remote": cmd_serve_remote,
 }
 
 

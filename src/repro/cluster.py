@@ -66,9 +66,15 @@ class Cluster:
 
     def __init__(self, seed: int = 0,
                  policy: Optional[RenewalPolicy] = None,
-                 costs: Optional[SgxCostModel] = None) -> None:
+                 costs: Optional[SgxCostModel] = None,
+                 transport: str = "in-process") -> None:
         self.rng = DeterministicRng(seed)
         self.costs = costs
+        #: Loopback transport backend each node talks to SL-Remote
+        #: through ("in-process" or "serialized"); results must be
+        #: identical for both — the serialized backend just proves the
+        #: tiers share no objects.
+        self.transport = transport
         self.ras = RemoteAttestationService(costs)
         self.remote = SlRemote(self.ras, policy=policy)
         self.nodes: Dict[str, ClusterNode] = {}
@@ -95,7 +101,7 @@ class Cluster:
             ),
             self.rng.fork(f"net:{spec.name}"),
         )
-        endpoint = connect_remote(self.remote, link)
+        endpoint = connect_remote(self.remote, link, transport=self.transport)
         sl_local = SlLocal(
             machine, endpoint,
             KeyGenerator(self.rng.fork(f"keys:{spec.name}")),

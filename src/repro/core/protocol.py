@@ -3,14 +3,20 @@
 Keeping the protocol explicit (rather than direct method calls) lets
 the network layer inject latency and drops, and makes the security
 tests precise about what an attacker on the untrusted path can see.
+
+Every message implements ``to_wire``/``from_wire`` — a JSON-ready field
+dict — so any transport backend (``repro.net.transport``) can serialize
+it through ``repro.net.codec`` and rebuild it on the far side of a real
+socket.  Byte fields travel as hex; nested messages nest their dicts.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
+from repro.core.tokens import ExecutionToken
 from repro.crypto.sealing import SealedBlob
 from repro.sgx.attestation import AttestationReport
 
@@ -37,12 +43,42 @@ class InitRequest:
     report: AttestationReport
     platform_secret: int  # quoted platform identity
 
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "slid": self.slid,
+            "report": self.report.to_wire(),
+            "platform_secret": self.platform_secret,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "InitRequest":
+        return cls(
+            slid=fields["slid"],
+            report=AttestationReport.from_wire(fields["report"]),
+            platform_secret=fields["platform_secret"],
+        )
+
 
 @dataclass(frozen=True)
 class InitResponse:
     status: Status
     slid: Optional[int] = None
     old_backup_key: Optional[int] = None  # OBK, None on first init
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "status": self.status.value,
+            "slid": self.slid,
+            "old_backup_key": self.old_backup_key,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "InitResponse":
+        return cls(
+            status=Status(fields["status"]),
+            slid=fields["slid"],
+            old_backup_key=fields["old_backup_key"],
+        )
 
 
 @dataclass(frozen=True)
@@ -56,6 +92,27 @@ class RenewRequest:
     health: float
     weight: float = 1.0
 
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "slid": self.slid,
+            "license_id": self.license_id,
+            "license_blob": self.license_blob.hex(),
+            "network_reliability": self.network_reliability,
+            "health": self.health,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "RenewRequest":
+        return cls(
+            slid=fields["slid"],
+            license_id=fields["license_id"],
+            license_blob=bytes.fromhex(fields["license_blob"]),
+            network_reliability=fields["network_reliability"],
+            health=fields["health"],
+            weight=fields["weight"],
+        )
+
 
 @dataclass(frozen=True)
 class RenewResponse:
@@ -64,6 +121,23 @@ class RenewResponse:
     lease_kind: str = "count"
     tick_seconds: float = 0.0
 
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "status": self.status.value,
+            "granted_units": self.granted_units,
+            "lease_kind": self.lease_kind,
+            "tick_seconds": self.tick_seconds,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "RenewResponse":
+        return cls(
+            status=Status(fields["status"]),
+            granted_units=fields["granted_units"],
+            lease_kind=fields["lease_kind"],
+            tick_seconds=fields["tick_seconds"],
+        )
+
 
 @dataclass(frozen=True)
 class ShutdownNotice:
@@ -71,6 +145,13 @@ class ShutdownNotice:
 
     slid: int
     root_key: int
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"slid": self.slid, "root_key": self.root_key}
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "ShutdownNotice":
+        return cls(slid=fields["slid"], root_key=fields["root_key"])
 
 
 # ----------------------------------------------------------------------
@@ -85,8 +166,39 @@ class AttestRequest:
     license_blob: bytes
     tokens_requested: int = 1
 
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "report": self.report.to_wire(),
+            "license_id": self.license_id,
+            "license_blob": self.license_blob.hex(),
+            "tokens_requested": self.tokens_requested,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "AttestRequest":
+        return cls(
+            report=AttestationReport.from_wire(fields["report"]),
+            license_id=fields["license_id"],
+            license_blob=bytes.fromhex(fields["license_blob"]),
+            tokens_requested=fields["tokens_requested"],
+        )
+
 
 @dataclass(frozen=True)
 class AttestResponse:
     status: Status
     token: Optional[object] = None  # ExecutionToken on success
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "status": self.status.value,
+            "token": self.token.to_wire() if self.token is not None else None,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "AttestResponse":
+        token = fields["token"]
+        return cls(
+            status=Status(fields["status"]),
+            token=ExecutionToken.from_wire(token) if token is not None else None,
+        )

@@ -12,7 +12,7 @@ everything outstanding (the anti-replay rule).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.gcl import Gcl, LeaseKind
 from repro.core.lease_tree import LeaseNotFound, LeaseTree
@@ -30,10 +30,12 @@ from repro.core.tokens import ExecutionToken
 from repro.crypto.hashes import sha256_word
 from repro.crypto.keys import KeyGenerator
 from repro.crypto.sealing import SealedBlob, TamperedSealError
-from repro.net.rpc import RemoteEndpoint
 from repro.sgx import SgxMachine
 from repro.sgx.attestation import AttestationError, AttestationReport
 from repro.sgx.enclave import Enclave
+
+if TYPE_CHECKING:  # imported lazily: repro.net depends on repro.core
+    from repro.net.rpc import RemoteEndpoint
 
 #: Cycles for updating a found lease (lock, decrement, hash refresh).
 LEASE_UPDATE_CYCLES = 2_600
@@ -74,7 +76,7 @@ class SlLocal:
     def __init__(
         self,
         machine: SgxMachine,
-        remote: RemoteEndpoint,
+        remote: "RemoteEndpoint",
         keygen: KeyGenerator,
         tokens_per_attestation: int = 1,
         network_reliability: float = 1.0,
@@ -265,12 +267,17 @@ class SlLocal:
                 status = self._renew_into(record.gcl, request.license_blob)
                 if status is not Status.OK:
                     return AttestResponse(status=status)
-            grants = min(
-                max(self.tokens_per_attestation, request.tokens_requested),
-                max(record.gcl.counter, 1)
-                if record.gcl.kind is LeaseKind.COUNT
-                else max(self.tokens_per_attestation, request.tokens_requested),
-            )
+            # An honest clamp: never promise more than the lease holds.
+            # A COUNT lease whose counter is (still) zero after the
+            # renewal attempt grants nothing — the old `max(counter, 1)`
+            # expression could mint a token backed by no units.
+            requested = max(self.tokens_per_attestation, request.tokens_requested)
+            if record.gcl.kind is LeaseKind.COUNT:
+                grants = min(requested, record.gcl.counter)
+            else:
+                grants = requested
+            if grants <= 0:
+                return AttestResponse(status=Status.EXHAUSTED)
             for _ in range(grants):
                 record.gcl.consume_execution()
                 if not record.gcl.valid and record.gcl.kind is LeaseKind.COUNT:

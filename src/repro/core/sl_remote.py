@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.gcl import Gcl, LeaseKind
 from repro.core.protocol import (
@@ -94,6 +94,19 @@ class SlRemote:
         #: Total renewal round trips served (network-cost accounting).
         self.renewals_served = 0
         self.inits_served = 0
+
+    # ------------------------------------------------------------------
+    # Wire protocol surface
+    # ------------------------------------------------------------------
+    def protocol_handlers(self) -> Dict[str, Callable]:
+        """Method table every transport backend serves (the one place
+        the method-name -> handler binding is defined)."""
+        return {
+            "init": self.handle_init,
+            "renew": self.handle_renew,
+            "shutdown": self.handle_shutdown,
+            "return_units": lambda request: self.return_units(*request),
+        }
 
     # ------------------------------------------------------------------
     # Developer-facing provisioning

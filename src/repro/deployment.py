@@ -111,6 +111,7 @@ class SecureLeaseDeployment:
         policy: Optional[RenewalPolicy] = None,
         machine_name: str = "client",
         costs=None,
+        transport: str = "in-process",
     ) -> None:
         self.rng = DeterministicRng(seed)
         self.ras = RemoteAttestationService(costs)
@@ -121,7 +122,8 @@ class SecureLeaseDeployment:
             network if network is not None else NetworkConditions(),
             self.rng.fork("net"),
         )
-        self.endpoint = connect_remote(self.remote, self.link)
+        self.endpoint = connect_remote(self.remote, self.link,
+                                       transport=transport)
         self.sl_local = SlLocal(
             self.machine,
             self.endpoint,

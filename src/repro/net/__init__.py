@@ -1,19 +1,54 @@
-"""Simulated network between SL-Local machines and SL-Remote.
+"""Simulated and real networking between SL-Local machines and SL-Remote.
 
 Algorithm 1's inputs include network reliability; the Figure 9
 breakdown separates local allocation cost from lease-renewal cost
 (dominated by the network round trip plus remote attestation).  This
-package supplies a latency/reliability-parameterised channel and an RPC
-endpoint that dispatches protocol messages to SL-Remote handlers.
+package supplies:
+
+* a latency/reliability-parameterised channel (:mod:`repro.net.network`),
+* a versioned wire codec for every protocol message (:mod:`repro.net.codec`),
+* pluggable transports — in-process, serialized loopback, and real TCP —
+  behind one :class:`~repro.net.transport.Transport` interface
+  (:mod:`repro.net.transport`),
+* an RPC endpoint dispatching protocol messages to SL-Remote handlers
+  (:mod:`repro.net.rpc`), and
+* a socket server for running SL-Remote as its own process
+  (:mod:`repro.net.server`).
 """
 
+from repro.net.codec import CodecError, RemoteCallError, WIRE_VERSION
 from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
-from repro.net.rpc import RemoteEndpoint, RpcError
+from repro.net.rpc import RemoteEndpoint, RpcError, connect_remote, connect_tcp
+from repro.net.server import LeaseServer
+from repro.net.transport import (
+    HandlerTable,
+    InProcessTransport,
+    SerializedLoopbackTransport,
+    TRANSPORT_BACKENDS,
+    TcpTransport,
+    Transport,
+    TransportError,
+    UnknownMethodError,
+)
 
 __all__ = [
+    "CodecError",
+    "HandlerTable",
+    "InProcessTransport",
+    "LeaseServer",
     "NetworkConditions",
     "NetworkError",
+    "RemoteCallError",
     "RemoteEndpoint",
     "RpcError",
+    "SerializedLoopbackTransport",
     "SimulatedLink",
+    "TRANSPORT_BACKENDS",
+    "TcpTransport",
+    "Transport",
+    "TransportError",
+    "UnknownMethodError",
+    "WIRE_VERSION",
+    "connect_remote",
+    "connect_tcp",
 ]

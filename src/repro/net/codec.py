@@ -1,0 +1,228 @@
+"""Versioned wire codec for the three-tier lease protocol.
+
+Everything SL-Local and SL-Remote say to each other can be flattened to
+bytes and rebuilt on the far side: each protocol dataclass implements
+``to_wire``/``from_wire`` (a JSON-ready field dict), and this module
+wraps those payloads in versioned envelopes plus length-prefixed frames
+for stream transports.
+
+The codec is deliberately strict:
+
+* every envelope carries ``WIRE_VERSION``; a peer speaking a different
+  version is rejected up front instead of mis-parsing fields;
+* only registered message types decode (no pickle, no arbitrary code) —
+  the untrusted network may corrupt a lease request but cannot smuggle
+  objects into the enclave simulation;
+* byte strings travel as hex, so a frame is printable JSON end to end.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+from repro.core.gcl import LeaseKind
+from repro.core.protocol import (
+    AttestRequest,
+    AttestResponse,
+    InitRequest,
+    InitResponse,
+    RenewRequest,
+    RenewResponse,
+    ShutdownNotice,
+    Status,
+)
+from repro.core.tokens import ExecutionToken
+from repro.crypto.sealing import SealedBlob
+from repro.sgx.attestation import AttestationReport
+
+#: Protocol revision; bumped whenever an envelope or field layout changes.
+WIRE_VERSION = 1
+
+#: Frame header for stream transports: 4-byte big-endian payload length.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Refuse frames above this size (a corrupt length prefix must not make
+#: the server allocate gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class CodecError(Exception):
+    """Raised when a frame or payload cannot be (de)serialized."""
+
+
+class RemoteCallError(Exception):
+    """An error envelope from the far side of the wire."""
+
+
+#: Message types allowed on the wire, keyed by their envelope tag.
+MESSAGE_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        InitRequest,
+        InitResponse,
+        RenewRequest,
+        RenewResponse,
+        ShutdownNotice,
+        AttestRequest,
+        AttestResponse,
+        ExecutionToken,
+        SealedBlob,
+        AttestationReport,
+    )
+}
+
+#: Enum types allowed on the wire (encoded by value).
+ENUM_TYPES = {cls.__name__: cls for cls in (Status, LeaseKind)}
+
+
+# ----------------------------------------------------------------------
+# Payload encoding: tagged, recursive, JSON-ready
+# ----------------------------------------------------------------------
+def encode_payload(obj: Any) -> Any:
+    """Turn a protocol value into a JSON-serializable structure."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return {"__kind__": "bytes", "hex": obj.hex()}
+    if isinstance(obj, tuple):
+        return {"__kind__": "tuple", "items": [encode_payload(x) for x in obj]}
+    if isinstance(obj, list):
+        return {"__kind__": "list", "items": [encode_payload(x) for x in obj]}
+    if isinstance(obj, dict):
+        return {
+            "__kind__": "map",
+            "items": [[encode_payload(k), encode_payload(v)] for k, v in obj.items()],
+        }
+    if isinstance(obj, enum.Enum):
+        name = type(obj).__name__
+        if name not in ENUM_TYPES:
+            raise CodecError(f"enum {name} is not wire-encodable")
+        return {"__kind__": "enum", "type": name, "value": obj.value}
+    name = type(obj).__name__
+    if name in MESSAGE_TYPES and hasattr(obj, "to_wire"):
+        return {"__kind__": "msg", "type": name, "fields": obj.to_wire()}
+    raise CodecError(f"object of type {name} is not wire-encodable")
+
+
+def decode_payload(data: Any) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if not isinstance(data, dict) or "__kind__" not in data:
+        raise CodecError(f"malformed payload: {data!r}")
+    kind = data["__kind__"]
+    if kind == "bytes":
+        return bytes.fromhex(data["hex"])
+    if kind == "tuple":
+        return tuple(decode_payload(x) for x in data["items"])
+    if kind == "list":
+        return [decode_payload(x) for x in data["items"]]
+    if kind == "map":
+        return {decode_payload(k): decode_payload(v) for k, v in data["items"]}
+    if kind == "enum":
+        cls = ENUM_TYPES.get(data["type"])
+        if cls is None:
+            raise CodecError(f"unknown enum type {data['type']!r}")
+        return cls(data["value"])
+    if kind == "msg":
+        cls = MESSAGE_TYPES.get(data["type"])
+        if cls is None:
+            raise CodecError(f"unknown message type {data['type']!r}")
+        return cls.from_wire(data["fields"])
+    raise CodecError(f"unknown payload kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+def encode_request(method: str, payload: Any, request_id: int = 0) -> bytes:
+    """A versioned request envelope carrying one protocol message."""
+    envelope = {
+        "v": WIRE_VERSION,
+        "kind": "request",
+        "id": request_id,
+        "method": method,
+        "body": encode_payload(payload),
+    }
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+def decode_request(data: bytes) -> Tuple[str, Any, int]:
+    """Returns ``(method, payload, request_id)``."""
+    envelope = _load_envelope(data, expected_kind="request")
+    method = envelope.get("method")
+    if not isinstance(method, str):
+        raise CodecError("request envelope missing method")
+    return method, decode_payload(envelope.get("body")), int(envelope.get("id", 0))
+
+
+def encode_response(payload: Any, request_id: int = 0) -> bytes:
+    envelope = {
+        "v": WIRE_VERSION,
+        "kind": "response",
+        "id": request_id,
+        "body": encode_payload(payload),
+    }
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+def encode_error(message: str, request_id: int = 0) -> bytes:
+    envelope = {
+        "v": WIRE_VERSION,
+        "kind": "error",
+        "id": request_id,
+        "error": message,
+    }
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+def decode_response(data: bytes) -> Any:
+    """Returns the response payload; raises :class:`RemoteCallError` for
+    error envelopes (the server-side exception, stringified)."""
+    envelope = _load_envelope(data)
+    if envelope["kind"] == "error":
+        raise RemoteCallError(envelope.get("error", "unspecified remote error"))
+    if envelope["kind"] != "response":
+        raise CodecError(f"expected a response, got {envelope['kind']!r}")
+    return decode_payload(envelope.get("body"))
+
+
+def _load_envelope(data: bytes, expected_kind: str = "") -> Dict[str, Any]:
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"undecodable envelope: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise CodecError("envelope must be a JSON object")
+    version = envelope.get("v")
+    if version != WIRE_VERSION:
+        raise CodecError(
+            f"wire version mismatch: got {version!r}, speak {WIRE_VERSION}"
+        )
+    kind = envelope.get("kind")
+    if kind not in ("request", "response", "error"):
+        raise CodecError(f"unknown envelope kind {kind!r}")
+    if expected_kind and kind != expected_kind:
+        raise CodecError(f"expected a {expected_kind}, got {kind!r}")
+    return envelope
+
+
+# ----------------------------------------------------------------------
+# Framing for stream transports
+# ----------------------------------------------------------------------
+def frame(data: bytes) -> bytes:
+    """Length-prefix a serialized envelope for a byte stream."""
+    if len(data) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
+    return FRAME_HEADER.pack(len(data)) + data
+
+
+def frame_length(header: bytes) -> int:
+    """Parse a frame header; validates the advertised length."""
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return length

@@ -1,72 +1,114 @@
 """RPC endpoint connecting SL-Local to SL-Remote.
 
-The endpoint owns a :class:`SimulatedLink` and a handler table; a call
-charges network time to the caller's clock, then dispatches to the
-registered handler.  Handlers that need the caller's clock/stats (the
-remote-attestation path charges its 3.5 s to the *caller*) declare it by
-accepting ``clock``/``stats`` keyword arguments.
+The endpoint is a thin client-side handle over a pluggable
+:class:`~repro.net.transport.Transport`: a call charges network time to
+the caller's clock (how depends on the backend — simulated link or real
+socket retries), then delivers the protocol message to SL-Remote's
+handlers.  Handlers that need the caller's clock/stats (the
+remote-attestation path charges its 3.5 s to the *caller*) declare it
+by accepting ``clock``/``stats`` keyword arguments.
+
+Every call must account for the link: pass a ``clock``, or say
+``local=True`` to state explicitly that this call deliberately bypasses
+network simulation (e.g. provisioning calls in tests).  The historical
+silent bypass on ``clock=None`` is gone — no call path dodges the link
+unaccounted.
 """
 
 from __future__ import annotations
 
-import inspect
-from typing import Callable, Dict, Optional
+from typing import Optional
 
-from repro.net.network import NetworkError, SimulatedLink
+from repro.net.codec import RemoteCallError
+from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
+from repro.net.transport import (
+    HandlerTable,
+    TcpTransport,
+    Transport,
+    TransportError,
+    loopback_transport,
+)
 from repro.sgx.driver import SgxStats
 from repro.sim.clock import Clock
 
 
 class RpcError(Exception):
-    """Raised when a call fails to reach the server."""
+    """Raised when a call fails to reach the server, or is misused."""
 
 
 class RemoteEndpoint:
-    """Client-side handle for calling SL-Remote over a simulated link."""
+    """Client-side handle for calling SL-Remote over some transport."""
 
-    def __init__(self, link: SimulatedLink) -> None:
-        self.link = link
-        self._handlers: Dict[str, Callable] = {}
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
         self.calls_made = 0
 
-    def register(self, method: str, handler: Callable) -> None:
-        if method in self._handlers:
-            raise ValueError(f"handler for {method!r} already registered")
-        self._handlers[method] = handler
+    @property
+    def link(self) -> Optional[SimulatedLink]:
+        """The simulated link, for backends that have one (else None)."""
+        return getattr(self.transport, "link", None)
 
     def call(self, method: str, request: object,
              clock: Optional[Clock] = None,
-             stats: Optional[SgxStats] = None):
+             stats: Optional[SgxStats] = None,
+             local: bool = False):
         """Round-trip a request; returns the handler's response.
 
-        Raises :class:`RpcError` if the network gives up.
+        Raises :class:`RpcError` if the network gives up, the server
+        reports an error, or no ``clock`` is supplied without an
+        explicit ``local=True``.
         """
-        handler = self._handlers.get(method)
-        if handler is None:
-            raise RpcError(f"no such remote method {method!r}")
-        if clock is not None:
-            try:
-                self.link.round_trip(clock)
-            except NetworkError as exc:
-                raise RpcError(f"call to {method!r} failed: {exc}") from exc
+        if clock is None and not local:
+            raise RpcError(
+                f"call to {method!r} has no clock to charge network time to; "
+                f"pass local=True if bypassing the link is intentional"
+            )
+        if local:
+            clock = None  # deliberate bypass: no link charging at all
+        try:
+            response = self.transport.request(
+                method, request, clock=clock, stats=stats
+            )
+        except NetworkError as exc:
+            raise RpcError(f"call to {method!r} failed: {exc}") from exc
+        except RemoteCallError as exc:
+            raise RpcError(f"remote error from {method!r}: {exc}") from exc
+        except TransportError as exc:
+            raise RpcError(f"call to {method!r} failed: {exc}") from exc
         self.calls_made += 1
-        kwargs = {}
-        signature = inspect.signature(handler)
-        if "clock" in signature.parameters and clock is not None:
-            kwargs["clock"] = clock
-        if "stats" in signature.parameters and stats is not None:
-            kwargs["stats"] = stats
-        return handler(request, **kwargs)
+        return response
+
+    def close(self) -> None:
+        self.transport.close()
 
 
-def connect_remote(remote, link: SimulatedLink) -> RemoteEndpoint:
-    """Wire a :class:`~repro.core.sl_remote.SlRemote` behind an endpoint."""
-    endpoint = RemoteEndpoint(link)
-    endpoint.register("init", remote.handle_init)
-    endpoint.register("renew", remote.handle_renew)
-    endpoint.register("shutdown", lambda notice: remote.handle_shutdown(notice))
-    endpoint.register(
-        "return_units",
-        lambda request: remote.return_units(*request),
-    )
-    return endpoint
+def lease_handler_table(remote) -> HandlerTable:
+    """The canonical method table for an SL-Remote server object."""
+    return HandlerTable(remote.protocol_handlers())
+
+
+def connect_remote(remote, link: SimulatedLink,
+                   transport: str = "in-process") -> RemoteEndpoint:
+    """Wire a :class:`~repro.core.sl_remote.SlRemote` behind an endpoint.
+
+    ``transport`` selects the loopback backend: ``"in-process"`` (direct
+    dispatch, the default every experiment uses) or ``"serialized"``
+    (every message round-trips through the wire codec).
+    """
+    handlers = lease_handler_table(remote)
+    return RemoteEndpoint(loopback_transport(transport, handlers, link))
+
+
+def connect_tcp(host: str, port: int,
+                conditions: Optional[NetworkConditions] = None,
+                timeout_seconds: float = 5.0,
+                max_attempts: int = 5,
+                backoff_seconds: float = 0.05) -> RemoteEndpoint:
+    """Endpoint for an SL-Remote served over TCP in another process."""
+    return RemoteEndpoint(TcpTransport(
+        host, port,
+        conditions=conditions,
+        timeout_seconds=timeout_seconds,
+        max_attempts=max_attempts,
+        backoff_seconds=backoff_seconds,
+    ))

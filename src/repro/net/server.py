@@ -1,0 +1,153 @@
+"""A real socket server exposing SL-Remote to the network.
+
+:class:`LeaseServer` binds a TCP port and serves the lease protocol —
+length-prefixed JSON frames (:mod:`repro.net.codec`) — so an SL-Remote
+process can field init/renew/shutdown traffic from SL-Local instances
+on other machines.  This is the deployment shape the paper assumes (a
+vendor server in front of a fleet); the in-process transports remain
+the deterministic harness for experiments.
+
+Concurrency model: one thread per connection, with handler execution
+serialized behind a lock (:class:`~repro.core.sl_remote.SlRemote` is a
+single-threaded state machine; serializing dispatch is the wire-world
+equivalent of the cluster simulation's round-robin interleaving).
+Attestation and renewal costs are charged to a server-owned virtual
+clock — over a real wire the *caller's* cost is its actual socket wait,
+which the client-side :class:`~repro.net.transport.TcpTransport` folds
+into its own clock as RTTs.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from repro.net import codec
+from repro.net.transport import HandlerTable, read_frame
+from repro.sgx.driver import SgxStats
+from repro.sim.clock import Clock
+
+
+class LeaseServer:
+    """Serve one SL-Remote over TCP."""
+
+    def __init__(self, remote, host: str = "127.0.0.1", port: int = 0,
+                 clock: Optional[Clock] = None,
+                 stats: Optional[SgxStats] = None,
+                 accept_backlog: int = 16) -> None:
+        self.remote = remote
+        self.handlers = HandlerTable(remote.protocol_handlers())
+        self.host = host
+        self.port = port
+        self.clock = clock if clock is not None else Clock()
+        self.stats = stats if stats is not None else SgxStats()
+        self.accept_backlog = accept_backlog
+        self.requests_served = 0
+        self.errors_returned = 0
+        self.connections_accepted = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        self._dispatch_lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and serve in the background; returns (host, port)."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(self.accept_backlog)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="lease-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener, and join worker threads."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+        self._workers.clear()
+
+    def wait(self) -> None:
+        """Block the calling thread until :meth:`stop` (CLI foreground)."""
+        self._stopping.wait()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                connection, _peer = listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            self.connections_accepted += 1
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name=f"lease-server-conn-{self.connections_accepted}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while not self._stopping.is_set():
+                # Poll before the blocking frame read so an idle
+                # connection re-checks the shutdown flag twice a second
+                # without ever timing out mid-frame (which would lose
+                # stream sync).
+                readable, _, _ = select.select([connection], [], [], 0.5)
+                if not readable:
+                    continue
+                try:
+                    data = read_frame(connection)
+                except (ConnectionError, OSError, codec.CodecError):
+                    return  # peer gone or stream corrupt beyond recovery
+                reply = self._handle_frame(data)
+                try:
+                    connection.sendall(codec.frame(reply))
+                except OSError:
+                    return
+
+    def _handle_frame(self, data: bytes) -> bytes:
+        request_id = 0
+        try:
+            method, payload, request_id = codec.decode_request(data)
+            with self._dispatch_lock:
+                response = self.handlers.dispatch(
+                    method, payload, clock=self.clock, stats=self.stats
+                )
+        except Exception as exc:  # noqa: BLE001 - every fault becomes a wire error
+            self.errors_returned += 1
+            return codec.encode_error(f"{type(exc).__name__}: {exc}", request_id)
+        self.requests_served += 1
+        return codec.encode_response(response, request_id)

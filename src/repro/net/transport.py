@@ -1,0 +1,299 @@
+"""Pluggable transports between the lease tiers.
+
+The three-tier stack (SL-Manager -> SL-Local -> SL-Remote) talks
+through a :class:`Transport`, so the *same* SL-Local code runs against:
+
+* :class:`InProcessTransport` — direct dispatch to handler objects
+  through a :class:`SimulatedLink`; the deterministic, cheap backend
+  every experiment uses.
+* :class:`SerializedLoopbackTransport` — identical topology, but every
+  request and response is forced through the wire codec
+  (:mod:`repro.net.codec`).  Anything that would break over a real
+  network — shared object identity, unserializable fields — breaks
+  loudly here, while determinism is fully preserved.
+* :class:`TcpTransport` — a real socket client for an SL-Remote served
+  by :class:`repro.net.server.LeaseServer` in another process, with
+  length-prefixed framing, request timeouts, and retry-with-backoff.
+  Each attempt still charges one RTT of *virtual* time to the caller's
+  clock, folding the real wire into the SimulatedLink accounting model
+  (an unreliable server shows up as longer renewal latencies, exactly
+  like a lossy simulated link).
+
+Handlers needing the caller's clock/stats (the remote-attestation path
+charges its 3.5 s to the *caller*) declare it by accepting ``clock`` /
+``stats`` keyword arguments; :class:`HandlerTable` forwards them.
+"""
+
+from __future__ import annotations
+
+import inspect
+import socket
+import threading
+import time
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.net import codec
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.sgx.driver import SgxStats
+from repro.sim.clock import Clock, seconds_to_cycles
+
+
+class TransportError(Exception):
+    """A request could not be completed by the transport."""
+
+
+class UnknownMethodError(TransportError):
+    """Dispatch target does not exist on the far side."""
+
+
+class HandlerTable:
+    """Server-side dispatch table: method name -> handler callable."""
+
+    def __init__(self, handlers: Optional[Mapping[str, Callable]] = None) -> None:
+        self._handlers: Dict[str, Callable] = {}
+        self._wants: Dict[str, Tuple[bool, bool]] = {}
+        if handlers:
+            for method, handler in handlers.items():
+                self.register(method, handler)
+
+    def register(self, method: str, handler: Callable) -> None:
+        if method in self._handlers:
+            raise ValueError(f"handler for {method!r} already registered")
+        self._handlers[method] = handler
+        parameters = inspect.signature(handler).parameters
+        self._wants[method] = ("clock" in parameters, "stats" in parameters)
+
+    def methods(self) -> Tuple[str, ...]:
+        return tuple(self._handlers)
+
+    def dispatch(self, method: str, request: object,
+                 clock: Optional[Clock] = None,
+                 stats: Optional[SgxStats] = None):
+        handler = self._handlers.get(method)
+        if handler is None:
+            raise UnknownMethodError(f"no such remote method {method!r}")
+        wants_clock, wants_stats = self._wants[method]
+        kwargs = {}
+        if wants_clock and clock is not None:
+            kwargs["clock"] = clock
+        if wants_stats and stats is not None:
+            kwargs["stats"] = stats
+        return handler(request, **kwargs)
+
+
+class Transport:
+    """One round trip of the lease protocol; backends override this."""
+
+    name = "abstract"
+
+    def request(self, method: str, payload: object,
+                clock: Optional[Clock] = None,
+                stats: Optional[SgxStats] = None):
+        """Send ``payload`` to ``method`` and return the response.
+
+        ``clock=None`` means the caller explicitly opted out of link
+        accounting (the RPC layer's ``local=True``); transports that
+        cannot bypass a real network reject it.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any connection state (no-op for in-process backends)."""
+
+
+class InProcessTransport(Transport):
+    """The historical behavior: simulated link + direct dispatch."""
+
+    name = "in-process"
+
+    def __init__(self, handlers: HandlerTable, link: SimulatedLink) -> None:
+        self.handlers = handlers
+        self.link = link
+
+    def request(self, method: str, payload: object,
+                clock: Optional[Clock] = None,
+                stats: Optional[SgxStats] = None):
+        if clock is not None:
+            self.link.round_trip(clock)
+        return self.handlers.dispatch(method, payload, clock=clock, stats=stats)
+
+
+class SerializedLoopbackTransport(Transport):
+    """In-process dispatch with a mandatory wire round trip.
+
+    Requests and responses both pass through encode -> bytes -> decode,
+    so the handler only ever sees a *rebuilt copy* of the request and
+    the caller a rebuilt copy of the response — any accidental
+    shared-object coupling between the tiers is severed, and fields a
+    real network could not carry fail with :class:`codec.CodecError`.
+    """
+
+    name = "serialized"
+
+    def __init__(self, handlers: HandlerTable, link: SimulatedLink) -> None:
+        self.handlers = handlers
+        self.link = link
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._request_id = 0
+
+    def request(self, method: str, payload: object,
+                clock: Optional[Clock] = None,
+                stats: Optional[SgxStats] = None):
+        if clock is not None:
+            self.link.round_trip(clock)
+        self._request_id += 1
+        wire_request = codec.encode_request(method, payload, self._request_id)
+        self.bytes_sent += len(wire_request)
+        decoded_method, decoded_payload, request_id = codec.decode_request(
+            wire_request
+        )
+        response = self.handlers.dispatch(
+            decoded_method, decoded_payload, clock=clock, stats=stats
+        )
+        wire_response = codec.encode_response(response, request_id)
+        self.bytes_received += len(wire_response)
+        return codec.decode_response(wire_response)
+
+
+class TcpTransport(Transport):
+    """Socket client for an SL-Remote behind :class:`~repro.net.server.LeaseServer`.
+
+    One persistent connection, length-prefixed JSON frames.  A request
+    that times out or hits a broken connection is retried with
+    exponential backoff up to ``max_attempts`` times; every attempt
+    charges one virtual RTT to the caller's clock (the SimulatedLink
+    accounting model), and real-world waiting happens via socket
+    timeouts.  Application-level errors reported by the server are
+    *not* retried — they surface immediately.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        conditions: Optional[NetworkConditions] = None,
+        timeout_seconds: float = 5.0,
+        max_attempts: int = 5,
+        backoff_seconds: float = 0.05,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.host = host
+        self.port = port
+        self.conditions = conditions if conditions is not None else NetworkConditions()
+        self.timeout_seconds = timeout_seconds
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+        self._request_id = 0
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- connection management -----------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_seconds
+            )
+            sock.settimeout(self.timeout_seconds)
+            self._sock = sock
+        return self._sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    # -- the round trip ------------------------------------------------
+    def request(self, method: str, payload: object,
+                clock: Optional[Clock] = None,
+                stats: Optional[SgxStats] = None):
+        if clock is None:
+            raise TransportError(
+                "TcpTransport cannot bypass the network: a real wire has no "
+                "local fast path"
+            )
+        last_error: Optional[Exception] = None
+        with self._lock:
+            for attempt in range(1, self.max_attempts + 1):
+                # Virtual accounting first: a lost/timed-out request is
+                # detected a full RTT later, same as SimulatedLink.
+                clock.advance(
+                    seconds_to_cycles(self.conditions.round_trip_seconds)
+                )
+                self.messages_sent += 1
+                try:
+                    return self._round_trip(method, payload)
+                except codec.RemoteCallError:
+                    raise  # the server answered; retrying cannot help
+                except (OSError, codec.CodecError) as exc:
+                    self.messages_dropped += 1
+                    last_error = exc
+                    self._drop_connection()
+                    if attempt < self.max_attempts:
+                        time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+        raise TransportError(
+            f"tcp request {method!r} to {self.host}:{self.port} failed after "
+            f"{self.max_attempts} attempts: {last_error}"
+        )
+
+    def _round_trip(self, method: str, payload: object):
+        sock = self._connection()
+        self._request_id += 1
+        sock.sendall(
+            codec.frame(codec.encode_request(method, payload, self._request_id))
+        )
+        return codec.decode_response(read_frame(sock))
+
+    @property
+    def observed_reliability(self) -> float:
+        """Empirical delivery rate, mirroring SimulatedLink's probe."""
+        if self.messages_sent == 0:
+            return self.conditions.reliability
+        return (self.messages_sent - self.messages_dropped) / self.messages_sent
+
+
+#: Transport factories selectable by name (CLI / deployment knobs).
+TRANSPORT_BACKENDS = ("in-process", "serialized", "tcp")
+
+
+def loopback_transport(kind: str, handlers: HandlerTable,
+                       link: SimulatedLink) -> Transport:
+    """Build one of the two in-process backends by name."""
+    if kind == "in-process":
+        return InProcessTransport(handlers, link)
+    if kind == "serialized":
+        return SerializedLoopbackTransport(handlers, link)
+    raise ValueError(
+        f"unknown loopback transport {kind!r}; choose 'in-process' or "
+        f"'serialized' (use TcpTransport for 'tcp')"
+    )
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame from a stream socket."""
+    header = _read_exact(sock, codec.FRAME_HEADER.size)
+    return _read_exact(sock, codec.frame_length(header))
+
+
+def _read_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -58,6 +58,24 @@ class AttestationReport:
         mac = _report_mac(source_measurement, target_measurement, nonce, platform_secret)
         return AttestationReport(source_measurement, target_measurement, nonce, mac)
 
+    def to_wire(self) -> dict:
+        """JSON-ready field dict (all 64-bit words) for the wire codec."""
+        return {
+            "source_measurement": self.source_measurement,
+            "target_measurement": self.target_measurement,
+            "nonce": self.nonce,
+            "mac": self.mac,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: dict) -> "AttestationReport":
+        return cls(
+            source_measurement=fields["source_measurement"],
+            target_measurement=fields["target_measurement"],
+            nonce=fields["nonce"],
+            mac=fields["mac"],
+        )
+
 
 def _report_mac(src: int, dst: int, nonce: int, secret: int) -> int:
     body = src.to_bytes(8, "big") + dst.to_bytes(8, "big") + nonce.to_bytes(8, "big")
@@ -117,10 +135,16 @@ class RemoteAttestationService:
     clock — this is the cost SecureLease works so hard to avoid.
     """
 
-    def __init__(self, costs: Optional[SgxCostModel] = None) -> None:
+    def __init__(self, costs: Optional[SgxCostModel] = None,
+                 accept_any_platform: bool = False) -> None:
         self.costs = costs if costs is not None else SgxCostModel()
         self._genuine_platforms: Set[int] = set()
         self.verifications = 0
+        #: Enroll platforms on first contact instead of requiring prior
+        #: registration.  Only for standalone wire servers (``repro.cli
+        #: serve-remote``) whose clients run in other processes; the
+        #: security experiments always provision explicitly.
+        self.accept_any_platform = accept_any_platform
 
     def register_platform(self, platform_secret: int) -> None:
         """Provision a platform as genuine (EPID/DCAP enrollment)."""
@@ -137,6 +161,8 @@ class RemoteAttestationService:
         stats.remote_attestations += 1
         stats.charge("remote_attestation", self.costs.remote_attestation_cycles)
         self.verifications += 1
+        if self.accept_any_platform:
+            self._genuine_platforms.add(platform_secret)
         if platform_secret not in self._genuine_platforms:
             raise AttestationError("platform is not a genuine SGX platform")
         expected_mac = _report_mac(

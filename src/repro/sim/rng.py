@@ -8,6 +8,7 @@ experiment bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Sequence, TypeVar
 
@@ -31,8 +32,12 @@ class DeterministicRng:
 
         Forking by label (rather than drawing a seed from the parent
         stream) means adding a new consumer never perturbs existing ones.
+        The derivation must be stable across processes, so it cannot use
+        ``hash()`` — Python randomises string hashing per interpreter,
+        which would give every run different "deterministic" streams.
         """
-        child_seed = hash((self.seed, label)) & 0x7FFF_FFFF_FFFF_FFFF
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        child_seed = int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
         return DeterministicRng(child_seed)
 
     def random(self) -> float:

@@ -1,0 +1,124 @@
+"""Regression tests for the token-grant clamp in SlLocal._ecall_attest.
+
+The old expression ``min(max(...), max(record.gcl.counter, 1))`` could
+grant a token backed by zero units when a COUNT lease's counter was
+already 0 — minting phantom executions (and then crashing on
+``consume_execution``).  The honest clamp is ``min(requested,
+remaining)``, with an EXHAUSTED response when nothing remains.
+"""
+
+from repro.core.protocol import (
+    AttestRequest,
+    InitResponse,
+    RenewResponse,
+    Status,
+)
+from repro.core.sl_local import SlLocal
+from repro.core.sl_remote import SlRemote
+from repro.crypto.keys import KeyGenerator
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.net.rpc import RemoteEndpoint, connect_remote
+from repro.net.transport import HandlerTable, InProcessTransport
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.sim.rng import DeterministicRng
+
+
+def make_attest_request(machine, sl_local, license_id, blob, tokens=10):
+    report = machine.local_authority.generate_report(
+        1, sl_local.enclave.measurement, nonce=1
+    )
+    return AttestRequest(report=report, license_id=license_id,
+                        license_blob=blob, tokens_requested=tokens)
+
+
+def byzantine_local(grant_units):
+    """An SL-Local whose server grants whatever we script — including
+    the protocol-violating 'OK but zero units' answer."""
+    machine = SgxMachine("byz")
+    handlers = HandlerTable({
+        "init": lambda request: InitResponse(status=Status.OK, slid=1),
+        "renew": lambda request: RenewResponse(
+            status=Status.OK, granted_units=grant_units, lease_kind="count"
+        ),
+        "shutdown": lambda notice: None,
+    })
+    link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
+    endpoint = RemoteEndpoint(InProcessTransport(handlers, link))
+    sl_local = SlLocal(machine, endpoint, KeyGenerator(DeterministicRng(2)),
+                       tokens_per_attestation=10)
+    sl_local.init()
+    return machine, sl_local
+
+
+class TestExhaustedCounterPath:
+    def test_zero_unit_grant_yields_exhausted_not_phantom_token(self):
+        """A COUNT lease at counter 0 must never produce a token, even
+        when a (buggy or malicious) server answers OK with 0 units."""
+        machine, sl_local = byzantine_local(grant_units=0)
+        response = sl_local.handle_attest(
+            make_attest_request(machine, sl_local, "lic-z", b"blob")
+        )
+        assert response.status is Status.EXHAUSTED
+        assert response.token is None
+        assert sl_local.local_grants == 0
+
+    def test_grants_clamped_to_remaining_units(self):
+        """requested > remaining: the token carries exactly `remaining`."""
+        machine, sl_local = byzantine_local(grant_units=3)
+        response = sl_local.handle_attest(
+            make_attest_request(machine, sl_local, "lic-c", b"blob",
+                                tokens=10)
+        )
+        assert response.status is Status.OK
+        # The lease holds 3 units, so the token carries 3 — never the
+        # requested 10 from thin air.
+        assert response.token.grants == 3
+        assert response.token.grants == sl_local.local_grants
+
+
+class TestRealServerExhaustion:
+    def _stack(self, pool):
+        rng = DeterministicRng(5)
+        ras = RemoteAttestationService()
+        remote = SlRemote(ras)
+        remote.issue_license("lic-small", pool)
+        machine = SgxMachine("small")
+        ras.register_platform(machine.platform_secret)
+        endpoint = connect_remote(
+            remote, SimulatedLink(NetworkConditions(), rng.fork("net"))
+        )
+        sl_local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
+                           tokens_per_attestation=10)
+        sl_local.init()
+        blob = remote.license_definition("lic-small").license_blob()
+        return remote, machine, sl_local, blob
+
+    def test_pool_never_oversubscribed(self):
+        """Total granted executions can never exceed the license pool."""
+        remote, machine, sl_local, blob = self._stack(pool=7)
+        total_granted = 0
+        for _ in range(5):
+            response = sl_local.handle_attest(
+                make_attest_request(machine, sl_local, "lic-small", blob)
+            )
+            if response.status is Status.OK:
+                total_granted += response.token.grants
+            else:
+                assert response.status is Status.EXHAUSTED
+        assert total_granted <= 7
+        ledger = remote.ledger("lic-small")
+        assert ledger.available >= 0
+
+    def test_exhausted_server_denies_cleanly(self):
+        remote, machine, sl_local, blob = self._stack(pool=7)
+        responses = []
+        for _ in range(10):
+            responses.append(sl_local.handle_attest(
+                make_attest_request(machine, sl_local, "lic-small", blob)
+            ))
+        assert responses[-1].status is Status.EXHAUSTED
+        assert responses[-1].token is None
+        # Exactly the pool's worth of units was ever tokenised.
+        granted = sum(r.token.grants for r in responses
+                      if r.status is Status.OK)
+        assert granted == 7

@@ -1,0 +1,64 @@
+"""Acceptance: a deterministic experiment produces identical results on
+InProcessTransport and SerializedLoopbackTransport.
+
+If the serialized backend ever diverges, some state is leaking between
+tiers through shared object identity instead of the wire.
+"""
+
+from repro.cluster import Cluster, NodeSpec
+from repro.deployment import SecureLeaseDeployment
+
+LICENSE = "lic-eq"
+POOL = 30_000
+
+
+def fleet_fingerprint(transport: str, seed: int = 17):
+    """Run a fixed fleet scenario and reduce it to comparable numbers."""
+    cluster = Cluster(seed=seed, transport=transport)
+    cluster.issue_license(LICENSE, POOL)
+    for i in range(4):
+        cluster.add_node(NodeSpec(
+            f"n{i}",
+            weight=1.0 + i,
+            health=1.0 - 0.1 * i,
+            network_reliability=1.0 - 0.05 * i,
+        ))
+    served_a = cluster.run_checks(LICENSE, checks_per_node=40)
+    cluster.crash_node("n1")
+    served_b = cluster.run_checks(LICENSE, checks_per_node=40)
+    cluster.shutdown_node("n3")
+    ledger = cluster.remote.ledger(LICENSE)
+    return {
+        "served": (served_a, served_b),
+        "outstanding": cluster.outstanding(LICENSE),
+        "available": ledger.available,
+        "lost": ledger.lost_units,
+        "renewals": cluster.remote.renewals_served,
+        "clocks": {name: node.machine.clock.cycles
+                   for name, node in cluster.nodes.items()},
+        "attestations": {name: node.machine.stats.remote_attestations
+                         for name, node in cluster.nodes.items()},
+    }
+
+
+def test_fleet_experiment_identical_across_transports():
+    in_process = fleet_fingerprint("in-process")
+    serialized = fleet_fingerprint("serialized")
+    assert in_process == serialized
+
+
+def test_deployment_identical_across_transports():
+    results = {}
+    for transport in ("in-process", "serialized"):
+        deployment = SecureLeaseDeployment(seed=5, transport=transport)
+        blob = deployment.issue_license("lic-d", 5_000)
+        manager = deployment.manager_for("app")
+        manager.load_license("lic-d", blob)
+        served = sum(manager.check("lic-d") for _ in range(60))
+        results[transport] = (
+            served,
+            deployment.machine.clock.cycles,
+            deployment.machine.stats.remote_attestations,
+            deployment.remote.ledger("lic-d").available,
+        )
+    assert results["in-process"] == results["serialized"]

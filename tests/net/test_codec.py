@@ -1,0 +1,183 @@
+"""Wire codec tests: every protocol message survives the wire unchanged."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.protocol import (
+    AttestRequest,
+    AttestResponse,
+    InitRequest,
+    InitResponse,
+    RenewRequest,
+    RenewResponse,
+    ShutdownNotice,
+    Status,
+)
+from repro.core.tokens import ExecutionToken
+from repro.crypto.sealing import SealedBlob
+from repro.net import codec
+from repro.sgx.attestation import AttestationReport
+
+# ----------------------------------------------------------------------
+# Strategies covering the full protocol surface
+# ----------------------------------------------------------------------
+words = st.integers(min_value=0, max_value=2**64 - 1)
+small_ints = st.integers(min_value=0, max_value=2**31 - 1)
+license_ids = st.text(min_size=1, max_size=24)
+blobs = st.binary(max_size=64)
+ratios = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+statuses = st.sampled_from(list(Status))
+
+reports = st.builds(
+    AttestationReport,
+    source_measurement=words,
+    target_measurement=words,
+    nonce=words,
+    mac=words,
+)
+
+sealed_blobs = st.builds(SealedBlob, ciphertext=blobs, nonce=blobs)
+
+
+@st.composite
+def execution_tokens(draw):
+    initial = draw(st.integers(min_value=1, max_value=1000))
+    return ExecutionToken(
+        license_id=draw(license_ids),
+        lease_id=draw(small_ints),
+        nonce=draw(words),
+        grants=draw(st.integers(min_value=0, max_value=initial)),
+        initial_grants=initial,
+        mac=draw(words),
+    )
+
+
+protocol_messages = st.one_of(
+    st.builds(InitRequest, slid=st.none() | small_ints, report=reports,
+              platform_secret=words),
+    st.builds(InitResponse, status=statuses, slid=st.none() | small_ints,
+              old_backup_key=st.none() | words),
+    st.builds(RenewRequest, slid=small_ints, license_id=license_ids,
+              license_blob=blobs, network_reliability=ratios, health=ratios,
+              weight=st.floats(min_value=0.0, max_value=100.0,
+                               allow_nan=False)),
+    st.builds(RenewResponse, status=statuses, granted_units=small_ints,
+              lease_kind=st.sampled_from(["count", "time", "execution_time",
+                                          "perpetual"]),
+              tick_seconds=st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False)),
+    st.builds(ShutdownNotice, slid=small_ints, root_key=words),
+    st.builds(AttestRequest, report=reports, license_id=license_ids,
+              license_blob=blobs, tokens_requested=small_ints),
+    st.builds(AttestResponse, status=statuses,
+              token=st.none() | execution_tokens()),
+    reports,
+    sealed_blobs,
+    execution_tokens(),
+)
+
+plain_payloads = st.recursive(
+    st.none() | st.booleans() | st.integers() | license_ids | blobs
+    | st.floats(allow_nan=False, allow_infinity=False),
+    lambda children: st.lists(children, max_size=4)
+    | st.tuples(children, children)
+    | st.dictionaries(license_ids, children, max_size=4),
+    max_leaves=8,
+)
+
+
+# ----------------------------------------------------------------------
+# The round-trip property (the wire is lossless)
+# ----------------------------------------------------------------------
+@given(protocol_messages)
+def test_every_protocol_message_survives_the_wire(message):
+    encoded = codec.encode_payload(message)
+    # Force an actual JSON round trip: what really goes over a socket.
+    rebuilt = codec.decode_payload(json.loads(json.dumps(encoded)))
+    assert rebuilt == message
+    assert type(rebuilt) is type(message)
+
+
+@given(protocol_messages)
+def test_to_wire_from_wire_inverse(message):
+    assert type(message).from_wire(
+        json.loads(json.dumps(message.to_wire()))
+    ) == message
+
+
+@given(plain_payloads)
+def test_plain_payloads_survive_the_wire(payload):
+    rebuilt = codec.decode_payload(json.loads(json.dumps(
+        codec.encode_payload(payload)
+    )))
+    assert rebuilt == payload
+
+
+@given(protocol_messages, st.integers(min_value=0, max_value=2**31))
+def test_request_envelope_round_trip(message, request_id):
+    data = codec.encode_request("renew", message, request_id)
+    method, payload, rid = codec.decode_request(data)
+    assert (method, payload, rid) == ("renew", message, request_id)
+
+
+@given(protocol_messages)
+def test_response_envelope_round_trip(message):
+    assert codec.decode_response(codec.encode_response(message, 7)) == message
+
+
+# ----------------------------------------------------------------------
+# Strictness: versioning, unknown types, error envelopes, framing
+# ----------------------------------------------------------------------
+def test_status_decodes_to_the_singleton():
+    rebuilt = codec.decode_payload(codec.encode_payload(Status.EXHAUSTED))
+    assert rebuilt is Status.EXHAUSTED  # `is` comparisons keep working
+
+
+def test_wrong_version_rejected():
+    envelope = json.loads(codec.encode_request("init", None).decode())
+    envelope["v"] = codec.WIRE_VERSION + 1
+    with pytest.raises(codec.CodecError, match="version"):
+        codec.decode_request(json.dumps(envelope).encode())
+
+
+def test_unknown_message_type_rejected():
+    with pytest.raises(codec.CodecError, match="unknown message type"):
+        codec.decode_payload({"__kind__": "msg", "type": "Pickle", "fields": {}})
+
+
+def test_unregistered_object_rejected():
+    class Rogue:
+        def to_wire(self):
+            return {}
+
+    with pytest.raises(codec.CodecError, match="not wire-encodable"):
+        codec.encode_payload(Rogue())
+
+
+def test_garbage_frame_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.decode_response(b"\xff\xfenot json")
+
+
+def test_error_envelope_raises_remote_call_error():
+    data = codec.encode_error("LicenseUnknown: lic-x", 3)
+    with pytest.raises(codec.RemoteCallError, match="LicenseUnknown"):
+        codec.decode_response(data)
+
+
+def test_shutdown_none_response_is_encodable():
+    assert codec.decode_response(codec.encode_response(None)) is None
+
+
+def test_frame_length_cap():
+    with pytest.raises(codec.CodecError, match="exceeds"):
+        codec.frame_length(codec.FRAME_HEADER.pack(codec.MAX_FRAME_BYTES + 1))
+
+
+def test_frame_round_trip():
+    data = codec.encode_request("renew", ("a", 1))
+    framed = codec.frame(data)
+    assert codec.frame_length(framed[:4]) == len(data)
+    assert framed[4:] == data

@@ -4,8 +4,15 @@ import pytest
 
 from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
 from repro.net.rpc import RemoteEndpoint, RpcError
+from repro.net.transport import HandlerTable, InProcessTransport
 from repro.sim.clock import Clock, seconds_to_cycles
 from repro.sim.rng import DeterministicRng
+
+
+def make_endpoint(handlers, conditions=None, seed=1):
+    link = SimulatedLink(conditions or NetworkConditions(),
+                         DeterministicRng(seed))
+    return RemoteEndpoint(InProcessTransport(HandlerTable(handlers), link))
 
 
 class TestNetworkConditions:
@@ -75,59 +82,112 @@ class TestSimulatedLink:
         assert 0.7 < link.observed_reliability < 0.9
 
 
+class TestRetryExhaustion:
+    def test_exhaustion_charges_every_attempt(self):
+        """All attempts drop: NetworkError, and each attempt cost an RTT."""
+        link = SimulatedLink(NetworkConditions(reliability=0.05,
+                                               round_trip_seconds=0.02),
+                             DeterministicRng(11))
+        clock = Clock()
+        with pytest.raises(NetworkError):
+            for _ in range(500):
+                link.round_trip(clock, max_attempts=3)
+        assert link.messages_sent >= 3
+        assert clock.cycles == link.messages_sent * seconds_to_cycles(0.02)
+
+    def test_single_attempt_budget(self):
+        link = SimulatedLink(NetworkConditions(reliability=0.05),
+                             DeterministicRng(5))
+        failures = 0
+        clock = Clock()
+        for _ in range(200):
+            try:
+                assert link.round_trip(clock, max_attempts=1) == 1
+            except NetworkError:
+                failures += 1
+        assert failures > 0
+        assert link.messages_sent == 200  # one attempt each, no retries
+
+    def test_observed_reliability_counts_exhausted_bursts(self):
+        """Partial drops: the probe equals delivered/sent exactly and
+        keeps counting attempts inside failed (exhausted) bursts."""
+        link = SimulatedLink(NetworkConditions(reliability=0.4),
+                             DeterministicRng(13))
+        clock = Clock()
+        exhausted = 0
+        for _ in range(300):
+            try:
+                link.round_trip(clock, max_attempts=2)
+            except NetworkError:
+                exhausted += 1
+        assert exhausted > 0
+        assert link.messages_dropped > 0
+        delivered = link.messages_sent - link.messages_dropped
+        assert link.observed_reliability == delivered / link.messages_sent
+        assert 0.3 < link.observed_reliability < 0.5
+
+    def test_observed_reliability_before_traffic_is_nominal(self):
+        link = SimulatedLink(NetworkConditions(reliability=0.7),
+                             DeterministicRng(1))
+        assert link.observed_reliability == 0.7
+
+
 class TestRpc:
     def test_dispatches_to_handler(self):
-        link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
-        endpoint = RemoteEndpoint(link)
-        endpoint.register("echo", lambda request: ("echoed", request))
+        endpoint = make_endpoint({"echo": lambda request: ("echoed", request)})
         assert endpoint.call("echo", 42, clock=Clock()) == ("echoed", 42)
 
     def test_unknown_method_rejected(self):
-        endpoint = RemoteEndpoint(
-            SimulatedLink(NetworkConditions(), DeterministicRng(1))
-        )
+        endpoint = make_endpoint({})
         with pytest.raises(RpcError):
             endpoint.call("ghost", None, clock=Clock())
 
     def test_duplicate_registration_rejected(self):
-        endpoint = RemoteEndpoint(
-            SimulatedLink(NetworkConditions(), DeterministicRng(1))
-        )
-        endpoint.register("m", lambda r: r)
+        table = HandlerTable({"m": lambda r: r})
         with pytest.raises(ValueError):
-            endpoint.register("m", lambda r: r)
+            table.register("m", lambda r: r)
 
     def test_call_charges_network_time(self):
-        endpoint = RemoteEndpoint(
-            SimulatedLink(NetworkConditions(round_trip_seconds=0.1),
-                          DeterministicRng(1))
+        endpoint = make_endpoint(
+            {"noop": lambda r: None},
+            NetworkConditions(round_trip_seconds=0.1),
         )
-        endpoint.register("noop", lambda r: None)
         clock = Clock()
         endpoint.call("noop", None, clock=clock)
         assert clock.cycles == seconds_to_cycles(0.1)
 
     def test_clock_kwarg_forwarded_when_handler_wants_it(self):
-        endpoint = RemoteEndpoint(
-            SimulatedLink(NetworkConditions(), DeterministicRng(1))
-        )
         seen = {}
 
         def handler(request, clock):
             seen["clock"] = clock
 
-        endpoint.register("wants_clock", handler)
+        endpoint = make_endpoint({"wants_clock": handler})
         clock = Clock()
         endpoint.call("wants_clock", None, clock=clock)
         assert seen["clock"] is clock
 
     def test_network_failure_surfaces_as_rpc_error(self):
-        endpoint = RemoteEndpoint(
-            SimulatedLink(NetworkConditions(reliability=0.01),
-                          DeterministicRng(3))
+        endpoint = make_endpoint(
+            {"noop": lambda r: None},
+            NetworkConditions(reliability=0.01),
+            seed=3,
         )
-        endpoint.register("noop", lambda r: None)
         clock = Clock()
         with pytest.raises(RpcError):
             for _ in range(500):
                 endpoint.call("noop", None, clock=clock)
+
+    def test_missing_clock_is_an_error(self):
+        """The silent clock=None link bypass is gone for good."""
+        endpoint = make_endpoint({"noop": lambda r: None})
+        with pytest.raises(RpcError, match="local=True"):
+            endpoint.call("noop", None)
+
+    def test_explicit_local_bypass_charges_nothing(self):
+        endpoint = make_endpoint(
+            {"noop": lambda r: "ran"},
+            NetworkConditions(round_trip_seconds=0.1),
+        )
+        assert endpoint.call("noop", None, local=True) == "ran"
+        assert endpoint.link.messages_sent == 0

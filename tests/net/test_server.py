@@ -1,0 +1,139 @@
+"""LeaseServer + TcpTransport: the lease protocol over real sockets."""
+
+import threading
+
+import pytest
+
+from repro.core.protocol import InitRequest, InitResponse, Status
+from repro.core.sl_local import SlLocal
+from repro.core.sl_manager import SlManager
+from repro.core.sl_remote import SlRemote
+from repro.crypto.keys import KeyGenerator
+from repro.net.network import NetworkConditions
+from repro.net.rpc import RpcError, connect_tcp
+from repro.net.server import LeaseServer
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.sim.clock import seconds_to_cycles
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture()
+def server():
+    ras = RemoteAttestationService(accept_any_platform=True)
+    remote = SlRemote(ras)
+    remote.issue_license("lic-tcp", 50_000)
+    srv = LeaseServer(remote, port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def make_client(server, name, seed, rtt=0.004):
+    machine = SgxMachine(name)
+    endpoint = connect_tcp(
+        *server.address,
+        conditions=NetworkConditions(round_trip_seconds=rtt),
+        timeout_seconds=5.0,
+    )
+    sl_local = SlLocal(machine, endpoint, KeyGenerator(DeterministicRng(seed)),
+                       tokens_per_attestation=10)
+    return machine, sl_local
+
+
+class TestTcpLifecycle:
+    def test_raw_init_round_trip(self, server):
+        machine = SgxMachine("raw")
+        endpoint = connect_tcp(*server.address)
+        report = machine.local_authority.generate_report(1, 1, nonce=1)
+        response = endpoint.call(
+            "init",
+            InitRequest(slid=None, report=report,
+                        platform_secret=machine.platform_secret),
+            clock=machine.clock,
+        )
+        assert isinstance(response, InitResponse)
+        assert response.status is Status.OK
+        assert response.slid == 1
+        endpoint.close()
+
+    def test_full_lifecycle_over_tcp(self, server):
+        """init -> renew (via attest) -> graceful shutdown, on a real socket."""
+        machine, sl_local = make_client(server, "tcp-client", seed=1)
+        sl_local.init()
+        assert sl_local.slid is not None
+
+        blob = server.remote.license_definition("lic-tcp").license_blob()
+        manager = SlManager("app", machine, sl_local,
+                            tokens_per_attestation=10)
+        manager.load_license("lic-tcp", blob)
+        served = sum(manager.check("lic-tcp") for _ in range(30))
+        assert served == 30
+        assert sl_local.remote_renewals >= 1
+
+        sl_local.shutdown()
+        state = server.remote._clients[sl_local.slid]
+        assert state.graceful_shutdown
+        assert state.escrowed_root_key is not None
+        assert server.requests_served >= 3  # init + renewals + shutdown
+
+    def test_two_clients_served_concurrently(self, server):
+        clients = [make_client(server, f"c{i}", seed=i) for i in range(2)]
+        errors = []
+
+        def lifecycle(machine, sl_local):
+            try:
+                sl_local.init()
+                blob = server.remote.license_definition(
+                    "lic-tcp"
+                ).license_blob()
+                manager = SlManager(f"app@{machine.name}", machine, sl_local,
+                                    tokens_per_attestation=10)
+                manager.load_license("lic-tcp", blob)
+                assert sum(manager.check("lic-tcp") for _ in range(20)) == 20
+                sl_local.shutdown()
+            except Exception as exc:  # noqa: BLE001 - reported to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=lifecycle, args=client)
+                   for client in clients]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        slids = {sl_local.slid for _, sl_local in clients}
+        assert len(slids) == 2  # each client got its own identity
+        assert server.connections_accepted >= 2
+
+    def test_rtt_charged_virtually_per_request(self, server):
+        machine, sl_local = make_client(server, "billing", seed=9, rtt=0.25)
+        before = machine.clock.cycles
+        sl_local.init()
+        # At least one request's virtual RTT (init may also charge RA
+        # time server-side, which does NOT land on the client clock).
+        assert machine.clock.cycles - before >= seconds_to_cycles(0.25)
+
+    def test_server_error_surfaces_without_retry(self, server):
+        endpoint = connect_tcp(*server.address, max_attempts=5)
+        machine = SgxMachine("err")
+        with pytest.raises(RpcError, match="remote error"):
+            # Unknown method: the server answers with an error envelope.
+            endpoint.call("warp", None, clock=machine.clock)
+        assert endpoint.transport.messages_sent == 1  # no retry storm
+
+
+class TestTcpFailure:
+    def test_unreachable_server_retries_then_fails(self):
+        endpoint = connect_tcp("127.0.0.1", 1,  # port 1: nothing listens
+                               max_attempts=2, backoff_seconds=0.001,
+                               timeout_seconds=0.2)
+        machine = SgxMachine("lost")
+        with pytest.raises(RpcError, match="after 2 attempts"):
+            endpoint.call("init", None, clock=machine.clock)
+        assert endpoint.transport.messages_dropped == 2
+        assert endpoint.transport.observed_reliability == 0.0
+
+    def test_tcp_cannot_bypass_the_network(self):
+        endpoint = connect_tcp("127.0.0.1", 1)
+        with pytest.raises(RpcError, match="cannot bypass"):
+            endpoint.call("init", None, local=True)

@@ -1,0 +1,127 @@
+"""Transport backends: loopback equivalence and the serialization gate."""
+
+import pytest
+
+from repro.core.protocol import RenewResponse, Status
+from repro.core.sl_local import SlLocal
+from repro.core.sl_remote import SlRemote
+from repro.crypto.keys import KeyGenerator
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.net.rpc import RemoteEndpoint, RpcError, connect_remote
+from repro.net.transport import (
+    HandlerTable,
+    InProcessTransport,
+    SerializedLoopbackTransport,
+    loopback_transport,
+)
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+
+
+def build_stack(transport: str, seed: int = 4):
+    """One SL-Remote + one SL-Local wired through the named transport."""
+    rng = DeterministicRng(seed)
+    ras = RemoteAttestationService()
+    remote = SlRemote(ras)
+    remote.issue_license("lic-t", 10_000)
+    machine = SgxMachine("client")
+    ras.register_platform(machine.platform_secret)
+    link = SimulatedLink(NetworkConditions(reliability=0.9),
+                         rng.fork("net"))
+    endpoint = connect_remote(remote, link, transport=transport)
+    sl_local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
+                       tokens_per_attestation=10)
+    return remote, machine, sl_local
+
+
+class TestLoopbackEquivalence:
+    def test_lifecycle_identical_across_backends(self):
+        """init/renew/shutdown produce bit-identical state and timing."""
+        results = {}
+        for transport in ("in-process", "serialized"):
+            remote, machine, sl_local = build_stack(transport)
+            sl_local.init()
+            status = sl_local._fetch_lease(
+                "lic-t", remote.license_definition("lic-t").license_blob()
+            )
+            assert status is Status.OK
+            sl_local.shutdown()
+            ledger = remote.ledger("lic-t")
+            results[transport] = (
+                sl_local.slid,
+                machine.clock.cycles,
+                machine.stats.remote_attestations,
+                ledger.available,
+                dict(ledger.outstanding),
+                remote.renewals_served,
+            )
+        assert results["in-process"] == results["serialized"]
+
+    def test_serialized_severs_object_identity(self):
+        """The handler must see a rebuilt copy, never the caller's object."""
+        seen = {}
+
+        def handler(request):
+            seen["request"] = request
+            return request
+
+        for cls, shares_identity in (
+            (InProcessTransport, True),
+            (SerializedLoopbackTransport, False),
+        ):
+            link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
+            transport = cls(HandlerTable({"echo": handler}), link)
+            sent = RenewResponse(status=Status.OK, granted_units=3)
+            received = transport.request("echo", sent, clock=Clock())
+            assert received == sent
+            assert (seen["request"] is sent) == shares_identity
+            assert (received is sent) == shares_identity
+
+    def test_serialized_rejects_unencodable_payloads(self):
+        from repro.net.codec import CodecError
+
+        link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        transport = SerializedLoopbackTransport(
+            HandlerTable({"echo": lambda r: r}), link
+        )
+        with pytest.raises(CodecError):
+            transport.request("echo", object(), clock=Clock())
+
+    def test_serialized_counts_wire_bytes(self):
+        link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        transport = SerializedLoopbackTransport(
+            HandlerTable({"echo": lambda r: r}), link
+        )
+        transport.request("echo", ("payload", 123), clock=Clock())
+        assert transport.bytes_sent > 0
+        assert transport.bytes_received > 0
+
+    def test_unknown_backend_name_rejected(self):
+        link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        with pytest.raises(ValueError, match="unknown loopback transport"):
+            loopback_transport("carrier-pigeon", HandlerTable({}), link)
+
+
+class TestEndpointContract:
+    def test_network_failure_is_rpc_error_on_both_backends(self):
+        for transport in ("in-process", "serialized"):
+            link = SimulatedLink(NetworkConditions(reliability=0.01),
+                                 DeterministicRng(3))
+            handlers = HandlerTable({"noop": lambda r: None})
+            endpoint = RemoteEndpoint(
+                loopback_transport(transport, handlers, link)
+            )
+            clock = Clock()
+            with pytest.raises(RpcError):
+                for _ in range(500):
+                    endpoint.call("noop", None, clock=clock)
+
+    def test_calls_made_counts_successes_only(self):
+        handlers = HandlerTable({"noop": lambda r: None})
+        link = SimulatedLink(NetworkConditions(), DeterministicRng(1))
+        endpoint = RemoteEndpoint(InProcessTransport(handlers, link))
+        endpoint.call("noop", None, clock=Clock())
+        with pytest.raises(RpcError):
+            endpoint.call("ghost", None, clock=Clock())
+        assert endpoint.calls_made == 1
