@@ -1,0 +1,270 @@
+"""Fleet-scale TCP load: one serialized server vs a sharded fleet.
+
+The sharding release's headline claim, measured end to end over real
+sockets: a single SL-Remote that serializes every request behind one
+lock (the pre-sharding server, ``--serialize-dispatch``) is bounded by
+the durable ledger commit — every grant pays ``--ledger-commit-seconds``
+inside the global critical section, one at a time.  Per-license locking
+plus consistent-hash sharding lets commits for *different* licenses
+overlap, so a multi-license workload scales with the number of licenses
+in flight instead of queueing world-wide.
+
+The harness starts real ``repro.cli serve-remote`` subprocesses (one
+``--serialize-dispatch`` baseline; N ``--shard-of i:N`` shard workers),
+drives a crowd of concurrent client threads through raw TCP endpoints,
+and reports requests/s plus p50/p99 client-observed latency.  Every run
+ends with a fleet-wide ``ledger_probe`` audit: units granted, returned,
+and outstanding must balance each license's pool exactly — speed that
+loses units would be a non-result.
+
+``SL_LOAD_SMOKE=1`` shrinks the crowd (16 clients, 2 shards) for CI;
+the >= 2x speedup assertion only applies at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.protocol import InitRequest, RenewRequest, Status
+from repro.net.rpc import connect_tcp
+from repro.net.sharding import HashRing, connect_sharded_tcp, \
+    default_shard_names
+from repro.sgx import SgxMachine
+from repro.sim.clock import Clock
+
+SMOKE = bool(os.environ.get("SL_LOAD_SMOKE"))
+
+CLIENTS = 16 if SMOKE else 100
+SHARDS = 2 if SMOKE else 4
+LICENSES = 4 if SMOKE else 8
+RENEWALS_PER_CLIENT = 2 if SMOKE else 4
+COMMIT_SECONDS = 0.01 if SMOKE else 0.02
+POOL = 10**9
+
+MARKER = "SL-Remote listening on "
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ----------------------------------------------------------------------
+# Server-process harness
+# ----------------------------------------------------------------------
+def _license_args():
+    return [arg
+            for index in range(LICENSES)
+            for arg in ("--license", f"lic-{index}:{POOL}")]
+
+
+def _spawn_server(extra_args):
+    """Start one serve-remote subprocess; returns (process, (host, port))."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    command = [
+        sys.executable, "-m", "repro.cli", "serve-remote",
+        "--port", "0", "--accept-any-platform",
+        "--ledger-commit-seconds", str(COMMIT_SECONDS),
+        *_license_args(), *extra_args,
+    ]
+    process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                               stderr=subprocess.STDOUT, text=True, env=env)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if line.startswith(MARKER):
+            host, port = line[len(MARKER):].strip().rsplit(":", 1)
+            return process, (host, int(port))
+    process.kill()
+    raise RuntimeError("serve-remote subprocess never reported its port")
+
+
+def _stop(processes):
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+@pytest.fixture
+def baseline_server():
+    process, address = _spawn_server(["--serialize-dispatch"])
+    yield address
+    _stop([process])
+
+
+@pytest.fixture
+def shard_fleet():
+    processes, addresses = [], []
+    try:
+        for index in range(SHARDS):
+            process, address = _spawn_server(
+                ["--shard-of", f"{index}:{SHARDS}"]
+            )
+            processes.append(process)
+            addresses.append(address)
+        yield addresses
+    finally:
+        _stop(processes)
+
+
+# ----------------------------------------------------------------------
+# Client crowd
+# ----------------------------------------------------------------------
+def _blob_for(license_id):
+    """Clients rebuild the license blob the servers mint (same vendor
+    secret) instead of reaching into another process's memory."""
+    from repro.core.licensefile import VENDOR_SECRET, mint_license_blob
+
+    return mint_license_blob(license_id, VENDOR_SECRET)
+
+
+def _drive_crowd(make_endpoint):
+    """CLIENTS threads: init once, then renew/return in a tight loop.
+
+    Each renewal's units are returned straight away so the next renewal
+    grants again (and therefore pays the durable commit) — the workload
+    stays commit-bound for its whole duration, which is the regime the
+    lock-granularity comparison is about.  Returns (elapsed_seconds,
+    request_count, sorted_latencies).
+    """
+    blobs = {f"lic-{i}": _blob_for(f"lic-{i}") for i in range(LICENSES)}
+    latencies = [[] for _ in range(CLIENTS)]
+    requests = [0] * CLIENTS
+    failures = []
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def client(index):
+        license_id = f"lic-{index % LICENSES}"
+        machine = SgxMachine(f"load-{index}")
+        endpoint = make_endpoint()
+        try:
+            report = machine.local_authority.generate_report(1, 1, nonce=1)
+            response = endpoint.call(
+                "init",
+                InitRequest(slid=None, report=report,
+                            platform_secret=machine.platform_secret),
+                clock=machine.clock, stats=machine.stats,
+            )
+            slid = response.slid
+            barrier.wait()
+            for _ in range(RENEWALS_PER_CLIENT):
+                start = time.monotonic()
+                renewal = endpoint.call(
+                    "renew",
+                    RenewRequest(slid=slid, license_id=license_id,
+                                 license_blob=blobs[license_id],
+                                 network_reliability=1.0, health=1.0),
+                    clock=machine.clock,
+                )
+                latencies[index].append(time.monotonic() - start)
+                requests[index] += 1
+                if renewal.status is not Status.OK:
+                    failures.append((index, renewal.status))
+                    return
+                endpoint.call(
+                    "return_units",
+                    (slid, license_id, renewal.granted_units),
+                    clock=machine.clock,
+                )
+                requests[index] += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced to the main thread
+            failures.append((index, exc))
+            try:
+                barrier.wait(timeout=1)
+            except threading.BrokenBarrierError:
+                pass
+        finally:
+            endpoint.close()
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # all clients initialized; the clock starts now
+    start = time.monotonic()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.monotonic() - start
+    assert not failures, f"client failures: {failures[:3]}"
+    flat = sorted(lat for per_client in latencies for lat in per_client)
+    return elapsed, sum(requests), flat
+
+
+def _audit_conservation(make_endpoint):
+    """Fleet-wide ledger probe: every pool must balance exactly."""
+    endpoint = make_endpoint()
+    try:
+        probe = endpoint.call("ledger_probe", None, clock=Clock())
+    finally:
+        endpoint.close()
+    assert len(probe) == LICENSES
+    for license_id, entry in probe.items():
+        assert entry["outstanding"] + entry["lost"] + entry["available"] \
+            == entry["total"], f"{license_id} leaked units"
+
+
+def _quantile(sorted_values, q):
+    return sorted_values[min(len(sorted_values) - 1,
+                             int(q * len(sorted_values)))]
+
+
+def _row(label, elapsed, count, latencies):
+    return [label, count, f"{count / elapsed:8.1f}",
+            f"{_quantile(latencies, 0.50) * 1e3:7.1f}",
+            f"{_quantile(latencies, 0.99) * 1e3:7.1f}"]
+
+
+# ----------------------------------------------------------------------
+# The benchmark
+# ----------------------------------------------------------------------
+def test_sharded_fleet_outscales_serialized_server(
+    baseline_server, shard_fleet, benchmark, table_printer
+):
+    def measure():
+        base_elapsed, base_count, base_lat = _drive_crowd(
+            lambda: connect_tcp(*baseline_server, timeout_seconds=120.0)
+        )
+        _audit_conservation(
+            lambda: connect_tcp(*baseline_server, timeout_seconds=120.0)
+        )
+        fleet_elapsed, fleet_count, fleet_lat = _drive_crowd(
+            lambda: connect_sharded_tcp(shard_fleet, timeout_seconds=120.0)
+        )
+        _audit_conservation(
+            lambda: connect_sharded_tcp(shard_fleet, timeout_seconds=120.0)
+        )
+        return (base_elapsed, base_count, base_lat,
+                fleet_elapsed, fleet_count, fleet_lat)
+
+    (base_elapsed, base_count, base_lat,
+     fleet_elapsed, fleet_count, fleet_lat) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = (fleet_count / fleet_elapsed) / (base_count / base_elapsed)
+    table_printer(
+        f"TCP server load: {CLIENTS} clients, {LICENSES} licenses, "
+        f"{COMMIT_SECONDS * 1e3:.0f} ms ledger commit"
+        + (" [smoke]" if SMOKE else ""),
+        ["Configuration", "Requests", "Req/s", "p50 ms", "p99 ms"],
+        [
+            _row("1 server, global lock", base_elapsed, base_count, base_lat),
+            _row(f"{SHARDS} shards, per-license locks",
+                 fleet_elapsed, fleet_count, fleet_lat),
+            ["speedup", "", f"{speedup:8.2f}x", "", ""],
+        ],
+    )
+    # Both configurations served the identical workload.
+    assert base_count == fleet_count == CLIENTS * RENEWALS_PER_CLIENT * 2
+    if not SMOKE:
+        # The acceptance bar: commits overlapping across licenses and
+        # shards must at least double throughput on this workload.
+        assert speedup >= 2.0, f"sharded fleet only {speedup:.2f}x faster"

@@ -125,7 +125,8 @@ def cmd_attack(args) -> int:
 
 
 def cmd_fleet(args) -> int:
-    cluster = Cluster(seed=args.seed, transport=args.transport)
+    cluster = Cluster(seed=args.seed, transport=args.transport,
+                      shards=args.shards)
     cluster.issue_license("lic-fleet", args.units)
     healths = [1.0, 0.95, 0.8, 0.6]
     for index in range(args.nodes):
@@ -168,10 +169,37 @@ def _parse_license_spec(spec: str):
     return license_id, units, kind, tick_seconds
 
 
+def _parse_shard_of(spec: str):
+    """Parse ``--shard-of I:N`` (also accepts ``I/N``)."""
+    separator = ":" if ":" in spec else "/"
+    try:
+        index_text, count_text = spec.split(separator, 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"--shard-of {spec!r} must look like I:N (e.g. 0:4)"
+        ) from None
+    if not 0 <= index < count:
+        raise ValueError(f"--shard-of index {index} out of range for {count}")
+    return index, count
+
+
 def cmd_serve_remote(args) -> int:
-    """Run SL-Remote as a real TCP server (the vendor-side process)."""
+    """Run SL-Remote as a real TCP server (the vendor-side process).
+
+    Three shapes:
+
+    * default — one SL-Remote, per-license locking;
+    * ``--shards N`` — N in-process shards behind one port (a
+      consistent-hash ring partitions the license ledgers);
+    * ``--shard-of I:N`` — this process *is* shard I of an N-shard
+      fleet: it issues only the licenses the ring assigns to it, and
+      expects clients to route through ``connect_sharded_tcp`` (which
+      mirrors SLIDs and crash write-offs across the fleet).
+    """
     from repro.core.sl_remote import SlRemote
     from repro.net.server import LeaseServer
+    from repro.net.sharding import HashRing, ShardedRemote, default_shard_names
     from repro.sgx import RemoteAttestationService
 
     ras = RemoteAttestationService(
@@ -179,15 +207,41 @@ def cmd_serve_remote(args) -> int:
     )
     for secret in args.platform_secret:
         ras.register_platform(int(secret, 0))
-    remote = SlRemote(ras)
+
+    owned_licenses = None  # None: this process owns every license
+    if args.shard_of:
+        index, count = _parse_shard_of(args.shard_of)
+        names = (args.ring.split(",") if args.ring
+                 else default_shard_names(count))
+        if len(names) != count:
+            raise SystemExit(
+                f"--ring names {len(names)} shards, --shard-of says {count}"
+            )
+        ring = HashRing(names)
+        shard_name = names[index]
+        owned_licenses = lambda lid: ring.shard_for(lid) == shard_name  # noqa: E731
+        remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
+        print(f"shard {shard_name} ({index + 1} of {count})", flush=True)
+    elif args.shards > 1:
+        remote = ShardedRemote(ras, shards=args.shards,
+                               ledger_commit_seconds=args.ledger_commit_seconds)
+        print(f"sharded SL-Remote: {args.shards} in-process shards", flush=True)
+    else:
+        remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
+
     for spec in args.license:
         license_id, units, kind, tick_seconds = _parse_license_spec(spec)
+        if owned_licenses is not None and not owned_licenses(license_id):
+            print(f"skipped license {license_id!r}: owned by another shard",
+                  flush=True)
+            continue
         remote.issue_license(license_id, units, kind=kind,
                              tick_seconds=tick_seconds)
         print(f"issued license {license_id!r}: {units:,} units "
               f"({kind.value})", flush=True)
 
-    server = LeaseServer(remote, host=args.host, port=args.port)
+    server = LeaseServer(remote, host=args.host, port=args.port,
+                         serialize_dispatch=args.serialize_dispatch)
     host, port = server.start()
     # Exact marker line: scripts and the integration test parse it to
     # discover an ephemeral port (--port 0).
@@ -262,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
                               default="in-process",
                               help="loopback transport between each node "
                                    "and SL-Remote")
+    fleet_parser.add_argument("--shards", type=int, default=1,
+                              help="partition the vendor ledgers across N "
+                                   "consistent-hash shards")
 
     serve_parser = subparsers.add_parser(
         "serve-remote",
@@ -280,6 +337,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--accept-any-platform", action="store_true",
                               help="enroll platforms on first contact "
                                    "(demo/testing only)")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="partition the license ledgers across N "
+                                   "in-process shards behind this one port")
+    serve_parser.add_argument("--shard-of", default="", metavar="I:N",
+                              help="serve as shard I of an N-process fleet: "
+                                   "issue only the licenses the consistent-"
+                                   "hash ring assigns to this shard")
+    serve_parser.add_argument("--ring", default="", metavar="NAME,NAME,...",
+                              help="explicit shard names for --shard-of "
+                                   "(default: shard-0..shard-N-1; all fleet "
+                                   "members must agree)")
+    serve_parser.add_argument("--serialize-dispatch", action="store_true",
+                              help="serialize every request behind one lock "
+                                   "(pre-sharding behavior; benchmark "
+                                   "baseline)")
+    serve_parser.add_argument("--ledger-commit-seconds", type=float,
+                              default=0.0,
+                              help="simulated durable-commit latency charged "
+                                   "inside each license's critical section")
 
     return parser
 

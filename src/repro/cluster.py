@@ -67,7 +67,8 @@ class Cluster:
     def __init__(self, seed: int = 0,
                  policy: Optional[RenewalPolicy] = None,
                  costs: Optional[SgxCostModel] = None,
-                 transport: str = "in-process") -> None:
+                 transport: str = "in-process",
+                 shards: int = 1) -> None:
         self.rng = DeterministicRng(seed)
         self.costs = costs
         #: Loopback transport backend each node talks to SL-Remote
@@ -75,8 +76,18 @@ class Cluster:
         #: identical for both — the serialized backend just proves the
         #: tiers share no objects.
         self.transport = transport
+        self.shards = shards
         self.ras = RemoteAttestationService(costs)
-        self.remote = SlRemote(self.ras, policy=policy)
+        #: With ``shards > 1`` the vendor side is a consistent-hash
+        #: fleet; probes and provisioning below are unchanged because
+        #: :class:`~repro.net.sharding.ShardedRemote` routes them.
+        if shards > 1:
+            from repro.net.sharding import ShardedRemote
+
+            self.remote = ShardedRemote(self.ras, shards=shards,
+                                        policy=policy)
+        else:
+            self.remote = SlRemote(self.ras, policy=policy)
         self.nodes: Dict[str, ClusterNode] = {}
         self._license_blobs: Dict[str, bytes] = {}
 

@@ -53,7 +53,12 @@ from repro.core.protocol import (
 )
 from repro.core.sl_local import SlLocal, SlLocalError
 from repro.core.sl_manager import SlManager
-from repro.core.sl_remote import LicenseDefinition, LicenseUnknown, SlRemote
+from repro.core.sl_remote import (
+    LicenseDefinition,
+    LicenseShardState,
+    LicenseUnknown,
+    SlRemote,
+)
 from repro.core.tokens import ExecutionToken, TokenError
 
 __all__ = [
@@ -76,6 +81,7 @@ __all__ = [
     "LeaseTreeError",
     "LicenseDefinition",
     "LicenseLedger",
+    "LicenseShardState",
     "LicenseUnknown",
     "MurmurLeaseStore",
     "NODE_SIZE_BYTES",

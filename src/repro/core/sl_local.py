@@ -178,12 +178,19 @@ class SlLocal:
             self._return_unused_units()
         root_key = self._tree.commit_all()
         self.persisted_image = self._tree.shutdown_image
-        self.remote.call(
+        response = self.remote.call(
             "shutdown",
             ShutdownNotice(slid=self.slid, root_key=root_key),
             clock=self.machine.clock,
             stats=self.machine.stats,
         )
+        # Typed rejection (v2 servers): the escrow did not happen, so the
+        # persisted image will never restore — surface it. A None reply
+        # is a v1 server that escrowed silently.
+        if response is Status.UNKNOWN_CLIENT:
+            raise SlLocalError(
+                f"shutdown rejected: server does not know SLID {self.slid}"
+            )
         self.enclave.destroy()
 
     def _return_unused_units(self) -> None:
@@ -192,12 +199,17 @@ class SlLocal:
             record = self._tree.find(lease_id)
             gcl = record.gcl
             if gcl.kind is LeaseKind.COUNT and gcl.counter > 0:
-                self.remote.call(
+                response = self.remote.call(
                     "return_units",
                     (self.slid, gcl.license_id, gcl.counter),
                     clock=self.machine.clock,
                     stats=self.machine.stats,
                 )
+                if response is Status.UNKNOWN_CLIENT:
+                    raise SlLocalError(
+                        f"return_units rejected: server does not know "
+                        f"SLID {self.slid}"
+                    )
                 gcl.counter = 0
 
     def crash(self) -> None:

@@ -10,15 +10,35 @@ Responsibilities (Sections 5.1-5.3, 5.6-5.7):
   old-backup key (OBK) at next init;
 * enforce the pessimistic crash rule: an SL-Local that re-inits without
   having shut down gracefully forfeits every unit it held.
+
+Concurrency model
+-----------------
+SL-Remote is safe for concurrent dispatch: the wire server
+(:mod:`repro.net.server`) calls handlers from one thread per connection
+without any global serialization.  State is partitioned so renewals for
+*different* licenses never contend:
+
+* every license's definition + ledger live in one
+  :class:`LicenseShardState` record guarded by its own re-entrant lock;
+  a client's per-license holdings entry is guarded by that same lock
+  (ledger and holdings must move together for unit conservation);
+* the client/SLID registry (records, graceful flags, escrowed keys,
+  SLID allocation) is guarded by ``_clients_lock``;
+* service counters are guarded by ``_counters_lock``.
+
+Lock ordering: ``_clients_lock`` may be held while acquiring a license
+lock (the crash write-off path), never the reverse — a thread holding a
+license lock must not touch the client registry lock.
 """
 
 from __future__ import annotations
 
-import itertools
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.core.gcl import Gcl, LeaseKind
+from repro.core.gcl import LeaseKind
 from repro.core.protocol import (
     InitRequest,
     InitResponse,
@@ -30,7 +50,6 @@ from repro.core.protocol import (
 from repro.core.renewal import (
     LicenseLedger,
     NodeCondition,
-    RenewalDecision,
     RenewalPolicy,
     renew_lease,
 )
@@ -65,32 +84,63 @@ class LicenseDefinition:
 
 
 @dataclass
+class LicenseShardState:
+    """All server-side state of one license, plus the lock guarding it.
+
+    This is the unit of concurrency *and* of sharding: two requests
+    touching different ``LicenseShardState`` records proceed in
+    parallel, and a consistent-hash ring (:mod:`repro.net.sharding`)
+    can place whole records on different server processes without any
+    cross-license coupling.
+    """
+
+    definition: LicenseDefinition
+    ledger: LicenseLedger
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+
+@dataclass
 class _ClientState:
     """Server-side record of one SL-Local instance."""
 
     slid: int
     escrowed_root_key: Optional[int] = None
     graceful_shutdown: bool = False
-    #: outstanding units per license (mirror of the ledgers, per client)
+    #: outstanding units per license (mirror of the ledgers, per client);
+    #: each entry is guarded by that license's LicenseShardState.lock.
     holdings: Dict[str, int] = field(default_factory=dict)
 
 
 class SlRemote:
-    """The trusted remote server."""
+    """The trusted remote server.
+
+    ``ledger_commit_seconds`` models the durable write SL-Remote makes
+    after every ledger mutation (the monotonic-counter-class persistence
+    a real vendor server needs so a crash cannot resurrect spent units).
+    It is *real* wall-clock time spent while holding the license lock,
+    so lock granularity becomes measurable: with the old global dispatch
+    lock every request waits out every other request's commit; with
+    per-license locks only same-license requests queue.  Default 0.0 —
+    simulations are unaffected.
+    """
 
     def __init__(
         self,
         ras: RemoteAttestationService,
         policy: Optional[RenewalPolicy] = None,
         server_secret: bytes = VENDOR_SECRET,
+        ledger_commit_seconds: float = 0.0,
     ) -> None:
         self._ras = ras
         self.policy = policy if policy is not None else RenewalPolicy()
         self._server_secret = server_secret
-        self._licenses: Dict[str, LicenseDefinition] = {}
-        self._ledgers: Dict[str, LicenseLedger] = {}
+        self.ledger_commit_seconds = ledger_commit_seconds
+        self._states: Dict[str, LicenseShardState] = {}
+        self._registry_lock = threading.Lock()
         self._clients: Dict[int, _ClientState] = {}
-        self._slid_counter = itertools.count(1)
+        self._clients_lock = threading.RLock()
+        self._next_slid = 1
+        self._counters_lock = threading.Lock()
         #: Total renewal round trips served (network-cost accounting).
         self.renewals_served = 0
         self.inits_served = 0
@@ -100,12 +150,23 @@ class SlRemote:
     # ------------------------------------------------------------------
     def protocol_handlers(self) -> Dict[str, Callable]:
         """Method table every transport backend serves (the one place
-        the method-name -> handler binding is defined)."""
+        the method-name -> handler binding is defined).
+
+        ``admit``/``crash``/``ledger_probe`` are fleet-internal methods
+        used by the shard router (:mod:`repro.net.sharding`) to mirror
+        client identity and crash write-offs across shards, and by load
+        harnesses to audit unit conservation.  A production deployment
+        would authenticate shard peers (mutual attestation) before
+        honouring them; the reproduction trusts the router.
+        """
         return {
             "init": self.handle_init,
             "renew": self.handle_renew,
             "shutdown": self.handle_shutdown,
             "return_units": lambda request: self.return_units(*request),
+            "admit": self.handle_admit,
+            "crash": self.handle_crash,
+            "ledger_probe": self.handle_ledger_probe,
         }
 
     # ------------------------------------------------------------------
@@ -115,8 +176,6 @@ class SlRemote:
                       kind: LeaseKind = LeaseKind.COUNT,
                       tick_seconds: float = 0.0) -> LicenseDefinition:
         """Create a license with a total GCL pool of ``total_units``."""
-        if license_id in self._licenses:
-            raise ValueError(f"license {license_id!r} already issued")
         definition = LicenseDefinition(
             license_id=license_id,
             kind=kind,
@@ -124,32 +183,43 @@ class SlRemote:
             tick_seconds=tick_seconds,
             secret=self._server_secret,
         )
-        self._licenses[license_id] = definition
-        self._ledgers[license_id] = LicenseLedger(
-            license_id=license_id,
-            total_gcl=total_units,
-            beta=self.policy.default_beta,
+        state = LicenseShardState(
+            definition=definition,
+            ledger=LicenseLedger(
+                license_id=license_id,
+                total_gcl=total_units,
+                beta=self.policy.default_beta,
+            ),
         )
+        with self._registry_lock:
+            if license_id in self._states:
+                raise ValueError(f"license {license_id!r} already issued")
+            self._states[license_id] = state
         return definition
 
     def revoke_license(self, license_id: str) -> None:
         """Revoke: future renewals fail; outstanding sub-GCLs drain out."""
-        definition = self._licenses.get(license_id)
-        if definition is None:
+        state = self.license_state(license_id)
+        with state.lock:
+            state.definition.revoked = True
+
+    def license_state(self, license_id: str) -> LicenseShardState:
+        """The per-license state record (definition + ledger + lock)."""
+        with self._registry_lock:
+            state = self._states.get(license_id)
+        if state is None:
             raise LicenseUnknown(license_id)
-        definition.revoked = True
+        return state
+
+    def license_ids(self) -> List[str]:
+        with self._registry_lock:
+            return list(self._states)
 
     def ledger(self, license_id: str) -> LicenseLedger:
-        ledger = self._ledgers.get(license_id)
-        if ledger is None:
-            raise LicenseUnknown(license_id)
-        return ledger
+        return self.license_state(license_id).ledger
 
     def license_definition(self, license_id: str) -> LicenseDefinition:
-        definition = self._licenses.get(license_id)
-        if definition is None:
-            raise LicenseUnknown(license_id)
-        return definition
+        return self.license_state(license_id).definition
 
     # ------------------------------------------------------------------
     # SL-Local lifecycle
@@ -162,7 +232,8 @@ class SlRemote:
         crash path: its holdings are written off as lost (Section 5.7)
         and no OBK is returned, so a replayed tree image cannot restore.
         """
-        self.inits_served += 1
+        with self._counters_lock:
+            self.inits_served += 1
         try:
             self._ras.verify_remote(
                 clock, stats, request.report, request.platform_secret
@@ -170,64 +241,140 @@ class SlRemote:
         except AttestationError:
             return InitResponse(status=Status.ATTESTATION_FAILED)
 
-        if request.slid is None:
-            slid = next(self._slid_counter)
-            self._clients[slid] = _ClientState(slid=slid)
-            return InitResponse(status=Status.OK, slid=slid, old_backup_key=None)
+        with self._clients_lock:
+            if request.slid is None:
+                slid = self._next_slid
+                self._next_slid += 1
+                self._clients[slid] = _ClientState(slid=slid)
+                return InitResponse(status=Status.OK, slid=slid,
+                                    old_backup_key=None)
 
-        client = self._clients.get(request.slid)
-        if client is None:
-            return InitResponse(status=Status.UNKNOWN_CLIENT)
+            client = self._clients.get(request.slid)
+            if client is None:
+                return InitResponse(status=Status.UNKNOWN_CLIENT)
 
-        if client.graceful_shutdown and client.escrowed_root_key is not None:
-            obk = client.escrowed_root_key
-            client.graceful_shutdown = False
-            client.escrowed_root_key = None
+            if client.graceful_shutdown and client.escrowed_root_key is not None:
+                obk = client.escrowed_root_key
+                client.graceful_shutdown = False
+                client.escrowed_root_key = None
+                return InitResponse(status=Status.OK, slid=client.slid,
+                                    old_backup_key=obk)
+
+            # Crash path: pessimistically count every outstanding unit
+            # lost (acquires license locks under the clients lock — the
+            # one permitted ordering).
+            self._write_off(client)
             return InitResponse(status=Status.OK, slid=client.slid,
-                                old_backup_key=obk)
+                                old_backup_key=None)
 
-        # Crash path: pessimistically count every outstanding unit lost.
-        self._write_off(client)
-        return InitResponse(status=Status.OK, slid=client.slid,
-                            old_backup_key=None)
+    def handle_shutdown(self, notice: ShutdownNotice) -> Status:
+        """Escrow the root key of a gracefully exiting SL-Local.
 
-    def handle_shutdown(self, notice: ShutdownNotice) -> None:
-        """Escrow the root key of a gracefully exiting SL-Local."""
-        client = self._clients.get(notice.slid)
-        if client is None:
-            raise LicenseUnknown(f"unknown SLID {notice.slid}")
-        client.escrowed_root_key = notice.root_key
-        client.graceful_shutdown = True
+        Returns a typed :class:`Status` (``OK`` / ``UNKNOWN_CLIENT``)
+        instead of raising, so over the wire a client can tell "the
+        server does not know me" apart from a transport fault's generic
+        error envelope.
+        """
+        with self._clients_lock:
+            client = self._clients.get(notice.slid)
+            if client is None:
+                return Status.UNKNOWN_CLIENT
+            client.escrowed_root_key = notice.root_key
+            client.graceful_shutdown = True
+        return Status.OK
 
     def report_crash(self, slid: int) -> None:
         """Out-of-band crash signal (e.g. heartbeat loss): write off."""
-        client = self._clients.get(slid)
-        if client is not None:
-            self._write_off(client)
+        with self._clients_lock:
+            client = self._clients.get(slid)
+            if client is not None:
+                self._write_off(client)
 
-    def return_units(self, slid: int, license_id: str, units: int) -> None:
-        """A graceful SL-Local returns unused sub-GCL units to the pool."""
-        client = self._clients.get(slid)
+    def return_units(self, slid: int, license_id: str, units: int) -> Status:
+        """A graceful SL-Local returns unused sub-GCL units to the pool.
+
+        Typed statuses, like :meth:`handle_shutdown`: ``UNKNOWN_CLIENT``
+        for a SLID the server never issued (distinguishable from wire
+        faults), and :class:`LicenseUnknown` still raised for a license
+        that was never provisioned (a server configuration error, not a
+        client-state mismatch).
+        """
+        with self._clients_lock:
+            client = self._clients.get(slid)
         if client is None:
-            raise LicenseUnknown(f"unknown SLID {slid}")
-        ledger = self.ledger(license_id)
-        held = client.holdings.get(license_id, 0)
-        returned = min(units, held)
-        client.holdings[license_id] = held - returned
-        ledger.outstanding[self._node_key(slid)] = max(
-            0, ledger.outstanding.get(self._node_key(slid), 0) - returned
-        )
+            return Status.UNKNOWN_CLIENT
+        state = self.license_state(license_id)
+        with state.lock:
+            held = client.holdings.get(license_id, 0)
+            returned = min(units, held)
+            client.holdings[license_id] = held - returned
+            key = self._node_key(slid)
+            state.ledger.outstanding[key] = max(
+                0, state.ledger.outstanding.get(key, 0) - returned
+            )
+        return Status.OK
+
+    # ------------------------------------------------------------------
+    # Fleet-internal methods (shard router support)
+    # ------------------------------------------------------------------
+    def handle_admit(self, slid: int) -> Status:
+        """Register a SLID assigned by another shard (idempotent).
+
+        In a sharded fleet one *home* shard owns identity (attestation,
+        SLID allocation, key escrow); the router then admits the SLID on
+        every license-owning shard so renewals there recognise the
+        client.  Local SLID allocation skips past admitted values so a
+        direct init on this shard can never collide.
+        """
+        with self._clients_lock:
+            self._next_slid = max(self._next_slid, slid + 1)
+            if slid not in self._clients:
+                self._clients[slid] = _ClientState(slid=slid)
+        return Status.OK
+
+    def handle_crash(self, slid: int) -> Status:
+        """Wire-facing crash write-off (router broadcast on re-init)."""
+        self.report_crash(slid)
+        return Status.OK
+
+    def handle_ledger_probe(
+        self, license_id: Optional[str] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Ledger accounting snapshot, for monitoring and load harnesses.
+
+        Returns ``{license_id: {total, outstanding, lost, available}}``
+        for one license (or all of them when ``license_id`` is None) —
+        enough to audit unit conservation across a whole shard fleet
+        without reaching into server internals.
+        """
+        ids = [license_id] if license_id is not None else self.license_ids()
+        probe: Dict[str, Dict[str, Any]] = {}
+        for lid in ids:
+            state = self.license_state(lid)
+            with state.lock:
+                ledger = state.ledger
+                probe[lid] = {
+                    "total": ledger.total_gcl,
+                    "outstanding": sum(ledger.outstanding.values()),
+                    "lost": ledger.lost_units,
+                    "available": ledger.available,
+                }
+        return probe
 
     def _write_off(self, client: _ClientState) -> None:
-        for license_id, units in client.holdings.items():
-            ledger = self._ledgers.get(license_id)
-            if ledger is None:
+        for license_id in list(client.holdings):
+            with self._registry_lock:
+                state = self._states.get(license_id)
+            if state is None:
                 continue
-            key = self._node_key(client.slid)
-            outstanding = ledger.outstanding.get(key, 0)
-            lost = min(units, outstanding)
-            ledger.outstanding[key] = outstanding - lost
-            ledger.lost_units += lost
+            with state.lock:
+                units = client.holdings.get(license_id, 0)
+                key = self._node_key(client.slid)
+                outstanding = state.ledger.outstanding.get(key, 0)
+                lost = min(units, outstanding)
+                state.ledger.outstanding[key] = outstanding - lost
+                state.ledger.lost_units += lost
+                client.holdings.pop(license_id, None)
         client.holdings.clear()
         client.escrowed_root_key = None
         client.graceful_shutdown = False
@@ -236,53 +383,70 @@ class SlRemote:
     # Renewal
     # ------------------------------------------------------------------
     def handle_renew(self, request: RenewRequest) -> RenewResponse:
-        """Validate the license blob and run Algorithm 1."""
-        self.renewals_served += 1
-        client = self._clients.get(request.slid)
+        """Validate the license blob and run Algorithm 1.
+
+        The whole decision — availability check, Algorithm 1, ledger
+        mutation, holdings update, durable commit — happens under the
+        license's own lock, so concurrent renewals of one license can
+        never over-grant while renewals of different licenses proceed in
+        parallel.
+        """
+        with self._counters_lock:
+            self.renewals_served += 1
+        with self._clients_lock:
+            client = self._clients.get(request.slid)
         if client is None:
             return RenewResponse(status=Status.UNKNOWN_CLIENT)
-        definition = self._licenses.get(request.license_id)
-        if definition is None or not self._blob_valid(definition, request.license_blob):
+        with self._registry_lock:
+            state = self._states.get(request.license_id)
+        if state is None or not self._blob_valid(state.definition,
+                                                request.license_blob):
             return RenewResponse(status=Status.INVALID_LICENSE)
-        if definition.revoked:
-            return RenewResponse(status=Status.REVOKED)
-        if definition.kind is LeaseKind.PERPETUAL:
-            # Perpetual leases are a binary activation: no unit
-            # accounting, no Algorithm 1 (Section 4.3).
+        with state.lock:
+            definition = state.definition
+            if definition.revoked:
+                return RenewResponse(status=Status.REVOKED)
+            if definition.kind is LeaseKind.PERPETUAL:
+                # Perpetual leases are a binary activation: no unit
+                # accounting, no Algorithm 1 (Section 4.3).
+                return RenewResponse(
+                    status=Status.OK,
+                    granted_units=1,
+                    lease_kind=definition.kind.value,
+                    tick_seconds=definition.tick_seconds,
+                )
+            ledger = state.ledger
+            if ledger.available <= 0:
+                return RenewResponse(status=Status.EXHAUSTED)
+
+            requester = NodeCondition(
+                node_id=self._node_key(request.slid),
+                weight=request.weight,
+                network_reliability=request.network_reliability,
+                health=request.health,
+            )
+            concurrent = self._concurrent_conditions(ledger, requester)
+            decision = renew_lease(ledger, requester, concurrent, self.policy)
+            if decision.granted_units <= 0:
+                return RenewResponse(status=Status.EXHAUSTED)
+            client.holdings[request.license_id] = (
+                client.holdings.get(request.license_id, 0)
+                + decision.granted_units
+            )
+            if self.ledger_commit_seconds > 0:
+                # The durable ledger write, inside the critical section:
+                # the grant is not acknowledged until it cannot be lost.
+                time.sleep(self.ledger_commit_seconds)
             return RenewResponse(
                 status=Status.OK,
-                granted_units=1,
+                granted_units=decision.granted_units,
                 lease_kind=definition.kind.value,
                 tick_seconds=definition.tick_seconds,
             )
-        ledger = self._ledgers[request.license_id]
-        if ledger.available <= 0:
-            return RenewResponse(status=Status.EXHAUSTED)
 
-        requester = NodeCondition(
-            node_id=self._node_key(request.slid),
-            weight=request.weight,
-            network_reliability=request.network_reliability,
-            health=request.health,
-        )
-        concurrent = self._concurrent_conditions(request.license_id, requester)
-        decision = renew_lease(ledger, requester, concurrent, self.policy)
-        if decision.granted_units <= 0:
-            return RenewResponse(status=Status.EXHAUSTED)
-        client.holdings[request.license_id] = (
-            client.holdings.get(request.license_id, 0) + decision.granted_units
-        )
-        return RenewResponse(
-            status=Status.OK,
-            granted_units=decision.granted_units,
-            lease_kind=definition.kind.value,
-            tick_seconds=definition.tick_seconds,
-        )
-
-    def _concurrent_conditions(self, license_id: str,
+    def _concurrent_conditions(self, ledger: LicenseLedger,
                                requester: NodeCondition) -> List[NodeCondition]:
         """All nodes currently holding or requesting this license."""
-        ledger = self._ledgers[license_id]
         conditions = {requester.node_id: requester}
         for node_id, units in ledger.outstanding.items():
             if units > 0 and node_id not in conditions:

@@ -112,10 +112,17 @@ class SecureLeaseDeployment:
         machine_name: str = "client",
         costs=None,
         transport: str = "in-process",
+        shards: int = 1,
     ) -> None:
         self.rng = DeterministicRng(seed)
         self.ras = RemoteAttestationService(costs)
-        self.remote = SlRemote(self.ras, policy=policy)
+        if shards > 1:
+            from repro.net.sharding import ShardedRemote
+
+            self.remote = ShardedRemote(self.ras, shards=shards,
+                                        policy=policy)
+        else:
+            self.remote = SlRemote(self.ras, policy=policy)
         self.machine = SgxMachine(machine_name, costs=costs)
         self.ras.register_platform(self.machine.platform_secret)
         self.link = SimulatedLink(

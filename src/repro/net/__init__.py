@@ -11,15 +11,30 @@ package supplies:
   behind one :class:`~repro.net.transport.Transport` interface
   (:mod:`repro.net.transport`),
 * an RPC endpoint dispatching protocol messages to SL-Remote handlers
-  (:mod:`repro.net.rpc`), and
+  (:mod:`repro.net.rpc`),
 * a socket server for running SL-Remote as its own process
-  (:mod:`repro.net.server`).
+  (:mod:`repro.net.server`), and
+* consistent-hash sharding of the license ledgers across N servers with
+  a routing layer (:mod:`repro.net.sharding`).
 """
 
-from repro.net.codec import CodecError, RemoteCallError, WIRE_VERSION
+from repro.net.codec import (
+    CodecError,
+    RemoteCallError,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+)
 from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
 from repro.net.rpc import RemoteEndpoint, RpcError, connect_remote, connect_tcp
 from repro.net.server import LeaseServer
+from repro.net.sharding import (
+    HashRing,
+    ShardRouter,
+    ShardRouterTransport,
+    ShardedRemote,
+    connect_sharded_tcp,
+    default_shard_names,
+)
 from repro.net.transport import (
     HandlerTable,
     InProcessTransport,
@@ -34,6 +49,7 @@ from repro.net.transport import (
 __all__ = [
     "CodecError",
     "HandlerTable",
+    "HashRing",
     "InProcessTransport",
     "LeaseServer",
     "NetworkConditions",
@@ -41,7 +57,11 @@ __all__ = [
     "RemoteCallError",
     "RemoteEndpoint",
     "RpcError",
+    "SUPPORTED_WIRE_VERSIONS",
     "SerializedLoopbackTransport",
+    "ShardRouter",
+    "ShardRouterTransport",
+    "ShardedRemote",
     "SimulatedLink",
     "TRANSPORT_BACKENDS",
     "TcpTransport",
@@ -50,5 +70,7 @@ __all__ = [
     "UnknownMethodError",
     "WIRE_VERSION",
     "connect_remote",
+    "connect_sharded_tcp",
     "connect_tcp",
+    "default_shard_names",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import json
 import struct
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.gcl import LeaseKind
 from repro.core.protocol import (
@@ -39,7 +39,16 @@ from repro.crypto.sealing import SealedBlob
 from repro.sgx.attestation import AttestationReport
 
 #: Protocol revision; bumped whenever an envelope or field layout changes.
-WIRE_VERSION = 1
+#: v2 (the sharding release) adds optional envelope metadata — e.g. a
+#: ``shard`` routing hint — and, from v2 on, decoders tolerate unknown
+#: envelope keys so the client and server can upgrade independently.
+WIRE_VERSION = 2
+
+#: Envelope versions this decoder still accepts.  v1 envelopes carry the
+#: same required keys as v2, so a v2 peer interoperates with a v1 peer
+#: in both directions as long as the v2 side *emits* v1 when talking
+#: down (``encode_request(..., version=1)``).
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 #: Frame header for stream transports: 4-byte big-endian payload length.
 FRAME_HEADER = struct.Struct(">I")
@@ -138,15 +147,34 @@ def decode_payload(data: Any) -> Any:
 # ----------------------------------------------------------------------
 # Envelopes
 # ----------------------------------------------------------------------
-def encode_request(method: str, payload: Any, request_id: int = 0) -> bytes:
-    """A versioned request envelope carrying one protocol message."""
-    envelope = {
-        "v": WIRE_VERSION,
+def _check_version(version: int) -> int:
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        raise CodecError(
+            f"cannot emit wire version {version!r}; "
+            f"supported: {SUPPORTED_WIRE_VERSIONS}"
+        )
+    return version
+
+
+def encode_request(method: str, payload: Any, request_id: int = 0,
+                   version: int = WIRE_VERSION,
+                   meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """A versioned request envelope carrying one protocol message.
+
+    ``version`` selects the emitted envelope revision (a v2 peer talks
+    down to a v1 server by emitting 1); ``meta`` attaches v2 routing
+    metadata (e.g. ``{"shard": "shard-2"}``) that decoders ignore unless
+    they route on it.
+    """
+    envelope: Dict[str, Any] = {
+        "v": _check_version(version),
         "kind": "request",
         "id": request_id,
         "method": method,
         "body": encode_payload(payload),
     }
+    if meta and version >= 2:
+        envelope.update(meta)
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
 
@@ -159,9 +187,10 @@ def decode_request(data: bytes) -> Tuple[str, Any, int]:
     return method, decode_payload(envelope.get("body")), int(envelope.get("id", 0))
 
 
-def encode_response(payload: Any, request_id: int = 0) -> bytes:
+def encode_response(payload: Any, request_id: int = 0,
+                    version: int = WIRE_VERSION) -> bytes:
     envelope = {
-        "v": WIRE_VERSION,
+        "v": _check_version(version),
         "kind": "response",
         "id": request_id,
         "body": encode_payload(payload),
@@ -169,9 +198,10 @@ def encode_response(payload: Any, request_id: int = 0) -> bytes:
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
 
-def encode_error(message: str, request_id: int = 0) -> bytes:
+def encode_error(message: str, request_id: int = 0,
+                 version: int = WIRE_VERSION) -> bytes:
     envelope = {
-        "v": WIRE_VERSION,
+        "v": _check_version(version),
         "kind": "error",
         "id": request_id,
         "error": message,
@@ -198,9 +228,13 @@ def _load_envelope(data: bytes, expected_kind: str = "") -> Dict[str, Any]:
     if not isinstance(envelope, dict):
         raise CodecError("envelope must be a JSON object")
     version = envelope.get("v")
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        # Bump-tolerant decoding: every still-supported revision is
+        # accepted (v1 envelopes are a strict subset of v2), so peers
+        # upgrade independently; anything else is rejected up front.
         raise CodecError(
-            f"wire version mismatch: got {version!r}, speak {WIRE_VERSION}"
+            f"wire version mismatch: got {version!r}, "
+            f"speak {SUPPORTED_WIRE_VERSIONS}"
         )
     kind = envelope.get("kind")
     if kind not in ("request", "response", "error"):

@@ -7,14 +7,22 @@ on other machines.  This is the deployment shape the paper assumes (a
 vendor server in front of a fleet); the in-process transports remain
 the deterministic harness for experiments.
 
-Concurrency model: one thread per connection, with handler execution
-serialized behind a lock (:class:`~repro.core.sl_remote.SlRemote` is a
-single-threaded state machine; serializing dispatch is the wire-world
-equivalent of the cluster simulation's round-robin interleaving).
+Concurrency model: one thread per connection, with handlers dispatched
+*concurrently* — :class:`~repro.core.sl_remote.SlRemote` serializes per
+license internally (its :class:`~repro.core.sl_remote.LicenseShardState`
+locks), so renewals for different licenses proceed in parallel while
+same-license renewals queue on that license's lock only.  The historical
+whole-server serialization survives behind ``serialize_dispatch=True``
+for baseline measurements (``benchmarks/test_server_load_tcp.py``).
+
 Attestation and renewal costs are charged to a server-owned virtual
-clock — over a real wire the *caller's* cost is its actual socket wait,
-which the client-side :class:`~repro.net.transport.TcpTransport` folds
-into its own clock as RTTs.
+clock (a :class:`~repro.sim.clock.ThreadSafeClock`, since many
+connection threads charge it) — over a real wire the *caller's* cost is
+its actual socket wait, which the client-side
+:class:`~repro.net.transport.TcpTransport` folds into its own clock as
+RTTs.  The shared :class:`~repro.sgx.driver.SgxStats` counters remain
+unlocked; they are observability-only and a lost increment under heavy
+concurrency never affects protocol state.
 """
 
 from __future__ import annotations
@@ -27,21 +35,22 @@ from typing import List, Optional, Tuple
 from repro.net import codec
 from repro.net.transport import HandlerTable, read_frame
 from repro.sgx.driver import SgxStats
-from repro.sim.clock import Clock
+from repro.sim.clock import Clock, ThreadSafeClock
 
 
 class LeaseServer:
-    """Serve one SL-Remote over TCP."""
+    """Serve one SL-Remote (or a sharded fleet of them) over TCP."""
 
     def __init__(self, remote, host: str = "127.0.0.1", port: int = 0,
                  clock: Optional[Clock] = None,
                  stats: Optional[SgxStats] = None,
-                 accept_backlog: int = 16) -> None:
+                 accept_backlog: int = 16,
+                 serialize_dispatch: bool = False) -> None:
         self.remote = remote
         self.handlers = HandlerTable(remote.protocol_handlers())
         self.host = host
         self.port = port
-        self.clock = clock if clock is not None else Clock()
+        self.clock = clock if clock is not None else ThreadSafeClock()
         self.stats = stats if stats is not None else SgxStats()
         self.accept_backlog = accept_backlog
         self.requests_served = 0
@@ -50,7 +59,11 @@ class LeaseServer:
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._workers: List[threading.Thread] = []
-        self._dispatch_lock = threading.Lock()
+        self._workers_lock = threading.Lock()
+        #: Legacy whole-server serialization (pre-sharding behavior);
+        #: kept as an opt-in so benchmarks can measure the difference.
+        self._dispatch_lock = threading.Lock() if serialize_dispatch else None
+        self._counters_lock = threading.Lock()
         self._stopping = threading.Event()
 
     # ------------------------------------------------------------------
@@ -76,6 +89,12 @@ class LeaseServer:
     def address(self) -> Tuple[str, int]:
         return self.host, self.port
 
+    @property
+    def live_workers(self) -> int:
+        """Connection threads still running (reaped threads excluded)."""
+        with self._workers_lock:
+            return sum(1 for worker in self._workers if worker.is_alive())
+
     def stop(self) -> None:
         """Stop accepting, close the listener, and join worker threads."""
         self._stopping.set()
@@ -88,9 +107,12 @@ class LeaseServer:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
-        for worker in self._workers:
+        with self._workers_lock:
+            workers = list(self._workers)
+        for worker in workers:
             worker.join(timeout=2.0)
-        self._workers.clear()
+        with self._workers_lock:
+            self._workers.clear()
 
     def wait(self) -> None:
         """Block the calling thread until :meth:`stop` (CLI foreground)."""
@@ -115,7 +137,12 @@ class LeaseServer:
                 name=f"lease-server-conn-{self.connections_accepted}",
                 daemon=True,
             )
-            self._workers.append(worker)
+            with self._workers_lock:
+                # Reap finished connection threads before tracking a new
+                # one: the list stays proportional to *live* connections
+                # instead of growing one entry per connection ever made.
+                self._workers = [w for w in self._workers if w.is_alive()]
+                self._workers.append(worker)
             worker.start()
 
     def _serve_connection(self, connection: socket.socket) -> None:
@@ -142,12 +169,19 @@ class LeaseServer:
         request_id = 0
         try:
             method, payload, request_id = codec.decode_request(data)
-            with self._dispatch_lock:
+            if self._dispatch_lock is not None:
+                with self._dispatch_lock:
+                    response = self.handlers.dispatch(
+                        method, payload, clock=self.clock, stats=self.stats
+                    )
+            else:
                 response = self.handlers.dispatch(
                     method, payload, clock=self.clock, stats=self.stats
                 )
         except Exception as exc:  # noqa: BLE001 - every fault becomes a wire error
-            self.errors_returned += 1
+            with self._counters_lock:
+                self.errors_returned += 1
             return codec.encode_error(f"{type(exc).__name__}: {exc}", request_id)
-        self.requests_served += 1
+        with self._counters_lock:
+            self.requests_served += 1
         return codec.encode_response(response, request_id)

@@ -1,0 +1,372 @@
+"""Sharded SL-Remote: consistent-hash partitioning and a shard router.
+
+One vendor server dies at one core.  This module partitions the license
+ledgers across N :class:`~repro.core.sl_remote.SlRemote` shards and
+routes the lease protocol so the fleet behaves like a single server:
+
+* :class:`HashRing` — a deterministic, sha256-based consistent-hash
+  ring mapping ``license_id`` -> shard name.  No Python ``hash()``
+  anywhere: the mapping must agree across processes and runs
+  (``PYTHONHASHSEED`` randomises ``hash()``).
+* :class:`ShardRouter` — the routing brain, working over any set of
+  per-shard dispatch callables (in-process handler tables or TCP
+  transports alike).
+* :class:`ShardedRemote` — N in-process shards behind the standard
+  ``protocol_handlers()`` surface; a drop-in for ``SlRemote`` anywhere
+  a remote is wired (``Cluster``, ``SecureLeaseDeployment``,
+  ``LeaseServer``).
+* :class:`ShardRouterTransport` / :func:`connect_sharded_tcp` — the
+  client-side router over N ``serve-remote`` processes (one per shard,
+  started with ``--shard-of``).
+
+Routing rules (the SLID-vs-license partitioning decision)
+---------------------------------------------------------
+License-scoped traffic (``renew``, ``return_units``, ``ledger_probe``
+with a license) goes to the ring owner of the ``license_id`` — that
+shard holds the one authoritative ledger, so per-license unit
+conservation needs no cross-shard coordination.
+
+SLID-scoped traffic cannot hash the same way (an ``init`` has no
+license, and one client holds licenses on many shards), so identity is
+**pinned to a home shard** — the first shard name on the ring, which
+allocates SLIDs, verifies remote attestation once (not N times), and
+escrows root keys — and then **mirrored**: after a successful init the
+router broadcasts ``admit(slid)`` to every other shard so renewals
+there recognise the client, and when the home shard's response reveals
+a crash re-init (a re-init answered without an old-backup key) it
+broadcasts ``crash(slid)`` so every shard writes off the holdings *it*
+tracks.  ``shutdown`` stays home-only: escrow lives there, and a
+graceful restart must leave outstanding units untouched on the license
+shards.  The net effect: write-offs and grants always mutate a ledger
+under its owning shard's license lock, so conservation holds per shard
+and therefore fleet-wide.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.licensefile import VENDOR_SECRET
+from repro.core.protocol import InitResponse, Status
+from repro.core.renewal import RenewalPolicy
+from repro.core.sl_remote import LicenseDefinition, SlRemote
+from repro.net.transport import HandlerTable, Transport
+from repro.sgx.driver import SgxStats
+from repro.sim.clock import Clock
+
+#: A per-shard dispatch callable: (method, payload, clock, stats) -> response.
+DispatchFn = Callable[..., Any]
+
+#: Methods routed by the license id carried in their payload.
+_LICENSE_SCOPED = ("renew", "return_units")
+
+
+def _sha256_point(data: bytes) -> int:
+    """A 64-bit ring position from sha256 (deterministic across runs)."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto named shards.
+
+    Each shard contributes ``replicas`` virtual points so load spreads
+    evenly; a key belongs to the first point clockwise from its own
+    hash.  Adding or removing one shard only remaps the keys that
+    belonged to it — the property that lets a fleet grow without
+    re-homing every license.
+    """
+
+    def __init__(self, shard_names: Sequence[str], replicas: int = 64) -> None:
+        if not shard_names:
+            raise ValueError("a hash ring needs at least one shard")
+        if len(set(shard_names)) != len(shard_names):
+            raise ValueError("shard names must be unique")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shard_names = tuple(shard_names)
+        self.replicas = replicas
+        points = []
+        for name in self.shard_names:
+            for replica in range(replicas):
+                point = _sha256_point(f"{name}#{replica}".encode("utf-8"))
+                points.append((point, name))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [name for _, name in points]
+
+    def shard_for(self, key: str) -> str:
+        """The shard owning ``key`` (deterministic, sha256-based)."""
+        point = _sha256_point(key.encode("utf-8"))
+        index = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._owners[index]
+
+    def __len__(self) -> int:
+        return len(self.shard_names)
+
+
+def default_shard_names(count: int) -> List[str]:
+    """The canonical names for an N-shard fleet (``shard-0`` .. ``shard-N-1``).
+
+    Both sides of the wire — ``serve-remote --shard-of I:N`` workers and
+    :func:`connect_sharded_tcp` clients — derive the same names, so
+    their rings agree without exchanging configuration.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    return [f"shard-{index}" for index in range(count)]
+
+
+class ShardRouter:
+    """Routes lease-protocol calls across per-shard dispatch callables.
+
+    The router is transport-agnostic: a backend is any callable with the
+    dispatch signature, so the same routing logic serves the in-process
+    :class:`ShardedRemote` (backends are ``HandlerTable.dispatch``) and
+    the wire-level :class:`ShardRouterTransport` (backends are
+    ``Transport.request``).
+    """
+
+    def __init__(self, backends: Mapping[str, DispatchFn],
+                 ring: Optional[HashRing] = None,
+                 home: Optional[str] = None) -> None:
+        if not backends:
+            raise ValueError("a shard router needs at least one backend")
+        self.backends: Dict[str, DispatchFn] = dict(backends)
+        names = list(self.backends)
+        self.ring = ring if ring is not None else HashRing(names)
+        for name in self.ring.shard_names:
+            if name not in self.backends:
+                raise ValueError(f"ring names shard {name!r} with no backend")
+        #: Identity authority: SLIDs, attestation, escrow (see module doc).
+        self.home = home if home is not None else self.ring.shard_names[0]
+        if self.home not in self.backends:
+            raise ValueError(f"home shard {self.home!r} has no backend")
+
+    # -- placement -----------------------------------------------------
+    def shard_for(self, license_id: str) -> str:
+        return self.ring.shard_for(license_id)
+
+    def _license_key(self, method: str, payload: Any) -> str:
+        if method == "renew":
+            return payload.license_id
+        # return_units travels as the plain tuple (slid, license_id, units).
+        return payload[1]
+
+    # -- the routed round trip -----------------------------------------
+    def request(self, method: str, payload: Any,
+                clock: Optional[Clock] = None,
+                stats: Optional[SgxStats] = None):
+        if method in _LICENSE_SCOPED:
+            owner = self.shard_for(self._license_key(method, payload))
+            return self.backends[owner](method, payload, clock=clock,
+                                        stats=stats)
+        if method == "init":
+            return self._routed_init(payload, clock, stats)
+        if method == "ledger_probe" and payload is None:
+            # Fleet-wide audit: fan out and merge (license ids are
+            # disjoint across shards by construction).
+            merged: Dict[str, Any] = {}
+            for backend in self.backends.values():
+                merged.update(backend(method, None, clock=clock, stats=stats))
+            return merged
+        if method == "ledger_probe":
+            owner = self.shard_for(payload)
+            return self.backends[owner](method, payload, clock=clock,
+                                        stats=stats)
+        # Everything SLID-scoped (shutdown, admit, crash) and anything
+        # unrecognised is pinned to the home shard; unknown methods fail
+        # there with the standard dispatch error.
+        return self.backends[self.home](method, payload, clock=clock,
+                                        stats=stats)
+
+    def _routed_init(self, payload: Any,
+                     clock: Optional[Clock], stats: Optional[SgxStats]):
+        """Home-shard init + identity mirror + crash broadcast."""
+        response = self.backends[self.home]("init", payload, clock=clock,
+                                            stats=stats)
+        if not isinstance(response, InitResponse):
+            return response
+        if response.status is not Status.OK or response.slid is None:
+            return response
+        was_reinit = getattr(payload, "slid", None) is not None
+        crashed = was_reinit and response.old_backup_key is None
+        for name, backend in self.backends.items():
+            if name == self.home:
+                continue
+            backend("admit", response.slid, clock=clock, stats=stats)
+            if crashed:
+                backend("crash", response.slid, clock=clock, stats=stats)
+        return response
+
+
+class ShardedRemote:
+    """N in-process SL-Remote shards behind one protocol surface.
+
+    Duck-types the ``SlRemote`` surface every wiring point uses —
+    ``protocol_handlers()``, provisioning, ledger probes — so a
+    :class:`~repro.net.server.LeaseServer`, a
+    :class:`~repro.cluster.Cluster`, or a deployment can swap it in
+    with a ``shards=N`` knob.  Per-license locking inside each shard
+    plus the partitioning here means concurrent renewals contend only
+    when they target the *same* license.
+    """
+
+    def __init__(
+        self,
+        ras,
+        shards: int = 4,
+        policy: Optional[RenewalPolicy] = None,
+        server_secret: bytes = VENDOR_SECRET,
+        shard_names: Optional[Sequence[str]] = None,
+        ring_replicas: int = 64,
+        ledger_commit_seconds: float = 0.0,
+    ) -> None:
+        names = (list(shard_names) if shard_names is not None
+                 else default_shard_names(shards))
+        self.shards: Dict[str, SlRemote] = {
+            name: SlRemote(ras, policy=policy, server_secret=server_secret,
+                           ledger_commit_seconds=ledger_commit_seconds)
+            for name in names
+        }
+        self.ring = HashRing(names, replicas=ring_replicas)
+        self._tables = {
+            name: HandlerTable(remote.protocol_handlers())
+            for name, remote in self.shards.items()
+        }
+        self.router = ShardRouter(
+            {name: table.dispatch for name, table in self._tables.items()},
+            ring=self.ring,
+        )
+        self.policy = next(iter(self.shards.values())).policy
+
+    # ------------------------------------------------------------------
+    # Wire protocol surface (drop-in for SlRemote)
+    # ------------------------------------------------------------------
+    def protocol_handlers(self) -> Dict[str, Callable]:
+        def routed(method: str) -> Callable:
+            def handler(request, clock: Optional[Clock] = None,
+                        stats: Optional[SgxStats] = None):
+                return self.router.request(method, request, clock=clock,
+                                           stats=stats)
+            handler.__name__ = f"route_{method}"
+            return handler
+
+        return {method: routed(method)
+                for method in ("init", "renew", "shutdown", "return_units",
+                               "admit", "crash", "ledger_probe")}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def shard_for(self, license_id: str) -> str:
+        return self.ring.shard_for(license_id)
+
+    def shard_of(self, license_id: str) -> SlRemote:
+        return self.shards[self.shard_for(license_id)]
+
+    @property
+    def home_shard(self) -> SlRemote:
+        return self.shards[self.router.home]
+
+    # ------------------------------------------------------------------
+    # Developer-facing provisioning (routed to the owning shard)
+    # ------------------------------------------------------------------
+    def issue_license(self, license_id: str, total_units: int,
+                      **kwargs) -> LicenseDefinition:
+        return self.shard_of(license_id).issue_license(
+            license_id, total_units, **kwargs
+        )
+
+    def revoke_license(self, license_id: str) -> None:
+        self.shard_of(license_id).revoke_license(license_id)
+
+    def ledger(self, license_id: str):
+        return self.shard_of(license_id).ledger(license_id)
+
+    def license_definition(self, license_id: str) -> LicenseDefinition:
+        return self.shard_of(license_id).license_definition(license_id)
+
+    def report_crash(self, slid: int) -> None:
+        """Out-of-band crash: every shard writes off what it tracks."""
+        for remote in self.shards.values():
+            remote.report_crash(slid)
+
+    def ledger_probe(self, license_id: Optional[str] = None):
+        return self.router.request("ledger_probe", license_id)
+
+    # ------------------------------------------------------------------
+    # Aggregated counters
+    # ------------------------------------------------------------------
+    @property
+    def renewals_served(self) -> int:
+        return sum(remote.renewals_served for remote in self.shards.values())
+
+    @property
+    def inits_served(self) -> int:
+        return sum(remote.inits_served for remote in self.shards.values())
+
+
+class ShardRouterTransport(Transport):
+    """Client-side router over one transport per shard.
+
+    The thin layer that lets one SL-Local fleet span N ``serve-remote``
+    processes: requests route exactly like :class:`ShardRouter` (it *is*
+    a ShardRouter over ``Transport.request`` backends), and every
+    underlying transport keeps its own connection, retry budget, and
+    virtual-RTT accounting — a mirror broadcast to N-1 shards charges
+    N-1 honest round trips to the caller's clock.
+    """
+
+    name = "shard-router"
+
+    def __init__(self, transports: Mapping[str, Transport],
+                 ring: Optional[HashRing] = None,
+                 home: Optional[str] = None) -> None:
+        self.transports: Dict[str, Transport] = dict(transports)
+        self.router = ShardRouter(
+            {name: transport.request
+             for name, transport in self.transports.items()},
+            ring=ring, home=home,
+        )
+
+    def request(self, method: str, payload: Any,
+                clock: Optional[Clock] = None,
+                stats: Optional[SgxStats] = None):
+        return self.router.request(method, payload, clock=clock, stats=stats)
+
+    def close(self) -> None:
+        for transport in self.transports.values():
+            transport.close()
+
+
+def connect_sharded_tcp(addresses, conditions=None, timeout_seconds: float = 5.0,
+                        max_attempts: int = 5, backoff_seconds: float = 0.05,
+                        shard_names: Optional[Sequence[str]] = None,
+                        ring_replicas: int = 64):
+    """Endpoint routing across N ``serve-remote --shard-of`` processes.
+
+    ``addresses`` is a sequence of ``(host, port)`` pairs, one per shard
+    **in ring order** — the i-th address must be the worker started with
+    ``--shard-of i:N`` (or with the i-th name of ``shard_names`` /
+    ``--ring``), otherwise the client's ring disagrees with the fleet's
+    license placement.
+    """
+    from repro.net.rpc import RemoteEndpoint
+    from repro.net.transport import TcpTransport
+
+    addresses = list(addresses)
+    names = (list(shard_names) if shard_names is not None
+             else default_shard_names(len(addresses)))
+    if len(names) != len(addresses):
+        raise ValueError("need exactly one shard name per address")
+    transports = {
+        name: TcpTransport(host, port, conditions=conditions,
+                           timeout_seconds=timeout_seconds,
+                           max_attempts=max_attempts,
+                           backoff_seconds=backoff_seconds)
+        for name, (host, port) in zip(names, addresses)
+    }
+    ring = HashRing(names, replicas=ring_replicas)
+    return RemoteEndpoint(ShardRouterTransport(transports, ring=ring))

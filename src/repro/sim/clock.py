@@ -8,6 +8,8 @@ cycles to seconds/micro-seconds at 2.9 GHz for reporting.
 
 from __future__ import annotations
 
+import threading
+
 #: Clock frequency of the paper's evaluation machine (Table 3).
 CPU_FREQ_HZ = 2_900_000_000
 
@@ -68,6 +70,31 @@ class Clock:
 
     def __repr__(self) -> str:
         return f"Clock(cycles={self._cycles}, seconds={self.seconds:.6f})"
+
+
+class ThreadSafeClock(Clock):
+    """A :class:`Clock` whose advancement is safe under real threads.
+
+    The simulation is single-threaded and keeps the lock-free base
+    class; the wire server (:mod:`repro.net.server`) dispatches handlers
+    from many connection threads that all charge the *same* server-owned
+    clock, where the unlocked read-modify-write of ``advance`` would
+    lose cycles.
+    """
+
+    __slots__ = ("_advance_lock",)
+
+    def __init__(self, start_cycles: int = 0) -> None:
+        super().__init__(start_cycles)
+        self._advance_lock = threading.Lock()
+
+    def advance(self, cycles: int) -> int:
+        with self._advance_lock:
+            return super().advance(cycles)
+
+    def advance_to(self, cycles: int) -> int:
+        with self._advance_lock:
+            return super().advance_to(cycles)
 
 
 def cycles_to_micros(cycles: int) -> float:

@@ -154,3 +154,57 @@ class TestFleetScale:
         assert sum(first.values()) == 30
         assert sum(second.values()) == 30
         assert cluster.pool_conserved("lic-second", 5_000)
+
+
+class TestShardedFleet:
+    """The same fleet drivers against a consistent-hash sharded vendor."""
+
+    def build_sharded_fleet(self, specs, shards=3, licenses=(LICENSE,),
+                            seed=61):
+        cluster = Cluster(seed=seed, shards=shards)
+        for license_id in licenses:
+            cluster.issue_license(license_id, POOL)
+        for spec in specs:
+            cluster.add_node(spec)
+        return cluster
+
+    def test_checks_and_conservation_match_single_remote(self):
+        sharded = self.build_sharded_fleet(
+            [NodeSpec(f"n{i}") for i in range(4)]
+        )
+        served = sharded.run_checks(LICENSE, checks_per_node=50)
+        assert all(count == 50 for count in served.values())
+        assert sharded.pool_conserved(LICENSE, POOL)
+
+    def test_licenses_spread_across_shards(self):
+        licenses = [f"lic-{i}" for i in range(6)]
+        cluster = self.build_sharded_fleet([NodeSpec("n0")],
+                                           licenses=licenses)
+        owners = {cluster.remote.shard_for(lid) for lid in licenses}
+        assert len(owners) >= 2
+        for license_id in licenses:
+            assert cluster.remote.ledger(license_id).total_gcl == POOL
+
+    def test_crash_writes_off_across_all_shards(self):
+        licenses = [f"lic-{i}" for i in range(6)]
+        cluster = self.build_sharded_fleet(
+            [NodeSpec("a"), NodeSpec("b")], licenses=licenses
+        )
+        for index, license_id in enumerate(licenses):
+            cluster.run_checks(license_id, checks_per_node=10,
+                               app_name=f"app-{index}")
+        cluster.crash_node("a")
+        for license_id in licenses:
+            assert cluster.outstanding(license_id)["a"] == 0
+            assert cluster.pool_conserved(license_id, POOL)
+        served = cluster.run_checks(licenses[0], checks_per_node=5,
+                                    app_name="app-0")
+        assert served["a"] == 5  # reincarnated and serving again
+
+    def test_graceful_shutdown_preserves_units_when_sharded(self):
+        cluster = self.build_sharded_fleet([NodeSpec("a")])
+        cluster.run_checks(LICENSE, checks_per_node=10)
+        before = cluster.outstanding(LICENSE)["a"]
+        cluster.shutdown_node("a")
+        assert cluster.outstanding(LICENSE)["a"] == before
+        assert cluster.remote.ledger(LICENSE).lost_units == 0

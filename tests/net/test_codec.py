@@ -181,3 +181,76 @@ def test_frame_round_trip():
     framed = codec.frame(data)
     assert codec.frame_length(framed[:4]) == len(data)
     assert framed[4:] == data
+
+
+# ----------------------------------------------------------------------
+# Wire-format evolution: the v1/v2 compatibility matrix
+# ----------------------------------------------------------------------
+class TestVersionCompatMatrix:
+    """Every (emitter version, decoder) pairing that must interoperate.
+
+    The v2 decoder accepts both revisions, so the matrix is: a peer on
+    either version can talk to a v2 peer in both directions; only an
+    envelope claiming an unknown future revision is rejected.
+    """
+
+    @pytest.mark.parametrize("version", codec.SUPPORTED_WIRE_VERSIONS)
+    def test_requests_from_any_supported_version_decode(self, version):
+        data = codec.encode_request("renew", ("lic", 3), request_id=9,
+                                    version=version)
+        assert json.loads(data.decode())["v"] == version
+        assert codec.decode_request(data) == ("renew", ("lic", 3), 9)
+
+    @pytest.mark.parametrize("version", codec.SUPPORTED_WIRE_VERSIONS)
+    def test_responses_from_any_supported_version_decode(self, version):
+        data = codec.encode_response(Status.OK, 5, version=version)
+        assert codec.decode_response(data) is Status.OK
+
+    @pytest.mark.parametrize("version", codec.SUPPORTED_WIRE_VERSIONS)
+    def test_error_envelopes_from_any_supported_version(self, version):
+        data = codec.encode_error("boom", 1, version=version)
+        with pytest.raises(codec.RemoteCallError, match="boom"):
+            codec.decode_response(data)
+
+    def test_unsupported_emission_rejected_up_front(self):
+        with pytest.raises(codec.CodecError, match="cannot emit"):
+            codec.encode_request("init", None, version=99)
+        with pytest.raises(codec.CodecError, match="cannot emit"):
+            codec.encode_response(None, version=0)
+
+    def test_future_version_rejected_on_decode(self):
+        envelope = json.loads(codec.encode_request("init", None).decode())
+        envelope["v"] = max(codec.SUPPORTED_WIRE_VERSIONS) + 1
+        with pytest.raises(codec.CodecError, match="version"):
+            codec.decode_request(json.dumps(envelope).encode())
+
+    def test_v2_decoder_tolerates_unknown_envelope_keys(self):
+        """Forward compatibility *within* v2: unknown metadata keys
+        (e.g. a shard routing hint) never break a decoder."""
+        envelope = json.loads(codec.encode_request("renew", ("lic", 1)).decode())
+        envelope["shard"] = "shard-3"
+        envelope["trace_id"] = "abc123"
+        method, payload, _ = codec.decode_request(
+            json.dumps(envelope).encode()
+        )
+        assert (method, payload) == ("renew", ("lic", 1))
+
+    def test_meta_attached_only_on_v2(self):
+        """A v2 emitter talking down to a v1 peer must not attach v2
+        metadata the older peer never specified."""
+        v2 = json.loads(codec.encode_request(
+            "renew", None, meta={"shard": "shard-1"}
+        ).decode())
+        assert v2["shard"] == "shard-1"
+        v1 = json.loads(codec.encode_request(
+            "renew", None, version=1, meta={"shard": "shard-1"}
+        ).decode())
+        assert "shard" not in v1
+
+    def test_v1_and_v2_envelopes_carry_identical_required_keys(self):
+        """v1 is a strict subset of v2: same required keys, so a v1
+        decoder given a meta-free v2 envelope differs only in ``v``."""
+        v1 = json.loads(codec.encode_request("renew", 7, 3, version=1).decode())
+        v2 = json.loads(codec.encode_request("renew", 7, 3, version=2).decode())
+        assert v1.pop("v") == 1 and v2.pop("v") == 2
+        assert v1 == v2

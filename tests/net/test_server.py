@@ -122,6 +122,125 @@ class TestTcpLifecycle:
         assert endpoint.transport.messages_sent == 1  # no retry storm
 
 
+class TestConcurrentDispatch:
+    def test_racing_renewals_over_tcp_never_over_grant(self, server):
+        """Many connections renew one license at once; the per-license
+        lock keeps the TCP path exactly as conservative as in-process."""
+        from repro.core.protocol import RenewRequest
+
+        clients = 6
+        blob = server.remote.license_definition("lic-tcp").license_blob()
+        endpoints, machines, slids = [], [], []
+        for index in range(clients):
+            machine = SgxMachine(f"racer-{index}")
+            endpoint = connect_tcp(*server.address, timeout_seconds=10.0)
+            report = machine.local_authority.generate_report(1, 1, nonce=1)
+            response = endpoint.call(
+                "init",
+                InitRequest(slid=None, report=report,
+                            platform_secret=machine.platform_secret),
+                clock=machine.clock, stats=machine.stats,
+            )
+            endpoints.append(endpoint)
+            machines.append(machine)
+            slids.append(response.slid)
+
+        granted = [0] * clients
+        errors = []
+
+        def worker(index):
+            try:
+                for _ in range(10):
+                    response = endpoints[index].call(
+                        "renew",
+                        RenewRequest(slid=slids[index], license_id="lic-tcp",
+                                     license_blob=blob,
+                                     network_reliability=1.0, health=1.0),
+                        clock=machines[index].clock,
+                    )
+                    if response.status is Status.OK:
+                        granted[index] += response.granted_units
+            except Exception as exc:  # noqa: BLE001 - surfaced to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        for endpoint in endpoints:
+            endpoint.close()
+        assert not errors
+        ledger = server.remote.ledger("lic-tcp")
+        outstanding = sum(ledger.outstanding.values())
+        assert sum(granted) == outstanding  # every wire grant is tracked
+        assert outstanding + ledger.lost_units + ledger.available == 50_000
+
+    def test_connection_threads_are_reaped(self, server):
+        """Closed connections leave the worker list: it tracks live
+        connections, not every connection ever accepted."""
+        for index in range(8):
+            endpoint = connect_tcp(*server.address)
+            machine = SgxMachine(f"churn-{index}")
+            with pytest.raises(RpcError):
+                endpoint.call("warp", None, clock=machine.clock)
+            endpoint.close()
+        # One live connection forces a pass over the reap logic.
+        last = connect_tcp(*server.address)
+        machine = SgxMachine("churn-last")
+        with pytest.raises(RpcError):
+            last.call("warp", None, clock=machine.clock)
+        deadline = 50
+        while server.live_workers > 1 and deadline:
+            threading.Event().wait(0.05)
+            deadline -= 1
+        assert server.live_workers <= 1
+        with server._workers_lock:
+            assert len(server._workers) <= 2  # reaped, not accumulated
+        last.close()
+
+
+class TestTypedStatusesOverTheWire:
+    def test_shutdown_for_unknown_slid_is_a_status_not_an_error(self, server):
+        """An unknown SLID comes back as Status.UNKNOWN_CLIENT — a typed
+        protocol answer — not as a RemoteCallError error envelope."""
+        from repro.core.protocol import ShutdownNotice
+
+        endpoint = connect_tcp(*server.address)
+        machine = SgxMachine("ghost")
+        status = endpoint.call("shutdown",
+                               ShutdownNotice(slid=4242, root_key=1),
+                               clock=machine.clock)
+        assert status is Status.UNKNOWN_CLIENT
+        assert server.errors_returned == 0
+        endpoint.close()
+
+    def test_return_units_for_unknown_slid_is_typed(self, server):
+        endpoint = connect_tcp(*server.address)
+        machine = SgxMachine("ghost2")
+        status = endpoint.call("return_units", (4242, "lic-tcp", 5),
+                               clock=machine.clock)
+        assert status is Status.UNKNOWN_CLIENT
+        assert server.errors_returned == 0
+        endpoint.close()
+
+    def test_renew_for_unknown_slid_is_typed(self, server):
+        from repro.core.protocol import RenewRequest
+
+        blob = server.remote.license_definition("lic-tcp").license_blob()
+        endpoint = connect_tcp(*server.address)
+        machine = SgxMachine("ghost3")
+        response = endpoint.call(
+            "renew",
+            RenewRequest(slid=4242, license_id="lic-tcp", license_blob=blob,
+                         network_reliability=1.0, health=1.0),
+            clock=machine.clock,
+        )
+        assert response.status is Status.UNKNOWN_CLIENT
+        endpoint.close()
+
+
 class TestTcpFailure:
     def test_unreachable_server_retries_then_fails(self):
         endpoint = connect_tcp("127.0.0.1", 1,  # port 1: nothing listens
