@@ -240,8 +240,21 @@ def cmd_serve_remote(args) -> int:
         print(f"issued license {license_id!r}: {units:,} units "
               f"({kind.value})", flush=True)
 
-    server = LeaseServer(remote, host=args.host, port=args.port,
-                         serialize_dispatch=args.serialize_dispatch)
+    if args.io == "async":
+        from repro.net.aio import AsyncLeaseServer
+
+        if args.serialize_dispatch:
+            raise SystemExit(
+                "--serialize-dispatch is the threaded baseline; "
+                "it does not combine with --io async"
+            )
+        server = AsyncLeaseServer(remote, host=args.host, port=args.port,
+                                  max_workers=args.max_workers,
+                                  max_connections=args.max_connections)
+    else:
+        server = LeaseServer(remote, host=args.host, port=args.port,
+                             serialize_dispatch=args.serialize_dispatch,
+                             max_connections=args.max_connections)
     host, port = server.start()
     # Exact marker line: scripts and the integration test parse it to
     # discover an ephemeral port (--port 0).
@@ -348,6 +361,21 @@ def build_parser() -> argparse.ArgumentParser:
                               help="explicit shard names for --shard-of "
                                    "(default: shard-0..shard-N-1; all fleet "
                                    "members must agree)")
+    serve_parser.add_argument("--io", choices=("threads", "async"),
+                              default="threads",
+                              help="connection model: one thread per "
+                                   "connection ('threads') or a single "
+                                   "event loop holding every connection "
+                                   "with a bounded dispatch pool ('async')")
+    serve_parser.add_argument("--max-workers", type=int, default=8,
+                              help="dispatch-pool size for --io async "
+                                   "(concurrent handler calls; idle "
+                                   "connections are free)")
+    serve_parser.add_argument("--max-connections", type=int, default=None,
+                              help="shed connections beyond this cap with "
+                                   "a typed error envelope instead of "
+                                   "growing per-connection state without "
+                                   "bound")
     serve_parser.add_argument("--serialize-dispatch", action="store_true",
                               help="serialize every request behind one lock "
                                    "(pre-sharding behavior; benchmark "

@@ -71,10 +71,14 @@ class Cluster:
                  shards: int = 1) -> None:
         self.rng = DeterministicRng(seed)
         self.costs = costs
-        #: Loopback transport backend each node talks to SL-Remote
-        #: through ("in-process" or "serialized"); results must be
-        #: identical for both — the serialized backend just proves the
-        #: tiers share no objects.
+        #: Transport backend each node talks to SL-Remote through.
+        #: ``"in-process"``/``"serialized"`` are the deterministic
+        #: loopbacks (results must be identical — the serialized backend
+        #: just proves the tiers share no objects); ``"tcp"``/``"async"``
+        #: put a real wire server in front of the same remote and drive
+        #: it over actual sockets (threaded vs event-loop serving), so
+        #: protocol outcomes must still match while client clocks pick
+        #: up real-wire accounting instead.
         self.transport = transport
         self.shards = shards
         self.ras = RemoteAttestationService(costs)
@@ -88,6 +92,19 @@ class Cluster:
                                         policy=policy)
         else:
             self.remote = SlRemote(self.ras, policy=policy)
+        self._wire_server = None
+        if transport in ("tcp", "async"):
+            if transport == "async":
+                from repro.net.aio import AsyncLeaseServer
+
+                self._wire_server = AsyncLeaseServer(self.remote)
+            else:
+                from repro.net.server import LeaseServer
+
+                self._wire_server = LeaseServer(self.remote)
+            self._wire_server.start()
+        elif transport not in ("in-process", "serialized"):
+            raise ValueError(f"unknown cluster transport {transport!r}")
         self.nodes: Dict[str, ClusterNode] = {}
         self._license_blobs: Dict[str, bytes] = {}
 
@@ -112,7 +129,16 @@ class Cluster:
             ),
             self.rng.fork(f"net:{spec.name}"),
         )
-        endpoint = connect_remote(self.remote, link, transport=self.transport)
+        if self._wire_server is not None:
+            from repro.net.rpc import connect_async_tcp, connect_tcp
+
+            host, port = self._wire_server.address
+            connect = (connect_async_tcp if self.transport == "async"
+                       else connect_tcp)
+            endpoint = connect(host, port, conditions=link.conditions)
+        else:
+            endpoint = connect_remote(self.remote, link,
+                                      transport=self.transport)
         sl_local = SlLocal(
             machine, endpoint,
             KeyGenerator(self.rng.fork(f"keys:{spec.name}")),
@@ -195,3 +221,22 @@ class Cluster:
         return (
             outstanding + ledger.lost_units + ledger.available == total_units
         )
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close node endpoints and stop the wire server, if any.
+
+        A no-op for the loopback transports; required cleanup for the
+        ``"tcp"``/``"async"`` backends so sockets and server threads do
+        not outlive the experiment.
+        """
+        for node in self.nodes.values():
+            try:
+                node.sl_local.remote.close()
+            except Exception:
+                pass
+        if self._wire_server is not None:
+            self._wire_server.stop()
+            self._wire_server = None

@@ -129,8 +129,32 @@ class SecureLeaseDeployment:
             network if network is not None else NetworkConditions(),
             self.rng.fork("net"),
         )
-        self.endpoint = connect_remote(self.remote, self.link,
-                                       transport=transport)
+        #: ``"tcp"``/``"async"`` front the same remote with a real wire
+        #: server (threaded vs event-loop) and connect the machine over
+        #: an actual socket; protocol outcomes must match the loopbacks.
+        self._wire_server = None
+        if transport in ("tcp", "async"):
+            if transport == "async":
+                from repro.net.aio import AsyncLeaseServer
+
+                self._wire_server = AsyncLeaseServer(self.remote)
+            else:
+                from repro.net.server import LeaseServer
+
+                self._wire_server = LeaseServer(self.remote)
+            self._wire_server.start()
+            from repro.net.rpc import connect_async_tcp, connect_tcp
+
+            host, port = self._wire_server.address
+            connect = (connect_async_tcp if transport == "async"
+                       else connect_tcp)
+            self.endpoint = connect(host, port,
+                                    conditions=self.link.conditions)
+        elif transport in ("in-process", "serialized"):
+            self.endpoint = connect_remote(self.remote, self.link,
+                                           transport=transport)
+        else:
+            raise ValueError(f"unknown deployment transport {transport!r}")
         self.sl_local = SlLocal(
             self.machine,
             self.endpoint,
@@ -140,6 +164,16 @@ class SecureLeaseDeployment:
         self.sl_local.init()
         self.tokens_per_attestation = tokens_per_attestation
         self._managers: Dict[str, SlManager] = {}
+
+    def close(self) -> None:
+        """Release wire resources (no-op for loopback transports)."""
+        try:
+            self.endpoint.close()
+        except Exception:
+            pass
+        if self._wire_server is not None:
+            self._wire_server.stop()
+            self._wire_server = None
 
     # ------------------------------------------------------------------
     # Provisioning

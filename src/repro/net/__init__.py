@@ -13,11 +13,14 @@ package supplies:
 * an RPC endpoint dispatching protocol messages to SL-Remote handlers
   (:mod:`repro.net.rpc`),
 * a socket server for running SL-Remote as its own process
-  (:mod:`repro.net.server`), and
+  (:mod:`repro.net.server`),
+* an event-loop server and a pipelining, correlation-tagged client for
+  fleets of mostly-idle connections (:mod:`repro.net.aio`), and
 * consistent-hash sharding of the license ledgers across N servers with
   a routing layer (:mod:`repro.net.sharding`).
 """
 
+from repro.net.aio import AsyncLeaseServer, AsyncTcpTransport
 from repro.net.codec import (
     CodecError,
     RemoteCallError,
@@ -25,7 +28,13 @@ from repro.net.codec import (
     WIRE_VERSION,
 )
 from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
-from repro.net.rpc import RemoteEndpoint, RpcError, connect_remote, connect_tcp
+from repro.net.rpc import (
+    RemoteEndpoint,
+    RpcError,
+    connect_async_tcp,
+    connect_remote,
+    connect_tcp,
+)
 from repro.net.server import LeaseServer
 from repro.net.sharding import (
     HashRing,
@@ -47,6 +56,8 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "AsyncLeaseServer",
+    "AsyncTcpTransport",
     "CodecError",
     "HandlerTable",
     "HashRing",
@@ -69,6 +80,7 @@ __all__ = [
     "TransportError",
     "UnknownMethodError",
     "WIRE_VERSION",
+    "connect_async_tcp",
     "connect_remote",
     "connect_sharded_tcp",
     "connect_tcp",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import json
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 from repro.core.gcl import LeaseKind
 from repro.core.protocol import (
@@ -49,6 +49,19 @@ WIRE_VERSION = 2
 #: in both directions as long as the v2 side *emits* v1 when talking
 #: down (``encode_request(..., version=1)``).
 SUPPORTED_WIRE_VERSIONS = (1, 2)
+
+#: Envelope keys with fixed meaning; everything else in a v2 envelope is
+#: free-form metadata (routing hints, correlation ids) that a peer may
+#: ignore entirely — a v1 peer does, and still interoperates.
+RESERVED_ENVELOPE_KEYS = frozenset({"v", "kind", "id", "method", "body", "error"})
+
+#: Metadata key carrying a pipelining correlation id.  A client that
+#: keeps several requests in flight on one connection tags each request
+#: ``{CORRELATION_KEY: n}``; a pipelining-aware server echoes the tag on
+#: the matching response, which may arrive out of order.  Peers that
+#: ignore metadata (v1, or the threaded server answering in order)
+#: degrade to strict-ordered mode: responses match requests by position.
+CORRELATION_KEY = "corr"
 
 #: Frame header for stream transports: 4-byte big-endian payload length.
 FRAME_HEADER = struct.Struct(">I")
@@ -156,6 +169,26 @@ def _check_version(version: int) -> int:
     return version
 
 
+def _merge_meta(envelope: Dict[str, Any], meta: Optional[Dict[str, Any]],
+                version: int) -> None:
+    """Fold free-form metadata into a v2+ envelope (v1 cannot carry it)."""
+    if not meta or version < 2:
+        return
+    clobbered = RESERVED_ENVELOPE_KEYS.intersection(meta)
+    if clobbered:
+        raise CodecError(
+            f"metadata may not override reserved envelope keys: "
+            f"{sorted(clobbered)}"
+        )
+    envelope.update(meta)
+
+
+def envelope_meta(envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """The free-form metadata of a decoded envelope (empty for v1)."""
+    return {key: value for key, value in envelope.items()
+            if key not in RESERVED_ENVELOPE_KEYS}
+
+
 def encode_request(method: str, payload: Any, request_id: int = 0,
                    version: int = WIRE_VERSION,
                    meta: Optional[Dict[str, Any]] = None) -> bytes:
@@ -163,8 +196,9 @@ def encode_request(method: str, payload: Any, request_id: int = 0,
 
     ``version`` selects the emitted envelope revision (a v2 peer talks
     down to a v1 server by emitting 1); ``meta`` attaches v2 routing
-    metadata (e.g. ``{"shard": "shard-2"}``) that decoders ignore unless
-    they route on it.
+    metadata (e.g. ``{"shard": "shard-2"}`` or a pipelining
+    ``{CORRELATION_KEY: n}``) that decoders ignore unless they route
+    on it.
     """
     envelope: Dict[str, Any] = {
         "v": _check_version(version),
@@ -173,51 +207,102 @@ def encode_request(method: str, payload: Any, request_id: int = 0,
         "method": method,
         "body": encode_payload(payload),
     }
-    if meta and version >= 2:
-        envelope.update(meta)
+    _merge_meta(envelope, meta, version)
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
 
 def decode_request(data: bytes) -> Tuple[str, Any, int]:
     """Returns ``(method, payload, request_id)``."""
+    method, payload, request_id, _meta = decode_request_envelope(data)
+    return method, payload, request_id
+
+
+def decode_request_envelope(data: bytes) -> Tuple[str, Any, int, Dict[str, Any]]:
+    """Returns ``(method, payload, request_id, meta)``.
+
+    ``meta`` is the envelope's free-form metadata — empty for v1 peers,
+    which is exactly how a pipelining server knows to answer a client in
+    strict request order.
+    """
     envelope = _load_envelope(data, expected_kind="request")
     method = envelope.get("method")
     if not isinstance(method, str):
         raise CodecError("request envelope missing method")
-    return method, decode_payload(envelope.get("body")), int(envelope.get("id", 0))
+    return (method, decode_payload(envelope.get("body")),
+            int(envelope.get("id", 0)), envelope_meta(envelope))
 
 
 def encode_response(payload: Any, request_id: int = 0,
-                    version: int = WIRE_VERSION) -> bytes:
-    envelope = {
+                    version: int = WIRE_VERSION,
+                    meta: Optional[Dict[str, Any]] = None) -> bytes:
+    envelope: Dict[str, Any] = {
         "v": _check_version(version),
         "kind": "response",
         "id": request_id,
         "body": encode_payload(payload),
     }
+    _merge_meta(envelope, meta, version)
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
 
 def encode_error(message: str, request_id: int = 0,
-                 version: int = WIRE_VERSION) -> bytes:
-    envelope = {
+                 version: int = WIRE_VERSION,
+                 meta: Optional[Dict[str, Any]] = None) -> bytes:
+    envelope: Dict[str, Any] = {
         "v": _check_version(version),
         "kind": "error",
         "id": request_id,
         "error": message,
     }
+    _merge_meta(envelope, meta, version)
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+class WireReply(NamedTuple):
+    """A decoded response/error envelope, metadata included.
+
+    Pipelining clients need the *routing* fields (``request_id``,
+    ``meta``'s correlation id) before they know which caller an error
+    belongs to, so this form defers raising; :meth:`deliver` converts to
+    the classic payload-or-raise contract in the right caller.
+    """
+
+    kind: str  # "response" | "error"
+    payload: Any  # decoded body (None for errors)
+    error: Optional[str]  # server-side error text (None for responses)
+    request_id: int
+    meta: Dict[str, Any]
+
+    def deliver(self) -> Any:
+        if self.kind == "error":
+            raise RemoteCallError(self.error or "unspecified remote error")
+        return self.payload
+
+
+def decode_reply(data: bytes) -> WireReply:
+    """Decode a response **or** error envelope without raising on errors."""
+    envelope = _load_envelope(data)
+    kind = envelope["kind"]
+    if kind == "error":
+        return WireReply(
+            kind="error", payload=None,
+            error=envelope.get("error", "unspecified remote error"),
+            request_id=int(envelope.get("id", 0)),
+            meta=envelope_meta(envelope),
+        )
+    if kind != "response":
+        raise CodecError(f"expected a response, got {kind!r}")
+    return WireReply(
+        kind="response", payload=decode_payload(envelope.get("body")),
+        error=None, request_id=int(envelope.get("id", 0)),
+        meta=envelope_meta(envelope),
+    )
 
 
 def decode_response(data: bytes) -> Any:
     """Returns the response payload; raises :class:`RemoteCallError` for
     error envelopes (the server-side exception, stringified)."""
-    envelope = _load_envelope(data)
-    if envelope["kind"] == "error":
-        raise RemoteCallError(envelope.get("error", "unspecified remote error"))
-    if envelope["kind"] != "response":
-        raise CodecError(f"expected a response, got {envelope['kind']!r}")
-    return decode_payload(envelope.get("body"))
+    return decode_reply(data).deliver()
 
 
 def _load_envelope(data: bytes, expected_kind: str = "") -> Dict[str, Any]:

@@ -103,7 +103,9 @@ def connect_tcp(host: str, port: int,
                 conditions: Optional[NetworkConditions] = None,
                 timeout_seconds: float = 5.0,
                 max_attempts: int = 5,
-                backoff_seconds: float = 0.05) -> RemoteEndpoint:
+                backoff_seconds: float = 0.05,
+                reconnect_attempts: int = 4,
+                reconnect_backoff_seconds: float = 0.05) -> RemoteEndpoint:
     """Endpoint for an SL-Remote served over TCP in another process."""
     return RemoteEndpoint(TcpTransport(
         host, port,
@@ -111,4 +113,33 @@ def connect_tcp(host: str, port: int,
         timeout_seconds=timeout_seconds,
         max_attempts=max_attempts,
         backoff_seconds=backoff_seconds,
+        reconnect_attempts=reconnect_attempts,
+        reconnect_backoff_seconds=reconnect_backoff_seconds,
+    ))
+
+
+def connect_async_tcp(host: str, port: int,
+                      conditions: Optional[NetworkConditions] = None,
+                      timeout_seconds: float = 5.0,
+                      max_attempts: int = 5,
+                      backoff_seconds: float = 0.05,
+                      reconnect_attempts: int = 4,
+                      reconnect_backoff_seconds: float = 0.05) -> RemoteEndpoint:
+    """Endpoint over the pipelining client (:mod:`repro.net.aio`).
+
+    Same synchronous calling contract as :func:`connect_tcp`; the
+    difference is on the wire — many calls from many threads share one
+    socket with correlation-tagged frames instead of queueing on a
+    per-connection lock.
+    """
+    from repro.net.aio import AsyncTcpTransport
+
+    return RemoteEndpoint(AsyncTcpTransport(
+        host, port,
+        conditions=conditions,
+        timeout_seconds=timeout_seconds,
+        max_attempts=max_attempts,
+        backoff_seconds=backoff_seconds,
+        reconnect_attempts=reconnect_attempts,
+        reconnect_backoff_seconds=reconnect_backoff_seconds,
     ))

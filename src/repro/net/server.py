@@ -20,9 +20,11 @@ clock (a :class:`~repro.sim.clock.ThreadSafeClock`, since many
 connection threads charge it) — over a real wire the *caller's* cost is
 its actual socket wait, which the client-side
 :class:`~repro.net.transport.TcpTransport` folds into its own clock as
-RTTs.  The shared :class:`~repro.sgx.driver.SgxStats` counters remain
-unlocked; they are observability-only and a lost increment under heavy
-concurrency never affects protocol state.
+RTTs.  The shared :class:`~repro.sgx.driver.SgxStats` counters default
+to a :class:`~repro.sgx.driver.ThreadSafeSgxStats`: they stay
+observability-only (a lost increment never affects protocol state), but
+the benchmark reports read them, so concurrent dispatch must not
+silently undercount.
 """
 
 from __future__ import annotations
@@ -34,8 +36,46 @@ from typing import List, Optional, Tuple
 
 from repro.net import codec
 from repro.net.transport import HandlerTable, read_frame
-from repro.sgx.driver import SgxStats
+from repro.sgx.driver import SgxStats, ThreadSafeSgxStats
 from repro.sim.clock import Clock, ThreadSafeClock
+
+#: Error-envelope text prefix for capacity shedding.  A server over its
+#: ``max_connections`` cap answers a fresh connection with exactly one
+#: error envelope built from this prefix and closes; clients see it as a
+#: typed :class:`~repro.net.codec.RemoteCallError` (never retried — the
+#: far side *answered*) and the envelope metadata carries
+#: ``{"overloaded": true}`` for programmatic handling.
+OVERLOAD_ERROR = "ServerOverloaded"
+
+
+def overload_frame() -> bytes:
+    """The one-frame brush-off sent to a connection over the cap."""
+    return codec.frame(codec.encode_error(
+        f"{OVERLOAD_ERROR}: connection shed, server at max_connections",
+        0, meta={"overloaded": True},
+    ))
+
+
+def attach_server_stats(handlers: HandlerTable, server, io_name: str) -> None:
+    """Register the ``_server_stats`` introspection method on a server.
+
+    Benchmarks and operators probe it over the wire to compare IO
+    backends — most importantly ``resident_threads``, the number every
+    idle connection inflates on the threaded server and the event-loop
+    server keeps flat.
+    """
+    def _server_stats(_request, clock: Optional[Clock] = None,
+                      stats: Optional[SgxStats] = None):
+        return {
+            "io": io_name,
+            "requests_served": server.requests_served,
+            "errors_returned": server.errors_returned,
+            "connections_accepted": server.connections_accepted,
+            "connections_shed": server.connections_shed,
+            "resident_threads": threading.active_count(),
+        }
+
+    handlers.register("_server_stats", _server_stats)
 
 
 class LeaseServer:
@@ -44,18 +84,26 @@ class LeaseServer:
     def __init__(self, remote, host: str = "127.0.0.1", port: int = 0,
                  clock: Optional[Clock] = None,
                  stats: Optional[SgxStats] = None,
-                 accept_backlog: int = 16,
-                 serialize_dispatch: bool = False) -> None:
+                 accept_backlog: int = 128,
+                 serialize_dispatch: bool = False,
+                 max_connections: Optional[int] = None) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be at least 1")
         self.remote = remote
         self.handlers = HandlerTable(remote.protocol_handlers())
         self.host = host
         self.port = port
         self.clock = clock if clock is not None else ThreadSafeClock()
-        self.stats = stats if stats is not None else SgxStats()
+        self.stats = stats if stats is not None else ThreadSafeSgxStats()
         self.accept_backlog = accept_backlog
+        #: Thread-per-connection stops scaling long before the license
+        #: locks do; the cap sheds accepts beyond it with a typed error
+        #: envelope instead of growing one OS thread per socket forever.
+        self.max_connections = max_connections
         self.requests_served = 0
         self.errors_returned = 0
         self.connections_accepted = 0
+        self.connections_shed = 0
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._workers: List[threading.Thread] = []
@@ -65,6 +113,7 @@ class LeaseServer:
         self._dispatch_lock = threading.Lock() if serialize_dispatch else None
         self._counters_lock = threading.Lock()
         self._stopping = threading.Event()
+        attach_server_stats(self.handlers, self, io_name="threads")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -100,6 +149,13 @@ class LeaseServer:
         self._stopping.set()
         if self._listener is not None:
             try:
+                # shutdown() wakes the thread blocked in accept();
+                # close() alone leaves it holding the listening socket
+                # (and the port) until a connection happens to arrive.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 self._listener.close()
             except OSError:
                 pass
@@ -130,6 +186,27 @@ class LeaseServer:
                 connection, _peer = listener.accept()
             except OSError:
                 return  # listener closed by stop()
+            try:
+                # Accepted sockets linger in FIN_WAIT after a stop();
+                # without SO_REUSEADDR on them a restart on the same
+                # port fails EADDRINUSE until the kernel times them out.
+                connection.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+                )
+            except OSError:
+                pass
+            if (self.max_connections is not None
+                    and self.live_workers >= self.max_connections):
+                # Accept storm beyond the cap: one typed error envelope,
+                # then close — never an unbounded thread per socket.
+                self.connections_shed += 1
+                try:
+                    connection.sendall(overload_frame())
+                except OSError:
+                    pass
+                finally:
+                    connection.close()
+                continue
             self.connections_accepted += 1
             worker = threading.Thread(
                 target=self._serve_connection,
@@ -146,14 +223,18 @@ class LeaseServer:
             worker.start()
 
     def _serve_connection(self, connection: socket.socket) -> None:
+        # poll(), not select(): select is capped at fd numbers < 1024,
+        # and a server holding a thousand idle connections hands out
+        # descriptors well past that.
+        poller = select.poll()
+        poller.register(connection, select.POLLIN)
         with connection:
             while not self._stopping.is_set():
                 # Poll before the blocking frame read so an idle
                 # connection re-checks the shutdown flag twice a second
                 # without ever timing out mid-frame (which would lose
                 # stream sync).
-                readable, _, _ = select.select([connection], [], [], 0.5)
-                if not readable:
+                if not poller.poll(500):
                     continue
                 try:
                     data = read_frame(connection)

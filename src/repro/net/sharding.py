@@ -344,7 +344,8 @@ class ShardRouterTransport(Transport):
 def connect_sharded_tcp(addresses, conditions=None, timeout_seconds: float = 5.0,
                         max_attempts: int = 5, backoff_seconds: float = 0.05,
                         shard_names: Optional[Sequence[str]] = None,
-                        ring_replicas: int = 64):
+                        ring_replicas: int = 64,
+                        io: str = "threads"):
     """Endpoint routing across N ``serve-remote --shard-of`` processes.
 
     ``addresses`` is a sequence of ``(host, port)`` pairs, one per shard
@@ -352,9 +353,23 @@ def connect_sharded_tcp(addresses, conditions=None, timeout_seconds: float = 5.0
     ``--shard-of i:N`` (or with the i-th name of ``shard_names`` /
     ``--ring``), otherwise the client's ring disagrees with the fleet's
     license placement.
+
+    ``io`` selects the per-shard client: ``"threads"`` is the strict-
+    ordered :class:`~repro.net.transport.TcpTransport`; ``"async"`` is
+    the pipelining :class:`~repro.net.aio.AsyncTcpTransport`, letting
+    concurrent callers keep renewals to *every* shard in flight on one
+    socket each (the whole sharded fleet then runs on event loops end
+    to end).
     """
     from repro.net.rpc import RemoteEndpoint
     from repro.net.transport import TcpTransport
+
+    if io == "async":
+        from repro.net.aio import AsyncTcpTransport as transport_cls
+    elif io == "threads":
+        transport_cls = TcpTransport
+    else:
+        raise ValueError(f"unknown io backend {io!r}; choose 'threads' or 'async'")
 
     addresses = list(addresses)
     names = (list(shard_names) if shard_names is not None
@@ -362,10 +377,10 @@ def connect_sharded_tcp(addresses, conditions=None, timeout_seconds: float = 5.0
     if len(names) != len(addresses):
         raise ValueError("need exactly one shard name per address")
     transports = {
-        name: TcpTransport(host, port, conditions=conditions,
-                           timeout_seconds=timeout_seconds,
-                           max_attempts=max_attempts,
-                           backoff_seconds=backoff_seconds)
+        name: transport_cls(host, port, conditions=conditions,
+                            timeout_seconds=timeout_seconds,
+                            max_attempts=max_attempts,
+                            backoff_seconds=backoff_seconds)
         for name, (host, port) in zip(names, addresses)
     }
     ring = HashRing(names, replicas=ring_replicas)

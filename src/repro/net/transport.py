@@ -166,6 +166,20 @@ class TcpTransport(Transport):
     accounting model), and real-world waiting happens via socket
     timeouts.  Application-level errors reported by the server are
     *not* retried — they surface immediately.
+
+    Connection resilience: dialing has its **own** budget
+    (``reconnect_attempts`` tries with ``reconnect_backoff_seconds``
+    exponential backoff), separate from the per-call retry budget.  A
+    server restart mid-session therefore costs the one in-flight request
+    attempt that observed the broken socket, after which the transport
+    re-dials on its reconnect budget and the session simply resumes —
+    the lease protocol needs no connection-level handshake because every
+    request carries the client's SLID, and all server-side session state
+    (identity, ledgers, escrowed root keys) is keyed by it, not by the
+    socket.  Half-open sockets (peer vanished without a FIN) cannot be
+    seen at send time — the kernel buffers the bytes — so they are
+    detected one step later, when the response read times out or the
+    stream dies mid-frame; both land in the same reconnect path.
     """
 
     name = "tcp"
@@ -178,30 +192,59 @@ class TcpTransport(Transport):
         timeout_seconds: float = 5.0,
         max_attempts: int = 5,
         backoff_seconds: float = 0.05,
+        reconnect_attempts: int = 4,
+        reconnect_backoff_seconds: float = 0.05,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if reconnect_attempts < 1:
+            raise ValueError("reconnect_attempts must be at least 1")
         self.host = host
         self.port = port
         self.conditions = conditions if conditions is not None else NetworkConditions()
         self.timeout_seconds = timeout_seconds
         self.max_attempts = max_attempts
         self.backoff_seconds = backoff_seconds
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff_seconds = reconnect_backoff_seconds
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
         self._request_id = 0
+        self._ever_connected = False
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Successful re-dials after an established session lost its
+        #: socket (a server restart survived in place).
+        self.reconnects = 0
 
     # -- connection management -----------------------------------------
     def _connection(self) -> socket.socket:
-        if self._sock is None:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout_seconds
-            )
+        """The live socket, (re)dialing on the reconnect budget if needed."""
+        if self._sock is not None:
+            return self._sock
+        last_error: Optional[OSError] = None
+        for attempt in range(1, self.reconnect_attempts + 1):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_seconds
+                )
+            except OSError as exc:
+                last_error = exc
+                if attempt < self.reconnect_attempts:
+                    time.sleep(
+                        self.reconnect_backoff_seconds * (2 ** (attempt - 1))
+                    )
+                continue
             sock.settimeout(self.timeout_seconds)
             self._sock = sock
-        return self._sock
+            if self._ever_connected:
+                self.reconnects += 1
+            self._ever_connected = True
+            return sock
+        raise ConnectionError(
+            f"could not (re)connect to {self.host}:{self.port} after "
+            f"{self.reconnect_attempts} dial attempts: {last_error}"
+        )
 
     def _drop_connection(self) -> None:
         if self._sock is not None:

@@ -34,7 +34,7 @@ from repro.sgx.costs import (
     SgxCostModel,
     scaled_latency_costs,
 )
-from repro.sgx.driver import SgxStats
+from repro.sgx.driver import SgxStats, ThreadSafeSgxStats
 from repro.sgx.enclave import Enclave, EnclaveError
 from repro.sgx.epc import EpcPager
 from repro.sgx.pcl import PclError, PclKeyServer, SealedCodeSection, load_protected_code
@@ -92,6 +92,7 @@ __all__ = [
     "SgxCostModel",
     "SgxMachine",
     "SgxStats",
+    "ThreadSafeSgxStats",
     "SpinLock",
     "load_protected_code",
     "measure",

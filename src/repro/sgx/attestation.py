@@ -14,6 +14,7 @@ CMAC construction itself.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional, Set
 
@@ -112,7 +113,7 @@ class LocalAttestationAuthority:
         source measurement.
         """
         self.clock.advance(self.costs.local_attestation_cycles)
-        self.stats.local_attestations += 1
+        self.stats.bump("local_attestations")
         self.stats.charge("local_attestation", self.costs.local_attestation_cycles)
         expected_mac = _report_mac(
             report.source_measurement,
@@ -140,6 +141,7 @@ class RemoteAttestationService:
         self.costs = costs if costs is not None else SgxCostModel()
         self._genuine_platforms: Set[int] = set()
         self.verifications = 0
+        self._verifications_lock = threading.Lock()
         #: Enroll platforms on first contact instead of requiring prior
         #: registration.  Only for standalone wire servers (``repro.cli
         #: serve-remote``) whose clients run in other processes; the
@@ -157,10 +159,14 @@ class RemoteAttestationService:
         Charges the RA latency, then checks that the platform is
         genuine and the report MAC verifies under that platform's key.
         """
+        # The wire servers call this from many dispatch threads with one
+        # shared stats object; ``bump`` lets ThreadSafeSgxStats make the
+        # increment atomic while the simulation's plain stats stay free.
         clock.advance(self.costs.remote_attestation_cycles)
-        stats.remote_attestations += 1
+        stats.bump("remote_attestations")
         stats.charge("remote_attestation", self.costs.remote_attestation_cycles)
-        self.verifications += 1
+        with self._verifications_lock:
+            self.verifications += 1
         if self.accept_any_platform:
             self._genuine_platforms.add(platform_secret)
         if platform_secret not in self._genuine_platforms:

@@ -8,6 +8,7 @@ into one of these, and the benchmark harnesses read them out.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -26,6 +27,17 @@ class SgxStats:
     remote_attestations: int = 0
     #: Cycles attributable to each event class, keyed by event name.
     cycles_by_event: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, counter: str, count: int = 1) -> None:
+        """Increment one named counter.
+
+        The single-threaded simulation uses plain ``+=`` everywhere and
+        loses nothing; code that may share a stats object across real
+        threads (the wire servers' dispatch paths) must go through this
+        method so :class:`ThreadSafeSgxStats` can make the
+        read-modify-write atomic.
+        """
+        setattr(self, counter, getattr(self, counter) + count)
 
     def charge(self, event: str, cycles: int) -> None:
         """Attribute ``cycles`` to an event class."""
@@ -63,3 +75,28 @@ class SgxStats:
         self.local_attestations = 0
         self.remote_attestations = 0
         self.cycles_by_event.clear()
+
+
+class ThreadSafeSgxStats(SgxStats):
+    """An :class:`SgxStats` whose increments are atomic under threads.
+
+    The wire servers (:mod:`repro.net.server`, :mod:`repro.net.aio`)
+    hand one shared stats object to handlers running on many dispatch
+    threads at once.  The counters stay observability-only — a lost
+    increment never affects protocol state — but the benchmark reports
+    read them, and an unlocked ``+=`` under an 8-thread renewal storm
+    silently undercounts.  Locking lives here so the single-threaded
+    simulation keeps its zero-overhead plain ``+=``.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._bump_lock = threading.Lock()
+
+    def bump(self, counter: str, count: int = 1) -> None:
+        with self._bump_lock:
+            super().bump(counter, count)
+
+    def charge(self, event: str, cycles: int) -> None:
+        with self._bump_lock:
+            super().charge(event, cycles)

@@ -62,3 +62,80 @@ def test_deployment_identical_across_transports():
             deployment.remote.ledger("lic-d").available,
         )
     assert results["in-process"] == results["serialized"]
+
+
+# ----------------------------------------------------------------------
+# Real-wire backends: identical protocol outcomes over actual sockets
+# ----------------------------------------------------------------------
+# The "tcp" and "async" backends serve the same remote through a real
+# server (threaded vs event-loop).  Client clocks and stats diverge by
+# design — remote-attestation time lands on the server's clock over a
+# real wire — so the equivalence contract is the *protocol outcome*:
+# who got how many units, what the ledger says, what was lost.
+
+def wire_fleet_fingerprint(transport: str, seed: int = 17, shards: int = 1):
+    """A fixed fleet scenario reduced to protocol outcomes only.
+
+    Nodes are perfectly reliable: the loopback link drops messages by
+    simulated chance, a healthy localhost socket does not, so only the
+    lossless configuration is comparable across real and simulated
+    wires.
+    """
+    cluster = Cluster(seed=seed, transport=transport, shards=shards)
+    try:
+        cluster.issue_license(LICENSE, POOL)
+        for i in range(4):
+            cluster.add_node(NodeSpec(
+                f"n{i}",
+                weight=1.0 + i,
+                health=1.0 - 0.1 * i,
+            ))
+        served_a = cluster.run_checks(LICENSE, checks_per_node=40)
+        cluster.crash_node("n1")
+        served_b = cluster.run_checks(LICENSE, checks_per_node=40)
+        cluster.shutdown_node("n3")
+        ledger = cluster.remote.ledger(LICENSE)
+        return {
+            "served": (served_a, served_b),
+            "outstanding": cluster.outstanding(LICENSE),
+            "available": ledger.available,
+            "lost": ledger.lost_units,
+            "renewals": cluster.remote.renewals_served,
+            "conserved": cluster.pool_conserved(LICENSE, POOL),
+        }
+    finally:
+        cluster.close()
+
+
+def test_wire_backends_match_in_process_protocol_outcomes():
+    baseline = wire_fleet_fingerprint("in-process")
+    assert baseline["conserved"]
+    assert wire_fleet_fingerprint("tcp") == baseline
+    assert wire_fleet_fingerprint("async") == baseline
+
+
+def test_sharded_fleet_identical_across_wire_backends():
+    baseline = wire_fleet_fingerprint("in-process", shards=3)
+    assert baseline["conserved"]
+    assert wire_fleet_fingerprint("async", shards=3) == baseline
+    assert wire_fleet_fingerprint("tcp", shards=3) == baseline
+
+
+def test_deployment_wire_backends_match_protocol_outcomes():
+    results = {}
+    for transport in ("in-process", "tcp", "async"):
+        deployment = SecureLeaseDeployment(seed=5, transport=transport)
+        try:
+            blob = deployment.issue_license("lic-d", 5_000)
+            manager = deployment.manager_for("app")
+            manager.load_license("lic-d", blob)
+            served = sum(manager.check("lic-d") for _ in range(60))
+            results[transport] = (
+                served,
+                deployment.remote.ledger("lic-d").available,
+                sum(deployment.remote.ledger("lic-d").outstanding.values()),
+            )
+        finally:
+            deployment.close()
+    assert results["tcp"] == results["in-process"]
+    assert results["async"] == results["in-process"]

@@ -254,3 +254,73 @@ class TestVersionCompatMatrix:
         v2 = json.loads(codec.encode_request("renew", 7, 3, version=2).decode())
         assert v1.pop("v") == 1 and v2.pop("v") == 2
         assert v1 == v2
+
+
+# ----------------------------------------------------------------------
+# Correlation metadata: the pipelining contract on the wire
+# ----------------------------------------------------------------------
+class TestCorrelationMetadata:
+    """Corr ids ride the free-form v2 envelope metadata: a tagged
+    request is echoed back tagged, an untagged one stays untagged, and
+    a v1 envelope can carry no tag at all."""
+
+    def test_request_corr_id_round_trips(self):
+        data = codec.encode_request("renew", ("lic", 1), request_id=4,
+                                    meta={codec.CORRELATION_KEY: 77})
+        method, payload, rid, meta = codec.decode_request_envelope(data)
+        assert (method, payload, rid) == ("renew", ("lic", 1), 4)
+        assert meta[codec.CORRELATION_KEY] == 77
+
+    def test_untagged_request_has_empty_corr(self):
+        data = codec.encode_request("renew", ("lic", 1), request_id=4)
+        *_, meta = codec.decode_request_envelope(data)
+        assert codec.CORRELATION_KEY not in meta
+
+    def test_response_corr_id_round_trips(self):
+        data = codec.encode_response(Status.OK, 9,
+                                     meta={codec.CORRELATION_KEY: 13})
+        reply = codec.decode_reply(data)
+        assert reply.meta[codec.CORRELATION_KEY] == 13
+        assert reply.request_id == 9
+        assert reply.deliver() is Status.OK
+
+    def test_error_reply_is_routable_before_it_raises(self):
+        """decode_reply must NOT raise on an error envelope — the
+        pipelining reader needs the corr id to route the error to the
+        right caller first; deliver() raises at the call site."""
+        data = codec.encode_error("LicenseUnknown: lic-x", 3,
+                                  meta={codec.CORRELATION_KEY: 5})
+        reply = codec.decode_reply(data)
+        assert reply.meta[codec.CORRELATION_KEY] == 5
+        assert reply.error is not None
+        with pytest.raises(codec.RemoteCallError, match="LicenseUnknown"):
+            reply.deliver()
+
+    def test_meta_cannot_clobber_reserved_envelope_keys(self):
+        with pytest.raises(codec.CodecError, match="reserved"):
+            codec.encode_request("renew", None, meta={"method": "steal"})
+        with pytest.raises(codec.CodecError, match="reserved"):
+            codec.encode_response(None, meta={"body": "fake"})
+
+    def test_v1_envelopes_never_carry_corr_tags(self):
+        """Strict-ordered interop: a v1 emission silently sheds the tag
+        (the peer matches by position) and a v1 reply decodes with empty
+        meta, so the reader falls back to request-id matching."""
+        request = json.loads(codec.encode_request(
+            "renew", None, version=1, meta={codec.CORRELATION_KEY: 8}
+        ).decode())
+        assert codec.CORRELATION_KEY not in request
+        reply = codec.decode_reply(codec.encode_response(None, 8, version=1))
+        assert reply.meta == {}
+        assert reply.request_id == 8  # the fallback routing key
+
+    @given(protocol_messages, st.integers(min_value=1, max_value=2**31))
+    def test_tagged_round_trip_is_lossless(self, message, corr):
+        data = codec.encode_response(message, corr,
+                                     meta={codec.CORRELATION_KEY: corr})
+        # Force an actual JSON round trip: what really crosses a socket.
+        reply = codec.decode_reply(
+            json.dumps(json.loads(data.decode())).encode()
+        )
+        assert reply.deliver() == message
+        assert reply.meta[codec.CORRELATION_KEY] == corr
