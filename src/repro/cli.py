@@ -51,7 +51,8 @@ def cmd_run(args) -> int:
     workload = get_workload(args.workload, seed=args.seed)
     deployment = SecureLeaseDeployment(seed=args.seed,
                                        tokens_per_attestation=args.tokens,
-                                       transport=args.transport)
+                                       transport=args.transport,
+                                       endpoint=args.endpoint)
     blob = deployment.issue_license(workload.license_id,
                                     total_units=args.units)
     run = deployment.run_workload(workload, scale=args.scale,
@@ -126,7 +127,7 @@ def cmd_attack(args) -> int:
 
 def cmd_fleet(args) -> int:
     cluster = Cluster(seed=args.seed, transport=args.transport,
-                      shards=args.shards)
+                      shards=args.shards, endpoint=args.endpoint)
     cluster.issue_license("lic-fleet", args.units)
     healths = [1.0, 0.95, 0.8, 0.6]
     for index in range(args.nodes):
@@ -184,6 +185,20 @@ def _parse_shard_of(spec: str):
     return index, count
 
 
+def _parse_fleet(spec: str):
+    """Parse ``--fleet NAME=HOST:PORT,NAME=HOST:PORT,...``."""
+    members = {}
+    for part in spec.split(","):
+        if "=" not in part or ":" not in part.split("=", 1)[1]:
+            raise ValueError(
+                f"--fleet member {part!r} must look like NAME=HOST:PORT"
+            )
+        name, address = part.split("=", 1)
+        host, port_text = address.rsplit(":", 1)
+        members[name] = (host, int(port_text))
+    return members
+
+
 def cmd_serve_remote(args) -> int:
     """Run SL-Remote as a real TCP server (the vendor-side process).
 
@@ -194,10 +209,17 @@ def cmd_serve_remote(args) -> int:
       consistent-hash ring partitions the license ledgers);
     * ``--shard-of I:N`` — this process *is* shard I of an N-shard
       fleet: it issues only the licenses the ring assigns to it, and
-      expects clients to route through ``connect_sharded_tcp`` (which
-      mirrors SLIDs and crash write-offs across the fleet).
+      expects clients to route through ``sl+sharded://`` endpoints
+      (which mirror SLIDs and crash write-offs across the fleet).
+
+    ``--replicas 1 --fleet NAME=HOST:PORT,...`` additionally streams
+    this shard's license state to its ring-successor followers and
+    mounts the replication surface (``replicate``/``sync_snapshot``/
+    ``promote``/``replication_probe``) so clients can fail the fleet
+    over when a primary dies.
     """
     from repro.core.sl_remote import SlRemote
+    from repro.net.replication import ReplicationManager, TcpPeerLink
     from repro.net.server import LeaseServer
     from repro.net.sharding import HashRing, ShardedRemote, default_shard_names
     from repro.sgx import RemoteAttestationService
@@ -209,6 +231,7 @@ def cmd_serve_remote(args) -> int:
         ras.register_platform(int(secret, 0))
 
     owned_licenses = None  # None: this process owns every license
+    manager = None
     if args.shard_of:
         index, count = _parse_shard_of(args.shard_of)
         names = (args.ring.split(",") if args.ring
@@ -222,10 +245,43 @@ def cmd_serve_remote(args) -> int:
         owned_licenses = lambda lid: ring.shard_for(lid) == shard_name  # noqa: E731
         remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
         print(f"shard {shard_name} ({index + 1} of {count})", flush=True)
+        if args.replicas > 0:
+            if not args.fleet:
+                raise SystemExit("--replicas needs --fleet NAME=HOST:PORT,...")
+            members = _parse_fleet(args.fleet)
+            unknown = set(members) - set(names)
+            if unknown:
+                raise SystemExit(
+                    f"--fleet names {sorted(unknown)} not on the ring"
+                )
+            peers = {
+                name: TcpPeerLink(host, port)
+                for name, (host, port) in members.items()
+                if name != shard_name
+            }
+
+            def follower_for(license_id, _ring=ring):
+                owners = _ring.owners(license_id, 2)
+                return owners[1] if len(owners) > 1 else None
+
+            manager = ReplicationManager(
+                remote, shard_name, peers=peers, follower_for=follower_for,
+                lag_budget_units=args.lag_budget,
+            )
+            manager.start()
+            print(f"replicating to ring successors "
+                  f"(lag budget {args.lag_budget} units, "
+                  f"{len(peers)} peers)", flush=True)
     elif args.shards > 1:
         remote = ShardedRemote(ras, shards=args.shards,
-                               ledger_commit_seconds=args.ledger_commit_seconds)
-        print(f"sharded SL-Remote: {args.shards} in-process shards", flush=True)
+                               ledger_commit_seconds=args.ledger_commit_seconds,
+                               replicas=args.replicas,
+                               lag_budget_units=args.lag_budget)
+        if args.replicas > 0:
+            remote.start_replication()
+        print(f"sharded SL-Remote: {args.shards} in-process shards"
+              + (f", {args.replicas} replica(s)" if args.replicas else ""),
+              flush=True)
     else:
         remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
 
@@ -240,6 +296,7 @@ def cmd_serve_remote(args) -> int:
         print(f"issued license {license_id!r}: {units:,} units "
               f"({kind.value})", flush=True)
 
+    extra_handlers = manager.extra_handlers() if manager is not None else None
     if args.io == "async":
         from repro.net.aio import AsyncLeaseServer
 
@@ -250,11 +307,13 @@ def cmd_serve_remote(args) -> int:
             )
         server = AsyncLeaseServer(remote, host=args.host, port=args.port,
                                   max_workers=args.max_workers,
-                                  max_connections=args.max_connections)
+                                  max_connections=args.max_connections,
+                                  extra_handlers=extra_handlers)
     else:
         server = LeaseServer(remote, host=args.host, port=args.port,
                              serialize_dispatch=args.serialize_dispatch,
-                             max_connections=args.max_connections)
+                             max_connections=args.max_connections,
+                             extra_handlers=extra_handlers)
     host, port = server.start()
     # Exact marker line: scripts and the integration test parse it to
     # discover an ephemeral port (--port 0).
@@ -264,10 +323,47 @@ def cmd_serve_remote(args) -> int:
     except KeyboardInterrupt:
         print("shutting down", flush=True)
     finally:
+        if manager is not None:
+            manager.stop()
+        if isinstance(remote, ShardedRemote):
+            remote.stop_replication()
         server.stop()
     print(f"served {server.requests_served} requests over "
           f"{server.connections_accepted} connections "
           f"({server.errors_returned} errors)", flush=True)
+    return 0
+
+
+def cmd_ring(args) -> int:
+    """Online fleet membership: join or retire a shard, migrating its
+    keyspace license by license while clients keep renewing."""
+    from repro.net.endpoint import connect
+    from repro.net.sharding import ShardRouterTransport
+
+    endpoint = connect(args.endpoint)
+    try:
+        transport = endpoint.transport
+        if not isinstance(transport, ShardRouterTransport):
+            raise SystemExit(
+                "ring membership needs an sl+sharded:// endpoint"
+            )
+        if args.verb == "add":
+            host, _, port_text = args.address.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise SystemExit(
+                    f"--address {args.address!r} must look like HOST:PORT"
+                )
+            moved = transport.add_shard(args.name, host, int(port_text))
+            print(f"shard {args.name!r} joined at {args.address}; "
+                  f"migrated {len(moved)} license(s)", flush=True)
+        else:
+            moved = transport.remove_shard(args.name)
+            print(f"shard {args.name!r} retired; "
+                  f"migrated {len(moved)} license(s)", flush=True)
+        for license_id in moved:
+            print(f"  moved {license_id}", flush=True)
+    finally:
+        endpoint.close()
     return 0
 
 
@@ -303,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
                             default="in-process",
                             help="loopback transport between SL-Local and "
                                  "SL-Remote")
+    run_parser.add_argument("--endpoint", default=None,
+                            metavar="sl://HOST:PORT",
+                            help="connect to SL-Remote via an endpoint URL "
+                                 "(sl://, sl+async://, sl+sharded://); "
+                                 "overrides --transport")
 
     partition_parser = subparsers.add_parser(
         "partition", help="show partitioning decisions for a workload")
@@ -332,6 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--shards", type=int, default=1,
                               help="partition the vendor ledgers across N "
                                    "consistent-hash shards")
+    fleet_parser.add_argument("--endpoint", default=None,
+                              metavar="sl://HOST:PORT",
+                              help="connect every node to SL-Remote via an "
+                                   "endpoint URL; overrides --transport")
 
     serve_parser = subparsers.add_parser(
         "serve-remote",
@@ -384,6 +489,40 @@ def build_parser() -> argparse.ArgumentParser:
                               default=0.0,
                               help="simulated durable-commit latency charged "
                                    "inside each license's critical section")
+    serve_parser.add_argument("--replicas", type=int, default=0,
+                              help="stream license-shard state to ring-"
+                                   "successor followers so a dead shard can "
+                                   "be promoted (with --shard-of this needs "
+                                   "--fleet; with --shards it wires in-"
+                                   "process followers)")
+    serve_parser.add_argument("--fleet", default="",
+                              metavar="NAME=HOST:PORT,...",
+                              help="every fleet member's name and address "
+                                   "(replication peers for --shard-of; names "
+                                   "must match --ring / the default names)")
+    serve_parser.add_argument("--lag-budget", type=int, default=64,
+                              help="replication lag budget in granted units: "
+                                   "the most a promotion may forfeit per "
+                                   "license (grants are clamped to keep the "
+                                   "un-replicated window below it)")
+
+    ring_parser = subparsers.add_parser(
+        "ring", help="online shard membership for a running fleet")
+    ring_sub = ring_parser.add_subparsers(dest="verb", required=True)
+    ring_add = ring_sub.add_parser(
+        "add", help="join a shard and migrate its keyspace to it")
+    ring_add.add_argument("--endpoint", required=True,
+                          metavar="sl+sharded://H1:P1,H2:P2")
+    ring_add.add_argument("--name", required=True,
+                          help="ring name of the joining shard")
+    ring_add.add_argument("--address", required=True, metavar="HOST:PORT",
+                          help="where the joining shard is listening")
+    ring_remove = ring_sub.add_parser(
+        "remove", help="drain a shard's licenses and retire it")
+    ring_remove.add_argument("--endpoint", required=True,
+                             metavar="sl+sharded://H1:P1,H2:P2")
+    ring_remove.add_argument("--name", required=True,
+                             help="ring name of the departing shard")
 
     return parser
 
@@ -396,6 +535,7 @@ COMMANDS = {
     "attack": cmd_attack,
     "fleet": cmd_fleet,
     "serve-remote": cmd_serve_remote,
+    "ring": cmd_ring,
 }
 
 

@@ -22,8 +22,8 @@ from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect, endpoint_for
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.sgx import RemoteAttestationService, SgxMachine, SgxCostModel
 from repro.sim.rng import DeterministicRng
 
@@ -68,7 +68,8 @@ class Cluster:
                  policy: Optional[RenewalPolicy] = None,
                  costs: Optional[SgxCostModel] = None,
                  transport: str = "in-process",
-                 shards: int = 1) -> None:
+                 shards: int = 1,
+                 endpoint: Optional[str] = None) -> None:
         self.rng = DeterministicRng(seed)
         self.costs = costs
         #: Transport backend each node talks to SL-Remote through.
@@ -92,8 +93,14 @@ class Cluster:
                                         policy=policy)
         else:
             self.remote = SlRemote(self.ras, policy=policy)
+        #: An explicit endpoint URL (``sl://``, ``sl+sharded://``, ...)
+        #: overrides the legacy transport names: every node connects to
+        #: it through :func:`repro.net.connect`.
+        self.endpoint = endpoint
         self._wire_server = None
-        if transport in ("tcp", "async"):
+        if endpoint is not None:
+            pass  # nodes dial the given endpoint; no server is spawned
+        elif transport in ("tcp", "async"):
             if transport == "async":
                 from repro.net.aio import AsyncLeaseServer
 
@@ -129,16 +136,22 @@ class Cluster:
             ),
             self.rng.fork(f"net:{spec.name}"),
         )
-        if self._wire_server is not None:
-            from repro.net.rpc import connect_async_tcp, connect_tcp
-
-            host, port = self._wire_server.address
-            connect = (connect_async_tcp if self.transport == "async"
-                       else connect_tcp)
-            endpoint = connect(host, port, conditions=link.conditions)
+        if self.endpoint is not None:
+            if self.endpoint.startswith(("sl+inproc://", "sl+serialized://")):
+                endpoint = connect(self.endpoint, remote=self.remote,
+                                   link=link)
+            else:
+                endpoint = connect(self.endpoint, conditions=link.conditions)
+        elif self._wire_server is not None:
+            io = "async" if self.transport == "async" else "threads"
+            endpoint = connect(
+                endpoint_for([self._wire_server.address], io=io),
+                conditions=link.conditions,
+            )
         else:
-            endpoint = connect_remote(self.remote, link,
-                                      transport=self.transport)
+            scheme = ("sl+inproc://" if self.transport == "in-process"
+                      else "sl+serialized://")
+            endpoint = connect(scheme, remote=self.remote, link=link)
         sl_local = SlLocal(
             machine, endpoint,
             KeyGenerator(self.rng.fork(f"keys:{spec.name}")),

@@ -30,6 +30,9 @@ class Status(enum.Enum):
     ATTESTATION_FAILED = "attestation_failed"
     UNKNOWN_CLIENT = "unknown_client"
     REVOKED = "revoked"
+    #: The license's ledger is mid-migration between shards; retry after
+    #: the interval carried by the accompanying :class:`MigratingNotice`.
+    MIGRATING = "migrating"
 
 
 # ----------------------------------------------------------------------
@@ -152,6 +155,42 @@ class ShutdownNotice:
     @classmethod
     def from_wire(cls, fields: Dict[str, Any]) -> "ShutdownNotice":
         return cls(slid=fields["slid"], root_key=fields["root_key"])
+
+
+@dataclass(frozen=True)
+class MigratingNotice:
+    """Typed retry-after answer for a license whose ledger is in motion.
+
+    Returned (not raised) by any license-scoped handler while the
+    license's :class:`~repro.core.sl_remote.LicenseShardState` is frozen
+    for an online shard migration, and by the *old* owner after the
+    hand-off completes (``new_owner`` then names where the ledger went,
+    as ``name`` or ``name=host:port`` so a stale router can re-dial).
+    Routers treat it as a bounded retry signal — never an error — so a
+    live migration costs clients only ``retry_after_seconds`` waits.
+    """
+
+    license_id: str
+    retry_after_seconds: float = 0.05
+    new_owner: Optional[str] = None
+    status: Status = Status.MIGRATING
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "license_id": self.license_id,
+            "retry_after_seconds": self.retry_after_seconds,
+            "new_owner": self.new_owner,
+            "status": self.status.value,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "MigratingNotice":
+        return cls(
+            license_id=fields["license_id"],
+            retry_after_seconds=fields["retry_after_seconds"],
+            new_owner=fields["new_owner"],
+            status=Status(fields["status"]),
+        )
 
 
 # ----------------------------------------------------------------------

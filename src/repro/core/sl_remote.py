@@ -42,6 +42,7 @@ from repro.core.gcl import LeaseKind
 from repro.core.protocol import (
     InitRequest,
     InitResponse,
+    MigratingNotice,
     RenewRequest,
     RenewResponse,
     ShutdownNotice,
@@ -97,6 +98,11 @@ class LicenseShardState:
     definition: LicenseDefinition
     ledger: LicenseLedger
     lock: threading.RLock = field(default_factory=threading.RLock)
+    #: True while the record is mid-migration between shards: license-
+    #: scoped handlers answer with a typed retry-after
+    #: (:class:`~repro.core.protocol.MigratingNotice`) instead of
+    #: mutating a ledger that is about to move.
+    frozen: bool = False
 
 
 @dataclass
@@ -144,6 +150,20 @@ class SlRemote:
         #: Total renewal round trips served (network-cost accounting).
         self.renewals_served = 0
         self.inits_served = 0
+        #: State-change observers: callables ``(event, fields_dict)``
+        #: invoked under the lock guarding the mutated state, so one
+        #: license's events arrive in commit order (replication hooks).
+        self._observers: List[Callable[[str, Dict[str, Any]], None]] = []
+        #: license_id -> new owner ("name" or "name=host:port"): a
+        #: tombstone left after an outbound migration so stale callers
+        #: are redirected instead of recreating the license here.
+        self._moved: Dict[str, str] = {}
+        #: Optional replication backpressure: called under the license
+        #: lock with a license_id, returns how many more units may be
+        #: granted before un-replicated state would exceed the lag
+        #: budget (or None for "no live follower, no clamp").  The hook
+        #: itself being None means no replication is configured.
+        self.grant_headroom: Optional[Callable[[str], Optional[int]]] = None
 
     # ------------------------------------------------------------------
     # Wire protocol surface
@@ -167,7 +187,35 @@ class SlRemote:
             "admit": self.handle_admit,
             "crash": self.handle_crash,
             "ledger_probe": self.handle_ledger_probe,
+            # Membership/migration surface (router-driven, fleet-internal).
+            "freeze": self.freeze_license,
+            "thaw": self.thaw_license,
+            "release": lambda request: self.release_license(*request),
+            "export_license": self.export_license_state,
+            "install_license": self.install_license_state,
+            "export_identity": lambda request: self.export_identity(),
+            "install_identity": self.install_identity,
         }
+
+    # ------------------------------------------------------------------
+    # State-change observers (replication hooks)
+    # ------------------------------------------------------------------
+    def add_observer(
+        self, observer: Callable[[str, Dict[str, Any]], None]
+    ) -> None:
+        """Subscribe to state-change events.
+
+        The observer is called *under the lock guarding the mutated
+        state* — per-license events arrive in ledger-commit order, so a
+        replication stream built from them replays to the same ledger.
+        Observers must therefore be cheap and must never call back into
+        this server.
+        """
+        self._observers.append(observer)
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        for observer in self._observers:
+            observer(event, fields)
 
     # ------------------------------------------------------------------
     # Developer-facing provisioning
@@ -195,6 +243,9 @@ class SlRemote:
             if license_id in self._states:
                 raise ValueError(f"license {license_id!r} already issued")
             self._states[license_id] = state
+            self._moved.pop(license_id, None)
+        self._emit("issue", license_id=license_id, kind=kind.value,
+                   total_units=total_units, tick_seconds=tick_seconds)
         return definition
 
     def revoke_license(self, license_id: str) -> None:
@@ -202,6 +253,7 @@ class SlRemote:
         state = self.license_state(license_id)
         with state.lock:
             state.definition.revoked = True
+            self._emit("revoke", license_id=license_id)
 
     def license_state(self, license_id: str) -> LicenseShardState:
         """The per-license state record (definition + ledger + lock)."""
@@ -257,6 +309,7 @@ class SlRemote:
                 obk = client.escrowed_root_key
                 client.graceful_shutdown = False
                 client.escrowed_root_key = None
+                self._emit("escrow_clear", slid=client.slid)
                 return InitResponse(status=Status.OK, slid=client.slid,
                                     old_backup_key=obk)
 
@@ -281,6 +334,7 @@ class SlRemote:
                 return Status.UNKNOWN_CLIENT
             client.escrowed_root_key = notice.root_key
             client.graceful_shutdown = True
+            self._emit("escrow", slid=notice.slid, root_key=notice.root_key)
         return Status.OK
 
     def report_crash(self, slid: int) -> None:
@@ -303,8 +357,13 @@ class SlRemote:
             client = self._clients.get(slid)
         if client is None:
             return Status.UNKNOWN_CLIENT
+        moved = self._moved.get(license_id)
+        if moved is not None:
+            return MigratingNotice(license_id=license_id, new_owner=moved)
         state = self.license_state(license_id)
         with state.lock:
+            if state.frozen:
+                return MigratingNotice(license_id=license_id)
             held = client.holdings.get(license_id, 0)
             returned = min(units, held)
             client.holdings[license_id] = held - returned
@@ -312,6 +371,9 @@ class SlRemote:
             state.ledger.outstanding[key] = max(
                 0, state.ledger.outstanding.get(key, 0) - returned
             )
+            if returned > 0:
+                self._emit("return", license_id=license_id, node_key=key,
+                           units=returned)
         return Status.OK
 
     # ------------------------------------------------------------------
@@ -361,6 +423,133 @@ class SlRemote:
                 }
         return probe
 
+    # ------------------------------------------------------------------
+    # Migration surface (online ring membership changes)
+    # ------------------------------------------------------------------
+    def freeze_license(self, license_id: str) -> Status:
+        """Halt mutations of one license while its record migrates.
+
+        While frozen, ``renew``/``return_units`` answer with a
+        :class:`~repro.core.protocol.MigratingNotice` retry-after
+        envelope; nothing is mutated, so the exported state stays exact.
+        """
+        state = self.license_state(license_id)
+        with state.lock:
+            state.frozen = True
+        return Status.OK
+
+    def thaw_license(self, license_id: str) -> Status:
+        """Resume serving a license (migration aborted or inbound done)."""
+        state = self.license_state(license_id)
+        with state.lock:
+            state.frozen = False
+        return Status.OK
+
+    def export_license_state(self, license_id: str) -> Dict[str, Any]:
+        """The full wire form of one license record + its holdings.
+
+        Must be called on a frozen license (or one with no live traffic):
+        the snapshot is taken under the license lock and is exact as of
+        the return.
+        """
+        state = self.license_state(license_id)
+        # Lock order: clients lock before license lock (the write-off
+        # ordering) — never the reverse.
+        with self._clients_lock, state.lock:
+            holdings: Dict[str, int] = {}
+            for slid, client in self._clients.items():
+                units = client.holdings.get(license_id, 0)
+                if units:
+                    holdings[str(slid)] = units
+            return {
+                "definition": definition_to_wire(state.definition),
+                "ledger": ledger_to_wire(state.ledger),
+                "frozen": state.frozen,
+                "holdings": holdings,
+            }
+
+    def install_license_state(self, payload: Dict[str, Any]) -> Status:
+        """Install (or overwrite) a license record from its wire form.
+
+        The inbound record arrives *unfrozen* — installation is the
+        hand-off point, after which this shard serves the license.
+        Unknown SLIDs in the holdings are admitted on the fly.
+        """
+        definition = definition_from_wire(payload["definition"])
+        state = LicenseShardState(
+            definition=definition,
+            ledger=ledger_from_wire(payload["ledger"]),
+        )
+        with self._registry_lock:
+            self._states[definition.license_id] = state
+            self._moved.pop(definition.license_id, None)
+        for slid_text, units in payload.get("holdings", {}).items():
+            slid = int(slid_text)
+            self.handle_admit(slid)
+            with self._clients_lock:
+                client = self._clients[slid]
+            with state.lock:
+                client.holdings[definition.license_id] = units
+        return Status.OK
+
+    def release_license(self, license_id: str,
+                        new_owner: Optional[str] = None) -> Status:
+        """Drop a migrated-out license, leaving a redirect tombstone.
+
+        Stale routers that still dial this shard get a
+        ``MigratingNotice`` naming ``new_owner`` (``"name"`` or
+        ``"name=host:port"``) and self-heal their ring view.
+        """
+        with self._registry_lock:
+            state = self._states.pop(license_id, None)
+            if new_owner:
+                self._moved[license_id] = new_owner
+        if state is None:
+            return Status.UNKNOWN_CLIENT
+        with self._clients_lock:
+            for client in self._clients.values():
+                with state.lock:
+                    client.holdings.pop(license_id, None)
+        return Status.OK
+
+    def export_identity(self) -> Dict[str, Any]:
+        """Escrowed-key/graceful flags + SLID watermark, wire-ready."""
+        with self._clients_lock:
+            return {
+                "next_slid": self._next_slid,
+                "clients": {
+                    str(slid): {
+                        "escrowed_root_key": client.escrowed_root_key,
+                        "graceful_shutdown": client.graceful_shutdown,
+                    }
+                    for slid, client in self._clients.items()
+                },
+            }
+
+    def install_identity(self, payload: Dict[str, Any]) -> Status:
+        """Fold another shard's identity snapshot into this one.
+
+        Used when a follower takes over the *home* role: escrowed keys
+        and graceful flags must survive, or every fleet client would be
+        treated as crashed on its next re-init.
+        """
+        with self._clients_lock:
+            self._next_slid = max(self._next_slid,
+                                  int(payload.get("next_slid", 1)))
+            for slid_text, fields in payload.get("clients", {}).items():
+                slid = int(slid_text)
+                client = self._clients.get(slid)
+                if client is None:
+                    client = _ClientState(slid=slid)
+                    self._clients[slid] = client
+                    self._next_slid = max(self._next_slid, slid + 1)
+                if fields.get("escrowed_root_key") is not None:
+                    client.escrowed_root_key = fields["escrowed_root_key"]
+                    client.graceful_shutdown = bool(
+                        fields.get("graceful_shutdown", False)
+                    )
+        return Status.OK
+
     def _write_off(self, client: _ClientState) -> None:
         for license_id in list(client.holdings):
             with self._registry_lock:
@@ -375,9 +564,13 @@ class SlRemote:
                 state.ledger.outstanding[key] = outstanding - lost
                 state.ledger.lost_units += lost
                 client.holdings.pop(license_id, None)
+                if lost > 0:
+                    self._emit("writeoff", license_id=license_id,
+                               node_key=key, units=lost)
         client.holdings.clear()
         client.escrowed_root_key = None
         client.graceful_shutdown = False
+        self._emit("escrow_clear", slid=client.slid)
 
     # ------------------------------------------------------------------
     # Renewal
@@ -397,12 +590,18 @@ class SlRemote:
             client = self._clients.get(request.slid)
         if client is None:
             return RenewResponse(status=Status.UNKNOWN_CLIENT)
+        moved = self._moved.get(request.license_id)
+        if moved is not None:
+            return MigratingNotice(license_id=request.license_id,
+                                   new_owner=moved)
         with self._registry_lock:
             state = self._states.get(request.license_id)
         if state is None or not self._blob_valid(state.definition,
                                                 request.license_blob):
             return RenewResponse(status=Status.INVALID_LICENSE)
         with state.lock:
+            if state.frozen:
+                return MigratingNotice(license_id=request.license_id)
             definition = state.definition
             if definition.revoked:
                 return RenewResponse(status=Status.REVOKED)
@@ -427,19 +626,44 @@ class SlRemote:
             )
             concurrent = self._concurrent_conditions(ledger, requester)
             decision = renew_lease(ledger, requester, concurrent, self.policy)
-            if decision.granted_units <= 0:
+            granted = decision.granted_units
+            if granted > 0 and self.grant_headroom is not None:
+                # Replication backpressure: never let un-replicated
+                # grants exceed the lag budget — what the follower might
+                # not know about is exactly what a promotion forfeits,
+                # so this clamp is what makes the loss bound hold.  A
+                # None headroom means the license has no live follower
+                # (nothing to lag behind): no clamp.
+                headroom = self.grant_headroom(request.license_id)
+                if headroom is not None:
+                    granted = min(granted, headroom)
+            # renew_lease already recorded the full decision in the
+            # ledger; shrink it to the clamped grant before answering
+            # (all the way back to zero when backpressure denies it).
+            if granted < decision.granted_units:
+                key = self._node_key(request.slid)
+                remaining = (
+                    ledger.outstanding.get(key, 0)
+                    - (decision.granted_units - max(granted, 0))
+                )
+                if remaining > 0:
+                    ledger.outstanding[key] = remaining
+                else:
+                    ledger.outstanding.pop(key, None)
+            if granted <= 0:
                 return RenewResponse(status=Status.EXHAUSTED)
             client.holdings[request.license_id] = (
-                client.holdings.get(request.license_id, 0)
-                + decision.granted_units
+                client.holdings.get(request.license_id, 0) + granted
             )
+            self._emit("grant", license_id=request.license_id,
+                       node_key=self._node_key(request.slid), units=granted)
             if self.ledger_commit_seconds > 0:
                 # The durable ledger write, inside the critical section:
                 # the grant is not acknowledged until it cannot be lost.
                 time.sleep(self.ledger_commit_seconds)
             return RenewResponse(
                 status=Status.OK,
-                granted_units=decision.granted_units,
+                granted_units=granted,
                 lease_kind=definition.kind.value,
                 tick_seconds=definition.tick_seconds,
             )
@@ -459,3 +683,62 @@ class SlRemote:
     @staticmethod
     def _node_key(slid: int) -> str:
         return f"slid:{slid}"
+
+
+# ----------------------------------------------------------------------
+# Wire forms of the server-side records (migration + replication reuse
+# these; they are JSON-plain, like every protocol message field dict)
+# ----------------------------------------------------------------------
+def definition_to_wire(definition: LicenseDefinition) -> Dict[str, Any]:
+    return {
+        "license_id": definition.license_id,
+        "kind": definition.kind.value,
+        "total_units": definition.total_units,
+        "tick_seconds": definition.tick_seconds,
+        "secret": definition.secret.hex(),
+        "revoked": definition.revoked,
+    }
+
+
+def definition_from_wire(fields: Dict[str, Any]) -> LicenseDefinition:
+    return LicenseDefinition(
+        license_id=fields["license_id"],
+        kind=LeaseKind(fields["kind"]),
+        total_units=fields["total_units"],
+        tick_seconds=fields["tick_seconds"],
+        secret=bytes.fromhex(fields["secret"]),
+        revoked=fields["revoked"],
+    )
+
+
+def ledger_to_wire(ledger: LicenseLedger) -> Dict[str, Any]:
+    return {
+        "license_id": ledger.license_id,
+        "total_gcl": ledger.total_gcl,
+        "beta": ledger.beta,
+        "outstanding": {key: units
+                        for key, units in ledger.outstanding.items()},
+        "lost_units": ledger.lost_units,
+        "node_conditions": {
+            key: {
+                "weight": condition.weight,
+                "network_reliability": condition.network_reliability,
+                "health": condition.health,
+            }
+            for key, condition in ledger.node_conditions.items()
+        },
+    }
+
+
+def ledger_from_wire(fields: Dict[str, Any]) -> LicenseLedger:
+    return LicenseLedger(
+        license_id=fields["license_id"],
+        total_gcl=fields["total_gcl"],
+        beta=fields["beta"],
+        outstanding=dict(fields["outstanding"]),
+        lost_units=fields["lost_units"],
+        node_conditions={
+            key: NodeCondition(node_id=key, **condition)
+            for key, condition in fields["node_conditions"].items()
+        },
+    )

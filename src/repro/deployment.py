@@ -20,8 +20,8 @@ from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect, endpoint_for
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.partition.base import Partition, Partitioner
 from repro.partition.securelease import SecureLeasePartitioner
 from repro.sgx import RemoteAttestationService, SgxMachine
@@ -113,6 +113,7 @@ class SecureLeaseDeployment:
         costs=None,
         transport: str = "in-process",
         shards: int = 1,
+        endpoint: Optional[str] = None,
     ) -> None:
         self.rng = DeterministicRng(seed)
         self.ras = RemoteAttestationService(costs)
@@ -133,7 +134,16 @@ class SecureLeaseDeployment:
         #: server (threaded vs event-loop) and connect the machine over
         #: an actual socket; protocol outcomes must match the loopbacks.
         self._wire_server = None
-        if transport in ("tcp", "async"):
+        if endpoint is not None:
+            # An explicit endpoint URL wins over the legacy transport
+            # names; loopback schemes still ride the simulated link.
+            if endpoint.startswith(("sl+inproc://", "sl+serialized://")):
+                self.endpoint = connect(endpoint, remote=self.remote,
+                                        link=self.link)
+            else:
+                self.endpoint = connect(endpoint,
+                                        conditions=self.link.conditions)
+        elif transport in ("tcp", "async"):
             if transport == "async":
                 from repro.net.aio import AsyncLeaseServer
 
@@ -143,16 +153,16 @@ class SecureLeaseDeployment:
 
                 self._wire_server = LeaseServer(self.remote)
             self._wire_server.start()
-            from repro.net.rpc import connect_async_tcp, connect_tcp
-
-            host, port = self._wire_server.address
-            connect = (connect_async_tcp if transport == "async"
-                       else connect_tcp)
-            self.endpoint = connect(host, port,
-                                    conditions=self.link.conditions)
+            io = "async" if transport == "async" else "threads"
+            self.endpoint = connect(
+                endpoint_for([self._wire_server.address], io=io),
+                conditions=self.link.conditions,
+            )
         elif transport in ("in-process", "serialized"):
-            self.endpoint = connect_remote(self.remote, self.link,
-                                           transport=transport)
+            scheme = ("sl+inproc://" if transport == "in-process"
+                      else "sl+serialized://")
+            self.endpoint = connect(scheme, remote=self.remote,
+                                    link=self.link)
         else:
             raise ValueError(f"unknown deployment transport {transport!r}")
         self.sl_local = SlLocal(

@@ -10,14 +10,21 @@ package supplies:
 * pluggable transports — in-process, serialized loopback, and real TCP —
   behind one :class:`~repro.net.transport.Transport` interface
   (:mod:`repro.net.transport`),
+* one endpoint factory, :func:`~repro.net.endpoint.connect`, taking
+  URL-style endpoints (``sl://``, ``sl+async://``, ``sl+sharded://``,
+  ``sl+inproc://``, ``sl+serialized://``) with every client knob in one
+  :class:`~repro.net.endpoint.EndpointConfig` (:mod:`repro.net.endpoint`),
+* a typed transport error hierarchy (:mod:`repro.net.errors`),
 * an RPC endpoint dispatching protocol messages to SL-Remote handlers
   (:mod:`repro.net.rpc`),
 * a socket server for running SL-Remote as its own process
   (:mod:`repro.net.server`),
 * an event-loop server and a pipelining, correlation-tagged client for
-  fleets of mostly-idle connections (:mod:`repro.net.aio`), and
+  fleets of mostly-idle connections (:mod:`repro.net.aio`),
 * consistent-hash sharding of the license ledgers across N servers with
-  a routing layer (:mod:`repro.net.sharding`).
+  a routing layer (:mod:`repro.net.sharding`), and
+* follower replication of shard state with promotion on primary death
+  and online shard membership changes (:mod:`repro.net.replication`).
 """
 
 from repro.net.aio import AsyncLeaseServer, AsyncTcpTransport
@@ -27,7 +34,29 @@ from repro.net.codec import (
     SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
 )
+from repro.net.endpoint import (
+    ENDPOINT_SCHEMES,
+    EndpointConfig,
+    connect,
+    endpoint_for,
+    format_endpoint,
+    parse_endpoint,
+)
+from repro.net.errors import (
+    DialError,
+    Migrating,
+    Overloaded,
+    RetriesExhausted,
+)
 from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
+from repro.net.replication import (
+    FollowerStore,
+    ReplicaBatch,
+    ReplicaDelta,
+    ReplicationManager,
+    ReplicationSource,
+    ShardSnapshot,
+)
 from repro.net.rpc import (
     RemoteEndpoint,
     RpcError,
@@ -59,19 +88,31 @@ __all__ = [
     "AsyncLeaseServer",
     "AsyncTcpTransport",
     "CodecError",
+    "DialError",
+    "ENDPOINT_SCHEMES",
+    "EndpointConfig",
+    "FollowerStore",
     "HandlerTable",
     "HashRing",
     "InProcessTransport",
     "LeaseServer",
+    "Migrating",
     "NetworkConditions",
     "NetworkError",
+    "Overloaded",
     "RemoteCallError",
     "RemoteEndpoint",
+    "ReplicaBatch",
+    "ReplicaDelta",
+    "ReplicationManager",
+    "ReplicationSource",
+    "RetriesExhausted",
     "RpcError",
     "SUPPORTED_WIRE_VERSIONS",
     "SerializedLoopbackTransport",
     "ShardRouter",
     "ShardRouterTransport",
+    "ShardSnapshot",
     "ShardedRemote",
     "SimulatedLink",
     "TRANSPORT_BACKENDS",
@@ -80,9 +121,13 @@ __all__ = [
     "TransportError",
     "UnknownMethodError",
     "WIRE_VERSION",
+    "connect",
     "connect_async_tcp",
     "connect_remote",
     "connect_sharded_tcp",
     "connect_tcp",
     "default_shard_names",
+    "endpoint_for",
+    "format_endpoint",
+    "parse_endpoint",
 ]

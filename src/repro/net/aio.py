@@ -53,8 +53,15 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
 from repro.net import codec
+from repro.net.endpoint import EndpointConfig
+from repro.net.errors import (
+    DialError,
+    Overloaded,
+    RetriesExhausted,
+    TransportError,
+)
 from repro.net.server import attach_server_stats, overload_frame
-from repro.net.transport import HandlerTable, Transport, TransportError
+from repro.net.transport import HandlerTable, Transport
 from repro.net.network import NetworkConditions
 from repro.sgx.driver import SgxStats, ThreadSafeSgxStats
 from repro.sim.clock import Clock, ThreadSafeClock, seconds_to_cycles
@@ -80,13 +87,16 @@ class AsyncLeaseServer:
                  stats: Optional[SgxStats] = None,
                  accept_backlog: int = 128,
                  max_workers: int = 8,
-                 max_connections: Optional[int] = None) -> None:
+                 max_connections: Optional[int] = None,
+                 extra_handlers=None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be at least 1")
         self.remote = remote
         self.handlers = HandlerTable(remote.protocol_handlers())
+        for method, handler in (extra_handlers or {}).items():
+            self.handlers.register(method, handler)
         self.host = host
         self.port = port
         self.clock = clock if clock is not None else ThreadSafeClock()
@@ -364,19 +374,27 @@ class AsyncTcpTransport(Transport):
         reconnect_attempts: int = 4,
         reconnect_backoff_seconds: float = 0.05,
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        config: Optional[EndpointConfig] = None,
     ) -> None:
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
-        if reconnect_attempts < 1:
-            raise ValueError("reconnect_attempts must be at least 1")
+        # Knob validation is EndpointConfig's job (shared with the
+        # threaded transport); the legacy keyword form builds one.
+        if config is None:
+            config = EndpointConfig(
+                timeout_seconds=timeout_seconds,
+                max_attempts=max_attempts,
+                backoff_seconds=backoff_seconds,
+                reconnect_attempts=reconnect_attempts,
+                reconnect_backoff_seconds=reconnect_backoff_seconds,
+            )
+        self.config = config
         self.host = host
         self.port = port
         self.conditions = conditions if conditions is not None else NetworkConditions()
-        self.timeout_seconds = timeout_seconds
-        self.max_attempts = max_attempts
-        self.backoff_seconds = backoff_seconds
-        self.reconnect_attempts = reconnect_attempts
-        self.reconnect_backoff_seconds = reconnect_backoff_seconds
+        self.timeout_seconds = config.timeout_seconds
+        self.max_attempts = config.max_attempts
+        self.backoff_seconds = config.backoff_seconds
+        self.reconnect_attempts = config.reconnect_attempts
+        self.reconnect_backoff_seconds = config.reconnect_backoff_seconds
         self._loop = loop
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -420,6 +438,14 @@ class AsyncTcpTransport(Transport):
                 return future.result()
             except codec.RemoteCallError:
                 raise  # the server answered; retrying cannot help
+            except Overloaded:
+                raise  # the server answered by shedding; same story
+            except DialError:
+                # A whole reconnect budget just failed; re-dialing
+                # max_attempts more times would only multiply budgets.
+                with self._counters_lock:
+                    self.messages_dropped += 1
+                raise
             except (ConnectionError, OSError, EOFError,
                     codec.CodecError) as exc:
                 with self._counters_lock:
@@ -427,9 +453,10 @@ class AsyncTcpTransport(Transport):
                 last_error = exc
                 if attempt < self.max_attempts:
                     time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
-        raise TransportError(
+        raise RetriesExhausted(
             f"async tcp request {method!r} to {self.host}:{self.port} failed "
-            f"after {self.max_attempts} attempts: {last_error}"
+            f"after {self.max_attempts} attempts: {last_error}",
+            attempts=self.max_attempts,
         )
 
     def close(self) -> None:
@@ -480,6 +507,10 @@ class AsyncTcpTransport(Transport):
             )
         finally:
             self._pending.pop(corr, None)
+        if reply.kind == "error" and reply.meta.get("overloaded"):
+            # The server answered by shedding this connection (it closes
+            # the socket next; the reader loop's teardown handles that).
+            raise Overloaded(reply.error or "server overloaded")
         return reply.deliver()
 
     async def _ensure_connection(
@@ -514,9 +545,11 @@ class AsyncTcpTransport(Transport):
                     self._reader_loop(reader)
                 )
                 return reader, writer
-            raise ConnectionError(
+            raise DialError(
                 f"could not (re)connect to {self.host}:{self.port} after "
-                f"{self.reconnect_attempts} dial attempts: {last_error}"
+                f"{self.reconnect_attempts} dial attempts: {last_error}",
+                host=self.host, port=self.port,
+                attempts=self.reconnect_attempts,
             )
 
     async def _reader_loop(self, reader: asyncio.StreamReader) -> None:

@@ -29,6 +29,7 @@ from repro.core.protocol import (
     AttestResponse,
     InitRequest,
     InitResponse,
+    MigratingNotice,
     RenewRequest,
     RenewResponse,
     ShutdownNotice,
@@ -88,6 +89,7 @@ MESSAGE_TYPES = {
         RenewRequest,
         RenewResponse,
         ShutdownNotice,
+        MigratingNotice,
         AttestRequest,
         AttestResponse,
         ExecutionToken,
@@ -95,6 +97,24 @@ MESSAGE_TYPES = {
         AttestationReport,
     )
 }
+
+
+def register_message_type(cls) -> None:
+    """Allow an additional ``to_wire``/``from_wire`` message on the wire.
+
+    Used by higher layers (e.g. :mod:`repro.net.replication`) that
+    define fleet-internal message types without this module importing
+    them — the registry stays explicit either way: only registered
+    classes ever decode, and re-registering a different class under a
+    taken name is rejected.
+    """
+    name = cls.__name__
+    if not (hasattr(cls, "to_wire") and hasattr(cls, "from_wire")):
+        raise CodecError(f"{name} lacks to_wire/from_wire")
+    existing = MESSAGE_TYPES.get(name)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"message type {name!r} already registered")
+    MESSAGE_TYPES[name] = cls
 
 #: Enum types allowed on the wire (encoded by value).
 ENUM_TYPES = {cls.__name__: cls for cls in (Status, LeaseKind)}

@@ -1,0 +1,690 @@
+"""Shard replication: delta streams, anti-entropy snapshots, failover.
+
+The sharded SL-Remote (PR 2/3) still loses a license's whole ledger
+when its home shard dies — the exact availability gap the paper waves
+at and T-Lease closes with replicated lease state.  This module makes
+every shard stream its :class:`~repro.core.sl_remote.LicenseShardState`
+changes to a **follower** shard so a dead primary costs clients a
+bounded, *accounted* loss instead of a dead license:
+
+* :class:`ReplicationSource` — taps the primary's observer hooks
+  (:meth:`~repro.core.sl_remote.SlRemote.add_observer`), buffers
+  per-license deltas in commit order, and a flusher thread ships them
+  as :class:`ReplicaBatch` messages to each license's follower (the
+  next *distinct* shard clockwise on the hash ring — exactly the shard
+  the ring maps the license to once the primary is removed, so routing
+  after failover needs no extra lookup table).  A periodic
+  :class:`ShardSnapshot` pass (full export of every owned license +
+  identity) is the anti-entropy backstop: a follower that missed
+  deltas — downtime, dropped batch, a license issued mid-run — is
+  reconciled wholesale.
+* **Bounded replication lag** — the source tracks, per license, how
+  many granted units the follower has *not* acknowledged, and
+  SL-Remote's ``grant_headroom`` hook clamps new grants so that number
+  never exceeds ``lag_budget_units``.  That clamp is the whole
+  no-double-mint argument: whatever the follower missed is at most the
+  budget, so reserving ``min(available, budget)`` as lost at promotion
+  covers every unseen grant (the paper's pessimistic rule, Algorithms
+  2–3, applied only to the lag window instead of to everything).
+* :class:`FollowerStore` — the follower-side replica: wire-form license
+  records per source shard, mutated by deltas, replaced by snapshots.
+* :class:`ReplicationManager` — one per shard process; wires source +
+  store together and exposes the fleet-internal wire surface
+  (``replicate`` / ``sync_snapshot`` / ``promote`` /
+  ``replication_probe``) that :class:`~repro.net.server.LeaseServer`
+  and :class:`~repro.net.aio.AsyncLeaseServer` mount via
+  ``extra_handlers``.
+
+Promotion is **idempotent and router-driven**: every client's
+:class:`~repro.net.sharding.ShardRouter` that observes a dead shard
+(:class:`~repro.net.errors.DialError`) broadcasts ``promote(source)``
+to the surviving shards; each folds the replicas it holds for that
+source into its own serving state exactly once and answers with what
+it installed (and the pessimistic reserve applied), no matter how many
+routers ask.
+
+Identity (escrowed root keys, graceful flags, the SLID watermark) is
+small and fleet-critical, so it is replicated to *every* peer — escrow
+deltas broadcast, snapshots attached — which makes any promotion order
+safe for the home role.  SLID admits need no replication at all: the
+router already broadcasts ``admit`` fleet-wide at init time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.net import codec
+from repro.sim.clock import ThreadSafeClock
+
+#: Default per-license replication-lag budget: the most granted units
+#: that may ever be un-acknowledged by the follower, hence the most a
+#: promotion can forfeit per license.
+DEFAULT_LAG_BUDGET_UNITS = 64
+
+
+# ----------------------------------------------------------------------
+# Wire messages (registered with the codec; WIRE_VERSION 2 payloads)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaDelta:
+    """One state change, in the emitting shard's commit order."""
+
+    seq: int
+    event: str  # grant | return | writeoff | issue | revoke | escrow | escrow_clear
+    fields: Dict[str, Any]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "event": self.event, "fields": self.fields}
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "ReplicaDelta":
+        return cls(seq=fields["seq"], event=fields["event"],
+                   fields=fields["fields"])
+
+
+@dataclass(frozen=True)
+class ReplicaBatch:
+    """A run of deltas from ``source``, for one follower."""
+
+    source: str
+    budget: int
+    deltas: Tuple[ReplicaDelta, ...]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "budget": self.budget,
+            "deltas": [delta.to_wire() for delta in self.deltas],
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "ReplicaBatch":
+        return cls(
+            source=fields["source"],
+            budget=fields["budget"],
+            deltas=tuple(ReplicaDelta.from_wire(d)
+                         for d in fields["deltas"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """Full anti-entropy state of ``source``'s licenses for one follower.
+
+    ``licenses`` maps license_id to the wire form produced by
+    :meth:`~repro.core.sl_remote.SlRemote.export_license_state`;
+    ``identity`` is :meth:`~repro.core.sl_remote.SlRemote.
+    export_identity`'s payload.  Applying a snapshot *replaces* the
+    follower's replica for those licenses — it supersedes any deltas in
+    flight, which is what lets a source drop undeliverable deltas and
+    heal with the next snapshot instead of buffering without bound.
+    """
+
+    source: str
+    seq: int
+    budget: int
+    licenses: Dict[str, Any]
+    identity: Dict[str, Any]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "seq": self.seq,
+            "budget": self.budget,
+            "licenses": self.licenses,
+            "identity": self.identity,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "ShardSnapshot":
+        return cls(
+            source=fields["source"], seq=fields["seq"],
+            budget=fields["budget"], licenses=fields["licenses"],
+            identity=fields["identity"],
+        )
+
+
+for _message in (ReplicaDelta, ReplicaBatch, ShardSnapshot):
+    codec.register_message_type(_message)
+
+
+def _wire_available(ledger: Dict[str, Any]) -> int:
+    """``available`` computed from a wire-form ledger."""
+    return (ledger["total_gcl"] - sum(ledger["outstanding"].values())
+            - ledger["lost_units"])
+
+
+def _slid_of(node_key: str) -> str:
+    """``"slid:7"`` -> ``"7"`` (holdings are keyed by SLID strings)."""
+    return node_key.split(":", 1)[1]
+
+
+# ----------------------------------------------------------------------
+# Peer links: how a source reaches its followers
+# ----------------------------------------------------------------------
+class PeerLink:
+    """One replication hop to a peer shard (transport-agnostic)."""
+
+    def call(self, method: str, payload: Any) -> Any:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class LocalPeerLink(PeerLink):
+    """Direct call into another in-process shard's manager."""
+
+    def __init__(self, manager: "ReplicationManager") -> None:
+        self.manager = manager
+
+    def call(self, method: str, payload: Any) -> Any:
+        return self.manager.extra_handlers()[method](payload)
+
+
+class TcpPeerLink(PeerLink):
+    """Replication over the standard lease wire (fleet-internal).
+
+    Uses small budgets: replication is retried forever by the flusher
+    anyway, so a slow peer should fail fast and let the anti-entropy
+    snapshot heal the gap, not stall the stream.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        from repro.net.endpoint import EndpointConfig
+        from repro.net.transport import TcpTransport
+
+        self.transport = TcpTransport(host, port, config=EndpointConfig(
+            timeout_seconds=2.0,
+            max_attempts=2,
+            backoff_seconds=0.01,
+            reconnect_attempts=2,
+            reconnect_backoff_seconds=0.01,
+        ))
+        self._clock = ThreadSafeClock()
+
+    def call(self, method: str, payload: Any) -> Any:
+        return self.transport.request(method, payload, clock=self._clock)
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+# ----------------------------------------------------------------------
+# Source side
+# ----------------------------------------------------------------------
+class ReplicationSource:
+    """Streams one shard's state changes to its followers.
+
+    ``follower_for(license_id)`` names the peer that replicates a given
+    license (ring successor); identity events go to every peer.  The
+    flusher thread drains the delta buffer every ``flush_interval``
+    seconds and takes a full snapshot pass every ``snapshot_interval``
+    seconds; both can also be driven explicitly (``flush_now`` /
+    ``snapshot_now``) which is what deterministic tests do.
+    """
+
+    def __init__(
+        self,
+        remote,
+        name: str,
+        peers: Dict[str, PeerLink],
+        follower_for: Callable[[str], Optional[str]],
+        lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
+        flush_interval: float = 0.02,
+        snapshot_interval: float = 0.5,
+    ) -> None:
+        if lag_budget_units < 1:
+            raise ValueError("lag_budget_units must be >= 1")
+        self.remote = remote
+        self.name = name
+        self.peers = dict(peers)
+        self.follower_for = follower_for
+        self.budget = lag_budget_units
+        self.flush_interval = flush_interval
+        self.snapshot_interval = snapshot_interval
+        self._lock = threading.Lock()
+        self._pending: Deque[ReplicaDelta] = deque()
+        self._seq = 0
+        #: license_id -> granted units the follower has not acked; the
+        #: grant_headroom clamp keeps each entry <= budget.
+        self._unacked: Dict[str, int] = {}
+        #: Peers whose delta stream broke: deltas for them are dropped
+        #: and the next snapshot pass reconciles them wholesale.
+        self._needs_snapshot = set(self.peers)
+        self.batches_sent = 0
+        self.snapshots_sent = 0
+        self.deltas_dropped = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        remote.add_observer(self._observe)
+        remote.grant_headroom = self.grant_headroom
+
+    # -- primary-side hooks (called under the mutated state's lock) ----
+    def _observe(self, event: str, fields: Dict[str, Any]) -> None:
+        with self._lock:
+            self._seq += 1
+            self._pending.append(ReplicaDelta(self._seq, event, dict(fields)))
+            if event == "grant":
+                license_id = fields["license_id"]
+                # Only grants a live follower should see count toward
+                # the lag window: a license whose ring successor is not
+                # a peer (e.g. it is *this* shard, post-promotion) has
+                # no replica anywhere, so there is nothing to lag.
+                if self.follower_for(license_id) in self.peers:
+                    self._unacked[license_id] = (
+                        self._unacked.get(license_id, 0) + fields["units"]
+                    )
+
+    def grant_headroom(self, license_id: str) -> Optional[int]:
+        """How many more units may be granted before exceeding the lag
+        budget (wired into ``SlRemote.grant_headroom``); ``None`` means
+        unlimited — the license has no live follower to lag behind."""
+        with self._lock:
+            if self.follower_for(license_id) not in self.peers:
+                return None
+            return max(0, self.budget - self._unacked.get(license_id, 0))
+
+    def drop_peer(self, name: str) -> None:
+        """Forget a dead peer (promotion observed its death).
+
+        Its link closes and licenses that followed it stop counting
+        toward the lag window — they are no longer replicated anywhere,
+        so backpressuring their grants would wedge them at the budget
+        with no follower left to ever ack.
+        """
+        with self._lock:
+            peer = self.peers.pop(name, None)
+            self._needs_snapshot.discard(name)
+        if peer is not None:
+            try:
+                peer.close()
+            except Exception:  # noqa: BLE001 - closing a dead link
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=f"replication-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for peer in self.peers.values():
+            peer.close()
+
+    def _run(self) -> None:
+        elapsed = 0.0
+        # Bootstrap: a fresh follower starts from a full snapshot.
+        self.snapshot_now()
+        while not self._stop.wait(self.flush_interval):
+            self.flush_now()
+            elapsed += self.flush_interval
+            if elapsed >= self.snapshot_interval:
+                elapsed = 0.0
+                self.snapshot_now()
+
+    # -- shipping -------------------------------------------------------
+    def _route(self, delta: ReplicaDelta) -> List[str]:
+        """Peer names a delta must reach (identity events go to all)."""
+        license_id = delta.fields.get("license_id")
+        if license_id is None:
+            return list(self.peers)
+        follower = self.follower_for(license_id)
+        return [follower] if follower in self.peers else []
+
+    def flush_now(self) -> None:
+        """Drain pending deltas and ship one batch per follower."""
+        with self._lock:
+            drained = list(self._pending)
+            self._pending.clear()
+        if not drained:
+            return
+        per_peer: Dict[str, List[ReplicaDelta]] = {}
+        for delta in drained:
+            for peer_name in self._route(delta):
+                per_peer.setdefault(peer_name, []).append(delta)
+        for peer_name, deltas in per_peer.items():
+            if peer_name in self._needs_snapshot:
+                # The stream to this peer is already broken; deltas
+                # would apply out of order.  Snapshot supersedes them.
+                self.deltas_dropped += len(deltas)
+                continue
+            batch = ReplicaBatch(source=self.name, budget=self.budget,
+                                 deltas=tuple(deltas))
+            acked_grants = self._grant_units(deltas)
+            try:
+                self.peers[peer_name].call("replicate", batch)
+            except Exception:  # noqa: BLE001 - any peer fault = resync later
+                self._needs_snapshot.add(peer_name)
+                self.deltas_dropped += len(deltas)
+                continue
+            self.batches_sent += 1
+            self._ack(acked_grants)
+
+    def snapshot_now(self) -> None:
+        """Ship a full snapshot to every peer (anti-entropy pass)."""
+        for peer_name, peer in self.peers.items():
+            licenses: Dict[str, Any] = {}
+            for license_id in self.remote.license_ids():
+                if self.follower_for(license_id) != peer_name:
+                    continue
+                licenses[license_id] = \
+                    self.remote.export_license_state(license_id)
+            # Grants already exported are replicated the moment the
+            # snapshot lands; grants that raced in since are still in
+            # the pending queue and stay unacked until their own flush.
+            with self._lock:
+                covered = {
+                    license_id: self._unacked.get(license_id, 0)
+                    - self._pending_grants(license_id)
+                    for license_id in licenses
+                }
+                seq = self._seq
+            snapshot = ShardSnapshot(
+                source=self.name, seq=seq, budget=self.budget,
+                licenses=licenses,
+                identity=self.remote.export_identity(),
+            )
+            try:
+                peer.call("sync_snapshot", snapshot)
+            except Exception:  # noqa: BLE001 - retried on the next pass
+                self._needs_snapshot.add(peer_name)
+                continue
+            self.snapshots_sent += 1
+            self._needs_snapshot.discard(peer_name)
+            self._ack(covered)
+
+    def _pending_grants(self, license_id: str) -> int:
+        """Grant units still queued for ``license_id`` (lock held)."""
+        return sum(
+            delta.fields["units"] for delta in self._pending
+            if delta.event == "grant"
+            and delta.fields.get("license_id") == license_id
+        )
+
+    @staticmethod
+    def _grant_units(deltas: List[ReplicaDelta]) -> Dict[str, int]:
+        grants: Dict[str, int] = {}
+        for delta in deltas:
+            if delta.event == "grant":
+                license_id = delta.fields["license_id"]
+                grants[license_id] = (grants.get(license_id, 0)
+                                      + delta.fields["units"])
+        return grants
+
+    def _ack(self, grants: Dict[str, int]) -> None:
+        with self._lock:
+            for license_id, units in grants.items():
+                remaining = self._unacked.get(license_id, 0) - units
+                if remaining > 0:
+                    self._unacked[license_id] = remaining
+                else:
+                    self._unacked.pop(license_id, None)
+
+
+# ----------------------------------------------------------------------
+# Follower side
+# ----------------------------------------------------------------------
+@dataclass
+class SourceReplica:
+    """Everything this shard replicates *from* one source shard."""
+
+    source: str
+    budget: int = DEFAULT_LAG_BUDGET_UNITS
+    last_seq: int = 0
+    #: license_id -> mutable wire-form record (export_license_state).
+    licenses: Dict[str, Any] = None  # type: ignore[assignment]
+    identity: Dict[str, Any] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.licenses is None:
+            self.licenses = {}
+        if self.identity is None:
+            self.identity = {"next_slid": 1, "clients": {}}
+
+
+class FollowerStore:
+    """Replicated state held on behalf of other shards."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: Dict[str, SourceReplica] = {}
+        self.deltas_applied = 0
+        self.deltas_skipped = 0
+        self.snapshots_applied = 0
+
+    def apply_batch(self, batch: ReplicaBatch) -> Dict[str, Any]:
+        with self._lock:
+            replica = self._sources.setdefault(
+                batch.source, SourceReplica(source=batch.source)
+            )
+            replica.budget = batch.budget
+            for delta in batch.deltas:
+                if delta.seq <= replica.last_seq:
+                    continue  # replayed batch; deltas are idempotent by seq
+                replica.last_seq = delta.seq
+                if self._apply_delta(replica, delta):
+                    self.deltas_applied += 1
+                else:
+                    self.deltas_skipped += 1
+            return {"status": "ok", "seq": replica.last_seq}
+
+    def apply_snapshot(self, snapshot: ShardSnapshot) -> Dict[str, Any]:
+        with self._lock:
+            replica = self._sources.setdefault(
+                snapshot.source, SourceReplica(source=snapshot.source)
+            )
+            replica.budget = snapshot.budget
+            replica.last_seq = max(replica.last_seq, snapshot.seq)
+            replica.licenses = dict(snapshot.licenses)
+            replica.identity = snapshot.identity
+            self.snapshots_applied += 1
+            return {"status": "ok", "seq": replica.last_seq}
+
+    def _apply_delta(self, replica: SourceReplica,
+                     delta: ReplicaDelta) -> bool:
+        """Mutate the replica; False when the delta had nothing to hit
+        (unknown license — the next snapshot reconciles it)."""
+        fields = delta.fields
+        event = delta.event
+        if event in ("escrow", "escrow_clear"):
+            clients = replica.identity.setdefault("clients", {})
+            slid = str(fields["slid"])
+            if event == "escrow":
+                clients[slid] = {
+                    "escrowed_root_key": fields["root_key"],
+                    "graceful_shutdown": True,
+                }
+            else:
+                clients[slid] = {
+                    "escrowed_root_key": None,
+                    "graceful_shutdown": False,
+                }
+            replica.identity["next_slid"] = max(
+                replica.identity.get("next_slid", 1), int(slid) + 1
+            )
+            return True
+        record = replica.licenses.get(fields.get("license_id"))
+        if record is None:
+            return False
+        ledger = record["ledger"]
+        holdings = record.setdefault("holdings", {})
+        if event == "grant":
+            key, units = fields["node_key"], fields["units"]
+            ledger["outstanding"][key] = (
+                ledger["outstanding"].get(key, 0) + units
+            )
+            slid = _slid_of(key)
+            holdings[slid] = holdings.get(slid, 0) + units
+            return True
+        if event == "return":
+            key, units = fields["node_key"], fields["units"]
+            ledger["outstanding"][key] = max(
+                0, ledger["outstanding"].get(key, 0) - units
+            )
+            slid = _slid_of(key)
+            holdings[slid] = max(0, holdings.get(slid, 0) - units)
+            return True
+        if event == "writeoff":
+            key, units = fields["node_key"], fields["units"]
+            ledger["outstanding"][key] = max(
+                0, ledger["outstanding"].get(key, 0) - units
+            )
+            ledger["lost_units"] += units
+            holdings.pop(_slid_of(key), None)
+            return True
+        if event == "revoke":
+            record["definition"]["revoked"] = True
+            return True
+        # "issue" deltas carry no secret, so the record cannot be built
+        # from the delta alone — the next snapshot pass delivers it.
+        return False
+
+    # -- promotion ------------------------------------------------------
+    def take_source(self, source: str) -> Optional[SourceReplica]:
+        """Remove and return everything replicated from ``source``."""
+        with self._lock:
+            return self._sources.pop(source, None)
+
+    def probe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                source: {
+                    "last_seq": replica.last_seq,
+                    "budget": replica.budget,
+                    "licenses": sorted(replica.licenses),
+                }
+                for source, replica in self._sources.items()
+            }
+
+
+# ----------------------------------------------------------------------
+# Both sides, wired for one shard process
+# ----------------------------------------------------------------------
+class ReplicationManager:
+    """One shard's replication role: source to followers, store for peers.
+
+    ``peers`` maps peer shard name -> :class:`PeerLink`; an empty map
+    (single-shard fleet, or replication off) degrades to a follower
+    store only — the wire surface stays mounted so a probe or promote
+    is still answerable (with nothing in it).
+    """
+
+    def __init__(
+        self,
+        remote,
+        name: str,
+        peers: Optional[Dict[str, PeerLink]] = None,
+        follower_for: Optional[Callable[[str], Optional[str]]] = None,
+        lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
+        flush_interval: float = 0.02,
+        snapshot_interval: float = 0.5,
+    ) -> None:
+        self.remote = remote
+        self.name = name
+        self.store = FollowerStore()
+        self.source: Optional[ReplicationSource] = None
+        self._promote_lock = threading.Lock()
+        #: source name -> {license_id: reserved units} for promotions
+        #: already performed (the idempotency memo every extra router
+        #: asking again is answered from).
+        self._promoted: Dict[str, Dict[str, int]] = {}
+        if peers:
+            if follower_for is None:
+                raise ValueError("peers need a follower_for placement rule")
+            self.source = ReplicationSource(
+                remote, name, peers, follower_for,
+                lag_budget_units=lag_budget_units,
+                flush_interval=flush_interval,
+                snapshot_interval=snapshot_interval,
+            )
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self.source is not None:
+            self.source.start()
+
+    def stop(self) -> None:
+        if self.source is not None:
+            self.source.stop()
+
+    # -- wire surface ---------------------------------------------------
+    def extra_handlers(self) -> Dict[str, Callable]:
+        return {
+            "replicate": self.handle_replicate,
+            "sync_snapshot": self.handle_snapshot,
+            "promote": self.handle_promote,
+            "replication_probe": self.handle_probe,
+        }
+
+    def handle_replicate(self, batch: ReplicaBatch) -> Dict[str, Any]:
+        return self.store.apply_batch(batch)
+
+    def handle_snapshot(self, snapshot: ShardSnapshot) -> Dict[str, Any]:
+        return self.store.apply_snapshot(snapshot)
+
+    def handle_probe(self, _payload: Any = None) -> Dict[str, Any]:
+        result = {
+            "name": self.name,
+            "follows": self.store.probe(),
+            "promoted": {source: dict(reserves)
+                         for source, reserves in self._promoted.items()},
+        }
+        if self.source is not None:
+            with self.source._lock:
+                unacked = dict(self.source._unacked)
+            result["replicates"] = {
+                "budget": self.source.budget,
+                "unacked": unacked,
+                "batches_sent": self.source.batches_sent,
+                "snapshots_sent": self.source.snapshots_sent,
+            }
+        return result
+
+    def handle_promote(self, source: str) -> Dict[str, Any]:
+        """Fold replicas held for a dead ``source`` into serving state.
+
+        The pessimistic-loss rule, scoped to the lag window: for each
+        replicated license, ``min(available, budget)`` units are moved
+        to ``lost`` before installing — every grant the dead primary
+        made that this replica never saw is covered by that reserve
+        (the source's grant clamp guarantees it fits).  Idempotent: the
+        first caller does the work, every later caller gets the memo.
+        """
+        if self.source is not None:
+            # The fleet shrank: stop streaming to (and backpressuring
+            # for) the dead shard.
+            self.source.drop_peer(source)
+        with self._promote_lock:
+            if source in self._promoted:
+                return {"status": "ok", "already": True,
+                        "installed": dict(self._promoted[source])}
+            replica = self.store.take_source(source)
+            installed: Dict[str, int] = {}
+            if replica is not None:
+                served = set(self.remote.license_ids())
+                for license_id, record in replica.licenses.items():
+                    if license_id in served:
+                        continue  # already migrated here while live
+                    ledger = record["ledger"]
+                    reserve = min(max(_wire_available(ledger), 0),
+                                  replica.budget)
+                    ledger["lost_units"] += reserve
+                    record["frozen"] = False
+                    self.remote.install_license_state(record)
+                    installed[license_id] = reserve
+                self.remote.install_identity(replica.identity)
+            self._promoted[source] = installed
+            return {"status": "ok", "already": False,
+                    "installed": dict(installed)}

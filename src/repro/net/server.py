@@ -86,11 +86,16 @@ class LeaseServer:
                  stats: Optional[SgxStats] = None,
                  accept_backlog: int = 128,
                  serialize_dispatch: bool = False,
-                 max_connections: Optional[int] = None) -> None:
+                 max_connections: Optional[int] = None,
+                 extra_handlers=None) -> None:
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be at least 1")
         self.remote = remote
         self.handlers = HandlerTable(remote.protocol_handlers())
+        #: Fleet-internal surfaces (replication, membership probes)
+        #: mount alongside the lease protocol on the same port.
+        for method, handler in (extra_handlers or {}).items():
+            self.handlers.register(method, handler)
         self.host = host
         self.port = port
         self.clock = clock if clock is not None else ThreadSafeClock()

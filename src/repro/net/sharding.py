@@ -7,14 +7,25 @@ routes the lease protocol so the fleet behaves like a single server:
 * :class:`HashRing` — a deterministic, sha256-based consistent-hash
   ring mapping ``license_id`` -> shard name.  No Python ``hash()``
   anywhere: the mapping must agree across processes and runs
-  (``PYTHONHASHSEED`` randomises ``hash()``).
+  (``PYTHONHASHSEED`` randomises ``hash()``).  ``add_shard`` /
+  ``remove_shard`` derive the ring for a changed fleet, and
+  ``owners(key, n)`` walks the successor list — the ring position a key
+  falls to when its owner leaves, which is exactly where replication
+  places its follower.
 * :class:`ShardRouter` — the routing brain, working over any set of
   per-shard dispatch callables (in-process handler tables or TCP
-  transports alike).
+  transports alike).  With ``failover`` armed it also *heals*: a dead
+  shard (:class:`~repro.net.errors.DialError`) triggers a ``promote``
+  broadcast to the survivors, ring removal, and a retry on the
+  license's new owner; a :class:`~repro.core.protocol.MigratingNotice`
+  answer triggers a bounded retry-after loop that follows the notice's
+  ``new_owner`` redirect.
 * :class:`ShardedRemote` — N in-process shards behind the standard
   ``protocol_handlers()`` surface; a drop-in for ``SlRemote`` anywhere
   a remote is wired (``Cluster``, ``SecureLeaseDeployment``,
-  ``LeaseServer``).
+  ``LeaseServer``).  ``replicas=1`` wires a
+  :class:`~repro.net.replication.ReplicationManager` per shard over
+  in-process peer links.
 * :class:`ShardRouterTransport` / :func:`connect_sharded_tcp` — the
   client-side router over N ``serve-remote`` processes (one per shard,
   started with ``--shard-of``).
@@ -40,21 +51,38 @@ graceful restart must leave outstanding units untouched on the license
 shards.  The net effect: write-offs and grants always mutate a ledger
 under its owning shard's license lock, so conservation holds per shard
 and therefore fleet-wide.
+
+Membership changes (``ShardRouter.add_shard`` / ``remove_shard``)
+migrate each affected license online: freeze on the old owner (clients
+get a retry-after :class:`~repro.core.protocol.MigratingNotice`),
+export -> install on the new owner, then release with a tombstone that
+redirects stale routers — including routers that never heard about the
+new shard, which dial it straight from the tombstone's ``name=host:port``.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
+import threading
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.licensefile import VENDOR_SECRET
-from repro.core.protocol import InitResponse, Status
+from repro.core.protocol import InitResponse, MigratingNotice, Status
 from repro.core.renewal import RenewalPolicy
 from repro.core.sl_remote import LicenseDefinition, SlRemote
+from repro.net.endpoint import EndpointConfig
+from repro.net.errors import DialError, Migrating
+from repro.net.replication import (
+    DEFAULT_LAG_BUDGET_UNITS,
+    LocalPeerLink,
+    PeerLink,
+    ReplicationManager,
+)
 from repro.net.transport import HandlerTable, Transport
 from repro.sgx.driver import SgxStats
-from repro.sim.clock import Clock
+from repro.sim.clock import Clock, ThreadSafeClock
 
 #: A per-shard dispatch callable: (method, payload, clock, stats) -> response.
 DispatchFn = Callable[..., Any]
@@ -102,6 +130,43 @@ class HashRing:
         index = bisect.bisect_right(self._points, point) % len(self._points)
         return self._owners[index]
 
+    def owners(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` *distinct* shards clockwise from ``key``.
+
+        ``owners(key, 2)[1]`` is where ``key`` lands if its owner is
+        removed — every virtual point of the owner yields to the next
+        distinct shard on the walk — which is why replication uses it
+        as the follower placement rule: failover routing and replica
+        placement agree by construction.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        point = _sha256_point(key.encode("utf-8"))
+        index = bisect.bisect_right(self._points, point)
+        found: List[str] = []
+        for offset in range(len(self._points)):
+            name = self._owners[(index + offset) % len(self._points)]
+            if name not in found:
+                found.append(name)
+                if len(found) == count:
+                    break
+        return found
+
+    def add_shard(self, name: str) -> "HashRing":
+        """A new ring with ``name`` joined (this ring is unchanged)."""
+        if name in self.shard_names:
+            raise ValueError(f"shard {name!r} is already on the ring")
+        return HashRing((*self.shard_names, name), replicas=self.replicas)
+
+    def remove_shard(self, name: str) -> "HashRing":
+        """A new ring with ``name`` departed (this ring is unchanged)."""
+        if name not in self.shard_names:
+            raise ValueError(f"shard {name!r} is not on the ring")
+        remaining = tuple(n for n in self.shard_names if n != name)
+        if not remaining:
+            raise ValueError("cannot remove the last shard")
+        return HashRing(remaining, replicas=self.replicas)
+
     def __len__(self) -> int:
         return len(self.shard_names)
 
@@ -126,11 +191,29 @@ class ShardRouter:
     :class:`ShardedRemote` (backends are ``HandlerTable.dispatch``) and
     the wire-level :class:`ShardRouterTransport` (backends are
     ``Transport.request``).
+
+    ``failover=True`` arms self-healing: a backend raising
+    :class:`~repro.net.errors.DialError` is declared dead, ``promote``
+    is broadcast to every survivor (each folds the replicas it holds
+    for the dead shard into its serving state — idempotently, so any
+    number of routers may race to report the same death), the dead
+    shard leaves the ring, and the call retries on the new owner.
+
+    ``connect_backend(name, host, port)`` (optional) lets the router
+    dial shards it first hears about from a migration tombstone;
+    ``addresses`` maps shard name -> ``"host:port"`` so the tombstones
+    *this* router writes carry a dialable address; ``on_shard_down`` is
+    told when a backend leaves (transports close their socket there).
     """
 
     def __init__(self, backends: Mapping[str, DispatchFn],
                  ring: Optional[HashRing] = None,
-                 home: Optional[str] = None) -> None:
+                 home: Optional[str] = None,
+                 config: Optional[EndpointConfig] = None,
+                 failover: bool = False,
+                 connect_backend: Optional[Callable[..., DispatchFn]] = None,
+                 addresses: Optional[Mapping[str, str]] = None,
+                 on_shard_down: Optional[Callable[[str], None]] = None) -> None:
         if not backends:
             raise ValueError("a shard router needs at least one backend")
         self.backends: Dict[str, DispatchFn] = dict(backends)
@@ -143,10 +226,35 @@ class ShardRouter:
         self.home = home if home is not None else self.ring.shard_names[0]
         if self.home not in self.backends:
             raise ValueError(f"home shard {self.home!r} has no backend")
+        self.failover = failover
+        self.migrate_retries = (config.migrate_retries if config is not None
+                                else EndpointConfig().migrate_retries)
+        self.connect_backend = connect_backend
+        self.addresses: Dict[str, str] = dict(addresses or {})
+        self.on_shard_down = on_shard_down
+        self._lock = threading.Lock()
+        #: Serializes dialing (and identity-syncing) a tombstone-learned
+        #: shard, so exactly one transport per name is ever published.
+        self._learn_lock = threading.Lock()
+        #: Tombstone redirects learned from MigratingNotice answers and
+        #: local migrations: license_id -> shard name (overrides ring).
+        self._moves: Dict[str, str] = {}
+        self._admin_lock = threading.Lock()
+        self._admin_clock = ThreadSafeClock()
+        self.failovers = 0
+        self.shards_failed: List[str] = []
+        self.migrations = 0
 
     # -- placement -----------------------------------------------------
     def shard_for(self, license_id: str) -> str:
         return self.ring.shard_for(license_id)
+
+    def _owner_of(self, license_id: str) -> str:
+        with self._lock:
+            moved = self._moves.get(license_id)
+            if moved is not None and moved in self.backends:
+                return moved
+            return self.ring.shard_for(license_id)
 
     def _license_key(self, method: str, payload: Any) -> str:
         if method == "renew":
@@ -159,46 +267,308 @@ class ShardRouter:
                 clock: Optional[Clock] = None,
                 stats: Optional[SgxStats] = None):
         if method in _LICENSE_SCOPED:
-            owner = self.shard_for(self._license_key(method, payload))
-            return self.backends[owner](method, payload, clock=clock,
-                                        stats=stats)
+            return self._license_call(self._license_key(method, payload),
+                                      method, payload, clock, stats)
         if method == "init":
             return self._routed_init(payload, clock, stats)
         if method == "ledger_probe" and payload is None:
-            # Fleet-wide audit: fan out and merge (license ids are
-            # disjoint across shards by construction).
-            merged: Dict[str, Any] = {}
-            for backend in self.backends.values():
-                merged.update(backend(method, None, clock=clock, stats=stats))
-            return merged
+            return self._fleet_probe(method, clock, stats)
         if method == "ledger_probe":
-            owner = self.shard_for(payload)
-            return self.backends[owner](method, payload, clock=clock,
-                                        stats=stats)
+            return self._license_call(payload, method, payload, clock, stats)
         # Everything SLID-scoped (shutdown, admit, crash) and anything
         # unrecognised is pinned to the home shard; unknown methods fail
         # there with the standard dispatch error.
-        return self.backends[self.home](method, payload, clock=clock,
-                                        stats=stats)
+        return self._home_call(method, payload, clock, stats)
+
+    def _license_call(self, license_id: str, method: str, payload: Any,
+                      clock: Optional[Clock], stats: Optional[SgxStats]):
+        waits = 0
+        while True:
+            owner = self._owner_of(license_id)
+            backend = self.backends.get(owner)
+            if backend is None:
+                continue  # owner changed under us; re-resolve
+            try:
+                response = backend(method, payload, clock=clock, stats=stats)
+            except DialError:
+                if not self._arm_failover():
+                    raise
+                self._failover(owner, clock, stats)
+                continue
+            if isinstance(response, MigratingNotice):
+                if self._learn_move(license_id, response, clock, stats):
+                    continue  # redirect known; retry immediately
+                waits += 1
+                if waits > self.migrate_retries:
+                    raise Migrating(
+                        f"license {license_id!r} is still migrating after "
+                        f"{self.migrate_retries} retries",
+                        license_id=license_id,
+                        retry_after_seconds=response.retry_after_seconds,
+                        new_owner=response.new_owner,
+                    )
+                time.sleep(response.retry_after_seconds)
+                continue
+            return response
+
+    def _home_call(self, method: str, payload: Any,
+                   clock: Optional[Clock], stats: Optional[SgxStats]):
+        while True:
+            home = self.home
+            backend = self.backends.get(home)
+            if backend is None:
+                continue  # failover re-homed concurrently
+            try:
+                return backend(method, payload, clock=clock, stats=stats)
+            except DialError:
+                if not self._arm_failover():
+                    raise
+                self._failover(home, clock, stats)
+
+    def _fleet_probe(self, method: str,
+                     clock: Optional[Clock], stats: Optional[SgxStats]):
+        # Fleet-wide audit: fan out and merge (license ids are disjoint
+        # across shards by construction).  A death mid-probe fails over
+        # and restarts the merge so promoted ledgers are not missed.
+        while True:
+            merged: Dict[str, Any] = {}
+            name = None
+            try:
+                for name in list(self.backends):
+                    backend = self.backends.get(name)
+                    if backend is None:
+                        continue
+                    merged.update(backend(method, None, clock=clock,
+                                          stats=stats))
+                return merged
+            except DialError:
+                if not self._arm_failover():
+                    raise
+                self._failover(name, clock, stats)
 
     def _routed_init(self, payload: Any,
                      clock: Optional[Clock], stats: Optional[SgxStats]):
         """Home-shard init + identity mirror + crash broadcast."""
-        response = self.backends[self.home]("init", payload, clock=clock,
-                                            stats=stats)
+        response = self._home_call("init", payload, clock, stats)
         if not isinstance(response, InitResponse):
             return response
         if response.status is not Status.OK or response.slid is None:
             return response
         was_reinit = getattr(payload, "slid", None) is not None
         crashed = was_reinit and response.old_backup_key is None
-        for name, backend in self.backends.items():
+        for name in list(self.backends):
             if name == self.home:
                 continue
-            backend("admit", response.slid, clock=clock, stats=stats)
-            if crashed:
-                backend("crash", response.slid, clock=clock, stats=stats)
+            backend = self.backends.get(name)
+            if backend is None:
+                continue
+            try:
+                backend("admit", response.slid, clock=clock, stats=stats)
+                if crashed:
+                    backend("crash", response.slid, clock=clock, stats=stats)
+            except DialError:
+                if not self._arm_failover():
+                    raise
+                self._failover(name, clock, stats)
         return response
+
+    # -- failover ------------------------------------------------------
+    def _arm_failover(self) -> bool:
+        return self.failover and len(self.backends) > 1
+
+    def _learn_move(self, license_id: str, notice: MigratingNotice,
+                    clock: Optional[Clock] = None,
+                    stats: Optional[SgxStats] = None) -> bool:
+        """Follow a tombstone redirect; False when all we can do is wait."""
+        target = notice.new_owner
+        if not target:
+            return False
+        name, _, address = target.partition("=")
+        with self._lock:
+            known = name in self.backends
+            home_backend = self.backends.get(self.home)
+        if not known:
+            if not (address and self.connect_backend):
+                return False
+            host, _, port_text = address.rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                return False
+            with self._learn_lock:
+                with self._lock:
+                    known = name in self.backends
+                if not known:
+                    backend = self.connect_backend(name, host, port)
+                    # A shard this router first hears about from a
+                    # tombstone has never seen this router's admit
+                    # broadcasts: every SLID this router initialised
+                    # after the shard joined is unknown there.  Mirror
+                    # the home shard's identity registry (the authority
+                    # — every init lands at home) before publishing the
+                    # backend, so no request races ahead of the sync.
+                    # install_identity merges, so replays are harmless.
+                    if home_backend is not None:
+                        try:
+                            identity = home_backend("export_identity", None,
+                                                    clock=clock, stats=stats)
+                            backend("install_identity", identity,
+                                    clock=clock, stats=stats)
+                        except Exception:  # noqa: BLE001 - a failed sync
+                            pass  # resurfaces as UNKNOWN_CLIENT, as before
+                    with self._lock:
+                        self.backends[name] = backend
+                        self.addresses[name] = address
+        with self._lock:
+            self._moves[license_id] = name
+        return True
+
+    def _failover(self, dead: Optional[str],
+                  clock: Optional[Clock], stats: Optional[SgxStats]):
+        """Declare ``dead`` dead: promote survivors, shrink the ring."""
+        if dead is None:
+            return
+        with self._lock:
+            if dead not in self.backends:
+                return  # another caller already buried it
+            survivors = [(name, backend)
+                         for name, backend in self.backends.items()
+                         if name != dead]
+        # Promotion first, removal second: a racing request that still
+        # routes to the dead shard just dials, fails, and lands here too
+        # (handle_promote is idempotent on the serving side).
+        for name, backend in survivors:
+            try:
+                backend("promote", dead, clock=clock, stats=stats)
+            except Exception:  # noqa: BLE001 - a non-replicated or slow
+                continue  # survivor cannot block the ring repair
+        with self._lock:
+            if dead not in self.backends:
+                return
+            del self.backends[dead]
+            if dead in self.ring.shard_names and len(self.ring) > 1:
+                self.ring = self.ring.remove_shard(dead)
+            self.addresses.pop(dead, None)
+            for license_id, target in list(self._moves.items()):
+                if target == dead:
+                    del self._moves[license_id]
+            if self.home == dead:
+                self.home = self.ring.shard_names[0]
+            self.failovers += 1
+            self.shards_failed.append(dead)
+        if self.on_shard_down is not None:
+            self.on_shard_down(dead)
+
+    # -- membership (online migration) ---------------------------------
+    def add_shard(self, name: str, backend: DispatchFn,
+                  address: Optional[str] = None,
+                  clock: Optional[Clock] = None,
+                  stats: Optional[SgxStats] = None) -> List[str]:
+        """Join ``name`` and migrate its keyspace to it, online.
+
+        Every license the new ring assigns to ``name`` is frozen on its
+        current shard (clients absorb bounded retry-after notices),
+        exported, installed on ``name``, and released behind a redirect
+        tombstone.  Returns the migrated license ids.
+        """
+        clock = clock if clock is not None else self._admin_clock
+        with self._admin_lock:
+            with self._lock:
+                old_ring = self.ring
+                new_ring = old_ring.add_shard(name)
+                self.backends[name] = backend
+                if address:
+                    self.addresses[name] = address
+            # The new shard must recognise every admitted client before
+            # it serves renewals for migrated licenses.
+            identity = self.backends[self.home](
+                "export_identity", None, clock=clock, stats=stats
+            )
+            backend("install_identity", identity, clock=clock, stats=stats)
+            moved: List[str] = []
+            for owner in old_ring.shard_names:
+                source = self.backends.get(owner)
+                if source is None:
+                    continue
+                probe = source("ledger_probe", None, clock=clock, stats=stats)
+                for license_id in sorted(probe):
+                    if new_ring.shard_for(license_id) != name:
+                        continue
+                    self._migrate(license_id, owner, name, clock, stats)
+                    moved.append(license_id)
+            with self._lock:
+                self.ring = new_ring
+            return moved
+
+    def remove_shard(self, name: str,
+                     clock: Optional[Clock] = None,
+                     stats: Optional[SgxStats] = None) -> List[str]:
+        """Drain ``name`` and retire it from the ring, online."""
+        clock = clock if clock is not None else self._admin_clock
+        with self._admin_lock:
+            with self._lock:
+                if name not in self.ring.shard_names:
+                    raise ValueError(f"shard {name!r} is not on the ring")
+                if len(self.ring) == 1:
+                    raise ValueError("cannot remove the last shard")
+                new_ring = self.ring.remove_shard(name)
+            departing = self.backends[name]
+            probe = departing("ledger_probe", None, clock=clock, stats=stats)
+            moved: List[str] = []
+            for license_id in sorted(probe):
+                target = new_ring.shard_for(license_id)
+                if target == name:
+                    continue
+                self._migrate(license_id, name, target, clock, stats)
+                moved.append(license_id)
+            if self.home == name:
+                # Identity authority moves with the home role.
+                identity = departing("export_identity", None, clock=clock,
+                                     stats=stats)
+                self.backends[new_ring.shard_names[0]](
+                    "install_identity", identity, clock=clock, stats=stats
+                )
+            with self._lock:
+                self.ring = new_ring
+                if self.home == name:
+                    self.home = new_ring.shard_names[0]
+                self.backends.pop(name, None)
+                self.addresses.pop(name, None)
+                for license_id, target in list(self._moves.items()):
+                    if target == name:
+                        del self._moves[license_id]
+            if self.on_shard_down is not None:
+                self.on_shard_down(name)
+            return moved
+
+    def _migrate(self, license_id: str, source: str, target: str,
+                 clock: Optional[Clock], stats: Optional[SgxStats]) -> None:
+        """freeze -> export -> install -> release, one license."""
+        src = self.backends[source]
+        dst = self.backends[target]
+        src("freeze", license_id, clock=clock, stats=stats)
+        record = dict(src("export_license", license_id, clock=clock,
+                          stats=stats))
+        record["frozen"] = False
+        dst("install_license", record, clock=clock, stats=stats)
+        tombstone = target
+        address = self.addresses.get(target)
+        if address:
+            tombstone = f"{target}={address}"
+        src("release", (license_id, tombstone), clock=clock, stats=stats)
+        with self._lock:
+            self._moves[license_id] = target
+        self.migrations += 1
+
+
+class _DownPeer(PeerLink):
+    """A peer link to a shard that was killed (always refuses)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def call(self, method: str, payload: Any) -> Any:
+        raise ConnectionError(f"peer shard {self.name!r} is down")
 
 
 class ShardedRemote:
@@ -211,6 +581,14 @@ class ShardedRemote:
     with a ``shards=N`` knob.  Per-license locking inside each shard
     plus the partitioning here means concurrent renewals contend only
     when they target the *same* license.
+
+    ``replicas=1`` additionally wires a
+    :class:`~repro.net.replication.ReplicationManager` per shard over
+    in-process peer links (each license streams to its ring successor)
+    and arms the router's failover, giving the in-process fleet the
+    same kill-a-shard story as the TCP one — which is what the
+    replication test suite exercises deterministically via
+    ``replicate_now()`` / ``snapshot_now()`` / ``kill_shard()``.
     """
 
     def __init__(
@@ -222,7 +600,13 @@ class ShardedRemote:
         shard_names: Optional[Sequence[str]] = None,
         ring_replicas: int = 64,
         ledger_commit_seconds: float = 0.0,
+        replicas: int = 0,
+        lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
+        flush_interval: float = 0.02,
+        snapshot_interval: float = 0.5,
     ) -> None:
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
         names = (list(shard_names) if shard_names is not None
                  else default_shard_names(shards))
         self.shards: Dict[str, SlRemote] = {
@@ -230,14 +614,45 @@ class ShardedRemote:
                            ledger_commit_seconds=ledger_commit_seconds)
             for name in names
         }
-        self.ring = HashRing(names, replicas=ring_replicas)
-        self._tables = {
-            name: HandlerTable(remote.protocol_handlers())
+        ring = HashRing(names, replicas=ring_replicas)
+        self.replicas = replicas
+        self.managers: Dict[str, ReplicationManager] = {}
+        handler_maps = {
+            name: dict(remote.protocol_handlers())
             for name, remote in self.shards.items()
+        }
+        if replicas > 0 and len(names) > 1:
+            # One follower per license today (replicas caps at 1 hop);
+            # placement is the ring successor so failover routing and
+            # replica location agree without any lookup table.
+            links = {name: LocalPeerLink(None) for name in names}
+
+            def follower_for(license_id: str) -> Optional[str]:
+                owners = ring.owners(license_id, 2)
+                return owners[1] if len(owners) > 1 else None
+
+            for name, remote in self.shards.items():
+                self.managers[name] = ReplicationManager(
+                    remote, name,
+                    peers={peer: links[peer] for peer in names
+                           if peer != name},
+                    follower_for=follower_for,
+                    lag_budget_units=lag_budget_units,
+                    flush_interval=flush_interval,
+                    snapshot_interval=snapshot_interval,
+                )
+            for name, link in links.items():
+                link.manager = self.managers[name]
+            for name, manager in self.managers.items():
+                handler_maps[name].update(manager.extra_handlers())
+        self._tables = {
+            name: HandlerTable(handlers)
+            for name, handlers in handler_maps.items()
         }
         self.router = ShardRouter(
             {name: table.dispatch for name, table in self._tables.items()},
-            ring=self.ring,
+            ring=ring,
+            failover=replicas > 0,
         )
         self.policy = next(iter(self.shards.values())).policy
 
@@ -260,8 +675,12 @@ class ShardedRemote:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self.router.ring
+
     def shard_for(self, license_id: str) -> str:
-        return self.ring.shard_for(license_id)
+        return self.router._owner_of(license_id)
 
     def shard_of(self, license_id: str) -> SlRemote:
         return self.shards[self.shard_for(license_id)]
@@ -269,6 +688,48 @@ class ShardedRemote:
     @property
     def home_shard(self) -> SlRemote:
         return self.shards[self.router.home]
+
+    # ------------------------------------------------------------------
+    # Replication lifecycle (no-ops when replicas=0)
+    # ------------------------------------------------------------------
+    def start_replication(self) -> None:
+        for manager in self.managers.values():
+            manager.start()
+
+    def stop_replication(self) -> None:
+        for manager in self.managers.values():
+            manager.stop()
+
+    def replicate_now(self) -> None:
+        """Flush every shard's pending deltas (deterministic tests)."""
+        for manager in self.managers.values():
+            if manager.source is not None:
+                manager.source.flush_now()
+
+    def snapshot_now(self) -> None:
+        """Run one anti-entropy snapshot pass on every shard."""
+        for manager in self.managers.values():
+            if manager.source is not None:
+                manager.source.snapshot_now()
+
+    def kill_shard(self, name: str) -> None:
+        """Simulate a shard death: its backend dials out, its peers see
+        connection refusals, its replication stops mid-stream."""
+        if name not in self.shards:
+            raise ValueError(f"unknown shard {name!r}")
+        manager = self.managers.get(name)
+        if manager is not None:
+            manager.stop()
+
+        def down(method, payload, clock=None, stats=None):
+            raise DialError(f"shard {name!r} is down", host=name, attempts=1)
+
+        self.router.backends[name] = down
+        for other, peer_manager in self.managers.items():
+            if other == name or peer_manager.source is None:
+                continue
+            if name in peer_manager.source.peers:
+                peer_manager.source.peers[name] = _DownPeer(name)
 
     # ------------------------------------------------------------------
     # Developer-facing provisioning (routed to the owning shard)
@@ -317,19 +778,64 @@ class ShardRouterTransport(Transport):
     underlying transport keeps its own connection, retry budget, and
     virtual-RTT accounting — a mirror broadcast to N-1 shards charges
     N-1 honest round trips to the caller's clock.
+
+    ``dial(host, port) -> Transport`` (supplied by
+    :func:`repro.net.connect`) lets the router open sockets it learns
+    about at runtime — migration tombstones naming a shard this client
+    never configured, and the ``add_shard`` admin verb.
     """
 
     name = "shard-router"
 
     def __init__(self, transports: Mapping[str, Transport],
                  ring: Optional[HashRing] = None,
-                 home: Optional[str] = None) -> None:
+                 home: Optional[str] = None,
+                 config: Optional[EndpointConfig] = None,
+                 dial: Optional[Callable[[str, int], Transport]] = None,
+                 failover: bool = False) -> None:
         self.transports: Dict[str, Transport] = dict(transports)
+        self.dial = dial
+        addresses = {
+            name: f"{transport.host}:{transport.port}"
+            for name, transport in self.transports.items()
+            if hasattr(transport, "host")
+        }
         self.router = ShardRouter(
             {name: transport.request
              for name, transport in self.transports.items()},
-            ring=ring, home=home,
+            ring=ring, home=home, config=config, failover=failover,
+            connect_backend=self._connect_backend if dial is not None
+            else None,
+            addresses=addresses,
+            on_shard_down=self._drop_transport,
         )
+
+    def _connect_backend(self, name: str, host: str, port: int) -> DispatchFn:
+        transport = self.dial(host, port)
+        self.transports[name] = transport
+        return transport.request
+
+    def _drop_transport(self, name: str) -> None:
+        transport = self.transports.pop(name, None)
+        if transport is not None:
+            transport.close()
+
+    # -- membership admin ----------------------------------------------
+    def add_shard(self, name: str, host: str, port: int) -> List[str]:
+        """Dial a new shard and migrate its keyspace to it, online."""
+        if self.dial is None:
+            raise ValueError(
+                "this router has no dial function; connect with "
+                "repro.net.connect() to manage membership"
+            )
+        transport = self.dial(host, port)
+        self.transports[name] = transport
+        return self.router.add_shard(name, transport.request,
+                                     address=f"{host}:{port}")
+
+    def remove_shard(self, name: str) -> List[str]:
+        """Drain a shard and retire it (its transport is closed)."""
+        return self.router.remove_shard(name)
 
     def request(self, method: str, payload: Any,
                 clock: Optional[Clock] = None,
@@ -346,42 +852,26 @@ def connect_sharded_tcp(addresses, conditions=None, timeout_seconds: float = 5.0
                         shard_names: Optional[Sequence[str]] = None,
                         ring_replicas: int = 64,
                         io: str = "threads"):
-    """Endpoint routing across N ``serve-remote --shard-of`` processes.
+    """Deprecated: use ``repro.net.connect("sl+sharded://h1:p1,h2:p2")``.
 
-    ``addresses`` is a sequence of ``(host, port)`` pairs, one per shard
-    **in ring order** — the i-th address must be the worker started with
-    ``--shard-of i:N`` (or with the i-th name of ``shard_names`` /
-    ``--ring``), otherwise the client's ring disagrees with the fleet's
-    license placement.
-
-    ``io`` selects the per-shard client: ``"threads"`` is the strict-
-    ordered :class:`~repro.net.transport.TcpTransport`; ``"async"`` is
-    the pipelining :class:`~repro.net.aio.AsyncTcpTransport`, letting
-    concurrent callers keep renewals to *every* shard in flight on one
-    socket each (the whole sharded fleet then runs on event loops end
-    to end).
+    Kept as a thin wrapper over :func:`repro.net.endpoint.connect` with
+    byte-identical protocol outcomes.  ``addresses`` is a sequence of
+    ``(host, port)`` pairs, one per shard **in ring order** — the i-th
+    address must be the worker started with ``--shard-of i:N`` (or with
+    the i-th name of ``shard_names``), otherwise the client's ring
+    disagrees with the fleet's license placement.
     """
-    from repro.net.rpc import RemoteEndpoint
-    from repro.net.transport import TcpTransport
+    from repro.net.endpoint import connect, deprecated_connect_warning
 
-    if io == "async":
-        from repro.net.aio import AsyncTcpTransport as transport_cls
-    elif io == "threads":
-        transport_cls = TcpTransport
-    else:
-        raise ValueError(f"unknown io backend {io!r}; choose 'threads' or 'async'")
-
+    deprecated_connect_warning("connect_sharded_tcp",
+                               "sl+sharded://host:port,host:port")
     addresses = list(addresses)
-    names = (list(shard_names) if shard_names is not None
-             else default_shard_names(len(addresses)))
-    if len(names) != len(addresses):
-        raise ValueError("need exactly one shard name per address")
-    transports = {
-        name: transport_cls(host, port, conditions=conditions,
-                            timeout_seconds=timeout_seconds,
-                            max_attempts=max_attempts,
-                            backoff_seconds=backoff_seconds)
-        for name, (host, port) in zip(names, addresses)
-    }
-    ring = HashRing(names, replicas=ring_replicas)
-    return RemoteEndpoint(ShardRouterTransport(transports, ring=ring))
+    authority = ",".join(f"{host}:{port}" for host, port in addresses)
+    url = f"sl+sharded://{authority}"
+    if shard_names is not None:
+        url += "?names=" + ",".join(shard_names)
+    return connect(url, conditions=conditions,
+                   timeout_seconds=timeout_seconds,
+                   max_attempts=max_attempts,
+                   backoff_seconds=backoff_seconds,
+                   ring_replicas=ring_replicas, io=io)

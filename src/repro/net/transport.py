@@ -33,17 +33,30 @@ import time
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.net import codec
+from repro.net.endpoint import EndpointConfig
+from repro.net.errors import (
+    DialError,
+    Overloaded,
+    RetriesExhausted,
+    TransportError,
+    UnknownMethodError,
+)
 from repro.net.network import NetworkConditions, SimulatedLink
 from repro.sgx.driver import SgxStats
 from repro.sim.clock import Clock, seconds_to_cycles
 
-
-class TransportError(Exception):
-    """A request could not be completed by the transport."""
-
-
-class UnknownMethodError(TransportError):
-    """Dispatch target does not exist on the far side."""
+__all__ = [
+    "TransportError",
+    "UnknownMethodError",
+    "HandlerTable",
+    "Transport",
+    "InProcessTransport",
+    "SerializedLoopbackTransport",
+    "TcpTransport",
+    "TRANSPORT_BACKENDS",
+    "loopback_transport",
+    "read_frame",
+]
 
 
 class HandlerTable:
@@ -194,19 +207,27 @@ class TcpTransport(Transport):
         backoff_seconds: float = 0.05,
         reconnect_attempts: int = 4,
         reconnect_backoff_seconds: float = 0.05,
+        config: Optional[EndpointConfig] = None,
     ) -> None:
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
-        if reconnect_attempts < 1:
-            raise ValueError("reconnect_attempts must be at least 1")
+        # All knob validation lives in EndpointConfig.__post_init__ —
+        # the legacy keyword form builds one, so both spellings share it.
+        if config is None:
+            config = EndpointConfig(
+                timeout_seconds=timeout_seconds,
+                max_attempts=max_attempts,
+                backoff_seconds=backoff_seconds,
+                reconnect_attempts=reconnect_attempts,
+                reconnect_backoff_seconds=reconnect_backoff_seconds,
+            )
+        self.config = config
         self.host = host
         self.port = port
         self.conditions = conditions if conditions is not None else NetworkConditions()
-        self.timeout_seconds = timeout_seconds
-        self.max_attempts = max_attempts
-        self.backoff_seconds = backoff_seconds
-        self.reconnect_attempts = reconnect_attempts
-        self.reconnect_backoff_seconds = reconnect_backoff_seconds
+        self.timeout_seconds = config.timeout_seconds
+        self.max_attempts = config.max_attempts
+        self.backoff_seconds = config.backoff_seconds
+        self.reconnect_attempts = config.reconnect_attempts
+        self.reconnect_backoff_seconds = config.reconnect_backoff_seconds
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
         self._request_id = 0
@@ -241,9 +262,11 @@ class TcpTransport(Transport):
                 self.reconnects += 1
             self._ever_connected = True
             return sock
-        raise ConnectionError(
+        raise DialError(
             f"could not (re)connect to {self.host}:{self.port} after "
-            f"{self.reconnect_attempts} dial attempts: {last_error}"
+            f"{self.reconnect_attempts} dial attempts: {last_error}",
+            host=self.host, port=self.port,
+            attempts=self.reconnect_attempts,
         )
 
     def _drop_connection(self) -> None:
@@ -280,15 +303,22 @@ class TcpTransport(Transport):
                     return self._round_trip(method, payload)
                 except codec.RemoteCallError:
                     raise  # the server answered; retrying cannot help
+                except DialError:
+                    # A whole reconnect budget just failed; the per-call
+                    # budget re-dialing max_attempts more times would only
+                    # multiply the two budgets against a dead host.
+                    self.messages_dropped += 1
+                    raise
                 except (OSError, codec.CodecError) as exc:
                     self.messages_dropped += 1
                     last_error = exc
                     self._drop_connection()
                     if attempt < self.max_attempts:
                         time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
-        raise TransportError(
+        raise RetriesExhausted(
             f"tcp request {method!r} to {self.host}:{self.port} failed after "
-            f"{self.max_attempts} attempts: {last_error}"
+            f"{self.max_attempts} attempts: {last_error}",
+            attempts=self.max_attempts,
         )
 
     def _round_trip(self, method: str, payload: object):
@@ -297,7 +327,13 @@ class TcpTransport(Transport):
         sock.sendall(
             codec.frame(codec.encode_request(method, payload, self._request_id))
         )
-        return codec.decode_response(read_frame(sock))
+        reply = codec.decode_reply(read_frame(sock))
+        if reply.kind == "error" and reply.meta.get("overloaded"):
+            # The server answered by shedding this connection; it will
+            # close the socket next, so drop our side pre-emptively.
+            self._drop_connection()
+            raise Overloaded(reply.error or "server overloaded")
+        return reply.deliver()
 
     @property
     def observed_reliability(self) -> float:

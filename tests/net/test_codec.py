@@ -10,6 +10,7 @@ from repro.core.protocol import (
     AttestResponse,
     InitRequest,
     InitResponse,
+    MigratingNotice,
     RenewRequest,
     RenewResponse,
     ShutdownNotice,
@@ -18,6 +19,7 @@ from repro.core.protocol import (
 from repro.core.tokens import ExecutionToken
 from repro.crypto.sealing import SealedBlob
 from repro.net import codec
+from repro.net.replication import ReplicaBatch, ReplicaDelta, ShardSnapshot
 from repro.sgx.attestation import AttestationReport
 
 # ----------------------------------------------------------------------
@@ -54,6 +56,51 @@ def execution_tokens(draw):
     )
 
 
+# Fleet-internal replication/migration messages (WIRE_VERSION 2): the
+# same lossless-wire property must hold for them as for client traffic.
+migrating_notices = st.builds(
+    MigratingNotice,
+    license_id=license_ids,
+    retry_after_seconds=st.floats(min_value=0.0, max_value=10.0,
+                                  allow_nan=False),
+    new_owner=st.none() | license_ids,
+)
+
+delta_fields = st.dictionaries(
+    st.sampled_from(["license_id", "node_key", "units", "slid", "root_key"]),
+    st.one_of(small_ints, license_ids),
+    max_size=4,
+)
+replica_deltas = st.builds(
+    ReplicaDelta,
+    seq=small_ints,
+    event=st.sampled_from(["grant", "return", "writeoff", "issue",
+                           "revoke", "escrow", "escrow_clear"]),
+    fields=delta_fields,
+)
+replica_batches = st.builds(
+    ReplicaBatch,
+    source=license_ids,
+    budget=small_ints,
+    deltas=st.lists(replica_deltas, max_size=4).map(tuple),
+)
+shard_snapshots = st.builds(
+    ShardSnapshot,
+    source=license_ids,
+    seq=small_ints,
+    budget=small_ints,
+    licenses=st.dictionaries(
+        license_ids,
+        st.dictionaries(license_ids, st.one_of(small_ints, license_ids),
+                        max_size=3),
+        max_size=3,
+    ),
+    identity=st.fixed_dictionaries({
+        "next_slid": small_ints,
+        "clients": st.dictionaries(license_ids, small_ints, max_size=3),
+    }),
+)
+
 protocol_messages = st.one_of(
     st.builds(InitRequest, slid=st.none() | small_ints, report=reports,
               platform_secret=words),
@@ -76,6 +123,10 @@ protocol_messages = st.one_of(
     reports,
     sealed_blobs,
     execution_tokens(),
+    migrating_notices,
+    replica_deltas,
+    replica_batches,
+    shard_snapshots,
 )
 
 plain_payloads = st.recursive(
@@ -254,6 +305,49 @@ class TestVersionCompatMatrix:
         v2 = json.loads(codec.encode_request("renew", 7, 3, version=2).decode())
         assert v1.pop("v") == 1 and v2.pop("v") == 2
         assert v1 == v2
+
+    # -- the replication/migration message rows (WIRE_VERSION 2) -------
+    REPLICATION_ROWS = [
+        ("replicate", ReplicaBatch(source="shard-0", budget=64, deltas=(
+            ReplicaDelta(1, "grant", {"license_id": "lic",
+                                      "node_key": "slid:1", "units": 8}),
+            ReplicaDelta(2, "escrow", {"slid": 1, "root_key": 42}),
+        ))),
+        ("sync_snapshot", ShardSnapshot(
+            source="shard-0", seq=9, budget=64,
+            licenses={"lic": {"frozen": False}},
+            identity={"next_slid": 2, "clients": {}},
+        )),
+        ("promote", "shard-0"),
+    ]
+
+    @pytest.mark.parametrize("version", codec.SUPPORTED_WIRE_VERSIONS)
+    @pytest.mark.parametrize("method,payload", REPLICATION_ROWS,
+                             ids=[row[0] for row in REPLICATION_ROWS])
+    def test_fleet_internal_requests_cross_any_supported_version(
+            self, version, method, payload):
+        """The replication surface rides the same envelope as client
+        traffic, so every (version, message) pairing must decode."""
+        data = codec.encode_request(method, payload, request_id=5,
+                                    version=version)
+        rebuilt_method, rebuilt, rid = codec.decode_request(
+            json.dumps(json.loads(data.decode())).encode()
+        )
+        assert (rebuilt_method, rid) == (method, 5)
+        assert rebuilt == payload
+        assert type(rebuilt) is type(payload)
+
+    @pytest.mark.parametrize("version", codec.SUPPORTED_WIRE_VERSIONS)
+    def test_migrating_notice_response_crosses_any_supported_version(
+            self, version):
+        """The typed retry-after envelope a frozen license answers with
+        — stale routers on either wire revision must understand it."""
+        notice = MigratingNotice(license_id="lic", retry_after_seconds=0.05,
+                                 new_owner="shard-2=127.0.0.1:4872")
+        data = codec.encode_response(notice, 7, version=version)
+        rebuilt = codec.decode_response(data)
+        assert rebuilt == notice
+        assert rebuilt.status is Status.MIGRATING
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,376 @@
+"""The endpoint factory: URL parsing, config validation, wrapper parity.
+
+Three contracts are held here:
+
+* ``parse_endpoint`` / ``format_endpoint`` are exact inverses, and a
+  malformed endpoint string is rejected whole (property-tested).
+* :class:`EndpointConfig` is the *single* validation point for every
+  transport knob; query parameters, keyword overrides, and base configs
+  fold together with URL-wins precedence.
+* The four legacy ``connect_*`` functions are deprecated wrappers over
+  :func:`repro.net.connect` and produce byte-identical protocol
+  outcomes — same responses, same wire bytes, same ledger state.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.protocol import InitRequest, RenewRequest
+from repro.core.sl_remote import SlRemote
+from repro.net import codec
+from repro.net.endpoint import (
+    ENDPOINT_SCHEMES,
+    EndpointConfig,
+    ParsedEndpoint,
+    connect,
+    endpoint_for,
+    format_endpoint,
+    parse_endpoint,
+)
+from repro.net.rpc import RpcError
+from repro.net.network import NetworkConditions, SimulatedLink
+from repro.net.rpc import connect_async_tcp, connect_remote, connect_tcp
+from repro.net.sharding import (
+    HashRing,
+    connect_sharded_tcp,
+    default_shard_names,
+)
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.sim.rng import DeterministicRng
+
+POOL = 10_000
+
+# ----------------------------------------------------------------------
+# URL grammar strategies (no separator characters in atoms)
+# ----------------------------------------------------------------------
+hosts = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-",
+                min_size=1, max_size=12)
+ports = st.integers(min_value=1, max_value=65535)
+addresses = st.tuples(hosts, ports)
+shard_name = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                     min_size=1, max_size=8)
+param_values = {
+    "timeout": st.floats(min_value=0.001, max_value=60.0,
+                         allow_nan=False).map(str),
+    "max_attempts": st.integers(min_value=1, max_value=9).map(str),
+    "backoff": st.floats(min_value=0.0, max_value=1.0,
+                         allow_nan=False).map(str),
+    "reconnect_attempts": st.integers(min_value=1, max_value=9).map(str),
+    "reconnect_backoff": st.floats(min_value=0.0, max_value=1.0,
+                                   allow_nan=False).map(str),
+    "io": st.sampled_from(["threads", "async"]),
+    "ring_replicas": st.integers(min_value=1, max_value=128).map(str),
+    "migrate_retries": st.integers(min_value=0, max_value=99).map(str),
+    "replicas": st.integers(min_value=0, max_value=2).map(str),
+}
+
+
+@st.composite
+def parsed_endpoints(draw):
+    scheme = draw(st.sampled_from(sorted(ENDPOINT_SCHEMES)))
+    keys = draw(st.lists(st.sampled_from(sorted(param_values)),
+                         unique=True, max_size=4))
+    params = tuple((key, draw(param_values[key])) for key in keys)
+    if scheme in ("sl+inproc", "sl+serialized"):
+        return ParsedEndpoint(scheme=scheme, addresses=(), params=params)
+    count = draw(st.integers(min_value=1, max_value=4)) \
+        if scheme == "sl+sharded" else 1
+    addrs = tuple(draw(addresses) for _ in range(count))
+    names = None
+    if scheme == "sl+sharded" and draw(st.booleans()):
+        names = tuple(draw(st.lists(shard_name, min_size=count,
+                                    max_size=count, unique=True)))
+    return ParsedEndpoint(scheme=scheme, addresses=addrs,
+                          shard_names=names, params=params)
+
+
+class TestEndpointGrammar:
+    @given(parsed_endpoints())
+    def test_format_parse_round_trip(self, parsed):
+        """format_endpoint is the exact inverse of parse_endpoint."""
+        url = format_endpoint(parsed.scheme, parsed.addresses,
+                              parsed.shard_names, parsed.params)
+        assert parse_endpoint(url) == parsed
+
+    @given(parsed_endpoints())
+    def test_parse_format_is_stable(self, parsed):
+        """Formatting what was parsed reproduces the same URL."""
+        url = format_endpoint(parsed.scheme, parsed.addresses,
+                              parsed.shard_names, parsed.params)
+        reparsed = parse_endpoint(url)
+        assert format_endpoint(reparsed.scheme, reparsed.addresses,
+                               reparsed.shard_names, reparsed.params) == url
+
+    def test_every_scheme_parses(self):
+        assert parse_endpoint("sl://127.0.0.1:4870").scheme == "sl"
+        assert parse_endpoint("sl+async://h:1").scheme == "sl+async"
+        assert parse_endpoint("sl+sharded://a:1,b:2").addresses == (
+            ("a", 1), ("b", 2)
+        )
+        assert parse_endpoint("sl+inproc://").addresses == ()
+        assert parse_endpoint("sl+serialized://local").addresses == ()
+
+    def test_shard_names_ride_the_query(self):
+        parsed = parse_endpoint("sl+sharded://a:1,b:2?names=east,west")
+        assert parsed.shard_names == ("east", "west")
+
+    @pytest.mark.parametrize("endpoint,complaint", [
+        ("127.0.0.1:4870", "no scheme"),
+        ("http://h:1", "unknown endpoint scheme"),
+        ("sl://h:0", "out of range"),
+        ("sl://h:65536", "out of range"),
+        ("sl://h:-4", "out of range"),
+        ("sl://h:abc", "non-numeric port"),
+        ("sl://h", "not host:port"),
+        ("sl://:4870", "empty host"),
+        ("sl://", "names no host:port"),
+        ("sl://h:1,g:2", "exactly one host:port"),
+        ("sl+async://h:1,g:2", "exactly one host:port"),
+        ("sl://h:1?bogus=1", "unknown endpoint parameter"),
+        ("sl://h:1?naked", "not k=v"),
+        ("sl+sharded://a:1,b:2?names=onlyone",
+         "one shard name per address"),
+        ("sl+inproc://somewhere:1", "names no network authority"),
+        ("sl+serialized://somewhere:1", "names no network authority"),
+    ])
+    def test_malformed_endpoints_rejected_whole(self, endpoint, complaint):
+        with pytest.raises(ValueError, match=complaint):
+            parse_endpoint(endpoint)
+
+    def test_unparseable_query_value_is_a_typed_complaint(self):
+        with pytest.raises(ValueError, match="not a valid float"):
+            parse_endpoint("sl://h:1?timeout=soon").apply(EndpointConfig())
+        with pytest.raises(ValueError, match="not a valid int"):
+            parse_endpoint("sl://h:1?max_attempts=many").apply(
+                EndpointConfig()
+            )
+
+    def test_endpoint_for_picks_the_canonical_scheme(self):
+        assert endpoint_for([("h", 1)]) == "sl://h:1"
+        assert endpoint_for([("h", 1)], io="async") == "sl+async://h:1"
+        assert endpoint_for([("a", 1), ("b", 2)]) == "sl+sharded://a:1,b:2"
+        assert endpoint_for([("a", 1), ("b", 2)], io="async") == \
+            "sl+sharded://a:1,b:2?io=async"
+        assert endpoint_for([("a", 1)], shard_names=["east"]) == \
+            "sl+sharded://a:1?names=east"
+
+
+# ----------------------------------------------------------------------
+# EndpointConfig: the one validation point
+# ----------------------------------------------------------------------
+class TestEndpointConfig:
+    @pytest.mark.parametrize("field,value,complaint", [
+        ("max_attempts", 0, "max_attempts"),
+        ("reconnect_attempts", 0, "reconnect_attempts"),
+        ("timeout_seconds", 0.0, "timeout_seconds"),
+        ("timeout_seconds", -1.0, "timeout_seconds"),
+        ("backoff_seconds", -0.1, "backoff"),
+        ("reconnect_backoff_seconds", -0.1, "backoff"),
+        ("io", "fibers", "unknown io backend"),
+        ("ring_replicas", 0, "ring_replicas"),
+        ("migrate_retries", -1, "migrate_retries"),
+        ("replicas", -1, "replicas"),
+    ])
+    def test_every_knob_validated_at_construction(self, field, value,
+                                                  complaint):
+        with pytest.raises(ValueError, match=complaint):
+            EndpointConfig(**{field: value})
+
+    def test_replace_revalidates(self):
+        config = EndpointConfig()
+        with pytest.raises(ValueError, match="max_attempts"):
+            config.replace(max_attempts=0)
+
+    def test_url_parameters_override_config_and_keywords(self):
+        """Precedence: base config < keyword overrides < URL query."""
+        base = EndpointConfig(max_attempts=2, timeout_seconds=1.0)
+        parsed = parse_endpoint("sl://h:1?max_attempts=7")
+        folded = parsed.apply(base.replace(max_attempts=3))
+        assert folded.max_attempts == 7  # URL wins
+        assert folded.timeout_seconds == 1.0  # untouched knobs survive
+
+    def test_connect_validates_scheme_io_pairing(self):
+        with pytest.raises(ValueError, match="threaded client"):
+            connect("sl://127.0.0.1:1?io=async")
+
+    def test_loopback_schemes_demand_their_wiring(self):
+        with pytest.raises(ValueError, match="pass remote= and link="):
+            connect("sl+inproc://")
+        with pytest.raises(ValueError, match="apply only to"):
+            connect("sl://127.0.0.1:1", remote=object())
+
+
+# ----------------------------------------------------------------------
+# Deprecated wrappers: same factory underneath, byte-identical outcomes
+# ----------------------------------------------------------------------
+def fresh_stack(seed=3):
+    """One remote + one client machine + one deterministic link."""
+    ras = RemoteAttestationService(accept_any_platform=True)
+    remote = SlRemote(ras)
+    blob = remote.issue_license("lic-eq", POOL).license_blob()
+    machine = SgxMachine("client")
+    link = SimulatedLink(NetworkConditions(), DeterministicRng(seed))
+    return remote, machine, link, blob
+
+
+def run_protocol_script(endpoint, machine, blob):
+    """The scripted session both halves of every equivalence run: init,
+    two renews, a unit return.  Returns the encoded wire form of each
+    response — *byte* identity is the bar, not just value equality."""
+    outcomes = []
+    report = machine.local_authority.generate_report(1, 1, nonce=1)
+    init = endpoint.call(
+        "init",
+        InitRequest(slid=None, report=report,
+                    platform_secret=machine.platform_secret),
+        clock=machine.clock, stats=machine.stats,
+    )
+    outcomes.append(codec.encode_response(init))
+    for _ in range(2):
+        renew = endpoint.call(
+            "renew",
+            RenewRequest(slid=init.slid, license_id="lic-eq",
+                         license_blob=blob, network_reliability=1.0,
+                         health=1.0),
+            clock=machine.clock,
+        )
+        outcomes.append(codec.encode_response(renew))
+    returned = endpoint.call("return_units", (init.slid, "lic-eq", 1),
+                             clock=machine.clock)
+    outcomes.append(codec.encode_response(returned))
+    return outcomes
+
+
+class TestDeprecatedWrapperEquivalence:
+    def test_all_four_wrappers_warn(self):
+        remote, _machine, link, _blob = fresh_stack()
+        with pytest.warns(DeprecationWarning, match="connect_remote"):
+            connect_remote(remote, link).close()
+        with pytest.warns(DeprecationWarning, match="connect_tcp"):
+            with pytest.raises(RpcError, match="dial attempts"):
+                connect_tcp("127.0.0.1", 9, reconnect_attempts=1,
+                            reconnect_backoff_seconds=0.0,
+                            timeout_seconds=0.2).call(
+                    "init", None, clock=SgxMachine("x").clock
+                )
+        with pytest.warns(DeprecationWarning, match="connect_async_tcp"):
+            with pytest.raises(RpcError, match="dial attempts"):
+                connect_async_tcp("127.0.0.1", 9, reconnect_attempts=1,
+                                  reconnect_backoff_seconds=0.0,
+                                  timeout_seconds=0.2).call(
+                    "init", None, clock=SgxMachine("x").clock
+                )
+        with pytest.warns(DeprecationWarning, match="connect_sharded_tcp"):
+            with pytest.raises(ValueError,
+                               match="one shard name per address"):
+                connect_sharded_tcp([("127.0.0.1", 1)],
+                                    shard_names=["a", "b"])
+
+    def test_connect_remote_unknown_transport_still_rejected(self):
+        remote, _machine, link, _blob = fresh_stack()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown loopback"):
+                connect_remote(remote, link, transport="tcp")
+
+    @pytest.mark.parametrize("legacy,scheme", [
+        ("in-process", "sl+inproc://"),
+        ("serialized", "sl+serialized://"),
+    ])
+    def test_connect_remote_equals_factory(self, legacy, scheme):
+        old_outcomes, old_probe = self._loopback_run(
+            lambda remote, link: connect_remote(remote, link,
+                                                transport=legacy)
+        )
+        new_outcomes, new_probe = self._loopback_run(
+            lambda remote, link: connect(scheme, remote=remote, link=link)
+        )
+        assert old_outcomes == new_outcomes
+        assert old_probe == new_probe
+
+    @staticmethod
+    def _loopback_run(make_endpoint):
+        remote, machine, link, blob = fresh_stack()
+        endpoint = make_endpoint(remote, link)
+        try:
+            outcomes = run_protocol_script(endpoint, machine, blob)
+        finally:
+            endpoint.close()
+        return outcomes, remote.handle_ledger_probe()
+
+    @pytest.mark.parametrize("wrapper,scheme,io", [
+        (connect_tcp, "sl", "threads"),
+        (connect_async_tcp, "sl+async", "async"),
+    ])
+    def test_socket_wrappers_equal_factory(self, wrapper, scheme, io):
+        old_outcomes, old_probe = self._wire_run(
+            io, lambda host, port: wrapper(host, port)
+        )
+        new_outcomes, new_probe = self._wire_run(
+            io, lambda host, port: connect(f"{scheme}://{host}:{port}")
+        )
+        assert old_outcomes == new_outcomes
+        assert old_probe == new_probe
+
+    @staticmethod
+    def _wire_run(io, make_endpoint):
+        remote, machine, _link, blob = fresh_stack()
+        if io == "async":
+            from repro.net.aio import AsyncLeaseServer as server_cls
+        else:
+            from repro.net.server import LeaseServer as server_cls
+        server = server_cls(remote)
+        host, port = server.start()
+        try:
+            endpoint = make_endpoint(host, port)
+            try:
+                outcomes = run_protocol_script(endpoint, machine, blob)
+            finally:
+                endpoint.close()
+        finally:
+            server.stop()
+        return outcomes, remote.handle_ledger_probe()
+
+    def test_sharded_wrapper_equals_factory(self):
+        def legacy(addresses):
+            return connect_sharded_tcp(addresses)
+
+        def factory(addresses):
+            url = "sl+sharded://" + ",".join(
+                f"{host}:{port}" for host, port in addresses
+            )
+            return connect(url)
+
+        old_outcomes, old_probes = self._fleet_run(legacy)
+        new_outcomes, new_probes = self._fleet_run(factory)
+        assert old_outcomes == new_outcomes
+        assert old_probes == new_probes
+
+    @staticmethod
+    def _fleet_run(make_endpoint):
+        from repro.net.server import LeaseServer
+
+        names = default_shard_names(2)
+        ring = HashRing(names)
+        ras = RemoteAttestationService(accept_any_platform=True)
+        remotes = {name: SlRemote(ras) for name in names}
+        blob = remotes[ring.shard_for("lic-eq")].issue_license(
+            "lic-eq", POOL
+        ).license_blob()
+        machine = SgxMachine("client")
+        servers = [LeaseServer(remotes[name], port=0) for name in names]
+        for server in servers:
+            server.start()
+        try:
+            endpoint = make_endpoint(
+                [server.address for server in servers]
+            )
+            try:
+                outcomes = run_protocol_script(endpoint, machine, blob)
+            finally:
+                endpoint.close()
+        finally:
+            for server in servers:
+                server.stop()
+        probes = {name: remote.handle_ledger_probe()
+                  for name, remote in remotes.items()}
+        return outcomes, probes

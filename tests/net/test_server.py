@@ -242,14 +242,18 @@ class TestTypedStatusesOverTheWire:
 
 
 class TestTcpFailure:
-    def test_unreachable_server_retries_then_fails(self):
+    def test_unreachable_server_fails_fast_after_dial_budget(self):
+        """A dead host exhausts the *dial* budget once — the per-call
+        retry budget does not multiply it (DialError is not retried)."""
         endpoint = connect_tcp("127.0.0.1", 1,  # port 1: nothing listens
                                max_attempts=2, backoff_seconds=0.001,
+                               reconnect_attempts=2,
+                               reconnect_backoff_seconds=0.001,
                                timeout_seconds=0.2)
         machine = SgxMachine("lost")
-        with pytest.raises(RpcError, match="after 2 attempts"):
+        with pytest.raises(RpcError, match="2 dial attempts"):
             endpoint.call("init", None, clock=machine.clock)
-        assert endpoint.transport.messages_dropped == 2
+        assert endpoint.transport.messages_dropped == 1
         assert endpoint.transport.observed_reliability == 0.0
 
     def test_tcp_cannot_bypass_the_network(self):
