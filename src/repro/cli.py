@@ -17,6 +17,7 @@ Every simulation command is deterministic given ``--seed``
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -223,6 +224,7 @@ def cmd_serve_remote(args) -> int:
     from repro.net.server import LeaseServer
     from repro.net.sharding import HashRing, ShardedRemote, default_shard_names
     from repro.sgx import RemoteAttestationService
+    from repro.storage.wal import ShardPersistence
 
     ras = RemoteAttestationService(
         accept_any_platform=args.accept_any_platform
@@ -232,6 +234,18 @@ def cmd_serve_remote(args) -> int:
 
     owned_licenses = None  # None: this process owns every license
     manager = None
+    persistences = []
+    recovery_reports = []
+
+    def durable(remote, name):
+        """Recover ``remote`` from disk and journal it from here on."""
+        persistence = ShardPersistence(
+            os.path.join(args.data_dir, name), name=name,
+            fsync=args.fsync, compact_every=args.compact_every,
+        )
+        recovery_reports.append(persistence.recover(remote))
+        persistence.attach(remote)
+        persistences.append(persistence)
     if args.shard_of:
         index, count = _parse_shard_of(args.shard_of)
         names = (args.ring.split(",") if args.ring
@@ -245,6 +259,10 @@ def cmd_serve_remote(args) -> int:
         owned_licenses = lambda lid: ring.shard_for(lid) == shard_name  # noqa: E731
         remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
         print(f"shard {shard_name} ({index + 1} of {count})", flush=True)
+        if args.data_dir:
+            # Recover before replication starts so the source streams
+            # (and the journal observer sees) the recovered state.
+            durable(remote, shard_name)
         if args.replicas > 0:
             if not args.fleet:
                 raise SystemExit("--replicas needs --fleet NAME=HOST:PORT,...")
@@ -267,6 +285,7 @@ def cmd_serve_remote(args) -> int:
             manager = ReplicationManager(
                 remote, shard_name, peers=peers, follower_for=follower_for,
                 lag_budget_units=args.lag_budget,
+                lag_budget_grants=args.lag_grants,
             )
             manager.start()
             print(f"replicating to ring successors "
@@ -276,7 +295,12 @@ def cmd_serve_remote(args) -> int:
         remote = ShardedRemote(ras, shards=args.shards,
                                ledger_commit_seconds=args.ledger_commit_seconds,
                                replicas=args.replicas,
-                               lag_budget_units=args.lag_budget)
+                               lag_budget_units=args.lag_budget,
+                               lag_budget_grants=args.lag_grants,
+                               data_dir=args.data_dir or None,
+                               fsync=args.fsync,
+                               compact_every=args.compact_every)
+        recovery_reports.extend(remote.recovery_reports)
         if args.replicas > 0:
             remote.start_replication()
         print(f"sharded SL-Remote: {args.shards} in-process shards"
@@ -284,6 +308,8 @@ def cmd_serve_remote(args) -> int:
               flush=True)
     else:
         remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
+        if args.data_dir:
+            durable(remote, "remote")
 
     for spec in args.license:
         license_id, units, kind, tick_seconds = _parse_license_spec(spec)
@@ -291,8 +317,16 @@ def cmd_serve_remote(args) -> int:
             print(f"skipped license {license_id!r}: owned by another shard",
                   flush=True)
             continue
-        remote.issue_license(license_id, units, kind=kind,
-                             tick_seconds=tick_seconds)
+        try:
+            remote.issue_license(license_id, units, kind=kind,
+                                 tick_seconds=tick_seconds)
+        except ValueError:
+            # Already on the books: recovered from --data-dir.  The
+            # durable ledger (grants charged and all) wins over the
+            # startup flag's fresh copy.
+            print(f"license {license_id!r} recovered from the ledger; "
+                  f"--license spec ignored", flush=True)
+            continue
         print(f"issued license {license_id!r}: {units:,} units "
               f"({kind.value})", flush=True)
 
@@ -314,6 +348,10 @@ def cmd_serve_remote(args) -> int:
                              serialize_dispatch=args.serialize_dispatch,
                              max_connections=args.max_connections,
                              extra_handlers=extra_handlers)
+    # Recovery markers print BEFORE the listening marker so harnesses
+    # that wait for the port can already have parsed the replay stats.
+    for report in recovery_reports:
+        print(report.marker_line(), flush=True)
     host, port = server.start()
     # Exact marker line: scripts and the integration test parse it to
     # discover an ephemeral port (--port 0).
@@ -327,6 +365,9 @@ def cmd_serve_remote(args) -> int:
             manager.stop()
         if isinstance(remote, ShardedRemote):
             remote.stop_replication()
+            remote.close_persistence()
+        for persistence in persistences:
+            persistence.close()
         server.stop()
     print(f"served {server.requests_served} requests over "
           f"{server.connections_accepted} connections "
@@ -505,6 +546,24 @@ def build_parser() -> argparse.ArgumentParser:
                                    "the most a promotion may forfeit per "
                                    "license (grants are clamped to keep the "
                                    "un-replicated window below it)")
+    serve_parser.add_argument("--lag-grants", type=int, default=4,
+                              help="adaptive lag budget in grants: the "
+                                   "shipped budget grows toward N times the "
+                                   "peak observed grant (--lag-budget stays "
+                                   "the floor)")
+    serve_parser.add_argument("--data-dir", default="", metavar="DIR",
+                              help="durable ledgers: journal every mutation "
+                                   "to a sealed write-ahead log under DIR "
+                                   "and recover from it at startup (one "
+                                   "subdirectory per shard)")
+    serve_parser.add_argument("--fsync", choices=("always", "interval", "off"),
+                              default="interval",
+                              help="WAL durability policy: fsync each "
+                                   "append, group-commit on an interval, or "
+                                   "leave flushing to the OS")
+    serve_parser.add_argument("--compact-every", type=int, default=4096,
+                              help="snapshot + truncate the WAL after this "
+                                   "many appended records")
 
     ring_parser = subparsers.add_parser(
         "ring", help="online shard membership for a running fleet")

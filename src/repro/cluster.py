@@ -69,7 +69,8 @@ class Cluster:
                  costs: Optional[SgxCostModel] = None,
                  transport: str = "in-process",
                  shards: int = 1,
-                 endpoint: Optional[str] = None) -> None:
+                 endpoint: Optional[str] = None,
+                 data_dir: Optional[str] = None) -> None:
         self.rng = DeterministicRng(seed)
         self.costs = costs
         #: Transport backend each node talks to SL-Remote through.
@@ -86,13 +87,19 @@ class Cluster:
         #: With ``shards > 1`` the vendor side is a consistent-hash
         #: fleet; probes and provisioning below are unchanged because
         #: :class:`~repro.net.sharding.ShardedRemote` routes them.
+        self.persistences = []
         if shards > 1:
             from repro.net.sharding import ShardedRemote
 
             self.remote = ShardedRemote(self.ras, shards=shards,
-                                        policy=policy)
+                                        policy=policy, data_dir=data_dir)
+            self.persistences = list(self.remote.persistences.values())
         else:
             self.remote = SlRemote(self.ras, policy=policy)
+            if data_dir is not None:
+                from repro.storage.wal import attach_persistence
+
+                self.persistences = attach_persistence(self.remote, data_dir)
         #: An explicit endpoint URL (``sl://``, ``sl+sharded://``, ...)
         #: overrides the legacy transport names: every node connects to
         #: it through :func:`repro.net.connect`.
@@ -253,3 +260,6 @@ class Cluster:
         if self._wire_server is not None:
             self._wire_server.stop()
             self._wire_server = None
+        for persistence in self.persistences:
+            persistence.close()
+        self.persistences = []

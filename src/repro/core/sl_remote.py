@@ -28,7 +28,11 @@ without any global serialization.  State is partitioned so renewals for
 
 Lock ordering: ``_clients_lock`` may be held while acquiring a license
 lock (the crash write-off path), never the reverse — a thread holding a
-license lock must not touch the client registry lock.
+license lock must not touch the client registry lock.  The WAL
+compactor (:mod:`repro.storage.wal`) takes the strongest cut along the
+same hierarchy: ``_clients_lock`` → ``_registry_lock`` → every license
+lock in sorted order, which excludes all writers while a snapshot +
+log-truncation pair is made atomic.
 """
 
 from __future__ import annotations
@@ -159,11 +163,21 @@ class SlRemote:
         #: are redirected instead of recreating the license here.
         self._moved: Dict[str, str] = {}
         #: Optional replication backpressure: called under the license
-        #: lock with a license_id, returns how many more units may be
-        #: granted before un-replicated state would exceed the lag
-        #: budget (or None for "no live follower, no clamp").  The hook
-        #: itself being None means no replication is configured.
-        self.grant_headroom: Optional[Callable[[str], Optional[int]]] = None
+        #: lock with ``(license_id, proposed_units)``, returns how many
+        #: more units may be granted before un-replicated state would
+        #: exceed the lag budget (or None for "no live follower, no
+        #: clamp").  The proposed size lets the budget adapt to the
+        #: observed grant scale.  The hook itself being None means no
+        #: replication is configured.
+        self.grant_headroom: Optional[
+            Callable[[str, int], Optional[int]]
+        ] = None
+        #: Optional durability hook (:mod:`repro.storage.wal`): returns
+        #: the seconds the calling thread just spent on real fsyncs, so
+        #: ``handle_renew`` charges ``ledger_commit_seconds`` as a
+        #: *budget* (sleeping only the remainder) instead of stacking a
+        #: simulated commit on top of a real one.
+        self.commit_hook: Optional[Callable[[], float]] = None
 
     # ------------------------------------------------------------------
     # Wire protocol surface
@@ -244,8 +258,12 @@ class SlRemote:
                 raise ValueError(f"license {license_id!r} already issued")
             self._states[license_id] = state
             self._moved.pop(license_id, None)
-        self._emit("issue", license_id=license_id, kind=kind.value,
-                   total_units=total_units, tick_seconds=tick_seconds)
+            # Emitted under the registry lock so a WAL compaction cut
+            # (which holds it) can never land between the insert and
+            # the journal entry — the license is in the snapshot or in
+            # the tail, never in neither.
+            self._emit("issue", license_id=license_id, kind=kind.value,
+                       total_units=total_units, tick_seconds=tick_seconds)
         return definition
 
     def revoke_license(self, license_id: str) -> None:
@@ -298,6 +316,7 @@ class SlRemote:
                 slid = self._next_slid
                 self._next_slid += 1
                 self._clients[slid] = _ClientState(slid=slid)
+                self._emit("admit", slid=slid)
                 return InitResponse(status=Status.OK, slid=slid,
                                     old_backup_key=None)
 
@@ -392,6 +411,7 @@ class SlRemote:
             self._next_slid = max(self._next_slid, slid + 1)
             if slid not in self._clients:
                 self._clients[slid] = _ClientState(slid=slid)
+                self._emit("admit", slid=slid)
         return Status.OK
 
     def handle_crash(self, slid: int) -> Status:
@@ -490,6 +510,14 @@ class SlRemote:
                 client = self._clients[slid]
             with state.lock:
                 client.holdings[definition.license_id] = units
+        with self._registry_lock:
+            # Journal the whole record wholesale (promotion installs a
+            # replicated ledger this way): a shard that died right
+            # after a promotion recovers the licenses it had just
+            # adopted.  Registry lock for the same compaction-cut
+            # atomicity as "issue".
+            self._emit("install_license",
+                       license_id=definition.license_id, record=payload)
         return Status.OK
 
     def release_license(self, license_id: str,
@@ -510,6 +538,9 @@ class SlRemote:
             for client in self._clients.values():
                 with state.lock:
                     client.holdings.pop(license_id, None)
+        with self._registry_lock:
+            self._emit("release", license_id=license_id,
+                       new_owner=new_owner)
         return Status.OK
 
     def export_identity(self) -> Dict[str, Any]:
@@ -548,6 +579,7 @@ class SlRemote:
                     client.graceful_shutdown = bool(
                         fields.get("graceful_shutdown", False)
                     )
+            self._emit("install_identity", identity=payload)
         return Status.OK
 
     def _write_off(self, client: _ClientState) -> None:
@@ -634,7 +666,9 @@ class SlRemote:
                 # so this clamp is what makes the loss bound hold.  A
                 # None headroom means the license has no live follower
                 # (nothing to lag behind): no clamp.
-                headroom = self.grant_headroom(request.license_id)
+                headroom = self.grant_headroom(
+                    request.license_id, decision.granted_units
+                )
                 if headroom is not None:
                     granted = min(granted, headroom)
             # renew_lease already recorded the full decision in the
@@ -657,10 +691,15 @@ class SlRemote:
             )
             self._emit("grant", license_id=request.license_id,
                        node_key=self._node_key(request.slid), units=granted)
-            if self.ledger_commit_seconds > 0:
-                # The durable ledger write, inside the critical section:
-                # the grant is not acknowledged until it cannot be lost.
-                time.sleep(self.ledger_commit_seconds)
+            # The durable ledger write, inside the critical section: the
+            # grant is not acknowledged until it cannot be lost.  With a
+            # WAL attached (commit_hook), the *real* fsync the observer
+            # just performed is charged against ``ledger_commit_seconds``
+            # and only the remainder (if any) is simulated — never both.
+            spent = self.commit_hook() if self.commit_hook is not None else 0.0
+            remainder = self.ledger_commit_seconds - spent
+            if remainder > 0:
+                time.sleep(remainder)
             return RenewResponse(
                 status=Status.OK,
                 granted_units=granted,

@@ -114,16 +114,23 @@ class SecureLeaseDeployment:
         transport: str = "in-process",
         shards: int = 1,
         endpoint: Optional[str] = None,
+        data_dir: Optional[str] = None,
     ) -> None:
         self.rng = DeterministicRng(seed)
         self.ras = RemoteAttestationService(costs)
+        self.persistences = []
         if shards > 1:
             from repro.net.sharding import ShardedRemote
 
             self.remote = ShardedRemote(self.ras, shards=shards,
-                                        policy=policy)
+                                        policy=policy, data_dir=data_dir)
+            self.persistences = list(self.remote.persistences.values())
         else:
             self.remote = SlRemote(self.ras, policy=policy)
+            if data_dir is not None:
+                from repro.storage.wal import attach_persistence
+
+                self.persistences = attach_persistence(self.remote, data_dir)
         self.machine = SgxMachine(machine_name, costs=costs)
         self.ras.register_platform(self.machine.platform_secret)
         self.link = SimulatedLink(
@@ -184,6 +191,9 @@ class SecureLeaseDeployment:
         if self._wire_server is not None:
             self._wire_server.stop()
             self._wire_server = None
+        for persistence in self.persistences:
+            persistence.close()
+        self.persistences = []
 
     # ------------------------------------------------------------------
     # Provisioning

@@ -57,6 +57,9 @@ class EndpointConfig:
     MigratingNotice` retry-after waits a router absorbs before raising
     :class:`~repro.net.errors.Migrating`; ``replicas > 0`` declares the
     fleet replicated, which arms the router's dial-failure failover.
+    ``data_dir`` makes a *loopback* endpoint's remote durable (recover
+    on connect, journal from then on); socket schemes reject it — the
+    server process owns its own ``--data-dir``.
     """
 
     timeout_seconds: float = 5.0
@@ -68,6 +71,7 @@ class EndpointConfig:
     ring_replicas: int = 64
     migrate_retries: int = 40
     replicas: int = 0
+    data_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -106,6 +110,7 @@ _QUERY_FIELDS = {
     "ring_replicas": ("ring_replicas", int),
     "migrate_retries": ("migrate_retries", int),
     "replicas": ("replicas", int),
+    "data_dir": ("data_dir", str),
 }
 
 
@@ -252,15 +257,29 @@ def connect(endpoint: str,
                 f"{parsed.scheme}:// endpoints dispatch in-process; pass "
                 f"remote= and link="
             )
+        persistences = []
+        if cfg.data_dir:
+            # Recover before the first dispatch: the handler table binds
+            # the same remote, so replayed state is what clients see.
+            from repro.storage.wal import attach_persistence
+
+            persistences = attach_persistence(remote, cfg.data_dir)
         kind = ENDPOINT_SCHEMES[parsed.scheme]
-        return RemoteEndpoint(
+        endpoint = RemoteEndpoint(
             loopback_transport(kind, lease_handler_table(remote), link)
         )
+        endpoint.persistences = persistences
+        return endpoint
 
     if remote is not None or link is not None:
         raise ValueError(
             f"{parsed.scheme}:// endpoints reach a server over sockets; "
             f"remote=/link= apply only to sl+inproc:// and sl+serialized://"
+        )
+    if cfg.data_dir:
+        raise ValueError(
+            f"data_dir applies only to loopback endpoints; start the "
+            f"{parsed.scheme}:// server with --data-dir instead"
         )
 
     if cfg.io == "async":

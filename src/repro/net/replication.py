@@ -21,11 +21,23 @@ bounded, *accounted* loss instead of a dead license:
 * **Bounded replication lag** — the source tracks, per license, how
   many granted units the follower has *not* acknowledged, and
   SL-Remote's ``grant_headroom`` hook clamps new grants so that number
-  never exceeds ``lag_budget_units``.  That clamp is the whole
+  never exceeds the license's lag budget.  That clamp is the whole
   no-double-mint argument: whatever the follower missed is at most the
-  budget, so reserving ``min(available, budget)`` as lost at promotion
-  covers every unseen grant (the paper's pessimistic rule, Algorithms
-  2–3, applied only to the lag window instead of to everything).
+  budget, so reserving that many units as lost at promotion covers
+  every unseen grant (the paper's pessimistic rule, Algorithms 2–3,
+  applied only to the lag window instead of to everything).
+
+  The budget is **adaptive and denominated in grants**: Algorithm 1
+  happily sizes one grant at half the pool, so a fixed unit budget is
+  eaten by a single grant and every renewal until the next 20 ms flush
+  ack sees spurious ``EXHAUSTED`` backpressure.  Instead each license's
+  budget grows to ``lag_budget_grants × peak-observed-grant`` (capped
+  at ``lag_budget_pool_fraction`` of the pool so a promotion can never
+  pessimistically burn more than that fraction).  Soundness under
+  growth: the clamp only ever uses the **shipped** budget — the last
+  value the follower acknowledged receiving (rides on every batch and
+  snapshot) — so a grant can never exceed what the follower will
+  reserve if it is promoted a moment later.
 * :class:`FollowerStore` — the follower-side replica: wire-form license
   records per source shard, mutated by deltas, replaced by snapshots.
 * :class:`ReplicationManager` — one per shard process; wires source +
@@ -54,16 +66,25 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.net import codec
 from repro.sim.clock import ThreadSafeClock
 
-#: Default per-license replication-lag budget: the most granted units
-#: that may ever be un-acknowledged by the follower, hence the most a
-#: promotion can forfeit per license.
+#: Default per-license replication-lag budget *floor*: the most granted
+#: units that may ever be un-acknowledged by the follower before the
+#: budget has adapted to the observed grant size, hence the least a
+#: promotion may have to forfeit per license.
 DEFAULT_LAG_BUDGET_UNITS = 64
+
+#: How many peak-sized grants may be in flight un-acked before the
+#: clamp bites (the grant-denominated budget).
+DEFAULT_LAG_BUDGET_GRANTS = 4
+
+#: Hard cap on the adaptive budget as a fraction of the license pool:
+#: a promotion's pessimistic reserve can never burn more than this.
+DEFAULT_LAG_BUDGET_POOL_FRACTION = 0.25
 
 
 # ----------------------------------------------------------------------
@@ -88,17 +109,26 @@ class ReplicaDelta:
 
 @dataclass(frozen=True)
 class ReplicaBatch:
-    """A run of deltas from ``source``, for one follower."""
+    """A run of deltas from ``source``, for one follower.
+
+    ``budgets`` carries the source's *current* adaptive lag budget per
+    license touched by the batch; the follower records the largest
+    value it has seen — that (not the legacy flat ``budget``) is what
+    its promotion reserve uses, and the source never clamps against a
+    budget it has not successfully shipped.
+    """
 
     source: str
     budget: int
     deltas: Tuple[ReplicaDelta, ...]
+    budgets: Dict[str, int] = field(default_factory=dict)
 
     def to_wire(self) -> Dict[str, Any]:
         return {
             "source": self.source,
             "budget": self.budget,
             "deltas": [delta.to_wire() for delta in self.deltas],
+            "budgets": dict(self.budgets),
         }
 
     @classmethod
@@ -108,6 +138,8 @@ class ReplicaBatch:
             budget=fields["budget"],
             deltas=tuple(ReplicaDelta.from_wire(d)
                          for d in fields["deltas"]),
+            budgets={str(lid): int(units)
+                     for lid, units in fields.get("budgets", {}).items()},
         )
 
 
@@ -129,6 +161,7 @@ class ShardSnapshot:
     budget: int
     licenses: Dict[str, Any]
     identity: Dict[str, Any]
+    budgets: Dict[str, int] = field(default_factory=dict)
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -137,6 +170,7 @@ class ShardSnapshot:
             "budget": self.budget,
             "licenses": self.licenses,
             "identity": self.identity,
+            "budgets": dict(self.budgets),
         }
 
     @classmethod
@@ -145,6 +179,8 @@ class ShardSnapshot:
             source=fields["source"], seq=fields["seq"],
             budget=fields["budget"], licenses=fields["licenses"],
             identity=fields["identity"],
+            budgets={str(lid): int(units)
+                     for lid, units in fields.get("budgets", {}).items()},
         )
 
 
@@ -235,24 +271,39 @@ class ReplicationSource:
         peers: Dict[str, PeerLink],
         follower_for: Callable[[str], Optional[str]],
         lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
+        lag_budget_grants: int = DEFAULT_LAG_BUDGET_GRANTS,
+        lag_budget_pool_fraction: float = DEFAULT_LAG_BUDGET_POOL_FRACTION,
         flush_interval: float = 0.02,
         snapshot_interval: float = 0.5,
     ) -> None:
         if lag_budget_units < 1:
             raise ValueError("lag_budget_units must be >= 1")
+        if lag_budget_grants < 1:
+            raise ValueError("lag_budget_grants must be >= 1")
+        if not 0.0 < lag_budget_pool_fraction <= 1.0:
+            raise ValueError("lag_budget_pool_fraction must be in (0, 1]")
         self.remote = remote
         self.name = name
         self.peers = dict(peers)
         self.follower_for = follower_for
         self.budget = lag_budget_units
+        self.grants_budget = lag_budget_grants
+        self.pool_fraction = lag_budget_pool_fraction
         self.flush_interval = flush_interval
         self.snapshot_interval = snapshot_interval
         self._lock = threading.Lock()
         self._pending: Deque[ReplicaDelta] = deque()
         self._seq = 0
         #: license_id -> granted units the follower has not acked; the
-        #: grant_headroom clamp keeps each entry <= budget.
+        #: grant_headroom clamp keeps each entry <= the shipped budget.
         self._unacked: Dict[str, int] = {}
+        #: license_id -> largest grant Algorithm 1 ever *proposed*
+        #: (pre-clamp) — the scale the adaptive budget tracks.
+        self._peak: Dict[str, int] = {}
+        #: license_id -> largest budget the follower has confirmed
+        #: receiving.  The clamp uses only this: a grant sized against
+        #: an unshipped budget could exceed the promotion reserve.
+        self._shipped: Dict[str, int] = {}
         #: Peers whose delta stream broke: deltas for them are dropped
         #: and the next snapshot pass reconciles them wholesale.
         self._needs_snapshot = set(self.peers)
@@ -280,14 +331,54 @@ class ReplicationSource:
                         self._unacked.get(license_id, 0) + fields["units"]
                     )
 
-    def grant_headroom(self, license_id: str) -> Optional[int]:
+    def grant_headroom(self, license_id: str,
+                       proposed_units: int = 0) -> Optional[int]:
         """How many more units may be granted before exceeding the lag
         budget (wired into ``SlRemote.grant_headroom``); ``None`` means
-        unlimited — the license has no live follower to lag behind."""
+        unlimited — the license has no live follower to lag behind.
+
+        ``proposed_units`` (Algorithm 1's pre-clamp decision) feeds the
+        peak tracker so the *next* shipped budget adapts to the grant
+        scale; the clamp itself only trusts ``_shipped``.
+        """
         with self._lock:
             if self.follower_for(license_id) not in self.peers:
                 return None
-            return max(0, self.budget - self._unacked.get(license_id, 0))
+            if proposed_units > self._peak.get(license_id, 0):
+                self._peak[license_id] = proposed_units
+            shipped = self._shipped.get(license_id, self.budget)
+            return max(0, shipped - self._unacked.get(license_id, 0))
+
+    def desired_budget(self, license_id: str) -> int:
+        """The adaptive lag budget this license *should* have:
+        ``max(floor, grants × peak)``, capped at ``pool_fraction`` of
+        the license pool.  Shipped to the follower on every batch and
+        snapshot; the clamp starts honouring it once shipping succeeds.
+
+        (The ledger lookup happens outside ``_lock``: observers run
+        under the registry lock and take ``_lock``, so taking them in
+        the opposite order here would be a lock-order inversion.)
+        """
+        with self._lock:
+            peak = self._peak.get(license_id, 0)
+        want = max(self.budget, self.grants_budget * peak)
+        try:
+            total = self.remote.ledger(license_id).total_gcl
+        except Exception:  # noqa: BLE001 - unknown/migrated-away license
+            return want
+        return min(want, max(self.budget, int(total * self.pool_fraction)))
+
+    def shipped_budget(self, license_id: str) -> int:
+        """The budget the follower has confirmed (= the forfeit bound)."""
+        with self._lock:
+            return self._shipped.get(license_id, self.budget)
+
+    def _ship_budgets(self, budgets: Dict[str, int]) -> None:
+        """Record budgets a peer just acknowledged (monotone per license)."""
+        with self._lock:
+            for license_id, units in budgets.items():
+                if units > self._shipped.get(license_id, self.budget):
+                    self._shipped[license_id] = units
 
     def drop_peer(self, name: str) -> None:
         """Forget a dead peer (promotion observed its death).
@@ -360,8 +451,11 @@ class ReplicationSource:
                 # would apply out of order.  Snapshot supersedes them.
                 self.deltas_dropped += len(deltas)
                 continue
+            touched = {delta.fields.get("license_id") for delta in deltas}
+            budgets = {license_id: self.desired_budget(license_id)
+                       for license_id in touched if license_id is not None}
             batch = ReplicaBatch(source=self.name, budget=self.budget,
-                                 deltas=tuple(deltas))
+                                 deltas=tuple(deltas), budgets=budgets)
             acked_grants = self._grant_units(deltas)
             try:
                 self.peers[peer_name].call("replicate", batch)
@@ -371,6 +465,7 @@ class ReplicationSource:
                 continue
             self.batches_sent += 1
             self._ack(acked_grants)
+            self._ship_budgets(budgets)
 
     def snapshot_now(self) -> None:
         """Ship a full snapshot to every peer (anti-entropy pass)."""
@@ -391,10 +486,13 @@ class ReplicationSource:
                     for license_id in licenses
                 }
                 seq = self._seq
+            budgets = {license_id: self.desired_budget(license_id)
+                       for license_id in licenses}
             snapshot = ShardSnapshot(
                 source=self.name, seq=seq, budget=self.budget,
                 licenses=licenses,
                 identity=self.remote.export_identity(),
+                budgets=budgets,
             )
             try:
                 peer.call("sync_snapshot", snapshot)
@@ -404,6 +502,7 @@ class ReplicationSource:
             self.snapshots_sent += 1
             self._needs_snapshot.discard(peer_name)
             self._ack(covered)
+            self._ship_budgets(budgets)
 
     def _pending_grants(self, license_id: str) -> int:
         """Grant units still queued for ``license_id`` (lock held)."""
@@ -446,12 +545,20 @@ class SourceReplica:
     #: license_id -> mutable wire-form record (export_license_state).
     licenses: Dict[str, Any] = None  # type: ignore[assignment]
     identity: Dict[str, Any] = None  # type: ignore[assignment]
+    #: license_id -> the largest adaptive lag budget the source has
+    #: shipped us (falls back to the flat ``budget`` when absent).
+    budgets: Dict[str, int] = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.licenses is None:
             self.licenses = {}
         if self.identity is None:
             self.identity = {"next_slid": 1, "clients": {}}
+        if self.budgets is None:
+            self.budgets = {}
+
+    def budget_for(self, license_id: str) -> int:
+        return self.budgets.get(license_id, self.budget)
 
 
 class FollowerStore:
@@ -470,6 +577,7 @@ class FollowerStore:
                 batch.source, SourceReplica(source=batch.source)
             )
             replica.budget = batch.budget
+            self._merge_budgets(replica, batch.budgets)
             for delta in batch.deltas:
                 if delta.seq <= replica.last_seq:
                     continue  # replayed batch; deltas are idempotent by seq
@@ -486,11 +594,22 @@ class FollowerStore:
                 snapshot.source, SourceReplica(source=snapshot.source)
             )
             replica.budget = snapshot.budget
+            self._merge_budgets(replica, snapshot.budgets)
             replica.last_seq = max(replica.last_seq, snapshot.seq)
             replica.licenses = dict(snapshot.licenses)
             replica.identity = snapshot.identity
             self.snapshots_applied += 1
             return {"status": "ok", "seq": replica.last_seq}
+
+    @staticmethod
+    def _merge_budgets(replica: SourceReplica,
+                       budgets: Dict[str, int]) -> None:
+        """Budgets only ever grow: the source may clamp against any
+        budget it successfully shipped, so the reserve honours the
+        largest one ever seen even if a later message carries less."""
+        for license_id, units in budgets.items():
+            if units > replica.budgets.get(license_id, 0):
+                replica.budgets[license_id] = units
 
     def _apply_delta(self, replica: SourceReplica,
                      delta: ReplicaDelta) -> bool:
@@ -515,6 +634,35 @@ class FollowerStore:
                 replica.identity.get("next_slid", 1), int(slid) + 1
             )
             return True
+        if event == "admit":
+            clients = replica.identity.setdefault("clients", {})
+            slid = str(fields["slid"])
+            clients.setdefault(slid, {"escrowed_root_key": None,
+                                      "graceful_shutdown": False})
+            replica.identity["next_slid"] = max(
+                replica.identity.get("next_slid", 1), int(slid) + 1
+            )
+            return True
+        if event == "install_identity":
+            payload = fields["identity"]
+            clients = replica.identity.setdefault("clients", {})
+            for slid, entry in payload.get("clients", {}).items():
+                clients[slid] = dict(entry)
+            replica.identity["next_slid"] = max(
+                replica.identity.get("next_slid", 1),
+                int(payload.get("next_slid", 1)),
+            )
+            return True
+        if event == "install_license":
+            # A migration/promotion moved a whole record onto the
+            # source: replicate it wholesale (it arrives with holdings
+            # and ledger intact, unlike an "issue").
+            replica.licenses[fields["license_id"]] = fields["record"]
+            return True
+        if event == "release":
+            # Migrated away from the source: the new owner replicates
+            # it now; holding a stale copy here risks double-serving.
+            return replica.licenses.pop(fields["license_id"], None) is not None
         record = replica.licenses.get(fields.get("license_id"))
         if record is None:
             return False
@@ -563,6 +711,7 @@ class FollowerStore:
                 source: {
                     "last_seq": replica.last_seq,
                     "budget": replica.budget,
+                    "budgets": dict(replica.budgets),
                     "licenses": sorted(replica.licenses),
                 }
                 for source, replica in self._sources.items()
@@ -588,6 +737,7 @@ class ReplicationManager:
         peers: Optional[Dict[str, PeerLink]] = None,
         follower_for: Optional[Callable[[str], Optional[str]]] = None,
         lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
+        lag_budget_grants: int = DEFAULT_LAG_BUDGET_GRANTS,
         flush_interval: float = 0.02,
         snapshot_interval: float = 0.5,
     ) -> None:
@@ -606,6 +756,7 @@ class ReplicationManager:
             self.source = ReplicationSource(
                 remote, name, peers, follower_for,
                 lag_budget_units=lag_budget_units,
+                lag_budget_grants=lag_budget_grants,
                 flush_interval=flush_interval,
                 snapshot_interval=snapshot_interval,
             )
@@ -644,9 +795,14 @@ class ReplicationManager:
         if self.source is not None:
             with self.source._lock:
                 unacked = dict(self.source._unacked)
+                peaks = dict(self.source._peak)
+                shipped = dict(self.source._shipped)
             result["replicates"] = {
                 "budget": self.source.budget,
+                "grants_budget": self.source.grants_budget,
                 "unacked": unacked,
+                "peaks": peaks,
+                "shipped": shipped,
                 "batches_sent": self.source.batches_sent,
                 "snapshots_sent": self.source.snapshots_sent,
             }
@@ -656,10 +812,11 @@ class ReplicationManager:
         """Fold replicas held for a dead ``source`` into serving state.
 
         The pessimistic-loss rule, scoped to the lag window: for each
-        replicated license, ``min(available, budget)`` units are moved
-        to ``lost`` before installing — every grant the dead primary
-        made that this replica never saw is covered by that reserve
-        (the source's grant clamp guarantees it fits).  Idempotent: the
+        replicated license, ``min(available, shipped budget)`` units
+        are moved to ``lost`` before installing — every grant the dead
+        primary made that this replica never saw is covered by that
+        reserve, because the source only ever clamped grants against a
+        budget this follower had already acknowledged.  Idempotent: the
         first caller does the work, every later caller gets the memo.
         """
         if self.source is not None:
@@ -679,7 +836,7 @@ class ReplicationManager:
                         continue  # already migrated here while live
                     ledger = record["ledger"]
                     reserve = min(max(_wire_available(ledger), 0),
-                                  replica.budget)
+                                  replica.budget_for(license_id))
                     ledger["lost_units"] += reserve
                     record["frozen"] = False
                     self.remote.install_license_state(record)

@@ -36,6 +36,9 @@ class RemoteEndpoint:
     def __init__(self, transport: Transport) -> None:
         self.transport = transport
         self.calls_made = 0
+        #: Durable-ledger handles attached by ``connect(..., data_dir=)``
+        #: on loopback endpoints; close them when the endpoint retires.
+        self.persistences: list = []
 
     @property
     def link(self) -> Optional[SimulatedLink]:

@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import os
 import threading
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
@@ -75,11 +76,13 @@ from repro.core.sl_remote import LicenseDefinition, SlRemote
 from repro.net.endpoint import EndpointConfig
 from repro.net.errors import DialError, Migrating
 from repro.net.replication import (
+    DEFAULT_LAG_BUDGET_GRANTS,
     DEFAULT_LAG_BUDGET_UNITS,
     LocalPeerLink,
     PeerLink,
     ReplicationManager,
 )
+from repro.storage.wal import RecoveryReport, ShardPersistence
 from repro.net.transport import HandlerTable, Transport
 from repro.sgx.driver import SgxStats
 from repro.sim.clock import Clock, ThreadSafeClock
@@ -589,6 +592,12 @@ class ShardedRemote:
     same kill-a-shard story as the TCP one — which is what the
     replication test suite exercises deterministically via
     ``replicate_now()`` / ``snapshot_now()`` / ``kill_shard()``.
+
+    ``data_dir=...`` makes every shard durable: each gets its own
+    :class:`~repro.storage.wal.ShardPersistence` under
+    ``data_dir/<shard-name>/``, recovered *before* replication wires up
+    so sources stream the recovered state.  Recovery reports land in
+    ``self.recovery_reports``; ``close()`` flushes and detaches.
     """
 
     def __init__(
@@ -602,8 +611,12 @@ class ShardedRemote:
         ledger_commit_seconds: float = 0.0,
         replicas: int = 0,
         lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
+        lag_budget_grants: int = DEFAULT_LAG_BUDGET_GRANTS,
         flush_interval: float = 0.02,
         snapshot_interval: float = 0.5,
+        data_dir: Optional[str] = None,
+        fsync: str = "interval",
+        compact_every: int = 4096,
     ) -> None:
         if replicas < 0:
             raise ValueError("replicas must be >= 0")
@@ -614,6 +627,21 @@ class ShardedRemote:
                            ledger_commit_seconds=ledger_commit_seconds)
             for name in names
         }
+        # Durability wires up BEFORE replication: recovery replays the
+        # on-disk ledger into each shard first, so replication sources
+        # start from (and journal observers see) the recovered state.
+        self.persistences: Dict[str, ShardPersistence] = {}
+        self.recovery_reports: List[RecoveryReport] = []
+        if data_dir is not None:
+            for name, remote in self.shards.items():
+                persistence = ShardPersistence(
+                    os.path.join(data_dir, name), name=name,
+                    server_secret=server_secret, fsync=fsync,
+                    compact_every=compact_every,
+                )
+                self.recovery_reports.append(persistence.recover(remote))
+                persistence.attach(remote)
+                self.persistences[name] = persistence
         ring = HashRing(names, replicas=ring_replicas)
         self.replicas = replicas
         self.managers: Dict[str, ReplicationManager] = {}
@@ -638,6 +666,7 @@ class ShardedRemote:
                            if peer != name},
                     follower_for=follower_for,
                     lag_budget_units=lag_budget_units,
+                    lag_budget_grants=lag_budget_grants,
                     flush_interval=flush_interval,
                     snapshot_interval=snapshot_interval,
                 )
@@ -700,6 +729,16 @@ class ShardedRemote:
         for manager in self.managers.values():
             manager.stop()
 
+    def close_persistence(self) -> None:
+        """Detach and close every shard's write-ahead log."""
+        for persistence in self.persistences.values():
+            persistence.close()
+        self.persistences.clear()
+
+    def close(self) -> None:
+        self.stop_replication()
+        self.close_persistence()
+
     def replicate_now(self) -> None:
         """Flush every shard's pending deltas (deterministic tests)."""
         for manager in self.managers.values():
@@ -720,6 +759,9 @@ class ShardedRemote:
         manager = self.managers.get(name)
         if manager is not None:
             manager.stop()
+        persistence = self.persistences.pop(name, None)
+        if persistence is not None:
+            persistence.close()
 
         def down(method, payload, clock=None, stats=None):
             raise DialError(f"shard {name!r} is down", host=name, attempts=1)

@@ -1,0 +1,24 @@
+"""Durable storage for SL-Remote: per-shard write-ahead ledgers.
+
+The in-memory ledgers in :mod:`repro.core.sl_remote` are authoritative
+while a shard is alive; this package makes them survive a SIGKILL.  See
+:mod:`repro.storage.wal` for the log format and the recovery protocol.
+"""
+
+from repro.storage.wal import (
+    RecoveryReport,
+    ShardPersistence,
+    WalRecord,
+    WriteAheadLog,
+    attach_persistence,
+    derive_wal_key64,
+)
+
+__all__ = [
+    "RecoveryReport",
+    "ShardPersistence",
+    "WalRecord",
+    "WriteAheadLog",
+    "attach_persistence",
+    "derive_wal_key64",
+]

@@ -1,0 +1,10 @@
+"""Reusable test infrastructure (fault injection for durability tests)."""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultyFile,
+    FaultyOpener,
+    SimulatedCrash,
+)
+
+__all__ = ["FaultPlan", "FaultyFile", "FaultyOpener", "SimulatedCrash"]

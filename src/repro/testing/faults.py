@@ -1,0 +1,167 @@
+"""Deterministic storage fault injection for durability tests.
+
+The WAL's crash-safety claims ("committed prefixes survive, torn tails
+are dropped, compaction can die between snapshot and truncate") are
+only worth anything if tests can actually produce those disk states.
+This module simulates them *deterministically* — no signal racing, no
+``kill -9`` timing luck:
+
+* :class:`FaultPlan` — declarative schedule: crash on the Nth
+  ``write()`` / Nth ``fsync()`` / at a named crash point, optionally
+  landing a torn prefix of the dying write, optionally rolling the
+  file back to the last honoured fsync (what a power cut does to an
+  OS write-back cache), optionally turning ``fsync`` into a liar that
+  reports success while committing nothing.
+
+* :class:`FaultyFile` / :class:`FaultyOpener` — file-object wrappers
+  injected through :class:`~repro.storage.wal.WriteAheadLog`'s
+  ``opener`` hook.  A triggered fault leaves the on-disk bytes exactly
+  as the plan prescribes and raises :class:`SimulatedCrash`, after
+  which the test re-runs recovery against the survivor file.
+
+Used by ``tests/storage/`` and mirrored at process granularity by the
+SIGKILL chaos benchmark ``benchmarks/test_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+class SimulatedCrash(Exception):
+    """The process 'died' here; everything after this write is gone."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of storage faults.
+
+    Counters are plan-global (shared across every file the opener
+    wraps), so "crash on the 7th write overall" stays meaningful when
+    a snapshot and a log are being written through the same plan.
+    """
+
+    #: Crash when the Nth ``write()`` call starts (1-based).
+    crash_after_writes: Optional[int] = None
+    #: Crash when the Nth ``fsync()`` call starts (1-based).
+    crash_on_fsync: Optional[int] = None
+    #: Crash when code reaches this named crash point
+    #: (e.g. ``"snapshot:written"``, ``"wal:reset"``).
+    crash_at: Optional[str] = None
+    #: On a write-crash, this prefix of the dying write still lands —
+    #: the classic torn write.
+    torn_bytes: int = 0
+    #: On any crash, roll the file back to the last honoured fsync:
+    #: models a power cut taking the OS write-back cache with it.
+    lose_unsynced: bool = False
+    #: Lying disk: ``fsync`` returns success but commits nothing, so
+    #: with ``lose_unsynced`` even an ``always``-policy log loses data.
+    drop_fsync: bool = False
+
+    writes_seen: int = 0
+    fsyncs_seen: int = 0
+    crashed: bool = False
+    points_seen: List[str] = field(default_factory=list)
+
+    def reached(self, point: str) -> None:
+        """Named crash point (called from the code under test)."""
+        self.points_seen.append(point)
+        if self.crash_at is not None and point == self.crash_at:
+            self.crashed = True
+            raise SimulatedCrash(f"crash point {point!r}")
+
+
+class FaultyFile:
+    """A file object that dies on schedule.
+
+    Exposes ``fsync`` so :func:`repro.storage.wal._fsync` routes
+    durability through the plan instead of straight to ``os.fsync``.
+    """
+
+    def __init__(self, inner: Any, plan: FaultPlan, path: str) -> None:
+        self._inner = inner
+        self._plan = plan
+        self.path = path
+        # Everything already on disk when we open is considered durable.
+        self._synced = inner.tell()
+
+    # -- plan triggers -------------------------------------------------
+    def _crash(self, reason: str, torn: bytes = b"") -> None:
+        plan = self._plan
+        plan.crashed = True
+        if plan.lose_unsynced:
+            # The write-back cache dies with the power: only the prefix
+            # up to the last honoured fsync survives.
+            self._inner.flush()
+            self._inner.truncate(self._synced)
+        if torn:
+            self._inner.seek(0, os.SEEK_END)
+            self._inner.write(torn)
+        self._inner.flush()
+        self._inner.close()
+        raise SimulatedCrash(reason)
+
+    def write(self, data: bytes) -> int:
+        plan = self._plan
+        plan.writes_seen += 1
+        if (plan.crash_after_writes is not None
+                and plan.writes_seen >= plan.crash_after_writes):
+            torn = bytes(data[:max(0, plan.torn_bytes)])
+            self._crash(
+                f"crash on write #{plan.writes_seen}"
+                f" (torn {len(torn)}/{len(data)} bytes)",
+                torn=torn,
+            )
+        return self._inner.write(data)
+
+    def fsync(self) -> None:
+        plan = self._plan
+        plan.fsyncs_seen += 1
+        if (plan.crash_on_fsync is not None
+                and plan.fsyncs_seen >= plan.crash_on_fsync):
+            self._crash(f"crash on fsync #{plan.fsyncs_seen}")
+        self._inner.flush()
+        os.fsync(self._inner.fileno())
+        if not plan.drop_fsync:
+            self._synced = self._inner.tell()
+
+    # -- passthrough ---------------------------------------------------
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def truncate(self, size: int) -> int:
+        return self._inner.truncate(size)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class FaultyOpener:
+    """``opener(path, mode)`` factory wiring one plan into every file."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.files: List[FaultyFile] = []
+
+    def __call__(self, path: str, mode: str) -> FaultyFile:
+        wrapped = FaultyFile(open(path, mode), self.plan, path)
+        self.files.append(wrapped)
+        return wrapped

@@ -101,7 +101,7 @@ class TestReplicationSource:
         renew(remote, slid, "lic", blob)
         remote.return_units(slid, "lic", 1)
         events = [d.event for d in source._pending]
-        assert events == ["issue", "grant", "return"]
+        assert events == ["issue", "admit", "grant", "return"]
         seqs = [d.seq for d in source._pending]
         assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
 
@@ -181,7 +181,12 @@ class TestReplicationSource:
         renew(remote, slid, "lic", blob)
         assert source.grant_headroom("lic") < 16
         source.flush_now()
-        assert source.grant_headroom("lic") == 16
+        # The flush both acked the grant and shipped the adapted
+        # (grant-denominated) budget: headroom is fully restored at the
+        # new, larger scale.
+        assert source._unacked == {}
+        assert source.grant_headroom("lic") == source.shipped_budget("lic")
+        assert source.shipped_budget("lic") >= 16
 
     def test_broken_peer_heals_through_the_next_snapshot(self):
         remote, peer, source = self.build(budget=16)
@@ -196,11 +201,126 @@ class TestReplicationSource:
         peer.failing = False
         source.snapshot_now()
         assert "b" not in source._needs_snapshot
-        assert source.grant_headroom("lic") == 16  # snapshot covered it
+        # The snapshot covered the unacked grant (and shipped the
+        # adapted budget): full headroom again.
+        assert source._unacked == {}
+        assert source.grant_headroom("lic") == source.shipped_budget("lic")
 
     def test_budget_must_be_positive(self):
         with pytest.raises(ValueError, match="lag_budget_units"):
             self.build(budget=0)
+
+
+# ----------------------------------------------------------------------
+# The adaptive (grant-denominated) lag budget
+# ----------------------------------------------------------------------
+class TestAdaptiveLagBudget:
+    def build(self, budget=16, grants=4):
+        remote = fresh_remote()
+        peer = RecordingPeer()
+        source = ReplicationSource(
+            remote, "a", peers={"b": peer},
+            follower_for=lambda lid: "b",
+            lag_budget_units=budget, lag_budget_grants=grants,
+        )
+        return remote, peer, source
+
+    def test_budget_scales_with_the_observed_grant_size(self):
+        """One half-pool grant must not consume the whole budget forever:
+        after a flush ships the adapted budget, the next grant clears
+        the old unit floor instead of seeing EXHAUSTED backpressure."""
+        remote, _peer, source = self.build(budget=16)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        source.snapshot_now()
+        first = renew(remote, slid, "lic", blob)
+        assert first.status is Status.OK
+        assert first.granted_units <= 16  # floor until a budget ships
+        source.flush_now()
+        second = renew(remote, slid, "lic", blob)
+        assert second.status is Status.OK
+        assert second.granted_units > 16  # the budget adapted
+
+    def test_clamp_only_trusts_the_shipped_budget(self):
+        """A grown budget the follower never received must not loosen
+        the clamp — the promotion reserve is keyed on what the follower
+        knows, so grants beyond it would be double-mintable."""
+        remote, peer, source = self.build(budget=16)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        source.snapshot_now()
+        peer.failing = True  # nothing ships from here on
+        first = renew(remote, slid, "lic", blob)
+        source.flush_now()  # fails; budget not shipped, grant not acked
+        assert source.desired_budget("lic") > 16  # it *wants* to grow
+        assert source.shipped_budget("lic") == 16  # but nothing shipped
+        headroom = source.grant_headroom("lic")
+        assert headroom == 16 - first.granted_units
+
+    def test_budgets_ride_batches_and_snapshots(self):
+        remote, peer, source = self.build(budget=16)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        source.snapshot_now()
+        renew(remote, slid, "lic", blob)
+        source.flush_now()
+        (batch,) = peer.of("replicate")
+        assert batch.budgets["lic"] == source.shipped_budget("lic")
+        source.snapshot_now()
+        snapshot = peer.of("sync_snapshot")[-1]
+        assert snapshot.budgets["lic"] >= 16
+
+    def test_desired_budget_is_capped_by_the_pool_fraction(self):
+        remote, _peer, source = self.build(budget=16)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        source.snapshot_now()
+        renew(remote, slid, "lic", blob)
+        assert source.desired_budget("lic") <= int(
+            POOL * source.pool_fraction
+        )
+
+    def test_follower_reserve_uses_the_per_license_budget(self):
+        store = FollowerStore()
+        store.apply_snapshot(ShardSnapshot(
+            source="a", seq=0, budget=32,
+            licenses={"lic": wire_record("lic")},
+            identity={"next_slid": 1, "clients": {}},
+            budgets={"lic": 500},
+        ))
+        manager = ReplicationManager(fresh_remote(), "b")
+        manager.store = store
+        result = manager.handle_promote("a")
+        assert result["installed"] == {"lic": 500}
+        assert manager.remote.ledger("lic").lost_units == 500
+
+    def test_follower_budgets_never_shrink(self):
+        """The source may have clamped against any budget it ever
+        shipped, so a replayed smaller value must not lower the bound
+        the reserve honours."""
+        store = FollowerStore()
+        store.apply_batch(ReplicaBatch(
+            source="a", budget=32, deltas=(), budgets={"lic": 500},
+        ))
+        store.apply_batch(ReplicaBatch(
+            source="a", budget=32, deltas=(), budgets={"lic": 100},
+        ))
+        assert store._sources["a"].budget_for("lic") == 500
+
+    def test_budgets_survive_the_wire(self):
+        batch = ReplicaBatch(source="a", budget=32, deltas=(),
+                             budgets={"lic": 321})
+        assert ReplicaBatch.from_wire(batch.to_wire()) == batch
+        snapshot = ShardSnapshot(
+            source="a", seq=1, budget=32, licenses={}, identity={},
+            budgets={"lic": 77},
+        )
+        roundtrip = ShardSnapshot.from_wire(snapshot.to_wire())
+        assert roundtrip.budgets == {"lic": 77}
+        # v1 payloads without the field still decode (empty budgets).
+        legacy = dict(batch.to_wire())
+        legacy.pop("budgets")
+        assert ReplicaBatch.from_wire(legacy).budgets == {}
 
 
 # ----------------------------------------------------------------------
@@ -435,21 +555,27 @@ class TestFailover:
         license_id = next(iter(blobs))
         victim = sharded.shard_for(license_id)
         # Replicated grants (flushed), then unreplicated ones the
-        # follower never hears about before the kill.
+        # follower never hears about before the kill.  The budget is
+        # adaptive (grant-denominated): the bound the clamp enforces —
+        # and the most a promotion may forfeit — is the budget the
+        # victim had successfully *shipped* to its follower.
         seen = fleet_renew(sharded, machine, slid, license_id,
                            blobs[license_id]).granted_units
+        assert 0 < seen <= budget  # nothing shipped yet: floor applies
         sharded.replicate_now()
+        shipped = sharded.managers[victim].source.shipped_budget(license_id)
+        assert shipped >= budget  # the flush grew the budget with the peak
         unseen = fleet_renew(sharded, machine, slid, license_id,
                              blobs[license_id]).granted_units
-        assert 0 < unseen <= budget  # the clamp held
+        assert 0 < unseen <= shipped  # the clamp held at the new scale
         sharded.kill_shard(victim)
         response = fleet_renew(sharded, machine, slid, license_id,
                                blobs[license_id])
         assert response.status is Status.OK
         probe = sharded.ledger_probe(license_id)[license_id]
-        # The pessimistic reserve forfeits at most the lag budget but at
-        # least every unseen grant — no unit is ever minted twice.
-        assert unseen <= probe["lost"] <= budget
+        # The pessimistic reserve forfeits at most the shipped budget
+        # but at least every unseen grant — no unit is ever minted twice.
+        assert unseen <= probe["lost"] <= shipped
         total_granted = seen + unseen + response.granted_units
         assert total_granted <= probe["outstanding"] + probe["lost"]
 

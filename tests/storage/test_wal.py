@@ -1,0 +1,501 @@
+"""The write-ahead ledger: framing, sealing, snapshots, recovery.
+
+The durability contract under test:
+
+* every intact prefix of the log replays to exactly the state that was
+  committed when its last record was written (prefix consistency);
+* a torn or tampered tail is *dropped*, never reinterpreted — and every
+  possible single-byte corruption or truncation of the final record
+  still yields the previous committed state (the property tests);
+* recovery applies the paper's pessimistic rule (Section 5.7): units
+  outstanding at the crash are forfeited to ``lost_units`` — never
+  re-granted — while committed returns stay returned and escrowed root
+  keys survive for gracefully stopped clients;
+* with a WAL attached, ``ledger_commit_seconds`` is a *budget* the real
+  fsync is charged against, not an extra sleep on top of it.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.protocol import InitRequest, RenewRequest, ShutdownNotice, \
+    Status
+from repro.core.sl_remote import SlRemote
+from repro.sgx import RemoteAttestationService, SgxMachine
+from repro.storage.wal import (
+    WAL_MAGIC,
+    RecoveryReport,
+    ShardPersistence,
+    WalRecord,
+    WriteAheadLog,
+    attach_persistence,
+    derive_wal_key64,
+    read_snapshot,
+    write_snapshot,
+)
+
+KEY = derive_wal_key64(b"test-secret", "shard-under-test")
+POOL = 10_000
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def fresh_remote(**kwargs):
+    return SlRemote(RemoteAttestationService(accept_any_platform=True),
+                    **kwargs)
+
+
+def init_client(remote, name="client", nonce=1):
+    machine = SgxMachine(name)
+    report = machine.local_authority.generate_report(1, 1, nonce=nonce)
+    response = remote.handle_init(
+        InitRequest(slid=None, report=report,
+                    platform_secret=machine.platform_secret),
+        machine.clock, machine.stats,
+    )
+    assert response.status is Status.OK
+    return machine, response.slid
+
+
+def renew(remote, slid, license_id, blob):
+    return remote.handle_renew(RenewRequest(
+        slid=slid, license_id=license_id, license_blob=blob,
+        network_reliability=1.0, health=1.0,
+    ))
+
+
+def make_persistence(directory, **kwargs):
+    kwargs.setdefault("name", "shard-under-test")
+    kwargs.setdefault("server_secret", b"test-secret")
+    kwargs.setdefault("fsync", "always")
+    return ShardPersistence(str(directory), **kwargs)
+
+
+def conserved(remote, license_id, total):
+    ledger = remote.ledger(license_id)
+    outstanding = sum(ledger.outstanding.values())
+    return outstanding + ledger.lost_units + ledger.available == total
+
+
+# ----------------------------------------------------------------------
+# Framing and sealing
+# ----------------------------------------------------------------------
+class TestWalFraming:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ledger.wal")
+        wal = WriteAheadLog(path, KEY, fsync="off")
+        for n in range(5):
+            seq, _ = wal.append("grant", {"units": n})
+            assert seq == n + 1
+        wal.close()
+        records, good, size = WriteAheadLog.read(path, KEY)
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+        assert [r.fields["units"] for r in records] == list(range(5))
+        assert good == size
+
+    def test_records_are_sealed_not_plaintext(self, tmp_path):
+        path = str(tmp_path / "ledger.wal")
+        wal = WriteAheadLog(path, KEY, fsync="off")
+        wal.append("grant", {"license_id": "super-secret-license-name"})
+        wal.close()
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        assert b"super-secret-license-name" not in raw
+        assert b"grant" not in raw
+
+    def test_wrong_key_reads_nothing(self, tmp_path):
+        path = str(tmp_path / "ledger.wal")
+        wal = WriteAheadLog(path, KEY, fsync="off")
+        wal.append("grant", {"units": 1})
+        wal.close()
+        records, good, _size = WriteAheadLog.read(path, KEY ^ 1)
+        assert records == []
+        assert good == len(WAL_MAGIC)
+
+    def test_bad_magic_reads_as_empty(self, tmp_path):
+        path = str(tmp_path / "ledger.wal")
+        with open(path, "wb") as handle:
+            handle.write(b"NOT-A-WAL-FILE" * 3)
+        records, good, _size = WriteAheadLog.read(path, KEY)
+        assert records == []
+        assert good == 0
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        records, good, size = WriteAheadLog.read(
+            str(tmp_path / "absent.wal"), KEY
+        )
+        assert (records, good, size) == ([], 0, 0)
+
+    def test_reset_truncates_but_preserves_seq(self, tmp_path):
+        path = str(tmp_path / "ledger.wal")
+        wal = WriteAheadLog(path, KEY, fsync="off")
+        for _ in range(3):
+            wal.append("grant", {})
+        wal.reset()
+        assert wal.last_seq == 3
+        assert wal.appends_since_reset == 0
+        seq, _ = wal.append("grant", {})
+        assert seq == 4
+        wal.close()
+        records, _good, _size = WriteAheadLog.read(path, KEY)
+        assert [r.seq for r in records] == [4]
+
+    def test_reopen_continues_after_close(self, tmp_path):
+        path = str(tmp_path / "ledger.wal")
+        wal = WriteAheadLog(path, KEY, fsync="off")
+        wal.append("grant", {"units": 1})
+        wal.close()
+        wal2 = WriteAheadLog(path, KEY, fsync="off")
+        # A fresh handle does not know the old seq; recovery sets it.
+        wal2.last_seq = 1
+        wal2.append("grant", {"units": 2})
+        wal2.close()
+        records, good, size = WriteAheadLog.read(path, KEY)
+        assert [r.seq for r in records] == [1, 2]
+        assert good == size
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path / "x.wal"), KEY, fsync="sometimes")
+
+
+class TestFsyncPolicies:
+    def test_always_pays_per_append(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "a.wal"), KEY, fsync="always")
+        for _ in range(4):
+            _seq, spent = wal.append("grant", {})
+            assert spent >= 0.0
+        assert wal.fsync_count == 4
+        wal.close()
+
+    def test_off_never_pays(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "o.wal"), KEY, fsync="off")
+        for _ in range(4):
+            _seq, spent = wal.append("grant", {})
+            assert spent == 0.0
+        assert wal.fsync_count == 0
+        wal.close()
+
+    def test_interval_group_commits(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "i.wal"), KEY, fsync="interval",
+                            fsync_interval_seconds=3600.0)
+        for _ in range(4):
+            wal.append("grant", {})
+        assert wal.fsync_count == 0  # window never elapsed
+        wal.fsync_interval_seconds = 0.0
+        assert wal.sync_if_due() >= 0.0
+        assert wal.fsync_count == 1
+        # Clean: nothing due until the next append dirties the log.
+        assert wal.sync_if_due() == 0.0
+        assert wal.fsync_count == 1
+        wal.close()
+
+    def test_close_flushes_dirty_interval_log(self, tmp_path):
+        path = str(tmp_path / "c.wal")
+        wal = WriteAheadLog(path, KEY, fsync="interval",
+                            fsync_interval_seconds=3600.0)
+        wal.append("grant", {"units": 7})
+        wal.close()
+        records, _good, _size = WriteAheadLog.read(path, KEY)
+        assert len(records) == 1
+        assert wal.fsync_count == 1
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ledger.snap")
+        payload = {"seq": 12, "licenses": {"lic": {"x": 1}}}
+        write_snapshot(path, KEY, payload)
+        assert read_snapshot(path, KEY) == payload
+        assert not os.path.exists(path + ".tmp")
+
+    def test_missing_reads_none(self, tmp_path):
+        assert read_snapshot(str(tmp_path / "absent.snap"), KEY) is None
+
+    def test_damage_reads_none(self, tmp_path):
+        path = str(tmp_path / "ledger.snap")
+        write_snapshot(path, KEY, {"seq": 1})
+        with open(path, "r+b") as handle:
+            handle.seek(-3, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-3, os.SEEK_END)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert read_snapshot(path, KEY) is None
+
+    def test_wrong_key_reads_none(self, tmp_path):
+        path = str(tmp_path / "ledger.snap")
+        write_snapshot(path, KEY, {"seq": 1})
+        assert read_snapshot(path, KEY ^ 1) is None
+
+
+# ----------------------------------------------------------------------
+# Recovery semantics (Section 5.7)
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def populate(self, tmp_path, returns=0):
+        """A remote with one grant (optionally partly returned), crashed."""
+        remote = fresh_remote()
+        persistence = make_persistence(tmp_path)
+        persistence.recover(remote)
+        persistence.attach(remote)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        response = renew(remote, slid, "lic", blob)
+        assert response.status is Status.OK
+        if returns:
+            assert remote.return_units(slid, "lic", returns) is Status.OK
+        persistence.close()  # the *log* survives; RAM state "dies" here
+        return response.granted_units, slid
+
+    def test_outstanding_units_forfeited_not_resurrected(self, tmp_path):
+        granted, _slid = self.populate(tmp_path)
+        remote = fresh_remote()
+        report = make_persistence(tmp_path).recover(remote)
+        ledger = remote.ledger("lic")
+        assert ledger.outstanding == {}
+        assert ledger.lost_units == granted
+        assert ledger.available == POOL - granted
+        assert report.forfeited_units == granted
+        assert conserved(remote, "lic", POOL)
+
+    def test_committed_returns_stay_returned(self, tmp_path):
+        granted, _slid = self.populate(tmp_path, returns=5)
+        remote = fresh_remote()
+        make_persistence(tmp_path).recover(remote)
+        ledger = remote.ledger("lic")
+        # The 5 returned units went back to the pool before the crash
+        # and stay there; only the still-outstanding remainder is lost.
+        assert ledger.lost_units == granted - 5
+        assert ledger.available == POOL - (granted - 5)
+        assert conserved(remote, "lic", POOL)
+
+    def test_escrow_survives_the_crash(self, tmp_path):
+        remote = fresh_remote()
+        persistence = make_persistence(tmp_path)
+        persistence.recover(remote)
+        persistence.attach(remote)
+        remote.issue_license("lic", POOL)
+        _machine, slid = init_client(remote)
+        assert remote.handle_shutdown(
+            ShutdownNotice(slid=slid, root_key=0xC0FFEE)
+        ) is Status.OK
+        persistence.close()
+
+        remote2 = fresh_remote()
+        make_persistence(tmp_path).recover(remote2)
+        client = remote2._clients[slid]
+        assert client.graceful_shutdown is True
+        assert client.escrowed_root_key == 0xC0FFEE
+
+    def test_slid_watermark_advances_past_recovered_clients(self, tmp_path):
+        _granted, slid = self.populate(tmp_path)
+        remote = fresh_remote()
+        make_persistence(tmp_path).recover(remote)
+        _machine, new_slid = init_client(remote, name="newcomer", nonce=2)
+        assert new_slid > slid
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        granted, _slid = self.populate(tmp_path)
+        first = fresh_remote()
+        make_persistence(tmp_path).recover(first)
+        # The first recovery compacted the forfeiture into the snapshot;
+        # recovering again must not forfeit (or lose) anything further.
+        second = fresh_remote()
+        report = make_persistence(tmp_path).recover(second)
+        assert report.forfeited_units == 0
+        assert second.ledger("lic").lost_units == granted
+        assert second.ledger("lic").available == POOL - granted
+        assert conserved(second, "lic", POOL)
+
+    def test_recovery_after_compaction_is_snapshot_only(self, tmp_path):
+        self.populate(tmp_path)
+        remote = fresh_remote()
+        make_persistence(tmp_path).recover(remote)
+        # recover() ends in compact(): the next recovery replays nothing.
+        report = make_persistence(tmp_path).recover(fresh_remote())
+        assert report.records_replayed == 0
+        assert report.snapshot_seq > 0
+
+    def test_revoke_survives(self, tmp_path):
+        remote = fresh_remote()
+        persistence = make_persistence(tmp_path)
+        persistence.recover(remote)
+        persistence.attach(remote)
+        remote.issue_license("lic", POOL)
+        remote.revoke_license("lic")
+        persistence.close()
+        remote2 = fresh_remote()
+        make_persistence(tmp_path).recover(remote2)
+        assert remote2.license_definition("lic").revoked is True
+
+    def test_unknown_events_are_skipped_not_fatal(self, tmp_path):
+        persistence = make_persistence(tmp_path)
+        persistence.wal.append("从未见过", {"mystery": True})
+        persistence.wal.append("issue", {"license_id": "lic",
+                                         "total_units": POOL,
+                                         "kind": "count",
+                                         "tick_seconds": 0.0})
+        persistence.wal.close()
+        remote = fresh_remote()
+        report = make_persistence(tmp_path).recover(remote)
+        assert report.records_skipped == 1
+        assert report.records_replayed == 1
+        assert remote.ledger("lic").total_gcl == POOL
+
+    def test_marker_line_parses(self):
+        report = RecoveryReport(name="shard-0", records_replayed=3,
+                                forfeited_units=40, tail_dropped_bytes=17,
+                                bytes_replayed=512, duration_seconds=0.25)
+        line = report.marker_line()
+        assert line.startswith("SL-Recovery shard-0: ")
+        parsed = dict(part.split("=") for part in line.split(": ")[1].split())
+        assert parsed == {"records": "3", "forfeited": "40", "dropped": "17",
+                          "bytes": "512", "seconds": "0.2500"}
+
+
+# ----------------------------------------------------------------------
+# The commit budget (no double charging)
+# ----------------------------------------------------------------------
+class TestCommitBudget:
+    def test_fsync_cost_counts_against_the_budget(self, tmp_path):
+        remote = fresh_remote(ledger_commit_seconds=0.0)
+        persistence = make_persistence(tmp_path)
+        persistence.recover(remote)
+        persistence.attach(remote)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        assert renew(remote, slid, "lic", blob).status is Status.OK
+        # handle_renew drained the thread's accumulated fsync cost when
+        # it charged the budget; a fresh read must find nothing left.
+        assert persistence.commit_cost() == 0.0
+        persistence.close()
+
+    def test_budget_sleeps_only_the_remainder(self, tmp_path):
+        remote = fresh_remote(ledger_commit_seconds=0.4)
+        # A commit hook that claims the fsync already cost more than the
+        # whole budget: the handler must not sleep at all.
+        remote.commit_hook = lambda: 10.0
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        start = time.perf_counter()
+        assert renew(remote, slid, "lic", blob).status is Status.OK
+        assert time.perf_counter() - start < 0.35
+
+    def test_budget_still_charged_without_a_wal(self):
+        remote = fresh_remote(ledger_commit_seconds=0.05)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        start = time.perf_counter()
+        assert renew(remote, slid, "lic", blob).status is Status.OK
+        assert time.perf_counter() - start >= 0.05
+
+
+# ----------------------------------------------------------------------
+# Property tests: corrupt / truncate the last record at every offset
+# ----------------------------------------------------------------------
+def _committed_wal(tmp_path):
+    """A shard that crashed right after its last committed record.
+
+    Returns ``(wal_path, prev_offset, size, granted_total)`` where the
+    final record occupies ``[prev_offset, size)``.
+    """
+    remote = fresh_remote()
+    persistence = make_persistence(tmp_path, compact_every=0)
+    persistence.recover(remote)
+    persistence.attach(remote)
+    blob = remote.issue_license("lic", POOL).license_blob()
+    for n in range(3):
+        _machine, slid = init_client(remote, name=f"client-{n}", nonce=n + 1)
+        assert renew(remote, slid, "lic", blob).status is Status.OK
+    path = persistence.wal.path
+    persistence.close()
+    records, size, file_size = WriteAheadLog.read(path, KEY)
+    assert size == file_size  # clean shutdown: no torn tail yet
+    # Where does the last record start?  Re-scan stopping one short.
+    prev_offset = len(WAL_MAGIC)
+    import struct as _struct
+    with open(path, "rb") as handle:
+        data = handle.read()
+    for _ in range(len(records) - 1):
+        length = _struct.unpack(">II", data[prev_offset:prev_offset + 8])[0]
+        prev_offset += 8 + length
+    return path, prev_offset, file_size, records
+
+
+class TestTornTailProperties:
+    def test_every_single_byte_corruption_drops_only_the_tail(self, tmp_path):
+        path, prev_offset, size, records = _committed_wal(tmp_path)
+        with open(path, "rb") as handle:
+            pristine = handle.read()
+        expected_seqs = [r.seq for r in records[:-1]]
+        for offset in range(prev_offset, size):
+            damaged = bytearray(pristine)
+            damaged[offset] ^= 0xFF
+            with open(path, "wb") as handle:
+                handle.write(bytes(damaged))
+            got, good, _sz = WriteAheadLog.read(path, KEY)
+            assert [r.seq for r in got] == expected_seqs, (
+                f"corruption at byte {offset} broke the committed prefix"
+            )
+            assert good == prev_offset
+
+    def test_every_truncation_point_drops_only_the_tail(self, tmp_path):
+        path, prev_offset, size, records = _committed_wal(tmp_path)
+        with open(path, "rb") as handle:
+            pristine = handle.read()
+        expected_seqs = [r.seq for r in records[:-1]]
+        for cut in range(prev_offset, size):
+            with open(path, "wb") as handle:
+                handle.write(pristine[:cut])
+            got, good, _sz = WriteAheadLog.read(path, KEY)
+            assert [r.seq for r in got] == expected_seqs
+            assert good == prev_offset
+
+    def test_recovery_from_corrupted_tails_conserves_units(self, tmp_path):
+        """Full-stack version, sampled: corrupt, recover, audit the pool.
+
+        The prefix that survives is some committed moment of the shard's
+        history, so recovery must yield a conserved ledger with every
+        outstanding unit forfeited — for *any* tail damage.
+        """
+        path, prev_offset, size, _records = _committed_wal(tmp_path)
+        with open(path, "rb") as handle:
+            pristine = handle.read()
+        snap = str(tmp_path / ShardPersistence.SNAP_FILE)
+        for offset in range(prev_offset, size, 7):
+            damaged = bytearray(pristine)
+            damaged[offset] ^= 0xFF
+            with open(path, "wb") as handle:
+                handle.write(bytes(damaged))
+            if os.path.exists(snap):
+                os.remove(snap)  # force a pure log replay each round
+            remote = fresh_remote()
+            report = make_persistence(tmp_path).recover(remote)
+            assert report.tail_dropped_bytes == size - prev_offset
+            ledger = remote.ledger("lic")
+            assert ledger.outstanding == {}
+            assert conserved(remote, "lic", POOL)
+
+
+# ----------------------------------------------------------------------
+# attach_persistence (the one-call wiring used by endpoints/deployments)
+# ----------------------------------------------------------------------
+class TestAttachPersistence:
+    def test_single_remote_gets_one_subdirectory(self, tmp_path):
+        remote = fresh_remote()
+        persistences = attach_persistence(remote, str(tmp_path))
+        assert [p.name for p in persistences] == ["remote"]
+        remote.issue_license("lic", POOL)
+        for p in persistences:
+            p.close()
+        again = fresh_remote()
+        reports = [p.last_report
+                   for p in attach_persistence(again, str(tmp_path))]
+        assert again.ledger("lic").total_gcl == POOL
+        assert reports[0] is not None
