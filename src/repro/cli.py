@@ -48,12 +48,31 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def _endpoint_with_wire(endpoint: Optional[str],
+                        wire: Optional[int],
+                        batch_window: Optional[float]) -> Optional[str]:
+    """Fold ``--wire``/``--batch-window`` into an endpoint URL's query."""
+    if endpoint is None:
+        return None
+    params = []
+    if wire is not None:
+        params.append(f"wire={wire}")
+    if batch_window is not None:
+        params.append(f"batch_window={batch_window}")
+    if not params:
+        return endpoint
+    separator = "&" if "?" in endpoint else "?"
+    return endpoint + separator + "&".join(params)
+
+
 def cmd_run(args) -> int:
     workload = get_workload(args.workload, seed=args.seed)
+    endpoint = _endpoint_with_wire(args.endpoint, args.wire,
+                                   args.batch_window)
     deployment = SecureLeaseDeployment(seed=args.seed,
                                        tokens_per_attestation=args.tokens,
                                        transport=args.transport,
-                                       endpoint=args.endpoint)
+                                       endpoint=endpoint)
     blob = deployment.issue_license(workload.license_id,
                                     total_units=args.units)
     run = deployment.run_workload(workload, scale=args.scale,
@@ -127,8 +146,10 @@ def cmd_attack(args) -> int:
 
 
 def cmd_fleet(args) -> int:
+    endpoint = _endpoint_with_wire(args.endpoint, args.wire,
+                                   args.batch_window)
     cluster = Cluster(seed=args.seed, transport=args.transport,
-                      shards=args.shards, endpoint=args.endpoint)
+                      shards=args.shards, endpoint=endpoint)
     cluster.issue_license("lic-fleet", args.units)
     healths = [1.0, 0.95, 0.8, 0.6]
     for index in range(args.nodes):
@@ -342,12 +363,14 @@ def cmd_serve_remote(args) -> int:
         server = AsyncLeaseServer(remote, host=args.host, port=args.port,
                                   max_workers=args.max_workers,
                                   max_connections=args.max_connections,
-                                  extra_handlers=extra_handlers)
+                                  extra_handlers=extra_handlers,
+                                  wire=args.wire)
     else:
         server = LeaseServer(remote, host=args.host, port=args.port,
                              serialize_dispatch=args.serialize_dispatch,
                              max_connections=args.max_connections,
-                             extra_handlers=extra_handlers)
+                             extra_handlers=extra_handlers,
+                             wire=args.wire)
     # Recovery markers print BEFORE the listening marker so harnesses
     # that wait for the port can already have parsed the replay stats.
     for report in recovery_reports:
@@ -445,6 +468,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="connect to SL-Remote via an endpoint URL "
                                  "(sl://, sl+async://, sl+sharded://); "
                                  "overrides --transport")
+    run_parser.add_argument("--wire", type=int, choices=(1, 2, 3),
+                            default=None,
+                            help="preferred wire format for --endpoint "
+                                 "(3 negotiates binary frames, 1/2 stay "
+                                 "on JSON); same as a wire= query param")
+    run_parser.add_argument("--batch-window", type=float, default=None,
+                            metavar="SECONDS",
+                            help="coalesce concurrent renewals for up to "
+                                 "this long into one batched frame "
+                                 "(same as a batch_window= query param)")
 
     partition_parser = subparsers.add_parser(
         "partition", help="show partitioning decisions for a workload")
@@ -478,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="sl://HOST:PORT",
                               help="connect every node to SL-Remote via an "
                                    "endpoint URL; overrides --transport")
+    fleet_parser.add_argument("--wire", type=int, choices=(1, 2, 3),
+                              default=None,
+                              help="preferred wire format for --endpoint "
+                                   "(3 negotiates binary frames)")
+    fleet_parser.add_argument("--batch-window", type=float, default=None,
+                              metavar="SECONDS",
+                              help="coalesce concurrent renewals into "
+                                   "batched frames for --endpoint")
 
     serve_parser = subparsers.add_parser(
         "serve-remote",
@@ -507,6 +548,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="explicit shard names for --shard-of "
                                    "(default: shard-0..shard-N-1; all fleet "
                                    "members must agree)")
+    serve_parser.add_argument("--wire", type=int, choices=(1, 2, 3),
+                              default=3,
+                              help="highest wire format this server will "
+                                   "negotiate: 3 accepts binary v3 frames "
+                                   "from upgraded clients, 1/2 pin the "
+                                   "fleet to the JSON formats")
     serve_parser.add_argument("--io", choices=("threads", "async"),
                               default="threads",
                               help="connection model: one thread per "

@@ -193,6 +193,63 @@ class MigratingNotice:
         )
 
 
+@dataclass(frozen=True)
+class BatchRequest:
+    """Several coalesced :class:`RenewRequest` in one frame.
+
+    Client transports gather renewals that arrive within a batching
+    window into one of these; SL-Remote answers with a
+    :class:`BatchResponse` whose slots line up positionally, and the
+    whole batch pays one executor hop and (per distinct license) one
+    ledger-commit charge instead of N.
+    """
+
+    requests: tuple  # of RenewRequest, in submission order
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"requests": [request.to_wire() for request in self.requests]}
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "BatchRequest":
+        return cls(requests=tuple(RenewRequest.from_wire(f)
+                                  for f in fields["requests"]))
+
+
+#: Wire tags for the polymorphic slots of a :class:`BatchResponse`.
+_BATCH_SLOT_TYPES = {"RenewResponse": RenewResponse,
+                     "MigratingNotice": MigratingNotice}
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """Positional replies to a :class:`BatchRequest`.
+
+    Each slot is a :class:`RenewResponse`, or a :class:`MigratingNotice`
+    when that one license was mid-migration — a batch never fails
+    wholesale because one member needs a routed retry.
+    """
+
+    responses: tuple  # of RenewResponse | MigratingNotice
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "responses": [
+                {"type": type(slot).__name__, "fields": slot.to_wire()}
+                for slot in self.responses
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "BatchResponse":
+        slots = []
+        for entry in fields["responses"]:
+            slot_cls = _BATCH_SLOT_TYPES.get(entry["type"])
+            if slot_cls is None:
+                raise ValueError(f"unknown batch slot type {entry['type']!r}")
+            slots.append(slot_cls.from_wire(entry["fields"]))
+        return cls(responses=tuple(slots))
+
+
 # ----------------------------------------------------------------------
 # SL-Manager -> SL-Local
 # ----------------------------------------------------------------------

@@ -37,13 +37,16 @@ log-truncation pair is made atomic.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.gcl import LeaseKind
 from repro.core.protocol import (
+    BatchRequest,
+    BatchResponse,
     InitRequest,
     InitResponse,
     MigratingNotice,
@@ -151,8 +154,11 @@ class SlRemote:
         self._clients_lock = threading.RLock()
         self._next_slid = 1
         self._counters_lock = threading.Lock()
-        #: Total renewal round trips served (network-cost accounting).
+        #: Total renewals served — batched members count individually
+        #: (network-cost accounting).
         self.renewals_served = 0
+        #: ``renew_batch`` frames served (each carrying >= 1 renewals).
+        self.batches_served = 0
         self.inits_served = 0
         #: State-change observers: callables ``(event, fields_dict)``
         #: invoked under the lock guarding the mutated state, so one
@@ -178,6 +184,11 @@ class SlRemote:
         #: *budget* (sleeping only the remainder) instead of stacking a
         #: simulated commit on top of a real one.
         self.commit_hook: Optional[Callable[[], float]] = None
+        #: Optional group-commit hook (:mod:`repro.storage.wal`): a
+        #: context-manager factory wrapping one ``renew_batch`` dispatch
+        #: so every ledger event the batch journals rides a single
+        #: deferred fsync instead of one per renewal.
+        self.commit_group: Optional[Callable[[], Any]] = None
 
     # ------------------------------------------------------------------
     # Wire protocol surface
@@ -196,6 +207,7 @@ class SlRemote:
         return {
             "init": self.handle_init,
             "renew": self.handle_renew,
+            "renew_batch": self.handle_renew_batch,
             "shutdown": self.handle_shutdown,
             "return_units": lambda request: self.return_units(*request),
             "admit": self.handle_admit,
@@ -618,94 +630,178 @@ class SlRemote:
         """
         with self._counters_lock:
             self.renewals_served += 1
+        client, state, early = self._renew_prepare(request)
+        if early is not None:
+            return early
+        with state.lock:
+            response, mutated = self._renew_locked(state, client, request)
+            if mutated:
+                self._charge_commit()
+            return response
+
+    def handle_renew_batch(self, batch: BatchRequest) -> BatchResponse:
+        """Vectorized renewal: answer a whole coalesced frame at once.
+
+        The members are grouped by license and each group runs under its
+        license's lock; the whole batch then pays **one** durable-commit
+        charge — the server-side half of the batching win: N coalesced
+        renewals cost one dispatch hop and one ledger commit instead of
+        N of each.  When a :class:`~repro.storage.wal.ShardPersistence`
+        is attached, ``commit_group`` scopes the batch so its journal
+        appends ride a single group fsync, and the budget charge sleeps
+        only the remainder of ``ledger_commit_seconds`` after that real
+        sync.  Licenses are visited in sorted order so the lock
+        acquisition sequence is deterministic, and per-member faults
+        (unknown client, frozen license, invalid blob) degrade only
+        that slot, never the batch.
+        """
+        requests = list(batch.requests)
+        with self._counters_lock:
+            self.renewals_served += len(requests)
+            self.batches_served += 1
+        responses: List[Any] = [None] * len(requests)
+        prepared: List[Any] = [None] * len(requests)
+        groups: Dict[str, List[int]] = {}
+        for index, request in enumerate(requests):
+            client, state, early = self._renew_prepare(request)
+            if early is not None:
+                responses[index] = early
+            else:
+                prepared[index] = (client, state)
+                groups.setdefault(request.license_id, []).append(index)
+        group_cm = (self.commit_group() if self.commit_group is not None
+                    else contextlib.nullcontext())
+        mutated = False
+        with group_cm:
+            for license_id in sorted(groups):
+                indices = groups[license_id]
+                state = prepared[indices[0]][1]
+                with state.lock:
+                    for index in indices:
+                        client, _ = prepared[index]
+                        responses[index], did = self._renew_locked(
+                            state, client, requests[index]
+                        )
+                        mutated = mutated or did
+        if mutated:
+            # After the group scope closed: the WAL's single batch fsync
+            # has happened, so commit_hook reports it and the budget
+            # sleep covers only the remainder.  The grants are durable
+            # before any member of the batch is acknowledged.
+            self._charge_commit()
+        return BatchResponse(responses=tuple(responses))
+
+    def _renew_prepare(
+        self, request: RenewRequest
+    ) -> Tuple[Optional[_ClientState], Optional[LicenseShardState],
+               Optional[Any]]:
+        """Pre-lock validation shared by single and batched renewals.
+
+        Returns ``(client, state, None)`` when the renewal may proceed,
+        or ``(None, None, terminal_response)`` when it is already
+        answerable without touching the license lock.
+        """
         with self._clients_lock:
             client = self._clients.get(request.slid)
         if client is None:
-            return RenewResponse(status=Status.UNKNOWN_CLIENT)
+            return None, None, RenewResponse(status=Status.UNKNOWN_CLIENT)
         moved = self._moved.get(request.license_id)
         if moved is not None:
-            return MigratingNotice(license_id=request.license_id,
-                                   new_owner=moved)
+            return None, None, MigratingNotice(
+                license_id=request.license_id, new_owner=moved
+            )
         with self._registry_lock:
             state = self._states.get(request.license_id)
         if state is None or not self._blob_valid(state.definition,
                                                 request.license_blob):
-            return RenewResponse(status=Status.INVALID_LICENSE)
-        with state.lock:
-            if state.frozen:
-                return MigratingNotice(license_id=request.license_id)
-            definition = state.definition
-            if definition.revoked:
-                return RenewResponse(status=Status.REVOKED)
-            if definition.kind is LeaseKind.PERPETUAL:
-                # Perpetual leases are a binary activation: no unit
-                # accounting, no Algorithm 1 (Section 4.3).
-                return RenewResponse(
-                    status=Status.OK,
-                    granted_units=1,
-                    lease_kind=definition.kind.value,
-                    tick_seconds=definition.tick_seconds,
-                )
-            ledger = state.ledger
-            if ledger.available <= 0:
-                return RenewResponse(status=Status.EXHAUSTED)
+            return None, None, RenewResponse(status=Status.INVALID_LICENSE)
+        return client, state, None
 
-            requester = NodeCondition(
-                node_id=self._node_key(request.slid),
-                weight=request.weight,
-                network_reliability=request.network_reliability,
-                health=request.health,
-            )
-            concurrent = self._concurrent_conditions(ledger, requester)
-            decision = renew_lease(ledger, requester, concurrent, self.policy)
-            granted = decision.granted_units
-            if granted > 0 and self.grant_headroom is not None:
-                # Replication backpressure: never let un-replicated
-                # grants exceed the lag budget — what the follower might
-                # not know about is exactly what a promotion forfeits,
-                # so this clamp is what makes the loss bound hold.  A
-                # None headroom means the license has no live follower
-                # (nothing to lag behind): no clamp.
-                headroom = self.grant_headroom(
-                    request.license_id, decision.granted_units
-                )
-                if headroom is not None:
-                    granted = min(granted, headroom)
-            # renew_lease already recorded the full decision in the
-            # ledger; shrink it to the clamped grant before answering
-            # (all the way back to zero when backpressure denies it).
-            if granted < decision.granted_units:
-                key = self._node_key(request.slid)
-                remaining = (
-                    ledger.outstanding.get(key, 0)
-                    - (decision.granted_units - max(granted, 0))
-                )
-                if remaining > 0:
-                    ledger.outstanding[key] = remaining
-                else:
-                    ledger.outstanding.pop(key, None)
-            if granted <= 0:
-                return RenewResponse(status=Status.EXHAUSTED)
-            client.holdings[request.license_id] = (
-                client.holdings.get(request.license_id, 0) + granted
-            )
-            self._emit("grant", license_id=request.license_id,
-                       node_key=self._node_key(request.slid), units=granted)
-            # The durable ledger write, inside the critical section: the
-            # grant is not acknowledged until it cannot be lost.  With a
-            # WAL attached (commit_hook), the *real* fsync the observer
-            # just performed is charged against ``ledger_commit_seconds``
-            # and only the remainder (if any) is simulated — never both.
-            spent = self.commit_hook() if self.commit_hook is not None else 0.0
-            remainder = self.ledger_commit_seconds - spent
-            if remainder > 0:
-                time.sleep(remainder)
+    def _renew_locked(self, state: LicenseShardState, client: _ClientState,
+                      request: RenewRequest) -> Tuple[Any, bool]:
+        """Algorithm 1 under ``state.lock``, *without* the commit charge.
+
+        Returns ``(response, mutated)``; the caller owes one durable-
+        commit charge per critical section in which any member mutated
+        the ledger (one per renewal in :meth:`handle_renew`, one per
+        license group in :meth:`handle_renew_batch`).
+        """
+        if state.frozen:
+            return MigratingNotice(license_id=request.license_id), False
+        definition = state.definition
+        if definition.revoked:
+            return RenewResponse(status=Status.REVOKED), False
+        if definition.kind is LeaseKind.PERPETUAL:
+            # Perpetual leases are a binary activation: no unit
+            # accounting, no Algorithm 1 (Section 4.3).
             return RenewResponse(
                 status=Status.OK,
-                granted_units=granted,
+                granted_units=1,
                 lease_kind=definition.kind.value,
                 tick_seconds=definition.tick_seconds,
+            ), False
+        ledger = state.ledger
+        if ledger.available <= 0:
+            return RenewResponse(status=Status.EXHAUSTED), False
+
+        requester = NodeCondition(
+            node_id=self._node_key(request.slid),
+            weight=request.weight,
+            network_reliability=request.network_reliability,
+            health=request.health,
+        )
+        concurrent = self._concurrent_conditions(ledger, requester)
+        decision = renew_lease(ledger, requester, concurrent, self.policy)
+        granted = decision.granted_units
+        if granted > 0 and self.grant_headroom is not None:
+            # Replication backpressure: never let un-replicated
+            # grants exceed the lag budget — what the follower might
+            # not know about is exactly what a promotion forfeits,
+            # so this clamp is what makes the loss bound hold.  A
+            # None headroom means the license has no live follower
+            # (nothing to lag behind): no clamp.
+            headroom = self.grant_headroom(
+                request.license_id, decision.granted_units
             )
+            if headroom is not None:
+                granted = min(granted, headroom)
+        # renew_lease already recorded the full decision in the
+        # ledger; shrink it to the clamped grant before answering
+        # (all the way back to zero when backpressure denies it).
+        if granted < decision.granted_units:
+            key = self._node_key(request.slid)
+            remaining = (
+                ledger.outstanding.get(key, 0)
+                - (decision.granted_units - max(granted, 0))
+            )
+            if remaining > 0:
+                ledger.outstanding[key] = remaining
+            else:
+                ledger.outstanding.pop(key, None)
+        if granted <= 0:
+            return RenewResponse(status=Status.EXHAUSTED), False
+        client.holdings[request.license_id] = (
+            client.holdings.get(request.license_id, 0) + granted
+        )
+        self._emit("grant", license_id=request.license_id,
+                   node_key=self._node_key(request.slid), units=granted)
+        return RenewResponse(
+            status=Status.OK,
+            granted_units=granted,
+            lease_kind=definition.kind.value,
+            tick_seconds=definition.tick_seconds,
+        ), True
+
+    def _charge_commit(self) -> None:
+        """The durable ledger write, inside the critical section: a
+        grant is not acknowledged until it cannot be lost.  With a WAL
+        attached (commit_hook), the *real* fsync the observer just
+        performed is charged against ``ledger_commit_seconds`` and only
+        the remainder (if any) is simulated — never both."""
+        spent = self.commit_hook() if self.commit_hook is not None else 0.0
+        remainder = self.ledger_commit_seconds - spent
+        if remainder > 0:
+            time.sleep(remainder)
 
     def _concurrent_conditions(self, ledger: LicenseLedger,
                                requester: NodeCondition) -> List[NodeCondition]:

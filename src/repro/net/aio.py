@@ -60,8 +60,15 @@ from repro.net.errors import (
     RetriesExhausted,
     TransportError,
 )
-from repro.net.server import attach_server_stats, overload_frame
-from repro.net.transport import HandlerTable, Transport
+from repro.core.protocol import BatchRequest, BatchResponse
+from repro.net.server import (
+    ConnectionWire,
+    WireStats,
+    attach_server_stats,
+    negotiate_hello,
+    overload_frame,
+)
+from repro.net.transport import HandlerTable, RenewCoalescer, Transport
 from repro.net.network import NetworkConditions
 from repro.sgx.driver import SgxStats, ThreadSafeSgxStats
 from repro.sim.clock import Clock, ThreadSafeClock, seconds_to_cycles
@@ -88,11 +95,17 @@ class AsyncLeaseServer:
                  accept_backlog: int = 128,
                  max_workers: int = 8,
                  max_connections: Optional[int] = None,
-                 extra_handlers=None) -> None:
+                 extra_handlers=None,
+                 wire: int = codec.WIRE_V3) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be at least 1")
+        if wire not in codec.SUPPORTED_WIRE_VERSIONS:
+            raise ValueError(
+                f"unknown wire version {wire!r}; supported: "
+                f"{codec.SUPPORTED_WIRE_VERSIONS}"
+            )
         self.remote = remote
         self.handlers = HandlerTable(remote.protocol_handlers())
         for method, handler in (extra_handlers or {}).items():
@@ -104,6 +117,10 @@ class AsyncLeaseServer:
         self.accept_backlog = accept_backlog
         self.max_workers = max_workers
         self.max_connections = max_connections
+        #: Negotiation ceiling: the highest wire version this server
+        #: will agree to in a hello exchange.
+        self.wire = wire
+        self.wire_stats = WireStats()
         self.requests_served = 0
         self.errors_returned = 0
         self.connections_accepted = 0
@@ -236,6 +253,7 @@ class AsyncLeaseServer:
             self._conn_tasks.add(this_task)
         write_lock = asyncio.Lock()
         in_flight: set = set()
+        conn_wire = ConnectionWire()
         try:
             while True:
                 try:
@@ -244,18 +262,58 @@ class AsyncLeaseServer:
                 except (asyncio.IncompleteReadError, ConnectionError,
                         OSError, codec.CodecError):
                     return  # peer gone or stream corrupt beyond recovery
+                self.wire_stats.note_decoded(
+                    len(data) + codec.FRAME_HEADER.size
+                )
+                # Replies speak whatever format the request arrived in
+                # (same contract as the threaded server).
+                reply_version = (codec.WIRE_V3 if codec.is_binary_frame(data)
+                                 else codec.WIRE_VERSION)
                 try:
                     method, payload, request_id, meta = \
                         codec.decode_request_envelope(data)
                 except codec.CodecError as exc:
                     self.errors_returned += 1
                     await self._write(writer, write_lock, codec.encode_error(
-                        f"{type(exc).__name__}: {exc}", 0
+                        f"{type(exc).__name__}: {exc}", 0,
+                        version=reply_version,
                     ))
                     continue
                 corr = meta.get(codec.CORRELATION_KEY)
+                if method == codec.HELLO_METHOD:
+                    # Negotiation is pure loop-side state — answer inline
+                    # without burning an executor slot.
+                    hello_meta = ({codec.CORRELATION_KEY: corr}
+                                  if corr is not None else None)
+                    try:
+                        response = negotiate_hello(
+                            payload, self.wire, conn_wire, self.wire_stats
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        self.errors_returned += 1
+                        reply = codec.encode_error(
+                            f"{type(exc).__name__}: {exc}", request_id,
+                            meta=hello_meta, version=reply_version,
+                        )
+                    else:
+                        self.requests_served += 1
+                        reply = codec.encode_response(
+                            response, request_id,
+                            meta=hello_meta, version=reply_version,
+                        )
+                    await self._write(writer, write_lock, reply)
+                    continue
+                if not conn_wire.recorded:
+                    # First lease frame from a peer that skipped
+                    # negotiation: record the version it is observed
+                    # speaking.
+                    conn_wire.record(self.wire_stats,
+                                     codec.wire_version_of(data))
+                if method == "renew_batch" and hasattr(payload, "requests"):
+                    self.wire_stats.note_batch(len(payload.requests))
                 handling = self._respond(
-                    method, payload, request_id, corr, writer, write_lock
+                    method, payload, request_id, corr, writer, write_lock,
+                    reply_version,
                 )
                 if corr is None:
                     # Strict-ordered mode: a peer that did not tag the
@@ -281,7 +339,8 @@ class AsyncLeaseServer:
 
     async def _respond(self, method: str, payload: Any, request_id: int,
                        corr: Optional[Any], writer: asyncio.StreamWriter,
-                       write_lock: asyncio.Lock) -> None:
+                       write_lock: asyncio.Lock,
+                       reply_version: int = codec.WIRE_VERSION) -> None:
         meta = {codec.CORRELATION_KEY: corr} if corr is not None else None
         try:
             response = await asyncio.get_running_loop().run_in_executor(
@@ -290,11 +349,13 @@ class AsyncLeaseServer:
         except Exception as exc:  # noqa: BLE001 - every fault becomes a wire error
             self.errors_returned += 1
             reply = codec.encode_error(
-                f"{type(exc).__name__}: {exc}", request_id, meta=meta
+                f"{type(exc).__name__}: {exc}", request_id, meta=meta,
+                version=reply_version,
             )
         else:
             self.requests_served += 1
-            reply = codec.encode_response(response, request_id, meta=meta)
+            reply = codec.encode_response(response, request_id, meta=meta,
+                                          version=reply_version)
         await self._write(writer, write_lock, reply)
 
     def _dispatch(self, method: str, payload: Any):
@@ -303,12 +364,13 @@ class AsyncLeaseServer:
             method, payload, clock=self.clock, stats=self.stats
         )
 
-    @staticmethod
-    async def _write(writer: asyncio.StreamWriter, write_lock: asyncio.Lock,
-                     reply: bytes) -> None:
+    async def _write(self, writer: asyncio.StreamWriter,
+                     write_lock: asyncio.Lock, reply: bytes) -> None:
+        framed = codec.frame(reply)
+        self.wire_stats.note_encoded(len(framed))
         async with write_lock:
             try:
-                writer.write(codec.frame(reply))
+                writer.write(framed)
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass  # peer vanished between dispatch and reply
@@ -409,6 +471,21 @@ class AsyncTcpTransport(Transport):
         self.messages_dropped = 0
         self.reconnects = 0
         self._closed = False
+        #: Preferred wire version; the connection's actual version is
+        #: negotiated on dial and recorded in ``negotiated_wire``.
+        self.wire = getattr(config, "wire", codec.WIRE_VERSION)
+        self.negotiated_wire: Optional[int] = None
+        #: Per-frame link accounting: every physical frame is charged
+        #: once with its actual serialized length, so a batch of N
+        #: coalesced renewals bills one frame, not N messages.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        window = getattr(config, "batch_window", 0.0)
+        self.coalescer: Optional[RenewCoalescer] = (
+            RenewCoalescer(window) if window > 0 else None
+        )
 
     # -- the round trip (caller thread) --------------------------------
     def request(self, method: str, payload: object,
@@ -421,14 +498,44 @@ class AsyncTcpTransport(Transport):
             )
         if self._closed:
             raise TransportError("transport is closed")
+        if method == "renew" and self.coalescer is not None:
+            # The caller's own virtual RTT, then one seat in the shared
+            # frame; the leader's send path skips its per-call RTT so the
+            # frame itself is never double-billed.
+            clock.advance(
+                seconds_to_cycles(self.conditions.round_trip_seconds)
+            )
+            return self.coalescer.submit(
+                payload, lambda batch: self._send_batch(batch, clock, stats)
+            )
+        return self._request_single(method, payload, clock, stats)
+
+    def _send_batch(self, payloads: list, clock: Clock,
+                    stats: Optional[SgxStats]):
+        response = self._request_single(
+            "renew_batch", BatchRequest(requests=tuple(payloads)),
+            clock, stats, charge_rtt=False,
+        )
+        if not isinstance(response, BatchResponse) \
+                or len(response.responses) != len(payloads):
+            raise TransportError(
+                f"malformed batch response for {len(payloads)} renewals: "
+                f"{type(response).__name__}"
+            )
+        return list(response.responses)
+
+    def _request_single(self, method: str, payload: object,
+                        clock: Clock, stats: Optional[SgxStats],
+                        charge_rtt: bool = True):
         loop = self._ensure_loop()
         last_error: Optional[Exception] = None
         for attempt in range(1, self.max_attempts + 1):
             # Virtual accounting first: a lost/timed-out request is
             # detected a full RTT later, same as SimulatedLink.
-            clock.advance(
-                seconds_to_cycles(self.conditions.round_trip_seconds)
-            )
+            if charge_rtt or attempt > 1:
+                clock.advance(
+                    seconds_to_cycles(self.conditions.round_trip_seconds)
+                )
             with self._counters_lock:
                 self.messages_sent += 1
             future = asyncio.run_coroutine_threadsafe(
@@ -487,12 +594,19 @@ class AsyncTcpTransport(Transport):
         self._next_corr += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[corr] = future
+        version = self.negotiated_wire or codec.WIRE_VERSION
+        frame = codec.frame(codec.encode_request(
+            method, payload, corr, version=version,
+            meta={codec.CORRELATION_KEY: corr},
+        ))
         try:
             try:
-                writer.write(codec.frame(codec.encode_request(
-                    method, payload, corr, meta={codec.CORRELATION_KEY: corr}
-                )))
+                writer.write(frame)
                 await writer.drain()
+                # One physical frame = one charge, whatever it coalesces.
+                with self._counters_lock:
+                    self.bytes_sent += len(frame)
+                    self.frames_sent += 1
             except (ConnectionError, OSError) as exc:
                 # The socket died under the write: drop it now so the
                 # caller's next attempt re-dials instead of re-failing.
@@ -541,6 +655,16 @@ class AsyncTcpTransport(Transport):
                     with self._counters_lock:
                         self.reconnects += 1
                 self._ever_connected = True
+                # Negotiate before the reader loop exists: the hello
+                # reply is the only frame ever read outside it.
+                try:
+                    self.negotiated_wire = await self._negotiate(
+                        reader, writer
+                    )
+                except (ConnectionError, OSError, EOFError,
+                        codec.CodecError, Overloaded) as exc:
+                    await self._teardown(exc)
+                    raise
                 self._reader_task = asyncio.get_running_loop().create_task(
                     self._reader_loop(reader)
                 )
@@ -552,12 +676,56 @@ class AsyncTcpTransport(Transport):
                 attempts=self.reconnect_attempts,
             )
 
+    async def _negotiate(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> int:
+        """First exchange on a fresh connection: agree on a wire version.
+
+        Mirrors :meth:`~repro.net.transport.TcpTransport._negotiate`: a
+        preference below v3 skips the hello; a server without a hello
+        handler answers with an unknown-method error, which
+        down-negotiates to v2 JSON.
+        """
+        if self.wire < codec.WIRE_V3:
+            return self.wire
+        frame = codec.frame(codec.encode_request(
+            codec.HELLO_METHOD, codec.hello_payload(self.wire)
+        ))
+        writer.write(frame)
+        await writer.drain()
+        with self._counters_lock:
+            self.bytes_sent += len(frame)
+            self.frames_sent += 1
+        header = await asyncio.wait_for(
+            reader.readexactly(codec.FRAME_HEADER.size),
+            timeout=self.timeout_seconds,
+        )
+        data = await asyncio.wait_for(
+            reader.readexactly(codec.frame_length(header)),
+            timeout=self.timeout_seconds,
+        )
+        with self._counters_lock:
+            self.bytes_received += len(data) + codec.FRAME_HEADER.size
+            self.frames_received += 1
+        reply = codec.decode_reply(data)
+        if reply.kind == "error":
+            if reply.meta.get("overloaded"):
+                raise Overloaded(reply.error or "server overloaded")
+            return codec.WIRE_VERSION  # pre-negotiation server: speak JSON
+        chosen = reply.payload.get("wire") \
+            if isinstance(reply.payload, dict) else None
+        if chosen not in codec.SUPPORTED_WIRE_VERSIONS:
+            raise codec.CodecError(f"server negotiated bogus wire {chosen!r}")
+        return chosen
+
     async def _reader_loop(self, reader: asyncio.StreamReader) -> None:
         """Route incoming frames to whichever caller they correlate to."""
         try:
             while True:
                 header = await reader.readexactly(codec.FRAME_HEADER.size)
                 data = await reader.readexactly(codec.frame_length(header))
+                with self._counters_lock:
+                    self.bytes_received += len(data) + codec.FRAME_HEADER.size
+                    self.frames_received += 1
                 reply = codec.decode_reply(data)
                 # A pipelining server echoes our tag; a strict-ordered
                 # (v1) peer omits it but echoes the request id, which we

@@ -6,27 +6,44 @@ bytes and rebuilt on the far side: each protocol dataclass implements
 wraps those payloads in versioned envelopes plus length-prefixed frames
 for stream transports.
 
+The codec is a **per-connection negotiated format registry**: v1/v2 are
+JSON envelopes (v2 adds free-form metadata), v3 is a length-prefixed
+binary format — struct-packed envelope header, raw bytes instead of
+hex, and per-dataclass field tables so a ``RenewRequest`` travels as
+packed values, not repeated key strings.  Peers pick a version during
+the first exchange on a connection (:data:`HELLO_METHOD`); the sniffing
+decoders (:func:`decode_request_envelope` / :func:`decode_reply`)
+accept whichever format arrives, so a server can serve a mixed-version
+fleet on one port.
+
 The codec is deliberately strict:
 
-* every envelope carries ``WIRE_VERSION``; a peer speaking a different
+* every envelope carries its wire version; a peer speaking an unknown
   version is rejected up front instead of mis-parsing fields;
 * only registered message types decode (no pickle, no arbitrary code) —
   the untrusted network may corrupt a lease request but cannot smuggle
   objects into the enclave simulation;
-* byte strings travel as hex, so a frame is printable JSON end to end.
+* in v1/v2, byte strings travel as hex, so a frame is printable JSON
+  end to end; v3 frames carry a CRC-32 over the whole envelope, so a
+  flipped or missing byte raises :class:`CodecError` instead of
+  mis-parsing.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import json
 import struct
+import zlib
 from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 from repro.core.gcl import LeaseKind
 from repro.core.protocol import (
     AttestRequest,
     AttestResponse,
+    BatchRequest,
+    BatchResponse,
     InitRequest,
     InitResponse,
     MigratingNotice,
@@ -45,11 +62,32 @@ from repro.sgx.attestation import AttestationReport
 #: envelope keys so the client and server can upgrade independently.
 WIRE_VERSION = 2
 
-#: Envelope versions this decoder still accepts.  v1 envelopes carry the
-#: same required keys as v2, so a v2 peer interoperates with a v1 peer
-#: in both directions as long as the v2 side *emits* v1 when talking
-#: down (``encode_request(..., version=1)``).
-SUPPORTED_WIRE_VERSIONS = (1, 2)
+#: The binary wire revision: length-prefixed frames with a struct-packed
+#: envelope header, CRC-32 integrity, raw byte strings, and field-table
+#: packing for protocol dataclasses.  Never emitted unnegotiated — a
+#: client proposes it via :data:`HELLO_METHOD` first.
+WIRE_V3 = 3
+
+#: Wire versions this decoder accepts, across both formats.  v1
+#: envelopes carry the same required keys as v2, so a v2 peer
+#: interoperates with a v1 peer in both directions as long as the v2
+#: side *emits* v1 when talking down (``encode_request(..., version=1)``);
+#: v3 frames are self-describing binary and sniffed by leading magic.
+SUPPORTED_WIRE_VERSIONS = (1, 2, 3)
+
+#: The subset of versions that are JSON envelopes.  A JSON envelope
+#: claiming ``v: 3`` is rejected — v3 is binary-framed only, so a
+#: mislabeled envelope cannot masquerade as the negotiated format.
+JSON_WIRE_VERSIONS = (1, 2)
+
+#: Reserved method name for wire-version negotiation.  The first
+#: exchange on a TCP connection may be a v2-JSON request to this method
+#: with ``{"supported": [...], "preferred": n}``; the server answers
+#: ``{"wire": chosen}`` and records the choice for that connection.
+#: Servers that predate negotiation answer with an unknown-method
+#: error, which clients treat as "speak v2" — down-negotiation costs
+#: one round-trip and never strands a connection.
+HELLO_METHOD = "_wire_hello"
 
 #: Envelope keys with fixed meaning; everything else in a v2 envelope is
 #: free-form metadata (routing hints, correlation ids) that a peer may
@@ -88,6 +126,8 @@ MESSAGE_TYPES = {
         InitResponse,
         RenewRequest,
         RenewResponse,
+        BatchRequest,
+        BatchResponse,
         ShutdownNotice,
         MigratingNotice,
         AttestRequest,
@@ -181,9 +221,9 @@ def decode_payload(data: Any) -> Any:
 # Envelopes
 # ----------------------------------------------------------------------
 def _check_version(version: int) -> int:
-    if version not in SUPPORTED_WIRE_VERSIONS:
+    if version not in JSON_WIRE_VERSIONS:
         raise CodecError(
-            f"cannot emit wire version {version!r}; "
+            f"cannot emit wire version {version!r} as a JSON envelope; "
             f"supported: {SUPPORTED_WIRE_VERSIONS}"
         )
     return version
@@ -214,12 +254,16 @@ def encode_request(method: str, payload: Any, request_id: int = 0,
                    meta: Optional[Dict[str, Any]] = None) -> bytes:
     """A versioned request envelope carrying one protocol message.
 
-    ``version`` selects the emitted envelope revision (a v2 peer talks
-    down to a v1 server by emitting 1); ``meta`` attaches v2 routing
+    ``version`` selects the emitted wire revision (a v2 peer talks
+    down to a v1 server by emitting 1; a negotiated connection emits
+    :data:`WIRE_V3` binary frames); ``meta`` attaches v2+ routing
     metadata (e.g. ``{"shard": "shard-2"}`` or a pipelining
     ``{CORRELATION_KEY: n}``) that decoders ignore unless they route
     on it.
     """
+    if version == WIRE_V3:
+        return _encode_v3("request", request_id, meta,
+                          method=method, body=payload)
     envelope: Dict[str, Any] = {
         "v": _check_version(version),
         "kind": "request",
@@ -242,8 +286,15 @@ def decode_request_envelope(data: bytes) -> Tuple[str, Any, int, Dict[str, Any]]
 
     ``meta`` is the envelope's free-form metadata — empty for v1 peers,
     which is exactly how a pipelining server knows to answer a client in
-    strict request order.
+    strict request order.  Accepts both formats: binary v3 frames are
+    sniffed by their leading magic byte, everything else is parsed as a
+    JSON envelope.
     """
+    if is_binary_frame(data):
+        kind, request_id, meta, method, body, _error = _decode_v3(data)
+        if kind != "request":
+            raise CodecError(f"expected a request, got {kind!r}")
+        return method, body, request_id, meta
     envelope = _load_envelope(data, expected_kind="request")
     method = envelope.get("method")
     if not isinstance(method, str):
@@ -255,6 +306,8 @@ def decode_request_envelope(data: bytes) -> Tuple[str, Any, int, Dict[str, Any]]
 def encode_response(payload: Any, request_id: int = 0,
                     version: int = WIRE_VERSION,
                     meta: Optional[Dict[str, Any]] = None) -> bytes:
+    if version == WIRE_V3:
+        return _encode_v3("response", request_id, meta, body=payload)
     envelope: Dict[str, Any] = {
         "v": _check_version(version),
         "kind": "response",
@@ -268,6 +321,8 @@ def encode_response(payload: Any, request_id: int = 0,
 def encode_error(message: str, request_id: int = 0,
                  version: int = WIRE_VERSION,
                  meta: Optional[Dict[str, Any]] = None) -> bytes:
+    if version == WIRE_V3:
+        return _encode_v3("error", request_id, meta, error=message)
     envelope: Dict[str, Any] = {
         "v": _check_version(version),
         "kind": "error",
@@ -300,7 +355,21 @@ class WireReply(NamedTuple):
 
 
 def decode_reply(data: bytes) -> WireReply:
-    """Decode a response **or** error envelope without raising on errors."""
+    """Decode a response **or** error envelope without raising on errors.
+
+    Sniffs the format: binary v3 frames and JSON envelopes both decode
+    to the same :class:`WireReply`.
+    """
+    if is_binary_frame(data):
+        kind, request_id, meta, _method, body, error = _decode_v3(data)
+        if kind == "error":
+            return WireReply(kind="error", payload=None,
+                             error=error or "unspecified remote error",
+                             request_id=request_id, meta=meta)
+        if kind != "response":
+            raise CodecError(f"expected a response, got {kind!r}")
+        return WireReply(kind="response", payload=body, error=None,
+                         request_id=request_id, meta=meta)
     envelope = _load_envelope(data)
     kind = envelope["kind"]
     if kind == "error":
@@ -333,13 +402,15 @@ def _load_envelope(data: bytes, expected_kind: str = "") -> Dict[str, Any]:
     if not isinstance(envelope, dict):
         raise CodecError("envelope must be a JSON object")
     version = envelope.get("v")
-    if version not in SUPPORTED_WIRE_VERSIONS:
-        # Bump-tolerant decoding: every still-supported revision is
+    if version not in JSON_WIRE_VERSIONS:
+        # Bump-tolerant decoding: every still-supported JSON revision is
         # accepted (v1 envelopes are a strict subset of v2), so peers
-        # upgrade independently; anything else is rejected up front.
+        # upgrade independently; anything else — including a JSON
+        # envelope claiming the binary-only v3 — is rejected up front.
         raise CodecError(
             f"wire version mismatch: got {version!r}, "
-            f"speak {SUPPORTED_WIRE_VERSIONS}"
+            f"speak {JSON_WIRE_VERSIONS} in JSON envelopes "
+            f"(v{WIRE_V3} is binary-framed)"
         )
     kind = envelope.get("kind")
     if kind not in ("request", "response", "error"):
@@ -347,6 +418,324 @@ def _load_envelope(data: bytes, expected_kind: str = "") -> Dict[str, Any]:
     if expected_kind and kind != expected_kind:
         raise CodecError(f"expected a {expected_kind}, got {kind!r}")
     return envelope
+
+
+# ----------------------------------------------------------------------
+# Wire v3: struct-packed binary envelopes with field-table payloads
+# ----------------------------------------------------------------------
+#: First byte of every v3 frame.  JSON envelopes always start with
+#: ``{`` (0x7B), so one byte disambiguates the formats on a shared port.
+V3_MAGIC = 0xB3
+
+#: Fixed envelope prefix: magic byte + CRC-32 of everything after it.
+#: The CRC is what turns "corrupt frame" into a typed :class:`CodecError`
+#: instead of a silently mis-parsed value — any single flipped byte or
+#: truncated tail fails the checksum before field decoding even starts.
+_V3_PREFIX = struct.Struct(">BI")
+
+#: Envelope body prefix inside the CRC region: kind code + request id.
+_V3_BODY = struct.Struct(">BQ")
+
+_V3_KIND_CODES = {"request": 0, "response": 1, "error": 2}
+_V3_KIND_NAMES = {code: kind for kind, code in _V3_KIND_CODES.items()}
+
+# Value tags for the recursive binary payload encoding.
+_T_NONE, _T_FALSE, _T_TRUE = 0x00, 0x01, 0x02
+_T_INT, _T_FLOAT, _T_STR, _T_BYTES = 0x03, 0x04, 0x05, 0x06
+_T_LIST, _T_TUPLE, _T_MAP = 0x07, 0x08, 0x09
+_T_ENUM, _T_MSG, _T_MSG_WIRE = 0x0A, 0x0B, 0x0C
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+#: Message name -> ordered field names, for dataclass messages.  The
+#: field table is the v3 answer to JSON's repeated key strings: both
+#: sides derive the same column order from the dataclass definition, so
+#: only *values* travel.  Non-dataclass messages (none today, but the
+#: registry is open) fall back to shipping their ``to_wire()`` dict.
+_FIELD_TABLES: Dict[str, Tuple[str, ...]] = {}
+
+
+def _field_table(cls) -> Optional[Tuple[str, ...]]:
+    table = _FIELD_TABLES.get(cls.__name__)
+    if table is None and dataclasses.is_dataclass(cls):
+        table = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_TABLES[cls.__name__] = table
+    return table
+
+
+def _write_str(buf: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    buf += _U32.pack(len(raw))
+    buf += raw
+
+
+def _write_value(buf: bytearray, obj: Any) -> None:
+    if obj is None:
+        buf.append(_T_NONE)
+    elif obj is True:
+        buf.append(_T_TRUE)
+    elif obj is False:
+        buf.append(_T_FALSE)
+    elif isinstance(obj, int) and not isinstance(obj, bool):
+        length = (obj.bit_length() + 8) // 8 or 1
+        if length > 0xFFFF:
+            raise CodecError(f"integer of {length} bytes is not wire-encodable")
+        buf.append(_T_INT)
+        buf += _U16.pack(length)
+        buf += obj.to_bytes(length, "big", signed=True)
+    elif isinstance(obj, float):
+        buf.append(_T_FLOAT)
+        buf += _F64.pack(obj)
+    elif isinstance(obj, str):
+        buf.append(_T_STR)
+        _write_str(buf, obj)
+    elif isinstance(obj, bytes):
+        buf.append(_T_BYTES)
+        buf += _U32.pack(len(obj))
+        buf += obj
+    elif isinstance(obj, (list, tuple)):
+        buf.append(_T_TUPLE if isinstance(obj, tuple) else _T_LIST)
+        buf += _U32.pack(len(obj))
+        for item in obj:
+            _write_value(buf, item)
+    elif isinstance(obj, dict):
+        buf.append(_T_MAP)
+        buf += _U32.pack(len(obj))
+        for key, value in obj.items():
+            _write_value(buf, key)
+            _write_value(buf, value)
+    elif isinstance(obj, enum.Enum):
+        name = type(obj).__name__
+        if name not in ENUM_TYPES:
+            raise CodecError(f"enum {name} is not wire-encodable")
+        buf.append(_T_ENUM)
+        _write_str(buf, name)
+        _write_value(buf, obj.value)
+    else:
+        name = type(obj).__name__
+        if name not in MESSAGE_TYPES or not hasattr(obj, "to_wire"):
+            raise CodecError(f"object of type {name} is not wire-encodable")
+        table = _field_table(type(obj))
+        if table is not None:
+            buf.append(_T_MSG)
+            _write_str(buf, name)
+            buf += _U8.pack(len(table))
+            for field_name in table:
+                _write_value(buf, getattr(obj, field_name))
+        else:
+            buf.append(_T_MSG_WIRE)
+            _write_str(buf, name)
+            _write_value(buf, obj.to_wire())
+
+
+class _Reader:
+    """Bounds-checked cursor over a v3 envelope body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if count < 0 or end > len(self.data):
+            raise CodecError(
+                f"truncated v3 frame: wanted {count} bytes at offset "
+                f"{self.pos}, have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def read_str(self) -> str:
+        (length,) = _U32.unpack(self.take(_U32.size))
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"undecodable v3 string: {exc}") from exc
+
+    def read_value(self, depth: int = 0) -> Any:
+        if depth > 64:
+            raise CodecError("v3 payload nests too deeply")
+        (tag,) = self.take(1)
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            (length,) = _U16.unpack(self.take(_U16.size))
+            return int.from_bytes(self.take(length), "big", signed=True)
+        if tag == _T_FLOAT:
+            (value,) = _F64.unpack(self.take(_F64.size))
+            return value
+        if tag == _T_STR:
+            return self.read_str()
+        if tag == _T_BYTES:
+            (length,) = _U32.unpack(self.take(_U32.size))
+            return self.take(length)
+        if tag in (_T_LIST, _T_TUPLE):
+            (count,) = _U32.unpack(self.take(_U32.size))
+            items = [self.read_value(depth + 1) for _ in range(count)]
+            return tuple(items) if tag == _T_TUPLE else items
+        if tag == _T_MAP:
+            (count,) = _U32.unpack(self.take(_U32.size))
+            return {self.read_value(depth + 1): self.read_value(depth + 1)
+                    for _ in range(count)}
+        if tag == _T_ENUM:
+            name = self.read_str()
+            cls = ENUM_TYPES.get(name)
+            value = self.read_value(depth + 1)
+            if cls is None:
+                raise CodecError(f"unknown enum type {name!r}")
+            try:
+                return cls(value)
+            except ValueError as exc:
+                raise CodecError(f"bad {name} value {value!r}") from exc
+        if tag == _T_MSG:
+            name = self.read_str()
+            cls = MESSAGE_TYPES.get(name)
+            if cls is None:
+                raise CodecError(f"unknown message type {name!r}")
+            table = _field_table(cls)
+            (count,) = _U8.unpack(self.take(_U8.size))
+            if table is None or count != len(table):
+                raise CodecError(
+                    f"field table mismatch for {name}: frame has {count} "
+                    f"fields, this side expects "
+                    f"{len(table) if table else 'a wire dict'}"
+                )
+            values = [self.read_value(depth + 1) for _ in range(count)]
+            try:
+                return cls(**dict(zip(table, values)))
+            except (TypeError, ValueError) as exc:
+                raise CodecError(f"bad {name} fields: {exc}") from exc
+        if tag == _T_MSG_WIRE:
+            name = self.read_str()
+            cls = MESSAGE_TYPES.get(name)
+            if cls is None:
+                raise CodecError(f"unknown message type {name!r}")
+            fields = self.read_value(depth + 1)
+            if not isinstance(fields, dict):
+                raise CodecError(f"malformed wire dict for {name}")
+            try:
+                return cls.from_wire(fields)
+            except (TypeError, ValueError, KeyError) as exc:
+                raise CodecError(f"bad {name} fields: {exc}") from exc
+        raise CodecError(f"unknown v3 value tag {tag:#x}")
+
+
+def _encode_v3(kind: str, request_id: int, meta: Optional[Dict[str, Any]],
+               method: Optional[str] = None, body: Any = None,
+               error: Optional[str] = None) -> bytes:
+    if meta:
+        clobbered = RESERVED_ENVELOPE_KEYS.intersection(meta)
+        if clobbered:
+            raise CodecError(
+                f"metadata may not override reserved envelope keys: "
+                f"{sorted(clobbered)}"
+            )
+    buf = bytearray(_V3_BODY.size)
+    try:
+        _V3_BODY.pack_into(buf, 0, _V3_KIND_CODES[kind], request_id)
+    except struct.error as exc:
+        raise CodecError(f"bad v3 request id {request_id!r}: {exc}") from exc
+    _write_value(buf, dict(meta) if meta else {})
+    if kind == "request":
+        _write_value(buf, method)
+        _write_value(buf, body)
+    elif kind == "response":
+        _write_value(buf, body)
+    else:
+        _write_value(buf, error)
+    return _V3_PREFIX.pack(V3_MAGIC, zlib.crc32(buf) & 0xFFFFFFFF) + buf
+
+
+def _decode_v3(data: bytes) -> Tuple[str, int, Dict[str, Any],
+                                     Optional[str], Any, Optional[str]]:
+    """Returns ``(kind, request_id, meta, method, body, error)``."""
+    if len(data) < _V3_PREFIX.size + _V3_BODY.size:
+        raise CodecError(f"truncated v3 frame: {len(data)} bytes")
+    magic, crc = _V3_PREFIX.unpack_from(data, 0)
+    region = data[_V3_PREFIX.size:]
+    if zlib.crc32(region) & 0xFFFFFFFF != crc:
+        raise CodecError("v3 frame checksum mismatch (corrupt or truncated)")
+    kind_code, request_id = _V3_BODY.unpack_from(region, 0)
+    kind = _V3_KIND_NAMES.get(kind_code)
+    if kind is None:
+        raise CodecError(f"unknown v3 envelope kind {kind_code:#x}")
+    reader = _Reader(region)
+    reader.pos = _V3_BODY.size
+    meta = reader.read_value()
+    if not isinstance(meta, dict):
+        raise CodecError("v3 envelope metadata must be a map")
+    method = body = error = None
+    if kind == "request":
+        method = reader.read_value()
+        if not isinstance(method, str):
+            raise CodecError("request envelope missing method")
+        body = reader.read_value()
+    elif kind == "response":
+        body = reader.read_value()
+    else:
+        error = reader.read_value()
+        if not isinstance(error, str):
+            raise CodecError("v3 error envelope missing message")
+    if reader.pos != len(region):
+        raise CodecError(
+            f"v3 frame has {len(region) - reader.pos} trailing bytes"
+        )
+    return kind, request_id, meta, method, body, error
+
+
+def is_binary_frame(data: bytes) -> bool:
+    """True when ``data`` is a v3 binary envelope (sniffed by magic)."""
+    return bool(data) and data[0] == V3_MAGIC
+
+
+def wire_version_of(data: bytes) -> int:
+    """The wire version a serialized envelope speaks (3 for binary)."""
+    if is_binary_frame(data):
+        return WIRE_V3
+    return int(_load_envelope(data).get("v", 0))
+
+
+# ----------------------------------------------------------------------
+# Negotiation
+# ----------------------------------------------------------------------
+def hello_payload(preferred: int = WIRE_V3) -> Dict[str, Any]:
+    """The client side of the first-exchange version negotiation."""
+    supported = [v for v in SUPPORTED_WIRE_VERSIONS if v <= preferred]
+    if not supported:
+        raise CodecError(f"cannot negotiate from wire version {preferred!r}")
+    return {"supported": supported, "preferred": preferred}
+
+
+def choose_wire_version(offered, ceiling: Optional[int] = None) -> int:
+    """Server-side pick: the highest mutually supported version.
+
+    ``ceiling`` caps the server's willingness (``--wire 2`` keeps a
+    fleet on JSON during a staged rollout); an empty intersection is a
+    :class:`CodecError`, answered to the client as an error envelope.
+    """
+    try:
+        common = [int(v) for v in offered
+                  if int(v) in SUPPORTED_WIRE_VERSIONS
+                  and (ceiling is None or int(v) <= ceiling)]
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed hello offer {offered!r}") from exc
+    if not common:
+        raise CodecError(
+            f"no common wire version: offered {offered!r}, "
+            f"speak {SUPPORTED_WIRE_VERSIONS}"
+            + (f" capped at {ceiling}" if ceiling is not None else "")
+        )
+    return max(common)
 
 
 # ----------------------------------------------------------------------

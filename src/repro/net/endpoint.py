@@ -60,6 +60,13 @@ class EndpointConfig:
     ``data_dir`` makes a *loopback* endpoint's remote durable (recover
     on connect, journal from then on); socket schemes reject it — the
     server process owns its own ``--data-dir``.
+
+    ``wire`` is the *preferred* wire version: socket transports propose
+    it during the first exchange on each connection and speak whatever
+    the server picks (``wire=2`` pins a client to JSON envelopes).
+    ``batch_window > 0`` turns on renewal coalescing: concurrent
+    ``renew`` calls that land on one transport within the window travel
+    as a single ``BatchRequest`` frame.
     """
 
     timeout_seconds: float = 5.0
@@ -72,6 +79,8 @@ class EndpointConfig:
     migrate_retries: int = 40
     replicas: int = 0
     data_dir: Optional[str] = None
+    wire: int = 3
+    batch_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -92,6 +101,12 @@ class EndpointConfig:
             raise ValueError("migrate_retries must be >= 0")
         if self.replicas < 0:
             raise ValueError("replicas must be >= 0")
+        if self.wire not in (1, 2, 3):
+            raise ValueError(
+                f"unknown wire version {self.wire!r}; choose 1, 2, or 3"
+            )
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
 
     def replace(self, **overrides) -> "EndpointConfig":
         """A copy with ``overrides`` applied (re-validated)."""
@@ -111,6 +126,8 @@ _QUERY_FIELDS = {
     "migrate_retries": ("migrate_retries", int),
     "replicas": ("replicas", int),
     "data_dir": ("data_dir", str),
+    "wire": ("wire", int),
+    "batch_window": ("batch_window", float),
 }
 
 

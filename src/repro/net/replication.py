@@ -310,6 +310,7 @@ class ReplicationSource:
         self.batches_sent = 0
         self.snapshots_sent = 0
         self.deltas_dropped = 0
+        self.deltas_coalesced = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         remote.add_observer(self._observe)
@@ -434,6 +435,36 @@ class ReplicationSource:
         follower = self.follower_for(license_id)
         return [follower] if follower in self.peers else []
 
+    @staticmethod
+    def _coalesce(deltas: List[ReplicaDelta]) -> List[ReplicaDelta]:
+        """Collapse adjacent same-cursor unit deltas before shipping.
+
+        A coalesced renewal batch journals runs of grants for the same
+        ``(license_id, node_key)`` back to back; the follower applies
+        unit deltas additively and advances by the batch's last seq, so
+        an adjacent run ships as **one** delta carrying the summed
+        units under the run's final seq.  Only ``grant``/``return``
+        runs with identical routing keys merge — same-cursor order is
+        what the follower's clamp depends on, and any other event
+        (issue, revoke, writeoff, escrow, ...) is a barrier.
+        """
+        merged: List[ReplicaDelta] = []
+        for delta in deltas:
+            if merged and delta.event in ("grant", "return"):
+                prev = merged[-1]
+                if (prev.event == delta.event
+                        and prev.fields.get("license_id")
+                        == delta.fields.get("license_id")
+                        and prev.fields.get("node_key")
+                        == delta.fields.get("node_key")):
+                    fields = dict(prev.fields)
+                    fields["units"] = (fields.get("units", 0)
+                                       + delta.fields.get("units", 0))
+                    merged[-1] = ReplicaDelta(delta.seq, delta.event, fields)
+                    continue
+            merged.append(delta)
+        return merged
+
     def flush_now(self) -> None:
         """Drain pending deltas and ship one batch per follower."""
         with self._lock:
@@ -441,6 +472,9 @@ class ReplicationSource:
             self._pending.clear()
         if not drained:
             return
+        coalesced = self._coalesce(drained)
+        self.deltas_coalesced += len(drained) - len(coalesced)
+        drained = coalesced
         per_peer: Dict[str, List[ReplicaDelta]] = {}
         for delta in drained:
             for peer_name in self._route(delta):

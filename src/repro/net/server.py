@@ -56,17 +56,114 @@ def overload_frame() -> bytes:
     ))
 
 
+class WireStats:
+    """Codec/transport counters shared by both server IO backends.
+
+    Everything the wire-format benchmark needs to report honestly:
+    actual bytes and frames through the codec, how renewals coalesce
+    into batches, and the wire version every connection negotiated (or
+    was observed speaking).  All updates take one lock — these counters
+    feed published numbers, so concurrent connections must not
+    undercount them.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.bytes_decoded = 0
+        self.bytes_encoded = 0
+        self.frames_decoded = 0
+        self.frames_encoded = 0
+        self.batch_frames = 0
+        self.batched_renewals = 0
+        self.largest_batch = 0
+        #: wire version -> connections that settled on it.
+        self.connections_by_wire: dict = {}
+
+    def note_decoded(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_decoded += nbytes
+            self.frames_decoded += 1
+
+    def note_encoded(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_encoded += nbytes
+            self.frames_encoded += 1
+
+    def note_connection(self, version: int) -> None:
+        with self._lock:
+            self.connections_by_wire[version] = (
+                self.connections_by_wire.get(version, 0) + 1
+            )
+
+    def note_batch(self, size: int) -> None:
+        with self._lock:
+            self.batch_frames += 1
+            self.batched_renewals += size
+            self.largest_batch = max(self.largest_batch, size)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "bytes_decoded": self.bytes_decoded,
+                "bytes_encoded": self.bytes_encoded,
+                "frames_decoded": self.frames_decoded,
+                "frames_encoded": self.frames_encoded,
+                "batch_frames": self.batch_frames,
+                "batched_renewals": self.batched_renewals,
+                "largest_batch": self.largest_batch,
+                "connections_by_wire": {
+                    str(version): count
+                    for version, count in sorted(
+                        self.connections_by_wire.items())
+                },
+            }
+
+
+class ConnectionWire:
+    """Per-connection negotiated wire state (one per serving loop)."""
+
+    __slots__ = ("version", "recorded")
+
+    def __init__(self) -> None:
+        self.version: Optional[int] = None
+        self.recorded = False
+
+    def record(self, stats: WireStats, version: int) -> None:
+        self.version = version
+        if not self.recorded:
+            self.recorded = True
+            stats.note_connection(version)
+
+
+def negotiate_hello(payload, ceiling: int, conn: ConnectionWire,
+                    stats: WireStats) -> dict:
+    """Answer a :data:`~repro.net.codec.HELLO_METHOD` request.
+
+    Picks the highest mutually supported version (capped at the
+    server's ``ceiling``), records it on the connection, and returns
+    the response payload.  Shared by both server IO backends so the
+    negotiation matrix cannot drift between them.
+    """
+    offered = payload.get("supported") if isinstance(payload, dict) else None
+    if not isinstance(offered, (list, tuple)):
+        raise codec.CodecError(f"malformed hello payload {payload!r}")
+    chosen = codec.choose_wire_version(offered, ceiling=ceiling)
+    conn.record(stats, chosen)
+    return {"wire": chosen}
+
+
 def attach_server_stats(handlers: HandlerTable, server, io_name: str) -> None:
     """Register the ``_server_stats`` introspection method on a server.
 
     Benchmarks and operators probe it over the wire to compare IO
     backends — most importantly ``resident_threads``, the number every
     idle connection inflates on the threaded server and the event-loop
-    server keeps flat.
+    server keeps flat — and, since wire v3, the codec counters that
+    price each renewal in actual bytes.
     """
     def _server_stats(_request, clock: Optional[Clock] = None,
                       stats: Optional[SgxStats] = None):
-        return {
+        report = {
             "io": io_name,
             "requests_served": server.requests_served,
             "errors_returned": server.errors_returned,
@@ -74,6 +171,10 @@ def attach_server_stats(handlers: HandlerTable, server, io_name: str) -> None:
             "connections_shed": server.connections_shed,
             "resident_threads": threading.active_count(),
         }
+        wire_stats = getattr(server, "wire_stats", None)
+        if wire_stats is not None:
+            report["wire"] = wire_stats.snapshot()
+        return report
 
     handlers.register("_server_stats", _server_stats)
 
@@ -87,9 +188,15 @@ class LeaseServer:
                  accept_backlog: int = 128,
                  serialize_dispatch: bool = False,
                  max_connections: Optional[int] = None,
-                 extra_handlers=None) -> None:
+                 extra_handlers=None,
+                 wire: int = codec.WIRE_V3) -> None:
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be at least 1")
+        if wire not in codec.SUPPORTED_WIRE_VERSIONS:
+            raise ValueError(
+                f"unknown wire version {wire!r}; "
+                f"choose one of {codec.SUPPORTED_WIRE_VERSIONS}"
+            )
         self.remote = remote
         self.handlers = HandlerTable(remote.protocol_handlers())
         #: Fleet-internal surfaces (replication, membership probes)
@@ -118,6 +225,10 @@ class LeaseServer:
         self._dispatch_lock = threading.Lock() if serialize_dispatch else None
         self._counters_lock = threading.Lock()
         self._stopping = threading.Event()
+        #: Highest wire version this server will negotiate up to
+        #: (``wire=2`` keeps a staged rollout on JSON envelopes).
+        self.wire = wire
+        self.wire_stats = WireStats()
         attach_server_stats(self.handlers, self, io_name="threads")
 
     # ------------------------------------------------------------------
@@ -233,6 +344,7 @@ class LeaseServer:
         # descriptors well past that.
         poller = select.poll()
         poller.register(connection, select.POLLIN)
+        conn_wire = ConnectionWire()
         with connection:
             while not self._stopping.is_set():
                 # Poll before the blocking frame read so an idle
@@ -245,29 +357,59 @@ class LeaseServer:
                     data = read_frame(connection)
                 except (ConnectionError, OSError, codec.CodecError):
                     return  # peer gone or stream corrupt beyond recovery
-                reply = self._handle_frame(data)
+                self.wire_stats.note_decoded(
+                    len(data) + codec.FRAME_HEADER.size
+                )
+                reply = self._handle_frame(data, conn_wire)
+                framed = codec.frame(reply)
+                self.wire_stats.note_encoded(len(framed))
                 try:
-                    connection.sendall(codec.frame(reply))
+                    connection.sendall(framed)
                 except OSError:
                     return
 
-    def _handle_frame(self, data: bytes) -> bytes:
+    def _handle_frame(self, data: bytes,
+                      conn_wire: Optional[ConnectionWire] = None) -> bytes:
+        if conn_wire is None:
+            conn_wire = ConnectionWire()
+        # Replies speak whatever format the request arrived in: binary
+        # requests get binary replies, JSON requests get JSON replies —
+        # the negotiated per-connection version tells the *client* what
+        # it may send, the frame itself tells us what to answer with.
+        reply_version = (codec.WIRE_V3 if codec.is_binary_frame(data)
+                         else codec.WIRE_VERSION)
         request_id = 0
         try:
-            method, payload, request_id = codec.decode_request(data)
-            if self._dispatch_lock is not None:
-                with self._dispatch_lock:
+            method, payload, request_id, _meta = \
+                codec.decode_request_envelope(data)
+            if method == codec.HELLO_METHOD:
+                response = negotiate_hello(payload, self.wire, conn_wire,
+                                           self.wire_stats)
+            else:
+                if not conn_wire.recorded:
+                    # First lease frame from a peer that skipped
+                    # negotiation: record the version it is observed
+                    # speaking.
+                    conn_wire.record(self.wire_stats,
+                                     codec.wire_version_of(data))
+                if method == "renew_batch" \
+                        and hasattr(payload, "requests"):
+                    self.wire_stats.note_batch(len(payload.requests))
+                if self._dispatch_lock is not None:
+                    with self._dispatch_lock:
+                        response = self.handlers.dispatch(
+                            method, payload, clock=self.clock, stats=self.stats
+                        )
+                else:
                     response = self.handlers.dispatch(
                         method, payload, clock=self.clock, stats=self.stats
                     )
-            else:
-                response = self.handlers.dispatch(
-                    method, payload, clock=self.clock, stats=self.stats
-                )
         except Exception as exc:  # noqa: BLE001 - every fault becomes a wire error
             with self._counters_lock:
                 self.errors_returned += 1
-            return codec.encode_error(f"{type(exc).__name__}: {exc}", request_id)
+            return codec.encode_error(f"{type(exc).__name__}: {exc}",
+                                      request_id, version=reply_version)
         with self._counters_lock:
             self.requests_served += 1
-        return codec.encode_response(response, request_id)
+        return codec.encode_response(response, request_id,
+                                     version=reply_version)

@@ -70,11 +70,17 @@ import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.licensefile import VENDOR_SECRET
-from repro.core.protocol import InitResponse, MigratingNotice, Status
+from repro.core.protocol import (
+    BatchRequest,
+    BatchResponse,
+    InitResponse,
+    MigratingNotice,
+    Status,
+)
 from repro.core.renewal import RenewalPolicy
 from repro.core.sl_remote import LicenseDefinition, SlRemote
 from repro.net.endpoint import EndpointConfig
-from repro.net.errors import DialError, Migrating
+from repro.net.errors import DialError, Migrating, TransportError
 from repro.net.replication import (
     DEFAULT_LAG_BUDGET_GRANTS,
     DEFAULT_LAG_BUDGET_UNITS,
@@ -272,6 +278,8 @@ class ShardRouter:
         if method in _LICENSE_SCOPED:
             return self._license_call(self._license_key(method, payload),
                                       method, payload, clock, stats)
+        if method == "renew_batch":
+            return self._batch_call(payload, clock, stats)
         if method == "init":
             return self._routed_init(payload, clock, stats)
         if method == "ledger_probe" and payload is None:
@@ -313,6 +321,65 @@ class ShardRouter:
                 time.sleep(response.retry_after_seconds)
                 continue
             return response
+
+    def _batch_call(self, batch: BatchRequest,
+                    clock: Optional[Clock], stats: Optional[SgxStats]):
+        """Split a renewal batch by ring owner and rejoin the replies.
+
+        Each owner gets one sub-batch carrying its licenses' members (so
+        a coalesced frame stays coalesced shard-by-shard), owners are
+        visited in sorted order for deterministic lock acquisition
+        downstream, and the positional replies are stitched back into
+        submission order.  A :class:`~repro.core.protocol.MigratingNotice`
+        slot re-drives just that member through the single-renewal path,
+        which follows redirects and absorbs bounded retry-after waits —
+        one migrating license never fails a whole batch.
+        """
+        requests = list(batch.requests)
+        responses: List[Any] = [None] * len(requests)
+        pending = list(range(len(requests)))
+        while pending:
+            by_owner: Dict[str, List[int]] = {}
+            for index in pending:
+                owner = self._owner_of(requests[index].license_id)
+                by_owner.setdefault(owner, []).append(index)
+            pending = []
+            for owner in sorted(by_owner):
+                indices = by_owner[owner]
+                backend = self.backends.get(owner)
+                if backend is None:
+                    pending.extend(indices)  # owner changed; re-resolve
+                    continue
+                sub = BatchRequest(
+                    requests=tuple(requests[i] for i in indices)
+                )
+                try:
+                    reply = backend("renew_batch", sub, clock=clock,
+                                    stats=stats)
+                except DialError:
+                    if not self._arm_failover():
+                        raise
+                    self._failover(owner, clock, stats)
+                    pending.extend(indices)
+                    continue
+                if not isinstance(reply, BatchResponse) \
+                        or len(reply.responses) != len(indices):
+                    raise TransportError(
+                        f"shard {owner!r} answered a batch of "
+                        f"{len(indices)} renewals with "
+                        f"{type(reply).__name__}"
+                    )
+                for index, slot in zip(indices, reply.responses):
+                    if isinstance(slot, MigratingNotice):
+                        self._learn_move(requests[index].license_id, slot,
+                                         clock, stats)
+                        responses[index] = self._license_call(
+                            requests[index].license_id, "renew",
+                            requests[index], clock, stats,
+                        )
+                    else:
+                        responses[index] = slot
+        return BatchResponse(responses=tuple(responses))
 
     def _home_call(self, method: str, payload: Any,
                    clock: Optional[Clock], stats: Optional[SgxStats]):
@@ -698,8 +765,9 @@ class ShardedRemote:
             return handler
 
         return {method: routed(method)
-                for method in ("init", "renew", "shutdown", "return_units",
-                               "admit", "crash", "ledger_probe")}
+                for method in ("init", "renew", "renew_batch", "shutdown",
+                               "return_units", "admit", "crash",
+                               "ledger_probe")}
 
     # ------------------------------------------------------------------
     # Placement

@@ -32,6 +32,7 @@ import threading
 import time
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
+from repro.core.protocol import BatchRequest, BatchResponse
 from repro.net import codec
 from repro.net.endpoint import EndpointConfig
 from repro.net.errors import (
@@ -52,6 +53,7 @@ __all__ = [
     "Transport",
     "InProcessTransport",
     "SerializedLoopbackTransport",
+    "RenewCoalescer",
     "TcpTransport",
     "TRANSPORT_BACKENDS",
     "loopback_transport",
@@ -169,6 +171,99 @@ class SerializedLoopbackTransport(Transport):
         return codec.decode_response(wire_response)
 
 
+class _BatchSlot:
+    """One caller's seat in a coalesced renewal frame."""
+
+    __slots__ = ("payload", "event", "reply", "error")
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+        self.event = threading.Event()
+        self.reply: object = None
+        self.error: Optional[BaseException] = None
+
+
+#: Most renewals one BatchRequest frame may carry; a gathering round
+#: larger than this is sent as several sequential frames.
+MAX_BATCH_REQUESTS = 256
+
+
+class RenewCoalescer:
+    """Gathers concurrent ``renew`` calls into one ``renew_batch`` frame.
+
+    The first caller of a gathering round becomes the **leader**: it
+    waits ``window_seconds`` for peers to pile on, then ships everything
+    gathered so far as a single :class:`~repro.core.protocol.BatchRequest`
+    and distributes the positional replies.  Followers just park on
+    their slot.  Callers arriving while a leader is mid-flight start the
+    next round, so the pipeline never stalls behind an in-flight batch.
+
+    The payoff is server-side: N coalesced renewals cost one frame, one
+    executor hop, and one ledger-commit charge per distinct license
+    instead of N of each — the difference between ~700 and several
+    thousand renewals/s at 100 clients (see
+    ``benchmarks/test_wire_format.py``).
+    """
+
+    def __init__(self, window_seconds: float,
+                 wait_budget_seconds: float = 60.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("batching needs a positive window")
+        self.window_seconds = window_seconds
+        self.wait_budget_seconds = wait_budget_seconds
+        self._lock = threading.Lock()
+        self._slots: list = []
+        self.batches_sent = 0
+        self.requests_coalesced = 0
+        self.largest_batch = 0
+
+    def submit(self, payload: object, send: Callable) -> object:
+        """Park ``payload`` in the current round; returns its reply.
+
+        ``send(payloads) -> replies`` ships one gathered round and must
+        return exactly one reply per payload, in order.
+        """
+        slot = _BatchSlot(payload)
+        with self._lock:
+            self._slots.append(slot)
+            leader = len(self._slots) == 1
+        if leader:
+            time.sleep(self.window_seconds)
+            with self._lock:
+                batch, self._slots = self._slots, []
+            self._ship(batch, send)
+        if not slot.event.wait(self.wait_budget_seconds):
+            raise TransportError(
+                f"coalesced renewal got no reply within "
+                f"{self.wait_budget_seconds}s"
+            )
+        if slot.error is not None:
+            raise slot.error
+        return slot.reply
+
+    def _ship(self, batch: list, send: Callable) -> None:
+        for start in range(0, len(batch), MAX_BATCH_REQUESTS):
+            chunk = batch[start:start + MAX_BATCH_REQUESTS]
+            try:
+                replies = send([s.payload for s in chunk])
+                if len(replies) != len(chunk):
+                    raise TransportError(
+                        f"batch of {len(chunk)} renewals answered with "
+                        f"{len(replies)} replies"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - fan the fault out
+                for member in chunk:
+                    member.error = exc
+                    member.event.set()
+                continue
+            self.batches_sent += 1
+            self.requests_coalesced += len(chunk)
+            self.largest_batch = max(self.largest_batch, len(chunk))
+            for member, reply in zip(chunk, replies):
+                member.reply = reply
+                member.event.set()
+
+
 class TcpTransport(Transport):
     """Socket client for an SL-Remote behind :class:`~repro.net.server.LeaseServer`.
 
@@ -237,6 +332,21 @@ class TcpTransport(Transport):
         #: Successful re-dials after an established session lost its
         #: socket (a server restart survived in place).
         self.reconnects = 0
+        #: Preferred wire version; the connection's actual version is
+        #: negotiated on dial and recorded in ``negotiated_wire``.
+        self.wire = getattr(config, "wire", codec.WIRE_VERSION)
+        self.negotiated_wire: Optional[int] = None
+        #: Per-frame link accounting: every physical frame is charged
+        #: once with its actual serialized length, so a batch of N
+        #: coalesced renewals bills one frame, not N messages.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        window = getattr(config, "batch_window", 0.0)
+        self.coalescer: Optional[RenewCoalescer] = (
+            RenewCoalescer(window) if window > 0 else None
+        )
 
     # -- connection management -----------------------------------------
     def _connection(self) -> socket.socket:
@@ -261,6 +371,7 @@ class TcpTransport(Transport):
             if self._ever_connected:
                 self.reconnects += 1
             self._ever_connected = True
+            self.negotiated_wire = self._negotiate(sock)
             return sock
         raise DialError(
             f"could not (re)connect to {self.host}:{self.port} after "
@@ -281,6 +392,39 @@ class TcpTransport(Transport):
         with self._lock:
             self._drop_connection()
 
+    # -- negotiation -----------------------------------------------------
+    def _negotiate(self, sock: socket.socket) -> int:
+        """First exchange on a fresh connection: agree on a wire version.
+
+        A preference below v3 skips the hello entirely (the JSON
+        revisions need no agreement — decoders accept both); otherwise
+        one JSON round-trip asks the server to pick.  A server without
+        a hello handler answers with an unknown-method error, which
+        down-negotiates to v2.
+        """
+        if self.wire < codec.WIRE_V3:
+            return self.wire
+        frame = codec.frame(codec.encode_request(
+            codec.HELLO_METHOD, codec.hello_payload(self.wire)
+        ))
+        sock.sendall(frame)
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+        data = read_frame(sock)
+        self.bytes_received += len(data) + codec.FRAME_HEADER.size
+        self.frames_received += 1
+        reply = codec.decode_reply(data)
+        if reply.kind == "error":
+            if reply.meta.get("overloaded"):
+                self._drop_connection()
+                raise Overloaded(reply.error or "server overloaded")
+            return codec.WIRE_VERSION  # pre-negotiation server: speak JSON
+        chosen = reply.payload.get("wire") if isinstance(reply.payload, dict) \
+            else None
+        if chosen not in codec.SUPPORTED_WIRE_VERSIONS:
+            raise codec.CodecError(f"server negotiated bogus wire {chosen!r}")
+        return chosen
+
     # -- the round trip ------------------------------------------------
     def request(self, method: str, payload: object,
                 clock: Optional[Clock] = None,
@@ -290,14 +434,44 @@ class TcpTransport(Transport):
                 "TcpTransport cannot bypass the network: a real wire has no "
                 "local fast path"
             )
+        if method == "renew" and self.coalescer is not None:
+            # The caller's own virtual RTT, then one seat in the shared
+            # frame; the leader's send path skips its per-call RTT so the
+            # frame itself is never double-billed.
+            clock.advance(
+                seconds_to_cycles(self.conditions.round_trip_seconds)
+            )
+            return self.coalescer.submit(
+                payload, lambda batch: self._send_batch(batch, clock, stats)
+            )
+        return self._request_single(method, payload, clock, stats)
+
+    def _send_batch(self, payloads: list, clock: Clock,
+                    stats: Optional[SgxStats]):
+        response = self._request_single(
+            "renew_batch", BatchRequest(requests=tuple(payloads)),
+            clock, stats, charge_rtt=False,
+        )
+        if not isinstance(response, BatchResponse) \
+                or len(response.responses) != len(payloads):
+            raise TransportError(
+                f"malformed batch response for {len(payloads)} renewals: "
+                f"{type(response).__name__}"
+            )
+        return list(response.responses)
+
+    def _request_single(self, method: str, payload: object,
+                        clock: Clock, stats: Optional[SgxStats],
+                        charge_rtt: bool = True):
         last_error: Optional[Exception] = None
         with self._lock:
             for attempt in range(1, self.max_attempts + 1):
                 # Virtual accounting first: a lost/timed-out request is
                 # detected a full RTT later, same as SimulatedLink.
-                clock.advance(
-                    seconds_to_cycles(self.conditions.round_trip_seconds)
-                )
+                if charge_rtt or attempt > 1:
+                    clock.advance(
+                        seconds_to_cycles(self.conditions.round_trip_seconds)
+                    )
                 self.messages_sent += 1
                 try:
                     return self._round_trip(method, payload)
@@ -324,10 +498,19 @@ class TcpTransport(Transport):
     def _round_trip(self, method: str, payload: object):
         sock = self._connection()
         self._request_id += 1
-        sock.sendall(
-            codec.frame(codec.encode_request(method, payload, self._request_id))
+        version = self.negotiated_wire or codec.WIRE_VERSION
+        frame = codec.frame(
+            codec.encode_request(method, payload, self._request_id,
+                                 version=version)
         )
-        reply = codec.decode_reply(read_frame(sock))
+        sock.sendall(frame)
+        # One physical frame = one charge, whatever it coalesces.
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+        data = read_frame(sock)
+        self.bytes_received += len(data) + codec.FRAME_HEADER.size
+        self.frames_received += 1
+        reply = codec.decode_reply(data)
         if reply.kind == "error" and reply.meta.get("overloaded"):
             # The server answered by shedding this connection; it will
             # close the socket next, so drop our side pre-emptively.

@@ -45,6 +45,7 @@ two steps only means a longer (idempotent) replay.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import struct
@@ -52,7 +53,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.gcl import LeaseKind
 from repro.core.licensefile import VENDOR_SECRET
@@ -181,7 +182,9 @@ class WriteAheadLog:
         self.append_count = 0
         self.fsync_count = 0
         self.appends_since_reset = 0
+        self.batch_count = 0
         self._dirty = False
+        self._batch_depth = 0
         self._last_sync = time.monotonic()
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._handle = self._opener(path, "ab")
@@ -210,13 +213,42 @@ class WriteAheadLog:
             self.appends_since_reset += 1
             self._dirty = True
             spent = 0.0
-            if self.fsync_policy == "always":
+            if self._batch_depth > 0:
+                pass  # durability deferred to the enclosing batch's sync
+            elif self.fsync_policy == "always":
                 spent = self.sync()
             elif self.fsync_policy == "interval":
                 if (time.monotonic() - self._last_sync
                         >= self.fsync_interval_seconds):
                     spent = self.sync()
             return seq, spent
+
+    @contextlib.contextmanager
+    def batch(self) -> Iterator["WriteAheadLog"]:
+        """Group-commit scope: appends inside defer their fsync.
+
+        Under the ``always`` policy every append normally pays its own
+        fsync before returning; inside a batch the appends only buffer,
+        and a single sync when the outermost batch closes makes the
+        whole group durable at once — N records, one disk sync.  The
+        log lock is held for the duration so the group lands contiguous
+        on disk and no interleaved append from another thread can slip
+        an unsynced record ahead of it; keep batch bodies free of
+        sleeps.  Nests reentrantly (only the outermost close syncs).
+        Under ``interval``/``off`` the deferral is a no-op beyond
+        skipping the window check: durability still rides the
+        maintenance tick or the OS cache respectively.
+        """
+        with self._lock:
+            self._batch_depth += 1
+            try:
+                yield self
+            finally:
+                self._batch_depth -= 1
+                if self._batch_depth == 0:
+                    self.batch_count += 1
+                    if self._dirty and self.fsync_policy == "always":
+                        self.sync()
 
     def sync(self) -> float:
         """Force an fsync; returns the seconds it took."""
@@ -461,6 +493,7 @@ class ShardPersistence:
         self._opener = opener or _default_opener
         self._remote: Optional[SlRemote] = None
         self._observer: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        self._group: Optional[Callable[[], Any]] = None
         self._local = threading.local()
         self._compact_lock = threading.Lock()
         self._stop = threading.Event()
@@ -649,6 +682,8 @@ class ShardPersistence:
         self._observer = self._observe
         remote.add_observer(self._observer)
         remote.commit_hook = self.commit_cost
+        self._group = self.group
+        remote.commit_group = self._group
         self._stop.clear()
         self._maintenance = threading.Thread(
             target=self._maintenance_loop,
@@ -675,6 +710,29 @@ class ShardPersistence:
         spent = getattr(self._local, "commit_cost", 0.0)
         self._local.commit_cost = 0.0
         return spent
+
+    @contextlib.contextmanager
+    def group(self) -> Iterator[None]:
+        """One durable commit for a whole renewal batch.
+
+        Installed as ``SlRemote.commit_group``: ``handle_renew_batch``
+        scopes the batch with it, every journal append inside defers
+        its fsync (:meth:`WriteAheadLog.batch`), and a single sync on
+        the way out makes all of the batch's grants durable together.
+        The sync's real cost is credited to this thread's
+        ``commit_cost`` so the subsequent budget charge sleeps only the
+        remainder of ``ledger_commit_seconds`` — N renewals, one fsync,
+        one charge.
+        """
+        with self.wal.batch():
+            try:
+                yield
+            finally:
+                if self.wal.fsync_policy == "always":
+                    spent = self.wal.sync()
+                    self._local.commit_cost = (
+                        getattr(self._local, "commit_cost", 0.0) + spent
+                    )
 
     # -- snapshot + compaction -----------------------------------------
     def compact(self) -> None:
@@ -773,6 +831,10 @@ class ShardPersistence:
                 self._observer = None
             if remote.commit_hook is self.commit_cost:
                 remote.commit_hook = None
+            if (self._group is not None
+                    and remote.commit_group is self._group):
+                remote.commit_group = None
+            self._group = None
         self.wal.close()
 
 

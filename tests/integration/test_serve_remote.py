@@ -116,3 +116,89 @@ def test_server_survives_client_churn(remote_process):
     second = run_lifecycle(remote_process, "churn-b", seed=8, checks=5)
     assert second["slid"] > first["slid"]
     assert (first["served"], second["served"]) == (5, 5)
+
+
+def _spawn_serve_remote(extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve-remote",
+         "--port", "0", "--license", "lic-wire:50000",
+         "--accept-any-platform", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+
+
+def _read_until_marker(process):
+    seen = []
+    for _ in range(20):
+        line = process.stdout.readline()
+        if not line:
+            break
+        seen.append(line)
+        if MARKER in line:
+            return seen
+    raise RuntimeError(f"server never came up: {seen!r}")
+
+
+def test_recovery_markers_precede_listening_with_batching(tmp_path):
+    """Startup ordering survives the v3/batching arc.
+
+    A durable server is driven through batched binary renewals, then
+    restarted on the same ledger: every ``SL-Recovery`` replay marker
+    must still print *before* the listening marker, so harnesses that
+    wait for the port have already seen the replay stats.
+    """
+    from repro.core.protocol import Status
+    from repro.net.endpoint import connect
+
+    args = ["--data-dir", str(tmp_path / "ledger"), "--fsync", "always",
+            "--wire", "3", "--ledger-commit-seconds", "0.005"]
+    process = _spawn_serve_remote(args)
+    try:
+        seen = _read_until_marker(process)
+        host, port = seen[-1].split(MARKER, 1)[1].strip().rsplit(":", 1)
+        endpoint = connect(
+            f"sl://{host}:{int(port)}?wire=3&batch_window=0.001",
+            conditions=NetworkConditions(round_trip_seconds=0.002),
+            timeout_seconds=10.0,
+        )
+        machine = SgxMachine("batch-node")
+        sl_local = SlLocal(machine, endpoint,
+                           KeyGenerator(DeterministicRng(3)),
+                           tokens_per_attestation=10)
+        sl_local.init()
+        # One coalesced prefetch (renew_batch + WAL group commit) and a
+        # coalescer-routed renewal on top.
+        statuses = sl_local.prefetch_leases(
+            {"lic-wire": mint_license_blob("lic-wire")}
+        )
+        assert statuses == {"lic-wire": Status.OK}
+        manager = SlManager("app@batch-node", machine, sl_local,
+                            tokens_per_attestation=10)
+        manager.load_license("lic-wire", mint_license_blob("lic-wire"))
+        assert manager.check("lic-wire")
+        transport = endpoint.transport
+        assert transport.negotiated_wire == 3
+        assert transport.coalescer is not None
+        sl_local.shutdown()
+        endpoint.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+    process = _spawn_serve_remote(args)
+    try:
+        seen = _read_until_marker(process)
+        recovery_indexes = [index for index, line in enumerate(seen)
+                            if line.startswith("SL-Recovery")]
+        marker_index = next(index for index, line in enumerate(seen)
+                            if MARKER in line)
+        assert recovery_indexes, f"no recovery marker in {seen!r}"
+        assert max(recovery_indexes) < marker_index
+    finally:
+        process.terminate()
+        process.wait(timeout=10)

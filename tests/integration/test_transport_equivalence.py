@@ -121,6 +121,77 @@ def test_sharded_fleet_identical_across_wire_backends():
     assert wire_fleet_fingerprint("tcp", shards=3) == baseline
 
 
+def wire_version_fingerprint(query: str, seed: int = 17):
+    """The wire fleet scenario with every node dialing ``sl://...?query``.
+
+    The server side is a stock v3-ceiling :class:`LeaseServer`; the
+    query string pins the clients' wire preference (and optionally a
+    renewal batch window), so each row of the matrix checks that a
+    down-negotiated or batched client reaches the same protocol
+    outcome as the native one.
+    """
+    from repro.net.server import LeaseServer
+
+    cluster = Cluster(seed=seed, endpoint="pending")
+    server = LeaseServer(cluster.remote)
+    host, port = server.start()
+    suffix = f"?{query}" if query else ""
+    cluster.endpoint = f"sl://{host}:{port}{suffix}"
+    try:
+        cluster.issue_license(LICENSE, POOL)
+        for i in range(4):
+            cluster.add_node(NodeSpec(
+                f"n{i}",
+                weight=1.0 + i,
+                health=1.0 - 0.1 * i,
+            ))
+        served_a = cluster.run_checks(LICENSE, checks_per_node=40)
+        cluster.crash_node("n1")
+        served_b = cluster.run_checks(LICENSE, checks_per_node=40)
+        cluster.shutdown_node("n3")
+        negotiated = {
+            name: node.sl_local.remote.transport.negotiated_wire
+            for name, node in cluster.nodes.items()
+        }
+        ledger = cluster.remote.ledger(LICENSE)
+        fingerprint = {
+            "served": (served_a, served_b),
+            "outstanding": cluster.outstanding(LICENSE),
+            "available": ledger.available,
+            "lost": ledger.lost_units,
+            "renewals": cluster.remote.renewals_served,
+            "conserved": cluster.pool_conserved(LICENSE, POOL),
+        }
+        return fingerprint, negotiated
+    finally:
+        cluster.close()
+        server.stop()
+
+
+def test_v1_v2_clients_match_v3_server_protocol_outcomes():
+    """Acceptance: JSON peers against a v3 server, full equivalence.
+
+    A v3 server must serve v1 and v2 JSON clients (which never send a
+    hello) with protocol outcomes identical to a fully upgraded v3
+    client — and a batching v3 client must land on the same numbers
+    through the ``renew_batch`` path.
+    """
+    baseline = wire_fleet_fingerprint("in-process")
+    assert baseline["conserved"]
+    rows = {
+        "wire=1": 1,
+        "wire=2": 2,
+        "wire=3": 3,
+        "wire=3&batch_window=0.001": 3,
+    }
+    for query, expected_wire in rows.items():
+        fingerprint, negotiated = wire_version_fingerprint(query)
+        assert fingerprint == baseline, f"client row {query!r} diverged"
+        # Each connection settles on the client's preference: JSON
+        # clients pin 1/2 without a hello, v3 clients negotiate binary.
+        assert set(negotiated.values()) == {expected_wire}, query
+
+
 def test_deployment_wire_backends_match_protocol_outcomes():
     results = {}
     for transport in ("in-process", "tcp", "async"):

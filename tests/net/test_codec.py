@@ -8,6 +8,8 @@ from hypothesis import given, strategies as st
 from repro.core.protocol import (
     AttestRequest,
     AttestResponse,
+    BatchRequest,
+    BatchResponse,
     InitRequest,
     InitResponse,
     MigratingNotice,
@@ -101,20 +103,35 @@ shard_snapshots = st.builds(
     }),
 )
 
+renew_requests = st.builds(
+    RenewRequest, slid=small_ints, license_id=license_ids,
+    license_blob=blobs, network_reliability=ratios, health=ratios,
+    weight=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+renew_responses = st.builds(
+    RenewResponse, status=statuses, granted_units=small_ints,
+    lease_kind=st.sampled_from(["count", "time", "execution_time",
+                                "perpetual"]),
+    tick_seconds=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+batch_requests = st.builds(
+    BatchRequest, requests=st.lists(renew_requests, max_size=4).map(tuple)
+)
+batch_responses = st.builds(
+    BatchResponse,
+    responses=st.lists(st.one_of(renew_responses, migrating_notices),
+                       max_size=4).map(tuple),
+)
+
 protocol_messages = st.one_of(
     st.builds(InitRequest, slid=st.none() | small_ints, report=reports,
               platform_secret=words),
     st.builds(InitResponse, status=statuses, slid=st.none() | small_ints,
               old_backup_key=st.none() | words),
-    st.builds(RenewRequest, slid=small_ints, license_id=license_ids,
-              license_blob=blobs, network_reliability=ratios, health=ratios,
-              weight=st.floats(min_value=0.0, max_value=100.0,
-                               allow_nan=False)),
-    st.builds(RenewResponse, status=statuses, granted_units=small_ints,
-              lease_kind=st.sampled_from(["count", "time", "execution_time",
-                                          "perpetual"]),
-              tick_seconds=st.floats(min_value=0.0, max_value=1e6,
-                                     allow_nan=False)),
+    renew_requests,
+    renew_responses,
+    batch_requests,
+    batch_responses,
     st.builds(ShutdownNotice, slid=small_ints, root_key=words),
     st.builds(AttestRequest, report=reports, license_id=license_ids,
               license_blob=blobs, tokens_requested=small_ints),
@@ -235,21 +252,28 @@ def test_frame_round_trip():
 
 
 # ----------------------------------------------------------------------
-# Wire-format evolution: the v1/v2 compatibility matrix
+# Wire-format evolution: the v1/v2/v3 compatibility matrix
 # ----------------------------------------------------------------------
 class TestVersionCompatMatrix:
     """Every (emitter version, decoder) pairing that must interoperate.
 
-    The v2 decoder accepts both revisions, so the matrix is: a peer on
-    either version can talk to a v2 peer in both directions; only an
-    envelope claiming an unknown future revision is rejected.
+    The decoder sniffs the frame: v1/v2 are JSON envelopes (the v2
+    decoder accepts both), v3 is the binary framing — one decoder entry
+    point accepts all three.  Only an envelope claiming an unknown
+    future revision is rejected.
     """
 
-    @pytest.mark.parametrize("version", codec.SUPPORTED_WIRE_VERSIONS)
-    def test_requests_from_any_supported_version_decode(self, version):
+    @pytest.mark.parametrize("version", codec.JSON_WIRE_VERSIONS)
+    def test_requests_from_json_versions_decode(self, version):
         data = codec.encode_request("renew", ("lic", 3), request_id=9,
                                     version=version)
         assert json.loads(data.decode())["v"] == version
+        assert codec.decode_request(data) == ("renew", ("lic", 3), 9)
+
+    def test_requests_from_v3_decode(self):
+        data = codec.encode_request("renew", ("lic", 3), request_id=9,
+                                    version=codec.WIRE_V3)
+        assert codec.is_binary_frame(data)
         assert codec.decode_request(data) == ("renew", ("lic", 3), 9)
 
     @pytest.mark.parametrize("version", codec.SUPPORTED_WIRE_VERSIONS)
@@ -330,9 +354,10 @@ class TestVersionCompatMatrix:
         traffic, so every (version, message) pairing must decode."""
         data = codec.encode_request(method, payload, request_id=5,
                                     version=version)
-        rebuilt_method, rebuilt, rid = codec.decode_request(
-            json.dumps(json.loads(data.decode())).encode()
-        )
+        if version in codec.JSON_WIRE_VERSIONS:
+            # Force an actual JSON round trip: what crosses a socket.
+            data = json.dumps(json.loads(data.decode())).encode()
+        rebuilt_method, rebuilt, rid = codec.decode_request(data)
         assert (rebuilt_method, rid) == (method, 5)
         assert rebuilt == payload
         assert type(rebuilt) is type(payload)
@@ -418,3 +443,273 @@ class TestCorrelationMetadata:
         )
         assert reply.deliver() == message
         assert reply.meta[codec.CORRELATION_KEY] == corr
+
+
+# ----------------------------------------------------------------------
+# The v3 binary framing: lossless, and hostile to corruption
+# ----------------------------------------------------------------------
+class TestBinaryWireV3:
+    """The binary revision must be exactly as lossless as the JSON ones
+    — and, being length-prefixed binary, provably resistant to
+    corruption: every flipped byte and every truncation raises a typed
+    :class:`~repro.net.codec.CodecError`, never a mis-parse."""
+
+    @given(protocol_messages, st.integers(min_value=0, max_value=2**31))
+    def test_request_frames_round_trip(self, message, request_id):
+        data = codec.encode_request("renew", message, request_id,
+                                    version=codec.WIRE_V3)
+        assert codec.is_binary_frame(data)
+        method, payload, rid = codec.decode_request(data)
+        assert (method, rid) == ("renew", request_id)
+        assert payload == message
+        assert type(payload) is type(message)
+
+    @given(protocol_messages)
+    def test_response_frames_round_trip(self, message):
+        rebuilt = codec.decode_response(
+            codec.encode_response(message, 7, version=codec.WIRE_V3)
+        )
+        assert rebuilt == message
+        assert type(rebuilt) is type(message)
+
+    @given(plain_payloads)
+    def test_plain_payloads_round_trip(self, payload):
+        data = codec.encode_response(payload, 1, version=codec.WIRE_V3)
+        assert codec.decode_response(data) == payload
+
+    def test_error_frames_are_routable_then_raise(self):
+        data = codec.encode_error("LicenseUnknown: lic-x", 3,
+                                  version=codec.WIRE_V3,
+                                  meta={codec.CORRELATION_KEY: 5})
+        reply = codec.decode_reply(data)
+        assert reply.meta[codec.CORRELATION_KEY] == 5
+        with pytest.raises(codec.RemoteCallError, match="LicenseUnknown"):
+            reply.deliver()
+
+    def test_corr_metadata_rides_v3(self):
+        data = codec.encode_request("renew", ("lic", 1), 4,
+                                    version=codec.WIRE_V3,
+                                    meta={codec.CORRELATION_KEY: 77})
+        method, payload, rid, meta = codec.decode_request_envelope(data)
+        assert (method, payload, rid) == ("renew", ("lic", 1), 4)
+        assert meta[codec.CORRELATION_KEY] == 77
+
+    def test_meta_cannot_clobber_reserved_envelope_keys(self):
+        with pytest.raises(codec.CodecError, match="reserved"):
+            codec.encode_request("renew", None, version=codec.WIRE_V3,
+                                 meta={"method": "steal"})
+
+    def test_bytes_travel_raw_not_hex(self):
+        """The format's point: byte fields ship as bytes, and the whole
+        frame undercuts the equivalent JSON envelope."""
+        blob = bytes(range(256))
+        request = RenewRequest(slid=1, license_id="lic", license_blob=blob,
+                               network_reliability=1.0, health=1.0)
+        v2 = codec.encode_request("renew", request)
+        v3 = codec.encode_request("renew", request, version=codec.WIRE_V3)
+        assert blob in v3
+        assert len(v3) < len(v2)
+
+    def test_wire_version_of_sniffs_both_framings(self):
+        assert codec.wire_version_of(
+            codec.encode_request("renew", None, version=1)
+        ) == 1
+        assert codec.wire_version_of(
+            codec.encode_request("renew", None, version=2)
+        ) == 2
+        assert codec.wire_version_of(
+            codec.encode_request("renew", None, version=codec.WIRE_V3)
+        ) == codec.WIRE_V3
+
+    def test_json_envelope_claiming_v3_rejected(self):
+        envelope = json.loads(codec.encode_request("init", None).decode())
+        envelope["v"] = codec.WIRE_V3
+        with pytest.raises(codec.CodecError, match="version"):
+            codec.decode_request(json.dumps(envelope).encode())
+
+    # -- the hostile sweeps --------------------------------------------
+    def _sample_frame(self) -> bytes:
+        request = RenewRequest(slid=7, license_id="lic-corrupt",
+                               license_blob=b"\x00\x01\xfe\xff",
+                               network_reliability=0.5, health=1.0)
+        return codec.encode_request(
+            "renew_batch", BatchRequest(requests=(request,)), 9,
+            version=codec.WIRE_V3, meta={codec.CORRELATION_KEY: 3},
+        )
+
+    def test_every_single_byte_corruption_is_detected(self):
+        data = self._sample_frame()
+        for offset in range(len(data)):
+            corrupt = bytearray(data)
+            corrupt[offset] ^= 0xFF
+            with pytest.raises(codec.CodecError):
+                codec.decode_request(bytes(corrupt))
+
+    def test_every_offset_truncation_is_detected(self):
+        data = self._sample_frame()
+        for end in range(1, len(data)):
+            with pytest.raises(codec.CodecError):
+                codec.decode_request(data[:end])
+
+    def test_trailing_garbage_is_detected(self):
+        data = self._sample_frame()
+        with pytest.raises(codec.CodecError):
+            codec.decode_request(data + b"\x00")
+
+    @given(protocol_messages, st.data())
+    def test_fuzzed_corruption_never_misparses(self, message, data_strategy):
+        """Randomized reinforcement of the deterministic sweep: any
+        byte, any new value — decode raises or returns the original."""
+        data = codec.encode_response(message, 2, version=codec.WIRE_V3)
+        offset = data_strategy.draw(
+            st.integers(min_value=0, max_value=len(data) - 1)
+        )
+        value = data_strategy.draw(st.integers(min_value=0, max_value=255))
+        corrupt = bytearray(data)
+        corrupt[offset] = value
+        try:
+            rebuilt = codec.decode_response(bytes(corrupt))
+        except (codec.CodecError, codec.RemoteCallError):
+            return
+        assert rebuilt == message  # the write happened to be a no-op
+
+
+# ----------------------------------------------------------------------
+# Negotiation: the first exchange on every connection
+# ----------------------------------------------------------------------
+class TestWireNegotiation:
+    def test_hello_payload_offers_everything_up_to_preference(self):
+        assert codec.hello_payload(3) == {"supported": [1, 2, 3],
+                                          "preferred": 3}
+        assert codec.hello_payload(2) == {"supported": [1, 2],
+                                          "preferred": 2}
+
+    @pytest.mark.parametrize("preferred", codec.SUPPORTED_WIRE_VERSIONS)
+    @pytest.mark.parametrize("ceiling", codec.SUPPORTED_WIRE_VERSIONS)
+    def test_highest_common_version_wins(self, preferred, ceiling):
+        offered = codec.hello_payload(preferred)["supported"]
+        assert codec.choose_wire_version(offered, ceiling) \
+            == min(preferred, ceiling)
+
+    def test_no_common_version_is_a_codec_error(self):
+        with pytest.raises(codec.CodecError, match="no common"):
+            codec.choose_wire_version([99])
+
+    def test_malformed_offer_is_a_codec_error(self):
+        with pytest.raises(codec.CodecError, match="malformed"):
+            codec.choose_wire_version([None])
+
+
+# ----------------------------------------------------------------------
+# Live negotiation matrix: real servers, mixed-version fleets
+# ----------------------------------------------------------------------
+class TestMixedVersionFleet:
+    """The compat matrix against live TCP servers, including a sharded
+    fleet whose members cap the wire at different versions."""
+
+    @pytest.mark.parametrize("ceiling", codec.SUPPORTED_WIRE_VERSIONS)
+    def test_v3_client_settles_on_each_server_ceiling(self, ceiling):
+        from repro.core.sl_remote import SlRemote
+        from repro.net.endpoint import connect
+        from repro.net.server import LeaseServer
+        from repro.sgx import RemoteAttestationService, SgxMachine
+
+        ras = RemoteAttestationService(accept_any_platform=True)
+        remote = SlRemote(ras)
+        blob = remote.issue_license("lic-mix", 10_000).license_blob()
+        server = LeaseServer(remote, port=0, wire=ceiling)
+        host, port = server.start()
+        endpoint = connect(f"sl://{host}:{port}?wire=3")
+        machine = SgxMachine("nego")
+        try:
+            report = machine.local_authority.generate_report(1, 1, nonce=1)
+            init = endpoint.call(
+                "init",
+                InitRequest(slid=None, report=report,
+                            platform_secret=machine.platform_secret),
+                clock=machine.clock, stats=machine.stats,
+            )
+            renew = endpoint.call(
+                "renew",
+                RenewRequest(slid=init.slid, license_id="lic-mix",
+                             license_blob=blob,
+                             network_reliability=1.0, health=1.0),
+                clock=machine.clock,
+            )
+            assert renew.status is Status.OK
+            # The connection settled on min(client preference, ceiling),
+            # and the server recorded it.
+            assert endpoint.transport.negotiated_wire == ceiling
+            snapshot = server.wire_stats.snapshot()
+            assert snapshot["connections_by_wire"] == {str(ceiling): 1}
+        finally:
+            endpoint.close()
+            server.stop()
+
+    def test_mixed_version_sharded_fleet(self):
+        """shard-0 speaks v3 binary, shard-1 is pinned to v2 JSON: one
+        client fleet renews across both (including a coalesced batch
+        the router splits by owner) and each connection settles on its
+        own server's ceiling."""
+        from repro.core.sl_remote import SlRemote
+        from repro.net.endpoint import connect
+        from repro.net.server import LeaseServer
+        from repro.net.sharding import HashRing, default_shard_names
+        from repro.sgx import RemoteAttestationService, SgxMachine
+
+        names = default_shard_names(2)
+        ring = HashRing(names)
+        ceilings = {names[0]: codec.WIRE_V3, names[1]: codec.WIRE_VERSION}
+        ras = RemoteAttestationService(accept_any_platform=True)
+        remotes = {name: SlRemote(ras) for name in names}
+        blobs = {}
+        for index in range(6):
+            license_id = f"lic-{index}"
+            owner = ring.shard_for(license_id)
+            blobs[license_id] = remotes[owner].issue_license(
+                license_id, 10_000
+            ).license_blob()
+        assert len({ring.shard_for(lid) for lid in blobs}) == 2
+        servers = {
+            name: LeaseServer(remotes[name], port=0, wire=ceilings[name])
+            for name in names
+        }
+        authority = ",".join(
+            "{}:{}".format(*servers[name].start()) for name in names
+        )
+        endpoint = connect(f"sl+sharded://{authority}?wire=3")
+        machine = SgxMachine("mixed-fleet")
+        try:
+            report = machine.local_authority.generate_report(1, 1, nonce=1)
+            init = endpoint.call(
+                "init",
+                InitRequest(slid=None, report=report,
+                            platform_secret=machine.platform_secret),
+                clock=machine.clock, stats=machine.stats,
+            )
+            batch = BatchRequest(requests=tuple(
+                RenewRequest(slid=init.slid, license_id=license_id,
+                             license_blob=blob,
+                             network_reliability=1.0, health=1.0)
+                for license_id, blob in sorted(blobs.items())
+            ))
+            reply = endpoint.call("renew_batch", batch, clock=machine.clock)
+            assert isinstance(reply, BatchResponse)
+            assert len(reply.responses) == len(blobs)
+            assert all(slot.status is Status.OK for slot in reply.responses)
+            negotiated = {
+                name: endpoint.transport.transports[name].negotiated_wire
+                for name in names
+            }
+            assert negotiated == {names[0]: codec.WIRE_V3,
+                                  names[1]: codec.WIRE_VERSION}
+            # Every grant landed on its ring owner's ledger, regardless
+            # of which wire revision carried it.
+            for license_id in blobs:
+                owner = remotes[ring.shard_for(license_id)]
+                outstanding = owner.ledger(license_id).outstanding
+                assert outstanding.get(f"slid:{init.slid}", 0) > 0
+        finally:
+            endpoint.close()
+            for server in servers.values():
+                server.stop()

@@ -396,6 +396,65 @@ class TestCommitBudget:
         assert time.perf_counter() - start >= 0.05
 
 
+class TestGroupCommit:
+    def test_batch_defers_fsync_to_one_sync(self, tmp_path):
+        path = str(tmp_path / "ledger.wal")
+        wal = WriteAheadLog(path, KEY, fsync="always")
+        before = wal.fsync_count
+        with wal.batch():
+            for n in range(8):
+                wal.append("grant", {"units": n})
+        assert wal.fsync_count == before + 1
+        wal.close()
+        records, _good, _size = WriteAheadLog.read(path, KEY)
+        assert [record.fields["units"] for record in records] \
+            == list(range(8))
+
+    def test_nested_batches_sync_once_at_the_outermost(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "ledger.wal"), KEY,
+                            fsync="always")
+        with wal.batch():
+            wal.append("grant", {"units": 1})
+            with wal.batch():
+                wal.append("grant", {"units": 2})
+            assert wal.fsync_count == 0
+        assert wal.fsync_count == 1
+        wal.close()
+
+    def test_renew_batch_pays_one_fsync_for_n_grants(self, tmp_path):
+        """The end-to-end claim: N coalesced renewals, one disk sync.
+
+        ``attach`` installs ``commit_group``; a ``renew_batch`` of N
+        members must leave exactly one more fsync on the log than
+        before, while N single renewals under ``always`` pay N.
+        """
+        from repro.core.protocol import BatchRequest
+
+        remote = fresh_remote(ledger_commit_seconds=0.0)
+        persistence = make_persistence(tmp_path)
+        persistence.recover(remote)
+        persistence.attach(remote)
+        assert remote.commit_group is not None
+        blob = remote.issue_license("lic", POOL).license_blob()
+        machines = [init_client(remote, name=f"n{i}", nonce=i + 1)
+                    for i in range(4)]
+        before = persistence.wal.fsync_count
+        batch = BatchRequest(requests=tuple(
+            RenewRequest(slid=slid, license_id="lic", license_blob=blob,
+                         network_reliability=1.0, health=1.0)
+            for _machine, slid in machines
+        ))
+        reply = remote.handle_renew_batch(batch)
+        assert [slot.status for slot in reply.responses] \
+            == [Status.OK] * len(machines)
+        assert persistence.wal.fsync_count == before + 1
+        # The group's sync cost was drained by the batch's own budget
+        # charge, not left for the next renewal to pay.
+        assert persistence.commit_cost() == 0.0
+        assert conserved(remote, "lic", POOL)
+        persistence.close()
+
+
 # ----------------------------------------------------------------------
 # Property tests: corrupt / truncate the last record at every offset
 # ----------------------------------------------------------------------
