@@ -113,7 +113,7 @@ def _spawn(command):
     raise RuntimeError("serve-remote subprocess never reported its port")
 
 
-def _spawn_fleet(ports, replicas):
+def _spawn_fleet(ports, replicas, data_dir=None):
     """One serve-remote process per shard, every peer address wired in."""
     fleet = ",".join(
         f"{name}=127.0.0.1:{port}"
@@ -130,6 +130,8 @@ def _spawn_fleet(ports, replicas):
                 command += ["--replicas", str(replicas), "--fleet", fleet,
                             "--lag-budget", str(LAG_BUDGET),
                             "--lag-grants", str(LAG_GRANTS)]
+            if data_dir:
+                command += ["--data-dir", data_dir]
             processes.append(_spawn(command))
     except Exception:
         _stop(processes)
@@ -239,7 +241,7 @@ def _run_crowd(url, stop_event, started, logs):
             endpoint.close()
 
     threads = [threading.Thread(target=client, args=(i, logs[i]))
-               for i in range(CLIENTS)]
+               for i in range(len(logs))]
     for thread in threads:
         thread.start()
     return threads
@@ -380,6 +382,173 @@ def test_primary_death_fails_over_under_load(benchmark, table_printer):
         with open(BENCH_JSON, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Quorum chaos: two simultaneous SIGKILLs against a depth-2 fleet
+# ----------------------------------------------------------------------
+#: ``SL_QUORUM_SMOKE=1`` shrinks the quorum chaos run for CI the same
+#: way ``SL_FAILOVER_SMOKE`` shrinks the single-kill run.
+QUORUM_SMOKE = bool(os.environ.get("SL_QUORUM_SMOKE")) or SMOKE
+Q_CLIENTS = 8 if QUORUM_SMOKE else 50
+Q_SHARDS = 5
+Q_REPLICAS = 2
+Q_QUORUM = (Q_REPLICAS + 1) // 2  # the serve-remote default
+Q_WARMUP = 2.0 if QUORUM_SMOKE else 2.5
+Q_CHAOS = 2.0 if QUORUM_SMOKE else 3.0
+BENCH_QUORUM_JSON = os.path.join(REPO_ROOT, "BENCH_quorum.json")
+
+
+def _server_stats_of(port):
+    endpoint = connect(f"sl://127.0.0.1:{port}")
+    try:
+        return endpoint.call("_server_stats", None, clock=Clock())
+    finally:
+        endpoint.close()
+
+
+def test_two_simultaneous_deaths_promote_by_quorum(tmp_path, benchmark,
+                                                   table_printer):
+    """The quorum control plane's headline: SIGKILL a license's primary
+    AND its first follower in the same instant.  Depth-2 replication
+    means the second follower still holds the ledger (seeded by a
+    WAL-shipped bootstrap at fleet start), epoch-fenced promotion makes
+    it the unique new primary, and the client crowd recovers with zero
+    double-grants and forfeiture bounded by the adaptive lag budget."""
+    names = default_shard_names(Q_SHARDS)
+    ring = HashRing(names)
+    owner, first, _second = ring.owners("lic-0", 3)
+    victims = [owner, first]
+    victim_indices = [names.index(victim) for victim in victims]
+    victim_licenses = {f"lic-{i}" for i in range(LICENSES)
+                       if ring.shard_for(f"lic-{i}") in victims}
+    assert "lic-0" in victim_licenses
+
+    def measure():
+        ports = _free_ports(Q_SHARDS)
+        processes = _spawn_fleet(ports, replicas=Q_REPLICAS,
+                                 data_dir=str(tmp_path))
+        url = _fleet_url(ports, replicas=Q_REPLICAS, timeout=10,
+                         max_attempts=3, reconnect_attempts=2,
+                         reconnect_backoff=0.05)
+        stop_event, started = threading.Event(), threading.Event()
+        logs = [_ClientLog() for _ in range(Q_CLIENTS)]
+        try:
+            threads = _run_crowd(url, stop_event, started, logs)
+            started.set()
+            time.sleep(Q_WARMUP)
+            for index in victim_indices:
+                processes[index].kill()  # both at once: no goodbye frames
+            kill_ts = time.monotonic()
+            time.sleep(Q_CHAOS)
+            stop_event.set()
+            for thread in threads:
+                thread.join(timeout=120)
+            probe = _fleet_audit(url)
+            survivors = [(name, port) for name, port in zip(names, ports)
+                         if name not in victims]
+            stats = {name: _server_stats_of(port)
+                     for name, port in survivors}
+        finally:
+            stop_event.set()
+            _stop(processes)
+        recoveries = [ts - kill_ts
+                      for log in logs
+                      for ts, license_id, _granted in log.successes
+                      if ts > kill_ts and license_id in victim_licenses]
+        return logs, probe, stats, recoveries
+
+    logs, probe, stats, recoveries = benchmark.pedantic(measure, rounds=1,
+                                                        iterations=1)
+
+    failures = [log.failure for log in logs if log.failure is not None]
+    assert not failures, f"client failures: {failures[:3]}"
+    assert recoveries, "no client ever recovered a victim-owned license"
+
+    granted = _sum_logs(logs, "granted")
+    returned = _sum_logs(logs, "returned")
+    peak_grant = {}
+    for log in logs:
+        for _ts, license_id, units in log.successes:
+            peak_grant[license_id] = max(peak_grant.get(license_id, 0), units)
+    forfeited = 0
+    double_grants = []
+    for license_id, entry in probe.items():
+        held = granted.get(license_id, 0) - returned.get(license_id, 0)
+        if held > entry["outstanding"] + entry["lost"]:
+            double_grants.append(license_id)
+        if license_id in victim_licenses:
+            lag_bound = max(LAG_BUDGET,
+                            LAG_GRANTS * peak_grant.get(license_id, 0))
+            assert entry["lost"] <= lag_bound, \
+                (f"{license_id} forfeited {entry['lost']} past the "
+                 f"adaptive lag bound {lag_bound}")
+            forfeited += entry["lost"]
+        else:
+            assert entry["lost"] == 0, \
+                f"{license_id} never lost its primary but wrote off units"
+    assert double_grants == [], \
+        f"units minted twice on {double_grants}"
+
+    # The quorum control plane is visible in every survivor's stats:
+    # epoch moved past 0 when the deaths were fenced, the quorum is the
+    # fleet default, and at least one cold follower was seeded by a
+    # WAL-shipped bootstrap (the fleet started with --data-dir).
+    bootstraps_applied = 0
+    for name, report in stats.items():
+        replication = report["replication"]
+        assert replication["quorum"] == Q_QUORUM, name
+        assert replication["epoch"] >= 1, \
+            f"{name} never learned the promotion epoch"
+        assert "exhausted_served" in report, name
+        bootstraps_applied += replication["follows"]["bootstraps_applied"]
+    assert bootstraps_applied >= 1, \
+        "no follower was ever seeded by a WAL-shipped bootstrap"
+
+    first_success = min(recoveries)
+    served = sum(len(log.successes) for log in logs)
+    exhausted = sum(log.exhausted for log in logs)
+    table_printer(
+        f"Two simultaneous SIGKILLs: {Q_CLIENTS} clients, {Q_SHARDS} "
+        f"shards, --replicas {Q_REPLICAS}, quorum {Q_QUORUM}"
+        + (" [smoke]" if QUORUM_SMOKE else ""),
+        ["Metric", "Value"],
+        [
+            ["victim shards (own lic-0 chain)", ", ".join(victims)],
+            ["renewals served", served],
+            ["kills -> first victim-license renew", f"{first_success:.3f} s"],
+            ["backpressure (EXHAUSTED) answers", exhausted],
+            ["units forfeited (victim licenses)", forfeited],
+            ["WAL bootstraps applied (survivors)", bootstraps_applied],
+            ["double-granted licenses", len(double_grants)],
+            ["client failures", len(failures)],
+        ],
+    )
+
+    # Unlike the single-kill bench this file always persists results:
+    # the CI smoke step uploads BENCH_quorum.json as its run artifact.
+    payload = {
+        "benchmark": "quorum_two_shard_kill",
+        "smoke": QUORUM_SMOKE,
+        "clients": Q_CLIENTS,
+        "shards": Q_SHARDS,
+        "replicas": Q_REPLICAS,
+        "quorum": Q_QUORUM,
+        "licenses": LICENSES,
+        "lag_budget": LAG_BUDGET,
+        "lag_grants": LAG_GRANTS,
+        "victim_shards": victims,
+        "renewals_served": served,
+        "kill_to_first_success_seconds": round(first_success, 4),
+        "backpressure_exhausted": exhausted,
+        "forfeited_units": forfeited,
+        "bootstraps_applied": bootstraps_applied,
+        "double_grants": len(double_grants),
+        "failed_calls": len(failures),
+    }
+    with open(BENCH_QUORUM_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 # ----------------------------------------------------------------------

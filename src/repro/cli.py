@@ -234,11 +234,15 @@ def cmd_serve_remote(args) -> int:
       expects clients to route through ``sl+sharded://`` endpoints
       (which mirror SLIDs and crash write-offs across the fleet).
 
-    ``--replicas 1 --fleet NAME=HOST:PORT,...`` additionally streams
-    this shard's license state to its ring-successor followers and
+    ``--replicas K --fleet NAME=HOST:PORT,...`` additionally streams
+    this shard's license state to its K ring-successor followers and
     mounts the replication surface (``replicate``/``sync_snapshot``/
-    ``promote``/``replication_probe``) so clients can fail the fleet
-    over when a primary dies.
+    ``bootstrap``/``promote``/``replication_probe``) so clients can
+    fail the fleet over when primaries die.  ``--quorum`` (default: a
+    majority of the replica group) holds identity acks until that many
+    followers have confirmed the escrow deltas; with ``--data-dir``
+    cold followers are re-seeded by WAL-shipped bootstrap instead of
+    in-memory snapshots.
     """
     from repro.core.sl_remote import SlRemote
     from repro.net.replication import ReplicationManager, TcpPeerLink
@@ -299,23 +303,33 @@ def cmd_serve_remote(args) -> int:
                 if name != shard_name
             }
 
-            def follower_for(license_id, _ring=ring):
-                owners = _ring.owners(license_id, 2)
-                return owners[1] if len(owners) > 1 else None
+            depth = min(args.replicas, count - 1)
+            quorum = (args.quorum if args.quorum is not None
+                      else (depth + 1) // 2)
+
+            def followers_for(license_id, _ring=ring, _depth=depth):
+                return _ring.owners(license_id, _depth + 1)[1:]
+
+            def owners_for(license_id, _ring=ring):
+                return _ring.owners(license_id, len(_ring))
 
             manager = ReplicationManager(
-                remote, shard_name, peers=peers, follower_for=follower_for,
+                remote, shard_name, peers=peers,
+                followers_for=followers_for, owners_for=owners_for,
+                quorum=quorum,
                 lag_budget_units=args.lag_budget,
                 lag_budget_grants=args.lag_grants,
+                persistence=persistences[0] if persistences else None,
             )
             manager.start()
-            print(f"replicating to ring successors "
-                  f"(lag budget {args.lag_budget} units, "
+            print(f"replicating to {depth} ring successor(s) "
+                  f"(quorum {quorum}, lag budget {args.lag_budget} units, "
                   f"{len(peers)} peers)", flush=True)
     elif args.shards > 1:
         remote = ShardedRemote(ras, shards=args.shards,
                                ledger_commit_seconds=args.ledger_commit_seconds,
                                replicas=args.replicas,
+                               quorum=args.quorum,
                                lag_budget_units=args.lag_budget,
                                lag_budget_grants=args.lag_grants,
                                data_dir=args.data_dir or None,
@@ -371,6 +385,10 @@ def cmd_serve_remote(args) -> int:
                              max_connections=args.max_connections,
                              extra_handlers=extra_handlers,
                              wire=args.wire)
+    if manager is not None:
+        # Standalone shard: the manager (not the remote) holds the
+        # replication health that _server_stats surfaces.
+        server.replication_health = manager.health
     # Recovery markers print BEFORE the listening marker so harnesses
     # that wait for the port can already have parsed the replay stats.
     for report in recovery_reports:
@@ -578,16 +596,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="simulated durable-commit latency charged "
                                    "inside each license's critical section")
     serve_parser.add_argument("--replicas", type=int, default=0,
-                              help="stream license-shard state to ring-"
-                                   "successor followers so a dead shard can "
-                                   "be promoted (with --shard-of this needs "
-                                   "--fleet; with --shards it wires in-"
-                                   "process followers)")
+                              help="replication depth K: stream each "
+                                   "license's state to its K ring successors "
+                                   "so dead shards can be promoted (with "
+                                   "--shard-of this needs --fleet; with "
+                                   "--shards it wires in-process followers)")
     serve_parser.add_argument("--fleet", default="",
                               metavar="NAME=HOST:PORT,...",
                               help="every fleet member's name and address "
                                    "(replication peers for --shard-of; names "
                                    "must match --ring / the default names)")
+    serve_parser.add_argument("--quorum", type=int, default=None,
+                              help="follower acks required before identity "
+                                   "(init/shutdown) responses are released; "
+                                   "default for --shard-of fleets is a "
+                                   "majority of the replica group, 0 "
+                                   "disables gating")
     serve_parser.add_argument("--lag-budget", type=int, default=64,
                               help="replication lag budget in granted units: "
                                    "the most a promotion may forfeit per "

@@ -160,6 +160,10 @@ class SlRemote:
         #: ``renew_batch`` frames served (each carrying >= 1 renewals).
         self.batches_served = 0
         self.inits_served = 0
+        #: Renewals answered EXHAUSTED (pool empty *or* replication
+        #: backpressure clamped the grant to zero) — the signal the
+        #: adaptive-renewal loop and replication health surface watch.
+        self.exhausted_served = 0
         #: State-change observers: callables ``(event, fields_dict)``
         #: invoked under the lock guarding the mutated state, so one
         #: license's events arrive in commit order (replication hooks).
@@ -742,6 +746,8 @@ class SlRemote:
             ), False
         ledger = state.ledger
         if ledger.available <= 0:
+            with self._counters_lock:
+                self.exhausted_served += 1
             return RenewResponse(status=Status.EXHAUSTED), False
 
         requester = NodeCondition(
@@ -779,6 +785,8 @@ class SlRemote:
             else:
                 ledger.outstanding.pop(key, None)
         if granted <= 0:
+            with self._counters_lock:
+                self.exhausted_served += 1
             return RenewResponse(status=Status.EXHAUSTED), False
         client.holdings[request.license_id] = (
             client.holdings.get(request.license_id, 0) + granted

@@ -23,8 +23,10 @@ package supplies:
   fleets of mostly-idle connections (:mod:`repro.net.aio`),
 * consistent-hash sharding of the license ledgers across N servers with
   a routing layer (:mod:`repro.net.sharding`), and
-* follower replication of shard state with promotion on primary death
-  and online shard membership changes (:mod:`repro.net.replication`).
+* a quorum control plane: depth-K follower replication of shard state
+  with identity-quorum acks, epoch-fenced promotion on primary death,
+  WAL-shipped follower bootstrap, and online shard membership changes
+  (:mod:`repro.net.replication`).
 """
 
 from repro.net.aio import AsyncLeaseServer, AsyncTcpTransport
@@ -50,6 +52,7 @@ from repro.net.errors import (
 )
 from repro.net.network import NetworkConditions, NetworkError, SimulatedLink
 from repro.net.replication import (
+    BootstrapChunk,
     FollowerStore,
     ReplicaBatch,
     ReplicaDelta,
@@ -87,6 +90,7 @@ from repro.net.transport import (
 __all__ = [
     "AsyncLeaseServer",
     "AsyncTcpTransport",
+    "BootstrapChunk",
     "CodecError",
     "DialError",
     "ENDPOINT_SCHEMES",

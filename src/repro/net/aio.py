@@ -109,7 +109,7 @@ class AsyncLeaseServer:
         self.remote = remote
         self.handlers = HandlerTable(remote.protocol_handlers())
         for method, handler in (extra_handlers or {}).items():
-            self.handlers.register(method, handler)
+            self.handlers.register(method, handler, override=True)
         self.host = host
         self.port = port
         self.clock = clock if clock is not None else ThreadSafeClock()

@@ -630,6 +630,31 @@ class _Reader:
         raise CodecError(f"unknown v3 value tag {tag:#x}")
 
 
+def encode_value(obj: Any) -> bytes:
+    """Serialize one value with the v3 binary value codec.
+
+    The public face of the recursive tagged encoding v3 envelopes use
+    internally: registered messages, enums, containers, and scalars all
+    round-trip.  Higher layers (e.g. the WAL-shipped replication
+    bootstrap) use it to frame record streams without inventing a
+    second binary format.
+    """
+    buf = bytearray()
+    _write_value(buf, obj)
+    return bytes(buf)
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`; rejects trailing bytes."""
+    reader = _Reader(data)
+    value = reader.read_value()
+    if reader.pos != len(data):
+        raise CodecError(
+            f"value has {len(data) - reader.pos} trailing bytes"
+        )
+    return value
+
+
 def _encode_v3(kind: str, request_id: int, meta: Optional[Dict[str, Any]],
                method: Optional[str] = None, body: Any = None,
                error: Optional[str] = None) -> bytes:

@@ -57,6 +57,8 @@ class EndpointConfig:
     MigratingNotice` retry-after waits a router absorbs before raising
     :class:`~repro.net.errors.Migrating`; ``replicas > 0`` declares the
     fleet replicated, which arms the router's dial-failure failover.
+    ``quorum`` is the fleet's write-quorum expectation, carried so
+    clients and tooling can reason about it; servers enforce it.
     ``data_dir`` makes a *loopback* endpoint's remote durable (recover
     on connect, journal from then on); socket schemes reject it — the
     server process owns its own ``--data-dir``.
@@ -78,6 +80,7 @@ class EndpointConfig:
     ring_replicas: int = 64
     migrate_retries: int = 40
     replicas: int = 0
+    quorum: int = 0
     data_dir: Optional[str] = None
     wire: int = 3
     batch_window: float = 0.0
@@ -101,6 +104,8 @@ class EndpointConfig:
             raise ValueError("migrate_retries must be >= 0")
         if self.replicas < 0:
             raise ValueError("replicas must be >= 0")
+        if self.quorum < 0:
+            raise ValueError("quorum must be >= 0")
         if self.wire not in (1, 2, 3):
             raise ValueError(
                 f"unknown wire version {self.wire!r}; choose 1, 2, or 3"
@@ -125,6 +130,7 @@ _QUERY_FIELDS = {
     "ring_replicas": ("ring_replicas", int),
     "migrate_retries": ("migrate_retries", int),
     "replicas": ("replicas", int),
+    "quorum": ("quorum", int),
     "data_dir": ("data_dir", str),
     "wire": ("wire", int),
     "batch_window": ("batch_window", float),

@@ -1,79 +1,89 @@
-"""Shard replication: delta streams, anti-entropy snapshots, failover.
+"""Quorum control plane: depth-K delta streams, epoch fencing, bootstrap.
 
-The sharded SL-Remote (PR 2/3) still loses a license's whole ledger
-when its home shard dies — the exact availability gap the paper waves
-at and T-Lease closes with replicated lease state.  This module makes
-every shard stream its :class:`~repro.core.sl_remote.LicenseShardState`
-changes to a **follower** shard so a dead primary costs clients a
+The sharded SL-Remote loses a license's whole ledger when its home
+shard dies — the availability gap the paper waves at and T-Lease
+closes with replicated, epoch-disciplined lease state.  This module
+makes every shard stream its
+:class:`~repro.core.sl_remote.LicenseShardState` changes to **K ring
+successors** so that even two simultaneous shard deaths cost clients a
 bounded, *accounted* loss instead of a dead license:
 
 * :class:`ReplicationSource` — taps the primary's observer hooks
   (:meth:`~repro.core.sl_remote.SlRemote.add_observer`), buffers
   per-license deltas in commit order, and a flusher thread ships them
-  as :class:`ReplicaBatch` messages to each license's follower (the
-  next *distinct* shard clockwise on the hash ring — exactly the shard
-  the ring maps the license to once the primary is removed, so routing
-  after failover needs no extra lookup table).  A periodic
-  :class:`ShardSnapshot` pass (full export of every owned license +
-  identity) is the anti-entropy backstop: a follower that missed
-  deltas — downtime, dropped batch, a license issued mid-run — is
-  reconciled wholesale.
-* **Bounded replication lag** — the source tracks, per license, how
-  many granted units the follower has *not* acknowledged, and
-  SL-Remote's ``grant_headroom`` hook clamps new grants so that number
-  never exceeds the license's lag budget.  That clamp is the whole
-  no-double-mint argument: whatever the follower missed is at most the
-  budget, so reserving that many units as lost at promotion covers
-  every unseen grant (the paper's pessimistic rule, Algorithms 2–3,
-  applied only to the lag window instead of to everything).
-
-  The budget is **adaptive and denominated in grants**: Algorithm 1
-  happily sizes one grant at half the pool, so a fixed unit budget is
-  eaten by a single grant and every renewal until the next 20 ms flush
-  ack sees spurious ``EXHAUSTED`` backpressure.  Instead each license's
-  budget grows to ``lag_budget_grants × peak-observed-grant`` (capped
-  at ``lag_budget_pool_fraction`` of the pool so a promotion can never
-  pessimistically burn more than that fraction).  Soundness under
-  growth: the clamp only ever uses the **shipped** budget — the last
-  value the follower acknowledged receiving (rides on every batch and
-  snapshot) — so a grant can never exceed what the follower will
-  reserve if it is promoted a moment later.
-* :class:`FollowerStore` — the follower-side replica: wire-form license
-  records per source shard, mutated by deltas, replaced by snapshots.
+  as :class:`ReplicaBatch` messages to each license's followers
+  (``followers_for(license_id)`` — the next K *distinct* shards
+  clockwise on the hash ring, exactly the shards the ring maps the
+  license to as primaries die, so routing after failover needs no
+  extra lookup table).
+* **Bounded replication lag** — the source tracks, per peer and per
+  license, how many granted units that follower has *not*
+  acknowledged, and SL-Remote's ``grant_headroom`` hook clamps new
+  grants so no live follower's lag ever exceeds the license's shipped
+  budget.  That clamp is the whole no-double-mint argument: whatever
+  *any* surviving follower missed is at most the budget, so reserving
+  that many units as lost at promotion covers every unseen grant (the
+  paper's pessimistic rule, Algorithms 2–3, applied only to the lag
+  window instead of to everything).  The budget is adaptive and
+  denominated in grants (``lag_budget_grants × peak grant``, capped at
+  a pool fraction); the clamp only ever trusts the **shipped** budget
+  — the last value that follower acknowledged receiving.
+* **Identity quorum** — identity/escrow deltas (no ``license_id``)
+  broadcast to every peer, and the dispatch path can block a client's
+  ``init``/``shutdown`` ack until a majority of live peers has acked
+  the identity watermark (:meth:`ReplicationSource.
+  wait_identity_quorum`), so a home-shard death immediately after an
+  escrow cannot silently forfeit it.
+* **Epoch fencing** — every promotion carries an epoch; followers
+  fence the deposed source at that epoch and answer its late traffic
+  with ``{"status": "fenced"}`` instead of applying it.  A fenced
+  source stops granting entirely (headroom 0): a partitioned stale
+  primary can neither mint units nor corrupt its successors.
+* **WAL-shipped bootstrap** — a cold or restarting follower no longer
+  syncs from an in-memory :class:`ShardSnapshot` build: when the
+  source has durable storage (:class:`~repro.storage.wal.
+  ShardPersistence`), it ships a :class:`BootstrapChunk` — the
+  on-disk snapshot plus the WAL tail in v3 frames — and the follower
+  replays it through :class:`FollowerStore`, then switches to live
+  deltas at the captured seq watermark.  Healthy followers keep the
+  classic in-memory anti-entropy snapshot as a periodic backstop.
+* :class:`FollowerStore` — the follower-side replica: wire-form
+  license records per source shard, mutated by deltas, replaced by
+  snapshots, rebuilt by bootstrap chunks; fences stale sources.
 * :class:`ReplicationManager` — one per shard process; wires source +
   store together and exposes the fleet-internal wire surface
-  (``replicate`` / ``sync_snapshot`` / ``promote`` /
-  ``replication_probe``) that :class:`~repro.net.server.LeaseServer`
-  and :class:`~repro.net.aio.AsyncLeaseServer` mount via
+  (``replicate`` / ``sync_snapshot`` / ``bootstrap`` / ``promote`` /
+  ``replication_probe`` and, when a quorum is configured, gated
+  ``init``/``shutdown``) that the servers mount via
   ``extra_handlers``.
 
-Promotion is **idempotent and router-driven**: every client's
-:class:`~repro.net.sharding.ShardRouter` that observes a dead shard
-(:class:`~repro.net.errors.DialError`) broadcasts ``promote(source)``
-to the surviving shards; each folds the replicas it holds for that
-source into its own serving state exactly once and answers with what
-it installed (and the pessimistic reserve applied), no matter how many
-routers ask.
-
-Identity (escrowed root keys, graceful flags, the SLID watermark) is
-small and fleet-critical, so it is replicated to *every* peer — escrow
-deltas broadcast, snapshots attached — which makes any promotion order
-safe for the home role.  SLID admits need no replication at all: the
-router already broadcasts ``admit`` fleet-wide at init time.
+Promotion is **idempotent, epoch-fenced and router-driven**: every
+client's :class:`~repro.net.sharding.ShardRouter` that observes a dead
+shard probes the survivors, picks the max-(epoch, seq) ranking, and
+broadcasts ``promote({source, epoch})``; each survivor fences the dead
+source, folds the replicas *it* adopts (first live owner in ring
+order) into its own serving state exactly once, and answers with what
+it installed, no matter how many routers ask.  Every promote call
+rescans all dead sources, so a second simultaneous death is healed by
+whichever survivor is next in ring order for each license.
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import (
+    Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple,
+)
 
 from repro.net import codec
 from repro.sim.clock import ThreadSafeClock
 
 #: Default per-license replication-lag budget *floor*: the most granted
-#: units that may ever be un-acknowledged by the follower before the
+#: units that may ever be un-acknowledged by a follower before the
 #: budget has adapted to the observed grant size, hence the least a
 #: promotion may have to forfeit per license.
 DEFAULT_LAG_BUDGET_UNITS = 64
@@ -86,9 +96,14 @@ DEFAULT_LAG_BUDGET_GRANTS = 4
 #: a promotion's pessimistic reserve can never burn more than this.
 DEFAULT_LAG_BUDGET_POOL_FRACTION = 0.25
 
+#: How long a gated ``init``/``shutdown`` waits for the identity
+#: quorum before giving up (the ack still goes out — the timeout is a
+#: tail-latency bound, counted in ``quorum_timeouts``, not a refusal).
+DEFAULT_QUORUM_TIMEOUT = 1.0
+
 
 # ----------------------------------------------------------------------
-# Wire messages (registered with the codec; WIRE_VERSION 2 payloads)
+# Wire messages (registered with the codec)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ReplicaDelta:
@@ -115,13 +130,16 @@ class ReplicaBatch:
     license touched by the batch; the follower records the largest
     value it has seen — that (not the legacy flat ``budget``) is what
     its promotion reserve uses, and the source never clamps against a
-    budget it has not successfully shipped.
+    budget it has not successfully shipped.  ``epoch`` is the source's
+    promotion epoch: a follower that fenced the source at a higher
+    epoch rejects the batch instead of applying it.
     """
 
     source: str
     budget: int
     deltas: Tuple[ReplicaDelta, ...]
     budgets: Dict[str, int] = field(default_factory=dict)
+    epoch: int = 0
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -129,6 +147,7 @@ class ReplicaBatch:
             "budget": self.budget,
             "deltas": [delta.to_wire() for delta in self.deltas],
             "budgets": dict(self.budgets),
+            "epoch": self.epoch,
         }
 
     @classmethod
@@ -140,6 +159,7 @@ class ReplicaBatch:
                          for d in fields["deltas"]),
             budgets={str(lid): int(units)
                      for lid, units in fields.get("budgets", {}).items()},
+            epoch=int(fields.get("epoch", 0)),
         )
 
 
@@ -162,6 +182,7 @@ class ShardSnapshot:
     licenses: Dict[str, Any]
     identity: Dict[str, Any]
     budgets: Dict[str, int] = field(default_factory=dict)
+    epoch: int = 0
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -171,6 +192,7 @@ class ShardSnapshot:
             "licenses": self.licenses,
             "identity": self.identity,
             "budgets": dict(self.budgets),
+            "epoch": self.epoch,
         }
 
     @classmethod
@@ -181,10 +203,59 @@ class ShardSnapshot:
             identity=fields["identity"],
             budgets={str(lid): int(units)
                      for lid, units in fields.get("budgets", {}).items()},
+            epoch=int(fields.get("epoch", 0)),
         )
 
 
-for _message in (ReplicaDelta, ReplicaBatch, ShardSnapshot):
+@dataclass(frozen=True)
+class BootstrapChunk:
+    """The source's durable state, shipped to a cold follower.
+
+    ``snapshot`` is the on-disk compaction snapshot payload
+    (``{"seq": wal_seq, "licenses": {...}, "identity": {...}}``, or
+    ``{}`` when the source has never compacted); ``records`` is the
+    WAL tail — v3-framed ``{"seq", "event", "fields"}`` values
+    produced by :meth:`~repro.storage.wal.WriteAheadLog.export_frames`
+    — which the follower replays past the snapshot's WAL watermark.
+    ``seq`` is the *replication* seq captured while the WAL was
+    quiesced: the follower resumes live deltas exactly there.
+    """
+
+    source: str
+    seq: int
+    budget: int
+    snapshot: Dict[str, Any]
+    records: bytes
+    budgets: Dict[str, int] = field(default_factory=dict)
+    epoch: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "seq": self.seq,
+            "budget": self.budget,
+            "snapshot": self.snapshot,
+            "records": self.records.hex(),
+            "budgets": dict(self.budgets),
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> "BootstrapChunk":
+        records = fields["records"]
+        if isinstance(records, str):
+            records = bytes.fromhex(records)
+        return cls(
+            source=fields["source"], seq=fields["seq"],
+            budget=fields["budget"], snapshot=fields["snapshot"],
+            records=bytes(records),
+            budgets={str(lid): int(units)
+                     for lid, units in fields.get("budgets", {}).items()},
+            epoch=int(fields.get("epoch", 0)),
+        )
+
+
+for _message in (ReplicaDelta, ReplicaBatch, ShardSnapshot, BootstrapChunk):
     codec.register_message_type(_message)
 
 
@@ -254,14 +325,21 @@ class TcpPeerLink(PeerLink):
 # Source side
 # ----------------------------------------------------------------------
 class ReplicationSource:
-    """Streams one shard's state changes to its followers.
+    """Streams one shard's state changes to its K followers.
 
-    ``follower_for(license_id)`` names the peer that replicates a given
-    license (ring successor); identity events go to every peer.  The
-    flusher thread drains the delta buffer every ``flush_interval``
-    seconds and takes a full snapshot pass every ``snapshot_interval``
-    seconds; both can also be driven explicitly (``flush_now`` /
-    ``snapshot_now``) which is what deterministic tests do.
+    ``followers_for(license_id)`` names the peers that replicate a
+    given license (the K distinct ring successors); identity events go
+    to every peer.  The flusher thread drains the delta buffer every
+    ``flush_interval`` seconds and takes a snapshot/bootstrap pass
+    every ``snapshot_interval`` seconds; both can also be driven
+    explicitly (``flush_now`` / ``snapshot_now``) which is what
+    deterministic tests do.
+
+    When ``exporter`` is set (a :meth:`~repro.storage.wal.
+    ShardPersistence.export_bootstrap` bound method), peers whose
+    delta stream broke — including every peer at startup — are healed
+    with a WAL-shipped :class:`BootstrapChunk` instead of an in-memory
+    snapshot build.
     """
 
     def __init__(
@@ -269,7 +347,7 @@ class ReplicationSource:
         remote,
         name: str,
         peers: Dict[str, PeerLink],
-        follower_for: Callable[[str], Optional[str]],
+        followers_for: Callable[[str], Sequence[str]],
         lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
         lag_budget_grants: int = DEFAULT_LAG_BUDGET_GRANTS,
         lag_budget_pool_fraction: float = DEFAULT_LAG_BUDGET_POOL_FRACTION,
@@ -285,75 +363,125 @@ class ReplicationSource:
         self.remote = remote
         self.name = name
         self.peers = dict(peers)
-        self.follower_for = follower_for
+        self.followers_for = followers_for
         self.budget = lag_budget_units
         self.grants_budget = lag_budget_grants
         self.pool_fraction = lag_budget_pool_fraction
         self.flush_interval = flush_interval
         self.snapshot_interval = snapshot_interval
+        #: Promotion epoch stamped on every outbound message; bumped by
+        #: the manager when this shard participates in a promotion.
+        self.epoch = 0
+        #: Optional durable exporter (``ShardPersistence.
+        #: export_bootstrap``): enables WAL-shipped bootstrap.
+        self.exporter: Optional[
+            Callable[[Callable[[], None]], Tuple[Dict[str, Any], bytes]]
+        ] = None
         self._lock = threading.Lock()
+        self._ack_cond = threading.Condition(self._lock)
+        #: Serializes flush_now/snapshot_now across the flusher thread
+        #: and any request thread driving shipping inline (identity
+        #: quorum waits): interleaved drains would ship deltas out of
+        #: seq order and the follower would skip the stragglers.
+        self._flush_serial = threading.Lock()
         self._pending: Deque[ReplicaDelta] = deque()
         self._seq = 0
-        #: license_id -> granted units the follower has not acked; the
-        #: grant_headroom clamp keeps each entry <= the shipped budget.
-        self._unacked: Dict[str, int] = {}
+        #: Seq of the most recent identity delta (no license_id): the
+        #: watermark wait_identity_quorum compares peer acks against.
+        self._identity_seq = 0
+        #: peer -> license_id -> granted units that follower has not
+        #: acked; the grant_headroom clamp keeps every entry <= the
+        #: budget shipped *to that peer*.
+        self._unacked: Dict[str, Dict[str, int]] = {}
         #: license_id -> largest grant Algorithm 1 ever *proposed*
         #: (pre-clamp) — the scale the adaptive budget tracks.
         self._peak: Dict[str, int] = {}
-        #: license_id -> largest budget the follower has confirmed
-        #: receiving.  The clamp uses only this: a grant sized against
-        #: an unshipped budget could exceed the promotion reserve.
-        self._shipped: Dict[str, int] = {}
+        #: peer -> license_id -> largest budget that follower has
+        #: confirmed receiving.  The clamp uses only this: a grant
+        #: sized against an unshipped budget could exceed the
+        #: promotion reserve.
+        self._shipped: Dict[str, Dict[str, int]] = {}
+        #: peer -> highest seq that follower has acknowledged (batch,
+        #: snapshot or bootstrap — whichever covered it).
+        self._acked_seq: Dict[str, int] = {}
+        #: peer -> epoch at which that peer fenced *us* (we were
+        #: promoted away from).  A fenced source stops granting.
+        self._fenced: Dict[str, int] = {}
         #: Peers whose delta stream broke: deltas for them are dropped
-        #: and the next snapshot pass reconciles them wholesale.
-        self._needs_snapshot = set(self.peers)
+        #: and the next snapshot/bootstrap pass reconciles them.
+        self._needs_snapshot: Set[str] = set(self.peers)
         self.batches_sent = 0
         self.snapshots_sent = 0
+        self.bootstraps_sent = 0
         self.deltas_dropped = 0
         self.deltas_coalesced = 0
+        self.fenced_rejections = 0
         self._stop = threading.Event()
+        self._wake = threading.Event()
         self._thread: Optional[threading.Thread] = None
         remote.add_observer(self._observe)
         remote.grant_headroom = self.grant_headroom
 
     # -- primary-side hooks (called under the mutated state's lock) ----
+    def _live_followers(self, license_id: str) -> List[str]:
+        """Followers that can still ack (``_lock`` held)."""
+        return [peer for peer in self.followers_for(license_id)
+                if peer in self.peers and peer not in self._fenced]
+
     def _observe(self, event: str, fields: Dict[str, Any]) -> None:
         with self._lock:
             self._seq += 1
             self._pending.append(ReplicaDelta(self._seq, event, dict(fields)))
-            if event == "grant":
-                license_id = fields["license_id"]
+            license_id = fields.get("license_id")
+            if license_id is None:
+                self._identity_seq = self._seq
+            elif event == "grant":
                 # Only grants a live follower should see count toward
-                # the lag window: a license whose ring successor is not
-                # a peer (e.g. it is *this* shard, post-promotion) has
-                # no replica anywhere, so there is nothing to lag.
-                if self.follower_for(license_id) in self.peers:
-                    self._unacked[license_id] = (
-                        self._unacked.get(license_id, 0) + fields["units"]
+                # the lag window: a license none of whose ring
+                # successors is a peer (e.g. they all died) has no
+                # replica anywhere, so there is nothing to lag.
+                for peer in self._live_followers(license_id):
+                    bucket = self._unacked.setdefault(peer, {})
+                    bucket[license_id] = (
+                        bucket.get(license_id, 0) + fields["units"]
                     )
 
     def grant_headroom(self, license_id: str,
                        proposed_units: int = 0) -> Optional[int]:
         """How many more units may be granted before exceeding the lag
         budget (wired into ``SlRemote.grant_headroom``); ``None`` means
-        unlimited — the license has no live follower to lag behind.
+        unlimited — the license has no live follower to lag behind —
+        and ``0`` with a fenced follower means *deposed*: a stale
+        primary that learned of its own replacement never grants again.
 
         ``proposed_units`` (Algorithm 1's pre-clamp decision) feeds the
         peak tracker so the *next* shipped budget adapts to the grant
-        scale; the clamp itself only trusts ``_shipped``.
+        scale; the clamp itself only trusts ``_shipped``, and takes the
+        minimum headroom across the K live followers — the promotion
+        reserve must cover whichever survivor knows the least.
         """
         with self._lock:
-            if self.follower_for(license_id) not in self.peers:
+            followers = list(self.followers_for(license_id))
+            if any(peer in self._fenced for peer in followers):
+                return 0
+            live = [peer for peer in followers if peer in self.peers]
+            if not live:
                 return None
             if proposed_units > self._peak.get(license_id, 0):
                 self._peak[license_id] = proposed_units
-            shipped = self._shipped.get(license_id, self.budget)
-            return max(0, shipped - self._unacked.get(license_id, 0))
+            headroom: Optional[int] = None
+            for peer in live:
+                shipped = self._shipped.get(peer, {}).get(
+                    license_id, self.budget)
+                lag = self._unacked.get(peer, {}).get(license_id, 0)
+                room = max(0, shipped - lag)
+                headroom = room if headroom is None else min(headroom, room)
+            return headroom
 
     def desired_budget(self, license_id: str) -> int:
         """The adaptive lag budget this license *should* have:
         ``max(floor, grants × peak)``, capped at ``pool_fraction`` of
-        the license pool.  Shipped to the follower on every batch and
+        the license pool.  Shipped to followers on every batch and
         snapshot; the clamp starts honouring it once shipping succeeds.
 
         (The ledger lookup happens outside ``_lock``: observers run
@@ -370,28 +498,42 @@ class ReplicationSource:
         return min(want, max(self.budget, int(total * self.pool_fraction)))
 
     def shipped_budget(self, license_id: str) -> int:
-        """The budget the follower has confirmed (= the forfeit bound)."""
+        """The smallest budget any live follower has confirmed (= the
+        forfeit bound whichever of them is promoted)."""
         with self._lock:
-            return self._shipped.get(license_id, self.budget)
+            live = [peer for peer in self.followers_for(license_id)
+                    if peer in self.peers]
+            if not live:
+                return self.budget
+            return min(self._shipped.get(peer, {}).get(license_id,
+                                                       self.budget)
+                       for peer in live)
 
-    def _ship_budgets(self, budgets: Dict[str, int]) -> None:
-        """Record budgets a peer just acknowledged (monotone per license)."""
+    def _ship_budgets(self, peer_name: str,
+                      budgets: Dict[str, int]) -> None:
+        """Record budgets a peer just acknowledged (monotone)."""
         with self._lock:
+            bucket = self._shipped.setdefault(peer_name, {})
             for license_id, units in budgets.items():
-                if units > self._shipped.get(license_id, self.budget):
-                    self._shipped[license_id] = units
+                if units > bucket.get(license_id, self.budget):
+                    bucket[license_id] = units
 
     def drop_peer(self, name: str) -> None:
         """Forget a dead peer (promotion observed its death).
 
-        Its link closes and licenses that followed it stop counting
-        toward the lag window — they are no longer replicated anywhere,
-        so backpressuring their grants would wedge them at the budget
-        with no follower left to ever ack.
+        Its link closes and its lag stops counting toward the clamp —
+        nothing it missed can be promoted any more, so backpressuring
+        grants for it would wedge licenses at the budget with no
+        follower left to ever ack.
         """
         with self._lock:
             peer = self.peers.pop(name, None)
             self._needs_snapshot.discard(name)
+            self._unacked.pop(name, None)
+            self._shipped.pop(name, None)
+            self._acked_seq.pop(name, None)
+            self._fenced.pop(name, None)
+            self._ack_cond.notify_all()
         if peer is not None:
             try:
                 peer.close()
@@ -408,32 +550,93 @@ class ReplicationSource:
         self._thread.start()
 
     def stop(self) -> None:
+        """Stop the flusher, detach from the remote, close the links.
+
+        Detaching the observer/headroom hooks makes stop() safe to
+        call before the server sockets close: no request thread can
+        re-enter a half-torn-down source.
+        """
         self._stop.set()
+        self._wake.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        try:
+            self.remote._observers.remove(self._observe)
+        except ValueError:
+            pass
+        if self.remote.grant_headroom == self.grant_headroom:
+            self.remote.grant_headroom = None
         for peer in self.peers.values():
             peer.close()
 
     def _run(self) -> None:
         elapsed = 0.0
-        # Bootstrap: a fresh follower starts from a full snapshot.
+        # Bootstrap: fresh followers start from a full snapshot (or a
+        # WAL-shipped bootstrap when durable storage is attached).
         self.snapshot_now()
-        while not self._stop.wait(self.flush_interval):
+        while True:
+            self._wake.wait(self.flush_interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                break
             self.flush_now()
             elapsed += self.flush_interval
             if elapsed >= self.snapshot_interval:
                 elapsed = 0.0
                 self.snapshot_now()
 
+    # -- identity quorum ------------------------------------------------
+    def wait_identity_quorum(self, required: int,
+                             timeout: float = DEFAULT_QUORUM_TIMEOUT) -> bool:
+        """Block until ``required`` live peers have acked the current
+        identity watermark (or every live peer, when fewer than
+        ``required`` remain).  Returns False on timeout.
+
+        Called on the dispatch path after an identity-mutating handler
+        (init/shutdown) ran: the client's ack is held until a majority
+        of followers could survive this shard's death with the escrow
+        intact.  With no flusher thread (deterministic tests) the wait
+        drives shipping inline.
+        """
+        if required <= 0:
+            return True
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                target = self._identity_seq
+                live = [peer for peer in self.peers
+                        if peer not in self._fenced]
+                need = min(required, len(live))
+                if target == 0 or need <= 0:
+                    return True
+                acked = sum(1 for peer in live
+                            if self._acked_seq.get(peer, 0) >= target)
+                if acked >= need:
+                    return True
+            if time.monotonic() >= deadline:
+                return False
+            if self._thread is None:
+                # Deterministic mode: ship inline.  flush alone cannot
+                # reach a peer whose stream broke (deltas for it are
+                # dropped), so escalate to the snapshot pass.
+                self.flush_now()
+                self.snapshot_now()
+                time.sleep(0.001)
+            else:
+                self._wake.set()
+                with self._ack_cond:
+                    self._ack_cond.wait(timeout=0.01)
+
     # -- shipping -------------------------------------------------------
     def _route(self, delta: ReplicaDelta) -> List[str]:
-        """Peer names a delta must reach (identity events go to all)."""
+        """Peer names a delta must reach (``_lock`` held; identity
+        events go to every non-fenced peer)."""
         license_id = delta.fields.get("license_id")
         if license_id is None:
-            return list(self.peers)
-        follower = self.follower_for(license_id)
-        return [follower] if follower in self.peers else []
+            return [peer for peer in self.peers
+                    if peer not in self._fenced]
+        return self._live_followers(license_id)
 
     @staticmethod
     def _coalesce(deltas: List[ReplicaDelta]) -> List[ReplicaDelta]:
@@ -465,78 +668,179 @@ class ReplicationSource:
             merged.append(delta)
         return merged
 
+    def _fenced_reply(self, peer_name: str, reply: Any) -> bool:
+        """Record a ``{"status": "fenced"}`` answer; True if it was one."""
+        if not (isinstance(reply, dict)
+                and reply.get("status") == "fenced"):
+            return False
+        with self._lock:
+            epoch = int(reply.get("epoch", 0))
+            if epoch > self._fenced.get(peer_name, -1):
+                self._fenced[peer_name] = epoch
+            self._needs_snapshot.discard(peer_name)
+            self._ack_cond.notify_all()
+        self.fenced_rejections += 1
+        return True
+
     def flush_now(self) -> None:
         """Drain pending deltas and ship one batch per follower."""
-        with self._lock:
-            drained = list(self._pending)
-            self._pending.clear()
-        if not drained:
-            return
-        coalesced = self._coalesce(drained)
-        self.deltas_coalesced += len(drained) - len(coalesced)
-        drained = coalesced
-        per_peer: Dict[str, List[ReplicaDelta]] = {}
-        for delta in drained:
-            for peer_name in self._route(delta):
-                per_peer.setdefault(peer_name, []).append(delta)
-        for peer_name, deltas in per_peer.items():
-            if peer_name in self._needs_snapshot:
-                # The stream to this peer is already broken; deltas
-                # would apply out of order.  Snapshot supersedes them.
-                self.deltas_dropped += len(deltas)
-                continue
-            touched = {delta.fields.get("license_id") for delta in deltas}
-            budgets = {license_id: self.desired_budget(license_id)
-                       for license_id in touched if license_id is not None}
-            batch = ReplicaBatch(source=self.name, budget=self.budget,
-                                 deltas=tuple(deltas), budgets=budgets)
-            acked_grants = self._grant_units(deltas)
-            try:
-                self.peers[peer_name].call("replicate", batch)
-            except Exception:  # noqa: BLE001 - any peer fault = resync later
-                self._needs_snapshot.add(peer_name)
-                self.deltas_dropped += len(deltas)
-                continue
-            self.batches_sent += 1
-            self._ack(acked_grants)
-            self._ship_budgets(budgets)
+        with self._flush_serial:
+            with self._lock:
+                drained = list(self._pending)
+                self._pending.clear()
+                if not drained:
+                    self._ack_cond.notify_all()
+                    return
+            coalesced = self._coalesce(drained)
+            self.deltas_coalesced += len(drained) - len(coalesced)
+            per_peer: Dict[str, List[ReplicaDelta]] = {}
+            with self._lock:
+                epoch = self.epoch
+                for delta in coalesced:
+                    for peer_name in self._route(delta):
+                        per_peer.setdefault(peer_name, []).append(delta)
+            for peer_name, deltas in per_peer.items():
+                if peer_name in self._needs_snapshot:
+                    # The stream to this peer is already broken; deltas
+                    # would apply out of order.  The snapshot/bootstrap
+                    # pass supersedes them.
+                    self.deltas_dropped += len(deltas)
+                    continue
+                touched = {delta.fields.get("license_id")
+                           for delta in deltas}
+                budgets = {license_id: self.desired_budget(license_id)
+                           for license_id in touched
+                           if license_id is not None}
+                batch = ReplicaBatch(source=self.name, budget=self.budget,
+                                     deltas=tuple(deltas), budgets=budgets,
+                                     epoch=epoch)
+                acked_grants = self._grant_units(deltas)
+                link = self.peers.get(peer_name)
+                if link is None:
+                    continue  # dropped concurrently by a promotion
+                try:
+                    reply = link.call("replicate", batch)
+                except Exception:  # noqa: BLE001 - peer fault = resync later
+                    self._needs_snapshot.add(peer_name)
+                    self.deltas_dropped += len(deltas)
+                    continue
+                if self._fenced_reply(peer_name, reply):
+                    continue
+                self.batches_sent += 1
+                self._ack(peer_name, acked_grants, deltas[-1].seq)
+                self._ship_budgets(peer_name, budgets)
 
     def snapshot_now(self) -> None:
-        """Ship a full snapshot to every peer (anti-entropy pass)."""
-        for peer_name, peer in self.peers.items():
-            licenses: Dict[str, Any] = {}
-            for license_id in self.remote.license_ids():
-                if self.follower_for(license_id) != peer_name:
-                    continue
-                licenses[license_id] = \
-                    self.remote.export_license_state(license_id)
-            # Grants already exported are replicated the moment the
-            # snapshot lands; grants that raced in since are still in
-            # the pending queue and stay unacked until their own flush.
+        """Reconcile every peer: WAL-shipped bootstrap for peers whose
+        stream broke (when durable storage is attached), the classic
+        in-memory snapshot as the anti-entropy backstop otherwise."""
+        with self._flush_serial:
             with self._lock:
-                covered = {
-                    license_id: self._unacked.get(license_id, 0)
-                    - self._pending_grants(license_id)
-                    for license_id in licenses
+                fenced = set(self._fenced)
+                epoch = self.epoch
+            targets = [peer for peer in list(self.peers)
+                       if peer not in fenced]
+            if self.exporter is not None:
+                needy = [peer for peer in targets
+                         if peer in self._needs_snapshot]
+                if needy:
+                    try:
+                        done = self._bootstrap_now(needy, epoch)
+                    except Exception:  # noqa: BLE001 - exporter fault
+                        done = set()  # fall back to classic snapshots
+                    targets = [peer for peer in targets
+                               if peer not in done]
+            for peer_name in targets:
+                self._snapshot_peer(peer_name, epoch)
+
+    def _bootstrap_now(self, targets: List[str], epoch: int) -> Set[str]:
+        """Ship one durable export to every cold peer; returns the
+        peers that no longer need a classic snapshot this pass."""
+        capture: Dict[str, Any] = {}
+
+        def cut() -> None:
+            # Runs inside the exporter's quiesce (every license lock
+            # held, WAL synced): the replication seq here names exactly
+            # the state the export contains.
+            with self._lock:
+                capture["seq"] = self._seq
+                capture["covered"] = {
+                    name: dict(self._unacked.get(name, {}))
+                    for name in targets
                 }
-                seq = self._seq
-            budgets = {license_id: self.desired_budget(license_id)
-                       for license_id in licenses}
-            snapshot = ShardSnapshot(
-                source=self.name, seq=seq, budget=self.budget,
-                licenses=licenses,
-                identity=self.remote.export_identity(),
-                budgets=budgets,
+
+        snapshot, records = self.exporter(cut)
+        budgets = {license_id: self.desired_budget(license_id)
+                   for license_id in self.remote.license_ids()}
+        done: Set[str] = set()
+        for name in targets:
+            link = self.peers.get(name)
+            if link is None:
+                done.add(name)
+                continue
+            chunk = BootstrapChunk(
+                source=self.name, seq=capture["seq"], budget=self.budget,
+                snapshot=snapshot, records=records, budgets=budgets,
+                epoch=epoch,
             )
             try:
-                peer.call("sync_snapshot", snapshot)
+                reply = link.call("bootstrap", chunk)
             except Exception:  # noqa: BLE001 - retried on the next pass
-                self._needs_snapshot.add(peer_name)
+                self._needs_snapshot.add(name)
+                done.add(name)
                 continue
-            self.snapshots_sent += 1
-            self._needs_snapshot.discard(peer_name)
-            self._ack(covered)
-            self._ship_budgets(budgets)
+            if self._fenced_reply(name, reply):
+                done.add(name)
+                continue
+            self.bootstraps_sent += 1
+            self._needs_snapshot.discard(name)
+            self._ack(name, capture["covered"].get(name, {}),
+                      capture["seq"])
+            self._ship_budgets(name, budgets)
+            done.add(name)
+        return done
+
+    def _snapshot_peer(self, peer_name: str, epoch: int) -> None:
+        """Ship the classic in-memory snapshot to one peer."""
+        link = self.peers.get(peer_name)
+        if link is None:
+            return
+        licenses: Dict[str, Any] = {}
+        for license_id in self.remote.license_ids():
+            if peer_name not in self.followers_for(license_id):
+                continue
+            licenses[license_id] = \
+                self.remote.export_license_state(license_id)
+        # Grants already exported are replicated the moment the
+        # snapshot lands; grants that raced in since are still in
+        # the pending queue and stay unacked until their own flush.
+        with self._lock:
+            covered = {
+                license_id:
+                    self._unacked.get(peer_name, {}).get(license_id, 0)
+                    - self._pending_grants(license_id)
+                for license_id in licenses
+            }
+            seq = self._seq
+        budgets = {license_id: self.desired_budget(license_id)
+                   for license_id in licenses}
+        snapshot = ShardSnapshot(
+            source=self.name, seq=seq, budget=self.budget,
+            licenses=licenses,
+            identity=self.remote.export_identity(),
+            budgets=budgets, epoch=epoch,
+        )
+        try:
+            reply = link.call("sync_snapshot", snapshot)
+        except Exception:  # noqa: BLE001 - retried on the next pass
+            self._needs_snapshot.add(peer_name)
+            return
+        if self._fenced_reply(peer_name, reply):
+            return
+        self.snapshots_sent += 1
+        self._needs_snapshot.discard(peer_name)
+        self._ack(peer_name, covered, seq)
+        self._ship_budgets(peer_name, budgets)
 
     def _pending_grants(self, license_id: str) -> int:
         """Grant units still queued for ``license_id`` (lock held)."""
@@ -556,14 +860,22 @@ class ReplicationSource:
                                       + delta.fields["units"])
         return grants
 
-    def _ack(self, grants: Dict[str, int]) -> None:
+    def _ack(self, peer_name: str, grants: Dict[str, int],
+             seq: int) -> None:
         with self._lock:
-            for license_id, units in grants.items():
-                remaining = self._unacked.get(license_id, 0) - units
-                if remaining > 0:
-                    self._unacked[license_id] = remaining
-                else:
-                    self._unacked.pop(license_id, None)
+            bucket = self._unacked.get(peer_name)
+            if bucket is not None:
+                for license_id, units in grants.items():
+                    remaining = bucket.get(license_id, 0) - units
+                    if remaining > 0:
+                        bucket[license_id] = remaining
+                    else:
+                        bucket.pop(license_id, None)
+                if not bucket:
+                    self._unacked.pop(peer_name, None)
+            if seq > self._acked_seq.get(peer_name, 0):
+                self._acked_seq[peer_name] = seq
+            self._ack_cond.notify_all()
 
 
 # ----------------------------------------------------------------------
@@ -596,34 +908,96 @@ class SourceReplica:
 
 
 class FollowerStore:
-    """Replicated state held on behalf of other shards."""
+    """Replicated state held on behalf of other shards.
+
+    Fencing: once :meth:`fence` records an epoch for a source, any
+    message from that source carrying a *lower* epoch is answered with
+    ``{"status": "fenced", "epoch": E}`` instead of being applied —
+    the partitioned-stale-primary rejection the promotion protocol
+    relies on.  (A fence at epoch 0 — legacy string promotes — rejects
+    nothing: epoch-0 messages are not ``< 0``.)
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._sources: Dict[str, SourceReplica] = {}
+        #: source name -> epoch it was promoted away at.
+        self._fenced: Dict[str, int] = {}
         self.deltas_applied = 0
         self.deltas_skipped = 0
         self.snapshots_applied = 0
+        self.bootstraps_applied = 0
 
-    def apply_batch(self, batch: ReplicaBatch) -> Dict[str, Any]:
+    # -- fencing --------------------------------------------------------
+    def fence(self, source: str, epoch: int) -> None:
         with self._lock:
+            if epoch > self._fenced.get(source, -1):
+                self._fenced[source] = epoch
+
+    def fences(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._fenced)
+
+    def _fence_check(self, source: str,
+                     epoch: int) -> Optional[Dict[str, Any]]:
+        """Rejection envelope for a stale source, or None (lock held)."""
+        fenced = self._fenced.get(source)
+        if fenced is not None and epoch < fenced:
+            return {"status": "fenced", "epoch": fenced}
+        return None
+
+    def _claim(self, source: str, license_ids: List[str]) -> None:
+        """``source`` just proved ownership of these licenses: purge
+        stale copies replicated from anyone else (lock held).  This is
+        what keeps a *sequence* of promotions safe — the adopted
+        license's fresh stream supersedes the dead primary's old
+        replica everywhere it landed."""
+        if not license_ids:
+            return
+        for other_name, other in self._sources.items():
+            if other_name == source:
+                continue
+            for license_id in license_ids:
+                other.licenses.pop(license_id, None)
+
+    # -- application ----------------------------------------------------
+    def apply_batch(self, batch: ReplicaBatch,
+                    issue_record: Optional[Callable[[Dict[str, Any]],
+                                                    Dict[str, Any]]] = None,
+                    ) -> Dict[str, Any]:
+        with self._lock:
+            rejected = self._fence_check(batch.source, batch.epoch)
+            if rejected is not None:
+                return rejected
             replica = self._sources.setdefault(
                 batch.source, SourceReplica(source=batch.source)
             )
             replica.budget = batch.budget
             self._merge_budgets(replica, batch.budgets)
+            claimed: List[str] = []
             for delta in batch.deltas:
                 if delta.seq <= replica.last_seq:
                     continue  # replayed batch; deltas are idempotent by seq
                 replica.last_seq = delta.seq
-                if self._apply_delta(replica, delta):
+                # Any delta naming a license asserts the sender's
+                # ownership of it — stale copies under other (dead)
+                # sources are purged even when this delta itself
+                # cannot be applied yet.
+                license_id = delta.fields.get("license_id")
+                if license_id is not None:
+                    claimed.append(license_id)
+                if self._apply_delta(replica, delta, issue_record):
                     self.deltas_applied += 1
                 else:
                     self.deltas_skipped += 1
+            self._claim(batch.source, claimed)
             return {"status": "ok", "seq": replica.last_seq}
 
     def apply_snapshot(self, snapshot: ShardSnapshot) -> Dict[str, Any]:
         with self._lock:
+            rejected = self._fence_check(snapshot.source, snapshot.epoch)
+            if rejected is not None:
+                return rejected
             replica = self._sources.setdefault(
                 snapshot.source, SourceReplica(source=snapshot.source)
             )
@@ -632,8 +1006,57 @@ class FollowerStore:
             replica.last_seq = max(replica.last_seq, snapshot.seq)
             replica.licenses = dict(snapshot.licenses)
             replica.identity = snapshot.identity
+            self._claim(snapshot.source, list(replica.licenses))
             self.snapshots_applied += 1
             return {"status": "ok", "seq": replica.last_seq}
+
+    def apply_bootstrap(self, chunk: BootstrapChunk,
+                        issue_record: Optional[
+                            Callable[[Dict[str, Any]],
+                                     Dict[str, Any]]] = None,
+                        ) -> Dict[str, Any]:
+        """Rebuild the replica from the source's durable state: the
+        on-disk snapshot payload, then the WAL tail replayed past the
+        snapshot's WAL watermark, then live deltas from ``chunk.seq``.
+        """
+        from repro.storage.wal import WriteAheadLog
+
+        with self._lock:
+            rejected = self._fence_check(chunk.source, chunk.epoch)
+            if rejected is not None:
+                return rejected
+            replica = self._sources.setdefault(
+                chunk.source, SourceReplica(source=chunk.source)
+            )
+            replica.budget = chunk.budget
+            self._merge_budgets(replica, chunk.budgets)
+            snapshot = chunk.snapshot or {}
+            replica.licenses = {
+                str(license_id): record
+                for license_id, record in
+                (snapshot.get("licenses") or {}).items()
+            }
+            identity = snapshot.get("identity")
+            replica.identity = (dict(identity) if identity
+                                else {"next_slid": 1, "clients": {}})
+            wal_seq = int(snapshot.get("seq", 0) or 0)
+            replayed = skipped = 0
+            for record in WriteAheadLog.iter_frames(chunk.records):
+                if record.seq <= wal_seq:
+                    continue  # already folded into the snapshot
+                delta = ReplicaDelta(record.seq, record.event,
+                                     dict(record.fields))
+                if self._apply_delta(replica, delta, issue_record):
+                    replayed += 1
+                else:
+                    skipped += 1
+            self.deltas_applied += replayed
+            self.deltas_skipped += skipped
+            replica.last_seq = max(replica.last_seq, chunk.seq)
+            self._claim(chunk.source, list(replica.licenses))
+            self.bootstraps_applied += 1
+            return {"status": "ok", "seq": replica.last_seq,
+                    "replayed": replayed, "skipped": skipped}
 
     @staticmethod
     def _merge_budgets(replica: SourceReplica,
@@ -645,8 +1068,10 @@ class FollowerStore:
             if units > replica.budgets.get(license_id, 0):
                 replica.budgets[license_id] = units
 
-    def _apply_delta(self, replica: SourceReplica,
-                     delta: ReplicaDelta) -> bool:
+    def _apply_delta(self, replica: SourceReplica, delta: ReplicaDelta,
+                     issue_record: Optional[
+                         Callable[[Dict[str, Any]],
+                                  Dict[str, Any]]] = None) -> bool:
         """Mutate the replica; False when the delta had nothing to hit
         (unknown license — the next snapshot reconciles it)."""
         fields = delta.fields
@@ -697,6 +1122,16 @@ class FollowerStore:
             # Migrated away from the source: the new owner replicates
             # it now; holding a stale copy here risks double-serving.
             return replica.licenses.pop(fields["license_id"], None) is not None
+        if event == "issue":
+            # An "issue" delta carries no secret, so the record cannot
+            # be built from the delta alone — unless the manager lends
+            # us its fleet-shared secret via ``issue_record``; absent
+            # that, the next snapshot pass delivers it.
+            if issue_record is not None:
+                replica.licenses[fields["license_id"]] = \
+                    issue_record(fields)
+                return True
+            return False
         record = replica.licenses.get(fields.get("license_id"))
         if record is None:
             return False
@@ -729,8 +1164,6 @@ class FollowerStore:
         if event == "revoke":
             record["definition"]["revoked"] = True
             return True
-        # "issue" deltas carry no secret, so the record cannot be built
-        # from the delta alone — the next snapshot pass delivers it.
         return False
 
     # -- promotion ------------------------------------------------------
@@ -738,6 +1171,40 @@ class FollowerStore:
         """Remove and return everything replicated from ``source``."""
         with self._lock:
             return self._sources.pop(source, None)
+
+    def licenses_of(self, source: str) -> List[str]:
+        with self._lock:
+            replica = self._sources.get(source)
+            return sorted(replica.licenses) if replica is not None else []
+
+    def take_license(self, source: str,
+                     license_id: str) -> Optional[Tuple[Any, int]]:
+        """Pop one replicated record; returns ``(record, budget)``."""
+        with self._lock:
+            replica = self._sources.get(source)
+            if replica is None:
+                return None
+            record = replica.licenses.pop(license_id, None)
+            if record is None:
+                return None
+            return record, replica.budget_for(license_id)
+
+    def discard_license(self, source: str, license_id: str) -> None:
+        with self._lock:
+            replica = self._sources.get(source)
+            if replica is not None:
+                replica.licenses.pop(license_id, None)
+
+    def identity_of(self, source: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            replica = self._sources.get(source)
+            if replica is None:
+                return None
+            return {
+                "next_slid": replica.identity.get("next_slid", 1),
+                "clients": {slid: dict(entry) for slid, entry in
+                            replica.identity.get("clients", {}).items()},
+            }
 
     def probe(self) -> Dict[str, Any]:
         with self._lock:
@@ -762,6 +1229,15 @@ class ReplicationManager:
     (single-shard fleet, or replication off) degrades to a follower
     store only — the wire surface stays mounted so a probe or promote
     is still answerable (with nothing in it).
+
+    ``followers_for(license_id)`` names the K peers replicating a
+    license; ``owners_for(license_id)`` (optional) names the *full*
+    ring order for it, which promotion uses to decide the adopter —
+    the first owner not known dead.  ``quorum`` > 0 gates the
+    ``init``/``shutdown`` handlers on that many follower acks of the
+    identity watermark.  ``persistence`` (a
+    :class:`~repro.storage.wal.ShardPersistence`) switches cold-peer
+    reconciliation to WAL-shipped bootstrap.
     """
 
     def __init__(
@@ -769,31 +1245,52 @@ class ReplicationManager:
         remote,
         name: str,
         peers: Optional[Dict[str, PeerLink]] = None,
-        follower_for: Optional[Callable[[str], Optional[str]]] = None,
+        followers_for: Optional[Callable[[str], Sequence[str]]] = None,
+        *,
+        owners_for: Optional[Callable[[str], Sequence[str]]] = None,
+        quorum: int = 0,
+        quorum_timeout: float = DEFAULT_QUORUM_TIMEOUT,
         lag_budget_units: int = DEFAULT_LAG_BUDGET_UNITS,
         lag_budget_grants: int = DEFAULT_LAG_BUDGET_GRANTS,
         flush_interval: float = 0.02,
         snapshot_interval: float = 0.5,
+        persistence=None,
+        follower_for: Optional[Callable[[str], Optional[str]]] = None,
     ) -> None:
         self.remote = remote
         self.name = name
         self.store = FollowerStore()
         self.source: Optional[ReplicationSource] = None
+        #: Highest promotion epoch this shard has participated in;
+        #: stamped on outbound replication traffic via the source.
+        self.epoch = 0
+        self.quorum = max(0, int(quorum))
+        self.quorum_timeout = quorum_timeout
+        self.quorum_timeouts = 0
+        self.owners_for = owners_for
         self._promote_lock = threading.Lock()
         #: source name -> {license_id: reserved units} for promotions
         #: already performed (the idempotency memo every extra router
         #: asking again is answered from).
         self._promoted: Dict[str, Dict[str, int]] = {}
+        if followers_for is None and follower_for is not None:
+            # Back-compat shim: a single-follower placement rule.
+            def followers_for(license_id: str,
+                              _single=follower_for) -> Sequence[str]:
+                peer = _single(license_id)
+                return [peer] if peer is not None else []
         if peers:
-            if follower_for is None:
-                raise ValueError("peers need a follower_for placement rule")
+            if followers_for is None:
+                raise ValueError("peers need a followers_for placement rule")
             self.source = ReplicationSource(
-                remote, name, peers, follower_for,
+                remote, name, peers, followers_for,
                 lag_budget_units=lag_budget_units,
                 lag_budget_grants=lag_budget_grants,
                 flush_interval=flush_interval,
                 snapshot_interval=snapshot_interval,
             )
+            if persistence is not None:
+                self.source.exporter = persistence.export_bootstrap
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -806,76 +1303,246 @@ class ReplicationManager:
 
     # -- wire surface ---------------------------------------------------
     def extra_handlers(self) -> Dict[str, Callable]:
-        return {
+        handlers: Dict[str, Callable] = {
             "replicate": self.handle_replicate,
             "sync_snapshot": self.handle_snapshot,
+            "bootstrap": self.handle_bootstrap,
             "promote": self.handle_promote,
             "replication_probe": self.handle_probe,
         }
+        if self.source is not None and self.quorum > 0:
+            # Identity quorum: hold the client's ack until a majority
+            # of live followers could survive this shard's death with
+            # the admit/escrow intact.  Mounted as extra handlers so
+            # they override the remote's own protocol bindings.
+            protocol = self.remote.protocol_handlers()
+            for method in ("init", "shutdown"):
+                inner = protocol.get(method)
+                if inner is not None:
+                    handlers[method] = self._gated(inner)
+        return handlers
+
+    def _gated(self, inner: Callable) -> Callable:
+        # The wrapper must advertise clock/stats so HandlerTable's
+        # signature introspection keeps threading them through to the
+        # wrapped protocol handler.
+        parameters = inspect.signature(inner).parameters
+        wants = {name for name in ("clock", "stats") if name in parameters}
+
+        def gated(request: Any, clock: Any = None, stats: Any = None) -> Any:
+            kwargs = {}
+            if "clock" in wants and clock is not None:
+                kwargs["clock"] = clock
+            if "stats" in wants and stats is not None:
+                kwargs["stats"] = stats
+            response = inner(request, **kwargs)
+            if not self.source.wait_identity_quorum(
+                    self.quorum, timeout=self.quorum_timeout):
+                self.quorum_timeouts += 1
+            return response
+        return gated
 
     def handle_replicate(self, batch: ReplicaBatch) -> Dict[str, Any]:
-        return self.store.apply_batch(batch)
+        return self.store.apply_batch(batch,
+                                      issue_record=self._issue_record)
 
     def handle_snapshot(self, snapshot: ShardSnapshot) -> Dict[str, Any]:
         return self.store.apply_snapshot(snapshot)
 
+    def handle_bootstrap(self, chunk: BootstrapChunk) -> Dict[str, Any]:
+        return self.store.apply_bootstrap(chunk,
+                                          issue_record=self._issue_record)
+
+    def _issue_record(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        """Synthesize the wire record for an ``issue`` delta.
+
+        WAL/delta "issue" events deliberately omit the license secret;
+        fleet shards share the server secret, so the follower can
+        rebuild the full record locally instead of waiting for a
+        snapshot to deliver it.
+        """
+        license_id = fields["license_id"]
+        return {
+            "definition": {
+                "license_id": license_id,
+                "kind": fields["kind"],
+                "total_units": fields["total_units"],
+                "tick_seconds": fields.get("tick_seconds", 0.0),
+                "secret": self.remote._server_secret.hex(),
+                "revoked": False,
+            },
+            "ledger": {
+                "license_id": license_id,
+                "total_gcl": fields["total_units"],
+                "beta": self.remote.policy.default_beta,
+                "outstanding": {},
+                "lost_units": 0,
+                "node_conditions": {},
+            },
+            "frozen": False,
+            "holdings": {},
+        }
+
     def handle_probe(self, _payload: Any = None) -> Dict[str, Any]:
         result = {
             "name": self.name,
+            "epoch": self.epoch,
+            "quorum": self.quorum,
             "follows": self.store.probe(),
+            "fences": self.store.fences(),
             "promoted": {source: dict(reserves)
                          for source, reserves in self._promoted.items()},
         }
         if self.source is not None:
             with self.source._lock:
-                unacked = dict(self.source._unacked)
+                unacked = {peer: dict(bucket) for peer, bucket
+                           in self.source._unacked.items()}
                 peaks = dict(self.source._peak)
-                shipped = dict(self.source._shipped)
+                shipped = {peer: dict(bucket) for peer, bucket
+                           in self.source._shipped.items()}
+                acked_seq = dict(self.source._acked_seq)
+                seq = self.source._seq
+                identity_seq = self.source._identity_seq
+                fenced = dict(self.source._fenced)
             result["replicates"] = {
                 "budget": self.source.budget,
                 "grants_budget": self.source.grants_budget,
+                "seq": seq,
+                "identity_seq": identity_seq,
                 "unacked": unacked,
                 "peaks": peaks,
                 "shipped": shipped,
+                "acked_seq": acked_seq,
+                "fenced": fenced,
                 "batches_sent": self.source.batches_sent,
                 "snapshots_sent": self.source.snapshots_sent,
+                "bootstraps_sent": self.source.bootstraps_sent,
+                "fenced_rejections": self.source.fenced_rejections,
             }
         return result
 
-    def handle_promote(self, source: str) -> Dict[str, Any]:
+    def health(self) -> Dict[str, Any]:
+        """Replication health for ``_server_stats``: per-peer ack lag,
+        epoch, quorum size and shipping counters."""
+        result: Dict[str, Any] = {
+            "epoch": self.epoch,
+            "quorum": self.quorum,
+            "quorum_timeouts": self.quorum_timeouts,
+            "promoted": sorted(self._promoted),
+            "follows": {
+                "deltas_applied": self.store.deltas_applied,
+                "deltas_skipped": self.store.deltas_skipped,
+                "snapshots_applied": self.store.snapshots_applied,
+                "bootstraps_applied": self.store.bootstraps_applied,
+            },
+        }
+        source = self.source
+        if source is not None:
+            with source._lock:
+                seq = source._seq
+                identity_seq = source._identity_seq
+                peers = {
+                    peer: {
+                        "acked_seq": source._acked_seq.get(peer, 0),
+                        "ack_lag": max(
+                            0, seq - source._acked_seq.get(peer, 0)),
+                        "needs_snapshot": peer in source._needs_snapshot,
+                        "fenced": peer in source._fenced,
+                    }
+                    for peer in source.peers
+                }
+            result["replicates"] = {
+                "seq": seq,
+                "identity_seq": identity_seq,
+                "peers": peers,
+                "batches_sent": source.batches_sent,
+                "snapshots_sent": source.snapshots_sent,
+                "bootstraps_sent": source.bootstraps_sent,
+                "fenced_rejections": source.fenced_rejections,
+            }
+        return result
+
+    def _adopter_of(self, license_id: str, dead: Set[str]) -> str:
+        """The shard that should install a dead primary's license: the
+        first owner in full ring order that is not known dead.  With
+        no ring knowledge (legacy single-follower wiring) the answer
+        is always *us* — we were the only replica."""
+        if self.owners_for is None:
+            return self.name
+        for owner in self.owners_for(license_id):
+            if owner not in dead:
+                return owner
+        return self.name
+
+    def handle_promote(self, request: Any) -> Dict[str, Any]:
         """Fold replicas held for a dead ``source`` into serving state.
 
+        Accepts a legacy bare source name or ``{"source", "epoch"}``.
+        The epoch fences the dead source in the follower store (its
+        late traffic is rejected, not applied) and ratchets this
+        shard's own epoch so its outbound stream outranks the deposed
+        primary's.
+
         The pessimistic-loss rule, scoped to the lag window: for each
-        replicated license, ``min(available, shipped budget)`` units
+        *adopted* license, ``min(available, shipped budget)`` units
         are moved to ``lost`` before installing — every grant the dead
         primary made that this replica never saw is covered by that
-        reserve, because the source only ever clamped grants against a
-        budget this follower had already acknowledged.  Idempotent: the
-        first caller does the work, every later caller gets the memo.
+        reserve, because the source only ever clamped grants against
+        budgets its followers had already acknowledged.  Every call
+        rescans *all* dead sources, so a simultaneous second death is
+        healed by whichever survivor is next in ring order per
+        license.  Idempotent: the first caller does the work, every
+        later caller gets the memo.
         """
+        if isinstance(request, dict):
+            source = request["source"]
+            epoch = int(request.get("epoch", 0))
+        else:
+            source, epoch = str(request), 0
+        self.store.fence(source, epoch)
         if self.source is not None:
             # The fleet shrank: stop streaming to (and backpressuring
             # for) the dead shard.
             self.source.drop_peer(source)
         with self._promote_lock:
-            if source in self._promoted:
-                return {"status": "ok", "already": True,
-                        "installed": dict(self._promoted[source])}
-            replica = self.store.take_source(source)
-            installed: Dict[str, int] = {}
-            if replica is not None:
-                served = set(self.remote.license_ids())
-                for license_id, record in replica.licenses.items():
+            if epoch > self.epoch:
+                self.epoch = epoch
+                if self.source is not None:
+                    self.source.epoch = epoch
+            already = source in self._promoted
+            self._promoted.setdefault(source, {})
+            dead = set(self._promoted)
+            served = set(self.remote.license_ids())
+            for dead_source in sorted(dead):
+                memo = self._promoted.setdefault(dead_source, {})
+                for license_id in self.store.licenses_of(dead_source):
                     if license_id in served:
-                        continue  # already migrated here while live
+                        # Already serving it (migrated here while the
+                        # source was live, or adopted in an earlier
+                        # pass): the stale replica copy must go.
+                        self.store.discard_license(dead_source,
+                                                   license_id)
+                        continue
+                    if self._adopter_of(license_id, dead) != self.name:
+                        # Another survivor outranks us in ring order;
+                        # keep the replica in case it dies too.
+                        continue
+                    taken = self.store.take_license(dead_source,
+                                                    license_id)
+                    if taken is None:
+                        continue
+                    record, budget = taken
                     ledger = record["ledger"]
-                    reserve = min(max(_wire_available(ledger), 0),
-                                  replica.budget_for(license_id))
+                    reserve = min(max(_wire_available(ledger), 0), budget)
                     ledger["lost_units"] += reserve
                     record["frozen"] = False
                     self.remote.install_license_state(record)
-                    installed[license_id] = reserve
-                self.remote.install_identity(replica.identity)
-            self._promoted[source] = installed
-            return {"status": "ok", "already": False,
-                    "installed": dict(installed)}
+                    served.add(license_id)
+                    memo[license_id] = reserve
+            if not already:
+                identity = self.store.identity_of(source)
+                if identity is not None:
+                    self.remote.install_identity(identity)
+            return {"status": "ok", "already": already,
+                    "installed": dict(self._promoted[source]),
+                    "epoch": self.epoch}

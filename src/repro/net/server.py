@@ -159,7 +159,11 @@ def attach_server_stats(handlers: HandlerTable, server, io_name: str) -> None:
     backends — most importantly ``resident_threads``, the number every
     idle connection inflates on the threaded server and the event-loop
     server keeps flat — and, since wire v3, the codec counters that
-    price each renewal in actual bytes.
+    price each renewal in actual bytes.  When the served remote
+    replicates, the report carries the quorum control plane's health:
+    per-peer ack lag, the current promotion epoch, the configured
+    quorum, and the EXHAUSTED-response counter the adaptive-renewal
+    loop watches for backpressure.
     """
     def _server_stats(_request, clock: Optional[Clock] = None,
                       stats: Optional[SgxStats] = None):
@@ -174,6 +178,18 @@ def attach_server_stats(handlers: HandlerTable, server, io_name: str) -> None:
         wire_stats = getattr(server, "wire_stats", None)
         if wire_stats is not None:
             report["wire"] = wire_stats.snapshot()
+        remote = getattr(server, "remote", None)
+        exhausted = getattr(remote, "exhausted_served", None)
+        if exhausted is not None:
+            report["exhausted_served"] = exhausted
+        health = getattr(server, "replication_health", None)
+        if health is None:
+            health = getattr(remote, "replication_health", None)
+        if callable(health):
+            try:
+                report["replication"] = health()
+            except Exception:  # noqa: BLE001 - stats must never fail a probe
+                pass
         return report
 
     handlers.register("_server_stats", _server_stats)
@@ -202,7 +218,7 @@ class LeaseServer:
         #: Fleet-internal surfaces (replication, membership probes)
         #: mount alongside the lease protocol on the same port.
         for method, handler in (extra_handlers or {}).items():
-            self.handlers.register(method, handler)
+            self.handlers.register(method, handler, override=True)
         self.host = host
         self.port = port
         self.clock = clock if clock is not None else ThreadSafeClock()

@@ -495,7 +495,15 @@ class ShardRouter:
 
     def _failover(self, dead: Optional[str],
                   clock: Optional[Clock], stats: Optional[SgxStats]):
-        """Declare ``dead`` dead: promote survivors, shrink the ring."""
+        """Declare ``dead`` dead: probe + promote survivors, shrink the ring.
+
+        Survivors are probed first and ranked by ``(epoch, last_seq)``
+        for the dead source — the max-epoch, max-seq survivor holds the
+        freshest replica, so it promotes first (installing the adopted
+        ledgers before anyone else answers for them), and the epoch
+        broadcast with ``promote`` is one past the fleet maximum so
+        every follower fences the deposed shard's late traffic.
+        """
         if dead is None:
             return
         with self._lock:
@@ -504,12 +512,30 @@ class ShardRouter:
             survivors = [(name, backend)
                          for name, backend in self.backends.items()
                          if name != dead]
+        ranked: List[Any] = []
+        max_epoch = 0
+        for name, backend in survivors:
+            epoch, seq = 0, -1
+            try:
+                probe = backend("replication_probe", None,
+                                clock=clock, stats=stats)
+                epoch = int(probe.get("epoch", 0))
+                seq = int(probe.get("follows", {})
+                          .get(dead, {}).get("last_seq", -1))
+            except Exception:  # noqa: BLE001 - unprobeable survivor
+                pass  # ranks last; promote is still attempted below
+            max_epoch = max(max_epoch, epoch)
+            ranked.append((epoch, seq, name, backend))
+        ranked.sort(key=lambda item: (item[0], item[1], item[2]),
+                    reverse=True)
+        new_epoch = max_epoch + 1
         # Promotion first, removal second: a racing request that still
         # routes to the dead shard just dials, fails, and lands here too
         # (handle_promote is idempotent on the serving side).
-        for name, backend in survivors:
+        for _epoch, _seq, name, backend in ranked:
             try:
-                backend("promote", dead, clock=clock, stats=stats)
+                backend("promote", {"source": dead, "epoch": new_epoch},
+                        clock=clock, stats=stats)
             except Exception:  # noqa: BLE001 - a non-replicated or slow
                 continue  # survivor cannot block the ring repair
         with self._lock:
@@ -652,13 +678,16 @@ class ShardedRemote:
     plus the partitioning here means concurrent renewals contend only
     when they target the *same* license.
 
-    ``replicas=1`` additionally wires a
+    ``replicas=K`` additionally wires a
     :class:`~repro.net.replication.ReplicationManager` per shard over
-    in-process peer links (each license streams to its ring successor)
-    and arms the router's failover, giving the in-process fleet the
-    same kill-a-shard story as the TCP one — which is what the
-    replication test suite exercises deterministically via
+    in-process peer links (each license streams to its K distinct ring
+    successors) and arms the router's failover, giving the in-process
+    fleet the same kill-K-shards story as the TCP one — which is what
+    the replication test suite exercises deterministically via
     ``replicate_now()`` / ``snapshot_now()`` / ``kill_shard()``.
+    ``quorum=N`` gates ``init``/``shutdown`` acks on N follower acks
+    of the identity watermark (0/None = off for in-process fleets;
+    the CLI defaults TCP fleets to a majority of K).
 
     ``data_dir=...`` makes every shard durable: each gets its own
     :class:`~repro.storage.wal.ShardPersistence` under
@@ -684,9 +713,12 @@ class ShardedRemote:
         data_dir: Optional[str] = None,
         fsync: str = "interval",
         compact_every: int = 4096,
+        quorum: Optional[int] = None,
     ) -> None:
         if replicas < 0:
             raise ValueError("replicas must be >= 0")
+        if quorum is not None and quorum < 0:
+            raise ValueError("quorum must be >= 0")
         names = (list(shard_names) if shard_names is not None
                  else default_shard_names(shards))
         self.shards: Dict[str, SlRemote] = {
@@ -711,31 +743,42 @@ class ShardedRemote:
                 self.persistences[name] = persistence
         ring = HashRing(names, replicas=ring_replicas)
         self.replicas = replicas
+        self.replication_depth = 0
+        self.quorum = 0
         self.managers: Dict[str, ReplicationManager] = {}
         handler_maps = {
             name: dict(remote.protocol_handlers())
             for name, remote in self.shards.items()
         }
         if replicas > 0 and len(names) > 1:
-            # One follower per license today (replicas caps at 1 hop);
-            # placement is the ring successor so failover routing and
-            # replica location agree without any lookup table.
+            # Depth-K replication: each license streams to its K
+            # distinct ring successors, so failover routing and replica
+            # location agree without any lookup table no matter how
+            # many primaries die.
+            depth = min(replicas, len(names) - 1)
+            self.replication_depth = depth
+            self.quorum = quorum if quorum is not None else 0
             links = {name: LocalPeerLink(None) for name in names}
 
-            def follower_for(license_id: str) -> Optional[str]:
-                owners = ring.owners(license_id, 2)
-                return owners[1] if len(owners) > 1 else None
+            def followers_for(license_id: str) -> List[str]:
+                return ring.owners(license_id, depth + 1)[1:]
+
+            def owners_for(license_id: str) -> List[str]:
+                return ring.owners(license_id, len(ring))
 
             for name, remote in self.shards.items():
                 self.managers[name] = ReplicationManager(
                     remote, name,
                     peers={peer: links[peer] for peer in names
                            if peer != name},
-                    follower_for=follower_for,
+                    followers_for=followers_for,
+                    owners_for=owners_for,
+                    quorum=self.quorum,
                     lag_budget_units=lag_budget_units,
                     lag_budget_grants=lag_budget_grants,
                     flush_interval=flush_interval,
                     snapshot_interval=snapshot_interval,
+                    persistence=self.persistences.get(name),
                 )
             for name, link in links.items():
                 link.manager = self.managers[name]
@@ -804,6 +847,13 @@ class ShardedRemote:
         self.persistences.clear()
 
     def close(self) -> None:
+        """Tear down in dependency order, idempotently: replication
+        shipper threads first (they call into peers and journal via the
+        WAL), persistence second, so callers can close sockets after
+        this returns knowing no background thread will touch them."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         self.stop_replication()
         self.close_persistence()
 
@@ -877,6 +927,19 @@ class ShardedRemote:
     @property
     def inits_served(self) -> int:
         return sum(remote.inits_served for remote in self.shards.values())
+
+    @property
+    def exhausted_served(self) -> int:
+        """EXHAUSTED renewals answered fleet-wide (backpressure signal
+        for the adaptive-renewal control loop)."""
+        return sum(remote.exhausted_served
+                   for remote in self.shards.values())
+
+    def replication_health(self) -> Dict[str, Any]:
+        """Per-shard replication health (ack lag, epoch, quorum) for
+        ``_server_stats``."""
+        return {name: manager.health()
+                for name, manager in self.managers.items()}
 
 
 class ShardRouterTransport(Transport):

@@ -71,8 +71,15 @@ class HandlerTable:
             for method, handler in handlers.items():
                 self.register(method, handler)
 
-    def register(self, method: str, handler: Callable) -> None:
-        if method in self._handlers:
+    def register(self, method: str, handler: Callable,
+                 override: bool = False) -> None:
+        """Bind ``method`` to ``handler``.
+
+        Duplicate bindings are a bug unless ``override=True`` — the
+        escape hatch extra handlers use to wrap a protocol method
+        (e.g. the replication manager's quorum-gated ``init``).
+        """
+        if method in self._handlers and not override:
             raise ValueError(f"handler for {method!r} already registered")
         self._handlers[method] = handler
         parameters = inspect.signature(handler).parameters

@@ -343,6 +343,59 @@ class WriteAheadLog:
             handle.flush()
             os.fsync(handle.fileno())
 
+    # -- export (WAL-shipped replication bootstrap) --------------------
+    def export_frames(self) -> bytes:
+        """The intact log tail as v3 wire frames, ready to ship.
+
+        Re-frames every record with the negotiated binary codec's value
+        encoding (PR 6) instead of the sealed on-disk frames: the WAL
+        seal is derived from the *shard-local* key domain, which a peer
+        cannot (and should not) unseal, while the wire already rides an
+        authenticated fleet channel.  Syncs first so the disk read sees
+        everything appended so far.
+        """
+        from repro.net import codec
+
+        with self._lock:
+            if not self._handle.closed:
+                self.sync()
+            records, _, _ = self.read(self.path, self._key64)
+        out = bytearray()
+        for record in records:
+            out += codec.frame(codec.encode_value({
+                "seq": record.seq,
+                "event": record.event,
+                "fields": record.fields,
+            }))
+        return bytes(out)
+
+    @staticmethod
+    def iter_frames(blob: bytes):
+        """Yield :class:`WalRecord` entries from an exported blob.
+
+        The inverse of :meth:`export_frames`; raises
+        :class:`~repro.net.codec.CodecError` on any malformed frame —
+        a bootstrap transfer is all-or-nothing, unlike the torn-tail
+        tolerance of the on-disk reader.
+        """
+        from repro.net import codec
+
+        offset = 0
+        header_size = codec.FRAME_HEADER.size
+        while offset < len(blob):
+            header = blob[offset:offset + header_size]
+            if len(header) < header_size:
+                raise codec.CodecError("truncated bootstrap frame header")
+            length = codec.frame_length(header)
+            start = offset + header_size
+            payload = blob[start:start + length]
+            if len(payload) < length:
+                raise codec.CodecError("truncated bootstrap frame body")
+            obj = codec.decode_value(payload)
+            yield WalRecord(seq=int(obj["seq"]), event=str(obj["event"]),
+                            fields=dict(obj["fields"]))
+            offset = start + length
+
 
 # ----------------------------------------------------------------------
 # Snapshots
@@ -798,6 +851,45 @@ class ShardPersistence:
             "frozen": state.frozen,
             "holdings": holdings,
         }
+
+    # -- export (WAL-shipped replication bootstrap) --------------------
+    def export_bootstrap(
+        self,
+        capture: Optional[Callable[[], None]] = None,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """A consistent ``(snapshot payload, framed WAL tail)`` cut.
+
+        Takes the same writer-exclusion as :meth:`compact` — every
+        license lock held, WAL synced — but reads instead of
+        truncating: the returned pair is exactly what a cold follower
+        needs to rebuild this shard's state, and ``capture`` (invoked
+        inside the quiesce) lets the replication source record the seq
+        watermark that names this cut.
+        """
+        remote = self._remote
+        if remote is None:
+            raise RuntimeError(
+                "export_bootstrap needs an attached remote (recover first)"
+            )
+        with self._compact_lock:
+            with remote._clients_lock:
+                with remote._registry_lock:
+                    states = dict(remote._states)
+                    ordered = sorted(states)
+                    for license_id in ordered:
+                        states[license_id].lock.acquire()
+                    try:
+                        self.wal.sync()
+                        if capture is not None:
+                            capture()
+                        snapshot = read_snapshot(
+                            self._snap_path, self._key64
+                        ) or {}
+                        frames = self.wal.export_frames()
+                    finally:
+                        for license_id in reversed(ordered):
+                            states[license_id].lock.release()
+        return snapshot, frames
 
     # -- maintenance ---------------------------------------------------
     def _maintenance_loop(self) -> None:

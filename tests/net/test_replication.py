@@ -13,6 +13,7 @@ to the replication-lag window:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -20,6 +21,7 @@ from repro.core.protocol import InitRequest, RenewRequest, ShutdownNotice, \
     Status
 from repro.core.sl_remote import SlRemote
 from repro.net.replication import (
+    BootstrapChunk,
     DEFAULT_LAG_BUDGET_UNITS,
     FollowerStore,
     LocalPeerLink,
@@ -41,6 +43,25 @@ POOL = 50_000
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
+_BACKGROUND_PREFIXES = ("replication-", "wal-maintenance-")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_threads():
+    """Teardown-ordering guard: every shipper/persistence thread a test
+    starts must be stopped by the time it ends — ``close()`` has to stop
+    replication and persistence *before* the transport goes away, and
+    nothing may outlive the test."""
+    yield
+    deadline = time.time() + 5.0
+    def leaked():
+        return [t.name for t in threading.enumerate()
+                if t.is_alive() and t.name.startswith(_BACKGROUND_PREFIXES)]
+    while leaked() and time.time() < deadline:
+        time.sleep(0.01)
+    assert leaked() == []
+
+
 class RecordingPeer(PeerLink):
     """A peer link that records every call and can be made to fail."""
 
@@ -90,7 +111,7 @@ class TestReplicationSource:
         peer = RecordingPeer()
         source = ReplicationSource(
             remote, "a", peers={"b": peer},
-            follower_for=lambda lid: "b", lag_budget_units=budget,
+            followers_for=lambda lid: ["b"], lag_budget_units=budget,
         )
         return remote, peer, source
 
@@ -124,10 +145,10 @@ class TestReplicationSource:
     def test_snapshot_carries_only_the_followers_licenses(self):
         remote = fresh_remote()
         peer_b, peer_c = RecordingPeer(), RecordingPeer()
-        placement = {"lic-b": "b", "lic-c": "c"}
+        placement = {"lic-b": ["b"], "lic-c": ["c"]}
         source = ReplicationSource(
             remote, "a", peers={"b": peer_b, "c": peer_c},
-            follower_for=placement.get,
+            followers_for=lambda lid: placement.get(lid, []),
         )
         remote.issue_license("lic-b", POOL)
         remote.issue_license("lic-c", POOL)
@@ -142,7 +163,7 @@ class TestReplicationSource:
         peer_b, peer_c = RecordingPeer(), RecordingPeer()
         source = ReplicationSource(
             remote, "a", peers={"b": peer_b, "c": peer_c},
-            follower_for=lambda lid: "b",
+            followers_for=lambda lid: ["b"],
         )
         source.snapshot_now()
         _machine, slid = init_client(remote)
@@ -220,7 +241,7 @@ class TestAdaptiveLagBudget:
         peer = RecordingPeer()
         source = ReplicationSource(
             remote, "a", peers={"b": peer},
-            follower_for=lambda lid: "b",
+            followers_for=lambda lid: ["b"],
             lag_budget_units=budget, lag_budget_grants=grants,
         )
         return remote, peer, source
@@ -451,7 +472,8 @@ class TestPromotion:
     def test_promotion_with_nothing_replicated_is_answerable(self):
         manager = ReplicationManager(fresh_remote(), "b")
         result = manager.handle_promote("a")
-        assert result == {"status": "ok", "already": False, "installed": {}}
+        assert result == {"status": "ok", "already": False, "installed": {},
+                          "epoch": 0}
 
     def test_promoted_identity_preserves_escrow(self):
         manager = ReplicationManager(fresh_remote(), "b")
@@ -472,7 +494,7 @@ class TestPromotion:
         link = LocalPeerLink(manager)
         replication = ReplicationSource(
             source_remote, "a", peers={"b": link},
-            follower_for=lambda lid: "b", lag_budget_units=32,
+            followers_for=lambda lid: ["b"], lag_budget_units=32,
         )
         replication.snapshot_now()
         granted = renew(source_remote, slid, "lic", blob).granted_units
@@ -751,3 +773,476 @@ class TestOnlineMembership:
         record["ledger"]["outstanding"]["slid:1"] = 30
         record["ledger"]["lost_units"] = 20
         assert _wire_available(record["ledger"]) == 50
+
+
+# ----------------------------------------------------------------------
+# Identity quorum: init/shutdown acks wait for follower coverage
+# ----------------------------------------------------------------------
+class TestIdentityQuorum:
+    def build_pair(self, quorum=1, **kwargs):
+        follower = ReplicationManager(fresh_remote(), "b")
+        remote = fresh_remote()
+        primary = ReplicationManager(
+            remote, "a", peers={"b": LocalPeerLink(follower)},
+            followers_for=lambda lid: ["b"], quorum=quorum, **kwargs,
+        )
+        return remote, primary, follower
+
+    def gated_init(self, primary, name="q-client"):
+        machine = SgxMachine(name)
+        report = machine.local_authority.generate_report(1, 1, nonce=1)
+        response = primary.extra_handlers()["init"](
+            InitRequest(slid=None, report=report,
+                        platform_secret=machine.platform_secret),
+            machine.clock, machine.stats,
+        )
+        return machine, response
+
+    def test_init_ack_waits_for_the_follower_admit(self):
+        _remote, primary, follower = self.build_pair(quorum=1)
+        _machine, response = self.gated_init(primary)
+        assert response.status is Status.OK
+        # By the time the client saw the ack, the follower had the
+        # admit: this shard can die and the identity survives.
+        identity = follower.store.identity_of("a")
+        assert str(response.slid) in identity["clients"]
+        assert primary.quorum_timeouts == 0
+
+    def test_shutdown_ack_waits_for_the_escrow(self):
+        remote, primary, follower = self.build_pair(quorum=1)
+        _machine, response = self.gated_init(primary)
+        primary.extra_handlers()["shutdown"](
+            ShutdownNotice(slid=response.slid, root_key=4242)
+        )
+        identity = follower.store.identity_of("a")
+        client = identity["clients"][str(response.slid)]
+        assert client["escrowed_root_key"] == 4242
+        assert primary.quorum_timeouts == 0
+
+    def test_quorum_timeout_still_answers_and_is_counted(self):
+        remote = fresh_remote()
+        peer = RecordingPeer()
+        peer.failing = True
+        primary = ReplicationManager(
+            remote, "a", peers={"b": peer},
+            followers_for=lambda lid: ["b"],
+            quorum=1, quorum_timeout=0.05,
+        )
+        _machine, response = self.gated_init(primary, name="q-timeout")
+        assert response.status is Status.OK  # bounded wait, not a refusal
+        assert primary.quorum_timeouts == 1
+
+    def test_majority_of_live_followers_is_enough(self):
+        follower = ReplicationManager(fresh_remote(), "b")
+        dead = RecordingPeer()
+        dead.failing = True
+        remote = fresh_remote()
+        primary = ReplicationManager(
+            remote, "a",
+            peers={"b": LocalPeerLink(follower), "c": dead},
+            followers_for=lambda lid: ["b", "c"],
+            quorum=1, quorum_timeout=1.0,
+        )
+        _machine, response = self.gated_init(primary, name="q-majority")
+        assert response.status is Status.OK
+        assert primary.quorum_timeouts == 0
+
+    def test_zero_quorum_mounts_no_gate(self):
+        remote = fresh_remote()
+        primary = ReplicationManager(
+            remote, "a", peers={"b": RecordingPeer()},
+            followers_for=lambda lid: ["b"],
+        )
+        handlers = primary.extra_handlers()
+        assert "init" not in handlers and "shutdown" not in handlers
+
+    def test_health_surfaces_epoch_quorum_and_ack_lag(self):
+        _remote, primary, _follower = self.build_pair(quorum=1)
+        self.gated_init(primary, name="q-health")
+        health = primary.health()
+        assert health["epoch"] == 0
+        assert health["quorum"] == 1
+        peer = health["replicates"]["peers"]["b"]
+        assert peer["ack_lag"] == 0  # the gate flushed before answering
+        assert peer["fenced"] is False
+
+
+# ----------------------------------------------------------------------
+# Epoch fencing: a deposed primary's late deltas bounce
+# ----------------------------------------------------------------------
+class FencingPeer(PeerLink):
+    """A follower that (once armed) answers every call as a fence."""
+
+    def __init__(self, epoch=5):
+        self.epoch = epoch
+        self.fencing = False
+        self.calls = []
+
+    def call(self, method, payload):
+        self.calls.append((method, payload))
+        if self.fencing:
+            return {"status": "fenced", "epoch": self.epoch}
+        return {"status": "ok"}
+
+
+class TestEpochFencing:
+    def test_stale_epoch_batches_are_rejected(self):
+        store = FollowerStore()
+        store.apply_snapshot(snapshot_of(seq=1))
+        store.fence("a", 3)
+        result = store.apply_batch(ReplicaBatch(
+            source="a", budget=32, epoch=2, deltas=(
+                ReplicaDelta(2, "grant", {"license_id": "lic",
+                                          "node_key": "slid:1", "units": 8}),
+            ),
+        ))
+        assert result["status"] == "fenced"
+        record = store._sources["a"].licenses["lic"]
+        assert record["ledger"]["outstanding"] == {}  # nothing applied
+
+    def test_current_epoch_messages_pass_the_fence(self):
+        store = FollowerStore()
+        store.fence("a", 3)
+        result = store.apply_snapshot(ShardSnapshot(
+            source="a", seq=1, budget=32,
+            licenses={"lic": wire_record("lic")},
+            identity={"next_slid": 1, "clients": {}}, epoch=3,
+        ))
+        assert result["status"] == "ok"
+        assert "lic" in store._sources["a"].licenses
+
+    def test_legacy_unfenced_sources_still_replicate(self):
+        store = FollowerStore()
+        result = store.apply_snapshot(snapshot_of(seq=1))  # epoch 0
+        assert result["status"] == "ok"
+
+    def test_deposed_source_stops_granting(self):
+        remote = fresh_remote()
+        peer = FencingPeer(epoch=5)
+        source = ReplicationSource(
+            remote, "a", peers={"b": peer},
+            followers_for=lambda lid: ["b"], lag_budget_units=16,
+        )
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        source.snapshot_now()
+        peer.fencing = True
+        renew(remote, slid, "lic", blob)
+        source.flush_now()
+        assert source.fenced_rejections >= 1
+        # A fenced source has lost the license to its successor: zero
+        # headroom, every further renewal bounces as EXHAUSTED.
+        assert source.grant_headroom("lic") == 0
+        response = renew(remote, slid, "lic", blob)
+        assert response.status is Status.EXHAUSTED
+        assert remote.exhausted_served >= 1
+
+    def test_promotion_fences_the_dead_primary(self):
+        manager = ReplicationManager(fresh_remote(), "b")
+        manager.store.apply_snapshot(snapshot_of(budget=32))
+        result = manager.handle_promote({"source": "a", "epoch": 4})
+        assert result["epoch"] == 4
+        assert manager.epoch == 4
+        late = manager.handle_replicate(ReplicaBatch(
+            source="a", budget=32, epoch=0, deltas=(
+                ReplicaDelta(6, "grant", {"license_id": "lic",
+                                          "node_key": "slid:1", "units": 8}),
+            ),
+        ))
+        assert late["status"] == "fenced"
+        assert late["epoch"] == 4
+
+    def test_promotion_epochs_ratchet(self):
+        manager = ReplicationManager(fresh_remote(), "b")
+        manager.handle_promote({"source": "a", "epoch": 4})
+        manager.handle_promote({"source": "z", "epoch": 2})
+        assert manager.epoch == 4  # never goes backwards
+
+    def test_epoch_survives_the_wire(self):
+        batch = ReplicaBatch(source="a", budget=32, deltas=(), epoch=7)
+        assert ReplicaBatch.from_wire(batch.to_wire()).epoch == 7
+        # Pre-quorum payloads decode to epoch 0 (never fenced out).
+        legacy = dict(batch.to_wire())
+        legacy.pop("epoch")
+        assert ReplicaBatch.from_wire(legacy).epoch == 0
+
+
+# ----------------------------------------------------------------------
+# WAL-shipped bootstrap: cold followers rebuild from disk state
+# ----------------------------------------------------------------------
+class TestWalBootstrap:
+    def build_durable(self, tmp_path):
+        from repro.storage.wal import ShardPersistence
+
+        remote = fresh_remote()
+        persistence = ShardPersistence(str(tmp_path / "a"), name="a")
+        persistence.recover(remote)
+        persistence.attach(remote)
+        return remote, persistence
+
+    def test_cold_follower_rebuilds_from_snapshot_plus_wal_tail(
+            self, tmp_path):
+        remote, persistence = self.build_durable(tmp_path)
+        try:
+            blob = remote.issue_license("lic", POOL).license_blob()
+            _machine, slid = init_client(remote)
+            granted = renew(remote, slid, "lic", blob).granted_units
+            follower = ReplicationManager(fresh_remote(), "b")
+            source = ReplicationSource(
+                remote, "a", peers={"b": LocalPeerLink(follower)},
+                followers_for=lambda lid: ["b"], lag_budget_units=32,
+            )
+            source.exporter = persistence.export_bootstrap
+            source.snapshot_now()  # cold peer -> WAL-shipped bootstrap
+            assert source.bootstraps_sent == 1
+            assert follower.store.bootstraps_applied == 1
+            follower.handle_promote({"source": "a", "epoch": 1})
+            ledger = follower.remote.ledger("lic")
+            assert ledger.outstanding[f"slid:{slid}"] == granted
+            response = renew(follower.remote, slid, "lic", blob)
+            assert response.status is Status.OK
+        finally:
+            persistence.close()
+
+    def test_warm_followers_keep_the_classic_snapshot_path(self, tmp_path):
+        remote, persistence = self.build_durable(tmp_path)
+        try:
+            remote.issue_license("lic", POOL)
+            follower = ReplicationManager(fresh_remote(), "b")
+            source = ReplicationSource(
+                remote, "a", peers={"b": LocalPeerLink(follower)},
+                followers_for=lambda lid: ["b"], lag_budget_units=32,
+            )
+            source.exporter = persistence.export_bootstrap
+            source.snapshot_now()
+            assert source.bootstraps_sent == 1
+            source.snapshot_now()  # warm now: anti-entropy, not bootstrap
+            assert source.bootstraps_sent == 1
+            assert source.snapshots_sent >= 1
+        finally:
+            persistence.close()
+
+    def test_live_issue_deltas_synthesize_the_record(self):
+        follower = ReplicationManager(fresh_remote(), "b")
+        remote = fresh_remote()
+        manager = ReplicationManager(
+            remote, "a", peers={"b": LocalPeerLink(follower)},
+            followers_for=lambda lid: ["b"],
+        )
+        manager.source.snapshot_now()  # warm the peer (empty fleet)
+        blob = remote.issue_license("lic", POOL).license_blob()
+        _machine, slid = init_client(remote)
+        granted = renew(remote, slid, "lic", blob).granted_units
+        manager.source.flush_now()
+        follower.handle_promote({"source": "a", "epoch": 1})
+        ledger = follower.remote.ledger("lic")
+        assert ledger.outstanding[f"slid:{slid}"] == granted
+        # The synthesized record is complete enough to serve renewals.
+        response = renew(follower.remote, slid, "lic", blob)
+        assert response.status is Status.OK
+
+    def test_bootstrap_chunks_survive_the_wire(self):
+        chunk = BootstrapChunk(
+            source="a", seq=3, budget=32,
+            snapshot={"seq": 1, "licenses": {}},
+            records=b"\x00\x01\xff", budgets={"lic": 64}, epoch=2,
+        )
+        assert BootstrapChunk.from_wire(chunk.to_wire()) == chunk
+
+    def test_wal_export_iter_roundtrip(self, tmp_path):
+        remote, persistence = self.build_durable(tmp_path)
+        try:
+            from repro.storage.wal import WriteAheadLog
+
+            remote.issue_license("lic", POOL)
+            snapshot, records = persistence.export_bootstrap()
+            replayed = list(WriteAheadLog.iter_frames(records))
+            assert [r.event for r in replayed] == ["issue"]
+            assert replayed[0].fields["license_id"] == "lic"
+        finally:
+            persistence.close()
+
+
+# ----------------------------------------------------------------------
+# Supersession: a license follows its freshest stream
+# ----------------------------------------------------------------------
+class TestClaim:
+    def test_fresh_stream_supersedes_stale_copies(self):
+        store = FollowerStore()
+        store.apply_snapshot(snapshot_of())  # "a" streamed lic first
+        store.apply_snapshot(ShardSnapshot(  # then "b" adopted it
+            source="b", seq=1, budget=32,
+            licenses={"lic": wire_record("lic")},
+            identity={"next_slid": 1, "clients": {}},
+        ))
+        assert "lic" not in store._sources["a"].licenses
+        assert "lic" in store._sources["b"].licenses
+
+    def test_claim_applies_to_live_deltas_too(self):
+        store = FollowerStore()
+        store.apply_snapshot(snapshot_of())
+        store.apply_snapshot(ShardSnapshot(
+            source="b", seq=1, budget=32, licenses={},
+            identity={"next_slid": 1, "clients": {}},
+        ))
+        store.apply_batch(ReplicaBatch(source="b", budget=32, deltas=(
+            ReplicaDelta(2, "issue", {"license_id": "lic", "kind": "count",
+                                      "total_units": 100}),
+        )))
+        assert "lic" not in store._sources["a"].licenses
+
+
+# ----------------------------------------------------------------------
+# Depth-K fleets: two simultaneous deaths, quorum promotion
+# ----------------------------------------------------------------------
+def build_deep_fleet(shards=5, replicas=2, licenses=6, budget=32):
+    sharded = ShardedRemote(
+        RemoteAttestationService(accept_any_platform=True),
+        shards=shards, replicas=replicas, lag_budget_units=budget,
+    )
+    blobs = {}
+    for index in range(licenses):
+        license_id = f"lic-{index}"
+        blobs[license_id] = sharded.issue_license(
+            license_id, POOL
+        ).license_blob()
+    machine = SgxMachine("deep-client")
+    report = machine.local_authority.generate_report(1, 1, nonce=1)
+    response = sharded.router.request(
+        "init",
+        InitRequest(slid=None, report=report,
+                    platform_secret=machine.platform_secret),
+        clock=machine.clock, stats=machine.stats,
+    )
+    assert response.status is Status.OK
+    sharded.snapshot_now()
+    return sharded, blobs, machine, response.slid
+
+
+def renew_with_failover(sharded, machine, slid, license_id, blob,
+                        attempts=4):
+    from repro.net.errors import DialError
+
+    for _ in range(attempts):
+        try:
+            return fleet_renew(sharded, machine, slid, license_id, blob)
+        except DialError:
+            continue
+    raise AssertionError(f"renewal of {license_id} never recovered")
+
+
+class TestDepthK:
+    def test_depth_clamps_to_the_fleet_size(self):
+        sharded = ShardedRemote(
+            RemoteAttestationService(accept_any_platform=True),
+            shards=2, replicas=5,
+        )
+        assert sharded.replication_depth == 1
+        sharded.close()
+
+    def test_deltas_stream_to_every_ring_successor(self):
+        sharded, blobs, machine, slid = build_deep_fleet()
+        license_id = next(iter(blobs))
+        fleet_renew(sharded, machine, slid, license_id, blobs[license_id])
+        sharded.replicate_now()
+        owner, *followers = sharded.ring.owners(license_id, 3)
+        assert len(followers) == 2
+        for follower in followers:
+            store = sharded.managers[follower].store
+            record = store._sources[owner].licenses[license_id]
+            assert record["ledger"]["outstanding"][f"slid:{slid}"] > 0
+        sharded.close()
+
+    def test_double_kill_falls_through_to_the_second_follower(self):
+        sharded, blobs, machine, slid = build_deep_fleet()
+        license_id = next(iter(blobs))
+        owner, first, second = sharded.ring.owners(license_id, 3)
+        granted = fleet_renew(sharded, machine, slid, license_id,
+                              blobs[license_id]).granted_units
+        sharded.replicate_now()
+        # Both the owner AND its first follower die before anyone
+        # promotes: depth-2 means the second follower still has the
+        # ledger and must win the quorum promotion.
+        sharded.kill_shard(owner)
+        sharded.kill_shard(first)
+        response = renew_with_failover(sharded, machine, slid, license_id,
+                                       blobs[license_id])
+        assert response.status is Status.OK
+        granted += response.granted_units
+        assert sharded.shard_for(license_id) == second
+        probe = sharded.ledger_probe(license_id)[license_id]
+        assert granted <= probe["outstanding"] + probe["lost"]
+        assert probe["outstanding"] + probe["lost"] + probe["available"] \
+            == probe["total"]
+        sharded.close()
+
+    def test_every_license_survives_two_simultaneous_kills(self):
+        sharded, blobs, machine, slid = build_deep_fleet(licenses=8)
+        granted = {}
+        for license_id, blob in blobs.items():
+            granted[license_id] = fleet_renew(
+                sharded, machine, slid, license_id, blob
+            ).granted_units
+        sharded.replicate_now()
+        victims = sharded.ring.shard_names[:2]
+        for victim in victims:
+            sharded.kill_shard(victim)
+        for license_id, blob in blobs.items():
+            response = renew_with_failover(sharded, machine, slid,
+                                           license_id, blob)
+            assert response.status is Status.OK
+            granted[license_id] += response.granted_units
+        for victim in victims:
+            assert victim not in sharded.ring.shard_names
+        # Zero double-mints: every unit ever granted is accounted for
+        # as outstanding or forfeited on the promoted ledgers.
+        for license_id, entry in sharded.ledger_probe(None).items():
+            assert granted.get(license_id, 0) \
+                <= entry["outstanding"] + entry["lost"]
+            assert entry["outstanding"] + entry["lost"] \
+                + entry["available"] == entry["total"]
+        sharded.close()
+
+    def test_failover_promotes_the_max_epoch_max_seq_survivor(self):
+        sharded, blobs, machine, slid = build_deep_fleet()
+        license_id = next(iter(blobs))
+        owner = sharded.shard_for(license_id)
+        fleet_renew(sharded, machine, slid, license_id, blobs[license_id])
+        sharded.replicate_now()
+        sharded.kill_shard(owner)
+        renew_with_failover(sharded, machine, slid, license_id,
+                            blobs[license_id])
+        # The promotion bumped every survivor past epoch 0 and the
+        # survivors agree on it.
+        epochs = {name: manager.epoch
+                  for name, manager in sharded.managers.items()
+                  if name in sharded.ring.shard_names}
+        assert set(epochs.values()) == {1}
+        sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Teardown ordering: close() stops shippers before transports
+# ----------------------------------------------------------------------
+class TestTeardownOrdering:
+    def test_close_stops_replication_and_persistence(self, tmp_path):
+        sharded = ShardedRemote(
+            RemoteAttestationService(accept_any_platform=True),
+            shards=3, replicas=1, data_dir=str(tmp_path),
+        )
+        sharded.issue_license("lic", POOL)
+        sharded.start_replication()
+        assert any(t.name.startswith("replication-")
+                   for t in threading.enumerate() if t.is_alive())
+        sharded.close()
+        assert not any(t.name.startswith(_BACKGROUND_PREFIXES)
+                       for t in threading.enumerate() if t.is_alive())
+
+    def test_close_is_idempotent(self, tmp_path):
+        sharded = ShardedRemote(
+            RemoteAttestationService(accept_any_platform=True),
+            shards=3, replicas=1, data_dir=str(tmp_path),
+        )
+        sharded.start_replication()
+        sharded.close()
+        sharded.close()  # second close must be a no-op, not a crash

@@ -73,6 +73,61 @@ class TestHashRing:
             default_shard_names(0)
 
 
+class TestOwnersPlacement:
+    """Properties of ``owners(key, k)`` the depth-K control plane rests
+    on: disjoint distinct successors, stability under membership churn,
+    and the removal identity that makes deep failover routable."""
+
+    KEYS = [f"lic-{i}" for i in range(150)]
+
+    def test_owners_are_distinct_and_lead_with_the_primary(self):
+        ring = HashRing(default_shard_names(6))
+        for key in self.KEYS:
+            for k in range(1, 7):
+                owners = ring.owners(key, k)
+                assert len(owners) == len(set(owners)) == k
+                assert owners[0] == ring.shard_for(key)
+
+    def test_owner_count_clamps_to_the_ring_size(self):
+        ring = HashRing(default_shard_names(3))
+        for key in self.KEYS[:20]:
+            assert len(ring.owners(key, 10)) == 3
+            assert sorted(ring.owners(key, 10)) == \
+                sorted(ring.shard_names)
+
+    def test_deeper_owner_lists_are_prefix_stable(self):
+        """owners(key, k) is always a prefix of owners(key, k+1) — a
+        fleet raising its replication depth keeps every existing
+        placement and only appends new followers."""
+        ring = HashRing(default_shard_names(7))
+        for key in self.KEYS:
+            for k in range(1, 6):
+                assert ring.owners(key, k + 1)[:k] == ring.owners(key, k)
+
+    def test_removing_the_primary_shifts_owners_by_one(self):
+        """The failover identity at every depth: once a key's primary
+        leaves the ring, owners(key, k) equals what the old
+        owners(key, k+1) promised as the survivors' order."""
+        ring = HashRing(default_shard_names(6))
+        for key in self.KEYS:
+            for k in (2, 3, 4):
+                before = ring.owners(key, k + 1)
+                survivors = ring.remove_shard(before[0])
+                assert survivors.owners(key, k) == before[1:]
+
+    def test_adding_a_shard_preserves_uninvolved_placements(self):
+        """Membership growth only inserts the new shard into owner
+        lists; the relative order of the existing shards never
+        changes (no gratuitous re-replication)."""
+        ring = HashRing(default_shard_names(5))
+        grown = ring.add_shard("shard-new")
+        for key in self.KEYS:
+            before = ring.owners(key, 3)
+            after = [name for name in grown.owners(key, 4)
+                     if name != "shard-new"]
+            assert after[:3] == before
+
+
 # ----------------------------------------------------------------------
 # ShardedRemote: in-process fleet behind the standard surface
 # ----------------------------------------------------------------------
