@@ -1,8 +1,8 @@
 """Guard the committed benchmark baselines against silent regressions.
 
 The repo commits full-scale benchmark results (``BENCH_failover.json``,
-``BENCH_wire_format.json``, ``BENCH_quorum.json``) as the performance
-record of each release.  This script compares the working-tree copies
+``BENCH_wire_format.json``, ``BENCH_quorum.json``,
+``BENCH_scenarios.json``) as the performance record of each release.  This script compares the working-tree copies
 against the versions committed at a git ref (default ``HEAD``) and
 fails when a headline metric regressed past the tolerance:
 
@@ -51,6 +51,16 @@ BASELINES = {
         ("binary_v3.requests_per_second", "higher"),
         ("binary_v3.bytes_per_renewal", "lower"),
         ("json_v2.bytes_per_renewal", "lower"),
+    ],
+    "BENCH_scenarios.json": [
+        # The adaptive fleet must serve the whole flash crowd: a single
+        # EXHAUSTED answer is a correctness regression of the admission
+        # ladder, not a perf wobble.
+        ("flash_crowd.adaptive.exhausted", "zero"),
+        ("flash_crowd.adaptive.failures", "zero"),
+        ("flash_crowd.adaptive.goodput_renewals_per_second", "higher"),
+        ("flash_crowd.adaptive.p99_ms", "lower"),
+        ("mass_churn.failures", "zero"),
     ],
 }
 

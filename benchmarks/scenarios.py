@@ -1,0 +1,411 @@
+"""Open-loop scenario engine: fleet-scale load shapes for SL-Remote.
+
+The wire and failover benchmarks drive closed renew/return loops — each
+client fires its next request the moment the previous one answers, so
+offered load self-throttles to whatever the server sustains.  Real
+fleets do not behave that way: demand arrives on its own clock.  This
+engine generates *arrival-curve-driven* load:
+
+* **zipf license popularity** — a few licenses take most of the crowd;
+* **flash crowd** — a trickle of early arrivals, then most of the
+  fleet lands inside a narrow burst window;
+* **mass churn** — a slice of the crowd crashes mid-hold (re-init
+  without graceful shutdown), exercising the pessimistic write-off and
+  the forfeiture budget;
+* **lossy last-mile tiers** — clients ship tiered reliability priors
+  *and* synthetic transport telemetry (rising retry/reconnect
+  counters), exercising the server's evidence-vs-claim weighting.
+
+Simulated SL-Locals are multiplexed: a small pool of worker threads
+shares the arrival schedule and drives many SLIDs each over pipelined
+(optionally batching) endpoints, so 10^4-10^5 simulated clients need
+tens of sockets, not tens of thousands of threads.  The schedule is
+open-loop — a request whose arrival time has passed is issued as soon
+as a worker frees up, and the slip is measured rather than hidden.
+
+Pure library: no pytest, no subprocess management.  The harness in
+``test_scenarios.py`` owns the fleet processes and the acceptance
+gates.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.licensefile import VENDOR_SECRET, mint_license_blob
+from repro.core.protocol import InitRequest, RenewRequest, Status
+from repro.net.endpoint import connect
+from repro.sgx import SgxMachine
+from repro.sim.clock import Clock
+
+
+# ----------------------------------------------------------------------
+# Load-shape primitives
+# ----------------------------------------------------------------------
+def zipf_weights(n: int, s: float = 1.1) -> List[float]:
+    """Normalized zipf popularity: weight of rank r is 1/r^s."""
+    raw = [1.0 / ((rank + 1) ** s) for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def weighted_pick(weights: Sequence[float], rng: random.Random) -> int:
+    """Index drawn from ``weights`` (assumed normalized)."""
+    roll = rng.random()
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        cumulative += weight
+        if roll < cumulative:
+            return index
+    return len(weights) - 1
+
+
+def flash_crowd_schedule(clients: int, duration: float,
+                         rng: random.Random,
+                         trickle_fraction: float = 0.2,
+                         burst_start: float = 0.6,
+                         burst_width: float = 0.1) -> List[float]:
+    """Arrival times for a flash crowd.
+
+    ``trickle_fraction`` of the crowd arrives uniformly over the lead-in
+    ``[0, burst_start * duration)``; everyone else lands inside the
+    burst window ``[burst_start, burst_start + burst_width) * duration``
+    — the moment a product launch (or a license popping up on a forum)
+    hits.
+    """
+    times = []
+    trickle = int(clients * trickle_fraction)
+    for _ in range(trickle):
+        times.append(rng.uniform(0.0, burst_start * duration))
+    for _ in range(clients - trickle):
+        times.append(duration * (burst_start + rng.random() * burst_width))
+    times.sort()
+    return times
+
+
+def mass_churn_schedule(clients: int, duration: float,
+                        rng: random.Random) -> List[float]:
+    """Steady arrivals for a churn scenario: uniform over the run."""
+    times = sorted(rng.uniform(0.0, duration) for _ in range(clients))
+    return times
+
+
+# ----------------------------------------------------------------------
+# Scenario description
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReliabilityTier:
+    """One last-mile link quality class.
+
+    ``drops_per_renew``/``redials_per_renew`` advance the synthetic
+    transport counters shipped as renew telemetry, so the server's
+    evidence check sees a link that keeps dropping frames even though
+    the client claims ``network_reliability``.
+    """
+
+    name: str
+    share: float                  # fraction of the crowd on this tier
+    network_reliability: float    # the client's claimed/observed prior
+    drops_per_renew: int = 0
+    redials_per_renew: int = 0
+
+
+DEFAULT_TIERS = (
+    ReliabilityTier("fibre", share=0.6, network_reliability=1.0),
+    ReliabilityTier("lossy", share=0.3, network_reliability=0.7,
+                    drops_per_renew=1),
+    ReliabilityTier("flaky", share=0.1, network_reliability=0.4,
+                    drops_per_renew=2, redials_per_renew=1),
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One open-loop scenario, fully determined by (spec, seed)."""
+
+    name: str
+    clients: int
+    licenses: int
+    pool_per_license: int
+    renews_per_client: int = 3
+    duration_seconds: float = 4.0
+    zipf_s: float = 1.1
+    tiers: Sequence[ReliabilityTier] = DEFAULT_TIERS
+    arrivals: str = "flash_crowd"         # or "mass_churn"
+    churn_fraction: float = 0.0           # crowd slice that crashes
+    churn_health: float = 0.85            # what churn-prone clients claim
+
+    def license_ids(self) -> List[str]:
+        return [f"lic-{index}" for index in range(self.licenses)]
+
+
+@dataclass
+class _SimClient:
+    """One simulated SL-Local's plan (built up-front, deterministic)."""
+
+    index: int
+    arrival: float
+    license_id: str
+    tier: ReliabilityTier
+    churns: bool
+    health: float
+    retries: int = 0
+    reconnects: int = 0
+
+
+def _build_crowd(spec: ScenarioSpec, rng: random.Random) -> List[_SimClient]:
+    if spec.arrivals == "flash_crowd":
+        arrivals = flash_crowd_schedule(spec.clients, spec.duration_seconds,
+                                        rng)
+    elif spec.arrivals == "mass_churn":
+        arrivals = mass_churn_schedule(spec.clients, spec.duration_seconds,
+                                       rng)
+    else:
+        raise ValueError(f"unknown arrival curve {spec.arrivals!r}")
+    weights = zipf_weights(spec.licenses, spec.zipf_s)
+    licenses = spec.license_ids()
+    tier_weights = [tier.share for tier in spec.tiers]
+    total_share = sum(tier_weights)
+    tier_weights = [w / total_share for w in tier_weights]
+    crowd = []
+    for index, arrival in enumerate(arrivals):
+        tier = spec.tiers[weighted_pick(tier_weights, rng)]
+        churns = rng.random() < spec.churn_fraction
+        crowd.append(_SimClient(
+            index=index,
+            arrival=arrival,
+            license_id=licenses[weighted_pick(weights, rng)],
+            tier=tier,
+            churns=churns,
+            health=spec.churn_health if churns else 1.0,
+        ))
+    return crowd
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Everything one run measured, JSON-ready via ``metrics()``."""
+
+    spec: ScenarioSpec
+    elapsed_seconds: float = 0.0
+    renews_ok: int = 0
+    renews_exhausted: int = 0
+    granted_units: int = 0
+    crashes: int = 0
+    crash_forfeits: List[int] = field(default_factory=list)
+    latencies_ms: List[float] = field(default_factory=list)
+    slips_ms: List[float] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def renews_total(self) -> int:
+        return self.renews_ok + self.renews_exhausted
+
+    def metrics(self) -> Dict[str, object]:
+        total = max(self.renews_total, 1)
+        return {
+            "clients": self.spec.clients,
+            "licenses": self.spec.licenses,
+            "pool_per_license": self.spec.pool_per_license,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "renews_total": self.renews_total,
+            "renews_ok": self.renews_ok,
+            "exhausted": self.renews_exhausted,
+            "exhausted_rate": round(self.renews_exhausted / total, 5),
+            "goodput_renewals_per_second": round(
+                self.renews_ok / max(self.elapsed_seconds, 1e-9), 1),
+            "granted_units": self.granted_units,
+            "crashes": self.crashes,
+            "forfeited_units": sum(self.crash_forfeits),
+            "max_crash_forfeit": max(self.crash_forfeits, default=0),
+            "p50_ms": round(_quantile(self.latencies_ms, 0.50), 3),
+            "p99_ms": round(_quantile(self.latencies_ms, 0.99), 3),
+            "schedule_slip_p99_ms": round(_quantile(self.slips_ms, 0.99), 1),
+            "failures": len(self.failures),
+        }
+
+
+def _quantile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    position = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[position]
+
+
+def run_scenario(url: str, spec: ScenarioSpec, seed: int = 7,
+                 workers: int = 12, connections: int = 4) -> ScenarioResult:
+    """Drive one scenario against a running fleet at ``url``.
+
+    Workers share the arrival-ordered crowd; each simulated SL-Local is
+    inited (own SLID), issues ``renews_per_client`` renewals with its
+    tier's telemetry and *holds* what it is granted, then — if
+    churn-marked — crashes (re-init without graceful shutdown),
+    forfeiting everything it held.
+
+    The crowd is *multiplexed*: ``workers`` threads share only
+    ``connections`` endpoints, so concurrent renewals from different
+    simulated clients ride the same pipelined socket (and, with a
+    ``batch_window`` on the URL, coalesce into ``BatchRequest``
+    frames) — tens of sockets carry 10^4+ SL-Locals.
+    """
+    rng = random.Random(seed)
+    crowd = _build_crowd(spec, rng)
+    blobs = {license_id: mint_license_blob(license_id, VENDOR_SECRET)
+             for license_id in spec.license_ids()}
+    result = ScenarioResult(spec=spec)
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    logs = [ScenarioResult(spec=spec) for _ in range(workers)]
+    started = threading.Event()
+    endpoints = [connect(url) for _ in range(max(1, connections))]
+
+    def worker(worker_index: int) -> None:
+        log = logs[worker_index]
+        endpoint = endpoints[worker_index % len(endpoints)]
+        started.wait()
+        while True:
+            with cursor_lock:
+                position = cursor["next"]
+                if position >= len(crowd):
+                    return
+                cursor["next"] = position + 1
+            client = crowd[position]
+            due = t0 + client.arrival
+            now = time.monotonic()
+            if due > now:
+                time.sleep(due - now)
+                log.slips_ms.append(0.0)
+            else:
+                log.slips_ms.append((now - due) * 1000.0)
+            try:
+                _drive_client(endpoint, client, blobs, spec, log)
+            except Exception as exc:  # noqa: BLE001 - recorded, judged later
+                log.failures.append(f"client {client.index}: {exc!r}")
+
+    threads = [threading.Thread(target=worker, args=(index,), daemon=True)
+               for index in range(workers)]
+    for thread in threads:
+        thread.start()
+    t0 = time.monotonic()
+    started.set()
+    try:
+        for thread in threads:
+            thread.join(timeout=600)
+    finally:
+        for endpoint in endpoints:
+            endpoint.close()
+    result.elapsed_seconds = time.monotonic() - t0
+    for log in logs:
+        result.renews_ok += log.renews_ok
+        result.renews_exhausted += log.renews_exhausted
+        result.granted_units += log.granted_units
+        result.crashes += log.crashes
+        result.crash_forfeits.extend(log.crash_forfeits)
+        result.latencies_ms.extend(log.latencies_ms)
+        result.slips_ms.extend(log.slips_ms)
+        result.failures.extend(log.failures)
+    return result
+
+
+def _drive_client(endpoint, client: _SimClient, blobs, spec: ScenarioSpec,
+                  log: ScenarioResult) -> None:
+    """One simulated SL-Local's lifetime.
+
+    The client *holds* every unit it is granted for the rest of the run
+    (a flash crowd is people launching the app and keeping it open, not
+    a renew/return ping-pong) — that is what makes the license's
+    concurrent-holder count C genuinely accumulate, which is the regime
+    where Algorithm 1's geometric g = αTG/(C·D) decay floors static
+    proposals to zero while most of the pool sits idle.
+    """
+    machine = SgxMachine(f"sim-{client.index}")
+    report = machine.local_authority.generate_report(1, 1, nonce=1)
+    init = endpoint.call(
+        "init",
+        InitRequest(slid=None, report=report,
+                    platform_secret=machine.platform_secret),
+        clock=machine.clock, stats=machine.stats,
+    )
+    slid = init.slid
+    held = 0
+    for _cycle in range(spec.renews_per_client):
+        client.retries += client.tier.drops_per_renew
+        client.reconnects += client.tier.redials_per_renew
+        request = RenewRequest(
+            slid=slid, license_id=client.license_id,
+            license_blob=blobs[client.license_id],
+            network_reliability=client.tier.network_reliability,
+            health=client.health,
+            rtt_seconds=0.001,
+            retries=client.retries,
+            reconnects=client.reconnects,
+        )
+        issued = time.monotonic()
+        response = endpoint.call("renew", request, clock=machine.clock)
+        log.latencies_ms.append((time.monotonic() - issued) * 1000.0)
+        if response.status is Status.OK:
+            log.renews_ok += 1
+            log.granted_units += response.granted_units
+            held += response.granted_units
+        elif response.status is Status.EXHAUSTED:
+            log.renews_exhausted += 1
+        else:
+            raise RuntimeError(
+                f"renew answered {response.status} for {client.license_id}"
+            )
+    if client.churns:
+        # Crash: re-init the same SLID without a graceful shutdown.
+        # The pessimistic rule writes off everything still held.
+        endpoint.call(
+            "init",
+            InitRequest(slid=slid, report=report,
+                        platform_secret=machine.platform_secret),
+            clock=machine.clock, stats=machine.stats,
+        )
+        log.crashes += 1
+        log.crash_forfeits.append(held)
+
+
+# ----------------------------------------------------------------------
+# Fleet probes (the harness audits through these)
+# ----------------------------------------------------------------------
+def fleet_ledger_audit(url: str) -> Dict[str, Dict]:
+    """Fleet-wide per-license accounting through the routed endpoint.
+
+    A ``ledger_probe`` with a ``None`` payload fans out across shards
+    and merges (license ids are disjoint by construction); every row
+    must conserve: ``outstanding + lost + available == total``.
+    """
+    endpoint = connect(url)
+    try:
+        probe = endpoint.call("ledger_probe", None, clock=Clock())
+    finally:
+        endpoint.close()
+    for license_id, row in probe.items():
+        leak = row["outstanding"] + row["lost"] + row["available"]
+        if leak != row["total"]:
+            raise AssertionError(f"{license_id} leaked units: {row}")
+    return probe
+
+
+def fleet_renewal_health(ports: Sequence[int]) -> List[Dict]:
+    """Every shard's ``_server_stats`` renewal section, by direct dial."""
+    reports = []
+    for port in ports:
+        endpoint = connect(f"sl://127.0.0.1:{port}")
+        try:
+            stats = endpoint.call("_server_stats", None, clock=Clock())
+        finally:
+            endpoint.close()
+        renewal = stats.get("renewal")
+        if renewal is not None:
+            reports.append(renewal)
+    return reports

@@ -261,6 +261,8 @@ def cmd_serve_remote(args) -> int:
     manager = None
     persistences = []
     recovery_reports = []
+    admission = args.admission != "off"
+    autotune_lag = bool(args.autotune_lag)
 
     def durable(remote, name):
         """Recover ``remote`` from disk and journal it from here on."""
@@ -282,7 +284,8 @@ def cmd_serve_remote(args) -> int:
         ring = HashRing(names)
         shard_name = names[index]
         owned_licenses = lambda lid: ring.shard_for(lid) == shard_name  # noqa: E731
-        remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
+        remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds,
+                          admission=admission, autotune_lag=autotune_lag)
         print(f"shard {shard_name} ({index + 1} of {count})", flush=True)
         if args.data_dir:
             # Recover before replication starts so the source streams
@@ -334,7 +337,9 @@ def cmd_serve_remote(args) -> int:
                                lag_budget_grants=args.lag_grants,
                                data_dir=args.data_dir or None,
                                fsync=args.fsync,
-                               compact_every=args.compact_every)
+                               compact_every=args.compact_every,
+                               admission=admission,
+                               autotune_lag=autotune_lag)
         recovery_reports.extend(remote.recovery_reports)
         if args.replicas > 0:
             remote.start_replication()
@@ -342,7 +347,8 @@ def cmd_serve_remote(args) -> int:
               + (f", {args.replicas} replica(s)" if args.replicas else ""),
               flush=True)
     else:
-        remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds)
+        remote = SlRemote(ras, ledger_commit_seconds=args.ledger_commit_seconds,
+                          admission=admission, autotune_lag=autotune_lag)
         if args.data_dir:
             durable(remote, "remote")
 
@@ -622,6 +628,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "shipped budget grows toward N times the "
                                    "peak observed grant (--lag-budget stays "
                                    "the floor)")
+    serve_parser.add_argument("--admission", choices=("on", "off"),
+                              default="on",
+                              help="adaptive admission control: remember "
+                                   "node conditions, feed the measured "
+                                   "concurrency EWMA into Algorithm 1, and "
+                                   "degrade grant sizes under pool pressure "
+                                   "instead of refusing ('off' restores the "
+                                   "static baseline for A/B comparison)")
+    serve_parser.add_argument("--autotune-lag", action="store_true",
+                              help="auto-tune tau and the replication lag "
+                                   "budget online from the observed "
+                                   "forfeiture-vs-refusal balance")
     serve_parser.add_argument("--data-dir", default="", metavar="DIR",
                               help="durable ledgers: journal every mutation "
                                    "to a sealed write-ahead log under DIR "

@@ -86,7 +86,17 @@ class InitResponse:
 
 @dataclass(frozen=True)
 class RenewRequest:
-    """Ask SL-Remote for (more) sub-GCL units for a license."""
+    """Ask SL-Remote for (more) sub-GCL units for a license.
+
+    ``network_reliability``/``health``/``weight`` are the Algorithm 1
+    condition inputs; the trailing telemetry fields carry the *observed*
+    evidence behind them — the client transport's measured round-trip
+    EWMA and its cumulative retry/reconnect counters — so SL-Remote can
+    weigh a claimed reliability against what the connection actually
+    did.  All telemetry fields default, and decoding uses those defaults
+    when a v1/v2 peer (or an older v3 peer, whose field table is simply
+    shorter) omits them.
+    """
 
     slid: int
     license_id: str
@@ -94,6 +104,9 @@ class RenewRequest:
     network_reliability: float
     health: float
     weight: float = 1.0
+    rtt_seconds: float = 0.0  # client-observed round-trip EWMA
+    retries: int = 0  # transport messages dropped + retried so far
+    reconnects: int = 0  # socket re-dials the client has survived
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -103,6 +116,9 @@ class RenewRequest:
             "network_reliability": self.network_reliability,
             "health": self.health,
             "weight": self.weight,
+            "rtt_seconds": self.rtt_seconds,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
         }
 
     @classmethod
@@ -114,6 +130,9 @@ class RenewRequest:
             network_reliability=fields["network_reliability"],
             health=fields["health"],
             weight=fields["weight"],
+            rtt_seconds=fields.get("rtt_seconds", 0.0),
+            retries=fields.get("retries", 0),
+            reconnects=fields.get("reconnects", 0),
         )
 
 

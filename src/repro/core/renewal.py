@@ -115,7 +115,13 @@ class LicenseLedger:
 
 @dataclass(frozen=True)
 class RenewalDecision:
-    """Outcome of one RenewLease evaluation."""
+    """Outcome of one RenewLease evaluation.
+
+    ``reason`` is ``"ok"`` for a normal Algorithm 1 evaluation; typed
+    zero-grant decisions (degenerate inputs that used to fall into
+    division-sensitive float paths) name why nothing was granted:
+    ``"no-concurrent"``, ``"zero-weight"``, or ``"zero-health"``.
+    """
 
     license_id: str
     node_id: str
@@ -123,6 +129,24 @@ class RenewalDecision:
     max_share: int  # G_i
     expected_loss_after: float
     beta_after: float
+    reason: str = "ok"
+
+
+def _zero_grant(
+    ledger: LicenseLedger, requester: NodeCondition, reason: str
+) -> RenewalDecision:
+    """A typed zero-grant decision that leaves the ledger untouched
+    except for remembering the requester's latest condition."""
+    ledger.node_conditions[requester.node_id] = requester
+    return RenewalDecision(
+        license_id=ledger.license_id,
+        node_id=requester.node_id,
+        granted_units=0,
+        max_share=0,
+        expected_loss_after=ledger.expected_loss(),
+        beta_after=ledger.beta,
+        reason=reason,
+    )
 
 
 def renew_lease(
@@ -130,6 +154,7 @@ def renew_lease(
     requester: NodeCondition,
     concurrent: List[NodeCondition],
     policy: Optional[RenewalPolicy] = None,
+    concurrency_hint: Optional[float] = None,
 ) -> RenewalDecision:
     """Algorithm 1: decide how many units to grant ``requester``.
 
@@ -137,17 +162,35 @@ def renew_lease(
     license, *including* the requester (C = len(concurrent)).  The grant
     is clamped to the ledger's available pool, so Σ G_i ≤ TG holds by
     construction.
+
+    ``concurrency_hint`` lets the caller substitute a *measured*
+    concurrency estimate (e.g. the server's EWMA of simultaneous
+    renewers) when it exceeds the instantaneous ``len(concurrent)`` —
+    holders that renewed moments ago and will renew again are real
+    contention even though they are not in this call's snapshot.
+
+    Degenerate inputs — an empty ``concurrent`` list, a zero total
+    weight, a zero-health requester — return a typed zero-grant
+    decision rather than entering the float pipeline; a requester
+    missing from a *non-empty* ``concurrent`` list is still a caller
+    bug and raises.
     """
     policy = policy if policy is not None else RenewalPolicy()
+    if not concurrent:
+        return _zero_grant(ledger, requester, "no-concurrent")
     if not any(c.node_id == requester.node_id for c in concurrent):
         raise ValueError("requester must be among the concurrent nodes")
     weight_sum = sum(c.weight for c in concurrent)
-    if weight_sum <= 0:
-        raise ValueError("concurrent nodes have zero total weight")
+    if weight_sum <= 0 or requester.weight <= 0:
+        return _zero_grant(ledger, requester, "zero-weight")
+    if requester.health <= 0.0:
+        return _zero_grant(ledger, requester, "zero-health")
 
     conditions = {c.node_id: c for c in concurrent}
     total_gcl = ledger.total_gcl
-    concurrency = len(concurrent)
+    concurrency = float(len(concurrent))
+    if concurrency_hint is not None and concurrency_hint > concurrency:
+        concurrency = concurrency_hint
     alpha = requester.weight / weight_sum
 
     # Line 3: the node's fair share of the license.

@@ -32,6 +32,7 @@ from repro.core.tokens import ExecutionToken
 from repro.crypto.hashes import sha256_word
 from repro.crypto.keys import KeyGenerator
 from repro.crypto.sealing import SealedBlob, TamperedSealError
+from repro.net.transport import transport_telemetry
 from repro.sgx import SgxMachine
 from repro.sgx.attestation import AttestationError, AttestationReport
 from repro.sgx.enclave import Enclave
@@ -384,13 +385,32 @@ class SlLocal:
 
     def _renew_request(self, license_id: str,
                        license_blob: bytes) -> RenewRequest:
+        """Build a renewal carrying *observed* condition evidence.
+
+        The configured ``network_reliability`` is a prior, not a
+        constant: the endpoint's transport tracks what the connection
+        actually delivered (drop rate, round-trip EWMA, retry and
+        reconnect counts), and the renewal ships the more pessimistic
+        of the two so Algorithm 1 sizes grants against the link the
+        client really has.
+        """
+        telemetry = transport_telemetry(
+            getattr(self.remote, "transport", None)
+        )
+        reliability = self.network_reliability
+        observed = telemetry["network_reliability"]
+        if observed is not None:
+            reliability = min(reliability, observed)
         return RenewRequest(
             slid=self.slid,
             license_id=license_id,
             license_blob=license_blob,
-            network_reliability=self.network_reliability,
+            network_reliability=reliability,
             health=self.health,
             weight=self.weight,
+            rtt_seconds=telemetry["rtt_seconds"],
+            retries=telemetry["retries"],
+            reconnects=telemetry["reconnects"],
         )
 
     def _warm_one(self, license_id: str, license_blob: bytes) -> Status:

@@ -40,7 +40,7 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.gcl import LeaseKind
@@ -69,6 +69,18 @@ from repro.sgx.driver import SgxStats
 
 class LicenseUnknown(Exception):
     """Raised when operating on a license SL-Remote never issued."""
+
+
+#: Smoothing factor for the per-license concurrency EWMA (Algorithm 1's
+#: C, measured instead of assumed).
+CONCURRENCY_EWMA_ALPHA = 0.2
+#: Renewals between auto-tuner evaluations.
+AUTOTUNE_INTERVAL = 64
+#: Bounds the auto-tuner may move the replication lag budget (grants)
+#: and the expected-loss bound τ within.
+AUTOTUNE_MAX_LAG_GRANTS = 64
+AUTOTUNE_TAU_MAX = 0.25
+AUTOTUNE_TAU_MIN = 0.05
 
 
 @dataclass
@@ -110,6 +122,26 @@ class LicenseShardState:
     #: (:class:`~repro.core.protocol.MigratingNotice`) instead of
     #: mutating a ledger that is about to move.
     frozen: bool = False
+    # ------------------------------------------------------------------
+    # Renewal-health accounting (guarded by ``lock`` like the ledger).
+    # Monitoring state, not conserved license state: a migrated or
+    # promoted record starts these at zero on the new owner.
+    # ------------------------------------------------------------------
+    #: EWMA of simultaneous holders+requesters — the measured Algorithm 1
+    #: concurrency C fed back into ``renew_lease`` as a hint.
+    concurrency_ewma: float = 0.0
+    #: OK renewals granted for this license.
+    grants: int = 0
+    #: Renewals answered EXHAUSTED for this license.
+    exhausted: int = 0
+    #: Grants the admission ladder shrank (or floored) below what
+    #: Algorithm 1 proposed.
+    degraded: int = 0
+    #: log2 grant-size histogram: ``granted.bit_length() -> count``.
+    grant_hist: Dict[int, int] = field(default_factory=dict)
+    #: Last shipped transport telemetry per node key: ``{rtt_seconds,
+    #: retries, reconnects}`` — the evidence behind claimed reliability.
+    node_telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
 @dataclass
@@ -143,11 +175,23 @@ class SlRemote:
         policy: Optional[RenewalPolicy] = None,
         server_secret: bytes = VENDOR_SECRET,
         ledger_commit_seconds: float = 0.0,
+        admission: bool = True,
+        autotune_lag: bool = False,
     ) -> None:
         self._ras = ras
         self.policy = policy if policy is not None else RenewalPolicy()
         self._server_secret = server_secret
         self.ledger_commit_seconds = ledger_commit_seconds
+        #: Adaptive admission control (the Algorithm 1 control loop's
+        #: server half): remembered node conditions, measured-concurrency
+        #: hints, telemetry evidence weighting, and the degrade-before-
+        #: refuse grant ladder.  ``False`` restores the static baseline
+        #: (fabricated perfect holder conditions, flat EXHAUSTED refusal)
+        #: for A/B comparison — the scenario engine runs both.
+        self.admission = admission
+        #: Auto-tune the replication lag budget and τ online from the
+        #: observed forfeiture-vs-refusal balance.
+        self.autotune_lag = autotune_lag
         self._states: Dict[str, LicenseShardState] = {}
         self._registry_lock = threading.Lock()
         self._clients: Dict[int, _ClientState] = {}
@@ -164,6 +208,9 @@ class SlRemote:
         #: backpressure clamped the grant to zero) — the signal the
         #: adaptive-renewal loop and replication health surface watch.
         self.exhausted_served = 0
+        #: Grants the admission ladder degraded below Algorithm 1's
+        #: proposal instead of refusing outright.
+        self.degraded_served = 0
         #: State-change observers: callables ``(event, fields_dict)``
         #: invoked under the lock guarding the mutated state, so one
         #: license's events arrive in commit order (replication hooks).
@@ -193,6 +240,19 @@ class SlRemote:
         #: so every ledger event the batch journals rides a single
         #: deferred fsync instead of one per renewal.
         self.commit_group: Optional[Callable[[], Any]] = None
+        #: Optional lag-budget control (the auto-tuner's actuator,
+        #: symmetric to ``grant_headroom``): called with a scale factor,
+        #: multiplies the replication source's per-license grants budget
+        #: by it (clamped) and returns the applied value.  None when the
+        #: server does not replicate — the tuner then only moves τ.
+        self.lag_budget_control: Optional[Callable[[float], int]] = None
+        # Auto-tuner bookkeeping: deltas since the last evaluation.
+        self._autotune_lock = threading.Lock()
+        self._autotune_last_renewals = 0
+        self._autotune_last_exhausted = 0
+        self._autotune_last_lost = 0
+        self.autotune_widened = 0
+        self.autotune_narrowed = 0
 
     # ------------------------------------------------------------------
     # Wire protocol surface
@@ -634,6 +694,7 @@ class SlRemote:
         """
         with self._counters_lock:
             self.renewals_served += 1
+        self._maybe_autotune()
         client, state, early = self._renew_prepare(request)
         if early is not None:
             return early
@@ -663,6 +724,7 @@ class SlRemote:
         with self._counters_lock:
             self.renewals_served += len(requests)
             self.batches_served += 1
+        self._maybe_autotune()
         responses: List[Any] = [None] * len(requests)
         prepared: List[Any] = [None] * len(requests)
         groups: Dict[str, List[int]] = {}
@@ -746,48 +808,102 @@ class SlRemote:
             ), False
         ledger = state.ledger
         if ledger.available <= 0:
-            with self._counters_lock:
-                self.exhausted_served += 1
+            self._note_refusal(state)
             return RenewResponse(status=Status.EXHAUSTED), False
 
+        node_key = self._node_key(request.slid)
         requester = NodeCondition(
-            node_id=self._node_key(request.slid),
+            node_id=node_key,
             weight=request.weight,
-            network_reliability=request.network_reliability,
+            network_reliability=self._evidence_reliability(state, node_key,
+                                                          request),
             health=request.health,
         )
         concurrent = self._concurrent_conditions(ledger, requester)
-        decision = renew_lease(ledger, requester, concurrent, self.policy)
+        available_before = ledger.available
+        hint = None
+        if self.admission:
+            # Measured Algorithm 1 concurrency: EWMA over the snapshot
+            # of holders + this requester.  The hint only ever *raises*
+            # C inside renew_lease, so a decaying crowd keeps grants
+            # conservative until the EWMA settles.
+            sample = float(len(concurrent))
+            state.concurrency_ewma = (
+                sample if state.concurrency_ewma <= 0.0
+                else state.concurrency_ewma
+                + CONCURRENCY_EWMA_ALPHA * (sample - state.concurrency_ewma)
+            )
+            hint = state.concurrency_ewma
+        decision = renew_lease(ledger, requester, concurrent, self.policy,
+                               concurrency_hint=hint)
         granted = decision.granted_units
+        degraded = False
+        if self.admission and granted > 0:
+            # Admission ladder, upper rungs: under pool pressure, cap
+            # the grant to a concurrency-fair slice of what is left so
+            # late arrivals in a flash crowd still find units.
+            cap = self._admission_cap(available_before,
+                                      state.concurrency_ewma,
+                                      ledger.total_gcl)
+            if cap < granted:
+                granted = cap
+                degraded = True
+        if self.admission and granted <= 0 and requester.health > 0.0:
+            # Bottom rung: Algorithm 1's geometric decay talked itself
+            # down to nothing while the pool still has units.  Hand out
+            # the smallest honest slice instead of refusing — a
+            # degraded grant keeps the client running.  The slice still
+            # honours Equation 1 (a shaky requester only gets what the
+            # remaining loss headroom under τ can absorb) and the
+            # replication headroom clamp below.
+            granted = self._admission_floor(available_before,
+                                            state.concurrency_ewma)
+            if granted > 0 and requester.health < 1.0:
+                tau = self.policy.tau_fraction * ledger.total_gcl
+                loss_headroom = tau - ledger.expected_loss()
+                crash = 1.0 - requester.health
+                granted = (min(granted, int(loss_headroom / crash))
+                           if loss_headroom > 0 else 0)
+                granted = max(granted, 0)
+            degraded = granted > 0
         if granted > 0 and self.grant_headroom is not None:
             # Replication backpressure: never let un-replicated
             # grants exceed the lag budget — what the follower might
             # not know about is exactly what a promotion forfeits,
             # so this clamp is what makes the loss bound hold.  A
             # None headroom means the license has no live follower
-            # (nothing to lag behind): no clamp.
+            # (nothing to lag behind): no clamp.  A *zero* headroom
+            # (fenced, or lag budget spent) is a hard refusal the
+            # admission ladder must never override: a deposed primary
+            # must not mint units its successor cannot know about.
             headroom = self.grant_headroom(
-                request.license_id, decision.granted_units
+                request.license_id, max(decision.granted_units, granted)
             )
-            if headroom is not None:
-                granted = min(granted, headroom)
-        # renew_lease already recorded the full decision in the
-        # ledger; shrink it to the clamped grant before answering
-        # (all the way back to zero when backpressure denies it).
-        if granted < decision.granted_units:
-            key = self._node_key(request.slid)
-            remaining = (
-                ledger.outstanding.get(key, 0)
-                - (decision.granted_units - max(granted, 0))
-            )
-            if remaining > 0:
-                ledger.outstanding[key] = remaining
+            if headroom is not None and headroom < granted:
+                granted = headroom
+                degraded = False
+        # renew_lease already recorded its proposal in the ledger;
+        # re-book the difference to the final grant before answering —
+        # down when a clamp shrank it (all the way to zero when
+        # backpressure denies it), up when the ladder floor granted
+        # where Algorithm 1 proposed nothing.
+        if granted != decision.granted_units:
+            booked = ledger.outstanding.get(node_key, 0)
+            adjusted = booked + (max(granted, 0) - decision.granted_units)
+            if adjusted > 0:
+                ledger.outstanding[node_key] = adjusted
             else:
-                ledger.outstanding.pop(key, None)
+                ledger.outstanding.pop(node_key, None)
         if granted <= 0:
-            with self._counters_lock:
-                self.exhausted_served += 1
+            self._note_refusal(state)
             return RenewResponse(status=Status.EXHAUSTED), False
+        state.grants += 1
+        bucket = granted.bit_length()
+        state.grant_hist[bucket] = state.grant_hist.get(bucket, 0) + 1
+        if degraded:
+            state.degraded += 1
+            with self._counters_lock:
+                self.degraded_served += 1
         client.holdings[request.license_id] = (
             client.holdings.get(request.license_id, 0) + granted
         )
@@ -813,12 +929,191 @@ class SlRemote:
 
     def _concurrent_conditions(self, ledger: LicenseLedger,
                                requester: NodeCondition) -> List[NodeCondition]:
-        """All nodes currently holding or requesting this license."""
+        """All nodes currently holding or requesting this license.
+
+        With admission control on, holders keep the condition they last
+        reported (the ledger remembers every participant after each
+        ``renew_lease``), so Equation 1 prices their *actual* crash
+        probability instead of a fabricated perfect default.  The static
+        baseline keeps the old perfect-holder fabrication.
+        """
         conditions = {requester.node_id: requester}
         for node_id, units in ledger.outstanding.items():
             if units > 0 and node_id not in conditions:
-                conditions[node_id] = NodeCondition(node_id=node_id)
+                remembered = (ledger.node_conditions.get(node_id)
+                              if self.admission else None)
+                conditions[node_id] = (remembered if remembered is not None
+                                       else NodeCondition(node_id=node_id))
         return list(conditions.values())
+
+    def _evidence_reliability(self, state: LicenseShardState, node_key: str,
+                              request: RenewRequest) -> float:
+        """Weigh a claimed network reliability against shipped evidence.
+
+        The client self-reports ``network_reliability``; the telemetry
+        fields carry what its transport actually did.  Fresh drops or
+        re-dials since the node's previous renewal cap the claim — a
+        link that just lost ``d`` frames is priced at most ``1/(1+d)``
+        reliable regardless of what it claims.  Lower reliability is not
+        a punishment: per Algorithm 1 lines 6-8, a *healthy* node on a
+        flaky link earns a larger sub-GCL to ride out disconnection.
+        Always records the latest telemetry for ``renewal_health``.
+        """
+        claimed = request.network_reliability
+        previous = state.node_telemetry.get(node_key)
+        state.node_telemetry[node_key] = {
+            "rtt_seconds": request.rtt_seconds,
+            "retries": request.retries,
+            "reconnects": request.reconnects,
+        }
+        if not self.admission or previous is None:
+            return claimed
+        fresh_drops = (max(0, request.retries - previous["retries"])
+                       + max(0, request.reconnects - previous["reconnects"]))
+        if fresh_drops <= 0:
+            return claimed
+        evidence = 1.0 / (1.0 + fresh_drops)
+        return max(0.01, min(claimed, evidence))
+
+    def _note_refusal(self, state: LicenseShardState) -> None:
+        """Count one EXHAUSTED answer (caller holds ``state.lock``)."""
+        state.exhausted += 1
+        with self._counters_lock:
+            self.exhausted_served += 1
+
+    @staticmethod
+    def _admission_cap(available: int, concurrency_ewma: float,
+                       total: int) -> int:
+        """Pressure-scaled grant ceiling (admission ladder upper rungs).
+
+        Above half the pool free, Algorithm 1's own sizing mostly
+        stands — but no single node ever receives more than half of
+        what remains, so one early arrival with a flaky-network boost
+        cannot legally drain a fresh pool and starve the entire crowd
+        behind it.  As pressure mounts the cap divides what is left by
+        a multiple of the measured concurrency, so the pool drains in
+        O(C·log) fair slices instead of a few early winners taking
+        everything.
+        """
+        if total <= 0 or available >= total * 0.5:
+            return max(1, available // 2)
+        crowd = max(1, int(concurrency_ewma + 0.999))
+        if available >= total * 0.25:
+            return max(1, available // (2 * crowd))
+        return max(1, available // (4 * crowd))
+
+    @staticmethod
+    def _admission_floor(available: int, concurrency_ewma: float) -> int:
+        """Smallest honest grant when Algorithm 1 proposes zero.
+
+        One C-fair sliver of the remaining pool (at least one unit while
+        any remain) — graceful degradation instead of EXHAUSTED.
+        """
+        if available <= 0:
+            return 0
+        crowd = max(1, int(concurrency_ewma + 0.999))
+        return max(1, available // (8 * crowd))
+
+    # ------------------------------------------------------------------
+    # Renewal health + auto-tuner
+    # ------------------------------------------------------------------
+    def renewal_health(self) -> Dict[str, Any]:
+        """Per-license renewal-health report for ``_server_stats``.
+
+        Surfaces what the global ``exhausted_served`` counter hides:
+        which licenses are refusing, how hard the admission ladder is
+        degrading grants, the measured concurrency C, and the grant-size
+        histogram (keys are the log2 bucket's lower bound).
+        """
+        licenses: Dict[str, Any] = {}
+        for license_id in self.license_ids():
+            try:
+                state = self.license_state(license_id)
+            except LicenseUnknown:
+                continue
+            with state.lock:
+                licenses[license_id] = {
+                    "grants": state.grants,
+                    "exhausted": state.exhausted,
+                    "degraded": state.degraded,
+                    "concurrency_ewma": round(state.concurrency_ewma, 3),
+                    "grant_hist": {
+                        str(1 << max(0, bucket - 1)): count
+                        for bucket, count in sorted(state.grant_hist.items())
+                    },
+                }
+        with self._counters_lock:
+            exhausted = self.exhausted_served
+            degraded = self.degraded_served
+        return {
+            "admission": self.admission,
+            "autotune_lag": self.autotune_lag,
+            "tau_fraction": self.policy.tau_fraction,
+            "exhausted_served": exhausted,
+            "degraded_served": degraded,
+            "autotune": {
+                "widened": self.autotune_widened,
+                "narrowed": self.autotune_narrowed,
+            },
+            "licenses": licenses,
+        }
+
+    def _maybe_autotune(self) -> None:
+        """Close the outer loop: refusals vs forfeitures steer τ and the
+        replication lag budget.
+
+        Every :data:`AUTOTUNE_INTERVAL` renewals, compare how many
+        renewals were refused (EXHAUSTED) against how many units were
+        forfeited (crash write-offs) since the last look.  More refusals
+        than forfeits means the server is being too timid — widen τ and
+        the lag budget so grants flow; more forfeits means crashes are
+        burning the pool — narrow both so less is at risk per crash.
+        """
+        if not self.autotune_lag:
+            return
+        with self._counters_lock:
+            renewals = self.renewals_served
+            exhausted = self.exhausted_served
+        with self._autotune_lock:
+            if renewals - self._autotune_last_renewals < AUTOTUNE_INTERVAL:
+                return
+            lost = self._total_lost_units()
+            refusals = exhausted - self._autotune_last_exhausted
+            forfeits = lost - self._autotune_last_lost
+            self._autotune_last_renewals = renewals
+            self._autotune_last_exhausted = exhausted
+            self._autotune_last_lost = lost
+            if refusals > forfeits:
+                self._autotune_step(widen=True)
+            elif forfeits > refusals:
+                self._autotune_step(widen=False)
+
+    def _total_lost_units(self) -> int:
+        total = 0
+        for license_id in self.license_ids():
+            try:
+                state = self.license_state(license_id)
+            except LicenseUnknown:
+                continue
+            with state.lock:
+                total += state.ledger.lost_units
+        return total
+
+    def _autotune_step(self, widen: bool) -> None:
+        """One tuner move (caller holds ``_autotune_lock``)."""
+        factor = 2.0 if widen else 0.5
+        if self.lag_budget_control is not None:
+            self.lag_budget_control(factor)
+        tau = self.policy.tau_fraction
+        new_tau = (min(AUTOTUNE_TAU_MAX, tau * 1.25) if widen
+                   else max(AUTOTUNE_TAU_MIN, tau / 1.25))
+        if new_tau != tau:
+            # RenewalPolicy is frozen: swap in a re-parameterized copy.
+            self.policy = replace(self.policy, tau_fraction=new_tau)
+        if widen:
+            self.autotune_widened += 1
+        else:
+            self.autotune_narrowed += 1
 
     def _blob_valid(self, definition: LicenseDefinition, blob: bytes) -> bool:
         return blob == definition.license_blob()

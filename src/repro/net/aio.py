@@ -68,7 +68,12 @@ from repro.net.server import (
     negotiate_hello,
     overload_frame,
 )
-from repro.net.transport import HandlerTable, RenewCoalescer, Transport
+from repro.net.transport import (
+    HandlerTable,
+    RenewCoalescer,
+    RTT_EWMA_ALPHA,
+    Transport,
+)
 from repro.net.network import NetworkConditions
 from repro.sgx.driver import SgxStats, ThreadSafeSgxStats
 from repro.sim.clock import Clock, ThreadSafeClock, seconds_to_cycles
@@ -470,6 +475,9 @@ class AsyncTcpTransport(Transport):
         self.messages_sent = 0
         self.messages_dropped = 0
         self.reconnects = 0
+        #: EWMA of the *real* round-trip time of completed exchanges —
+        #: the latency half of the telemetry renewals carry upstream.
+        self.rtt_ewma_seconds = 0.0
         self._closed = False
         #: Preferred wire version; the connection's actual version is
         #: negotiated on dial and recorded in ``negotiated_wire``.
@@ -541,10 +549,15 @@ class AsyncTcpTransport(Transport):
             future = asyncio.run_coroutine_threadsafe(
                 self._round_trip(method, payload), loop
             )
+            started = time.monotonic()
             try:
-                return future.result()
+                result = future.result()
+                self._note_rtt(time.monotonic() - started)
+                return result
             except codec.RemoteCallError:
-                raise  # the server answered; retrying cannot help
+                # The server answered — a complete round trip.
+                self._note_rtt(time.monotonic() - started)
+                raise  # retrying cannot help
             except Overloaded:
                 raise  # the server answered by shedding; same story
             except DialError:
@@ -574,6 +587,15 @@ class AsyncTcpTransport(Transport):
         asyncio.run_coroutine_threadsafe(
             self._teardown(ConnectionError("transport closed")), loop
         ).result(timeout=5.0)
+
+    def _note_rtt(self, seconds: float) -> None:
+        with self._counters_lock:
+            if self.rtt_ewma_seconds <= 0.0:
+                self.rtt_ewma_seconds = seconds
+            else:
+                self.rtt_ewma_seconds += RTT_EWMA_ALPHA * (
+                    seconds - self.rtt_ewma_seconds
+                )
 
     @property
     def observed_reliability(self) -> float:

@@ -604,7 +604,13 @@ class _Reader:
                 raise CodecError(f"unknown message type {name!r}")
             table = _field_table(cls)
             (count,) = _U8.unpack(self.take(_U8.size))
-            if table is None or count != len(table):
+            # A *shorter* table than ours means an older peer whose
+            # dataclass predates fields we appended (telemetry grows
+            # this way): accept the prefix and let dataclass defaults
+            # fill the tail — a missing non-defaulted field still fails
+            # construction below.  A longer table would silently drop
+            # the peer's trailing data, so it stays fatal.
+            if table is None or count > len(table):
                 raise CodecError(
                     f"field table mismatch for {name}: frame has {count} "
                     f"fields, this side expects "

@@ -421,6 +421,10 @@ class ReplicationSource:
         self._thread: Optional[threading.Thread] = None
         remote.add_observer(self._observe)
         remote.grant_headroom = self.grant_headroom
+        # The auto-tuner's actuator: lets the served remote scale this
+        # source's per-license lag budget (grants) online.
+        if hasattr(remote, "lag_budget_control"):
+            remote.lag_budget_control = self.scale_grants_budget
 
     # -- primary-side hooks (called under the mutated state's lock) ----
     def _live_followers(self, license_id: str) -> List[str]:
@@ -477,6 +481,21 @@ class ReplicationSource:
                 room = max(0, shipped - lag)
                 headroom = room if headroom is None else min(headroom, room)
             return headroom
+
+    def scale_grants_budget(self, factor: float) -> int:
+        """Multiply the per-license lag budget (in grants) by ``factor``.
+
+        The auto-tuner's actuator (``SlRemote.lag_budget_control``):
+        widening lets more un-replicated grants ride between acks
+        (fewer backpressure refusals, larger promotion forfeit bound);
+        narrowing tightens the forfeit bound.  Clamped to [1, 64]; the
+        ``pool_fraction`` cap in :meth:`desired_budget` still applies,
+        so no tuner move can put more than that fraction of a license
+        at risk.  Returns the applied value.
+        """
+        grants = int(round(self.grants_budget * factor))
+        self.grants_budget = max(1, min(grants, 64))
+        return self.grants_budget
 
     def desired_budget(self, license_id: str) -> int:
         """The adaptive lag budget this license *should* have:
@@ -567,6 +586,9 @@ class ReplicationSource:
             pass
         if self.remote.grant_headroom == self.grant_headroom:
             self.remote.grant_headroom = None
+        if getattr(self.remote, "lag_budget_control",
+                   None) == self.scale_grants_budget:
+            self.remote.lag_budget_control = None
         for peer in self.peers.values():
             peer.close()
 
@@ -1455,6 +1477,7 @@ class ReplicationManager:
                 "seq": seq,
                 "identity_seq": identity_seq,
                 "peers": peers,
+                "grants_budget": source.grants_budget,
                 "batches_sent": source.batches_sent,
                 "snapshots_sent": source.snapshots_sent,
                 "bootstraps_sent": source.bootstraps_sent,

@@ -182,6 +182,12 @@ def attach_server_stats(handlers: HandlerTable, server, io_name: str) -> None:
         exhausted = getattr(remote, "exhausted_served", None)
         if exhausted is not None:
             report["exhausted_served"] = exhausted
+        renewal = getattr(remote, "renewal_health", None)
+        if callable(renewal):
+            try:
+                report["renewal"] = renewal()
+            except Exception:  # noqa: BLE001 - stats must never fail a probe
+                pass
         health = getattr(server, "replication_health", None)
         if health is None:
             health = getattr(remote, "replication_health", None)

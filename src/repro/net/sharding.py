@@ -714,6 +714,8 @@ class ShardedRemote:
         fsync: str = "interval",
         compact_every: int = 4096,
         quorum: Optional[int] = None,
+        admission: bool = True,
+        autotune_lag: bool = False,
     ) -> None:
         if replicas < 0:
             raise ValueError("replicas must be >= 0")
@@ -723,7 +725,8 @@ class ShardedRemote:
                  else default_shard_names(shards))
         self.shards: Dict[str, SlRemote] = {
             name: SlRemote(ras, policy=policy, server_secret=server_secret,
-                           ledger_commit_seconds=ledger_commit_seconds)
+                           ledger_commit_seconds=ledger_commit_seconds,
+                           admission=admission, autotune_lag=autotune_lag)
             for name in names
         }
         # Durability wires up BEFORE replication: recovery replays the
@@ -934,6 +937,18 @@ class ShardedRemote:
         for the adaptive-renewal control loop)."""
         return sum(remote.exhausted_served
                    for remote in self.shards.values())
+
+    @property
+    def degraded_served(self) -> int:
+        """Grants the admission ladder degraded, fleet-wide."""
+        return sum(remote.degraded_served
+                   for remote in self.shards.values())
+
+    def renewal_health(self) -> Dict[str, Any]:
+        """Per-shard renewal health (same shape as replication health:
+        one :meth:`SlRemote.renewal_health` report per shard)."""
+        return {name: remote.renewal_health()
+                for name, remote in self.shards.items()}
 
     def replication_health(self) -> Dict[str, Any]:
         """Per-shard replication health (ack lag, epoch, quorum) for

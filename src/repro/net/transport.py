@@ -30,7 +30,7 @@ import inspect
 import socket
 import threading
 import time
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.core.protocol import BatchRequest, BatchResponse
 from repro.net import codec
@@ -58,6 +58,7 @@ __all__ = [
     "TRANSPORT_BACKENDS",
     "loopback_transport",
     "read_frame",
+    "transport_telemetry",
 ]
 
 
@@ -121,6 +122,48 @@ class Transport:
 
     def close(self) -> None:
         """Release any connection state (no-op for in-process backends)."""
+
+
+#: EWMA smoothing for the socket transports' observed round-trip time:
+#: heavy enough that one slow request does not dominate, light enough
+#: that a degrading link shows within a handful of renewals.
+RTT_EWMA_ALPHA = 0.2
+
+
+def transport_telemetry(transport) -> Dict[str, Any]:
+    """Observed per-connection condition evidence, best effort.
+
+    The renewal control loop ships this with every ``RenewRequest`` so
+    SL-Remote sizes grants from what the connection actually did — the
+    empirical delivery rate, the measured round-trip EWMA, and the
+    cumulative retry/reconnect counters — rather than static defaults.
+    Works against any transport: fields a backend does not track fall
+    back to its configured :class:`SimulatedLink` conditions or to
+    neutral defaults, so in-process experiments keep their semantics.
+    """
+    reliability = getattr(transport, "observed_reliability", None)
+    if reliability is None:
+        link = getattr(transport, "link", None)
+        reliability = getattr(link, "observed_reliability", None)
+    rtt = getattr(transport, "rtt_ewma_seconds", 0.0) or 0.0
+    if not rtt:
+        conditions = getattr(transport, "conditions", None)
+        if conditions is None:
+            link = getattr(transport, "link", None)
+            conditions = getattr(link, "conditions", None)
+        if conditions is not None:
+            rtt = conditions.round_trip_seconds
+    return {
+        # NodeCondition demands reliability in (0, 1]: clamp a fully
+        # dead sample window to a near-zero floor instead of zero.
+        "network_reliability": (
+            None if reliability is None
+            else min(1.0, max(0.01, float(reliability)))
+        ),
+        "rtt_seconds": float(rtt),
+        "retries": int(getattr(transport, "messages_dropped", 0) or 0),
+        "reconnects": int(getattr(transport, "reconnects", 0) or 0),
+    }
 
 
 class InProcessTransport(Transport):
@@ -339,6 +382,9 @@ class TcpTransport(Transport):
         #: Successful re-dials after an established session lost its
         #: socket (a server restart survived in place).
         self.reconnects = 0
+        #: EWMA of the *real* round-trip time of successful exchanges —
+        #: the latency half of the telemetry renewals carry upstream.
+        self.rtt_ewma_seconds = 0.0
         #: Preferred wire version; the connection's actual version is
         #: negotiated on dial and recorded in ``negotiated_wire``.
         self.wire = getattr(config, "wire", codec.WIRE_VERSION)
@@ -480,10 +526,15 @@ class TcpTransport(Transport):
                         seconds_to_cycles(self.conditions.round_trip_seconds)
                     )
                 self.messages_sent += 1
+                started = time.monotonic()
                 try:
-                    return self._round_trip(method, payload)
+                    result = self._round_trip(method, payload)
+                    self._note_rtt(time.monotonic() - started)
+                    return result
                 except codec.RemoteCallError:
-                    raise  # the server answered; retrying cannot help
+                    # The server answered — a complete round trip.
+                    self._note_rtt(time.monotonic() - started)
+                    raise  # retrying cannot help
                 except DialError:
                     # A whole reconnect budget just failed; the per-call
                     # budget re-dialing max_attempts more times would only
@@ -524,6 +575,14 @@ class TcpTransport(Transport):
             self._drop_connection()
             raise Overloaded(reply.error or "server overloaded")
         return reply.deliver()
+
+    def _note_rtt(self, seconds: float) -> None:
+        if self.rtt_ewma_seconds <= 0.0:
+            self.rtt_ewma_seconds = seconds
+        else:
+            self.rtt_ewma_seconds += RTT_EWMA_ALPHA * (
+                seconds - self.rtt_ewma_seconds
+            )
 
     @property
     def observed_reliability(self) -> float:

@@ -1,0 +1,219 @@
+"""The server half of the Algorithm 1 control loop.
+
+With admission control on (the default), SL-Remote:
+
+* remembers every node's last-reported condition, so Equation 1 prices
+  holders' real crash probabilities instead of fabricated perfect ones;
+* feeds a measured concurrency EWMA back into ``renew_lease``;
+* weighs a claimed network reliability against the shipped transport
+  telemetry (fresh drops cap the claim);
+* degrades grant sizes under pool pressure — and floors Algorithm 1's
+  zero-proposals to the smallest honest slice — instead of answering
+  EXHAUSTED while units remain, without ever violating the τ loss bound
+  or the replication lag-budget fence;
+* optionally auto-tunes τ and the replication lag budget from the
+  observed forfeiture-vs-refusal balance.
+
+``--admission off`` (``admission=False``) restores the static baseline.
+"""
+
+from repro.core.protocol import RenewRequest, Status
+from repro.core.sl_remote import AUTOTUNE_INTERVAL, SlRemote
+from repro.sgx import RemoteAttestationService
+
+
+def build_remote(pool=1_000, clients=8, licenses=("lic-a",), **kwargs):
+    remote = SlRemote(RemoteAttestationService(accept_any_platform=True),
+                      **kwargs)
+    blobs = {}
+    for license_id in licenses:
+        blobs[license_id] = remote.issue_license(license_id,
+                                                 pool).license_blob()
+    for slid in range(1, clients + 1):
+        remote.handle_admit(slid)
+    return remote, blobs
+
+
+def renew(remote, blobs, slid, license_id="lic-a", **fields):
+    request = RenewRequest(
+        slid=slid, license_id=license_id, license_blob=blobs[license_id],
+        network_reliability=fields.pop("network_reliability", 1.0),
+        health=fields.pop("health", 1.0), **fields,
+    )
+    return remote.handle_renew(request)
+
+
+class TestDegradeBeforeExhausted:
+    def test_static_baseline_refuses_while_units_remain(self):
+        """Algorithm 1's geometric decay floors proposals to zero long
+        before the pool is empty — the graceless refusal."""
+        remote, blobs = build_remote(pool=1_000, clients=40, admission=False)
+        statuses = [renew(remote, blobs, slid).status for slid in range(1, 41)]
+        assert Status.EXHAUSTED in statuses
+        assert remote.ledger("lic-a").available > 0
+
+    def test_adaptive_server_degrades_instead(self):
+        """Same crowd, admission on: every renewal is served while any
+        units remain, some as degraded grants."""
+        remote, blobs = build_remote(pool=1_000, clients=40, admission=True)
+        for slid in range(1, 41):
+            response = renew(remote, blobs, slid)
+            if remote.ledger("lic-a").available > 0:
+                assert response.status is Status.OK
+        assert remote.exhausted_served == 0
+        assert remote.degraded_served > 0
+
+    def test_pool_conservation_holds_with_the_ladder(self):
+        remote, blobs = build_remote(pool=500, clients=30)
+        for round_ in range(3):
+            for slid in range(1, 31):
+                renew(remote, blobs, slid)
+        ledger = remote.ledger("lic-a")
+        assert (sum(ledger.outstanding.values()) + ledger.lost_units
+                + ledger.available == 500)
+        assert ledger.available >= 0
+
+    def test_truly_empty_pool_still_answers_exhausted(self):
+        remote, blobs = build_remote(pool=40, clients=10)
+        for _ in range(20):
+            for slid in range(1, 11):
+                renew(remote, blobs, slid)
+        assert remote.ledger("lic-a").available == 0
+        assert renew(remote, blobs, 1).status is Status.EXHAUSTED
+        assert remote.exhausted_served > 0
+
+
+class TestRememberedConditions:
+    def test_holder_conditions_survive_other_renewals(self):
+        """A shaky holder's last-reported condition keeps pricing
+        Equation 1 even when someone else renews."""
+        remote, blobs = build_remote(pool=10_000, clients=3)
+        renew(remote, blobs, 1, health=0.6)
+        renew(remote, blobs, 2)  # a healthy node renews after
+        conditions = remote.ledger("lic-a").node_conditions
+        assert conditions["slid:1"].health == 0.6
+
+    def test_static_baseline_fabricates_perfect_holders(self):
+        remote, blobs = build_remote(pool=10_000, clients=3, admission=False)
+        renew(remote, blobs, 1, health=0.6)
+        renew(remote, blobs, 2)
+        conditions = remote.ledger("lic-a").node_conditions
+        # The old behavior this preserves: the later renewal overwrote
+        # the holder's remembered condition with a perfect default.
+        assert conditions["slid:1"].health == 1.0
+
+    def test_tau_bounds_total_expected_loss(self):
+        """Ladder floors never push Equation 1 past τ: shaky nodes stop
+        receiving units once the loss headroom is spent."""
+        remote, blobs = build_remote(pool=20_000, clients=5)
+        for _ in range(40):
+            for slid in range(1, 6):
+                renew(remote, blobs, slid, health=0.6)
+        ledger = remote.ledger("lic-a")
+        tau = remote.policy.tau_fraction * ledger.total_gcl
+        assert ledger.expected_loss() <= tau + 1.0
+
+
+class TestTelemetryEvidence:
+    def test_fresh_drops_cap_claimed_reliability(self):
+        """A client claiming a clean link while its transport just
+        dropped frames is priced at the evidence, not the claim."""
+        remote, blobs = build_remote()
+        renew(remote, blobs, 1, retries=0)
+        renew(remote, blobs, 1, retries=4, network_reliability=1.0)
+        condition = remote.ledger("lic-a").node_conditions["slid:1"]
+        assert condition.network_reliability <= 1.0 / 5.0
+
+    def test_quiet_link_keeps_its_claim(self):
+        remote, blobs = build_remote()
+        renew(remote, blobs, 1, retries=7)
+        renew(remote, blobs, 1, retries=7, network_reliability=0.8)
+        condition = remote.ledger("lic-a").node_conditions["slid:1"]
+        assert condition.network_reliability == 0.8
+
+    def test_telemetry_recorded_per_node(self):
+        remote, blobs = build_remote()
+        renew(remote, blobs, 1, rtt_seconds=0.02, retries=3, reconnects=1)
+        state = remote.license_state("lic-a")
+        assert state.node_telemetry["slid:1"] == {
+            "rtt_seconds": 0.02, "retries": 3, "reconnects": 1,
+        }
+
+
+class TestReplicationFenceSafety:
+    def test_zero_headroom_is_never_overridden(self):
+        """A fenced (deposed) primary must not mint: the admission
+        ladder's floor still yields EXHAUSTED when headroom is zero."""
+        remote, blobs = build_remote(pool=1_000, clients=2)
+        remote.grant_headroom = lambda license_id, proposed=0: 0
+        assert renew(remote, blobs, 1).status is Status.EXHAUSTED
+        assert remote.ledger("lic-a").available == 1_000
+        assert remote.degraded_served == 0
+
+    def test_partial_headroom_clamps_the_grant(self):
+        remote, blobs = build_remote(pool=1_000, clients=2)
+        remote.grant_headroom = lambda license_id, proposed=0: 7
+        response = renew(remote, blobs, 1)
+        assert response.status is Status.OK
+        assert response.granted_units == 7
+
+
+class TestRenewalHealth:
+    def test_per_license_report_shape(self):
+        remote, blobs = build_remote(pool=1_000, clients=20)
+        for slid in range(1, 21):
+            renew(remote, blobs, slid)
+        health = remote.renewal_health()
+        assert health["admission"] is True
+        entry = health["licenses"]["lic-a"]
+        assert entry["grants"] == 20
+        assert entry["concurrency_ewma"] > 1.0
+        assert sum(entry["grant_hist"].values()) == 20
+        # Histogram keys are the log2 bucket's lower bound.
+        assert all(int(key) >= 1 for key in entry["grant_hist"])
+
+    def test_exhausted_and_degraded_counted_per_license(self):
+        remote, blobs = build_remote(pool=120, clients=30)
+        for _ in range(4):
+            for slid in range(1, 31):
+                renew(remote, blobs, slid)
+        entry = remote.renewal_health()["licenses"]["lic-a"]
+        assert entry["degraded"] > 0
+        assert entry["exhausted"] == remote.exhausted_served
+
+
+class TestAutoTuner:
+    def drive(self, remote, blobs, clients, rounds):
+        for _ in range(rounds):
+            for slid in range(1, clients + 1):
+                renew(remote, blobs, slid)
+
+    def test_refusals_widen_tau_and_lag_budget(self):
+        """More refusals than forfeits: the tuner widens τ and asks the
+        replication source for a larger grants budget."""
+        remote, blobs = build_remote(pool=60, clients=30, admission=False,
+                                     autotune_lag=True)
+        factors = []
+        remote.lag_budget_control = lambda factor: factors.append(factor) or 8
+        tau_before = remote.policy.tau_fraction
+        self.drive(remote, blobs, 30, rounds=2 + AUTOTUNE_INTERVAL // 30)
+        assert remote.autotune_widened > 0
+        assert remote.policy.tau_fraction > tau_before
+        assert all(factor > 1.0 for factor in factors)
+
+    def test_forfeits_narrow_tau(self):
+        remote, blobs = build_remote(pool=100_000, clients=6,
+                                     autotune_lag=True)
+        self.drive(remote, blobs, 6, rounds=2)
+        # Crash half the fleet: write-offs dwarf refusals.
+        for slid in (1, 2, 3):
+            remote.report_crash(slid)
+        tau_before = remote.policy.tau_fraction
+        self.drive(remote, blobs, 6, rounds=2 + AUTOTUNE_INTERVAL // 6)
+        assert remote.autotune_narrowed > 0
+        assert remote.policy.tau_fraction < tau_before
+
+    def test_tuner_off_by_default(self):
+        remote, blobs = build_remote(pool=60, clients=30)
+        self.drive(remote, blobs, 30, rounds=4)
+        assert remote.autotune_widened == remote.autotune_narrowed == 0

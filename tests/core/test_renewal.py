@@ -193,6 +193,66 @@ class TestPolicyValidation:
             NodeCondition("n", weight=-1.0)
 
 
+class TestTypedZeroGrants:
+    """Degenerate inputs produce typed zero-grant decisions, not
+    division-sensitive float paths (and never ValueError)."""
+
+    def test_empty_concurrent_list_grants_zero(self):
+        led = ledger(1000)
+        decision = renew_lease(led, node(), [])
+        assert decision.granted_units == 0
+        assert decision.reason == "no-concurrent"
+        assert led.available == 1000
+
+    def test_zero_health_requester_grants_zero(self):
+        led = ledger(1000)
+        dead = node(health=0.0)
+        decision = renew_lease(led, dead, [dead])
+        assert decision.granted_units == 0
+        assert decision.reason == "zero-health"
+        assert led.outstanding == {}
+
+    def test_zero_total_weight_grants_zero(self):
+        led = ledger(1000)
+        weightless = node(weight=0.0)
+        decision = renew_lease(led, weightless, [weightless])
+        assert decision.granted_units == 0
+        assert decision.reason == "zero-weight"
+
+    def test_zero_grant_does_not_perturb_beta(self):
+        led = ledger(1000, beta=0.42)
+        decision = renew_lease(led, node(health=0.0), [node(health=0.0)])
+        assert led.beta == 0.42
+        assert decision.beta_after == 0.42
+
+    def test_zero_grant_remembers_requester_condition(self):
+        led = ledger(1000)
+        flaky = node(health=0.0, network=0.5)
+        renew_lease(led, flaky, [flaky])
+        assert led.node_conditions["n1"].network_reliability == 0.5
+
+    def test_requester_missing_from_nonempty_list_still_raises(self):
+        with pytest.raises(ValueError):
+            renew_lease(ledger(1000), node("n1"), [node("n2")])
+
+    def test_normal_decision_reason_is_ok(self):
+        led = ledger(1000)
+        assert renew_lease(led, node(), [node()]).reason == "ok"
+
+    def test_concurrency_hint_shrinks_grant(self):
+        base = renew_lease(ledger(1000), node(), [node()])
+        hinted = renew_lease(ledger(1000), node(), [node()],
+                             concurrency_hint=8.0)
+        assert 0 < hinted.granted_units < base.granted_units
+
+    def test_smaller_hint_than_snapshot_is_ignored(self):
+        crowd = [node(f"n{i}") for i in range(4)]
+        plain = renew_lease(ledger(1000), crowd[0], list(crowd))
+        hinted = renew_lease(ledger(1000), crowd[0], list(crowd),
+                             concurrency_hint=2.0)
+        assert hinted.granted_units == plain.granted_units
+
+
 @settings(max_examples=80, deadline=None)
 @given(
     total=st.integers(min_value=10, max_value=100_000),

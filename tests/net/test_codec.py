@@ -107,6 +107,9 @@ renew_requests = st.builds(
     RenewRequest, slid=small_ints, license_id=license_ids,
     license_blob=blobs, network_reliability=ratios, health=ratios,
     weight=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    rtt_seconds=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    retries=small_ints,
+    reconnects=small_ints,
 )
 renew_responses = st.builds(
     RenewResponse, status=statuses, granted_units=small_ints,
@@ -713,3 +716,114 @@ class TestMixedVersionFleet:
             endpoint.close()
             for server in servers.values():
                 server.stop()
+
+
+# ----------------------------------------------------------------------
+# Telemetry field evolution: older peers and the growing RenewRequest
+# ----------------------------------------------------------------------
+class _LegacyRenewRequest:
+    """The six-field RenewRequest an older peer still ships."""
+
+
+class TestTelemetryFieldCompat:
+    """``RenewRequest`` grew trailing telemetry fields; every older
+    peer — v1/v2 JSON envelopes and v3 binaries built from the previous
+    dataclass — must keep decoding, with the telemetry defaulted."""
+
+    TELEMETRY = {"rtt_seconds": 0.0, "retries": 0, "reconnects": 0}
+
+    def _request(self, **overrides):
+        fields = dict(slid=7, license_id="lic-tele", license_blob=b"\x01bl",
+                      network_reliability=0.75, health=0.9, weight=2.0,
+                      rtt_seconds=0.125, retries=3, reconnects=1)
+        fields.update(overrides)
+        return RenewRequest(**fields)
+
+    @given(message=renew_requests)
+    def test_v3_round_trip_preserves_telemetry(self, message):
+        data = codec.encode_request("renew", message, request_id=1,
+                                    version=codec.WIRE_V3)
+        _, rebuilt, _ = codec.decode_request(data)
+        assert rebuilt == message
+
+    @pytest.mark.parametrize("version", codec.JSON_WIRE_VERSIONS)
+    def test_json_round_trip_preserves_telemetry(self, version):
+        message = self._request()
+        data = codec.encode_request("renew", message, request_id=1,
+                                    version=version)
+        data = json.dumps(json.loads(data.decode())).encode()
+        _, rebuilt, _ = codec.decode_request(data)
+        assert rebuilt == message
+
+    @pytest.mark.parametrize("version", codec.JSON_WIRE_VERSIONS)
+    def test_json_peer_without_telemetry_decodes_defaulted(self, version):
+        """A v1/v2 peer built before the telemetry fields omits the
+        keys entirely; ``from_wire`` fills the defaults."""
+        message = self._request()
+        data = codec.encode_request("renew", message, request_id=1,
+                                    version=version)
+        envelope = json.loads(data.decode())
+        wire_fields = envelope["body"]["fields"]
+        for key in self.TELEMETRY:
+            del wire_fields[key]
+        _, rebuilt, _ = codec.decode_request(json.dumps(envelope).encode())
+        assert rebuilt == self._request(**self.TELEMETRY)
+
+    def test_older_v3_peer_short_field_table_decodes_defaulted(self):
+        """An older v3 peer's field table stops at ``weight``: the
+        frame carries six packed values.  This side accepts the prefix
+        and lets the dataclass defaults fill the telemetry tail."""
+        import dataclasses as dc
+
+        legacy = dc.make_dataclass(
+            "RenewRequest",
+            [("slid", int), ("license_id", str), ("license_blob", bytes),
+             ("network_reliability", float), ("health", float),
+             ("weight", float, dc.field(default=1.0))],
+            namespace={"to_wire": lambda self: dc.asdict(self)},
+        )
+        message = self._request()
+        old = legacy(slid=message.slid, license_id=message.license_id,
+                     license_blob=message.license_blob,
+                     network_reliability=message.network_reliability,
+                     health=message.health, weight=message.weight)
+        real = codec.MESSAGE_TYPES["RenewRequest"]
+        try:
+            codec.MESSAGE_TYPES["RenewRequest"] = legacy
+            codec._FIELD_TABLES.pop("RenewRequest", None)
+            data = codec.encode_request("renew", old, request_id=4,
+                                        version=codec.WIRE_V3)
+        finally:
+            codec.MESSAGE_TYPES["RenewRequest"] = real
+            codec._FIELD_TABLES.pop("RenewRequest", None)
+        _, rebuilt, _ = codec.decode_request(data)
+        assert isinstance(rebuilt, RenewRequest)
+        assert rebuilt == self._request(**self.TELEMETRY)
+
+    def test_longer_field_table_than_ours_stays_fatal(self):
+        """The reverse skew — a frame carrying *more* fields than this
+        side knows — would silently drop peer data, so it raises."""
+        import dataclasses as dc
+
+        future = dc.make_dataclass(
+            "RenewRequest",
+            [(f.name, f.type) if f.default is dc.MISSING
+             else (f.name, f.type, dc.field(default=f.default))
+             for f in dc.fields(RenewRequest)]
+            + [("congestion_window", int, dc.field(default=0))],
+            namespace={"to_wire": lambda self: dc.asdict(self)},
+        )
+        message = self._request()
+        new = future(**{f.name: getattr(message, f.name)
+                        for f in dc.fields(RenewRequest)})
+        real = codec.MESSAGE_TYPES["RenewRequest"]
+        try:
+            codec.MESSAGE_TYPES["RenewRequest"] = future
+            codec._FIELD_TABLES.pop("RenewRequest", None)
+            data = codec.encode_request("renew", new, request_id=4,
+                                        version=codec.WIRE_V3)
+        finally:
+            codec.MESSAGE_TYPES["RenewRequest"] = real
+            codec._FIELD_TABLES.pop("RenewRequest", None)
+        with pytest.raises(codec.CodecError, match="field table"):
+            codec.decode_request(data)
