@@ -61,6 +61,19 @@ BASELINES = {
         ("flash_crowd.adaptive.goodput_renewals_per_second", "higher"),
         ("flash_crowd.adaptive.p99_ms", "lower"),
         ("mass_churn.failures", "zero"),
+        # New shapes: diurnal peaks are served in full, and the escrow
+        # storm's graceful path never strands a unit (a nonzero forfeit
+        # here means a double-grant or a bogus write-off).
+        ("diurnal.exhausted", "zero"),
+        ("diurnal.failures", "zero"),
+        ("escrow_storm.failures", "zero"),
+        ("escrow_storm.forfeited_units", "zero"),
+        # The 10^5 headline: zero refusals at 10× the PR 8 crowd, and
+        # its throughput/latency become the standing perf record.
+        ("fleet_100k.exhausted", "zero"),
+        ("fleet_100k.failures", "zero"),
+        ("fleet_100k.goodput_renewals_per_second", "higher"),
+        ("fleet_100k.p99_ms", "lower"),
     ],
 }
 

@@ -9,9 +9,16 @@ engine generates *arrival-curve-driven* load:
 * **zipf license popularity** — a few licenses take most of the crowd;
 * **flash crowd** — a trickle of early arrivals, then most of the
   fleet lands inside a narrow burst window;
+* **diurnal curve** — arrival intensity follows a day/night cosine
+  with a configurable floor, so the fleet sees load peaks separated by
+  deep valleys (the regime where grant sizes should recover);
 * **mass churn** — a slice of the crowd crashes mid-hold (re-init
   without graceful shutdown), exercising the pessimistic write-off and
   the forfeiture budget;
+* **escrow storm** — a slice (or all) of the crowd gracefully shuts
+  down mid-run and immediately re-inits the same SLID, expecting the
+  exact escrowed root key back — mass pressure on the quorum-gated
+  identity path, with zero forfeiture allowed;
 * **lossy last-mile tiers** — clients ship tiered reliability priors
   *and* synthetic transport telemetry (rising retry/reconnect
   counters), exercising the server's evidence-vs-claim weighting.
@@ -30,6 +37,7 @@ gates.
 
 from __future__ import annotations
 
+import math
 import random
 import threading
 import time
@@ -37,7 +45,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.core.licensefile import VENDOR_SECRET, mint_license_blob
-from repro.core.protocol import InitRequest, RenewRequest, Status
+from repro.core.protocol import (InitRequest, RenewRequest, ShutdownNotice,
+                                 Status)
 from repro.net.endpoint import connect
 from repro.sgx import SgxMachine
 from repro.sim.clock import Clock
@@ -94,6 +103,27 @@ def mass_churn_schedule(clients: int, duration: float,
     return times
 
 
+def diurnal_schedule(clients: int, duration: float, rng: random.Random,
+                     cycles: int = 2, trough: float = 0.15) -> List[float]:
+    """Arrival times following a day/night intensity curve.
+
+    Intensity is ``trough + (1 - trough) * (1 - cos(2π·cycles·t/D)) / 2``
+    — full days compressed into the run: ``cycles`` peaks separated by
+    valleys that never quite go silent (``trough`` is the night-shift
+    floor).  Sampled by rejection against the peak intensity, so the
+    empirical histogram follows the curve for any crowd size.
+    """
+    times: List[float] = []
+    while len(times) < clients:
+        t = rng.uniform(0.0, duration)
+        intensity = trough + (1.0 - trough) * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * cycles * t / duration))
+        if rng.random() < intensity:
+            times.append(t)
+    times.sort()
+    return times
+
+
 # ----------------------------------------------------------------------
 # Scenario description
 # ----------------------------------------------------------------------
@@ -135,9 +165,10 @@ class ScenarioSpec:
     duration_seconds: float = 4.0
     zipf_s: float = 1.1
     tiers: Sequence[ReliabilityTier] = DEFAULT_TIERS
-    arrivals: str = "flash_crowd"         # or "mass_churn"
+    arrivals: str = "flash_crowd"         # or "mass_churn" / "diurnal"
     churn_fraction: float = 0.0           # crowd slice that crashes
     churn_health: float = 0.85            # what churn-prone clients claim
+    escrow_fraction: float = 0.0          # slice that gracefully cycles
 
     def license_ids(self) -> List[str]:
         return [f"lic-{index}" for index in range(self.licenses)]
@@ -153,6 +184,7 @@ class _SimClient:
     tier: ReliabilityTier
     churns: bool
     health: float
+    escrows: bool = False
     retries: int = 0
     reconnects: int = 0
 
@@ -164,6 +196,8 @@ def _build_crowd(spec: ScenarioSpec, rng: random.Random) -> List[_SimClient]:
     elif spec.arrivals == "mass_churn":
         arrivals = mass_churn_schedule(spec.clients, spec.duration_seconds,
                                        rng)
+    elif spec.arrivals == "diurnal":
+        arrivals = diurnal_schedule(spec.clients, spec.duration_seconds, rng)
     else:
         raise ValueError(f"unknown arrival curve {spec.arrivals!r}")
     weights = zipf_weights(spec.licenses, spec.zipf_s)
@@ -174,7 +208,12 @@ def _build_crowd(spec: ScenarioSpec, rng: random.Random) -> List[_SimClient]:
     crowd = []
     for index, arrival in enumerate(arrivals):
         tier = spec.tiers[weighted_pick(tier_weights, rng)]
-        churns = rng.random() < spec.churn_fraction
+        # One roll splits the crowd into crash-churners, graceful
+        # escrow-cyclers, and everyone else (mutually exclusive).
+        roll = rng.random()
+        churns = roll < spec.churn_fraction
+        escrows = (not churns
+                   and roll < spec.churn_fraction + spec.escrow_fraction)
         crowd.append(_SimClient(
             index=index,
             arrival=arrival,
@@ -182,6 +221,7 @@ def _build_crowd(spec: ScenarioSpec, rng: random.Random) -> List[_SimClient]:
             tier=tier,
             churns=churns,
             health=spec.churn_health if churns else 1.0,
+            escrows=escrows,
         ))
     return crowd
 
@@ -200,6 +240,8 @@ class ScenarioResult:
     granted_units: int = 0
     crashes: int = 0
     crash_forfeits: List[int] = field(default_factory=list)
+    escrow_cycles: int = 0
+    escrow_restored: int = 0
     latencies_ms: List[float] = field(default_factory=list)
     slips_ms: List[float] = field(default_factory=list)
     failures: List[str] = field(default_factory=list)
@@ -225,6 +267,8 @@ class ScenarioResult:
             "crashes": self.crashes,
             "forfeited_units": sum(self.crash_forfeits),
             "max_crash_forfeit": max(self.crash_forfeits, default=0),
+            "escrow_cycles": self.escrow_cycles,
+            "escrow_restored": self.escrow_restored,
             "p50_ms": round(_quantile(self.latencies_ms, 0.50), 3),
             "p99_ms": round(_quantile(self.latencies_ms, 0.99), 3),
             "schedule_slip_p99_ms": round(_quantile(self.slips_ms, 0.99), 1),
@@ -296,9 +340,13 @@ def run_scenario(url: str, spec: ScenarioSpec, seed: int = 7,
         thread.start()
     t0 = time.monotonic()
     started.set()
+    # 10^5-client crowds legitimately run for many minutes; scale the
+    # watchdog with offered load instead of hard-coding one ceiling.
+    deadline = time.monotonic() + max(
+        600.0, 0.02 * len(crowd) * max(1, spec.renews_per_client))
     try:
         for thread in threads:
-            thread.join(timeout=600)
+            thread.join(timeout=max(1.0, deadline - time.monotonic()))
     finally:
         for endpoint in endpoints:
             endpoint.close()
@@ -309,6 +357,8 @@ def run_scenario(url: str, spec: ScenarioSpec, seed: int = 7,
         result.granted_units += log.granted_units
         result.crashes += log.crashes
         result.crash_forfeits.extend(log.crash_forfeits)
+        result.escrow_cycles += log.escrow_cycles
+        result.escrow_restored += log.escrow_restored
         result.latencies_ms.extend(log.latencies_ms)
         result.slips_ms.extend(log.slips_ms)
         result.failures.extend(log.failures)
@@ -372,6 +422,33 @@ def _drive_client(endpoint, client: _SimClient, blobs, spec: ScenarioSpec,
         )
         log.crashes += 1
         log.crash_forfeits.append(held)
+    elif client.escrows:
+        # Graceful cycle: escrow the root sealing key, come right back,
+        # and demand the *exact* key from the (quorum-replicated)
+        # identity record.  Holdings survive — the tree image on disk
+        # still owns them — so this path must forfeit nothing.
+        root_key = 0x5EC0DE + client.index * 7919
+        status = endpoint.call(
+            "shutdown", ShutdownNotice(slid=slid, root_key=root_key),
+            clock=machine.clock,
+        )
+        if status is not Status.OK:
+            raise RuntimeError(f"shutdown answered {status} for slid {slid}")
+        revived = endpoint.call(
+            "init",
+            InitRequest(slid=slid, report=report,
+                        platform_secret=machine.platform_secret),
+            clock=machine.clock, stats=machine.stats,
+        )
+        log.escrow_cycles += 1
+        if (revived.status is Status.OK
+                and revived.old_backup_key == root_key):
+            log.escrow_restored += 1
+        else:
+            raise RuntimeError(
+                f"escrow cycle lost identity for slid {slid}: "
+                f"{revived.status}, obk={revived.old_backup_key}"
+            )
 
 
 # ----------------------------------------------------------------------

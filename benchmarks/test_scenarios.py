@@ -21,6 +21,22 @@ async IO, v3 wire):
   the client-observed forfeits reconcile exactly with the fleet's
   written-off ``lost`` units.
 
+* **Diurnal curve, valleys recover.**  Arrivals follow a day/night
+  cosine with deep troughs; the adaptive fleet serves every peak with
+  zero EXHAUSTED and the pools conserve through both cycles.
+
+* **Escrow storm, identity survives.**  The whole crowd gracefully
+  shuts down mid-run and immediately re-inits the same SLID.  Every
+  client gets its *exact* root key back from the quorum-replicated
+  escrow record, and — unlike the crash path — not one unit is
+  forfeited.
+
+* **10^5 SL-Locals headline.**  One hundred thousand simulated clients
+  on a diurnal curve with escrow and churn slices mixed in, against the
+  same 3-shard ``--replicas 2`` fleet.  The incremental Equation 1
+  ledger keeps per-renewal work independent of the holder count, so
+  the fleet absorbs 10× the PR 8 crowd with zero EXHAUSTED.
+
 Both scenarios audit fleet-wide conservation (``outstanding + lost +
 available == total`` per license) and probe every shard's
 ``_server_stats`` renewal-health section.
@@ -39,8 +55,8 @@ import sys
 import time
 
 from repro.net.sharding import default_shard_names
-from scenarios import (ScenarioSpec, fleet_ledger_audit, fleet_renewal_health,
-                       run_scenario)
+from scenarios import (ScenarioSpec, diurnal_schedule, fleet_ledger_audit,
+                       fleet_renewal_health, run_scenario)
 
 SMOKE = bool(os.environ.get("SL_SCENARIO_SMOKE"))
 
@@ -49,6 +65,10 @@ REPLICAS = 2
 LICENSES = 6 if SMOKE else 12
 FLASH_CLIENTS = 240 if SMOKE else 10_000
 CHURN_CLIENTS = 150 if SMOKE else 4_000
+DIURNAL_CLIENTS = 200 if SMOKE else 10_000
+ESCROW_CLIENTS = 150 if SMOKE else 4_000
+#: The 10^5 tier: the headline crowd this release exists to absorb.
+HEADLINE_CLIENTS = 400 if SMOKE else 100_000
 #: Flash-crowd clients renew once and hold: total static demand is then
 #: Σ TG/(2C²) ≈ 0.82·TG, so the static fleet's refusals provably happen
 #: *while units remain* (with a second renewal round the sum passes TG
@@ -108,7 +128,7 @@ def _spawn(command):
     raise RuntimeError("serve-remote subprocess never reported its port")
 
 
-def _spawn_fleet(ports, pool, admission, autotune):
+def _spawn_fleet(ports, pool, admission, autotune, quorum=0):
     """One serve-remote per shard: async IO, depth-2 replication, and —
     crucially — a lag budget the size of the pool, so replication
     backpressure never pollutes the admission-control comparison (the
@@ -127,7 +147,7 @@ def _spawn_fleet(ports, pool, admission, autotune):
                 "serve-remote", "--port", str(port), "--accept-any-platform",
                 "--shard-of", f"{index}:{len(ports)}", "--io", "async",
                 *licenses,
-                "--replicas", str(REPLICAS), "--quorum", "0",
+                "--replicas", str(REPLICAS), "--quorum", str(quorum),
                 "--fleet", fleet,
                 "--lag-budget", str(pool), "--lag-grants", "8",
                 "--admission", "on" if admission else "off",
@@ -162,13 +182,15 @@ def _fleet_url(ports):
             f"&timeout=60&replicas={REPLICAS}")
 
 
-def _run_fleet(spec, pool, admission, autotune, seed):
+def _run_fleet(spec, pool, admission, autotune, seed, workers=None,
+               connections=4, quorum=0):
     """Spawn a fleet, run the scenario, audit, tear down."""
     ports = _free_ports(SHARDS)
-    processes = _spawn_fleet(ports, pool, admission, autotune)
+    processes = _spawn_fleet(ports, pool, admission, autotune, quorum=quorum)
     try:
         result = run_scenario(_fleet_url(ports), spec, seed=seed,
-                              workers=WORKERS)
+                              workers=workers or WORKERS,
+                              connections=connections)
         probe = fleet_ledger_audit(_fleet_url(ports))
         health = fleet_renewal_health(ports)
     finally:
@@ -286,3 +308,141 @@ def test_mass_churn_forfeiture_bounded(table_printer):
     assert all(report["admission"] for report in health)
 
     _persist("mass_churn", metrics)
+
+
+# ----------------------------------------------------------------------
+# Diurnal curve: peaks served, valleys deep, pools conserve
+# ----------------------------------------------------------------------
+def test_diurnal_peaks_served_without_refusal(table_printer):
+    import random
+
+    pool = POOL_PER_CLIENT * DIURNAL_CLIENTS
+    spec = ScenarioSpec(
+        name="diurnal", clients=DIURNAL_CLIENTS, licenses=LICENSES,
+        pool_per_license=pool, renews_per_client=FLASH_RENEWS,
+        duration_seconds=DURATION * 2, arrivals="diurnal",
+    )
+
+    # The schedule itself must be genuinely diurnal: with two cosine
+    # cycles over the run, the busiest eighth of the timeline carries
+    # several times the arrivals of the quietest eighth.
+    arrivals = diurnal_schedule(spec.clients, spec.duration_seconds,
+                                random.Random(5))
+    bins = [0] * 8
+    for t in arrivals:
+        bins[min(7, int(t / spec.duration_seconds * 8))] += 1
+    assert max(bins) > 2 * max(1, min(bins)), f"curve not diurnal: {bins}"
+
+    result, probe, health = _run_fleet(
+        spec, pool, admission=True, autotune=True, seed=13)
+    metrics = result.metrics()
+    table_printer(
+        "diurnal curve (adaptive fleet)",
+        ("metric", "value"),
+        [(key, metrics[key])
+         for key in ("renews_ok", "exhausted", "goodput_renewals_per_second",
+                     "p50_ms", "p99_ms", "schedule_slip_p99_ms")],
+    )
+
+    # Both peaks served in full, no refusals, pools conserve with room.
+    assert result.renews_exhausted == 0
+    assert result.renews_ok == spec.clients * spec.renews_per_client
+    assert all(row["available"] > 0 for row in probe.values())
+    assert all(report["exhausted_served"] == 0 for report in health)
+
+    _persist("diurnal", metrics)
+
+
+# ----------------------------------------------------------------------
+# Escrow storm: mass graceful shutdown, identity quorum holds
+# ----------------------------------------------------------------------
+def test_escrow_storm_restores_every_identity(table_printer):
+    pool = POOL_PER_CLIENT * ESCROW_CLIENTS
+    spec = ScenarioSpec(
+        name="escrow_storm", clients=ESCROW_CLIENTS, licenses=LICENSES,
+        pool_per_license=pool, renews_per_client=FLASH_RENEWS,
+        duration_seconds=DURATION, arrivals="mass_churn",
+        escrow_fraction=1.0,
+    )
+
+    # quorum=1: identity (init/shutdown) acks gate on a follower
+    # confirming the escrow delta — the storm hammers that gate.
+    result, probe, health = _run_fleet(
+        spec, pool, admission=True, autotune=False, seed=17, quorum=1)
+    metrics = result.metrics()
+    table_printer(
+        "escrow storm (graceful shutdown + re-init, whole crowd)",
+        ("metric", "value"),
+        [(key, metrics[key])
+         for key in ("renews_ok", "escrow_cycles", "escrow_restored",
+                     "forfeited_units", "p99_ms")],
+    )
+
+    # Every client cycled and every root key came back bit-exact from
+    # the quorum-replicated escrow record.
+    assert result.escrow_cycles == spec.clients
+    assert result.escrow_restored == result.escrow_cycles
+
+    # Graceful is the opposite of the crash path: nothing forfeited,
+    # nothing written off — the holdings survive the identity cycle.
+    assert result.crashes == 0
+    assert metrics["forfeited_units"] == 0
+    assert sum(row["lost"] for row in probe.values()) == 0
+    assert all(report["admission"] for report in health)
+
+    _persist("escrow_storm", metrics)
+
+
+# ----------------------------------------------------------------------
+# The 10^5 tier: one hundred thousand SL-Locals, every shape at once
+# ----------------------------------------------------------------------
+def test_hundred_thousand_locals_headline(table_printer):
+    """The release headline: 10^5 simulated SL-Locals — diurnal
+    arrivals with escrow-storm and crash-churn slices mixed in — on the
+    same 3-shard fleet, zero EXHAUSTED.  Feasible precisely because the
+    incremental ledger makes per-renewal work independent of how many
+    of the 10^5 already hold units."""
+    pool = POOL_PER_CLIENT * HEADLINE_CLIENTS
+    spec = ScenarioSpec(
+        name="fleet_100k", clients=HEADLINE_CLIENTS, licenses=LICENSES,
+        pool_per_license=pool, renews_per_client=1,
+        duration_seconds=DURATION * 8, arrivals="diurnal",
+        churn_fraction=0.02, churn_health=CHURN_HEALTH,
+        escrow_fraction=0.10,
+    )
+
+    # quorum=0, like the flash crowd: the headline measures the renewal
+    # path's scale independence.  The dedicated escrow-storm test owns
+    # the quorum-gated identity plane (whose ack throughput is bounded
+    # by the flusher's snapshot pass — O(#SLIDs) — and so caps gated
+    # inits well below this crowd's arrival rate; see ROADMAP).
+    result, probe, health = _run_fleet(
+        spec, pool, admission=True, autotune=True, seed=23,
+        workers=WORKERS * 2, connections=8)
+    metrics = result.metrics()
+    table_printer(
+        f"{HEADLINE_CLIENTS} SL-Locals (diurnal + escrow + churn)",
+        ("metric", "value"),
+        [(key, metrics[key])
+         for key in ("renews_ok", "exhausted", "goodput_renewals_per_second",
+                     "crashes", "forfeited_units", "escrow_cycles",
+                     "escrow_restored", "p50_ms", "p99_ms")],
+    )
+
+    # Zero refusals at 10× the PR 8 crowd, and every arrival served.
+    assert result.renews_exhausted == 0
+    assert result.renews_ok == spec.clients * spec.renews_per_client
+    assert all(report["exhausted_served"] == 0 for report in health)
+
+    # The identity quorum held under the embedded escrow storm.
+    assert result.escrow_cycles > 0
+    assert result.escrow_restored == result.escrow_cycles
+
+    # Crash forfeits reconcile exactly against the fleet's write-offs;
+    # graceful cycles contributed nothing to `lost`.
+    lost_total = sum(row["lost"] for row in probe.values())
+    assert lost_total == metrics["forfeited_units"], (
+        f"fleet wrote off {lost_total}, clients forfeited "
+        f"{metrics['forfeited_units']}")
+
+    _persist("fleet_100k", metrics)

@@ -34,9 +34,8 @@ import time
 import pytest
 
 from repro.core.protocol import InitRequest, RenewRequest, Status
-from repro.net.rpc import connect_tcp
-from repro.net.sharding import HashRing, connect_sharded_tcp, \
-    default_shard_names
+from repro.net.endpoint import connect, endpoint_for
+from repro.net.sharding import HashRing, default_shard_names
 from repro.sgx import SgxMachine
 from repro.sim.clock import Clock
 
@@ -243,16 +242,16 @@ def test_sharded_fleet_outscales_serialized_server(
 ):
     def measure():
         base_elapsed, base_count, base_lat = _drive_crowd(
-            lambda: connect_tcp(*baseline_server, timeout_seconds=120.0)
+            lambda: connect(endpoint_for([baseline_server]), timeout_seconds=120.0)
         )
         _audit_conservation(
-            lambda: connect_tcp(*baseline_server, timeout_seconds=120.0)
+            lambda: connect(endpoint_for([baseline_server]), timeout_seconds=120.0)
         )
         fleet_elapsed, fleet_count, fleet_lat = _drive_crowd(
-            lambda: connect_sharded_tcp(shard_fleet, timeout_seconds=120.0)
+            lambda: connect(endpoint_for(shard_fleet), timeout_seconds=120.0)
         )
         _audit_conservation(
-            lambda: connect_sharded_tcp(shard_fleet, timeout_seconds=120.0)
+            lambda: connect(endpoint_for(shard_fleet), timeout_seconds=120.0)
         )
         return (base_elapsed, base_count, base_lat,
                 fleet_elapsed, fleet_count, fleet_lat)
@@ -320,7 +319,7 @@ def _hold_idle_connections(address, count):
 
 
 def _server_stats(address):
-    endpoint = connect_tcp(*address, timeout_seconds=120.0)
+    endpoint = connect(endpoint_for([address]), timeout_seconds=120.0)
     try:
         return endpoint.call("_server_stats", None, clock=Clock())
     finally:
@@ -351,14 +350,14 @@ def test_async_server_holds_idle_fleet_at_threaded_throughput(
                         and time.monotonic() < deadline):
                     time.sleep(0.1)
                 elapsed, count, latencies = _drive_crowd(
-                    lambda: connect_tcp(*address, timeout_seconds=120.0)
+                    lambda: connect(endpoint_for([address]), timeout_seconds=120.0)
                 )
                 stats = _server_stats(address)  # idle fleet still parked
             finally:
                 for sock in idle:
                     sock.close()
             _audit_conservation(
-                lambda: connect_tcp(*address, timeout_seconds=120.0)
+                lambda: connect(endpoint_for([address]), timeout_seconds=120.0)
             )
             return {
                 "io": stats["io"],

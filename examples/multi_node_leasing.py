@@ -24,8 +24,8 @@ from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.rng import DeterministicRng
 
@@ -40,7 +40,7 @@ def make_node(name, remote, ras, rng, network_reliability, health):
         NetworkConditions(reliability=max(network_reliability, 0.2)),
         rng.fork(f"net:{name}"),
     )
-    endpoint = connect_remote(remote, link)
+    endpoint = connect("sl+inproc://", remote=remote, link=link)
     local = SlLocal(
         machine, endpoint, KeyGenerator(rng.fork(f"keys:{name}")),
         tokens_per_attestation=10,

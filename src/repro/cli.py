@@ -455,6 +455,42 @@ def cmd_ring(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Fetch and pretty-print every server's typed ``_server_stats``.
+
+    Accepts any endpoint URL; a multi-authority ``sl+sharded://`` fleet
+    is probed one server at a time (each address dialled directly, so
+    per-shard reports are attributed to the process that produced them
+    rather than merged by the router)."""
+    import json as json_module
+
+    from repro.net.endpoint import connect, parse_endpoint
+    from repro.net.stats import ServerStats, format_stats
+    from repro.sim.clock import Clock
+
+    parsed = parse_endpoint(args.endpoint)
+    io = dict(parsed.params).get("io", "threads")
+    scheme = "sl+async" if io == "async" else "sl"
+    wire = dict(parsed.params).get("wire")
+    suffix = f"?io={io}" + (f"&wire={wire}" if wire else "")
+    reports = {}
+    for host, port in parsed.addresses:
+        address = f"{host}:{port}"
+        endpoint = connect(f"{scheme}://{address}{suffix}")
+        try:
+            raw = endpoint.call("_server_stats", None, clock=Clock())
+        finally:
+            endpoint.close()
+        reports[address] = raw
+    if args.json:
+        print(json_module.dumps(reports, indent=2, sort_keys=True),
+              flush=True)
+        return 0
+    for address, raw in reports.items():
+        print(format_stats(address, ServerStats.from_wire(raw)), flush=True)
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments import EXPERIMENTS
 
@@ -654,6 +690,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="snapshot + truncate the WAL after this "
                                    "many appended records")
 
+    stats_parser = subparsers.add_parser(
+        "stats", help="typed _server_stats reports from a running fleet")
+    stats_parser.add_argument("endpoint",
+                              metavar="sl://HOST:PORT",
+                              help="endpoint URL; sl+sharded:// probes "
+                                   "every listed server individually")
+    stats_parser.add_argument("--json", action="store_true",
+                              help="emit the raw wire-shape JSON instead "
+                                   "of the pretty rendering")
+
     ring_parser = subparsers.add_parser(
         "ring", help="online shard membership for a running fleet")
     ring_sub = ring_parser.add_subparsers(dest="verb", required=True)
@@ -683,6 +729,7 @@ COMMANDS = {
     "attack": cmd_attack,
     "fleet": cmd_fleet,
     "serve-remote": cmd_serve_remote,
+    "stats": cmd_stats,
     "ring": cmd_ring,
 }
 

@@ -15,13 +15,24 @@ reliability ``n ∈ (0,1]``, node health ``h ∈ [0,1]`` (1 − crash
 probability), the default scale-down divisor ``D``, the health threshold
 ``T_H`` above which flaky-network nodes receive extra units, and the
 global per-license scale factor ``β``.
+
+Equation 1 is maintained *incrementally*: :class:`LicenseLedger` keeps
+running aggregates — Σ units, Σ units·(1−h), Σ α over holders, and the
+holder count — updated in O(1) on every grant, return, crash
+forfeiture, and condition update.  :func:`renew_lease_inplace` (the
+server's renew path) evaluates a candidate grant as a delta against
+those aggregates, so per-renewal cost is independent of how many nodes
+hold the license.  ``REPRO_LEDGER_AUDIT=1`` recomputes every aggregate
+from scratch on each ``expected_loss`` call and raises on drift.
 """
 
 from __future__ import annotations
 
+import copy
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -50,7 +61,12 @@ class RenewalPolicy:
 
 @dataclass
 class NodeCondition:
-    """Observed state of one requesting node (Table 2's n, h, α)."""
+    """Observed state of one requesting node (Table 2's n, h, α).
+
+    Conditions stored in a ledger's ``node_conditions`` map must be
+    *replaced*, never mutated in place — the ledger's running Equation 1
+    aggregates can only observe assignments through the map.
+    """
 
     node_id: str
     weight: float = 1.0  # α_i
@@ -70,6 +86,84 @@ class NodeCondition:
         return 1.0 - self.health
 
 
+class _LedgerDict(dict):
+    """A dict that notifies its owning :class:`LicenseLedger` on every
+    mutation, so the ledger's Equation 1 aggregates stay exact without
+    caller discipline — ``ledger.outstanding[key] = units`` from the
+    WAL replay, a replication follower, or a test updates the running
+    sums automatically.
+
+    Copies (``dict(...)``, ``.copy()``, pickling) intentionally degrade
+    to plain dicts: a detached copy must not keep a live pointer into
+    the ledger it came from.
+    """
+
+    __slots__ = ("_ledger",)
+
+    def __init__(self, ledger: "LicenseLedger", initial=None):
+        super().__init__(initial or {})
+        self._ledger = ledger
+
+    def __reduce__(self):
+        return (dict, (dict(self),))
+
+    def copy(self):
+        return dict(self)
+
+    def _notify(self, key, old, new) -> None:
+        raise NotImplementedError
+
+    def __setitem__(self, key, value):
+        old = dict.get(self, key)
+        dict.__setitem__(self, key, value)
+        self._notify(key, old, value)
+
+    def __delitem__(self, key):
+        old = dict.get(self, key)
+        dict.__delitem__(self, key)
+        self._notify(key, old, None)
+
+    def pop(self, key, *default):
+        if key in self:
+            old = dict.__getitem__(self, key)
+            dict.__delitem__(self, key)
+            self._notify(key, old, None)
+            return old
+        if default:
+            return default[0]
+        raise KeyError(key)
+
+    def popitem(self):
+        key, old = dict.popitem(self)
+        self._notify(key, old, None)
+        return key, old
+
+    def clear(self):
+        items = list(dict.items(self))
+        dict.clear(self)
+        for key, old in items:
+            self._notify(key, old, None)
+
+    def update(self, *args, **kwargs):
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self[key] = default
+        return dict.__getitem__(self, key)
+
+
+class _OutstandingMap(_LedgerDict):
+    def _notify(self, key, old, new) -> None:
+        self._ledger._outstanding_changed(key, old or 0, new or 0)
+
+
+class _ConditionMap(_LedgerDict):
+    def _notify(self, key, old, new) -> None:
+        self._ledger._condition_changed(key, old, new)
+
+
 @dataclass
 class LicenseLedger:
     """Server-side accounting for one license.
@@ -79,6 +173,21 @@ class LicenseLedger:
     last-reported condition of every node that holds units — Equation 1
     needs each holder's crash probability even when that node is not
     part of the current request.
+
+    The ledger maintains four running aggregates, each updated in O(1)
+    on every mutation of ``outstanding`` or ``node_conditions`` (the
+    maps are observed dicts; whole-map reassignment rebuilds from
+    scratch):
+
+    * ``outstanding_total`` ≡ ``Σ outstanding.values()``
+    * ``holder_count``      ≡ ``|{n : outstanding[n] > 0}|``
+    * ``expected_loss()``   ≡ Equation 1 priced at the remembered
+      conditions (a holder without one contributes crash probability 0)
+    * ``weight_sum``        ≡ Σ α over holders (missing condition → 1.0)
+
+    ``REPRO_LEDGER_AUDIT=1`` re-derives all four from scratch on every
+    ``expected_loss`` call and raises on drift; recovery and promotion
+    paths call :meth:`audit_aggregates` unconditionally.
     """
 
     license_id: str
@@ -88,29 +197,195 @@ class LicenseLedger:
     lost_units: int = 0
     node_conditions: Dict[str, "NodeCondition"] = field(default_factory=dict)
 
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name == "outstanding":
+            if not (isinstance(value, _OutstandingMap)
+                    and value._ledger is self):
+                value = _OutstandingMap(self, value)
+        elif name == "node_conditions":
+            if not (isinstance(value, _ConditionMap)
+                    and value._ledger is self):
+                value = _ConditionMap(self, value)
+        object.__setattr__(self, name, value)
+        if name in ("outstanding", "node_conditions"):
+            self._rebuild_aggregates()
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "LicenseLedger":
+        # The observed maps hold a pointer back to *this* ledger; a
+        # naive deepcopy would detach them.  Rebuild a fresh ledger so
+        # the copy observes its own maps.
+        return LicenseLedger(
+            license_id=self.license_id,
+            total_gcl=self.total_gcl,
+            beta=self.beta,
+            outstanding=dict(self.outstanding),
+            lost_units=self.lost_units,
+            node_conditions={key: copy.deepcopy(condition, memo)
+                             for key, condition
+                             in self.node_conditions.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental Equation 1 bookkeeping
+    # ------------------------------------------------------------------
+    def _rebuild_aggregates(self) -> None:
+        outstanding = self.__dict__.get("outstanding")
+        conditions = self.__dict__.get("node_conditions")
+        if outstanding is None or conditions is None:
+            return  # mid-__init__; the later field assignment rebuilds
+        total = 0
+        holders = 0
+        loss = 0.0
+        weight = 0.0
+        for node_id, units in dict.items(outstanding):
+            total += units
+            if units > 0:
+                holders += 1
+                condition = dict.get(conditions, node_id)
+                if condition is not None:
+                    loss += units * condition.crash_probability
+                    weight += condition.weight
+                else:
+                    weight += 1.0
+        self._outstanding_total = total
+        self._holder_count = holders
+        self._loss_total = loss
+        self._weight_sum = weight
+
+    def _outstanding_changed(self, node_id: str, old: int, new: int) -> None:
+        self._outstanding_total += new - old
+        condition = dict.get(self.node_conditions, node_id)
+        if condition is not None:
+            crash = condition.crash_probability
+            self._loss_total += new * crash - old * crash
+            weight = condition.weight
+        else:
+            weight = 1.0
+        if old > 0 and new <= 0:
+            self._holder_count -= 1
+            self._weight_sum -= weight
+        elif old <= 0 and new > 0:
+            self._holder_count += 1
+            self._weight_sum += weight
+        if self._holder_count == 0:
+            # Periodic exact reset: with no holders both float
+            # aggregates are zero by definition, so accumulated
+            # round-off cannot survive a drained license.
+            self._loss_total = 0.0
+            self._weight_sum = 0.0
+
+    def _condition_changed(self, node_id: str,
+                           old: Optional["NodeCondition"],
+                           new: Optional["NodeCondition"]) -> None:
+        units = dict.get(self.outstanding, node_id, 0)
+        if units <= 0:
+            return
+        old_crash = old.crash_probability if old is not None else 0.0
+        new_crash = new.crash_probability if new is not None else 0.0
+        self._loss_total += units * new_crash - units * old_crash
+        old_weight = old.weight if old is not None else 1.0
+        new_weight = new.weight if new is not None else 1.0
+        self._weight_sum += new_weight - old_weight
+
+    def audit_aggregates(self) -> None:
+        """Recompute every aggregate from scratch and raise on drift.
+
+        The integer aggregates must match exactly; the float aggregates
+        accumulate per-update round-off, so they are compared with a
+        tight relative tolerance.  Called on every ``expected_loss``
+        under ``REPRO_LEDGER_AUDIT=1`` and unconditionally at recovery
+        and promotion boundaries.
+        """
+        total = 0
+        holders = 0
+        loss = 0.0
+        weight = 0.0
+        for node_id, units in dict.items(self.outstanding):
+            total += units
+            if units > 0:
+                holders += 1
+                condition = dict.get(self.node_conditions, node_id)
+                if condition is not None:
+                    loss += units * condition.crash_probability
+                    weight += condition.weight
+                else:
+                    weight += 1.0
+        if total != self._outstanding_total:
+            raise AssertionError(
+                f"{self.license_id}: outstanding_total drifted: "
+                f"incremental {self._outstanding_total} != recomputed {total}"
+            )
+        if holders != self._holder_count:
+            raise AssertionError(
+                f"{self.license_id}: holder_count drifted: "
+                f"incremental {self._holder_count} != recomputed {holders}"
+            )
+        if not math.isclose(loss, self._loss_total,
+                            rel_tol=1e-9, abs_tol=1e-6):
+            raise AssertionError(
+                f"{self.license_id}: expected-loss aggregate drifted: "
+                f"incremental {self._loss_total} != recomputed {loss}"
+            )
+        if not math.isclose(weight, self._weight_sum,
+                            rel_tol=1e-9, abs_tol=1e-6):
+            raise AssertionError(
+                f"{self.license_id}: weight aggregate drifted: "
+                f"incremental {self._weight_sum} != recomputed {weight}"
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregate accessors
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_total(self) -> int:
+        """Σ outstanding units, from the running aggregate (O(1))."""
+        return self._outstanding_total
+
+    @property
+    def holder_count(self) -> int:
+        """How many nodes currently hold units (O(1))."""
+        return self._holder_count
+
+    @property
+    def weight_sum(self) -> float:
+        """Σ α over current holders, remembered conditions (O(1))."""
+        return self._weight_sum
+
     @property
     def available(self) -> int:
-        return self.total_gcl - sum(self.outstanding.values()) - self.lost_units
+        return self.total_gcl - self._outstanding_total - self.lost_units
+
+    def node_expected_loss(self, node_id: str) -> float:
+        """One node's Equation 1 term, units·(1−h), in O(1)."""
+        units = dict.get(self.outstanding, node_id, 0)
+        if units <= 0:
+            return 0.0
+        condition = dict.get(self.node_conditions, node_id)
+        return units * condition.crash_probability if condition else 0.0
 
     def expected_loss(
         self, conditions: Optional[Dict[str, "NodeCondition"]] = None
     ) -> float:
         """Equation 1: Σ g_i · (1 − h_i) over nodes holding sub-GCLs.
 
-        ``conditions`` overrides/extends the ledger's remembered node
-        conditions for this evaluation.
+        O(1) from the running aggregate; ``conditions`` overrides the
+        remembered condition per node for this evaluation, each costing
+        one O(1) repricing delta.
         """
-        merged = dict(self.node_conditions)
+        if os.environ.get("REPRO_LEDGER_AUDIT"):
+            self.audit_aggregates()
+        total = self._loss_total
         if conditions:
-            merged.update(conditions)
-        total = 0.0
-        for node_id, units in self.outstanding.items():
-            condition = merged.get(node_id)
-            crash_probability = (
-                condition.crash_probability if condition is not None else 0.0
-            )
-            total += units * crash_probability
-        return total
+            for node_id, condition in conditions.items():
+                units = dict.get(self.outstanding, node_id, 0)
+                if units <= 0:
+                    continue
+                stored = dict.get(self.node_conditions, node_id)
+                stored_crash = (stored.crash_probability
+                                if stored is not None else 0.0)
+                total += (units * condition.crash_probability
+                          - units * stored_crash)
+        return total if total > 0.0 else 0.0
 
 
 @dataclass(frozen=True)
@@ -149,6 +424,68 @@ def _zero_grant(
     )
 
 
+def _evaluate(
+    ledger: LicenseLedger,
+    requester: NodeCondition,
+    weight_sum: float,
+    concurrency: float,
+    baseline: float,
+    policy: RenewalPolicy,
+) -> Tuple[int, float, float]:
+    """The Algorithm 1 core, on scalars only: no holder-set scans.
+
+    ``baseline`` is the license's Equation 1 value with the requester
+    already priced at its fresh condition; the candidate grant is
+    evaluated as ``baseline + g·(1−h)`` deltas against it.  Returns
+    ``(granted, max_share, beta)`` without touching the ledger.
+    """
+    total_gcl = ledger.total_gcl
+    alpha = requester.weight / weight_sum
+
+    # Line 3: the node's fair share of the license.
+    max_share = (alpha * total_gcl) / 1.0  # α_i * TG (per-node cap)
+    g = max_share / concurrency if concurrency > 1 else max_share
+    # Line 4: default policy scale-down (sub-GCL).
+    g = g / policy.scale_divisor
+    # Line 5: crash penalty.
+    g = g * requester.health
+    # Lines 6-8: network benefit for healthy nodes on flaky links.
+    if requester.health > policy.health_threshold:
+        g = min(max_share, g * (1.0 / requester.network_reliability))
+
+    # Lines 9-17: bound the license's expected loss by τ.
+    tau = policy.tau_fraction * total_gcl
+    beta = ledger.beta if ledger.beta > 0 else policy.default_beta
+    crash = requester.crash_probability
+
+    if baseline + g * crash > tau:
+        for _ in range(policy.max_scaledown_iters):
+            current_loss = baseline + g * crash
+            if current_loss <= tau or g < 1.0:
+                break
+            # Line 12: shrink β by the loss overshoot ratio, then apply.
+            overshoot = (current_loss - tau) / current_loss
+            beta = (beta * overshoot if beta * overshoot > 0
+                    else policy.default_beta)
+            shrink = max(min(1.0 - overshoot, 0.95), 0.05)
+            g = g * shrink
+    else:
+        # Line 16: headroom under τ scales the grant up.
+        beta = (tau - baseline) / tau if tau > 0 else 0.0
+        g = g * (1.0 + beta)
+        g = min(g, max_share)
+
+    granted = int(math.floor(max(g, 0.0)))
+    granted = min(granted, int(math.floor(max_share)),
+                  max(ledger.available, 0))
+    if granted > 0 and baseline + granted * crash > tau and crash > 0:
+        # Final clamp: never hand out units that push the loss over τ.
+        headroom = tau - baseline
+        granted = min(granted, int(headroom / crash))
+        granted = max(granted, 0)
+    return granted, max_share, beta
+
+
 def renew_lease(
     ledger: LicenseLedger,
     requester: NodeCondition,
@@ -174,6 +511,11 @@ def renew_lease(
     decision rather than entering the float pipeline; a requester
     missing from a *non-empty* ``concurrent`` list is still a caller
     bug and raises.
+
+    Servers that already maintain the holder set inside the ledger
+    should prefer :func:`renew_lease_inplace`, which derives the
+    snapshot from the running aggregates in O(1) instead of accepting
+    (and pricing) an explicit O(C) list.
     """
     policy = policy if policy is not None else RenewalPolicy()
     if not concurrent:
@@ -187,55 +529,14 @@ def renew_lease(
         return _zero_grant(ledger, requester, "zero-health")
 
     conditions = {c.node_id: c for c in concurrent}
-    total_gcl = ledger.total_gcl
     concurrency = float(len(concurrent))
     if concurrency_hint is not None and concurrency_hint > concurrency:
         concurrency = concurrency_hint
-    alpha = requester.weight / weight_sum
 
-    # Line 3: the node's fair share of the license.
-    max_share = (alpha * total_gcl) / 1.0  # α_i * TG (per-node cap)
-    g = max_share / concurrency if concurrency > 1 else max_share
-    # Line 4: default policy scale-down (sub-GCL).
-    g = g / policy.scale_divisor
-    # Line 5: crash penalty.
-    g = g * requester.health
-    # Lines 6-8: network benefit for healthy nodes on flaky links.
-    if requester.health > policy.health_threshold:
-        g = min(max_share, g * (1.0 / requester.network_reliability))
-
-    # Lines 9-17: bound the license's expected loss by τ.
-    tau = policy.tau_fraction * total_gcl
-    beta = ledger.beta if ledger.beta > 0 else policy.default_beta
-
-    def loss_with_grant(units: float) -> float:
-        baseline = ledger.expected_loss(conditions)
-        return baseline + units * requester.crash_probability
-
-    if loss_with_grant(g) > tau:
-        for _ in range(policy.max_scaledown_iters):
-            current_loss = loss_with_grant(g)
-            if current_loss <= tau or g < 1.0:
-                break
-            # Line 12: shrink β by the loss overshoot ratio, then apply.
-            overshoot = (current_loss - tau) / current_loss
-            beta = beta * overshoot if beta * overshoot > 0 else policy.default_beta
-            shrink = max(min(1.0 - overshoot, 0.95), 0.05)
-            g = g * shrink
-    else:
-        # Line 16: headroom under τ scales the grant up.
-        baseline = ledger.expected_loss(conditions)
-        beta = (tau - baseline) / tau if tau > 0 else 0.0
-        g = g * (1.0 + beta)
-        g = min(g, max_share)
-
-    granted = int(math.floor(max(g, 0.0)))
-    granted = min(granted, int(math.floor(max_share)), max(ledger.available, 0))
-    if granted > 0 and loss_with_grant(granted) > tau and requester.crash_probability > 0:
-        # Final clamp: never hand out units that push the loss over τ.
-        headroom = tau - ledger.expected_loss(conditions)
-        granted = min(granted, int(headroom / requester.crash_probability))
-        granted = max(granted, 0)
+    baseline = ledger.expected_loss(conditions)
+    granted, max_share, beta = _evaluate(
+        ledger, requester, weight_sum, concurrency, baseline, policy
+    )
 
     if granted > 0:
         ledger.outstanding[requester.node_id] = (
@@ -253,5 +554,85 @@ def renew_lease(
         granted_units=granted,
         max_share=int(math.floor(max_share)),
         expected_loss_after=ledger.expected_loss(conditions),
+        beta_after=beta,
+    )
+
+
+def renew_lease_inplace(
+    ledger: LicenseLedger,
+    requester: NodeCondition,
+    policy: Optional[RenewalPolicy] = None,
+    concurrency_hint: Optional[float] = None,
+    *,
+    fabricate_holders: bool = False,
+) -> RenewalDecision:
+    """Algorithm 1 against the ledger's own holder set, in O(1).
+
+    :func:`renew_lease` takes an explicit ``concurrent`` snapshot —
+    O(C) to build and O(C) to price.  The server's renew path instead
+    derives everything Algorithm 1 needs from the running aggregates:
+
+    * C = ``holder_count`` (+1 when the requester holds nothing yet),
+      still raisable by ``concurrency_hint``;
+    * Σα = ``weight_sum`` with the requester's stored weight swapped
+      for its freshly reported one;
+    * the Equation 1 baseline = the running expected loss with the
+      requester's term repriced at its fresh condition.
+
+    ``fabricate_holders=True`` reproduces the static baseline's pricing
+    (admission control off): every *other* holder is priced as a
+    perfect default node (crash probability 0, weight 1), exactly what
+    the old per-renewal snapshot fabricated.  Grant decisions are
+    identical to the snapshot path; the observable differences are that
+    the fabricated defaults are no longer written back over the
+    remembered conditions, and ``expected_loss_after`` reports the
+    ledger's remembered-condition aggregate rather than the fabricated
+    view.
+
+    Only the requester-degeneracy zero-grants apply here
+    (``zero-weight`` / ``zero-health``): the requester itself always
+    makes C ≥ 1, so ``no-concurrent`` cannot happen.
+    """
+    policy = policy if policy is not None else RenewalPolicy()
+    if requester.weight <= 0:
+        return _zero_grant(ledger, requester, "zero-weight")
+    if requester.health <= 0.0:
+        return _zero_grant(ledger, requester, "zero-health")
+
+    held = ledger.outstanding.get(requester.node_id, 0)
+    crowd = ledger.holder_count + (0 if held > 0 else 1)
+    if fabricate_holders:
+        weight_sum = (crowd - 1) * 1.0 + requester.weight
+        baseline = held * requester.crash_probability
+    else:
+        if held > 0:
+            stored = ledger.node_conditions.get(requester.node_id)
+            stored_weight = stored.weight if stored is not None else 1.0
+        else:
+            stored_weight = 0.0
+        weight_sum = ledger.weight_sum - stored_weight + requester.weight
+        baseline = ledger.expected_loss({requester.node_id: requester})
+    if weight_sum <= 0:
+        return _zero_grant(ledger, requester, "zero-weight")
+
+    concurrency = float(crowd)
+    if concurrency_hint is not None and concurrency_hint > concurrency:
+        concurrency = concurrency_hint
+
+    granted, max_share, beta = _evaluate(
+        ledger, requester, weight_sum, concurrency, baseline, policy
+    )
+
+    if granted > 0:
+        ledger.outstanding[requester.node_id] = held + granted
+    ledger.beta = beta
+    ledger.node_conditions[requester.node_id] = requester
+
+    return RenewalDecision(
+        license_id=ledger.license_id,
+        node_id=requester.node_id,
+        granted_units=granted,
+        max_share=int(math.floor(max_share)),
+        expected_loss_after=ledger.expected_loss(),
         beta_after=beta,
     )

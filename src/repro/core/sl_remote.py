@@ -59,7 +59,7 @@ from repro.core.renewal import (
     LicenseLedger,
     NodeCondition,
     RenewalPolicy,
-    renew_lease,
+    renew_lease_inplace,
 )
 from repro.core.licensefile import VENDOR_SECRET, mint_license_blob
 from repro.sgx.attestation import AttestationError, RemoteAttestationService
@@ -496,27 +496,47 @@ class SlRemote:
         return Status.OK
 
     def handle_ledger_probe(
-        self, license_id: Optional[str] = None
+        self, payload: Any = None
     ) -> Dict[str, Dict[str, Any]]:
         """Ledger accounting snapshot, for monitoring and load harnesses.
 
-        Returns ``{license_id: {total, outstanding, lost, available}}``
-        for one license (or all of them when ``license_id`` is None) —
-        enough to audit unit conservation across a whole shard fleet
-        without reaching into server internals.
+        Returns ``{license_id: {total, outstanding, lost, available,
+        holders, expected_loss}}`` — every field read from the ledger's
+        O(1) running aggregates, so a probe costs constant work and
+        constant bytes per license no matter how many nodes hold units.
+
+        ``payload`` is either a license id (one license; ``None`` means
+        all of them) or a dict ``{"license_id": ..., "detail": ...}``.
+        ``detail="summary"`` adds the bounded per-license summary
+        (top-k holders, log2 holding histogram); ``detail="full"`` is
+        the explicit opt-in for the complete ``outstanding`` /
+        ``node_conditions`` maps — O(C) bytes, never shipped by
+        default.
         """
+        detail = None
+        license_id = payload
+        if isinstance(payload, dict):
+            license_id = payload.get("license_id")
+            detail = payload.get("detail")
         ids = [license_id] if license_id is not None else self.license_ids()
         probe: Dict[str, Dict[str, Any]] = {}
         for lid in ids:
             state = self.license_state(lid)
             with state.lock:
                 ledger = state.ledger
-                probe[lid] = {
+                row = {
                     "total": ledger.total_gcl,
-                    "outstanding": sum(ledger.outstanding.values()),
+                    "outstanding": ledger.outstanding_total,
                     "lost": ledger.lost_units,
                     "available": ledger.available,
+                    "holders": ledger.holder_count,
+                    "expected_loss": ledger.expected_loss(),
                 }
+                if detail == "summary":
+                    row["summary"] = ledger_summary(ledger)
+                elif detail == "full":
+                    row["ledger"] = ledger_to_wire(ledger)
+                probe[lid] = row
         return probe
 
     # ------------------------------------------------------------------
@@ -572,9 +592,15 @@ class SlRemote:
         Unknown SLIDs in the holdings are admitted on the fly.
         """
         definition = definition_from_wire(payload["definition"])
+        ledger = ledger_from_wire(payload["ledger"])
+        # Reconstructing from wire form rebuilt the Equation 1
+        # aggregates from scratch; prove it before serving — promotion
+        # must never adopt a ledger whose running sums disagree with
+        # its maps.
+        ledger.audit_aggregates()
         state = LicenseShardState(
             definition=definition,
-            ledger=ledger_from_wire(payload["ledger"]),
+            ledger=ledger,
         )
         with self._registry_lock:
             self._states[definition.license_id] = state
@@ -819,23 +845,33 @@ class SlRemote:
                                                           request),
             health=request.health,
         )
-        concurrent = self._concurrent_conditions(ledger, requester)
+        # Algorithm 1's C, from the ledger's running holder count — no
+        # holder-set scan, so the renew path stays O(1) in how many
+        # nodes hold this license.
+        crowd = ledger.holder_count
+        if ledger.outstanding.get(node_key, 0) <= 0:
+            crowd += 1
         available_before = ledger.available
         hint = None
         if self.admission:
-            # Measured Algorithm 1 concurrency: EWMA over the snapshot
-            # of holders + this requester.  The hint only ever *raises*
-            # C inside renew_lease, so a decaying crowd keeps grants
+            # Measured Algorithm 1 concurrency: EWMA over holders +
+            # this requester.  The hint only ever *raises* C inside the
+            # renewal evaluation, so a decaying crowd keeps grants
             # conservative until the EWMA settles.
-            sample = float(len(concurrent))
+            sample = float(crowd)
             state.concurrency_ewma = (
                 sample if state.concurrency_ewma <= 0.0
                 else state.concurrency_ewma
                 + CONCURRENCY_EWMA_ALPHA * (sample - state.concurrency_ewma)
             )
             hint = state.concurrency_ewma
-        decision = renew_lease(ledger, requester, concurrent, self.policy,
-                               concurrency_hint=hint)
+        # With admission on, holders are priced at their remembered
+        # conditions (the running aggregates); the static baseline
+        # fabricates perfect holders, exactly like the old per-renewal
+        # snapshot did.
+        decision = renew_lease_inplace(ledger, requester, self.policy,
+                                       concurrency_hint=hint,
+                                       fabricate_holders=not self.admission)
         granted = decision.granted_units
         degraded = False
         if self.admission and granted > 0:
@@ -882,7 +918,7 @@ class SlRemote:
             if headroom is not None and headroom < granted:
                 granted = headroom
                 degraded = False
-        # renew_lease already recorded its proposal in the ledger;
+        # The renewal evaluation already booked its proposal;
         # re-book the difference to the final grant before answering —
         # down when a clamp shrank it (all the way to zero when
         # backpressure denies it), up when the ladder floor granted
@@ -926,25 +962,6 @@ class SlRemote:
         remainder = self.ledger_commit_seconds - spent
         if remainder > 0:
             time.sleep(remainder)
-
-    def _concurrent_conditions(self, ledger: LicenseLedger,
-                               requester: NodeCondition) -> List[NodeCondition]:
-        """All nodes currently holding or requesting this license.
-
-        With admission control on, holders keep the condition they last
-        reported (the ledger remembers every participant after each
-        ``renew_lease``), so Equation 1 prices their *actual* crash
-        probability instead of a fabricated perfect default.  The static
-        baseline keeps the old perfect-holder fabrication.
-        """
-        conditions = {requester.node_id: requester}
-        for node_id, units in ledger.outstanding.items():
-            if units > 0 and node_id not in conditions:
-                remembered = (ledger.node_conditions.get(node_id)
-                              if self.admission else None)
-                conditions[node_id] = (remembered if remembered is not None
-                                       else NodeCondition(node_id=node_id))
-        return list(conditions.values())
 
     def _evidence_reliability(self, state: LicenseShardState, node_key: str,
                               request: RenewRequest) -> float:
@@ -1037,6 +1054,10 @@ class SlRemote:
                     "exhausted": state.exhausted,
                     "degraded": state.degraded,
                     "concurrency_ewma": round(state.concurrency_ewma, 3),
+                    # O(1) from the ledger's running aggregates — the
+                    # report stays bounded at any holder count.
+                    "holders": state.ledger.holder_count,
+                    "expected_loss": round(state.ledger.expected_loss(), 3),
                     "grant_hist": {
                         str(1 << max(0, bucket - 1)): count
                         for bucket, count in sorted(state.grant_hist.items())
@@ -1165,6 +1186,44 @@ def ledger_to_wire(ledger: LicenseLedger) -> Dict[str, Any]:
             }
             for key, condition in ledger.node_conditions.items()
         },
+    }
+
+
+def ledger_summary(ledger: LicenseLedger, top_k: int = 8) -> Dict[str, Any]:
+    """Bounded introspection view of one ledger.
+
+    The full wire form (:func:`ledger_to_wire`) ships the complete
+    ``outstanding`` and ``node_conditions`` maps — O(C) bytes, which at
+    10^5 holders is a multi-megabyte stats answer.  This summary is
+    bounded regardless of holder count: running aggregates, the top-k
+    largest holders, and a log2 histogram of holding sizes (at most 64
+    buckets).  Computing it is one O(C) pass, but only on explicit
+    probe request — never on the renew path.
+    """
+    holdings = [(units, node_id)
+                for node_id, units in ledger.outstanding.items()
+                if units > 0]
+    holdings.sort(reverse=True)
+    histogram: Dict[str, int] = {}
+    for units, _ in holdings:
+        bucket = str(1 << max(0, units.bit_length() - 1))
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return {
+        "holders": ledger.holder_count,
+        "outstanding": ledger.outstanding_total,
+        "lost": ledger.lost_units,
+        "available": ledger.available,
+        "expected_loss": ledger.expected_loss(),
+        "weight_sum": ledger.weight_sum,
+        "beta": ledger.beta,
+        "conditions_remembered": len(ledger.node_conditions),
+        "top_holders": [
+            {"node": node_id, "units": units,
+             "expected_loss": ledger.node_expected_loss(node_id)}
+            for units, node_id in holdings[:max(0, top_k)]
+        ],
+        "holding_hist": dict(sorted(histogram.items(),
+                                    key=lambda item: int(item[0]))),
     }
 
 

@@ -68,6 +68,12 @@ from repro.net.rpc import (
     connect_tcp,
 )
 from repro.net.server import LeaseServer
+from repro.net.stats import (
+    RenewalHealth,
+    ReplicationHealth,
+    ServerStats,
+    format_stats,
+)
 from repro.net.sharding import (
     HashRing,
     ShardRouter,
@@ -106,12 +112,15 @@ __all__ = [
     "Overloaded",
     "RemoteCallError",
     "RemoteEndpoint",
+    "RenewalHealth",
     "ReplicaBatch",
     "ReplicaDelta",
+    "ReplicationHealth",
     "ReplicationManager",
     "ReplicationSource",
     "RetriesExhausted",
     "RpcError",
+    "ServerStats",
     "SUPPORTED_WIRE_VERSIONS",
     "SerializedLoopbackTransport",
     "ShardRouter",
@@ -133,5 +142,6 @@ __all__ = [
     "default_shard_names",
     "endpoint_for",
     "format_endpoint",
+    "format_stats",
     "parse_endpoint",
 ]

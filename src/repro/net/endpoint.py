@@ -366,12 +366,19 @@ def endpoint_for(addresses: Sequence[Tuple[str, int]],
 
 
 def deprecated_connect_warning(old: str, example: str) -> None:
-    """The shared DeprecationWarning for the legacy ``connect_*`` zoo."""
+    """The shared DeprecationWarning for the legacy ``connect_*`` zoo.
+
+    With ``REPRO_STRICT_ENDPOINTS=1`` in the environment the wrappers
+    raise instead of warning, so CI can prove nothing in-repo still
+    depends on them.
+    """
+    import os
     import warnings
 
-    warnings.warn(
+    message = (
         f"{old} is deprecated; use repro.net.connect({example!r}-style "
-        f"endpoints) instead",
-        DeprecationWarning,
-        stacklevel=3,
+        f"endpoints) instead"
     )
+    if os.environ.get("REPRO_STRICT_ENDPOINTS") == "1":
+        raise RuntimeError(message)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)

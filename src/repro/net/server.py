@@ -35,6 +35,8 @@ import threading
 from typing import List, Optional, Tuple
 
 from repro.net import codec
+from repro.net import stats as stats_module
+from repro.net.stats import ServerStats
 from repro.net.transport import HandlerTable, read_frame
 from repro.sgx.driver import SgxStats, ThreadSafeSgxStats
 from repro.sim.clock import Clock, ThreadSafeClock
@@ -167,38 +169,51 @@ def attach_server_stats(handlers: HandlerTable, server, io_name: str) -> None:
     """
     def _server_stats(_request, clock: Optional[Clock] = None,
                       stats: Optional[SgxStats] = None):
-        report = {
-            "io": io_name,
-            "requests_served": server.requests_served,
-            "errors_returned": server.errors_returned,
-            "connections_accepted": server.connections_accepted,
-            "connections_shed": server.connections_shed,
-            "resident_threads": threading.active_count(),
-        }
-        wire_stats = getattr(server, "wire_stats", None)
-        if wire_stats is not None:
-            report["wire"] = wire_stats.snapshot()
-        remote = getattr(server, "remote", None)
-        exhausted = getattr(remote, "exhausted_served", None)
-        if exhausted is not None:
-            report["exhausted_served"] = exhausted
-        renewal = getattr(remote, "renewal_health", None)
-        if callable(renewal):
-            try:
-                report["renewal"] = renewal()
-            except Exception:  # noqa: BLE001 - stats must never fail a probe
-                pass
-        health = getattr(server, "replication_health", None)
-        if health is None:
-            health = getattr(remote, "replication_health", None)
-        if callable(health):
-            try:
-                report["replication"] = health()
-            except Exception:  # noqa: BLE001 - stats must never fail a probe
-                pass
-        return report
+        return build_server_stats(server, io_name).to_wire()
 
     handlers.register("_server_stats", _server_stats)
+
+
+def build_server_stats(server, io_name: str) -> ServerStats:
+    """Assemble the typed :class:`~repro.net.stats.ServerStats` report.
+
+    The sections come back from the served remote as the historical
+    dict shapes (a plain remote's report, or ``{shard: report}`` for an
+    in-process sharded fleet); they are lifted into the typed sections
+    here, and ``to_wire`` reproduces the exact dicts old consumers
+    expect.
+    """
+    wire_stats = getattr(server, "wire_stats", None)
+    remote = getattr(server, "remote", None)
+    exhausted = getattr(remote, "exhausted_served", None)
+    renewal = None
+    renewal_health = getattr(remote, "renewal_health", None)
+    if callable(renewal_health):
+        try:
+            renewal = stats_module.sniff_renewal(renewal_health())
+        except Exception:  # noqa: BLE001 - stats must never fail a probe
+            pass
+    replication = None
+    health = getattr(server, "replication_health", None)
+    if health is None:
+        health = getattr(remote, "replication_health", None)
+    if callable(health):
+        try:
+            replication = stats_module.sniff_replication(health())
+        except Exception:  # noqa: BLE001 - stats must never fail a probe
+            pass
+    return ServerStats(
+        io=io_name,
+        requests_served=server.requests_served,
+        errors_returned=server.errors_returned,
+        connections_accepted=server.connections_accepted,
+        connections_shed=server.connections_shed,
+        resident_threads=threading.active_count(),
+        wire=wire_stats.snapshot() if wire_stats is not None else None,
+        exhausted_served=exhausted,
+        renewal=renewal,
+        replication=replication,
+    )
 
 
 class LeaseServer:

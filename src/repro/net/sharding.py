@@ -282,10 +282,17 @@ class ShardRouter:
             return self._batch_call(payload, clock, stats)
         if method == "init":
             return self._routed_init(payload, clock, stats)
-        if method == "ledger_probe" and payload is None:
-            return self._fleet_probe(method, clock, stats)
         if method == "ledger_probe":
-            return self._license_call(payload, method, payload, clock, stats)
+            # Payload is a license id, or the dict form carrying a
+            # detail level ({"license_id": ..., "detail": ...}); a
+            # missing/None license id fans out across the whole fleet.
+            license_id = payload
+            if isinstance(payload, dict):
+                license_id = payload.get("license_id")
+            if license_id is None:
+                return self._fleet_probe(method, payload, clock, stats)
+            return self._license_call(license_id, method, payload,
+                                      clock, stats)
         # Everything SLID-scoped (shutdown, admit, crash) and anything
         # unrecognised is pinned to the home shard; unknown methods fail
         # there with the standard dispatch error.
@@ -395,7 +402,7 @@ class ShardRouter:
                     raise
                 self._failover(home, clock, stats)
 
-    def _fleet_probe(self, method: str,
+    def _fleet_probe(self, method: str, payload: Any,
                      clock: Optional[Clock], stats: Optional[SgxStats]):
         # Fleet-wide audit: fan out and merge (license ids are disjoint
         # across shards by construction).  A death mid-probe fails over
@@ -408,7 +415,7 @@ class ShardRouter:
                     backend = self.backends.get(name)
                     if backend is None:
                         continue
-                    merged.update(backend(method, None, clock=clock,
+                    merged.update(backend(method, payload, clock=clock,
                                           stats=stats))
                 return merged
             except DialError:

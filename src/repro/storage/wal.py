@@ -592,6 +592,14 @@ class ShardPersistence:
                 report.records_skipped += 1
         self.wal.last_seq = last_seq
         report.forfeited_units = self._forfeit_outstanding(remote)
+        # The snapshot install rebuilt every ledger's Equation 1
+        # aggregates from scratch and the replay mutated them through
+        # the observed maps; prove the two agree before serving — a
+        # recovered shard must never price grants off drifted sums.
+        for license_id in remote.license_ids():
+            state = remote.license_state(license_id)
+            with state.lock:
+                state.ledger.audit_aggregates()
         self._remote = remote
         # Fold the recovered state into a fresh snapshot and truncate
         # the tail we just consumed (snapshot lands before truncation:

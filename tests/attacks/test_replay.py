@@ -7,8 +7,8 @@ from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.rng import DeterministicRng
 
@@ -20,8 +20,8 @@ def build_attack_target(total_units=100, tokens_per_attestation=1):
     definition = remote.issue_license("lic-victim", total_units)
     machine = SgxMachine("attacker-box")
     ras.register_platform(machine.platform_secret)
-    endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
-                                                    rng.fork("net")))
+    link = SimulatedLink(NetworkConditions(), rng.fork("net"))
+    endpoint = connect("sl+inproc://", remote=remote, link=link)
     local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                     tokens_per_attestation=tokens_per_attestation)
     local.init()

@@ -93,14 +93,25 @@ class TestRememberedConditions:
         conditions = remote.ledger("lic-a").node_conditions
         assert conditions["slid:1"].health == 0.6
 
-    def test_static_baseline_fabricates_perfect_holders(self):
+    def test_static_baseline_prices_fabricated_perfect_holders(self):
+        """The static baseline *prices* every other holder as a perfect
+        default node (crash probability 0), so a shaky holder's
+        remembered telemetry must not change anyone else's grant — but
+        the telemetry itself is retained for introspection (the old
+        snapshot path destroyed it by writing the fabricated defaults
+        back)."""
         remote, blobs = build_remote(pool=10_000, clients=3, admission=False)
+        twin, twin_blobs = build_remote(pool=10_000, clients=3,
+                                        admission=False)
         renew(remote, blobs, 1, health=0.6)
-        renew(remote, blobs, 2)
+        renew(twin, twin_blobs, 1, health=1.0)
+        # Same grant for the healthy node either way: holder slid:1 is
+        # priced at the fabricated perfect default, not its real 0.6.
+        shaky_peer = renew(remote, blobs, 2)
+        perfect_peer = renew(twin, twin_blobs, 2)
+        assert shaky_peer.granted_units == perfect_peer.granted_units
         conditions = remote.ledger("lic-a").node_conditions
-        # The old behavior this preserves: the later renewal overwrote
-        # the holder's remembered condition with a perfect default.
-        assert conditions["slid:1"].health == 1.0
+        assert conditions["slid:1"].health == 0.6
 
     def test_tau_bounds_total_expected_loss(self):
         """Ladder floors never push Equation 1 past τ: shaky nodes stop

@@ -1,0 +1,363 @@
+"""Incremental Equation 1 accounting: property tests and the
+pre-refactor equivalence oracle.
+
+Two guarantees are pinned here:
+
+1. The ledger's running aggregates (Σ units, holder count, Σ g·(1−h),
+   Σ α) equal a from-scratch recomputation after *arbitrary*
+   interleavings of grants, returns, crash forfeitures, condition
+   updates, wire round-trips, whole-map reassignment, and WAL recovery
+   (hypothesis drives the interleavings; ``audit_aggregates`` is the
+   from-scratch recomputation and raises on drift).
+
+2. The O(1) server renew path (:func:`renew_lease_inplace`) makes
+   *bit-identical* admission decisions to the pre-refactor O(C)
+   snapshot path on a recorded renewal trace.  The old pipeline —
+   from-scratch ``expected_loss``, explicit concurrent-holder snapshot,
+   the EWMA hint — is embedded below verbatim as the oracle.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.renewal import (
+    LicenseLedger,
+    NodeCondition,
+    RenewalPolicy,
+    renew_lease_inplace,
+)
+from repro.core.sl_remote import ledger_from_wire, ledger_to_wire
+
+NODES = [f"n{i}" for i in range(5)]
+
+# Healths whose crash probabilities are exact binary fractions: the
+# equivalence trace stays in exact float arithmetic, so "bit-identical"
+# is a deterministic claim, not a round-off lottery.
+EXACT_HEALTHS = [1.0, 0.875, 0.75, 0.5]
+
+
+def recomputed_loss(ledger):
+    total = 0.0
+    for node_id, units in dict.items(ledger.outstanding):
+        if units > 0:
+            condition = dict.get(ledger.node_conditions, node_id)
+            if condition is not None:
+                total += units * condition.crash_probability
+    return total
+
+
+# ----------------------------------------------------------------------
+# Property: incremental == from-scratch under arbitrary interleavings
+# ----------------------------------------------------------------------
+def _op_strategy():
+    node = st.sampled_from(NODES)
+    units = st.integers(min_value=0, max_value=400)
+    return st.one_of(
+        st.tuples(st.just("grant"), node, units),
+        st.tuples(st.just("return"), node, units),
+        st.tuples(st.just("crash"), node),
+        st.tuples(st.just("condition"), node,
+                  st.floats(min_value=0.0, max_value=4.0),
+                  st.floats(min_value=0.0, max_value=1.0),
+                  st.floats(min_value=0.1, max_value=1.0)),
+        st.tuples(st.just("drop_condition"), node),
+        st.tuples(st.just("renew"), node,
+                  st.floats(min_value=0.05, max_value=1.0)),
+        st.tuples(st.just("roundtrip")),
+        st.tuples(st.just("reassign")),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=st.lists(_op_strategy(), max_size=50))
+def test_incremental_aggregates_match_recomputation(ops):
+    ledger = LicenseLedger(license_id="lic-prop", total_gcl=10_000, beta=0.0)
+    policy = RenewalPolicy()
+    for op in ops:
+        kind = op[0]
+        if kind == "grant":
+            _, node, units = op
+            ledger.outstanding[node] = ledger.outstanding.get(node, 0) + units
+        elif kind == "return":
+            _, node, units = op
+            left = max(0, ledger.outstanding.get(node, 0) - units)
+            if left:
+                ledger.outstanding[node] = left
+            else:
+                ledger.outstanding.pop(node, None)
+        elif kind == "crash":
+            _, node = op
+            ledger.lost_units += ledger.outstanding.pop(node, 0)
+        elif kind == "condition":
+            _, node, weight, health, reliability = op
+            ledger.node_conditions[node] = NodeCondition(
+                node_id=node, weight=weight, health=health,
+                network_reliability=reliability,
+            )
+        elif kind == "drop_condition":
+            _, node = op
+            ledger.node_conditions.pop(node, None)
+        elif kind == "renew":
+            _, node, health = op
+            renew_lease_inplace(
+                ledger, NodeCondition(node_id=node, health=health), policy
+            )
+        elif kind == "roundtrip":
+            ledger = ledger_from_wire(ledger_to_wire(ledger))
+        elif kind == "reassign":
+            ledger.outstanding = dict(ledger.outstanding)
+            ledger.node_conditions = dict(ledger.node_conditions)
+        # The from-scratch recomputation after EVERY op: any drift in
+        # the O(1) bookkeeping surfaces at the op that introduced it.
+        ledger.audit_aggregates()
+        assert math.isclose(ledger.expected_loss(),
+                            max(recomputed_loss(ledger), 0.0),
+                            rel_tol=1e-9, abs_tol=1e-6)
+
+
+def test_aggregates_survive_wal_recovery(tmp_path):
+    """Real journaled grants through the remote's handlers, then a
+    process death and a from-disk recovery: the rebuilt ledgers'
+    aggregates must match a from-scratch recomputation (recovery also
+    audits internally — this pins the behaviour from outside)."""
+    from repro.core.sl_local import SlLocal
+    from repro.core.sl_manager import SlManager
+    from repro.core.sl_remote import SlRemote
+    from repro.crypto.keys import KeyGenerator
+    from repro.net.endpoint import connect
+    from repro.net.network import NetworkConditions, SimulatedLink
+    from repro.sgx import RemoteAttestationService, SgxMachine
+    from repro.sim.rng import DeterministicRng
+    from repro.storage.wal import attach_persistence
+
+    rng = DeterministicRng(77)
+    remote = SlRemote(RemoteAttestationService(accept_any_platform=True))
+    persistences = attach_persistence(remote, str(tmp_path))
+    definition = remote.issue_license("lic-wal", 5_000)
+    clients = []
+    for index in range(3):
+        machine = SgxMachine(f"wal-{index}")
+        link = SimulatedLink(NetworkConditions(), rng.fork(f"net{index}"))
+        endpoint = connect("sl+inproc://", remote=remote, link=link)
+        local = SlLocal(machine, endpoint, KeyGenerator(rng.fork(f"k{index}")),
+                        tokens_per_attestation=5)
+        local.init()
+        manager = SlManager(f"app-{index}", machine, local,
+                            tokens_per_attestation=5)
+        manager.load_license("lic-wal", definition.license_blob())
+        for _ in range(12):
+            manager.check("lic-wal")
+        clients.append(local)
+    clients[0].shutdown()  # one graceful exit in the journal too
+    for persistence in persistences:
+        persistence.close()
+
+    survivor = SlRemote(RemoteAttestationService(accept_any_platform=True))
+    persistences = attach_persistence(survivor, str(tmp_path))
+    try:
+        ledger = survivor.ledger("lic-wal")
+        ledger.audit_aggregates()
+        assert math.isclose(ledger.expected_loss(),
+                            max(recomputed_loss(ledger), 0.0),
+                            rel_tol=1e-9, abs_tol=1e-6)
+        # Recovery is pessimistic (§5.7): outstanding units at the crash
+        # boundary are forfeited, and the pool still conserves.
+        assert (ledger.outstanding_total + ledger.lost_units
+                + ledger.available == ledger.total_gcl)
+    finally:
+        for persistence in persistences:
+            persistence.close()
+
+
+# ----------------------------------------------------------------------
+# The pre-refactor O(C) snapshot path, embedded as the oracle
+# ----------------------------------------------------------------------
+class OracleLedger:
+    """Plain-dict twin of the pre-refactor ``LicenseLedger``."""
+
+    def __init__(self, license_id, total_gcl, beta=0.0):
+        self.license_id = license_id
+        self.total_gcl = total_gcl
+        self.beta = beta
+        self.outstanding = {}
+        self.lost_units = 0
+        self.node_conditions = {}
+
+    @property
+    def available(self):
+        return self.total_gcl - sum(self.outstanding.values()) - self.lost_units
+
+    def expected_loss(self, conditions=None):
+        # Verbatim pre-refactor implementation: merge + full O(C) scan.
+        merged = dict(self.node_conditions)
+        if conditions:
+            merged.update(conditions)
+        total = 0.0
+        for node_id, units in self.outstanding.items():
+            condition = merged.get(node_id)
+            crash = condition.crash_probability if condition is not None else 0.0
+            total += units * crash
+        return total
+
+
+def oracle_concurrent(ledger, requester, admission):
+    """Verbatim pre-refactor ``SlRemote._concurrent_conditions``."""
+    conditions = {requester.node_id: requester}
+    for node_id, units in ledger.outstanding.items():
+        if units > 0 and node_id not in conditions:
+            remembered = (ledger.node_conditions.get(node_id)
+                          if admission else None)
+            conditions[node_id] = (remembered if remembered is not None
+                                   else NodeCondition(node_id=node_id))
+    return list(conditions.values())
+
+
+def oracle_renew(ledger, requester, concurrent, policy, concurrency_hint):
+    """Verbatim pre-refactor ``renew_lease`` (the full-scan pipeline)."""
+    weight_sum = sum(c.weight for c in concurrent)
+    assert weight_sum > 0 and requester.weight > 0 and requester.health > 0
+
+    conditions = {c.node_id: c for c in concurrent}
+    total_gcl = ledger.total_gcl
+    concurrency = float(len(concurrent))
+    if concurrency_hint is not None and concurrency_hint > concurrency:
+        concurrency = concurrency_hint
+    alpha = requester.weight / weight_sum
+
+    max_share = (alpha * total_gcl) / 1.0
+    g = max_share / concurrency if concurrency > 1 else max_share
+    g = g / policy.scale_divisor
+    g = g * requester.health
+    if requester.health > policy.health_threshold:
+        g = min(max_share, g * (1.0 / requester.network_reliability))
+
+    tau = policy.tau_fraction * total_gcl
+    beta = ledger.beta if ledger.beta > 0 else policy.default_beta
+
+    def loss_with_grant(units):
+        return ledger.expected_loss(conditions) \
+            + units * requester.crash_probability
+
+    if loss_with_grant(g) > tau:
+        for _ in range(policy.max_scaledown_iters):
+            current_loss = loss_with_grant(g)
+            if current_loss <= tau or g < 1.0:
+                break
+            overshoot = (current_loss - tau) / current_loss
+            beta = (beta * overshoot if beta * overshoot > 0
+                    else policy.default_beta)
+            shrink = max(min(1.0 - overshoot, 0.95), 0.05)
+            g = g * shrink
+    else:
+        baseline = ledger.expected_loss(conditions)
+        beta = (tau - baseline) / tau if tau > 0 else 0.0
+        g = g * (1.0 + beta)
+        g = min(g, max_share)
+
+    granted = int(math.floor(max(g, 0.0)))
+    granted = min(granted, int(math.floor(max_share)),
+                  max(ledger.available, 0))
+    if granted > 0 and loss_with_grant(granted) > tau \
+            and requester.crash_probability > 0:
+        headroom = tau - ledger.expected_loss(conditions)
+        granted = min(granted, int(headroom / requester.crash_probability))
+        granted = max(granted, 0)
+
+    if granted > 0:
+        ledger.outstanding[requester.node_id] = (
+            ledger.outstanding.get(requester.node_id, 0) + granted
+        )
+    ledger.beta = beta
+    for condition in concurrent:
+        ledger.node_conditions[condition.node_id] = condition
+    return granted, int(math.floor(max_share)), beta
+
+
+EWMA_ALPHA = 0.2  # CONCURRENCY_EWMA_ALPHA on the server
+
+
+def _recorded_trace(steps=160):
+    """A deterministic renewal trace: eight nodes cycling through exact
+    binary-fraction healths and weights, with periodic returns and one
+    crash forfeiture mid-trace."""
+    trace = []
+    for step in range(steps):
+        node = f"slid:{step % 8}"
+        health = EXACT_HEALTHS[step % len(EXACT_HEALTHS)]
+        weight = [1.0, 2.0, 1.0, 4.0][step % 4]
+        reliability = [1.0, 0.5, 0.25, 1.0][(step // 3) % 4]
+        trace.append(("renew", node, weight, reliability, health))
+        if step % 11 == 10:
+            trace.append(("return", f"slid:{step % 8}", 64))
+        if step == 80:
+            trace.append(("crash", "slid:2"))
+    return trace
+
+
+def _run_trace(admission):
+    live = LicenseLedger(license_id="lic-eq", total_gcl=100_000, beta=0.0)
+    oracle = OracleLedger("lic-eq", 100_000)
+    policy = RenewalPolicy()
+    live_ewma = oracle_ewma = 0.0
+    decisions = []
+    for event in _recorded_trace():
+        if event[0] == "return":
+            _, node, units = event
+            for ledger in (live, oracle):
+                left = max(0, ledger.outstanding.get(node, 0) - units)
+                ledger.outstanding[node] = left
+            continue
+        if event[0] == "crash":
+            _, node = event
+            live.lost_units += live.outstanding.pop(node, 0)
+            oracle.lost_units += oracle.outstanding.pop(node, 0)
+            continue
+        _, node, weight, reliability, health = event
+        requester = NodeCondition(node_id=node, weight=weight,
+                                  network_reliability=reliability,
+                                  health=health)
+
+        # Pre-refactor server path: explicit snapshot + EWMA over it.
+        concurrent = oracle_concurrent(oracle, requester, admission)
+        oracle_hint = None
+        if admission:
+            sample = float(len(concurrent))
+            oracle_ewma = (sample if oracle_ewma <= 0.0
+                           else oracle_ewma
+                           + EWMA_ALPHA * (sample - oracle_ewma))
+            oracle_hint = oracle_ewma
+        old = oracle_renew(oracle, requester, concurrent, policy, oracle_hint)
+
+        # Post-refactor server path: running aggregates, no snapshot.
+        crowd = live.holder_count
+        if live.outstanding.get(node, 0) <= 0:
+            crowd += 1
+        live_hint = None
+        if admission:
+            sample = float(crowd)
+            live_ewma = (sample if live_ewma <= 0.0
+                         else live_ewma + EWMA_ALPHA * (sample - live_ewma))
+            live_hint = live_ewma
+        new = renew_lease_inplace(live, requester, policy,
+                                  concurrency_hint=live_hint,
+                                  fabricate_holders=not admission)
+        decisions.append((old, (new.granted_units, new.max_share,
+                                new.beta_after)))
+        live.audit_aggregates()
+    # The two ledgers track each other exactly, not just per decision.
+    assert dict(live.outstanding) == oracle.outstanding
+    assert live.lost_units == oracle.lost_units
+    assert live.beta == oracle.beta
+    return decisions
+
+
+def test_adaptive_decisions_bit_identical_to_snapshot_path():
+    for old, new in _run_trace(admission=True):
+        assert old == new  # (granted, max_share, beta) — bit-identical
+
+
+def test_static_decisions_bit_identical_to_snapshot_path():
+    for old, new in _run_trace(admission=False):
+        assert old == new

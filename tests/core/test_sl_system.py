@@ -8,8 +8,8 @@ from repro.core.sl_local import SlLocal, SlLocalError
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import LicenseUnknown, SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.rng import DeterministicRng
 
@@ -22,7 +22,7 @@ def build_system(seed=3, tokens_per_attestation=10, total_units=1000):
     machine = SgxMachine("client")
     ras.register_platform(machine.platform_secret)
     link = SimulatedLink(NetworkConditions(), rng.fork("net"))
-    endpoint = connect_remote(remote, link)
+    endpoint = connect("sl+inproc://", remote=remote, link=link)
     local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                     tokens_per_attestation=tokens_per_attestation)
     local.init()
@@ -88,8 +88,8 @@ class TestSlLocalLifecycle:
         remote = SlRemote(ras)
         machine = SgxMachine("client")
         ras.register_platform(machine.platform_secret)
-        endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
-                                                        rng.fork("net")))
+        link = SimulatedLink(NetworkConditions(), rng.fork("net"))
+        endpoint = connect("sl+inproc://", remote=remote, link=link)
         local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("k")))
         with pytest.raises(SlLocalError):
             local.resident_bytes()

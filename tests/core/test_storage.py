@@ -57,8 +57,8 @@ class TestSlLocalPersistence:
         from repro.core.sl_manager import SlManager
         from repro.core.sl_remote import SlRemote
         from repro.crypto.keys import KeyGenerator
+        from repro.net.endpoint import connect
         from repro.net.network import NetworkConditions, SimulatedLink
-        from repro.net.rpc import connect_remote
         from repro.sgx import RemoteAttestationService, SgxMachine
         from repro.sim.rng import DeterministicRng
 
@@ -68,8 +68,8 @@ class TestSlLocalPersistence:
         definition = remote.issue_license("lic-disk", 500)
         machine = SgxMachine("disk-client")
         ras.register_platform(machine.platform_secret)
-        endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
-                                                        rng.fork("net")))
+        link = SimulatedLink(NetworkConditions(), rng.fork("net"))
+        endpoint = connect("sl+inproc://", remote=remote, link=link)
         local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                         tokens_per_attestation=5)
         manager = SlManager("disk-app", machine, local,

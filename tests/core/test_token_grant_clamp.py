@@ -16,8 +16,9 @@ from repro.core.protocol import (
 from repro.core.sl_local import SlLocal
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import RemoteEndpoint, connect_remote
+from repro.net.rpc import RemoteEndpoint
 from repro.net.transport import HandlerTable, InProcessTransport
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.rng import DeterministicRng
@@ -84,9 +85,8 @@ class TestRealServerExhaustion:
         remote.issue_license("lic-small", pool)
         machine = SgxMachine("small")
         ras.register_platform(machine.platform_secret)
-        endpoint = connect_remote(
-            remote, SimulatedLink(NetworkConditions(), rng.fork("net"))
-        )
+        link = SimulatedLink(NetworkConditions(), rng.fork("net"))
+        endpoint = connect("sl+inproc://", remote=remote, link=link)
         sl_local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                            tokens_per_attestation=10)
         sl_local.init()

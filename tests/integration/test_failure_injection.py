@@ -15,8 +15,8 @@ from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
 from repro.crypto.sealing import SealedBlob
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.rng import DeterministicRng
 
@@ -31,7 +31,7 @@ def build(seed=101, reliability=1.0, total_units=1_000, register=True):
         ras.register_platform(machine.platform_secret)
     link = SimulatedLink(NetworkConditions(reliability=reliability),
                          rng.fork("net"))
-    endpoint = connect_remote(remote, link)
+    endpoint = connect("sl+inproc://", remote=remote, link=link)
     local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                     tokens_per_attestation=5)
     manager = SlManager("fi-app", machine, local, tokens_per_attestation=5)

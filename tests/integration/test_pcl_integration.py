@@ -12,8 +12,8 @@ from repro.core.sl_local import SlLocal, SlLocalError
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.sgx import RemoteAttestationService, SgxMachine, measure
 from repro.sgx.attestation import AttestationError
 from repro.sgx.pcl import PclError, PclKeyServer
@@ -34,8 +34,8 @@ def build_pcl_system(register_platform=True):
     section = key_server.seal_section(
         "sl-local-core", SERVICE_CODE, measure("sl-local")
     )
-    endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
-                                                    rng.fork("net")))
+    link = SimulatedLink(NetworkConditions(), rng.fork("net"))
+    endpoint = connect("sl+inproc://", remote=remote, link=link)
     local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                     tokens_per_attestation=10,
                     pcl=(key_server, section))

@@ -6,8 +6,8 @@ from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.rng import DeterministicRng
 
@@ -19,8 +19,8 @@ def build(seed=151, total_units=1_000):
     definition = remote.issue_license("lic-return", total_units)
     machine = SgxMachine("decom-client")
     ras.register_platform(machine.platform_secret)
-    endpoint = connect_remote(remote, SimulatedLink(NetworkConditions(),
-                                                    rng.fork("net")))
+    link = SimulatedLink(NetworkConditions(), rng.fork("net"))
+    endpoint = connect("sl+inproc://", remote=remote, link=link)
     local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                     tokens_per_attestation=10)
     local.init()
@@ -61,8 +61,8 @@ class TestReturnUnits:
         rng = DeterministicRng(999)
         machine2 = SgxMachine("second-client")
         remote._ras.register_platform(machine2.platform_secret)
-        endpoint2 = connect_remote(remote, SimulatedLink(
-            NetworkConditions(), rng.fork("net2")))
+        link2 = SimulatedLink(NetworkConditions(), rng.fork("net2"))
+        endpoint2 = connect("sl+inproc://", remote=remote, link=link2)
         local2 = SlLocal(machine2, endpoint2,
                          KeyGenerator(rng.fork("keys2")),
                          tokens_per_attestation=10)

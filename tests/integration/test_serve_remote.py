@@ -18,8 +18,8 @@ from repro.core.licensefile import mint_license_blob
 from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions
-from repro.net.rpc import connect_tcp
 from repro.sgx import SgxMachine
 from repro.sim.rng import DeterministicRng
 
@@ -64,8 +64,8 @@ def remote_process():
 def run_lifecycle(address, name, seed, checks):
     """One SL-Local + SL-Manager pair against the out-of-process server."""
     machine = SgxMachine(name)
-    endpoint = connect_tcp(
-        *address,
+    endpoint = connect(
+        "sl://%s:%d" % address,
         conditions=NetworkConditions(round_trip_seconds=0.002),
         timeout_seconds=10.0,
     )

@@ -14,10 +14,11 @@ from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
 from repro.net import codec
 from repro.net.aio import AsyncLeaseServer, AsyncTcpTransport
+from repro.net.endpoint import connect, endpoint_for
 from repro.net.network import NetworkConditions
-from repro.net.rpc import RpcError, connect_async_tcp, connect_tcp
+from repro.net.rpc import RpcError
 from repro.net.server import OVERLOAD_ERROR, LeaseServer
-from repro.net.sharding import HashRing, connect_sharded_tcp, default_shard_names
+from repro.net.sharding import HashRing, default_shard_names
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.clock import Clock, seconds_to_cycles
 from repro.sim.rng import DeterministicRng
@@ -37,9 +38,17 @@ def server():
     srv.stop()
 
 
+def dial_tcp(host, port, **overrides):
+    return connect(f"sl://{host}:{port}", **overrides)
+
+
+def dial_async(host, port, **overrides):
+    return connect(f"sl+async://{host}:{port}", **overrides)
+
+
 def make_client(server, name, seed, rtt=0.004):
     machine = SgxMachine(name)
-    endpoint = connect_async_tcp(
+    endpoint = dial_async(
         *server.address,
         conditions=NetworkConditions(round_trip_seconds=rtt),
         timeout_seconds=5.0,
@@ -62,7 +71,7 @@ def raw_init(endpoint, machine, slid=None, nonce=1):
 class TestAsyncLifecycle:
     def test_raw_init_round_trip(self, server):
         machine = SgxMachine("raw")
-        endpoint = connect_async_tcp(*server.address)
+        endpoint = dial_async(*server.address)
         response = raw_init(endpoint, machine)
         assert isinstance(response, InitResponse)
         assert response.status is Status.OK
@@ -95,7 +104,7 @@ class TestAsyncLifecycle:
         assert machine.clock.cycles - before >= seconds_to_cycles(0.25)
 
     def test_server_error_surfaces_without_retry(self, server):
-        endpoint = connect_async_tcp(*server.address, max_attempts=5)
+        endpoint = dial_async(*server.address, max_attempts=5)
         machine = SgxMachine("err")
         with pytest.raises(RpcError, match="remote error"):
             endpoint.call("warp", None, clock=machine.clock)
@@ -103,18 +112,18 @@ class TestAsyncLifecycle:
         endpoint.close()
 
     def test_async_tcp_cannot_bypass_the_network(self):
-        endpoint = connect_async_tcp("127.0.0.1", 1)
+        endpoint = dial_async("127.0.0.1", 1)
         with pytest.raises(RpcError, match="cannot bypass"):
             endpoint.call("init", None, local=True)
 
     def test_unreachable_server_fails_fast_after_dial_budget(self):
         """DialError is terminal for the call: one dial budget, no
         multiplication by the per-call retry budget."""
-        endpoint = connect_async_tcp("127.0.0.1", 1,  # nothing listens
-                                     max_attempts=2, backoff_seconds=0.001,
-                                     reconnect_attempts=2,
-                                     reconnect_backoff_seconds=0.001,
-                                     timeout_seconds=0.2)
+        endpoint = dial_async("127.0.0.1", 1,  # nothing listens
+                              max_attempts=2, backoff_seconds=0.001,
+                              reconnect_attempts=2,
+                              reconnect_backoff_seconds=0.001,
+                              timeout_seconds=0.2)
         machine = SgxMachine("lost")
         with pytest.raises(RpcError, match="2 dial attempts"):
             endpoint.call("init", None, clock=machine.clock)
@@ -129,7 +138,7 @@ class TestPipelining:
         from repro.core.protocol import RenewRequest
 
         blob = server.remote.license_definition(LICENSE).license_blob()
-        endpoint = connect_async_tcp(*server.address, timeout_seconds=10.0)
+        endpoint = dial_async(*server.address, timeout_seconds=10.0)
         machines = [SgxMachine(f"pipeliner-{i}") for i in range(6)]
         slids = [raw_init(endpoint, m, nonce=1).slid for m in machines]
         granted = [0] * len(machines)
@@ -174,7 +183,7 @@ class TestPipelining:
             return tag
 
         server.handlers.register("slow_echo", slow_echo)
-        endpoint = connect_async_tcp(*server.address, timeout_seconds=10.0)
+        endpoint = dial_async(*server.address, timeout_seconds=10.0)
         finished = []
         results = {}
         barrier = threading.Barrier(2)
@@ -201,13 +210,13 @@ class TestPipelining:
         server: replies are written before the next frame is read, so
         position matching keeps working."""
         machine = SgxMachine("strict")
-        endpoint = connect_tcp(*server.address)
+        endpoint = dial_tcp(*server.address)
         response = raw_init(endpoint, machine)
         assert response.status is Status.OK
 
         blob = server.remote.license_definition(LICENSE).license_blob()
         manager_machine = SgxMachine("strict-lifecycle")
-        strict_endpoint = connect_tcp(*server.address)
+        strict_endpoint = dial_tcp(*server.address)
         sl_local = SlLocal(manager_machine, strict_endpoint,
                            KeyGenerator(DeterministicRng(3)),
                            tokens_per_attestation=10)
@@ -252,7 +261,7 @@ class TestConnectionCaps:
         srv = AsyncLeaseServer(remote, port=0, max_connections=1)
         srv.start()
         try:
-            holder = connect_async_tcp(*srv.address)
+            holder = dial_async(*srv.address)
             machine = SgxMachine("holder")
             raw_init(holder, machine)  # occupies the only slot
             with socket.create_connection(srv.address, timeout=5) as sock:
@@ -275,7 +284,7 @@ class TestConnectionCaps:
         srv = LeaseServer(remote, port=0, max_connections=1)
         srv.start()
         try:
-            holder = connect_tcp(*srv.address)
+            holder = dial_tcp(*srv.address)
             machine = SgxMachine("holder-t")
             raw_init(holder, machine)  # a live worker occupies the slot
             with socket.create_connection(srv.address, timeout=5) as sock:
@@ -310,7 +319,7 @@ class TestConnectionCaps:
             while server.open_connections < 20 and time.time() < deadline:
                 time.sleep(0.01)
             assert server.open_connections >= 20
-            probe = connect_async_tcp(*server.address)
+            probe = dial_async(*server.address)
             stats = probe.call("_server_stats", None, clock=Clock())
             probe.close()
             assert stats["io"] == "async"
@@ -328,12 +337,12 @@ class TestReconnectResilience:
         srv.start()
         return srv
 
-    @pytest.mark.parametrize("server_cls,connect", [
-        (LeaseServer, connect_tcp),
-        (AsyncLeaseServer, connect_async_tcp),
+    @pytest.mark.parametrize("server_cls,dial", [
+        (LeaseServer, dial_tcp),
+        (AsyncLeaseServer, dial_async),
     ])
     def test_server_restart_mid_lifecycle_is_survived(self, server_cls,
-                                                      connect):
+                                                      dial):
         """Kill the server between renewals: the client re-dials on its
         reconnect budget and resumes the SLID-keyed session — without
         burning through the per-call retry budget."""
@@ -345,10 +354,10 @@ class TestReconnectResilience:
         address = srv.address
 
         machine = SgxMachine("phoenix")
-        endpoint = connect(*address, max_attempts=5,
-                           backoff_seconds=0.01,
-                           reconnect_attempts=6,
-                           reconnect_backoff_seconds=0.02)
+        endpoint = dial(*address, max_attempts=5,
+                        backoff_seconds=0.01,
+                        reconnect_attempts=6,
+                        reconnect_backoff_seconds=0.02)
         sl_local = SlLocal(machine, endpoint,
                            KeyGenerator(DeterministicRng(11)),
                            tokens_per_attestation=10)
@@ -408,7 +417,7 @@ class TestShardedAsyncFleet:
         from repro.core.protocol import RenewRequest
 
         remotes, blobs, addresses, ring = fleet
-        endpoint = connect_sharded_tcp(addresses, io="async")
+        endpoint = connect(endpoint_for(addresses, io="async"))
         assert all(isinstance(t, AsyncTcpTransport)
                    for t in endpoint.transport.transports.values())
         machine = SgxMachine("aio-fleet")
@@ -431,4 +440,4 @@ class TestShardedAsyncFleet:
 
     def test_unknown_io_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown io backend"):
-            connect_sharded_tcp([("127.0.0.1", 1)], io="smoke-signals")
+            connect("sl+sharded://127.0.0.1:1?io=smoke-signals")

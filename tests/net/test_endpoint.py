@@ -242,6 +242,13 @@ def run_protocol_script(endpoint, machine, blob):
 
 
 class TestDeprecatedWrapperEquivalence:
+    @pytest.fixture(autouse=True)
+    def _permissive_mode(self, monkeypatch):
+        # These tests exercise the deprecated wrappers on purpose; CI
+        # runs the suite with REPRO_STRICT_ENDPOINTS=1, which turns the
+        # wrappers into hard errors everywhere else.
+        monkeypatch.delenv("REPRO_STRICT_ENDPOINTS", raising=False)
+
     def test_all_four_wrappers_warn(self):
         remote, _machine, link, _blob = fresh_stack()
         with pytest.warns(DeprecationWarning, match="connect_remote"):
@@ -374,3 +381,33 @@ class TestDeprecatedWrapperEquivalence:
         probes = {name: remote.handle_ledger_probe()
                   for name, remote in remotes.items()}
         return outcomes, probes
+
+
+class TestStrictEndpointMode:
+    """``REPRO_STRICT_ENDPOINTS=1`` turns the legacy wrappers into hard
+    errors, which is how CI proves nothing in-repo still depends on
+    them."""
+
+    def test_legacy_wrappers_raise_under_strict_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_ENDPOINTS", "1")
+        remote, _machine, link, _blob = fresh_stack()
+        with pytest.raises(RuntimeError, match="connect_remote is deprecated"):
+            connect_remote(remote, link)
+        with pytest.raises(RuntimeError, match="connect_tcp is deprecated"):
+            connect_tcp("127.0.0.1", 9)
+        with pytest.raises(RuntimeError,
+                           match="connect_async_tcp is deprecated"):
+            connect_async_tcp("127.0.0.1", 9)
+        with pytest.raises(RuntimeError,
+                           match="connect_sharded_tcp is deprecated"):
+            connect_sharded_tcp([("127.0.0.1", 1)])
+
+    def test_factory_is_unaffected_by_strict_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_ENDPOINTS", "1")
+        remote, machine, link, blob = fresh_stack()
+        endpoint = connect("sl+inproc://", remote=remote, link=link)
+        try:
+            outcomes = run_protocol_script(endpoint, machine, blob)
+        finally:
+            endpoint.close()
+        assert outcomes

@@ -9,8 +9,9 @@ from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions
-from repro.net.rpc import RpcError, connect_tcp
+from repro.net.rpc import RpcError
 from repro.net.server import LeaseServer
 from repro.sgx import RemoteAttestationService, SgxMachine
 from repro.sim.clock import seconds_to_cycles
@@ -28,9 +29,14 @@ def server():
     srv.stop()
 
 
+def dial(host, port, **overrides):
+    """A threaded-TCP endpoint for one server address."""
+    return connect(f"sl://{host}:{port}", **overrides)
+
+
 def make_client(server, name, seed, rtt=0.004):
     machine = SgxMachine(name)
-    endpoint = connect_tcp(
+    endpoint = dial(
         *server.address,
         conditions=NetworkConditions(round_trip_seconds=rtt),
         timeout_seconds=5.0,
@@ -43,7 +49,7 @@ def make_client(server, name, seed, rtt=0.004):
 class TestTcpLifecycle:
     def test_raw_init_round_trip(self, server):
         machine = SgxMachine("raw")
-        endpoint = connect_tcp(*server.address)
+        endpoint = dial(*server.address)
         report = machine.local_authority.generate_report(1, 1, nonce=1)
         response = endpoint.call(
             "init",
@@ -114,7 +120,7 @@ class TestTcpLifecycle:
         assert machine.clock.cycles - before >= seconds_to_cycles(0.25)
 
     def test_server_error_surfaces_without_retry(self, server):
-        endpoint = connect_tcp(*server.address, max_attempts=5)
+        endpoint = dial(*server.address, max_attempts=5)
         machine = SgxMachine("err")
         with pytest.raises(RpcError, match="remote error"):
             # Unknown method: the server answers with an error envelope.
@@ -133,7 +139,7 @@ class TestConcurrentDispatch:
         endpoints, machines, slids = [], [], []
         for index in range(clients):
             machine = SgxMachine(f"racer-{index}")
-            endpoint = connect_tcp(*server.address, timeout_seconds=10.0)
+            endpoint = dial(*server.address, timeout_seconds=10.0)
             report = machine.local_authority.generate_report(1, 1, nonce=1)
             response = endpoint.call(
                 "init",
@@ -181,13 +187,13 @@ class TestConcurrentDispatch:
         """Closed connections leave the worker list: it tracks live
         connections, not every connection ever accepted."""
         for index in range(8):
-            endpoint = connect_tcp(*server.address)
+            endpoint = dial(*server.address)
             machine = SgxMachine(f"churn-{index}")
             with pytest.raises(RpcError):
                 endpoint.call("warp", None, clock=machine.clock)
             endpoint.close()
         # One live connection forces a pass over the reap logic.
-        last = connect_tcp(*server.address)
+        last = dial(*server.address)
         machine = SgxMachine("churn-last")
         with pytest.raises(RpcError):
             last.call("warp", None, clock=machine.clock)
@@ -207,7 +213,7 @@ class TestTypedStatusesOverTheWire:
         protocol answer — not as a RemoteCallError error envelope."""
         from repro.core.protocol import ShutdownNotice
 
-        endpoint = connect_tcp(*server.address)
+        endpoint = dial(*server.address)
         machine = SgxMachine("ghost")
         status = endpoint.call("shutdown",
                                ShutdownNotice(slid=4242, root_key=1),
@@ -217,7 +223,7 @@ class TestTypedStatusesOverTheWire:
         endpoint.close()
 
     def test_return_units_for_unknown_slid_is_typed(self, server):
-        endpoint = connect_tcp(*server.address)
+        endpoint = dial(*server.address)
         machine = SgxMachine("ghost2")
         status = endpoint.call("return_units", (4242, "lic-tcp", 5),
                                clock=machine.clock)
@@ -229,7 +235,7 @@ class TestTypedStatusesOverTheWire:
         from repro.core.protocol import RenewRequest
 
         blob = server.remote.license_definition("lic-tcp").license_blob()
-        endpoint = connect_tcp(*server.address)
+        endpoint = dial(*server.address)
         machine = SgxMachine("ghost3")
         response = endpoint.call(
             "renew",
@@ -245,7 +251,7 @@ class TestTcpFailure:
     def test_unreachable_server_fails_fast_after_dial_budget(self):
         """A dead host exhausts the *dial* budget once — the per-call
         retry budget does not multiply it (DialError is not retried)."""
-        endpoint = connect_tcp("127.0.0.1", 1,  # port 1: nothing listens
+        endpoint = dial("127.0.0.1", 1,  # port 1: nothing listens
                                max_attempts=2, backoff_seconds=0.001,
                                reconnect_attempts=2,
                                reconnect_backoff_seconds=0.001,
@@ -257,6 +263,6 @@ class TestTcpFailure:
         assert endpoint.transport.observed_reliability == 0.0
 
     def test_tcp_cannot_bypass_the_network(self):
-        endpoint = connect_tcp("127.0.0.1", 1)
+        endpoint = dial("127.0.0.1", 1)
         with pytest.raises(RpcError, match="cannot bypass"):
             endpoint.call("init", None, local=True)

@@ -8,13 +8,12 @@ from repro.core.sl_local import SlLocal
 from repro.core.sl_manager import SlManager
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect, endpoint_for
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import connect_remote
 from repro.net.server import LeaseServer
 from repro.net.sharding import (
     HashRing,
     ShardedRemote,
-    connect_sharded_tcp,
     default_shard_names,
 )
 from repro.sgx import RemoteAttestationService, SgxMachine
@@ -143,7 +142,8 @@ def build_sharded(shards=3, licenses=6, seed=7, transport="serialized"):
             license_id, POOL
         ).license_blob()
     link = SimulatedLink(NetworkConditions(), DeterministicRng(seed))
-    endpoint = connect_remote(sharded, link, transport=transport)
+    scheme = {"in-process": "sl+inproc", "serialized": "sl+serialized"}
+    endpoint = connect(f"{scheme[transport]}://", remote=sharded, link=link)
     return sharded, blobs, endpoint
 
 
@@ -330,7 +330,7 @@ class TestShardedTcp:
 
     def test_lifecycle_across_two_processes_worth_of_shards(self, fleet):
         remotes, blobs, addresses, ring = fleet
-        endpoint = connect_sharded_tcp(addresses)
+        endpoint = connect(endpoint_for(addresses))
         machine = SgxMachine("tcp-fleet")
         try:
             slid = raw_init(endpoint, machine).slid
@@ -348,7 +348,7 @@ class TestShardedTcp:
 
     def test_crash_broadcast_over_the_wire(self, fleet):
         remotes, blobs, addresses, _ = fleet
-        endpoint = connect_sharded_tcp(addresses)
+        endpoint = connect(endpoint_for(addresses))
         machine = SgxMachine("tcp-crash")
         try:
             slid = raw_init(endpoint, machine).slid
@@ -366,4 +366,4 @@ class TestShardedTcp:
 
     def test_address_name_mismatch_rejected(self):
         with pytest.raises(ValueError, match="one shard name per address"):
-            connect_sharded_tcp([("127.0.0.1", 1)], shard_names=["a", "b"])
+            connect("sl+sharded://127.0.0.1:1?names=a,b")

@@ -6,8 +6,9 @@ from repro.core.protocol import RenewResponse, Status
 from repro.core.sl_local import SlLocal
 from repro.core.sl_remote import SlRemote
 from repro.crypto.keys import KeyGenerator
+from repro.net.endpoint import connect
 from repro.net.network import NetworkConditions, SimulatedLink
-from repro.net.rpc import RemoteEndpoint, RpcError, connect_remote
+from repro.net.rpc import RemoteEndpoint, RpcError
 from repro.net.transport import (
     HandlerTable,
     InProcessTransport,
@@ -29,7 +30,8 @@ def build_stack(transport: str, seed: int = 4):
     ras.register_platform(machine.platform_secret)
     link = SimulatedLink(NetworkConditions(reliability=0.9),
                          rng.fork("net"))
-    endpoint = connect_remote(remote, link, transport=transport)
+    scheme = {"in-process": "sl+inproc", "serialized": "sl+serialized"}
+    endpoint = connect(f"{scheme[transport]}://", remote=remote, link=link)
     sl_local = SlLocal(machine, endpoint, KeyGenerator(rng.fork("keys")),
                        tokens_per_attestation=10)
     return remote, machine, sl_local
