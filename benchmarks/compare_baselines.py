@@ -75,6 +75,18 @@ BASELINES = {
         ("fleet_100k.goodput_renewals_per_second", "higher"),
         ("fleet_100k.p99_ms", "lower"),
     ],
+    "BENCH_redteam.json": [
+        # The adversarial audit: all three red-team gates are absolute.
+        # A nonzero here means a campaign breached an execution-control
+        # invariant — units minted twice across a failover, a rolled-
+        # back ledger served, or a fenced server honoring replayed
+        # frames.  There is no tolerance to negotiate.
+        ("double_grants", "zero"),
+        ("resurrected_units", "zero"),
+        ("stale_frames_accepted", "zero"),
+        ("conservation_violations", "zero"),
+        ("failed_calls", "zero"),
+    ],
 }
 
 

@@ -130,15 +130,25 @@ class ReplayAttacker:
         Derived from the server-side ledger of the license: pool plus
         anything already outstanding for this client.
         """
-        # The attacker knows her own license terms; in the simulation we
-        # read them from the remote's ledger via the endpoint's handler
-        # table (test-only introspection, not a protocol capability).
-        table = getattr(self.sl_local.remote.transport, "handlers", None)
-        if table is None:
+        # The attacker knows her own license terms; over the in-proc
+        # link we read them from the remote's ledger via the endpoint's
+        # handler table (test-only introspection, not a protocol
+        # capability).
+        transport = getattr(self.sl_local.remote, "transport", None)
+        table = getattr(transport, "handlers", None)
+        if table is not None:
+            for handler in table._handlers.values():
+                owner = getattr(handler, "__self__", None)
+                if owner is not None and hasattr(owner, "ledger"):
+                    ledger = owner.ledger(self.license_id)
+                    return ledger.total_gcl
+        # Over a real socket there is nothing to introspect: ask the
+        # same operator probe the auditors use.
+        try:
+            probe = self.sl_local.remote.call(
+                "ledger_probe", None, clock=self.sl_local.machine.clock
+            )
+        except Exception:
             return 0
-        for handler in table._handlers.values():
-            owner = getattr(handler, "__self__", None)
-            if owner is not None and hasattr(owner, "ledger"):
-                ledger = owner.ledger(self.license_id)
-                return ledger.total_gcl
-        return 0
+        entry = (probe or {}).get(self.license_id)
+        return int(entry["total"]) if entry else 0

@@ -249,6 +249,7 @@ def cmd_serve_remote(args) -> int:
     from repro.net.server import LeaseServer
     from repro.net.sharding import HashRing, ShardedRemote, default_shard_names
     from repro.sgx import RemoteAttestationService
+    from repro.storage.anchor import FreshnessAnchor, StaleImageError
     from repro.storage.wal import ShardPersistence
 
     ras = RemoteAttestationService(
@@ -266,11 +267,23 @@ def cmd_serve_remote(args) -> int:
 
     def durable(remote, name):
         """Recover ``remote`` from disk and journal it from here on."""
+        anchor = None
+        if args.anchor_dir:
+            anchor = FreshnessAnchor(
+                os.path.join(args.anchor_dir, f"{name}.anchor")
+            )
         persistence = ShardPersistence(
             os.path.join(args.data_dir, name), name=name,
             fsync=args.fsync, compact_every=args.compact_every,
+            anchor=anchor,
         )
-        recovery_reports.append(persistence.recover(remote))
+        try:
+            recovery_reports.append(persistence.recover(remote))
+        except StaleImageError as exc:
+            # Exact marker line: the red-team harness greps it to prove
+            # the rollback was *refused* rather than silently served.
+            print(f"SL-Anchor {name}: {exc}", flush=True)
+            raise SystemExit(3)
         persistence.attach(remote)
         persistences.append(persistence)
     if args.shard_of:
@@ -504,6 +517,64 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_redteam(args) -> int:
+    """Run the red-team campaigns against a freshly spawned fleet.
+
+    Spawns real ``serve-remote`` subprocesses, attacks them through
+    the capture/replay proxy and disk levers, and prints the
+    invariant auditor's verdict.  Exit status: 0 when every zero-gate
+    held, 1 when the fleet lost (any double grant, resurrected unit,
+    stale frame accepted, or conservation violation)."""
+    import json as json_module
+    import shutil
+    import tempfile
+
+    from repro.redteam.audit import AuditReport
+    from repro.redteam.campaigns import CAMPAIGN_NAMES, run_campaigns
+
+    names = args.campaign or list(CAMPAIGN_NAMES)
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="sl-redteam-")
+    cleanup = not args.work_dir
+    try:
+        results = run_campaigns(
+            work_dir, names=names, smoke=args.smoke,
+            log=(lambda message: None) if args.json
+            else (lambda message: print(f"  {message}", flush=True)),
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+    merged = AuditReport()
+    for result in results:
+        merged.merge(result.audit)
+    if args.json:
+        print(json_module.dumps({
+            "campaigns": {result.name: {
+                "audit": result.audit.as_dict(),
+                "details": result.details,
+            } for result in results},
+            "merged": merged.as_dict(),
+        }, indent=2, sort_keys=True), flush=True)
+    else:
+        for result in results:
+            audit = result.audit
+            verdict = "DEFENDED" if audit.ok() else "BREACHED"
+            print(f"{result.name}: {verdict} — "
+                  f"double_grants={audit.double_grants} "
+                  f"resurrected_units={audit.resurrected_units} "
+                  f"stale_frames_accepted={audit.stale_frames_accepted} "
+                  f"tampered {audit.tampered_frames_rejected}/"
+                  f"{audit.tampered_frames_sent} rejected, "
+                  f"{audit.renewals_served} renewals, "
+                  f"{audit.failed_calls} client failures", flush=True)
+            for note in audit.notes:
+                print(f"  note: {note}", flush=True)
+        print(f"overall: {'DEFENDED' if merged.ok() else 'BREACHED'}",
+              flush=True)
+    return 0 if merged.ok() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -681,6 +752,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "to a sealed write-ahead log under DIR "
                                    "and recover from it at startup (one "
                                    "subdirectory per shard)")
+    serve_parser.add_argument("--anchor-dir", default="", metavar="DIR",
+                              help="freshness anchors (rollback defense): one "
+                                   "monotonic watermark file per shard, kept "
+                                   "OUTSIDE --data-dir; a restored stale data "
+                                   "dir is refused at startup (exit 3) with "
+                                   "an SL-Anchor marker. Per-process shards "
+                                   "(--shard-of or unsharded) only.")
     serve_parser.add_argument("--fsync", choices=("always", "interval", "off"),
                               default="interval",
                               help="WAL durability policy: fsync each "
@@ -718,6 +796,26 @@ def build_parser() -> argparse.ArgumentParser:
     ring_remove.add_argument("--name", required=True,
                              help="ring name of the departing shard")
 
+    redteam_parser = subparsers.add_parser(
+        "redteam",
+        help="adversarial campaigns against a spawned fleet (capture/"
+             "replay, rollback, tamper), audited for zero violations")
+    redteam_parser.add_argument("--campaign", action="append", default=[],
+                                choices=["headline", "deposed-primary",
+                                         "batch-race"],
+                                help="campaign(s) to run; default: all")
+    redteam_parser.add_argument("--smoke", action="store_true",
+                                help="CI scale: fewer clients, shorter "
+                                     "warmup/chaos windows")
+    redteam_parser.add_argument("--work-dir", default="",
+                                metavar="DIR",
+                                help="scratch directory for fleet data/"
+                                     "anchor dirs (default: a fresh "
+                                     "tempdir, removed afterwards)")
+    redteam_parser.add_argument("--json", action="store_true",
+                                help="emit the merged audit + per-campaign "
+                                     "details as JSON")
+
     return parser
 
 
@@ -731,6 +829,7 @@ COMMANDS = {
     "serve-remote": cmd_serve_remote,
     "stats": cmd_stats,
     "ring": cmd_ring,
+    "redteam": cmd_redteam,
 }
 
 

@@ -58,6 +58,7 @@ from repro.net.errors import (
     DialError,
     Overloaded,
     RetriesExhausted,
+    TamperedFrame,
     TransportError,
 )
 from repro.core.protocol import BatchRequest, BatchResponse
@@ -265,8 +266,15 @@ class AsyncLeaseServer:
                     header = await reader.readexactly(codec.FRAME_HEADER.size)
                     data = await reader.readexactly(codec.frame_length(header))
                 except (asyncio.IncompleteReadError, ConnectionError,
-                        OSError, codec.CodecError):
-                    return  # peer gone or stream corrupt beyond recovery
+                        OSError):
+                    return  # peer gone
+                except codec.CodecError:
+                    # A length prefix past MAX_FRAME_BYTES: stream sync
+                    # is unrecoverable so the connection must die, but
+                    # the tampered frame is counted first (mirrors the
+                    # threaded server).
+                    self.wire_stats.note_rejected()
+                    return
                 self.wire_stats.note_decoded(
                     len(data) + codec.FRAME_HEADER.size
                 )
@@ -278,6 +286,10 @@ class AsyncLeaseServer:
                     method, payload, request_id, meta = \
                         codec.decode_request_envelope(data)
                 except codec.CodecError as exc:
+                    # Framing held but the payload would not decode:
+                    # tampering evidence — typed error envelope back,
+                    # and the rejection is counted for audits.
+                    self.wire_stats.note_rejected()
                     self.errors_returned += 1
                     await self._write(writer, write_lock, codec.encode_error(
                         f"{type(exc).__name__}: {exc}", 0,
@@ -475,6 +487,10 @@ class AsyncTcpTransport(Transport):
         self.messages_sent = 0
         self.messages_dropped = 0
         self.reconnects = 0
+        #: Reply frames that failed to decode (tampered/corrupted):
+        #: surfaced as typed :class:`TamperedFrame` errors, never
+        #: silently retried.
+        self.frames_rejected = 0
         #: EWMA of the *real* round-trip time of completed exchanges —
         #: the latency half of the telemetry renewals carry upstream.
         self.rtt_ewma_seconds = 0.0
@@ -566,8 +582,20 @@ class AsyncTcpTransport(Transport):
                 with self._counters_lock:
                     self.messages_dropped += 1
                 raise
-            except (ConnectionError, OSError, EOFError,
-                    codec.CodecError) as exc:
+            except codec.CodecError as exc:
+                # The reply failed to decode: tampering evidence, not
+                # loss.  Retrying would hide the tamper (and race a
+                # desynchronized stream); the reader loop already tore
+                # the connection down, so surface the typed error.
+                with self._counters_lock:
+                    self.messages_dropped += 1
+                    self.frames_rejected += 1
+                raise TamperedFrame(
+                    f"async tcp reply for {method!r} from "
+                    f"{self.host}:{self.port} failed to decode: {exc}",
+                    host=self.host, port=self.port,
+                ) from exc
+            except (ConnectionError, OSError, EOFError) as exc:
                 with self._counters_lock:
                     self.messages_dropped += 1
                 last_error = exc
@@ -780,7 +808,15 @@ class AsyncTcpTransport(Transport):
             ConnectionError(str(exc))
         for future in list(self._pending.values()):
             if not future.done():
-                future.set_exception(
-                    ConnectionError(f"connection lost mid-flight: {error}")
-                )
+                if isinstance(error, codec.CodecError):
+                    # Keep the tamper evidence typed: the caller's
+                    # retry loop must see a CodecError (surfaced as
+                    # TamperedFrame), not a retriable ConnectionError.
+                    future.set_exception(error)
+                else:
+                    future.set_exception(
+                        ConnectionError(
+                            f"connection lost mid-flight: {error}"
+                        )
+                    )
         self._pending.clear()

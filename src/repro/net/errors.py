@@ -15,6 +15,8 @@ The hierarchy::
     │                               far side is unreachable
     ├── RetriesExhausted            the per-call retry budget ran out on
     │                               an established session
+    ├── TamperedFrame               a reply frame failed to decode —
+    │                               tampering evidence, never retried
     ├── Overloaded                  the server answered with its typed
     │                               connection-shedding envelope
     └── Migrating                   a license's ledger is mid-migration
@@ -73,6 +75,25 @@ class RetriesExhausted(TransportError):
     def __init__(self, message: str, attempts: int = 0) -> None:
         super().__init__(message)
         self.attempts = attempts
+
+
+class TamperedFrame(TransportError):
+    """A reply frame failed to decode: evidence of in-flight tampering.
+
+    Raised (never retried) when a transport reads a frame whose
+    checksum, framing, or envelope cannot be decoded.  Retrying would
+    be wrong twice over: the stream is desynchronized (the next read
+    would misinterpret bytes mid-frame), and a man-in-the-middle could
+    use silent retries to hide the tampering entirely.  The transport
+    drops the connection, counts the frame in ``frames_rejected``, and
+    surfaces this typed error so red-team harnesses and operators can
+    observe every tampered frame.
+    """
+
+    def __init__(self, message: str, host: str = "", port: int = 0) -> None:
+        super().__init__(message)
+        self.host = host
+        self.port = port
 
 
 class Overloaded(TransportError):

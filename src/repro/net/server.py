@@ -78,6 +78,11 @@ class WireStats:
         self.batch_frames = 0
         self.batched_renewals = 0
         self.largest_batch = 0
+        #: Frames that failed to decode (bad length prefix, checksum
+        #: mismatch, garbage envelope).  Tampered traffic must be
+        #: *observable*: every rejection is counted here in addition to
+        #: the typed error envelope (or connection close) it earns.
+        self.frames_rejected = 0
         #: wire version -> connections that settled on it.
         self.connections_by_wire: dict = {}
 
@@ -103,6 +108,10 @@ class WireStats:
             self.batched_renewals += size
             self.largest_batch = max(self.largest_batch, size)
 
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.frames_rejected += 1
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -113,6 +122,7 @@ class WireStats:
                 "batch_frames": self.batch_frames,
                 "batched_renewals": self.batched_renewals,
                 "largest_batch": self.largest_batch,
+                "frames_rejected": self.frames_rejected,
                 "connections_by_wire": {
                     str(version): count
                     for version, count in sorted(
@@ -392,8 +402,15 @@ class LeaseServer:
                     continue
                 try:
                     data = read_frame(connection)
-                except (ConnectionError, OSError, codec.CodecError):
-                    return  # peer gone or stream corrupt beyond recovery
+                except (ConnectionError, OSError):
+                    return  # peer gone
+                except codec.CodecError:
+                    # A length prefix past MAX_FRAME_BYTES: stream sync
+                    # is unrecoverable so the connection must die, but
+                    # the tampered frame is counted first — silent
+                    # closes would make wire tampering unobservable.
+                    self.wire_stats.note_rejected()
+                    return
                 self.wire_stats.note_decoded(
                     len(data) + codec.FRAME_HEADER.size
                 )
@@ -441,6 +458,17 @@ class LeaseServer:
                     response = self.handlers.dispatch(
                         method, payload, clock=self.clock, stats=self.stats
                     )
+        except codec.CodecError as exc:
+            # The frame arrived intact (framing held) but its payload
+            # would not decode: checksum mismatch, garbage envelope —
+            # tampering evidence, answered with a typed error and
+            # counted so red-team audits can match every tampered
+            # frame to a rejection.
+            self.wire_stats.note_rejected()
+            with self._counters_lock:
+                self.errors_returned += 1
+            return codec.encode_error(f"{type(exc).__name__}: {exc}",
+                                      request_id, version=reply_version)
         except Exception as exc:  # noqa: BLE001 - every fault becomes a wire error
             with self._counters_lock:
                 self.errors_returned += 1

@@ -39,6 +39,7 @@ from repro.net.errors import (
     DialError,
     Overloaded,
     RetriesExhausted,
+    TamperedFrame,
     TransportError,
     UnknownMethodError,
 )
@@ -48,6 +49,7 @@ from repro.sim.clock import Clock, seconds_to_cycles
 
 __all__ = [
     "TransportError",
+    "TamperedFrame",
     "UnknownMethodError",
     "HandlerTable",
     "Transport",
@@ -379,6 +381,10 @@ class TcpTransport(Transport):
         self._ever_connected = False
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Reply frames that failed to decode (tampered/corrupted):
+        #: surfaced as typed :class:`TamperedFrame` errors, never
+        #: silently retried.
+        self.frames_rejected = 0
         #: Successful re-dials after an established session lost its
         #: socket (a server restart survived in place).
         self.reconnects = 0
@@ -541,7 +547,21 @@ class TcpTransport(Transport):
                     # multiply the two budgets against a dead host.
                     self.messages_dropped += 1
                     raise
-                except (OSError, codec.CodecError) as exc:
+                except codec.CodecError as exc:
+                    # The reply failed to decode: tampering evidence,
+                    # not loss.  The stream is desynchronized (we may
+                    # have stopped mid-frame) and a silent retry would
+                    # hide the tamper, so drop the connection and
+                    # surface the typed error immediately.
+                    self.messages_dropped += 1
+                    self.frames_rejected += 1
+                    self._drop_connection()
+                    raise TamperedFrame(
+                        f"tcp reply for {method!r} from "
+                        f"{self.host}:{self.port} failed to decode: {exc}",
+                        host=self.host, port=self.port,
+                    ) from exc
+                except OSError as exc:
                     self.messages_dropped += 1
                     last_error = exc
                     self._drop_connection()

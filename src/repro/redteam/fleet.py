@@ -1,0 +1,259 @@
+"""Subprocess fleet under attack: spawn, kill, revive, swap disks.
+
+The campaigns need a *real* fleet — separate ``serve-remote``
+processes with replication, WAL durability, and freshness anchors —
+plus the levers an adversary with host access actually has: SIGKILL a
+process, copy its data directory while it runs, put the stale copy
+back, restart the binary.  :class:`FleetHarness` packages exactly
+those levers around the same CLI the operators use, waiting on the
+same stdout markers (``SL-Remote listening on``, ``SL-Recovery``,
+``SL-Anchor``) the other process harnesses already parse.
+
+Deliberately *not* here: anything that reaches into a server's memory
+or imports its modules.  The harness only touches what the threat
+model grants — the network and the data directory.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.sharding import HashRing, default_shard_names
+
+LISTEN_MARKER = "SL-Remote listening on "
+ANCHOR_MARKER = "SL-Anchor "
+RECOVERY_MARKER = "SL-Recovery "
+ANCHOR_REFUSED_EXIT = 3
+
+
+def free_ports(count: int) -> List[int]:
+    """Reserve ``count`` distinct ephemeral ports (bind, read, close).
+
+    Every fleet member's address must be known before any member
+    starts (``--fleet`` wires all peers), so ``--port 0`` is not an
+    option; holding all sockets open until every port is read keeps
+    the kernel from handing one out twice.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+@dataclass
+class SpawnResult:
+    """How one serve-remote start attempt ended."""
+
+    process: Optional[subprocess.Popen]
+    refused: bool = False
+    marker: str = ""           # the SL-Anchor refusal line, if any
+    returncode: Optional[int] = None
+    startup_lines: List[str] = field(default_factory=list)
+
+
+class FleetHarness:
+    """One N-shard ``serve-remote`` fleet plus the attacker's levers."""
+
+    def __init__(
+        self,
+        base_dir: str,
+        shards: int = 3,
+        replicas: int = 2,
+        licenses: int = 3,
+        pool: int = 10**9,
+        lag_budget: int = 128,
+        lag_grants: int = 4,
+        durable: bool = True,
+        anchors: bool = True,
+    ) -> None:
+        self.base_dir = base_dir
+        self.shards = shards
+        self.replicas = replicas
+        self.licenses = licenses
+        self.pool = pool
+        self.lag_budget = lag_budget
+        self.lag_grants = lag_grants
+        self.durable = durable
+        self.anchors = anchors and durable
+        self.names = default_shard_names(shards)
+        self.ring = HashRing(self.names)
+        self.ports: List[int] = []
+        self.processes: Dict[str, Optional[subprocess.Popen]] = {}
+        self.data_dir = os.path.join(base_dir, "data")
+        self.anchor_dir = os.path.join(base_dir, "anchors")
+        self.host = "127.0.0.1"
+        self._repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+
+    # -- addressing ----------------------------------------------------
+    def port_of(self, name: str) -> int:
+        return self.ports[self.names.index(name)]
+
+    def license_ids(self) -> List[str]:
+        return [f"lic-{index}" for index in range(self.licenses)]
+
+    def owner_of(self, license_id: str) -> str:
+        return self.ring.shard_for(license_id)
+
+    def successors_of(self, license_id: str, count: int = 1) -> List[str]:
+        return self.ring.owners(license_id, count + 1)[1:]
+
+    def url(self, ports: Optional[List[int]] = None, **params) -> str:
+        authority = ",".join(f"{self.host}:{port}"
+                             for port in (ports or self.ports))
+        defaults = {"replicas": self.replicas, "timeout": 10,
+                    "max_attempts": 3, "reconnect_attempts": 2,
+                    "reconnect_backoff": 0.05}
+        defaults.update(params)
+        query = "&".join(f"{key}={value}"
+                         for key, value in defaults.items())
+        return f"sl+sharded://{authority}?{query}"
+
+    def proxied_url(self, name: str, proxy_port: int, **params) -> str:
+        """The fleet URL with ``name``'s address swapped for a proxy —
+        the router keeps its shard mapping (addresses are positional)
+        but every frame for that shard now crosses the tap."""
+        ports = list(self.ports)
+        ports[self.names.index(name)] = proxy_port
+        return self.url(ports=ports, **params)
+
+    # -- lifecycle -----------------------------------------------------
+    def _command(self, name: str) -> List[str]:
+        index = self.names.index(name)
+        fleet = ",".join(f"{peer}={self.host}:{port}"
+                         for peer, port in zip(self.names, self.ports))
+        command = [
+            "serve-remote", "--port", str(self.port_of(name)),
+            "--accept-any-platform",
+            "--shard-of", f"{index}:{self.shards}",
+        ]
+        for license_id in self.license_ids():
+            command += ["--license", f"{license_id}:{self.pool}"]
+        if self.replicas:
+            command += ["--replicas", str(self.replicas), "--fleet", fleet,
+                        "--lag-budget", str(self.lag_budget),
+                        "--lag-grants", str(self.lag_grants)]
+        if self.durable:
+            command += ["--data-dir", self.data_dir]
+        if self.anchors:
+            command += ["--anchor-dir", self.anchor_dir]
+        return command
+
+    def spawn(self, name: str, timeout: float = 30.0) -> SpawnResult:
+        """Start one shard; wait for listening OR anchor refusal.
+
+        A refusal (``SL-Anchor`` marker, exit 3) is a *successful
+        defense*, not a harness failure: the result reports it so the
+        campaign can count zero resurrected units.
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(self._repo_root, "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *self._command(name)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        lines: List[str] = []
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break  # EOF: the process exited before listening
+            lines.append(line.rstrip("\n"))
+            if line.startswith(LISTEN_MARKER):
+                self.processes[name] = process
+                return SpawnResult(process=process, startup_lines=lines)
+            if line.startswith(ANCHOR_MARKER):
+                returncode = process.wait(timeout=10)
+                self.processes[name] = None
+                return SpawnResult(process=None, refused=True,
+                                   marker=line.rstrip("\n"),
+                                   returncode=returncode,
+                                   startup_lines=lines)
+        process.kill()
+        raise RuntimeError(
+            f"shard {name!r} never reported listening; startup said: "
+            + " | ".join(lines[-5:])
+        )
+
+    def start(self) -> "FleetHarness":
+        self.ports = free_ports(self.shards)
+        try:
+            for name in self.names:
+                self.spawn(name)
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def kill(self, name: str) -> None:
+        """SIGKILL: no goodbye frames, no final fsync, no anchor ratchet."""
+        process = self.processes.get(name)
+        if process is not None:
+            process.kill()
+            process.wait(timeout=10)
+            self.processes[name] = None
+
+    def revive(self, name: str, timeout: float = 30.0) -> SpawnResult:
+        """Restart a dead shard against whatever its disk now holds."""
+        if self.processes.get(name) is not None:
+            raise RuntimeError(f"shard {name!r} is still running")
+        return self.spawn(name, timeout=timeout)
+
+    def stop(self) -> None:
+        processes = [p for p in self.processes.values() if p is not None]
+        self.processes = {}
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+    def __enter__(self) -> "FleetHarness":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the attacker's disk levers ------------------------------------
+    def shard_data_dir(self, name: str) -> str:
+        return os.path.join(self.data_dir, name)
+
+    def snapshot_data_dir(self, name: str, label: str = "stale") -> str:
+        """Copy a shard's data directory while it runs (the attacker
+        photographing the ledger); returns the staging path.  A copy
+        racing live appends may catch a torn tail — which is exactly
+        what a real exfiltrated image looks like, and recovery's
+        torn-tail handling is part of what the campaign exercises."""
+        staging = os.path.join(self.base_dir, f"{label}-{name}")
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        shutil.copytree(self.shard_data_dir(name), staging)
+        return staging
+
+    def restore_data_dir(self, name: str, staging: str) -> None:
+        """Swap the shard's current disk for the stale copy (the shard
+        must be dead; a live one holds the WAL open)."""
+        if self.processes.get(name) is not None:
+            raise RuntimeError(
+                f"refusing to swap {name!r}'s disk while it runs"
+            )
+        target = self.shard_data_dir(name)
+        if os.path.exists(target):
+            shutil.rmtree(target)
+        shutil.copytree(staging, target)

@@ -184,7 +184,7 @@ class WriteAheadLog:
         self.appends_since_reset = 0
         self.batch_count = 0
         self._dirty = False
-        self._batch_depth = 0
+        self._batch_local = threading.local()
         self._last_sync = time.monotonic()
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._handle = self._opener(path, "ab")
@@ -213,7 +213,7 @@ class WriteAheadLog:
             self.appends_since_reset += 1
             self._dirty = True
             spent = 0.0
-            if self._batch_depth > 0:
+            if getattr(self._batch_local, "depth", 0) > 0:
                 pass  # durability deferred to the enclosing batch's sync
             elif self.fsync_policy == "always":
                 spent = self.sync()
@@ -228,27 +228,34 @@ class WriteAheadLog:
         """Group-commit scope: appends inside defer their fsync.
 
         Under the ``always`` policy every append normally pays its own
-        fsync before returning; inside a batch the appends only buffer,
-        and a single sync when the outermost batch closes makes the
-        whole group durable at once — N records, one disk sync.  The
-        log lock is held for the duration so the group lands contiguous
-        on disk and no interleaved append from another thread can slip
-        an unsynced record ahead of it; keep batch bodies free of
-        sleeps.  Nests reentrantly (only the outermost close syncs).
-        Under ``interval``/``off`` the deferral is a no-op beyond
-        skipping the window check: durability still rides the
-        maintenance tick or the OS cache respectively.
+        fsync before returning; inside a batch *this thread's* appends
+        only buffer, and a single sync when the outermost batch closes
+        makes the whole group durable at once — N records, one disk
+        sync.  The deferral is tracked per thread and the log lock is
+        **not** held across the scope: batch bodies routinely take
+        license locks between appends, and holding the WAL lock there
+        deadlocks against the compactor, which takes license locks
+        first and then needs the WAL lock to truncate.  An unrelated
+        thread's append may therefore interleave and sync mid-batch;
+        that only makes some of the group durable early, which is
+        harmless — the closing sync still covers whatever remains.
+        Nests reentrantly (only the outermost close syncs).  Under
+        ``interval``/``off`` the deferral is a no-op beyond skipping
+        the window check: durability still rides the maintenance tick
+        or the OS cache respectively.
         """
-        with self._lock:
-            self._batch_depth += 1
-            try:
-                yield self
-            finally:
-                self._batch_depth -= 1
-                if self._batch_depth == 0:
+        depth = getattr(self._batch_local, "depth", 0)
+        self._batch_local.depth = depth + 1
+        try:
+            yield self
+        finally:
+            self._batch_local.depth = depth
+            if depth == 0:
+                with self._lock:
                     self.batch_count += 1
-                    if self._dirty and self.fsync_policy == "always":
-                        self.sync()
+                    dirty = self._dirty
+                if dirty and self.fsync_policy == "always":
+                    self.sync()
 
     def sync(self) -> float:
         """Force an fsync; returns the seconds it took."""
@@ -528,11 +535,17 @@ class ShardPersistence:
         compact_every: int = 4096,
         opener: Optional[Callable[[str, str], Any]] = None,
         fault_plan: Optional[Any] = None,
+        anchor: Optional[Any] = None,
     ) -> None:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.name = name
         self.compact_every = compact_every
+        # Freshness anchor (repro.storage.anchor.FreshnessAnchor): lives
+        # on a path the threat model keeps away from the data directory,
+        # ratcheted on every durable cut, checked before serving a
+        # recovered image.  None = rollback defense not enabled.
+        self.anchor = anchor
         self._key64 = derive_wal_key64(server_secret, name)
         self._fault_plan = fault_plan
         self.wal = WriteAheadLog(
@@ -591,6 +604,12 @@ class ShardPersistence:
             else:
                 report.records_skipped += 1
         self.wal.last_seq = last_seq
+        if self.anchor is not None:
+            # The image has now told us how far its history reaches;
+            # an anchor ahead of it means someone rolled the data
+            # directory back to resurrect spent units.  Refuse before
+            # forfeiture/compaction can touch anything.
+            self.anchor.check(last_seq, name=self.name)
         report.forfeited_units = self._forfeit_outstanding(remote)
         # The snapshot install rebuilt every ledger's Equation 1
         # aggregates from scratch and the replay mutated them through
@@ -836,6 +855,12 @@ class ShardPersistence:
                         )
                         self.wal.reset()
                         self._crash_point("wal:reset")
+                        if self.anchor is not None:
+                            # Ratchet only after the snapshot is the
+                            # durable truth: advancing first would let
+                            # a crash between the two refuse our own
+                            # (older but honest) image.
+                            self.anchor.advance(self.wal.last_seq)
                     finally:
                         for license_id in reversed(ordered):
                             states[license_id].lock.release()
@@ -906,6 +931,11 @@ class ShardPersistence:
             try:
                 if self.wal.fsync_policy == "interval":
                     self.wal.sync_if_due()
+                if self.anchor is not None and not self.wal._dirty:
+                    # Ratchet only past records the disk durably holds;
+                    # an anchor ahead of the synced tail would refuse
+                    # our own honest image after a crash.
+                    self.anchor.advance(self.wal.last_seq)
                 if (self.compact_every > 0
                         and self.wal.appends_since_reset
                         >= self.compact_every):
@@ -936,6 +966,8 @@ class ShardPersistence:
                 remote.commit_group = None
             self._group = None
         self.wal.close()
+        if self.anchor is not None:
+            self.anchor.advance(self.wal.last_seq)
 
 
 def attach_persistence(
@@ -945,6 +977,7 @@ def attach_persistence(
     fsync: str = "interval",
     fsync_interval_seconds: float = 0.05,
     compact_every: int = 4096,
+    anchor_dir: Optional[str] = None,
 ) -> List[ShardPersistence]:
     """Recover-and-attach durability for a remote (single or sharded).
 
@@ -953,7 +986,16 @@ def attach_persistence(
     shard's durability is independent — exactly like the per-process
     fleet.  Returns the persistences (close them on shutdown); each
     carries its ``last_report``.
+
+    ``anchor_dir`` (kept on a *different* path than ``data_dir`` by
+    the threat model) enables the stale-image rollback defense: one
+    :class:`~repro.storage.anchor.FreshnessAnchor` per shard, checked
+    during recovery — a rolled-back image raises
+    :class:`~repro.storage.anchor.StaleImageError` here, before
+    anything attaches.
     """
+    from repro.storage.anchor import FreshnessAnchor
+
     shards = getattr(remote, "shards", None)
     if isinstance(shards, dict):
         targets = [(name, shard) for name, shard in sorted(shards.items())]
@@ -963,6 +1005,11 @@ def attach_persistence(
     for name, shard in targets:
         secret = (server_secret if server_secret is not None
                   else getattr(shard, "_server_secret", VENDOR_SECRET))
+        anchor = None
+        if anchor_dir is not None:
+            anchor = FreshnessAnchor(
+                os.path.join(anchor_dir, f"{name}.anchor")
+            )
         persistence = ShardPersistence(
             os.path.join(data_dir, name),
             name=name,
@@ -970,6 +1017,7 @@ def attach_persistence(
             fsync=fsync,
             fsync_interval_seconds=fsync_interval_seconds,
             compact_every=compact_every,
+            anchor=anchor,
         )
         persistence.recover(shard)
         persistence.attach(shard)

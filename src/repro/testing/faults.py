@@ -1,4 +1,4 @@
-"""Deterministic storage fault injection for durability tests.
+"""Deterministic fault injection: storage faults and wire faults.
 
 The WAL's crash-safety claims ("committed prefixes survive, torn tails
 are dropped, compaction can die between snapshot and truncate") are
@@ -19,8 +19,19 @@ This module simulates them *deterministically* — no signal racing, no
   as the plan prescribes and raises :class:`SimulatedCrash`, after
   which the test re-runs recovery against the survivor file.
 
-Used by ``tests/storage/`` and mirrored at process granularity by the
-SIGKILL chaos benchmark ``benchmarks/test_recovery.py``.
+* :class:`NetFaultPlan` — the same declarative idea one layer up, on
+  the wire: drop, duplicate, corrupt, or truncate the Nth frame
+  crossing a socket.  Consumed by the red-team capture proxy
+  (:mod:`repro.redteam.proxy`) to tamper live traffic, and reusable
+  by any harness that moves length-prefixed frames.
+
+* :func:`corrupt_file_byte` — flip one byte of a file on disk: the
+  ledger-rollback campaigns use it to tamper a killed shard's WAL
+  before reviving it.
+
+Used by ``tests/storage/``, ``tests/redteam/``, and mirrored at
+process granularity by the SIGKILL chaos benchmark
+``benchmarks/test_recovery.py``.
 """
 
 from __future__ import annotations
@@ -165,3 +176,123 @@ class FaultyOpener:
         wrapped = FaultyFile(open(path, mode), self.plan, path)
         self.files.append(wrapped)
         return wrapped
+
+
+# ----------------------------------------------------------------------
+# Network-level faults: deterministic frame manipulation
+# ----------------------------------------------------------------------
+@dataclass
+class NetFaultPlan:
+    """A deterministic schedule of frame-level wire faults.
+
+    Operates on frame *payloads* (the bytes after the 4-byte length
+    prefix): the applier re-frames every surviving payload with a
+    correct header, so stream framing always holds and the tamper is
+    seen by the **codec** (checksum mismatch, garbage envelope), not
+    by the framing layer — exactly the adversary the typed-rejection
+    contract is about.  Frame counters are 1-based and plan-global,
+    mirroring :class:`FaultPlan`'s write counters.
+
+    One-shot actions (``*_nth``) fire on exactly that frame; the
+    periodic ``corrupt_every`` corrupts every Nth frame after
+    ``start_after`` (so handshakes/init traffic can pass clean).
+    """
+
+    #: Drop the Nth frame entirely (the peer sees silence, then its
+    #: own timeout/retry machinery).
+    drop_nth: Optional[int] = None
+    #: Deliver the Nth frame twice back to back (wire-level replay).
+    duplicate_nth: Optional[int] = None
+    #: Bit-flip one payload byte of the Nth frame.
+    corrupt_nth: Optional[int] = None
+    #: Truncate the Nth frame's payload to ``truncate_to`` bytes.
+    truncate_nth: Optional[int] = None
+    #: Corrupt every Nth frame (after ``start_after``); composes with
+    #: ``corrupt_nth`` for one-shot use.
+    corrupt_every: Optional[int] = None
+    #: Frames numbered <= this pass untouched (lets negotiation and
+    #: init traffic through before the tampering starts).
+    start_after: int = 0
+    #: Which payload byte the corruption flips (modulo the length).
+    corrupt_offset: int = 0
+    #: XOR mask for the flipped byte (0 would be a no-op; coerced to
+    #: 0xFF).
+    corrupt_mask: int = 0xFF
+    #: Payload bytes kept by a truncation.
+    truncate_to: int = 1
+
+    frames_seen: int = 0
+    frames_dropped: int = 0
+    frames_duplicated: int = 0
+    frames_corrupted: int = 0
+    frames_truncated: int = 0
+
+    def tampered(self) -> int:
+        """Frames this plan mutilated (corrupted or truncated) — the
+        number of typed rejections an audit should account for."""
+        return self.frames_corrupted + self.frames_truncated
+
+    def _flip(self, payload: bytes) -> bytes:
+        data = bytearray(payload)
+        if data:
+            index = self.corrupt_offset % len(data)
+            data[index] ^= (self.corrupt_mask & 0xFF) or 0xFF
+        return bytes(data)
+
+    def apply(self, payload: bytes) -> List[bytes]:
+        """Map one frame payload to the payloads actually delivered.
+
+        Returns ``[]`` for a drop, one payload normally, two for a
+        duplicate; corrupted/truncated payloads come back mutated and
+        are counted on the plan.
+        """
+        self.frames_seen += 1
+        n = self.frames_seen
+        if n <= self.start_after:
+            return [payload]
+        if self.drop_nth is not None and n == self.drop_nth:
+            self.frames_dropped += 1
+            return []
+        out = payload
+        if self.truncate_nth is not None and n == self.truncate_nth:
+            self.frames_truncated += 1
+            out = out[:max(0, self.truncate_to)]
+        periodic = (self.corrupt_every is not None
+                    and (n - self.start_after) % self.corrupt_every == 0)
+        if (self.corrupt_nth is not None and n == self.corrupt_nth) \
+                or periodic:
+            self.frames_corrupted += 1
+            out = self._flip(out)
+        if self.duplicate_nth is not None and n == self.duplicate_nth:
+            self.frames_duplicated += 1
+            return [out, out]
+        return [out]
+
+
+def corrupt_file_byte(path: str, offset: Optional[int] = None,
+                      mask: int = 0xFF) -> int:
+    """Flip one byte of ``path`` in place; returns the offset flipped.
+
+    ``offset=None`` targets the middle of the file — for a WAL that
+    lands inside a committed record's sealed body, the classic
+    "attacker edits the ledger journal" tamper.  Negative offsets
+    count from the end.  Raises :class:`ValueError` on an empty file
+    (nothing to tamper).
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    if offset is None:
+        offset = size // 2
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} out of range for {size}-byte file")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ ((mask & 0xFF) or 0xFF)]))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return offset

@@ -1,0 +1,74 @@
+"""InvariantAuditor and AuditReport: the referee's own arithmetic."""
+
+from repro.redteam.audit import ZERO_GATES, AuditReport, InvariantAuditor
+
+
+def make_probe(outstanding=10, lost=2, available=88, total=100):
+    return {"lic-a": {"outstanding": outstanding, "lost": lost,
+                      "available": available, "total": total}}
+
+
+class TestAuditReport:
+    def test_fresh_report_is_ok(self):
+        assert AuditReport().ok()
+
+    def test_any_zero_gate_breaches(self):
+        for gate in ZERO_GATES:
+            report = AuditReport(**{gate: 1})
+            assert not report.ok(), gate
+
+    def test_conservation_violation_breaches(self):
+        assert not AuditReport(conservation_violations=1).ok()
+
+    def test_merge_sums_counters_and_notes(self):
+        left = AuditReport(double_grants=1, renewals_served=10)
+        left.note("left")
+        right = AuditReport(double_grants=2, renewals_served=5)
+        right.note("right")
+        merged = AuditReport()
+        merged.merge(left)
+        merged.merge(right)
+        assert merged.double_grants == 3
+        assert merged.renewals_served == 15
+        assert merged.notes == ["left", "right"]
+        # Merge never mutated the inputs.
+        assert left.double_grants == 1 and right.double_grants == 2
+
+    def test_as_dict_carries_the_verdict(self):
+        report = AuditReport(stale_frames_accepted=3)
+        payload = report.as_dict()
+        assert payload["stale_frames_accepted"] == 3
+        assert payload["ok"] is False
+
+
+class TestInvariantAuditor:
+    def test_balanced_books_pass(self):
+        report = InvariantAuditor("sl://unused").audit(
+            held_by_license={"lic-a": 10}, probe=make_probe()
+        )
+        assert report.ok()
+        assert report.licenses_audited == 1
+
+    def test_clients_holding_more_than_booked_is_a_double_grant(self):
+        report = InvariantAuditor("sl://unused").audit(
+            held_by_license={"lic-a": 15},  # books cover 10 + 2
+            probe=make_probe(),
+        )
+        assert report.double_grants == 3
+        assert not report.ok()
+        assert any("minted twice" in note for note in report.notes)
+
+    def test_books_not_summing_to_total_is_a_conservation_break(self):
+        report = InvariantAuditor("sl://unused").audit(
+            probe=make_probe(available=80),  # 10 + 2 + 80 != 100
+        )
+        assert report.conservation_violations == 1
+        assert not report.ok()
+
+    def test_clients_holding_less_is_fine(self):
+        """Unreturned-but-forfeited units are the fleet's to write off;
+        holding less than booked is the normal post-crash state."""
+        report = InvariantAuditor("sl://unused").audit(
+            held_by_license={"lic-a": 4}, probe=make_probe()
+        )
+        assert report.ok()

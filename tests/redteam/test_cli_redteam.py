@@ -1,0 +1,46 @@
+"""The ``repro redteam`` verb: parser wiring plus one live campaign."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["redteam"])
+        assert not args.campaign           # empty -> all campaigns
+        assert not args.smoke
+        assert not args.json
+
+    def test_campaigns_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["redteam", "--campaign", "nonsense"])
+
+    def test_campaigns_accumulate(self):
+        args = build_parser().parse_args(
+            ["redteam", "--campaign", "headline",
+             "--campaign", "batch-race", "--smoke"]
+        )
+        assert args.campaign == ["headline", "batch-race"]
+        assert args.smoke
+
+
+class TestLiveCampaign:
+    def test_batch_race_smoke_defends_and_exits_zero(self, tmp_path,
+                                                     capsys):
+        """One real campaign through the CLI: a 3-shard fleet comes up,
+        the batch-race runs, and the verdict is DEFENDED with machine-
+        readable zero-gates."""
+        code = main(["redteam", "--smoke", "--campaign", "batch-race",
+                     "--work-dir", str(tmp_path), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        payload = json.loads(out)
+        merged = payload["merged"]
+        assert merged["ok"] is True
+        assert merged["double_grants"] == 0
+        assert merged["resurrected_units"] == 0
+        assert merged["stale_frames_accepted"] == 0
+        assert payload["campaigns"]["batch-race"]["audit"]["renewals_served"] > 0

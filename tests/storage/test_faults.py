@@ -251,3 +251,112 @@ class TestCrashPoints:
         # second recovery sees a clean file.
         report2 = make_persistence(tmp_path).recover(fresh_remote())
         assert report2.tail_dropped_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# NetFaultPlan: the wire-level sibling of FaultPlan
+# ----------------------------------------------------------------------
+class TestNetFaultPlan:
+    def test_clean_plan_passes_frames_through(self):
+        from repro.testing.faults import NetFaultPlan
+
+        plan = NetFaultPlan()
+        assert plan.apply(b"abc") == [b"abc"]
+        assert plan.frames_seen == 1
+        assert plan.tampered() == 0
+
+    def test_drop_duplicate_corrupt_truncate_fire_on_their_frames(self):
+        from repro.testing.faults import NetFaultPlan
+
+        plan = NetFaultPlan(drop_nth=2, duplicate_nth=3, corrupt_nth=4,
+                            truncate_nth=5, truncate_to=2)
+        assert plan.apply(b"one") == [b"one"]
+        assert plan.apply(b"two") == []                    # dropped
+        assert plan.apply(b"three") == [b"three"] * 2      # replayed
+        corrupted = plan.apply(b"four")
+        assert corrupted != [b"four"] and len(corrupted[0]) == 4
+        assert plan.apply(b"five!") == [b"fi"]             # truncated
+        assert plan.frames_dropped == 1
+        assert plan.frames_duplicated == 1
+        assert plan.tampered() == 2
+
+    def test_corruption_is_a_single_byte_xor(self):
+        from repro.testing.faults import NetFaultPlan
+
+        plan = NetFaultPlan(corrupt_nth=1, corrupt_offset=2,
+                            corrupt_mask=0x01)
+        (out,) = plan.apply(bytes([0, 0, 0, 0]))
+        assert out == bytes([0, 0, 1, 0])
+
+    def test_zero_mask_is_coerced_to_a_real_flip(self):
+        from repro.testing.faults import NetFaultPlan
+
+        plan = NetFaultPlan(corrupt_nth=1, corrupt_mask=0x00)
+        (out,) = plan.apply(b"\x00")
+        assert out == b"\xff"  # a 0 mask would be a silent no-op
+
+    def test_start_after_shields_the_handshake(self):
+        from repro.testing.faults import NetFaultPlan
+
+        plan = NetFaultPlan(corrupt_every=1, start_after=2)
+        assert plan.apply(b"hello") == [b"hello"]
+        assert plan.apply(b"init") == [b"init"]
+        assert plan.apply(b"renew") != [b"renew"]
+        assert plan.frames_corrupted == 1
+
+    def test_periodic_corruption_hits_every_nth(self):
+        from repro.testing.faults import NetFaultPlan
+
+        plan = NetFaultPlan(corrupt_every=3)
+        mutated = [plan.apply(b"xyzw")[0] != b"xyzw" for _ in range(9)]
+        assert mutated == [False, False, True] * 3
+
+
+class TestCorruptFileByte:
+    def test_flips_middle_byte_by_default(self, tmp_path):
+        from repro.testing.faults import corrupt_file_byte
+
+        path = str(tmp_path / "blob")
+        with open(path, "wb") as handle:
+            handle.write(bytes(range(10)))
+        offset = corrupt_file_byte(path)
+        assert offset == 5
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data[5] == 5 ^ 0xFF
+        assert [b for i, b in enumerate(data) if i != 5] \
+            == [i for i in range(10) if i != 5]
+
+    def test_negative_offset_counts_from_the_end(self, tmp_path):
+        from repro.testing.faults import corrupt_file_byte
+
+        path = str(tmp_path / "blob")
+        with open(path, "wb") as handle:
+            handle.write(b"abcd")
+        assert corrupt_file_byte(path, offset=-1) == 3
+
+    def test_empty_file_refused(self, tmp_path):
+        from repro.testing.faults import corrupt_file_byte
+
+        path = str(tmp_path / "empty")
+        open(path, "wb").close()
+        with pytest.raises(ValueError):
+            corrupt_file_byte(path)
+
+    def test_corrupted_wal_record_is_dropped_on_recovery(self, tmp_path):
+        """The end-to-end claim: one flipped byte inside a committed
+        record's sealed body and recovery refuses that record (and
+        everything after it) rather than replaying a lie."""
+        from repro.testing.faults import corrupt_file_byte
+
+        path = str(tmp_path / "ledger.wal")
+        wal = WriteAheadLog(path, KEY, fsync="always")
+        for n in range(6):
+            wal.append("grant", {"units": n})
+        wal.close()
+        intact, _good, _size = WriteAheadLog.read(path, KEY)
+        assert len(intact) == 6
+        corrupt_file_byte(path)
+        surviving, good, size = WriteAheadLog.read(path, KEY)
+        assert len(surviving) < 6
+        assert good < size
